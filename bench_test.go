@@ -1,0 +1,303 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md's index (E1-E10). Each bench
+// both measures the relevant operation with testing.B and reports the
+// experiment's quality metrics via b.ReportMetric, so `go test -bench=.`
+// regenerates the full evaluation. cmd/benchrunner prints the same series
+// as text tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+const benchSeed = 42
+
+// BenchmarkE1StructuredVsKeyword measures the two answering paths of the
+// §2 Madison query: per-query keyword search versus the structured
+// pipeline's query step (after a one-time extraction).
+func BenchmarkE1StructuredVsKeyword(b *testing.B) {
+	corpus, truth := synth.Generate(synth.Config{
+		Seed: benchSeed, Cities: 100, People: 30, Filler: 80, MentionsPerPerson: 2,
+	})
+	query := "average March September temperature Madison Wisconsin"
+
+	b.Run("KeywordSearch", func(b *testing.B) {
+		sys, err := core.New(core.Config{Corpus: corpus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if hits := sys.KeywordSearch(query, 10); len(hits) == 0 {
+				b.Fatal("no hits")
+			}
+		}
+		b.ReportMetric(0, "answers/query") // pages, not answers
+	})
+	b.Run("StructuredQuery", func(b *testing.B) {
+		sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Generate(`
+			EXTRACT temperature FROM docs USING city KIND city INTO temps;
+			STORE temps INTO TABLE extracted;
+		`, uql.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		want := truth.CityTruth("Madison, Wisconsin").AvgTemp(2, 8)
+		b.ResetTimer()
+		var got float64
+		for i := 0; i < b.N; i++ {
+			ans, err := sys.AskGuided(query, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, _ = core.AverageFromRows(ans.Answer)
+		}
+		b.StopTimer()
+		if got < want-0.01 || got > want+0.01 {
+			b.Fatalf("wrong answer: %v, want %v", got, want)
+		}
+		b.ReportMetric(1, "answers/query")
+	})
+	b.Run("ExtractOnce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Generate(`
+				EXTRACT temperature FROM docs USING city KIND city INTO temps;
+				STORE temps INTO TABLE extracted;
+			`, uql.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE2IncrementalVsOneShot measures time-to-first-answer.
+func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
+	cfg := synth.Config{Seed: benchSeed, Cities: 120, People: 40, Filler: 100, MentionsPerPerson: 2}
+	b.Run("OneShot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			corpus, _ := synth.Generate(cfg)
+			sys, err := core.New(core.Config{Corpus: corpus})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Generate(`
+				EXTRACT all FROM docs USING city INTO facts;
+				STORE facts INTO TABLE extracted;
+			`, uql.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("IncrementalDemand", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			corpus, _ := synth.Generate(cfg)
+			sys, err := core.New(core.Config{Corpus: corpus})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.PlanIncremental("city", []string{"temperature", "population", "founded"}, 16); err != nil {
+				b.Fatal(err)
+			}
+			sys.Demand("temperature", 10)
+			if _, err := sys.ExtractPending("city", 16); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3FeedbackAccuracy reports entity-resolution F1 as the human
+// feedback budget grows.
+func BenchmarkE3FeedbackAccuracy(b *testing.B) {
+	for _, budget := range []int{0, 25, 100, 400} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			var f1 float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := experiments.RunE3([]int{budget}, 0.1, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f1 = res[0].F1
+			}
+			b.ReportMetric(f1, "F1")
+		})
+	}
+}
+
+// BenchmarkE4MassCollaboration reports F1 per feedback source.
+func BenchmarkE4MassCollaboration(b *testing.B) {
+	var results []experiments.E4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, _, err = experiments.RunE4(150, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(r.F1, "F1-"+metricSlug(r.Crowd))
+	}
+}
+
+// metricSlug turns a label into a whitespace-free benchmark metric unit.
+func metricSlug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == ',':
+			if len(out) > 0 && out[len(out)-1] != '-' {
+				out = append(out, '-')
+			}
+		}
+	}
+	if len(out) > 24 {
+		out = out[:24]
+	}
+	return string(out)
+}
+
+// BenchmarkE5QueryReformulation measures candidate generation latency and
+// reports accuracy@k.
+func BenchmarkE5QueryReformulation(b *testing.B) {
+	for _, k := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := experiments.RunE5([]int{k}, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res[0].Accuracy
+			}
+			b.ReportMetric(acc, "accuracy@k")
+		})
+	}
+}
+
+// BenchmarkE6ClusterSpeedup measures per-document extraction cost and
+// reports the simulated cluster makespan (milliseconds) at each worker
+// count; see DESIGN.md for why the speedup is simulated over measured
+// task costs on a single-CPU host.
+func BenchmarkE6ClusterSpeedup(b *testing.B) {
+	workerCounts := []int{1, 2, 4, 8, 16}
+	var results []experiments.E6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, _, err = experiments.RunE6(workerCounts, 400, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		b.ReportMetric(float64(r.Makespan.Microseconds())/1000, fmt.Sprintf("makespan-ms-w%d", r.Workers))
+		b.ReportMetric(r.Speedup, fmt.Sprintf("speedup-w%d", r.Workers))
+	}
+}
+
+// BenchmarkE7SnapshotStorage measures diff-based snapshot commits and
+// reports the space-savings ratio per churn rate.
+func BenchmarkE7SnapshotStorage(b *testing.B) {
+	for _, churn := range []float64{0.01, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("churn=%v", churn), func(b *testing.B) {
+			var savings float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := experiments.RunE7([]float64{churn}, 30, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				savings = res[0].Savings
+			}
+			b.ReportMetric(savings, "savings-x")
+		})
+	}
+}
+
+// BenchmarkE8ConcurrentEditing measures transfer throughput at several
+// editor counts with the serializability invariant checked.
+func BenchmarkE8ConcurrentEditing(b *testing.B) {
+	for _, editors := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("editors=%d", editors), func(b *testing.B) {
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				res, _, err := experiments.RunE8([]int{editors}, 100, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res[0].Conserved {
+					b.Fatal("serializability invariant violated")
+				}
+				tput = res[0].Throughput
+			}
+			b.ReportMetric(tput, "transfers/sec")
+		})
+	}
+}
+
+// BenchmarkE9SemanticDebugger measures the sweep and reports detection
+// precision/recall at a 10% corruption rate.
+func BenchmarkE9SemanticDebugger(b *testing.B) {
+	var p, r float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.RunE9([]float64{0.1}, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, r = res[0].Precision, res[0].Recall
+	}
+	b.ReportMetric(p, "precision")
+	b.ReportMetric(r, "recall")
+}
+
+// BenchmarkE10OptimizerAblation measures the UQL pipeline under each
+// optimizer configuration (compare ns/op across sub-benchmarks).
+func BenchmarkE10OptimizerAblation(b *testing.B) {
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: benchSeed, Cities: 150, People: 30, Filler: 150, MentionsPerPerson: 2,
+	})
+	program := `EXTRACT temperature, population FROM docs USING city MINCONF 0.5 INTO facts;`
+	configs := []struct {
+		name    string
+		opts    uql.Options
+		workers int
+	}{
+		{"FullOptimizer", uql.Options{}, 4},
+		{"NoPrefilter", uql.Options{NoPrefilter: true}, 4},
+		{"NoEarlyConf", uql.Options{NoEarlyConfFilter: true}, 4},
+		{"Sequential", uql.Options{NoParallel: true}, 0},
+		{"NoOptimizations", uql.Options{NoPrefilter: true, NoEarlyConfFilter: true, NoParallel: true}, 0},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := core.New(core.Config{Corpus: corpus, Workers: cfg.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Generate(program, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Command benchrunner regenerates every experiment from DESIGN.md's index
+// (E1-E10) and prints the result series as text tables — the repository's
+// equivalent of the paper's evaluation section. Run with -quick for a
+// smaller parameterization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller parameterizations")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "run only this experiment id (e.g. E3)")
+	flag.Parse()
+
+	if err := run(*quick, *seed, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed int64, only string) error {
+	e1Sizes := []int{200, 1000, 4000}
+	e2Sizes := []int{200, 1000, 4000}
+	e6Workers := []int{1, 2, 4, 8, 16}
+	e6Docs := 2000
+	e8Editors := []int{1, 2, 4, 8, 16, 32}
+	e8Ops := 200
+	e10Docs := 2000
+	if quick {
+		e1Sizes = []int{100, 400}
+		e2Sizes = []int{100, 400}
+		e6Workers = []int{1, 2, 4}
+		e6Docs = 300
+		e8Editors = []int{1, 4, 8}
+		e8Ops = 50
+		e10Docs = 300
+	}
+
+	type experiment struct {
+		id  string
+		run func() (*experiments.Series, error)
+	}
+	suite := []experiment{
+		{"E1", func() (*experiments.Series, error) { _, s, err := experiments.RunE1(e1Sizes, seed); return s, err }},
+		{"E1b", func() (*experiments.Series, error) { return experiments.E1RankingAblation(seed) }},
+		{"E2", func() (*experiments.Series, error) { _, s, err := experiments.RunE2(e2Sizes, seed); return s, err }},
+		{"E3", func() (*experiments.Series, error) {
+			_, s, err := experiments.RunE3([]int{0, 10, 25, 50, 100, 200, 400}, 0.1, seed)
+			return s, err
+		}},
+		{"E4", func() (*experiments.Series, error) { _, s, err := experiments.RunE4(150, seed); return s, err }},
+		{"E5", func() (*experiments.Series, error) {
+			_, s, err := experiments.RunE5([]int{1, 2, 3, 5, 10}, seed)
+			return s, err
+		}},
+		{"E6", func() (*experiments.Series, error) {
+			_, s, err := experiments.RunE6(e6Workers, e6Docs, seed)
+			return s, err
+		}},
+		{"E7", func() (*experiments.Series, error) {
+			_, s, err := experiments.RunE7([]float64{0.01, 0.02, 0.05, 0.1, 0.2}, 30, seed)
+			return s, err
+		}},
+		{"E8", func() (*experiments.Series, error) {
+			_, s, err := experiments.RunE8(e8Editors, e8Ops, seed)
+			return s, err
+		}},
+		{"E8b", func() (*experiments.Series, error) {
+			sizes := []int{1000, 5000, 20000}
+			if quick {
+				sizes = []int{500, 2000}
+			}
+			return experiments.E8IndexAblation(sizes)
+		}},
+		{"E9", func() (*experiments.Series, error) {
+			_, s, err := experiments.RunE9([]float64{0.01, 0.05, 0.1, 0.2}, seed)
+			return s, err
+		}},
+		{"E10", func() (*experiments.Series, error) { _, s, err := experiments.RunE10(e10Docs, seed); return s, err }},
+	}
+
+	for _, e := range suite {
+		if only != "" && e.id != only {
+			continue
+		}
+		s, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Println(s.String())
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+// Command unidb is the command-line interface of the user layer: it spins
+// up the end-to-end system over a synthetic Wikipedia-like corpus and
+// exposes the DGE model's modes as subcommands.
+//
+// Usage:
+//
+//	unidb [flags] <command> [args...]
+//
+// Commands:
+//
+//	generate <uql-program-file|->   run a UQL program (default demo program
+//	                                when the argument is omitted)
+//	search <keywords...>            keyword search (IR baseline)
+//	ask <keywords...>               guided keyword -> structured answer
+//	sql <statement>                 direct SQL over the extracted structure
+//	browse [facet=value...]         faceted browsing summary
+//	sweep                           run the semantic debugger
+//	stats                           print system statistics
+//
+// Flags:
+//
+//	-cities N -people N -filler N -seed N -workers N -corrupt F
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "unidb:", err)
+		os.Exit(1)
+	}
+}
+
+const demoProgram = `
+EXTRACT temperature, population, founded FROM docs USING city KIND city INTO cityfacts;
+STORE cityfacts INTO TABLE extracted;
+`
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("unidb", flag.ContinueOnError)
+	cities := fs.Int("cities", 50, "synthetic city articles")
+	people := fs.Int("people", 20, "synthetic people")
+	filler := fs.Int("filler", 30, "synthetic filler articles")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	workers := fs.Int("workers", 4, "cluster workers")
+	corrupt := fs.Float64("corrupt", 0, "fraction of corrupted city articles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing command (generate|search|ask|sql|browse|sweep|stats)")
+	}
+
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: *seed, Cities: *cities, People: *people, Filler: *filler,
+		MentionsPerPerson: 2, CorruptFrac: *corrupt,
+	})
+	sys, err := core.New(core.Config{Corpus: corpus, Workers: *workers})
+	if err != nil {
+		return err
+	}
+
+	cmd, cmdArgs := rest[0], rest[1:]
+	switch cmd {
+	case "generate":
+		program := demoProgram
+		if len(cmdArgs) > 0 && cmdArgs[0] != "-" {
+			data, err := os.ReadFile(cmdArgs[0])
+			if err != nil {
+				return err
+			}
+			program = string(data)
+		}
+		plan, err := sys.Generate(program, uql.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "plan:")
+		fmt.Fprintln(out, plan.Explain)
+		fmt.Fprintf(out, "materialized rows: %d\n", sys.Stats.Counter("uql.store.rows"))
+		return nil
+
+	case "search":
+		ensureGenerated(sys)
+		hits := sys.KeywordSearch(strings.Join(cmdArgs, " "), 10)
+		for i, h := range hits {
+			fmt.Fprintf(out, "%2d. %-40s %.3f  %s\n", i+1, h.Title, h.Score, h.Snippet)
+		}
+		if len(hits) == 0 {
+			fmt.Fprintln(out, "(no hits)")
+		}
+		return nil
+
+	case "ask":
+		ensureGenerated(sys)
+		ans, err := sys.AskGuided(strings.Join(cmdArgs, " "), 5)
+		if err != nil {
+			return err
+		}
+		if len(ans.Candidates) == 0 {
+			fmt.Fprintln(out, "no structured interpretation found; try 'search'")
+			return nil
+		}
+		fmt.Fprintln(out, "candidate structured queries:")
+		for i, c := range ans.Candidates {
+			fmt.Fprintf(out, "%2d. %-60s (score %.2f)\n", i+1, c.Form(), c.Score)
+		}
+		fmt.Fprintf(out, "\nexecuting top candidate:\n  %s\n\n", ans.Candidates[0].SQL)
+		fmt.Fprint(out, ans.Answer.String())
+		fmt.Fprintf(out, "(extraction coverage for %s: %.0f%%)\n",
+			ans.Candidates[0].Attribute, ans.Coverage*100)
+		return nil
+
+	case "sql":
+		ensureGenerated(sys)
+		rs, err := sys.SQL(strings.Join(cmdArgs, " "))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rs.String())
+		fmt.Fprintf(out, "(plan: %s)\n", rs.Plan)
+		return nil
+
+	case "browse":
+		ensureGenerated(sys)
+		b, err := sys.Browse()
+		if err != nil {
+			return err
+		}
+		for _, refinement := range cmdArgs {
+			parts := strings.SplitN(refinement, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("browse refinements look like facet=value, got %q", refinement)
+			}
+			if err := b.Refine(parts[0], parts[1]); err != nil {
+				return err
+			}
+		}
+		if p := b.Path(); p != "" {
+			fmt.Fprintf(out, "path: %s\n", p)
+		}
+		fmt.Fprintf(out, "rows: %d\n", len(b.Rows()))
+		for _, f := range b.Facets() {
+			fmt.Fprintf(out, "facet %s:\n", f.Name)
+			for i, v := range f.Values {
+				if i >= 8 {
+					fmt.Fprintf(out, "  ... %d more\n", len(f.Values)-8)
+					break
+				}
+				fmt.Fprintf(out, "  %-40s %d\n", v.Value, v.Count)
+			}
+		}
+		return nil
+
+	case "sweep":
+		ensureGenerated(sys)
+		violations, err := sys.SweepSuspicious()
+		if err != nil {
+			return err
+		}
+		if len(violations) == 0 {
+			fmt.Fprintln(out, "no suspicious values")
+			return nil
+		}
+		for _, v := range violations {
+			fmt.Fprintln(out, v.String())
+		}
+		return nil
+
+	case "stats":
+		ensureGenerated(sys)
+		for _, line := range sys.Stats.Snapshot() {
+			fmt.Fprintln(out, line)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// ensureGenerated lazily runs the demo extraction so exploitation commands
+// work out of the box.
+func ensureGenerated(sys *core.System) {
+	if sys.Stats.Counter("uql.store.rows") > 0 {
+		return
+	}
+	if _, err := sys.Generate(demoProgram, uql.Options{}); err != nil {
+		fmt.Fprintln(os.Stderr, "unidb: demo generation failed:", err)
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	base := []string{"-cities", "15", "-people", "5", "-filler", "5", "-workers", "2"}
+	if err := run(append(base, args...), &sb); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, sb.String())
+	}
+	return sb.String()
+}
+
+func TestCLIMissingCommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("missing command should error")
+	}
+}
+
+func TestCLIUnknownCommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"frobnicate"}, &sb); err == nil {
+		t.Fatal("unknown command should error")
+	}
+}
+
+func TestCLIGenerateDefaultProgram(t *testing.T) {
+	out := runCLI(t, "generate")
+	if !strings.Contains(out, "plan:") || !strings.Contains(out, "materialized rows:") {
+		t.Fatalf("generate output:\n%s", out)
+	}
+	if !strings.Contains(out, "prefilter") {
+		t.Fatalf("plan should mention the optimizer:\n%s", out)
+	}
+}
+
+func TestCLIGenerateFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.uql")
+	prog := "EXTRACT temperature FROM docs USING city KIND city INTO t;\nSTORE t INTO TABLE extracted;\n"
+	if err := os.WriteFile(path, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "generate", path)
+	if !strings.Contains(out, "store t into table extracted") {
+		t.Fatalf("file program not run:\n%s", out)
+	}
+	// Missing file errors.
+	var sb strings.Builder
+	if err := run([]string{"generate", "/no/such/file.uql"}, &sb); err == nil {
+		t.Fatal("missing program file should error")
+	}
+}
+
+func TestCLISearch(t *testing.T) {
+	out := runCLI(t, "search", "Madison", "temperature")
+	if !strings.Contains(out, "Madison, Wisconsin") {
+		t.Fatalf("search output:\n%s", out)
+	}
+	out = runCLI(t, "search", "zzzznothing")
+	if !strings.Contains(out, "no hits") {
+		t.Fatalf("no-hit output:\n%s", out)
+	}
+}
+
+func TestCLIAsk(t *testing.T) {
+	out := runCLI(t, "ask", "average", "March", "September", "temperature", "Madison", "Wisconsin")
+	if !strings.Contains(out, "candidate structured queries:") {
+		t.Fatalf("ask output:\n%s", out)
+	}
+	if !strings.Contains(out, "59.714") {
+		t.Fatalf("expected the Madison answer in:\n%s", out)
+	}
+	out = runCLI(t, "ask", "nonsense", "gibberish")
+	if !strings.Contains(out, "no structured interpretation") {
+		t.Fatalf("unanswerable output:\n%s", out)
+	}
+}
+
+func TestCLISQL(t *testing.T) {
+	out := runCLI(t, "sql", "SELECT COUNT(*) FROM extracted")
+	if !strings.Contains(out, "COUNT(*)") {
+		t.Fatalf("sql output:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run([]string{"sql", "SELECT FROM"}, &sb); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+}
+
+func TestCLIBrowse(t *testing.T) {
+	out := runCLI(t, "browse")
+	if !strings.Contains(out, "facet attribute:") || !strings.Contains(out, "temperature") {
+		t.Fatalf("browse output:\n%s", out)
+	}
+	out = runCLI(t, "browse", "attribute=temperature")
+	if !strings.Contains(out, "path: attribute=temperature") {
+		t.Fatalf("refined browse output:\n%s", out)
+	}
+	var sb strings.Builder
+	if err := run([]string{"browse", "notanequals"}, &sb); err == nil {
+		t.Fatal("malformed refinement should error")
+	}
+	if err := run([]string{"browse", "bogus=1"}, &sb); err == nil {
+		t.Fatal("unknown facet should error")
+	}
+}
+
+func TestCLISweepCleanAndCorrupt(t *testing.T) {
+	out := runCLI(t, "sweep")
+	if !strings.Contains(out, "no suspicious values") {
+		t.Fatalf("clean sweep output:\n%s", out)
+	}
+	var sb strings.Builder
+	err := run([]string{"-cities", "40", "-people", "0", "-filler", "0", "-corrupt", "0.15", "sweep"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "suspect") {
+		t.Fatalf("corrupt sweep should flag values:\n%s", sb.String())
+	}
+}
+
+func TestCLIStats(t *testing.T) {
+	out := runCLI(t, "stats")
+	if !strings.Contains(out, "counter uql.store.rows") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+}

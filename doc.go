@@ -1,0 +1,13 @@
+// Package repro reproduces "The Case for a Structured Approach to
+// Managing Unstructured Data" (Doan, Naughton, et al., CIDR 2009) as a
+// working Go system: the full Figure 1 architecture — physical layer
+// (MapReduce-like cluster), storage layer (versioned snapshot store,
+// segment store, relational engine, wiki), processing layer (declarative
+// IE+II+HI language with optimizer, schema evolution, uncertainty,
+// provenance, semantic debugger), and user layer (keyword search, guided
+// structured querying, browsing, alerts, reputation and incentives).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the measured
+// results, and examples/ for runnable walkthroughs. The E1-E10 benchmarks
+// in bench_test.go regenerate every experiment.
+package repro

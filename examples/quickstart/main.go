@@ -1,0 +1,66 @@
+// Quickstart: the minimal end-to-end loop — generate a corpus, run a
+// declarative extraction program, and move from keyword search to a
+// structured answer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+func main() {
+	// 1. A Wikipedia-like corpus (the system's unstructured input).
+	corpus, _ := synth.Generate(synth.DefaultConfig(1))
+	fmt.Printf("corpus: %d documents, %d KiB\n", corpus.Len(), corpus.Bytes()/1024)
+
+	// 2. Stand up the end-to-end system.
+	sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Generation: a declarative IE program materializes structure.
+	plan, err := sys.Generate(`
+		EXTRACT temperature, population FROM docs USING city KIND city INTO facts;
+		STORE facts INTO TABLE extracted;
+	`, uql.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexecution plan:")
+	fmt.Println(plan.Explain)
+	fmt.Printf("rows materialized: %d\n", sys.Stats.Counter("uql.store.rows"))
+
+	// 4. Exploitation, mode 1: plain keyword search (the IR baseline).
+	fmt.Println("\nkeyword search: 'average temperature Madison Wisconsin'")
+	for i, h := range sys.KeywordSearch("average temperature Madison Wisconsin", 3) {
+		fmt.Printf("  %d. %s (%.2f)\n", i+1, h.Title, h.Score)
+	}
+
+	// 5. Exploitation, mode 2: the same keywords guided into a structured
+	// query — the transition keyword search cannot make.
+	ans, err := sys.AskGuided("average temperature Madison Wisconsin", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nguided reformulation candidates:")
+	for i, c := range ans.Candidates {
+		fmt.Printf("  %d. %s\n", i+1, c.Form())
+	}
+	if avg, ok := core.AverageFromRows(ans.Answer); ok {
+		fmt.Printf("\nanswer: the average temperature in Madison is %.1f degrees F\n", avg)
+	}
+
+	// 6. Exploitation, mode 3: direct SQL for sophisticated users.
+	rs, err := sys.SQL(`SELECT entity, num FROM extracted
+		WHERE attribute = 'population' AND num > 1000000 ORDER BY num DESC LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncities over one million (via SQL):")
+	fmt.Print(rs.String())
+}

@@ -1,0 +1,103 @@
+package alert
+
+import (
+	"testing"
+)
+
+func TestSubscribeValidation(t *testing.T) {
+	c := NewCenter()
+	if _, err := c.Subscribe(Subscription{Op: OpGT}); err == nil {
+		t.Fatal("missing attribute should fail")
+	}
+	if _, err := c.Subscribe(Subscription{Attribute: "a", Op: "~"}); err == nil {
+		t.Fatal("bad operator should fail")
+	}
+	id, err := c.Subscribe(Subscription{Attribute: "population", Op: OpGT, Threshold: 1000000, User: "alice"})
+	if err != nil || id == 0 {
+		t.Fatalf("subscribe: %v %v", id, err)
+	}
+	if c.Subscriptions() != 1 {
+		t.Fatalf("count: %d", c.Subscriptions())
+	}
+}
+
+func TestEvaluateFiresAndSuppressesDuplicates(t *testing.T) {
+	c := NewCenter()
+	c.Subscribe(Subscription{Attribute: "population", Op: OpGT, Threshold: 1000000, User: "alice"})
+	rows := []Row{
+		{Entity: "Chicago", Attribute: "population", Value: "2746388", Conf: 0.9},
+		{Entity: "Madison", Attribute: "population", Value: "233209", Conf: 0.9},
+		{Entity: "Chicago", Attribute: "motto", Value: "x", Conf: 0.9},
+	}
+	fired := c.Evaluate(rows)
+	if len(fired) != 1 || fired[0].Row.Entity != "Chicago" {
+		t.Fatalf("fired: %+v", fired)
+	}
+	// Re-evaluating the same rows must not re-fire.
+	if fired := c.Evaluate(rows); len(fired) != 0 {
+		t.Fatalf("duplicate fired: %+v", fired)
+	}
+	// A changed value fires again.
+	rows[0].Value = "2800000"
+	if fired := c.Evaluate(rows); len(fired) != 1 {
+		t.Fatalf("changed value: %+v", fired)
+	}
+}
+
+func TestEntityRestrictionAndMinConf(t *testing.T) {
+	c := NewCenter()
+	c.Subscribe(Subscription{
+		Entity: "Madison", Attribute: "temperature", Op: OpLT, Threshold: 0, MinConf: 0.8,
+	})
+	rows := []Row{
+		{Entity: "Chicago", Attribute: "temperature", Value: "-5", Conf: 0.9}, // wrong entity
+		{Entity: "Madison", Attribute: "temperature", Value: "-5", Conf: 0.5}, // low conf
+		{Entity: "Madison", Attribute: "temperature", Value: "-5", Conf: 0.9},
+	}
+	fired := c.Evaluate(rows)
+	if len(fired) != 1 || fired[0].Row.Conf != 0.9 {
+		t.Fatalf("fired: %+v", fired)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	cases := []struct {
+		op   Op
+		v    float64
+		th   float64
+		want bool
+	}{
+		{OpGT, 5, 4, true}, {OpGT, 4, 4, false},
+		{OpGE, 4, 4, true}, {OpLT, 3, 4, true},
+		{OpLE, 4, 4, true}, {OpLE, 5, 4, false},
+		{OpEQ, 4, 4, true}, {OpNE, 5, 4, true}, {OpNE, 4, 4, false},
+	}
+	for _, c := range cases {
+		if got := compare(c.v, c.op, c.th); got != c.want {
+			t.Errorf("compare(%v %s %v) = %v", c.v, c.op, c.th, got)
+		}
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	c := NewCenter()
+	id, _ := c.Subscribe(Subscription{Attribute: "a", Op: OpGT})
+	if !c.Unsubscribe(id) {
+		t.Fatal("unsubscribe failed")
+	}
+	if c.Unsubscribe(id) {
+		t.Fatal("double unsubscribe")
+	}
+	fired := c.Evaluate([]Row{{Attribute: "a", Value: "99", Conf: 1}})
+	if len(fired) != 0 {
+		t.Fatalf("unsubscribed still fires: %+v", fired)
+	}
+}
+
+func TestNonNumericValuesSkipped(t *testing.T) {
+	c := NewCenter()
+	c.Subscribe(Subscription{Attribute: "a", Op: OpGT, Threshold: 0})
+	if fired := c.Evaluate([]Row{{Attribute: "a", Value: "hello", Conf: 1}}); len(fired) != 0 {
+		t.Fatalf("text row fired: %+v", fired)
+	}
+}

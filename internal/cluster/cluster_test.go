@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWordCount(t *testing.T) {
+	c := New(Config{Workers: 4})
+	docs := []any{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog",
+	}
+	mapper := func(item any, emit func(string, any)) error {
+		for _, w := range strings.Fields(item.(string)) {
+			emit(w, 1)
+		}
+		return nil
+	}
+	reducer := func(key string, values []any, emit func(any)) error {
+		sum := 0
+		for _, v := range values {
+			sum += v.(int)
+		}
+		emit(sum)
+		return nil
+	}
+	pairs, err := c.Run(docs, mapper, reducer, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, p := range pairs {
+		counts[p.Key] = p.Value.(int)
+	}
+	want := map[string]int{"the": 3, "quick": 2, "dog": 2, "brown": 1, "fox": 1, "lazy": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, counts[k], v)
+		}
+	}
+	// Output is sorted by key.
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Key > pairs[i].Key {
+			t.Fatal("output not sorted")
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	mapper := func(item any, emit func(string, any)) error {
+		n := item.(int)
+		emit(fmt.Sprintf("mod%d", n%7), n)
+		return nil
+	}
+	reducer := func(key string, values []any, emit func(any)) error {
+		sum := 0
+		for _, v := range values {
+			sum += v.(int)
+		}
+		emit(sum)
+		return nil
+	}
+	inputs := make([]any, 200)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	var ref []Pair
+	for _, workers := range []int{1, 2, 8} {
+		c := New(Config{Workers: workers})
+		got, err := c.Run(inputs, mapper, reducer, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i].Key != ref[i].Key || got[i].Value.(int) != ref[i].Value.(int) {
+				t.Fatalf("workers=%d: pair %d = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFailureInjectionRetries(t *testing.T) {
+	c := New(Config{Workers: 4, FailureRate: 0.3, MaxAttempts: 10})
+	inputs := make([]any, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mapper := func(item any, emit func(string, any)) error {
+		emit("all", 1)
+		return nil
+	}
+	reducer := func(key string, values []any, emit func(any)) error {
+		emit(len(values))
+		return nil
+	}
+	pairs, err := c.Run(inputs, mapper, reducer, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Value.(int) != 100 {
+		t.Fatalf("with failures injected, result must still be exact: %v", pairs)
+	}
+	st := c.Stats()
+	if st.Failures == 0 || st.Retries == 0 {
+		t.Fatalf("expected injected failures, stats = %+v", st)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	c := New(Config{Workers: 2, FailureRate: 1.0, MaxAttempts: 3})
+	_, err := c.Run([]any{1}, func(any, func(string, any)) error { return nil },
+		func(string, []any, func(any)) error { return nil }, 1)
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("expected ErrTaskFailed, got %v", err)
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	c := New(Config{Workers: 2})
+	boom := errors.New("boom")
+	_, err := c.Run([]any{1, 2, 3}, func(item any, _ func(string, any)) error {
+		if item.(int) == 2 {
+			return boom
+		}
+		return nil
+	}, func(string, []any, func(any)) error { return nil }, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected map error, got %v", err)
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	c := New(Config{Workers: 2})
+	boom := errors.New("reduce boom")
+	_, err := c.Run([]any{1}, func(_ any, emit func(string, any)) error {
+		emit("k", 1)
+		return nil
+	}, func(string, []any, func(any)) error { return boom }, 1)
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected reduce error, got %v", err)
+	}
+}
+
+func TestMapOnly(t *testing.T) {
+	c := New(Config{Workers: 8})
+	inputs := make([]int, 500)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, err := MapOnly(c, inputs, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapOnlyError(t *testing.T) {
+	c := New(Config{Workers: 2})
+	boom := errors.New("x")
+	_, err := MapOnly(c, []int{1, 2, 3}, func(x int) (int, error) {
+		if x == 3 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMapOnlyWithFailureInjection(t *testing.T) {
+	c := New(Config{Workers: 4, FailureRate: 0.4, MaxAttempts: 12})
+	inputs := make([]int, 200)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, err := MapOnly(c, inputs, func(x int) (int, error) { return x + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	c := New(Config{Workers: 4})
+	pairs, err := c.Run(nil, func(any, func(string, any)) error { return nil },
+		func(string, []any, func(any)) error { return nil }, 0)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("empty job: %v %v", pairs, err)
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := New(Config{})
+	if c.Workers() != 4 {
+		t.Fatalf("default workers = %d", c.Workers())
+	}
+}

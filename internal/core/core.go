@@ -1,0 +1,594 @@
+// Package core is the end-to-end system of the paper: it wires every
+// substrate into the data generation and exploitation (DGE) model of
+// Section 3. Generation runs declarative UQL programs (IE + II + HI) or an
+// incremental best-effort extraction planner; exploitation offers keyword
+// search, guided reformulation into structured queries, SQL, browsing,
+// and alerts — with seamless movement between the modes.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/alert"
+	"repro/internal/browse"
+	"repro/internal/cluster"
+	"repro/internal/debugger"
+	"repro/internal/doc"
+	"repro/internal/extract"
+	"repro/internal/hi"
+	"repro/internal/monitor"
+	"repro/internal/rdbms"
+	"repro/internal/reformulate"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/uql"
+	"repro/internal/users"
+	"repro/internal/vstore"
+	"repro/internal/wiki"
+)
+
+// TableName is the EAV table holding the final extracted structure.
+const TableName = "extracted"
+
+// Config assembles a System.
+type Config struct {
+	Corpus  *doc.Corpus
+	Workers int       // cluster workers (0 = sequential extraction)
+	Crowd   *hi.Crowd // optional: enables HI statements and feedback
+}
+
+// System is the running end-to-end instance.
+type System struct {
+	Corpus   *doc.Corpus
+	DB       *rdbms.DB
+	Env      *uql.Env
+	Index    *search.Index
+	Users    *users.Manager
+	Wiki     *wiki.Store
+	Alerts   *alert.Center
+	Debugger *debugger.Debugger
+	// Schema tracks the evolving logical schema of the extracted
+	// structure: attributes register themselves (with inferred types) the
+	// first time they are materialized, so the schema history records how
+	// the best-effort structure grew.
+	Schema *schema.Evolver
+	Stats  *monitor.Stats
+
+	mu        sync.Mutex
+	tasks     []task // pending incremental extraction tasks, priority order
+	done      map[string]int
+	total     map[string]int
+	snapshots *vstore.Store // lazily initialized by Snapshots()
+}
+
+// task is one unit of incremental best-effort extraction: one attribute
+// over one partition of the corpus.
+type task struct {
+	attribute string
+	docs      []*doc.Document
+	priority  float64
+	part      int
+}
+
+// New builds a system over a corpus.
+func New(cfg Config) (*System, error) {
+	if cfg.Corpus == nil {
+		return nil, fmt.Errorf("core: corpus required")
+	}
+	db, err := rdbms.Open(rdbms.NewMemPager(), rdbms.NewMemWAL(), rdbms.Options{BufferPages: 512})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable(uql.StoreSchema(TableName)); err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex(TableName, "entity"); err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex(TableName, "attribute"); err != nil {
+		return nil, err
+	}
+	env := uql.NewEnv()
+	env.Sources["docs"] = cfg.Corpus
+	env.DB = db
+	env.Crowd = cfg.Crowd
+	if cfg.Workers > 0 {
+		env.Cluster = cluster.New(cluster.Config{Workers: cfg.Workers})
+	}
+	env.Extractors["city"] = uql.RegisteredExtractor{
+		Pipeline: extract.DefaultCityPipeline(),
+		Hints: map[string]string{
+			"temperature": "average temperature in",
+			"population":  "population",
+			"founded":     "founded",
+		},
+	}
+	env.Extractors["person"] = uql.RegisteredExtractor{
+		Pipeline: extract.DefaultPersonPipeline(),
+		Hints: map[string]string{
+			"person": " ",
+			"born":   "born in",
+		},
+	}
+	s := &System{
+		Corpus:   cfg.Corpus,
+		DB:       db,
+		Env:      env,
+		Index:    search.BuildIndex(cfg.Corpus),
+		Users:    users.NewManager(),
+		Wiki:     wiki.NewStore(),
+		Alerts:   alert.NewCenter(),
+		Debugger: debugger.New(),
+		Schema:   schema.NewEvolver(TableName),
+		Stats:    env.Stats,
+		done:     map[string]int{},
+		total:    map[string]int{},
+	}
+	return s, nil
+}
+
+// --- Generation ---------------------------------------------------------------
+
+// Generate runs a UQL program against the system environment. Attributes
+// produced by the program register themselves in the evolving schema.
+func (s *System) Generate(program string, opts uql.Options) (*uql.Plan, error) {
+	plan, err := uql.Exec(program, s.Env, opts)
+	if err != nil {
+		return plan, err
+	}
+	for _, name := range sortedRelationNames(s.Env.Relations) {
+		s.evolveSchema(s.Env.Relations[name])
+	}
+	return plan, nil
+}
+
+// PlanIncremental enqueues best-effort extraction tasks for the given
+// attributes using the named extractor, partitioning the corpus into
+// parts chunks. Nothing is extracted until ExtractPending runs; queries
+// meanwhile see whatever has been materialized (Section 3.2's
+// "incremental, best-effort fashion").
+func (s *System) PlanIncremental(extractor string, attributes []string, parts int) error {
+	reg, ok := s.Env.Extractors[extractor]
+	if !ok {
+		return fmt.Errorf("core: unknown extractor %q", extractor)
+	}
+	_ = reg
+	partitions := s.Corpus.Partition(parts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, attr := range attributes {
+		for pi, p := range partitions {
+			s.tasks = append(s.tasks, task{
+				attribute: attr, docs: p, part: pi,
+				priority: 0,
+			})
+			s.total[attr]++
+		}
+	}
+	return nil
+}
+
+// Demand raises the priority of an attribute's pending tasks — called when
+// the query workload touches the attribute, so extraction effort follows
+// user demand.
+func (s *System) Demand(attribute string, boost float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.tasks {
+		if s.tasks[i].attribute == attribute {
+			s.tasks[i].priority += boost
+		}
+	}
+}
+
+// PendingTasks returns the number of queued tasks.
+func (s *System) PendingTasks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tasks)
+}
+
+// Coverage returns the fraction of an attribute's planned tasks that have
+// completed, so answers can be qualified ("based on 40% of the corpus").
+// An attribute with no incremental plan is fully covered (whatever was
+// generated, was generated in full).
+func (s *System) Coverage(attribute string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.total[attribute]
+	if t == 0 {
+		return 1
+	}
+	return float64(s.done[attribute]) / float64(t)
+}
+
+// ExtractPending runs up to budget queued tasks (highest priority first),
+// materializing results into the extracted table. It returns the number
+// of tasks executed.
+func (s *System) ExtractPending(extractor string, budget int) (int, error) {
+	reg, ok := s.Env.Extractors[extractor]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown extractor %q", extractor)
+	}
+	s.mu.Lock()
+	sort.SliceStable(s.tasks, func(i, j int) bool { return s.tasks[i].priority > s.tasks[j].priority })
+	n := budget
+	if n <= 0 || n > len(s.tasks) {
+		n = len(s.tasks)
+	}
+	batch := append([]task(nil), s.tasks[:n]...)
+	s.tasks = s.tasks[n:]
+	s.mu.Unlock()
+
+	for _, tk := range batch {
+		rows := s.extractTask(reg, tk)
+		if err := s.materialize(rows); err != nil {
+			return 0, err
+		}
+		s.mu.Lock()
+		s.done[tk.attribute]++
+		s.mu.Unlock()
+		s.Stats.Inc("core.incremental.tasks", 1)
+	}
+	return len(batch), nil
+}
+
+func (s *System) extractTask(reg uql.RegisteredExtractor, tk task) []uql.Row {
+	hint := reg.Hints[tk.attribute]
+	// Best-effort extraction runs only the operators that can produce the
+	// demanded attribute.
+	pipeline := reg.Pipeline.ForAttributes(tk.attribute)
+	var rows []uql.Row
+	for _, d := range tk.docs {
+		if hint != "" && hint != " " && !containsStr(d.Text, hint) {
+			continue
+		}
+		for _, f := range pipeline.ExtractDoc(d) {
+			if f.Attribute != tk.attribute {
+				continue
+			}
+			s.Debugger.Observe(f.Attribute, f.Value)
+			rows = append(rows, uql.Row{
+				Entity: f.Entity, Attribute: f.Attribute,
+				Qualifier: f.Qualifier, Value: f.Value, Conf: f.Conf,
+			})
+		}
+	}
+	return rows
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(needle) == 0 || len(haystack) >= len(needle) && indexStr(haystack, needle) >= 0
+}
+
+func indexStr(h, n string) int {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// materialize appends rows to the extracted table in one transaction and
+// evaluates alert subscriptions against them.
+func (s *System) materialize(rows []uql.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	tx := s.DB.Begin()
+	for _, r := range rows {
+		if _, err := tx.Insert(TableName, uql.StoreRow(r)); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.Stats.Inc("core.materialized.rows", int64(len(rows)))
+	s.evolveSchema(rows)
+	alertRows := make([]alert.Row, len(rows))
+	for i, r := range rows {
+		alertRows[i] = alert.Row{
+			Entity: r.Entity, Attribute: r.Attribute,
+			Qualifier: r.Qualifier, Value: r.Value, Conf: r.Conf,
+		}
+	}
+	if fired := s.Alerts.Evaluate(alertRows); len(fired) > 0 {
+		s.Stats.Inc("core.alerts.fired", int64(len(fired)))
+	}
+	return nil
+}
+
+// MaterializeRelation stores a named UQL relation into the extracted table
+// (used after Generate built relations without a STORE statement).
+func (s *System) MaterializeRelation(name string) error {
+	rows, ok := s.Env.Relations[name]
+	if !ok {
+		return fmt.Errorf("core: unknown relation %q", name)
+	}
+	return s.materialize(rows)
+}
+
+// evolveSchema registers newly seen attributes in the logical schema with
+// a type inferred from their values (§3.2: the schema of incrementally
+// generated structure evolves over time).
+func (s *System) evolveSchema(rows []uql.Row) {
+	samples := map[string][]string{}
+	for _, r := range rows {
+		if len(samples[r.Attribute]) < 30 {
+			samples[r.Attribute] = append(samples[r.Attribute], r.Value)
+		}
+	}
+	cur := s.Schema.Current()
+	known := map[string]bool{}
+	for _, a := range cur.Attributes {
+		known[a.Name] = true
+	}
+	attrs := make([]string, 0, len(samples))
+	for a := range samples {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		if known[a] {
+			continue
+		}
+		// Errors (duplicate adds from a concurrent materialize) are
+		// harmless; the attribute is already registered.
+		if _, err := s.Schema.AddAttribute(a, schema.InferType(samples[a])); err == nil {
+			s.Stats.Inc("core.schema.attributes", 1)
+		}
+	}
+}
+
+// ExplainFact renders the lineage of an extracted fact: which operator
+// pulled it from which document, and what feedback touched it. It
+// consults the UQL environment's provenance graph via the relations that
+// produced the fact.
+func (s *System) ExplainFact(entity, attribute, qualifier string) (string, error) {
+	for _, name := range sortedRelationNames(s.Env.Relations) {
+		for _, r := range s.Env.Relations[name] {
+			if r.Entity == entity && r.Attribute == attribute && r.Qualifier == qualifier && r.Prov != 0 {
+				return s.Env.Prov.Explain(r.Prov), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("core: no provenance recorded for %s.%s[%s]", entity, attribute, qualifier)
+}
+
+func sortedRelationNames(rels map[string][]uql.Row) []string {
+	out := make([]string, 0, len(rels))
+	for n := range rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- Exploitation ---------------------------------------------------------------
+
+// KeywordSearch is exploitation mode 1: ranked document hits.
+func (s *System) KeywordSearch(query string, k int) []search.Hit {
+	s.Stats.Inc("core.queries.keyword", 1)
+	return s.Index.Search(query, k, search.BM25)
+}
+
+// Catalog summarizes the extracted structure for the reformulator.
+func (s *System) Catalog() (reformulate.Catalog, error) {
+	cat := reformulate.Catalog{Table: TableName, Qualifiers: map[string][]string{}}
+	entities := map[string]bool{}
+	attrs := map[string]bool{}
+	qualsByAttr := map[string]map[string]bool{}
+	qualOrder := map[string][]string{}
+	tx := s.DB.Begin()
+	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
+		e, a, q := t[0].S, t[1].S, t[2].S
+		entities[e] = true
+		attrs[a] = true
+		if q != "" {
+			if qualsByAttr[a] == nil {
+				qualsByAttr[a] = map[string]bool{}
+			}
+			if !qualsByAttr[a][q] {
+				qualsByAttr[a][q] = true
+				qualOrder[a] = append(qualOrder[a], q)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		return cat, err
+	}
+	if err := tx.Commit(); err != nil {
+		return cat, err
+	}
+	for e := range entities {
+		cat.Entities = append(cat.Entities, e)
+	}
+	sort.Strings(cat.Entities)
+	for a := range attrs {
+		cat.Attributes = append(cat.Attributes, a)
+	}
+	sort.Strings(cat.Attributes)
+	// Qualifier vocabulary keeps first-seen (document) order, which for
+	// month-qualified attributes is calendar order.
+	for a, quals := range qualOrder {
+		cat.Qualifiers[a] = quals
+	}
+	return cat, nil
+}
+
+// GuidedAnswer is the result of the keyword -> structured transition: the
+// ranked candidate forms, plus the executed answer of the top candidate
+// and the coverage statistics that qualify it.
+type GuidedAnswer struct {
+	Candidates []reformulate.Candidate
+	Answer     *rdbms.ResultSet
+	Coverage   float64
+}
+
+// AskGuided is exploitation mode 2 (the §3.2 flow): take a keyword query,
+// guess candidate structured queries, execute the best one, and report
+// extraction coverage for the touched attribute.
+func (s *System) AskGuided(query string, k int) (*GuidedAnswer, error) {
+	cat, err := s.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	r := reformulate.New(cat)
+	cands := r.Candidates(query, k)
+	out := &GuidedAnswer{Candidates: cands}
+	if len(cands) == 0 {
+		return out, nil
+	}
+	s.Stats.Inc("core.queries.guided", 1)
+	top := cands[0]
+	s.Demand(top.Attribute, 1)
+	rs, err := s.DB.Exec(top.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing %q: %w", top.SQL, err)
+	}
+	out.Answer = rs
+	out.Coverage = s.Coverage(top.Attribute)
+	return out, nil
+}
+
+// SQL is exploitation mode 3: direct structured querying for sophisticated
+// users.
+func (s *System) SQL(query string) (*rdbms.ResultSet, error) {
+	s.Stats.Inc("core.queries.sql", 1)
+	return s.DB.Exec(query)
+}
+
+// Browse is exploitation mode 4: a faceted browser over the extracted
+// structure.
+func (s *System) Browse() (*browse.Browser, error) {
+	var rows []browse.Row
+	tx := s.DB.Begin()
+	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
+		rows = append(rows, browse.Row{
+			Entity: t[0].S, Attribute: t[1].S, Qualifier: t[2].S,
+			Value: t[3].S, Conf: t[5].F,
+		})
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	s.Stats.Inc("core.queries.browse", 1)
+	return browse.New(rows), nil
+}
+
+// Subscribe is exploitation mode 5: standing queries (alerts) over future
+// extractions.
+func (s *System) Subscribe(sub alert.Subscription) (int, error) {
+	return s.Alerts.Subscribe(sub)
+}
+
+// SweepSuspicious runs the semantic debugger over the materialized
+// structure and returns flagged values (the 135-degree check). The
+// debugger first (re)learns per-attribute constraints from the stored
+// data itself — its trimmed-support fence tolerates a corrupt minority —
+// so the sweep works regardless of which generation path (declarative or
+// incremental) produced the rows.
+func (s *System) SweepSuspicious() ([]debugger.Violation, error) {
+	var triples [][3]string
+	tx := s.DB.Begin()
+	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
+		triples = append(triples, [3]string{t[0].S, t[1].S, t[3].S})
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	for _, tr := range triples {
+		s.Debugger.Observe(tr[1], tr[2])
+	}
+	return s.Debugger.Sweep(triples), nil
+}
+
+// CorrectValue applies a human correction to the extracted structure: the
+// row's value is replaced and its confidence set from the corrector's
+// reputation. The contributor is rewarded via the incentive manager.
+func (s *System) CorrectValue(user, entity, attribute, qualifier, newValue string) error {
+	weight := s.Users.Weight(user)
+	tx := s.DB.Begin()
+	var target *rdbms.RID
+	var old rdbms.Tuple
+	err := tx.Scan(TableName, func(rid rdbms.RID, t rdbms.Tuple) bool {
+		if t[0].S == entity && t[1].S == attribute && t[2].S == qualifier {
+			r := rid
+			target = &r
+			old = t.Clone()
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	if target == nil {
+		tx.Abort()
+		return fmt.Errorf("core: no extracted row for %s.%s[%s]", entity, attribute, qualifier)
+	}
+	newTuple := old.Clone()
+	newTuple[3] = rdbms.NewString(newValue)
+	newTuple[4] = uql.NumValue(newValue)
+	newTuple[5] = rdbms.NewFloat(weight)
+	if _, err := tx.Update(TableName, *target, newTuple); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.Users.Award(user, 5)
+	s.Stats.Inc("core.corrections", 1)
+	return nil
+}
+
+// AverageFromRows is a helper for examples/benches: parse-and-average a
+// single-column result set of numeric strings or floats.
+func AverageFromRows(rs *rdbms.ResultSet) (float64, bool) {
+	if rs == nil || len(rs.Rows) == 0 {
+		return 0, false
+	}
+	sum, n := 0.0, 0
+	for _, r := range rs.Rows {
+		if len(r) == 0 {
+			continue
+		}
+		switch r[0].Type {
+		case rdbms.TFloat:
+			sum += r[0].F
+			n++
+		case rdbms.TInt:
+			sum += float64(r[0].I)
+			n++
+		case rdbms.TString:
+			if f, err := strconv.ParseFloat(r[0].S, 64); err == nil {
+				sum += f
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alert"
+	"repro/internal/search"
+	"repro/internal/uql"
+	"repro/internal/vstore"
+)
+
+// Snapshot support: the paper's storage layer keeps daily crawls of the
+// unstructured sources in a Subversion-like store. CommitSnapshot records
+// a crawl; RefreshChanged re-extracts only the documents whose text
+// changed since the last refresh, updates the final structure, and lets
+// standing alerts fire on the new values — the full
+// crawl -> diff-store -> re-extract -> alert loop.
+
+// Snapshots returns the versioned store, initializing it with the current
+// corpus on first use.
+func (s *System) Snapshots() *vstore.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snapshots == nil {
+		s.snapshots = vstore.NewStore()
+		texts := make(map[string]string, s.Corpus.Len())
+		for _, d := range s.Corpus.Docs() {
+			texts[d.Title] = d.Text
+		}
+		s.snapshots.Commit(texts)
+	}
+	return s.snapshots
+}
+
+// CommitSnapshot records a new crawl (texts keyed by document title) in
+// the versioned store and returns its revision. Document content is not
+// applied to the live corpus until RefreshChanged.
+func (s *System) CommitSnapshot(texts map[string]string) vstore.Revision {
+	store := s.Snapshots()
+	rev := store.Commit(texts)
+	s.Stats.Inc("core.snapshots.committed", 1)
+	return rev
+}
+
+// RefreshChanged applies the head snapshot to the corpus: documents whose
+// text changed are re-extracted with the named extractor (all of its
+// scoped attributes), their old rows replaced, and alerts evaluated on
+// the new rows. It returns the titles of the refreshed documents.
+func (s *System) RefreshChanged(extractor string) ([]string, error) {
+	reg, ok := s.Env.Extractors[extractor]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown extractor %q", extractor)
+	}
+	store := s.Snapshots()
+	var changed []string
+	for _, d := range s.Corpus.Docs() {
+		head, ok := store.CheckoutHead(d.Title)
+		if !ok || head == d.Text {
+			continue
+		}
+		d.Text = head
+		changed = append(changed, d.Title)
+
+		// Replace this entity's extracted rows.
+		if _, err := s.DB.Exec(fmt.Sprintf(
+			"DELETE FROM %s WHERE entity = '%s'", TableName, sqlEscape(d.Title))); err != nil {
+			return nil, err
+		}
+		var rows []uql.Row
+		for _, f := range reg.Pipeline.ExtractDoc(d) {
+			s.Debugger.Observe(f.Attribute, f.Value)
+			rows = append(rows, uql.Row{
+				Entity: f.Entity, Attribute: f.Attribute,
+				Qualifier: f.Qualifier, Value: f.Value, Conf: f.Conf,
+			})
+		}
+		if err := s.materialize(rows); err != nil {
+			return nil, err
+		}
+	}
+	if len(changed) > 0 {
+		// The inverted index has no in-place update; rebuild it so keyword
+		// search reflects the refreshed text.
+		s.Index = search.BuildIndex(s.Corpus)
+		s.Stats.Inc("core.snapshots.refreshed_docs", int64(len(changed)))
+	}
+	return changed, nil
+}
+
+func sqlEscape(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, v[i])
+	}
+	return string(out)
+}
+
+// AlertRowsFor is a testing/diagnostic helper converting stored rows of an
+// entity into alert rows.
+func (s *System) AlertRowsFor(entity string) ([]alert.Row, error) {
+	rs, err := s.DB.Exec(fmt.Sprintf(
+		"SELECT entity, attribute, qualifier, value, conf FROM %s WHERE entity = '%s'",
+		TableName, sqlEscape(entity)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]alert.Row, 0, len(rs.Rows))
+	for _, r := range rs.Rows {
+		out = append(out, alert.Row{
+			Entity: r[0].S, Attribute: r[1].S, Qualifier: r[2].S,
+			Value: r[3].S, Conf: r[4].F,
+		})
+	}
+	return out, nil
+}

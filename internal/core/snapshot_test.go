@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alert"
+)
+
+func TestSnapshotRefreshLoop(t *testing.T) {
+	s, truth := newSystem(t, 8, 0, 0)
+	// Initial generation.
+	s.PlanIncremental("city", []string{"temperature", "population"}, 2)
+	if _, err := s.ExtractPending("city", 0); err != nil {
+		t.Fatal(err)
+	}
+	// A standing alert on extreme July heat.
+	if _, err := s.Subscribe(alert.Subscription{
+		User: "watcher", Attribute: "temperature", Op: alert.OpGT, Threshold: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	firedBefore := s.Stats.Counter("core.alerts.fired")
+
+	// Day 2 crawl: Madison's July line changes to 104 degrees.
+	madison := s.Corpus.FindByTitle("Madison, Wisconsin")
+	newText := strings.Replace(madison.Text,
+		"The average temperature in July is 73.0 degrees Fahrenheit.",
+		"The average temperature in July is 104.0 degrees Fahrenheit.", 1)
+	if newText == madison.Text {
+		t.Fatal("test setup: July line not found")
+	}
+	rev := s.CommitSnapshot(map[string]string{"Madison, Wisconsin": newText})
+	if rev != 2 {
+		t.Fatalf("revision = %d, want 2 (1 was the initial corpus)", rev)
+	}
+
+	changed, err := s.RefreshChanged("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != "Madison, Wisconsin" {
+		t.Fatalf("changed: %v", changed)
+	}
+	// The structure reflects the new value.
+	rs, err := s.SQL(`SELECT value FROM extracted
+		WHERE entity = 'Madison, Wisconsin' AND qualifier = 'July'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "104.0" {
+		t.Fatalf("refreshed value: %v", rs.Rows)
+	}
+	// No duplicate rows for the refreshed entity.
+	rs, _ = s.SQL(`SELECT COUNT(*) FROM extracted
+		WHERE entity = 'Madison, Wisconsin' AND attribute = 'temperature'`)
+	if rs.Rows[0][0].I != 12 {
+		t.Fatalf("temperature rows after refresh: %v", rs.Rows)
+	}
+	// The alert fired on the refreshed extraction.
+	if s.Stats.Counter("core.alerts.fired") <= firedBefore {
+		t.Fatal("alert did not fire on refreshed value")
+	}
+	// Keyword search sees the refreshed text.
+	hits := s.KeywordSearch("104.0 degrees July", 3)
+	if len(hits) == 0 || hits[0].Title != "Madison, Wisconsin" {
+		t.Fatalf("index not rebuilt: %+v", hits)
+	}
+	// Other cities' ground truth is untouched.
+	other := truth.Cities[1]
+	rs, _ = s.SQL("SELECT COUNT(*) FROM extracted WHERE entity = '" + other.Title + "' AND attribute = 'temperature'")
+	if rs.Rows[0][0].I != 12 {
+		t.Fatalf("unchanged city lost rows: %v", rs.Rows)
+	}
+	// History is preserved in the versioned store.
+	old, ok := s.Snapshots().Checkout("Madison, Wisconsin", 1)
+	if !ok || !strings.Contains(old, "73.0 degrees") {
+		t.Fatal("revision 1 lost")
+	}
+}
+
+func TestRefreshNoChangesIsNoop(t *testing.T) {
+	s, _ := newSystem(t, 4, 0, 0)
+	s.PlanIncremental("city", []string{"temperature"}, 1)
+	s.ExtractPending("city", 0)
+	s.Snapshots() // initialize with current corpus
+	changed, err := s.RefreshChanged("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("nothing changed but refresh touched: %v", changed)
+	}
+}
+
+func TestRefreshUnknownExtractor(t *testing.T) {
+	s, _ := newSystem(t, 3, 0, 0)
+	if _, err := s.RefreshChanged("ghost"); err == nil {
+		t.Fatal("unknown extractor should error")
+	}
+}

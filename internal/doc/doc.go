@@ -1,0 +1,293 @@
+// Package doc defines the document model shared by every layer of the
+// system: documents, character spans, tokens, and corpora. It is the
+// "unstructured data" side of the DGE model — everything the extraction
+// pipeline consumes is expressed in these types.
+package doc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// DocID identifies a document within a corpus. IDs are assigned by the
+// corpus and are stable across snapshots of the same logical document.
+type DocID uint64
+
+// Span is a half-open character range [Start, End) into a document's text.
+type Span struct {
+	Start int
+	End   int
+}
+
+// Len returns the number of bytes covered by the span.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Contains reports whether s fully contains other.
+func (s Span) Contains(other Span) bool {
+	return s.Start <= other.Start && other.End <= s.End
+}
+
+// Overlaps reports whether the two spans share at least one position.
+func (s Span) Overlaps(other Span) bool {
+	return s.Start < other.End && other.Start < s.End
+}
+
+// Valid reports whether the span is well formed (0 <= Start <= End).
+func (s Span) Valid() bool { return 0 <= s.Start && s.Start <= s.End }
+
+func (s Span) String() string { return fmt.Sprintf("[%d,%d)", s.Start, s.End) }
+
+// Document is a single unstructured item: a web page, wiki article, email,
+// or text file. Title and Source are metadata carried through extraction
+// into provenance records.
+type Document struct {
+	ID     DocID
+	Title  string
+	Source string // origin URL or path
+	Text   string
+	Meta   map[string]string
+}
+
+// Slice returns the text covered by span, clamped to the document bounds.
+func (d *Document) Slice(s Span) string {
+	if s.Start < 0 {
+		s.Start = 0
+	}
+	if s.End > len(d.Text) {
+		s.End = len(d.Text)
+	}
+	if s.Start >= s.End {
+		return ""
+	}
+	return d.Text[s.Start:s.End]
+}
+
+// Token is a tokenized word with its span in the original text.
+type Token struct {
+	Text string
+	Span Span
+}
+
+// Tokenize splits text into word tokens. A token is a maximal run of
+// letters/digits (with embedded '.' or '-' kept when flanked by
+// alphanumerics, so "D. Smith" yields "D." and "Smith", and "70.5" stays
+// whole). Positions refer to byte offsets in the input.
+func Tokenize(text string) []Token {
+	var toks []Token
+	runes := []rune(text)
+	// Byte offset tracking: iterate bytes since our corpora are ASCII-heavy
+	// but remain correct for multibyte runes.
+	byteOff := make([]int, len(runes)+1)
+	off := 0
+	for i, r := range runes {
+		byteOff[i] = off
+		off += runeLen(r)
+	}
+	byteOff[len(runes)] = off
+
+	isWordRune := func(r rune) bool {
+		return unicode.IsLetter(r) || unicode.IsDigit(r)
+	}
+	i := 0
+	for i < len(runes) {
+		if !isWordRune(runes[i]) {
+			i++
+			continue
+		}
+		start := i
+		for i < len(runes) {
+			r := runes[i]
+			if isWordRune(r) {
+				i++
+				continue
+			}
+			// Keep '.', '-', ',' inside numbers and abbreviations when the
+			// next rune continues the token (e.g. "70.5", "1,024", "D.C").
+			if (r == '.' || r == '-' || r == ',' || r == '\'') && i+1 < len(runes) && isWordRune(runes[i+1]) {
+				i += 2
+				continue
+			}
+			// Trailing period after a single capital letter is an initial
+			// ("D."): keep it attached.
+			if r == '.' && i-start == 1 && unicode.IsUpper(runes[start]) {
+				i++
+			}
+			break
+		}
+		sp := Span{Start: byteOff[start], End: byteOff[i]}
+		toks = append(toks, Token{Text: string(runes[start:i]), Span: sp})
+	}
+	return toks
+}
+
+func runeLen(r rune) int {
+	switch {
+	case r < 0x80:
+		return 1
+	case r < 0x800:
+		return 2
+	case r < 0x10000:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Sentences splits text into sentence spans using a conservative rule:
+// sentences end at '.', '!', '?' or newline boundaries followed by
+// whitespace and an uppercase letter (or end of text). Abbreviation-like
+// single-capital periods do not terminate sentences.
+func Sentences(text string) []Span {
+	var out []Span
+	start := 0
+	rs := []rune(text)
+	pos := 0 // byte position
+	for i := 0; i < len(rs); i++ {
+		r := rs[i]
+		w := runeLen(r)
+		terminal := false
+		switch r {
+		case '.', '!', '?':
+			// "D. Smith" — single capital before the period is an initial.
+			if r == '.' && i >= 1 && unicode.IsUpper(rs[i-1]) && (i < 2 || !unicode.IsLetter(rs[i-2])) {
+				terminal = false
+			} else if i+1 >= len(rs) {
+				terminal = true
+			} else if unicode.IsSpace(rs[i+1]) {
+				terminal = true
+			}
+		case '\n':
+			if i+1 < len(rs) && rs[i+1] == '\n' {
+				terminal = true
+			}
+		}
+		if terminal {
+			end := pos + w
+			if end > start {
+				sp := trimSpan(text, Span{Start: start, End: end})
+				if sp.Len() > 0 {
+					out = append(out, sp)
+				}
+			}
+			start = pos + w
+		}
+		pos += w
+	}
+	if start < len(text) {
+		sp := trimSpan(text, Span{Start: start, End: len(text)})
+		if sp.Len() > 0 {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func trimSpan(text string, s Span) Span {
+	for s.Start < s.End && isSpaceByte(text[s.Start]) {
+		s.Start++
+	}
+	for s.End > s.Start && isSpaceByte(text[s.End-1]) {
+		s.End--
+	}
+	return s
+}
+
+func isSpaceByte(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// NormalizeTerm lowercases a token and strips trailing punctuation; it is
+// the canonical term form used by the search index and extractors.
+func NormalizeTerm(s string) string {
+	s = strings.ToLower(s)
+	s = strings.TrimFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	return s
+}
+
+// Corpus is an in-memory, ordered collection of documents with stable IDs.
+// It is safe for concurrent readers once construction is complete.
+type Corpus struct {
+	docs  []*Document
+	byID  map[DocID]*Document
+	next  DocID
+	bytes int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{byID: make(map[DocID]*Document), next: 1}
+}
+
+// Add inserts a document, assigning its ID, and returns the stored copy.
+func (c *Corpus) Add(d Document) *Document {
+	d.ID = c.next
+	c.next++
+	stored := d
+	c.docs = append(c.docs, &stored)
+	c.byID[stored.ID] = &stored
+	c.bytes += len(stored.Text)
+	return &stored
+}
+
+// Get returns the document with the given id, or nil.
+func (c *Corpus) Get(id DocID) *Document { return c.byID[id] }
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// Bytes returns the total text size in bytes.
+func (c *Corpus) Bytes() int { return c.bytes }
+
+// Docs returns the documents in insertion order. The returned slice must
+// not be modified.
+func (c *Corpus) Docs() []*Document { return c.docs }
+
+// FindByTitle returns the first document whose title equals title exactly,
+// or nil if none matches.
+func (c *Corpus) FindByTitle(title string) *Document {
+	for _, d := range c.docs {
+		if d.Title == title {
+			return d
+		}
+	}
+	return nil
+}
+
+// Partition splits the corpus documents into n nearly equal contiguous
+// slices, for parallel processing. n must be >= 1.
+func (c *Corpus) Partition(n int) [][]*Document {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(c.docs) && len(c.docs) > 0 {
+		n = len(c.docs)
+	}
+	parts := make([][]*Document, 0, n)
+	if len(c.docs) == 0 {
+		return parts
+	}
+	size := (len(c.docs) + n - 1) / n
+	for i := 0; i < len(c.docs); i += size {
+		end := i + size
+		if end > len(c.docs) {
+			end = len(c.docs)
+		}
+		parts = append(parts, c.docs[i:end])
+	}
+	return parts
+}
+
+// TitlesSorted returns all document titles in lexicographic order; useful
+// for deterministic iteration in tests.
+func (c *Corpus) TitlesSorted() []string {
+	out := make([]string, 0, len(c.docs))
+	for _, d := range c.docs {
+		out = append(out, d.Title)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,270 @@
+package doc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanBasics(t *testing.T) {
+	s := Span{Start: 2, End: 7}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if !s.Valid() {
+		t.Fatal("span should be valid")
+	}
+	if (Span{Start: 5, End: 3}).Valid() {
+		t.Fatal("inverted span should be invalid")
+	}
+	if !s.Contains(Span{Start: 3, End: 6}) {
+		t.Fatal("expected containment")
+	}
+	if s.Contains(Span{Start: 1, End: 6}) {
+		t.Fatal("unexpected containment")
+	}
+	if !s.Overlaps(Span{Start: 6, End: 10}) {
+		t.Fatal("expected overlap")
+	}
+	if s.Overlaps(Span{Start: 7, End: 10}) {
+		t.Fatal("half-open spans touching at 7 must not overlap")
+	}
+	if got := s.String(); got != "[2,7)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDocumentSliceClamping(t *testing.T) {
+	d := &Document{Text: "hello world"}
+	if got := d.Slice(Span{Start: 0, End: 5}); got != "hello" {
+		t.Fatalf("Slice = %q", got)
+	}
+	if got := d.Slice(Span{Start: -3, End: 5}); got != "hello" {
+		t.Fatalf("negative start: %q", got)
+	}
+	if got := d.Slice(Span{Start: 6, End: 100}); got != "world" {
+		t.Fatalf("overlong end: %q", got)
+	}
+	if got := d.Slice(Span{Start: 8, End: 3}); got != "" {
+		t.Fatalf("inverted span should be empty, got %q", got)
+	}
+}
+
+func TestTokenizeWords(t *testing.T) {
+	toks := Tokenize("The average temperature in Madison, Wisconsin is 70.5 degrees.")
+	var words []string
+	for _, tk := range toks {
+		words = append(words, tk.Text)
+	}
+	want := []string{"The", "average", "temperature", "in", "Madison", "Wisconsin", "is", "70.5", "degrees"}
+	if len(words) != len(want) {
+		t.Fatalf("got %v, want %v", words, want)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, words[i], want[i], words)
+		}
+	}
+}
+
+func TestTokenizeInitials(t *testing.T) {
+	toks := Tokenize("D. Smith met David Smith.")
+	if len(toks) == 0 || toks[0].Text != "D." {
+		t.Fatalf("expected leading initial token 'D.', got %v", toks)
+	}
+}
+
+func TestTokenizeSpansRoundTrip(t *testing.T) {
+	text := "Population 233,209 grew by 1.5-2 percent."
+	d := &Document{Text: text}
+	for _, tk := range Tokenize(text) {
+		if got := d.Slice(tk.Span); got != tk.Text {
+			t.Fatalf("span %v slices to %q, token text is %q", tk.Span, got, tk.Text)
+		}
+	}
+}
+
+func TestTokenizeEmptyAndPunct(t *testing.T) {
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("empty text should yield no tokens, got %v", toks)
+	}
+	if toks := Tokenize("!!! ... ---"); len(toks) != 0 {
+		t.Fatalf("punctuation-only text should yield no tokens, got %v", toks)
+	}
+}
+
+func TestSentences(t *testing.T) {
+	text := "Madison is a city. It is in Wisconsin! Is it cold? Yes."
+	spans := Sentences(text)
+	if len(spans) != 4 {
+		t.Fatalf("got %d sentences: %v", len(spans), spans)
+	}
+	d := &Document{Text: text}
+	if got := d.Slice(spans[0]); got != "Madison is a city." {
+		t.Fatalf("sentence 0 = %q", got)
+	}
+	if got := d.Slice(spans[2]); got != "Is it cold?" {
+		t.Fatalf("sentence 2 = %q", got)
+	}
+}
+
+func TestSentencesInitialNotTerminal(t *testing.T) {
+	text := "D. Smith wrote this. He lives in Madison."
+	spans := Sentences(text)
+	if len(spans) != 2 {
+		t.Fatalf("initial 'D.' must not end a sentence; got %d spans", len(spans))
+	}
+	d := &Document{Text: text}
+	if got := d.Slice(spans[0]); got != "D. Smith wrote this." {
+		t.Fatalf("sentence 0 = %q", got)
+	}
+}
+
+func TestSentencesParagraphBreak(t *testing.T) {
+	text := "First paragraph line\n\nSecond paragraph"
+	spans := Sentences(text)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans: %v", len(spans), spans)
+	}
+}
+
+func TestNormalizeTerm(t *testing.T) {
+	cases := map[string]string{
+		"Madison,":  "madison",
+		"WISCONSIN": "wisconsin",
+		"70.5":      "70.5",
+		"...":       "",
+		"D.":        "d",
+	}
+	for in, want := range cases {
+		if got := NormalizeTerm(in); got != want {
+			t.Errorf("NormalizeTerm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCorpusAddGet(t *testing.T) {
+	c := NewCorpus()
+	d1 := c.Add(Document{Title: "Madison, Wisconsin", Text: "abc"})
+	d2 := c.Add(Document{Title: "Chicago", Text: "defgh"})
+	if d1.ID == d2.ID {
+		t.Fatal("IDs must be unique")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Bytes() != 8 {
+		t.Fatalf("Bytes = %d, want 8", c.Bytes())
+	}
+	if got := c.Get(d1.ID); got == nil || got.Title != "Madison, Wisconsin" {
+		t.Fatalf("Get returned %v", got)
+	}
+	if c.Get(DocID(9999)) != nil {
+		t.Fatal("missing ID should return nil")
+	}
+	if got := c.FindByTitle("Chicago"); got == nil || got.ID != d2.ID {
+		t.Fatalf("FindByTitle returned %v", got)
+	}
+	if c.FindByTitle("nope") != nil {
+		t.Fatal("FindByTitle should return nil for unknown title")
+	}
+}
+
+func TestCorpusPartition(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 10; i++ {
+		c.Add(Document{Title: strings.Repeat("x", i+1), Text: "t"})
+	}
+	parts := c.Partition(3)
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10 {
+		t.Fatalf("partitions cover %d docs, want 10", total)
+	}
+	if len(parts) > 3+1 {
+		t.Fatalf("too many partitions: %d", len(parts))
+	}
+	// Degenerate arguments.
+	if got := c.Partition(0); len(got) == 0 {
+		t.Fatal("Partition(0) should clamp to 1")
+	}
+	if got := c.Partition(100); len(got) != 10 {
+		t.Fatalf("Partition(100) should clamp to doc count, got %d", len(got))
+	}
+	empty := NewCorpus()
+	if got := empty.Partition(4); len(got) != 0 {
+		t.Fatalf("empty corpus should produce no partitions, got %d", len(got))
+	}
+}
+
+func TestCorpusTitlesSorted(t *testing.T) {
+	c := NewCorpus()
+	c.Add(Document{Title: "b"})
+	c.Add(Document{Title: "a"})
+	c.Add(Document{Title: "c"})
+	got := c.TitlesSorted()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("TitlesSorted = %v", got)
+	}
+}
+
+// Property: every token's span slices back to the token text, for arbitrary
+// ASCII-ish inputs.
+func TestTokenizeSpanProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Constrain to printable ASCII plus whitespace so the property is
+		// about tokenizer alignment, not unicode edge handling.
+		b := make([]byte, len(raw))
+		for i, x := range raw {
+			b[i] = ' ' + x%95
+		}
+		text := string(b)
+		d := &Document{Text: text}
+		for _, tk := range Tokenize(text) {
+			if d.Slice(tk.Span) != tk.Text {
+				return false
+			}
+			if !tk.Span.Valid() || tk.Span.End > len(text) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sentence spans are ordered, non-overlapping, and within bounds.
+func TestSentencesSpanProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		b := make([]byte, len(raw))
+		for i, x := range raw {
+			switch x % 13 {
+			case 0:
+				b[i] = '.'
+			case 1:
+				b[i] = '\n'
+			case 2:
+				b[i] = ' '
+			default:
+				b[i] = 'a' + x%26
+			}
+		}
+		text := string(b)
+		spans := Sentences(text)
+		prev := 0
+		for _, s := range spans {
+			if !s.Valid() || s.Start < prev || s.End > len(text) || s.Len() == 0 {
+				return false
+			}
+			prev = s.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+// E1Result is one corpus-size point of experiment E1.
+type E1Result struct {
+	Docs             int
+	KeywordLatency   time.Duration // per query
+	PipelineLatency  time.Duration // one-time extract+store
+	QueryLatency     time.Duration // per structured query after extraction
+	KeywordCanAnswer bool
+	StructuredError  float64 // |answer - truth|
+}
+
+// RunE1 contrasts keyword search with extract-then-query on the paper's
+// §2 question at several corpus sizes.
+func RunE1(sizes []int, seed int64) ([]E1Result, *Series, error) {
+	var out []E1Result
+	s := &Series{
+		ID:      "E1",
+		Title:   "structured vs keyword answering (§2 Madison query)",
+		Claim:   "keyword search returns pages but cannot compute the average; extract-then-query answers exactly",
+		Columns: []string{"docs", "kw latency", "kw answers?", "extract once", "sql latency", "abs error"},
+	}
+	for _, n := range sizes {
+		corpus, truth := synth.Generate(synth.Config{
+			Seed: seed, Cities: n / 2, People: n / 5, Filler: n - n/2 - (n/5)*2, MentionsPerPerson: 2,
+		})
+		sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		query := "average March September temperature Madison Wisconsin"
+
+		t0 := time.Now()
+		hits := sys.KeywordSearch(query, 10)
+		kwLat := time.Since(t0)
+		_ = hits
+
+		t0 = time.Now()
+		if _, err := sys.Generate(`
+			EXTRACT temperature FROM docs USING city KIND city INTO temps;
+			STORE temps INTO TABLE extracted;
+		`, uql.Options{}); err != nil {
+			return nil, nil, err
+		}
+		pipeLat := time.Since(t0)
+
+		t0 = time.Now()
+		ans, err := sys.AskGuided(query, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		qLat := time.Since(t0)
+		got, _ := core.AverageFromRows(ans.Answer)
+		want := truth.CityTruth("Madison, Wisconsin").AvgTemp(2, 8)
+		r := E1Result{
+			Docs: corpus.Len(), KeywordLatency: kwLat, PipelineLatency: pipeLat,
+			QueryLatency: qLat, KeywordCanAnswer: false,
+			StructuredError: math.Abs(got - want),
+		}
+		out = append(out, r)
+		s.Rows = append(s.Rows, []string{
+			itoa(r.Docs), d2(r.KeywordLatency), "no", d2(r.PipelineLatency),
+			d2(r.QueryLatency), fmt.Sprintf("%.4f", r.StructuredError),
+		})
+	}
+	return out, s, nil
+}
+
+// E1RankingAblation compares BM25 with TF-IDF on locating the Madison page
+// (a sub-experiment: even the better ranking only finds pages).
+func E1RankingAblation(seed int64) (*Series, error) {
+	corpus, _ := synth.Generate(synth.Config{Seed: seed, Cities: 50, People: 20, Filler: 40, MentionsPerPerson: 2})
+	idx := search.BuildIndex(corpus)
+	s := &Series{
+		ID:      "E1b",
+		Title:   "ranking ablation: BM25 vs TF-IDF (rank of the Madison page)",
+		Claim:   "ranking quality moves the right page up, but no ranking computes the answer",
+		Columns: []string{"ranking", "rank of Madison", "top-1 title"},
+	}
+	for _, rk := range []struct {
+		name string
+		mode search.Ranking
+	}{{"BM25", search.BM25}, {"TFIDF", search.TFIDF}} {
+		hits := idx.Search("average March September temperature Madison Wisconsin", 20, rk.mode)
+		rank := -1
+		for i, h := range hits {
+			if h.Title == "Madison, Wisconsin" {
+				rank = i + 1
+				break
+			}
+		}
+		top := "(none)"
+		if len(hits) > 0 {
+			top = hits[0].Title
+		}
+		s.Rows = append(s.Rows, []string{rk.name, itoa(rank), top})
+	}
+	return s, nil
+}
+
+// E2Result is one point of the incremental-vs-one-shot experiment.
+type E2Result struct {
+	Docs             int
+	OneShot          time.Duration // extract everything, then answer
+	Incremental      time.Duration // extract only what the query demands
+	SpeedupFactor    float64
+	CoverageAtAnswer float64
+}
+
+// RunE2 measures time-to-first-answer for one-shot whole-corpus extraction
+// versus demand-driven incremental extraction (§3.2).
+func RunE2(sizes []int, seed int64) ([]E2Result, *Series, error) {
+	var out []E2Result
+	s := &Series{
+		ID:      "E2",
+		Title:   "incremental best-effort vs one-shot extraction (time to first answer)",
+		Claim:   "extracting only the demanded attribute over the demanded partition answers much sooner",
+		Columns: []string{"docs", "one-shot", "incremental", "speedup", "coverage@answer"},
+	}
+	for _, n := range sizes {
+		cfg := synth.Config{Seed: seed, Cities: n / 2, People: n / 5, Filler: n - n/2 - (n/5)*2, MentionsPerPerson: 2}
+
+		// One-shot: extract all attributes from all documents, then ask.
+		corpus, _ := synth.Generate(cfg)
+		sys1, err := core.New(core.Config{Corpus: corpus})
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		if _, err := sys1.Generate(`
+			EXTRACT all FROM docs USING city INTO facts;
+			STORE facts INTO TABLE extracted;
+		`, uql.Options{}); err != nil {
+			return nil, nil, err
+		}
+		if _, err := sys1.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+			return nil, nil, err
+		}
+		oneShot := time.Since(t0)
+
+		// Incremental: plan lazily, demand temperature, run the minimum.
+		corpus2, _ := synth.Generate(cfg)
+		sys2, err := core.New(core.Config{Corpus: corpus2})
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 = time.Now()
+		if err := sys2.PlanIncremental("city", []string{"temperature", "population", "founded"}, 16); err != nil {
+			return nil, nil, err
+		}
+		sys2.Demand("temperature", 10)
+		if _, err := sys2.ExtractPending("city", 16); err != nil {
+			return nil, nil, err
+		}
+		if _, err := sys2.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+			return nil, nil, err
+		}
+		incr := time.Since(t0)
+		cov := sys2.Coverage("temperature")
+
+		r := E2Result{
+			Docs: corpus.Len(), OneShot: oneShot, Incremental: incr,
+			SpeedupFactor: float64(oneShot) / float64(incr), CoverageAtAnswer: cov,
+		}
+		out = append(out, r)
+		s.Rows = append(s.Rows, []string{
+			itoa(r.Docs), d2(r.OneShot), d2(r.Incremental), f2(r.SpeedupFactor) + "x", f2(r.CoverageAtAnswer),
+		})
+	}
+	return out, s, nil
+}

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hi"
+	"repro/internal/integrate"
+	"repro/internal/reformulate"
+	"repro/internal/synth"
+	"repro/internal/users"
+)
+
+// erInstance builds an entity-resolution problem from a synthetic corpus:
+// mentions (one per person page title) and gold clusters.
+func erInstance(seed int64, people, mentionsPer int) ([]integrate.Mention, [][]int, map[string]int) {
+	_, truth := synth.Generate(synth.Config{
+		Seed: seed, Cities: 3, People: people, Filler: 0, MentionsPerPerson: mentionsPer,
+	})
+	var mentions []integrate.Mention
+	titleOwner := map[string]int{}
+	goldGroups := map[int][]int{}
+	id := 0
+	for _, p := range truth.People {
+		for _, m := range p.Mentions {
+			mentions = append(mentions, integrate.Mention{ID: id, Surface: m.DocTitle, Context: p.City})
+			titleOwner[m.DocTitle] = p.ID
+			goldGroups[p.ID] = append(goldGroups[p.ID], id)
+			id++
+		}
+	}
+	var gold [][]int
+	for _, g := range goldGroups {
+		gold = append(gold, g)
+	}
+	return mentions, gold, titleOwner
+}
+
+// E3Result is one feedback-budget point.
+type E3Result struct {
+	Budget    int
+	Precision float64
+	Recall    float64
+	F1        float64
+	Baseline  float64 // automatic-only F1
+}
+
+// RunE3 measures how human feedback on borderline match pairs lifts
+// entity-resolution quality (§3.2: HI improves II accuracy).
+func RunE3(budgets []int, answererError float64, seed int64) ([]E3Result, *Series, error) {
+	mentions, gold, titleOwner := erInstance(seed, 40, 4)
+	resolver := integrate.NewResolver()
+
+	oracle := func(q hi.Question) (bool, int) {
+		if len(q.Payload) != 2 {
+			return true, 0
+		}
+		return titleOwner[q.Payload[0]] == titleOwner[q.Payload[1]], 0
+	}
+	answerer := hi.NewSimulatedAnswerer("expert", answererError, seed, oracle)
+
+	base := resolver.Cluster(mentions, nil)
+	_, _, baseF1 := integrate.PairwiseF1(base, gold)
+
+	s := &Series{
+		ID:      "E3",
+		Title:   fmt.Sprintf("HI feedback lifts entity-resolution F1 (answerer error %.0f%%, each pair confirmed by 3 answers)", answererError*100),
+		Claim:   "reviewing the most ambiguous candidate pairs raises F1 over the automatic baseline",
+		Columns: []string{"feedback budget", "precision", "recall", "F1", "auto baseline F1"},
+	}
+	var out []E3Result
+	// Most ambiguous pairs first: the question router orders by distance
+	// from the link threshold. A budget of B buys B answers; each decision
+	// consumes three (majority vote), because a single wrong "yes" merge
+	// propagates transitively and is far more damaging than a skipped
+	// question.
+	pairs := resolver.CandidatePairs(mentions)
+	sortByAmbiguity(pairs, resolver.Threshold)
+	for _, budget := range budgets {
+		var decisions []integrate.Decision
+		answersLeft := budget
+		for _, p := range pairs {
+			if answersLeft < 3 {
+				break
+			}
+			q := hi.Question{Kind: hi.QMatch, Payload: []string{mentions[p.A].Surface, mentions[p.B].Surface}}
+			yes := 0
+			for rep := 0; rep < 3; rep++ {
+				q.ID = budget*100000 + answersLeft*10 + rep
+				if answerer.Answer(q).Yes {
+					yes++
+				}
+			}
+			answersLeft -= 3
+			decisions = append(decisions, integrate.Decision{A: p.A, B: p.B, Match: yes >= 2})
+		}
+		pred := resolver.Cluster(mentions, decisions)
+		p, r, f1 := integrate.PairwiseF1(pred, gold)
+		res := E3Result{Budget: budget, Precision: p, Recall: r, F1: f1, Baseline: baseF1}
+		out = append(out, res)
+		s.Rows = append(s.Rows, []string{itoa(budget), f2(p), f2(r), f2(f1), f2(baseF1)})
+	}
+	return out, s, nil
+}
+
+// sortByAmbiguity orders candidate pairs by |score - threshold| ascending:
+// the pairs the resolver is least sure about come first.
+func sortByAmbiguity(pairs []integrate.MatchPair, threshold float64) {
+	abs := func(f float64) float64 {
+		if f < 0 {
+			return -f
+		}
+		return f
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		return abs(pairs[i].Score-threshold) < abs(pairs[j].Score-threshold)
+	})
+}
+
+// E4Result is one crowd-configuration point.
+type E4Result struct {
+	Crowd     string
+	F1        float64
+	Questions int
+}
+
+// RunE4 compares feedback sources at equal question budget: a single
+// mid-reliability user, an unweighted crowd, and a reputation-weighted
+// crowd (§3.2 mass collaboration).
+func RunE4(budget int, seed int64) ([]E4Result, *Series, error) {
+	mentions, gold, titleOwner := erInstance(seed, 40, 4)
+	resolver := integrate.NewResolver()
+	oracle := func(q hi.Question) (bool, int) {
+		if len(q.Payload) != 2 {
+			return true, 0
+		}
+		return titleOwner[q.Payload[0]] == titleOwner[q.Payload[1]], 0
+	}
+
+	// The crowd shape that stresses aggregation: one diligent curator
+	// among four near-coin-flip drive-by users — the realistic long tail
+	// of open mass collaboration.
+	um := users.NewManager()
+	mkCrowd := func(weighted bool) *hi.Crowd {
+		errs := []float64{0.05, 0.42, 0.45, 0.42, 0.45}
+		var members []hi.Answerer
+		for i, e := range errs {
+			name := fmt.Sprintf("u%d", i)
+			members = append(members, hi.NewSimulatedAnswerer(name, e, seed+int64(i), oracle))
+			if weighted {
+				um.Register(name, "pw", users.RoleOrdinary)
+				// Calibrate reputation to true reliability.
+				for j := 0; j < 50; j++ {
+					um.RecordFeedbackOutcome(name, float64(j%100)/100 >= e)
+				}
+			}
+		}
+		if weighted {
+			return hi.NewCrowd(members, um)
+		}
+		return hi.NewCrowd(members, nil)
+	}
+
+	configs := []struct {
+		name  string
+		crowd *hi.Crowd
+	}{
+		{"single user (30% error)", hi.NewCrowd([]hi.Answerer{hi.NewSimulatedAnswerer("solo", 0.3, seed, oracle)}, nil)},
+		{"crowd of 5, unweighted", mkCrowd(false)},
+		{"crowd of 5, reputation-weighted", mkCrowd(true)},
+	}
+
+	s := &Series{
+		ID:      "E4",
+		Title:   fmt.Sprintf("mass collaboration at equal budget (%d questions)", budget),
+		Claim:   "a crowd beats a single unreliable user; reputation weighting beats flat voting",
+		Columns: []string{"feedback source", "F1", "questions"},
+	}
+	var out []E4Result
+	pairs := resolver.CandidatePairs(mentions)
+	sortByAmbiguity(pairs, resolver.Threshold)
+	for _, cfg := range configs {
+		var decisions []integrate.Decision
+		asked := 0
+		for _, p := range pairs {
+			if asked >= budget {
+				break
+			}
+			q := hi.Question{ID: asked + 1, Kind: hi.QMatch, Payload: []string{mentions[p.A].Surface, mentions[p.B].Surface}}
+			v := cfg.crowd.Ask(q)
+			decisions = append(decisions, integrate.Decision{A: p.A, B: p.B, Match: v.Yes})
+			asked++
+		}
+		pred := resolver.Cluster(mentions, decisions)
+		_, _, f1 := integrate.PairwiseF1(pred, gold)
+		out = append(out, E4Result{Crowd: cfg.name, F1: f1, Questions: asked})
+		s.Rows = append(s.Rows, []string{cfg.name, f2(f1), itoa(asked)})
+	}
+	return out, s, nil
+}
+
+// E5Result is one k point of reformulation accuracy.
+type E5Result struct {
+	K        int
+	Accuracy float64
+	Queries  int
+}
+
+// RunE5 measures accuracy@k of keyword -> structured-query reformulation
+// over generated queries with known intent (§3.3 recognition over
+// generation: the right query need only appear in a short list).
+func RunE5(ks []int, seed int64) ([]E5Result, *Series, error) {
+	corpus, truth := synth.Generate(synth.Config{Seed: seed, Cities: 30, People: 5, Filler: 10, MentionsPerPerson: 1})
+	_ = corpus
+	cat := reformulate.Catalog{
+		Table:      "extracted",
+		Attributes: []string{"temperature", "population", "founded"},
+		Qualifiers: map[string][]string{"temperature": synth.Months},
+	}
+	for _, c := range truth.Cities {
+		cat.Entities = append(cat.Entities, c.Title)
+	}
+	r := reformulate.New(cat)
+
+	// Generated query workload with known intent, including the messy
+	// forms real users type: city names without the state (ambiguous when
+	// several states share the name), misspelled attributes, and filler
+	// words.
+	type labelled struct {
+		query  string
+		agg    reformulate.Aggregate
+		attr   string
+		entity string
+	}
+	var workload []labelled
+	aggPhrases := []struct {
+		agg    reformulate.Aggregate
+		phrase string
+	}{
+		{reformulate.AggAvg, "average"}, {reformulate.AggMax, "highest"}, {reformulate.AggMin, "lowest"},
+	}
+	typos := map[string]string{
+		"temperature": "temprature",
+		"population":  "populaton",
+	}
+	i := 0
+	for _, c := range truth.Cities {
+		if i >= 80 {
+			break
+		}
+		full := strings.ReplaceAll(c.Title, ",", "")
+		nameOnly := c.Name // ambiguous when another state has the same city
+		ap := aggPhrases[i%len(aggPhrases)]
+		switch i % 4 {
+		case 0: // clean fully-qualified query
+			workload = append(workload, labelled{
+				query: ap.phrase + " temperature " + full,
+				agg:   ap.agg, attr: "temperature", entity: c.Title,
+			})
+		case 1: // city name only (entity ambiguity)
+			workload = append(workload, labelled{
+				query: ap.phrase + " temperature in " + nameOnly,
+				agg:   ap.agg, attr: "temperature", entity: c.Title,
+			})
+		case 2: // misspelled attribute
+			workload = append(workload, labelled{
+				query: "what is the " + typos["temperature"] + " of " + full + " please",
+				agg:   reformulate.AggNone, attr: "temperature", entity: c.Title,
+			})
+		default: // population lookup, name only
+			workload = append(workload, labelled{
+				query: typos["population"] + " of " + nameOnly,
+				agg:   reformulate.AggNone, attr: "population", entity: c.Title,
+			})
+		}
+		i++
+	}
+
+	s := &Series{
+		ID:      "E5",
+		Title:   "keyword -> structured reformulation accuracy@k",
+		Claim:   "the correct structured query appears in a short candidate list users can recognize",
+		Columns: []string{"k", "accuracy@k", "queries"},
+	}
+	var out []E5Result
+	for _, k := range ks {
+		hit := 0
+		for _, w := range workload {
+			for _, c := range r.Candidates(w.query, k) {
+				if c.Agg == w.agg && c.Attribute == w.attr && c.Entity == w.entity {
+					hit++
+					break
+				}
+			}
+		}
+		acc := float64(hit) / float64(len(workload))
+		out = append(out, E5Result{K: k, Accuracy: acc, Queries: len(workload)})
+		s.Rows = append(s.Rows, []string{itoa(k), f2(acc), itoa(len(workload))})
+	}
+	return out, s, nil
+}

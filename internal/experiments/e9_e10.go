@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+// E9Result is one corruption-rate point of the semantic-debugger
+// experiment.
+type E9Result struct {
+	CorruptPct float64
+	Injected   int
+	Flagged    int
+	TruePos    int
+	Precision  float64
+	Recall     float64
+}
+
+// RunE9 injects outliers (the paper's 135-degree temperatures) at several
+// rates and measures how well the semantic debugger flags them after
+// learning ranges from the extracted data itself.
+func RunE9(corruptFracs []float64, seed int64) ([]E9Result, *Series, error) {
+	s := &Series{
+		ID:      "E9",
+		Title:   "semantic debugger: flagging injected 135-degree outliers",
+		Claim:   "learned range constraints flag corrupted extractions with high precision and recall",
+		Columns: []string{"corrupted articles", "injected", "flagged", "true pos", "precision", "recall"},
+	}
+	var out []E9Result
+	for _, frac := range corruptFracs {
+		corpus, truth := synth.Generate(synth.Config{
+			Seed: seed, Cities: 80, People: 0, Filler: 10, MentionsPerPerson: 1, CorruptFrac: frac,
+		})
+		sys, err := core.New(core.Config{Corpus: corpus})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sys.PlanIncremental("city", []string{"temperature"}, 8); err != nil {
+			return nil, nil, err
+		}
+		if _, err := sys.ExtractPending("city", 0); err != nil {
+			return nil, nil, err
+		}
+		violations, err := sys.SweepSuspicious()
+		if err != nil {
+			return nil, nil, err
+		}
+		corrupted := map[string]bool{}
+		for _, c := range truth.Corruptions {
+			corrupted[c.DocTitle] = true
+		}
+		flaggedEntities := map[string]bool{}
+		for _, v := range violations {
+			flaggedEntities[v.Entity] = true
+		}
+		tp := 0
+		for e := range flaggedEntities {
+			if corrupted[e] {
+				tp++
+			}
+		}
+		precision, recall := 1.0, 1.0
+		if len(flaggedEntities) > 0 {
+			precision = float64(tp) / float64(len(flaggedEntities))
+		}
+		if len(corrupted) > 0 {
+			recall = float64(tp) / float64(len(corrupted))
+		}
+		r := E9Result{
+			CorruptPct: frac * 100, Injected: len(corrupted),
+			Flagged: len(flaggedEntities), TruePos: tp,
+			Precision: precision, Recall: recall,
+		}
+		out = append(out, r)
+		s.Rows = append(s.Rows, []string{
+			f1s(r.CorruptPct) + "%", itoa(r.Injected), itoa(r.Flagged), itoa(r.TruePos),
+			f2(r.Precision), f2(r.Recall),
+		})
+	}
+	return out, s, nil
+}
+
+// E10Result is one optimizer-configuration point.
+type E10Result struct {
+	Config  string
+	Elapsed time.Duration
+	Docs    int64
+	Rows    int64
+}
+
+// RunE10 ablates the UQL optimizer's rewrites (document prefiltering,
+// early confidence filtering, parallel extraction) on a fixed program,
+// verifying that all configurations produce identical output.
+func RunE10(docsN int, seed int64) ([]E10Result, *Series, error) {
+	s := &Series{
+		ID:      "E10",
+		Title:   fmt.Sprintf("UQL optimizer ablation (%d-document corpus)", docsN),
+		Claim:   "pushing cheap, selective work first (prefilter, early filters, parallelism) cuts pipeline cost without changing results",
+		Columns: []string{"configuration", "elapsed", "docs processed", "rows out"},
+	}
+	program := `
+		EXTRACT temperature, population FROM docs USING city MINCONF 0.5 INTO facts;
+	`
+	configs := []struct {
+		name string
+		opts uql.Options
+		par  int
+	}{
+		{"full optimizer (4 workers)", uql.Options{}, 4},
+		{"no prefilter", uql.Options{NoPrefilter: true}, 4},
+		{"no early conf filter", uql.Options{NoEarlyConfFilter: true}, 4},
+		{"sequential (1 worker)", uql.Options{NoParallel: true}, 0},
+		{"no optimizations at all", uql.Options{NoPrefilter: true, NoEarlyConfFilter: true, NoParallel: true}, 0},
+	}
+	var out []E10Result
+	var wantRows int64 = -1
+	for _, cfg := range configs {
+		corpus, _ := synth.Generate(synth.Config{
+			Seed: seed, Cities: docsN / 2, People: docsN / 10, Filler: docsN / 2, MentionsPerPerson: 2,
+		})
+		sys, err := core.New(core.Config{Corpus: corpus, Workers: cfg.par})
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		if _, err := sys.Generate(program, cfg.opts); err != nil {
+			return nil, nil, err
+		}
+		elapsed := time.Since(t0)
+		rows := int64(len(sys.Env.Relations["facts"]))
+		if wantRows == -1 {
+			wantRows = rows
+		} else if rows != wantRows {
+			return nil, nil, fmt.Errorf("E10: config %q changed results: %d rows vs %d", cfg.name, rows, wantRows)
+		}
+		r := E10Result{
+			Config: cfg.name, Elapsed: elapsed,
+			Docs: sys.Stats.Counter("uql.extract.docs"), Rows: rows,
+		}
+		out = append(out, r)
+		s.Rows = append(s.Rows, []string{cfg.name, d2(elapsed), fmt.Sprintf("%d", r.Docs), fmt.Sprintf("%d", r.Rows)})
+	}
+	return out, s, nil
+}

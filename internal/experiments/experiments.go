@@ -1,0 +1,69 @@
+// Package experiments implements the E1-E10 experiment suite from
+// DESIGN.md: each function reproduces one claim of the paper as a
+// measured result. The benchmark harness (bench_test.go) and the
+// benchrunner binary both call into this package, so the printed tables
+// and the testing.B benchmarks always agree.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Series is one experiment's output: a header and rows of columns, shaped
+// like the table the paper would have printed.
+type Series struct {
+	ID      string
+	Title   string
+	Claim   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the series as an aligned text table.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", s.ID, s.Title)
+	fmt.Fprintf(&b, "claim: %s\n", s.Claim)
+	widths := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range s.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(s.Columns)
+	for _, row := range s.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1s(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d2(v time.Duration) string {
+	switch {
+	case v >= time.Second:
+		return fmt.Sprintf("%.2fs", v.Seconds())
+	case v >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(v.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dus", v.Microseconds())
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite's shapes are the reproduction's claims; these tests
+// pin them at small parameterizations.
+
+func TestE1StructuredAnswersExactly(t *testing.T) {
+	res, series, err := RunE1([]int{100}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results: %v", res)
+	}
+	if res[0].KeywordCanAnswer {
+		t.Fatal("keyword search must not answer")
+	}
+	if res[0].StructuredError > 0.01 {
+		t.Fatalf("structured error %v", res[0].StructuredError)
+	}
+	if !strings.Contains(series.String(), "E1") {
+		t.Fatal("series rendering")
+	}
+}
+
+func TestE1RankingAblationFindsMadison(t *testing.T) {
+	s, err := E1RankingAblation(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows: %v", s.Rows)
+	}
+	// BM25 should rank the Madison page first.
+	if s.Rows[0][1] != "1" {
+		t.Fatalf("BM25 rank: %v", s.Rows[0])
+	}
+}
+
+func TestE2IncrementalFaster(t *testing.T) {
+	res, _, err := RunE2([]int{150}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].SpeedupFactor < 1.0 {
+		t.Fatalf("incremental should not be slower: %v", res[0].SpeedupFactor)
+	}
+	if res[0].CoverageAtAnswer <= 0 {
+		t.Fatal("coverage must be reported")
+	}
+}
+
+func TestE3FeedbackLiftsF1(t *testing.T) {
+	res, _, err := RunE3([]int{0, 200}, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].F1 != res[0].Baseline {
+		t.Fatalf("budget 0 must equal baseline: %v vs %v", res[0].F1, res[0].Baseline)
+	}
+	if res[1].F1 <= res[0].F1 {
+		t.Fatalf("feedback did not lift F1: %v -> %v", res[0].F1, res[1].F1)
+	}
+}
+
+func TestE4CrowdOrdering(t *testing.T) {
+	res, _, err := RunE4(150, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results: %v", res)
+	}
+	single, flat, weighted := res[0].F1, res[1].F1, res[2].F1
+	if weighted < flat-0.02 {
+		t.Fatalf("reputation weighting should not hurt: flat %v, weighted %v", flat, weighted)
+	}
+	if flat < single-0.05 {
+		t.Fatalf("crowd should not be clearly worse than one noisy user: single %v, flat %v", single, flat)
+	}
+}
+
+func TestE5AccuracyMonotoneInK(t *testing.T) {
+	res, _, err := RunE5([]int{1, 3, 10}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Accuracy > res[1].Accuracy || res[1].Accuracy > res[2].Accuracy {
+		t.Fatalf("accuracy@k must be monotone: %v", res)
+	}
+	if res[2].Accuracy < 0.9 {
+		t.Fatalf("accuracy@10 too low: %v", res[2].Accuracy)
+	}
+}
+
+func TestE6SimulatedSpeedup(t *testing.T) {
+	res, _, err := RunE6([]int{1, 4}, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].Speedup < 2 {
+		t.Fatalf("4 workers should give >= 2x simulated speedup, got %v", res[1].Speedup)
+	}
+	if res[0].Fields != res[1].Fields {
+		t.Fatal("worker count must not change extraction output")
+	}
+}
+
+func TestE7SavingsDecreaseWithChurn(t *testing.T) {
+	res, _, err := RunE7([]float64{0.01, 0.2}, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Savings <= res[1].Savings {
+		t.Fatalf("low churn must save more: %v vs %v", res[0].Savings, res[1].Savings)
+	}
+	if res[0].Savings < 5 {
+		t.Fatalf("1%% churn savings too low: %v", res[0].Savings)
+	}
+}
+
+func TestE8ConservedUnderConcurrency(t *testing.T) {
+	res, _, err := RunE8([]int{8}, 50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Conserved {
+		t.Fatal("serializability invariant violated")
+	}
+	if res[0].Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestE8IndexAblationSpeedup(t *testing.T) {
+	s, err := E8IndexAblation([]int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 1 {
+		t.Fatalf("rows: %v", s.Rows)
+	}
+}
+
+func TestE9DebuggerCatchesCorruption(t *testing.T) {
+	res, _, err := RunE9([]float64{0.1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Recall < 0.95 {
+		t.Fatalf("recall %v", res[0].Recall)
+	}
+	if res[0].Precision < 0.8 {
+		t.Fatalf("precision %v", res[0].Precision)
+	}
+}
+
+func TestE10SameResultsEveryConfig(t *testing.T) {
+	res, _, err := RunE10(200, 7)
+	if err != nil {
+		t.Fatal(err) // RunE10 itself errors when configs diverge
+	}
+	if len(res) != 5 {
+		t.Fatalf("configs: %v", res)
+	}
+	for _, r := range res[1:] {
+		if r.Rows != res[0].Rows {
+			t.Fatalf("row counts diverge: %v", res)
+		}
+	}
+	// The no-prefilter config must process more documents.
+	if res[1].Docs <= res[0].Docs {
+		t.Fatalf("prefilter had no effect: %v vs %v docs", res[0].Docs, res[1].Docs)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{
+		ID: "EX", Title: "t", Claim: "c",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	out := s.String()
+	for _, want := range []string{"== EX: t ==", "claim: c", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

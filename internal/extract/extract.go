@@ -1,0 +1,442 @@
+// Package extract is the information-extraction (IE) operator library of
+// the processing layer: extractors turn unstructured documents into
+// attribute-value pairs with confidences ("month = September",
+// "temperature = 70"), the simplest structured form the paper proposes.
+// Operators include regular-expression extractors, dictionary matchers,
+// contextual pattern rules, an infobox parser, and domain extractors for
+// the weather/population/person attributes the paper's examples use.
+package extract
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/doc"
+)
+
+// Field is one extracted attribute-value pair with provenance and
+// confidence. Confidence is the extractor's own belief in (0, 1]; the
+// uncertainty manager combines and updates it downstream.
+type Field struct {
+	DocID     doc.DocID
+	DocTitle  string
+	Entity    string // subject, e.g. "Madison, Wisconsin"
+	Attribute string // e.g. "temperature"
+	Value     string // surface value, e.g. "70.0"
+	Qualifier string // optional context, e.g. the month for a temperature
+	Span      doc.Span
+	Conf      float64
+	Extractor string // operator name, for provenance
+}
+
+// Float returns the value parsed as a float.
+func (f *Field) Float() (float64, error) {
+	return strconv.ParseFloat(strings.ReplaceAll(f.Value, ",", ""), 64)
+}
+
+// Int returns the value parsed as an integer.
+func (f *Field) Int() (int64, error) {
+	return strconv.ParseInt(strings.ReplaceAll(f.Value, ",", ""), 10, 64)
+}
+
+// Extractor is the IE operator interface: it pulls fields out of one
+// document. Implementations must be safe for concurrent use.
+type Extractor interface {
+	// Name identifies the operator in provenance records.
+	Name() string
+	// Extract returns all fields found in d.
+	Extract(d *doc.Document) []Field
+}
+
+// AttributeScoped is implemented by extractors that produce a known set of
+// attributes; the incremental planner uses it to skip extractors that
+// cannot contribute to a demanded attribute. A nil result means "any".
+type AttributeScoped interface {
+	OutAttributes() []string
+}
+
+// --- Regex extractor -------------------------------------------------------
+
+// RegexExtractor extracts using a compiled pattern. Named groups "value"
+// and "qualifier" select the captured pieces; if absent, group 1 is the
+// value.
+type RegexExtractor struct {
+	name      string
+	attribute string
+	re        *regexp.Regexp
+	conf      float64
+	valueIdx  int
+	qualIdx   int
+}
+
+// NewRegexExtractor compiles a regex operator. conf is the per-match
+// confidence.
+func NewRegexExtractor(name, attribute, pattern string, conf float64) (*RegexExtractor, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %s: %w", name, err)
+	}
+	e := &RegexExtractor{name: name, attribute: attribute, re: re, conf: conf, valueIdx: 1, qualIdx: -1}
+	for i, g := range re.SubexpNames() {
+		switch g {
+		case "value":
+			e.valueIdx = i
+		case "qualifier":
+			e.qualIdx = i
+		}
+	}
+	return e, nil
+}
+
+// Name implements Extractor.
+func (e *RegexExtractor) Name() string { return e.name }
+
+// OutAttributes implements AttributeScoped.
+func (e *RegexExtractor) OutAttributes() []string { return []string{e.attribute} }
+
+// Extract implements Extractor.
+func (e *RegexExtractor) Extract(d *doc.Document) []Field {
+	var out []Field
+	for _, m := range e.re.FindAllStringSubmatchIndex(d.Text, -1) {
+		value := groupText(d.Text, m, e.valueIdx)
+		if value == "" {
+			continue
+		}
+		f := Field{
+			DocID:     d.ID,
+			DocTitle:  d.Title,
+			Entity:    d.Title,
+			Attribute: e.attribute,
+			Value:     value,
+			Span:      doc.Span{Start: m[0], End: m[1]},
+			Conf:      e.conf,
+			Extractor: e.name,
+		}
+		if e.qualIdx > 0 {
+			f.Qualifier = groupText(d.Text, m, e.qualIdx)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func groupText(text string, m []int, idx int) string {
+	if 2*idx+1 >= len(m) || m[2*idx] < 0 {
+		return ""
+	}
+	return text[m[2*idx]:m[2*idx+1]]
+}
+
+// --- Dictionary extractor --------------------------------------------------
+
+// DictionaryExtractor finds occurrences of known terms (gazetteer match).
+// Matching is token-aligned and case-sensitive per entry configuration.
+type DictionaryExtractor struct {
+	name      string
+	attribute string
+	conf      float64
+	entries   map[string]string // normalized surface -> canonical value
+	maxWords  int
+	caseFold  bool
+}
+
+// NewDictionaryExtractor builds a gazetteer operator. entries maps surface
+// forms to canonical values (identical is fine). caseFold enables
+// case-insensitive matching.
+func NewDictionaryExtractor(name, attribute string, entries map[string]string, conf float64, caseFold bool) *DictionaryExtractor {
+	e := &DictionaryExtractor{
+		name: name, attribute: attribute, conf: conf,
+		entries: make(map[string]string, len(entries)), caseFold: caseFold,
+	}
+	for surface, canon := range entries {
+		key := surface
+		if caseFold {
+			key = strings.ToLower(surface)
+		}
+		e.entries[key] = canon
+		words := len(strings.Fields(surface))
+		if words > e.maxWords {
+			e.maxWords = words
+		}
+	}
+	return e
+}
+
+// Name implements Extractor.
+func (e *DictionaryExtractor) Name() string { return e.name }
+
+// OutAttributes implements AttributeScoped.
+func (e *DictionaryExtractor) OutAttributes() []string { return []string{e.attribute} }
+
+// Extract implements Extractor.
+func (e *DictionaryExtractor) Extract(d *doc.Document) []Field {
+	toks := doc.Tokenize(d.Text)
+	var out []Field
+	for i := 0; i < len(toks); i++ {
+		// Longest match first.
+		for w := min(e.maxWords, len(toks)-i); w >= 1; w-- {
+			span := doc.Span{Start: toks[i].Span.Start, End: toks[i+w-1].Span.End}
+			surface := d.Slice(span)
+			key := surface
+			if e.caseFold {
+				key = strings.ToLower(surface)
+			}
+			if canon, ok := e.entries[key]; ok {
+				out = append(out, Field{
+					DocID: d.ID, DocTitle: d.Title, Entity: d.Title,
+					Attribute: e.attribute, Value: canon, Span: span,
+					Conf: e.conf, Extractor: e.name,
+				})
+				i += w - 1
+				break
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Pattern rule extractor --------------------------------------------------
+
+// RuleExtractor applies a contextual rule of the form
+// "<prefix> X <infix> Y" where X/Y are captured token sequences; it is the
+// hand-written counterpart of learned extraction patterns. Rules are
+// expressed as a regex internally but carry a target attribute and a
+// qualifier index, so this type mostly adds naming conventions; it exists
+// to mirror the paper's "library of basic operators" with domain operators
+// developers can register.
+type RuleExtractor struct {
+	*RegexExtractor
+}
+
+// NewTemperatureExtractor matches the climate-section sentences the synth
+// corpus (and real Wikipedia prose) uses:
+// "The average temperature in September is 62.0 degrees Fahrenheit."
+func NewTemperatureExtractor() Extractor {
+	re, err := NewRegexExtractor(
+		"temperature-rule",
+		"temperature",
+		`(?i)average temperature in (?P<qualifier>January|February|March|April|May|June|July|August|September|October|November|December) is (?P<value>-?\d+(?:\.\d+)?) degrees`,
+		0.92,
+	)
+	if err != nil {
+		panic(err)
+	}
+	return &RuleExtractor{re}
+}
+
+// NewPopulationExtractor matches "has a population of 233,209" and infobox
+// population attributes are handled by the infobox extractor.
+func NewPopulationExtractor() Extractor {
+	re, err := NewRegexExtractor(
+		"population-rule",
+		"population",
+		`(?i)population of (?P<value>\d{1,3}(?:,\d{3})+|\d+)`,
+		0.9,
+	)
+	if err != nil {
+		panic(err)
+	}
+	return &RuleExtractor{re}
+}
+
+// NewFoundedExtractor matches "founded in 1856".
+func NewFoundedExtractor() Extractor {
+	re, err := NewRegexExtractor(
+		"founded-rule",
+		"founded",
+		`(?i)founded in (?P<value>1[6-9]\d\d|20\d\d)`,
+		0.85,
+	)
+	if err != nil {
+		panic(err)
+	}
+	return &RuleExtractor{re}
+}
+
+// NewPersonNameExtractor finds person-name surface forms: "David Smith",
+// "D. Smith", "Smith, David". Confidence is lower than rule extractors
+// because capitalized bigrams are noisy.
+func NewPersonNameExtractor() Extractor {
+	re, err := NewRegexExtractor(
+		"person-name",
+		"person",
+		`(?P<value>[A-Z][a-z]+ [A-Z][a-z]+|[A-Z]\. [A-Z][a-z]+|[A-Z][a-z]+, [A-Z][a-z]+)`,
+		0.6,
+	)
+	if err != nil {
+		panic(err)
+	}
+	return &RuleExtractor{re}
+}
+
+// NewBornExtractor matches "born in 1962".
+func NewBornExtractor() Extractor {
+	re, err := NewRegexExtractor(
+		"born-rule",
+		"born",
+		`(?i)born in (?P<value>1[89]\d\d|20\d\d)`,
+		0.88,
+	)
+	if err != nil {
+		panic(err)
+	}
+	return &RuleExtractor{re}
+}
+
+// --- Infobox extractor -------------------------------------------------------
+
+// InfoboxExtractor parses MediaWiki-style {{Infobox ...}} blocks into
+// attribute-value fields. Attribute names come through verbatim (e.g.
+// "location" vs "address"), which is exactly the semantic heterogeneity
+// the integration layer must resolve.
+type InfoboxExtractor struct {
+	conf float64
+}
+
+// NewInfoboxExtractor returns the infobox operator.
+func NewInfoboxExtractor() *InfoboxExtractor { return &InfoboxExtractor{conf: 0.97} }
+
+// Name implements Extractor.
+func (e *InfoboxExtractor) Name() string { return "infobox" }
+
+var infoboxLine = regexp.MustCompile(`(?m)^\|\s*([A-Za-z_][A-Za-z0-9_]*)\s*=\s*(.+?)\s*$`)
+
+// Extract implements Extractor.
+func (e *InfoboxExtractor) Extract(d *doc.Document) []Field {
+	start := strings.Index(d.Text, "{{Infobox")
+	if start < 0 {
+		return nil
+	}
+	end := strings.Index(d.Text[start:], "}}")
+	if end < 0 {
+		return nil
+	}
+	block := d.Text[start : start+end]
+	var out []Field
+	for _, m := range infoboxLine.FindAllStringSubmatchIndex(block, -1) {
+		attr := block[m[2]:m[3]]
+		value := block[m[4]:m[5]]
+		out = append(out, Field{
+			DocID: d.ID, DocTitle: d.Title, Entity: d.Title,
+			Attribute: strings.ToLower(attr), Value: value,
+			Span:      doc.Span{Start: start + m[0], End: start + m[1]},
+			Conf:      e.conf,
+			Extractor: e.Name(),
+		})
+	}
+	return out
+}
+
+// --- Composition -------------------------------------------------------------
+
+// Pipeline runs a sequence of extractors over documents.
+type Pipeline struct {
+	extractors []Extractor
+}
+
+// NewPipeline builds a pipeline; order only affects output order.
+func NewPipeline(extractors ...Extractor) *Pipeline {
+	return &Pipeline{extractors: extractors}
+}
+
+// Names lists the operator names.
+func (p *Pipeline) Names() []string {
+	out := make([]string, len(p.extractors))
+	for i, e := range p.extractors {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// ExtractDoc runs all operators on one document.
+func (p *Pipeline) ExtractDoc(d *doc.Document) []Field {
+	var out []Field
+	for _, e := range p.extractors {
+		out = append(out, e.Extract(d)...)
+	}
+	return out
+}
+
+// ExtractAll runs the pipeline over every document sequentially. (The
+// cluster package parallelizes this for the physical-layer experiments.)
+func (p *Pipeline) ExtractAll(docs []*doc.Document) []Field {
+	var out []Field
+	for _, d := range docs {
+		out = append(out, p.ExtractDoc(d)...)
+	}
+	return out
+}
+
+// ForAttributes returns the sub-pipeline of operators that can produce at
+// least one of the given attributes. Unscoped operators (no
+// AttributeScoped implementation, or a nil attribute list) are always
+// kept, since they may yield anything.
+func (p *Pipeline) ForAttributes(attrs ...string) *Pipeline {
+	want := map[string]bool{}
+	for _, a := range attrs {
+		want[a] = true
+	}
+	sub := &Pipeline{}
+	for _, e := range p.extractors {
+		scoped, ok := e.(AttributeScoped)
+		if !ok || scoped.OutAttributes() == nil {
+			sub.extractors = append(sub.extractors, e)
+			continue
+		}
+		for _, a := range scoped.OutAttributes() {
+			if want[a] {
+				sub.extractors = append(sub.extractors, e)
+				break
+			}
+		}
+	}
+	return sub
+}
+
+// DefaultCityPipeline bundles the operators for the paper's Wikipedia city
+// scenario: infobox, temperature, population, founded.
+func DefaultCityPipeline() *Pipeline {
+	return NewPipeline(
+		NewInfoboxExtractor(),
+		NewTemperatureExtractor(),
+		NewPopulationExtractor(),
+		NewFoundedExtractor(),
+	)
+}
+
+// DefaultPersonPipeline bundles person-page operators.
+func DefaultPersonPipeline() *Pipeline {
+	return NewPipeline(
+		NewPersonNameExtractor(),
+		NewBornExtractor(),
+	)
+}
+
+// FilterAttribute keeps only fields with the given attribute.
+func FilterAttribute(fields []Field, attribute string) []Field {
+	var out []Field
+	for _, f := range fields {
+		if f.Attribute == attribute {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ByEntity groups fields by entity.
+func ByEntity(fields []Field) map[string][]Field {
+	out := map[string][]Field{}
+	for _, f := range fields {
+		out[f.Entity] = append(out[f.Entity], f)
+	}
+	return out
+}

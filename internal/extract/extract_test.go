@@ -1,0 +1,262 @@
+package extract
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/doc"
+	"repro/internal/synth"
+)
+
+func cityDoc() *doc.Document {
+	return &doc.Document{
+		ID:    1,
+		Title: "Madison, Wisconsin",
+		Text: `Madison, Wisconsin
+
+Madison is a city in the state of Wisconsin. The city was founded in 1856 and has a population of 233,209. It covers an area of 94.03 square miles.
+
+{{Infobox settlement
+| name = Madison
+| location = Madison, Wisconsin
+| population = 233209
+| founded = 1856
+}}
+
+Climate
+
+The average temperature in March is 36.0 degrees Fahrenheit.
+The average temperature in September is 62.0 degrees Fahrenheit.
+`,
+	}
+}
+
+func TestTemperatureExtractor(t *testing.T) {
+	e := NewTemperatureExtractor()
+	fields := e.Extract(cityDoc())
+	if len(fields) != 2 {
+		t.Fatalf("got %d temperature fields: %+v", len(fields), fields)
+	}
+	if fields[0].Qualifier != "March" || fields[0].Value != "36.0" {
+		t.Fatalf("field 0: %+v", fields[0])
+	}
+	if fields[1].Qualifier != "September" || fields[1].Value != "62.0" {
+		t.Fatalf("field 1: %+v", fields[1])
+	}
+	if v, err := fields[1].Float(); err != nil || v != 62.0 {
+		t.Fatalf("Float: %v %v", v, err)
+	}
+	if fields[0].Conf <= 0 || fields[0].Conf > 1 {
+		t.Fatalf("confidence out of range: %v", fields[0].Conf)
+	}
+	if fields[0].Extractor != "temperature-rule" {
+		t.Fatalf("extractor name: %q", fields[0].Extractor)
+	}
+}
+
+func TestPopulationExtractor(t *testing.T) {
+	fields := NewPopulationExtractor().Extract(cityDoc())
+	if len(fields) != 1 {
+		t.Fatalf("got %+v", fields)
+	}
+	if n, err := fields[0].Int(); err != nil || n != 233209 {
+		t.Fatalf("Int: %v %v", n, err)
+	}
+}
+
+func TestFoundedExtractor(t *testing.T) {
+	fields := NewFoundedExtractor().Extract(cityDoc())
+	if len(fields) != 1 || fields[0].Value != "1856" {
+		t.Fatalf("got %+v", fields)
+	}
+}
+
+func TestInfoboxExtractor(t *testing.T) {
+	fields := NewInfoboxExtractor().Extract(cityDoc())
+	byAttr := map[string]string{}
+	for _, f := range fields {
+		byAttr[f.Attribute] = f.Value
+	}
+	if byAttr["name"] != "Madison" {
+		t.Fatalf("name: %+v", byAttr)
+	}
+	if byAttr["location"] != "Madison, Wisconsin" {
+		t.Fatalf("location: %+v", byAttr)
+	}
+	if byAttr["population"] != "233209" {
+		t.Fatalf("population: %+v", byAttr)
+	}
+	// No infobox -> no fields.
+	if fields := NewInfoboxExtractor().Extract(&doc.Document{Text: "plain text"}); len(fields) != 0 {
+		t.Fatalf("plain doc: %+v", fields)
+	}
+	// Unterminated infobox -> no fields, no panic.
+	if fields := NewInfoboxExtractor().Extract(&doc.Document{Text: "{{Infobox settlement\n| a = b\n"}); len(fields) != 0 {
+		t.Fatalf("unterminated: %+v", fields)
+	}
+}
+
+func TestRegexExtractorSpans(t *testing.T) {
+	d := cityDoc()
+	for _, f := range NewTemperatureExtractor().Extract(d) {
+		got := d.Slice(f.Span)
+		if got == "" || f.Span.End <= f.Span.Start {
+			t.Fatalf("bad span %v -> %q", f.Span, got)
+		}
+	}
+}
+
+func TestRegexExtractorBadPattern(t *testing.T) {
+	if _, err := NewRegexExtractor("bad", "x", "([", 0.5); err == nil {
+		t.Fatal("invalid regex must error")
+	}
+}
+
+func TestDictionaryExtractor(t *testing.T) {
+	e := NewDictionaryExtractor("states", "state", map[string]string{
+		"Wisconsin":     "WI",
+		"New York":      "NY",
+		"New York City": "NYC",
+	}, 0.8, false)
+	d := &doc.Document{Title: "t", Text: "He moved from Wisconsin to New York City last year."}
+	fields := e.Extract(d)
+	if len(fields) != 2 {
+		t.Fatalf("got %+v", fields)
+	}
+	if fields[0].Value != "WI" {
+		t.Fatalf("field 0: %+v", fields[0])
+	}
+	// Longest match wins: "New York City" beats "New York".
+	if fields[1].Value != "NYC" {
+		t.Fatalf("field 1: %+v", fields[1])
+	}
+}
+
+func TestDictionaryCaseFold(t *testing.T) {
+	e := NewDictionaryExtractor("m", "city", map[string]string{"madison": "Madison"}, 0.8, true)
+	d := &doc.Document{Text: "MADISON and Madison and madison."}
+	if got := len(e.Extract(d)); got != 3 {
+		t.Fatalf("case-folded matches = %d", got)
+	}
+	strict := NewDictionaryExtractor("m", "city", map[string]string{"Madison": "Madison"}, 0.8, false)
+	if got := len(strict.Extract(d)); got != 1 {
+		t.Fatalf("strict matches = %d", got)
+	}
+}
+
+func TestPersonNameExtractor(t *testing.T) {
+	d := &doc.Document{Title: "p", Text: "D. Smith met David Smith. And later Smith, David left."}
+	fields := NewPersonNameExtractor().Extract(d)
+	got := map[string]bool{}
+	for _, f := range fields {
+		got[f.Value] = true
+	}
+	for _, want := range []string{"D. Smith", "David Smith", "Smith, David"} {
+		if !got[want] {
+			t.Fatalf("missing %q in %v", want, fields)
+		}
+	}
+}
+
+func TestBornExtractor(t *testing.T) {
+	d := &doc.Document{Text: "David Smith was born in 1962."}
+	fields := NewBornExtractor().Extract(d)
+	if len(fields) != 1 || fields[0].Value != "1962" {
+		t.Fatalf("%+v", fields)
+	}
+}
+
+func TestPipelineOnSynthCorpus(t *testing.T) {
+	corpus, truth := synth.Generate(synth.Config{Seed: 5, Cities: 20, People: 5, Filler: 10, MentionsPerPerson: 2})
+	p := DefaultCityPipeline()
+	fields := p.ExtractAll(corpus.Docs())
+	if len(fields) == 0 {
+		t.Fatal("no fields extracted")
+	}
+	// Every city should have 12 temperature fields with correct values.
+	temps := FilterAttribute(fields, "temperature")
+	byEntity := ByEntity(temps)
+	for _, city := range truth.Cities {
+		got := byEntity[city.Title]
+		if len(got) != 12 {
+			t.Fatalf("%s: %d temperature fields", city.Title, len(got))
+		}
+		for _, f := range got {
+			mi := monthIndex(f.Qualifier)
+			if mi < 0 {
+				t.Fatalf("bad qualifier %q", f.Qualifier)
+			}
+			v, err := f.Float()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != city.MonthlyTemp[mi] {
+				t.Fatalf("%s %s: extracted %v, truth %v", city.Title, f.Qualifier, v, city.MonthlyTemp[mi])
+			}
+		}
+	}
+	// Population extraction matches truth (prose + infobox may both fire).
+	pops := FilterAttribute(fields, "population")
+	popByEntity := ByEntity(pops)
+	for _, city := range truth.Cities {
+		found := false
+		for _, f := range popByEntity[city.Title] {
+			if n, err := f.Int(); err == nil && n == int64(city.Population) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s: population %d not extracted (%v)", city.Title, city.Population, popByEntity[city.Title])
+		}
+	}
+}
+
+func monthIndex(m string) int {
+	for i, name := range synth.Months {
+		if name == m {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPipelineNames(t *testing.T) {
+	p := DefaultCityPipeline()
+	names := p.Names()
+	if len(names) != 4 || names[0] != "infobox" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestFilterAndGroupHelpers(t *testing.T) {
+	fields := []Field{
+		{Entity: "a", Attribute: "x"},
+		{Entity: "a", Attribute: "y"},
+		{Entity: "b", Attribute: "x"},
+	}
+	if got := FilterAttribute(fields, "x"); len(got) != 2 {
+		t.Fatalf("filter: %v", got)
+	}
+	grouped := ByEntity(fields)
+	if len(grouped["a"]) != 2 || len(grouped["b"]) != 1 {
+		t.Fatalf("group: %v", grouped)
+	}
+}
+
+func TestFieldNumericParseErrors(t *testing.T) {
+	f := Field{Value: "not-a-number"}
+	if _, err := f.Float(); err == nil {
+		t.Fatal("Float should fail")
+	}
+	if _, err := f.Int(); err == nil {
+		t.Fatal("Int should fail")
+	}
+	f2 := Field{Value: "1,234,567"}
+	n, err := f2.Int()
+	if err != nil || n != 1234567 {
+		t.Fatalf("comma int: %v %v", n, err)
+	}
+	if s := strconv.FormatInt(n, 10); s != "1234567" {
+		t.Fatal("parse")
+	}
+}

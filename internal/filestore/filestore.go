@@ -1,0 +1,250 @@
+// Package filestore implements an append-only segment store for
+// intermediate structured data. The paper's storage layer keeps
+// intermediate extraction results in "the file system" because the system
+// executes only sequential reads and writes over them; this store models
+// that: records are appended to fixed-capacity segments, each record is
+// length-prefixed and checksummed, and reads are sequential scans. A store
+// can be persisted to and reopened from a directory, and a torn final
+// record (from a crash mid-append) is detected and truncated on open.
+package filestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrCorrupt is returned when a record fails its checksum.
+var ErrCorrupt = errors.New("filestore: corrupt record")
+
+// RecordID locates a record: segment index and byte offset within it.
+type RecordID struct {
+	Segment int
+	Offset  int
+}
+
+const (
+	headerSize     = 8 // 4-byte length + 4-byte CRC32
+	defaultSegCap  = 1 << 20
+	maxRecordBytes = 1 << 28
+)
+
+// Store is an append-only record store split into segments. Appends and
+// scans are safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	segments [][]byte
+	segCap   int
+	count    int
+	bytes    int
+}
+
+// New returns an in-memory store with the given segment capacity in bytes
+// (0 selects the default of 1 MiB).
+func New(segCap int) *Store {
+	if segCap <= 0 {
+		segCap = defaultSegCap
+	}
+	return &Store{segCap: segCap, segments: [][]byte{make([]byte, 0, segCap)}}
+}
+
+// Append writes a record and returns its id.
+func (s *Store) Append(payload []byte) (RecordID, error) {
+	if len(payload) > maxRecordBytes {
+		return RecordID{}, fmt.Errorf("filestore: record of %d bytes exceeds limit", len(payload))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	need := headerSize + len(payload)
+	seg := len(s.segments) - 1
+	if len(s.segments[seg])+need > s.segCap && len(s.segments[seg]) > 0 {
+		s.segments = append(s.segments, make([]byte, 0, s.segCap))
+		seg++
+	}
+	id := RecordID{Segment: seg, Offset: len(s.segments[seg])}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	s.segments[seg] = append(s.segments[seg], hdr[:]...)
+	s.segments[seg] = append(s.segments[seg], payload...)
+	s.count++
+	s.bytes += need
+	return id, nil
+}
+
+// Read returns the payload of the record at id.
+func (s *Store) Read(id RecordID) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id.Segment < 0 || id.Segment >= len(s.segments) {
+		return nil, fmt.Errorf("filestore: segment %d out of range", id.Segment)
+	}
+	seg := s.segments[id.Segment]
+	return readRecordAt(seg, id.Offset)
+}
+
+func readRecordAt(seg []byte, off int) ([]byte, error) {
+	if off < 0 || off+headerSize > len(seg) {
+		return nil, fmt.Errorf("filestore: offset %d out of range", off)
+	}
+	n := int(binary.LittleEndian.Uint32(seg[off : off+4]))
+	want := binary.LittleEndian.Uint32(seg[off+4 : off+8])
+	start := off + headerSize
+	if start+n > len(seg) {
+		return nil, fmt.Errorf("filestore: truncated record at %d", off)
+	}
+	payload := seg[start : start+n]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, ErrCorrupt
+	}
+	out := make([]byte, n)
+	copy(out, payload)
+	return out, nil
+}
+
+// Scan calls fn for every record in append order. If fn returns false the
+// scan stops early. Scan holds a read lock for its duration.
+func (s *Store) Scan(fn func(id RecordID, payload []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for si, seg := range s.segments {
+		off := 0
+		for off+headerSize <= len(seg) {
+			payload, err := readRecordAt(seg, off)
+			if err != nil {
+				return err
+			}
+			if !fn(RecordID{Segment: si, Offset: off}, payload) {
+				return nil
+			}
+			off += headerSize + len(payload)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Bytes returns total stored bytes including headers.
+func (s *Store) Bytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Segments returns the number of segments.
+func (s *Store) Segments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segments)
+}
+
+// Persist writes every segment to dir as numbered files. Existing segment
+// files in dir are overwritten.
+func (s *Store) Persist(dir string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, seg := range s.segments {
+		name := filepath.Join(dir, fmt.Sprintf("seg-%06d.dat", i))
+		if err := os.WriteFile(name, seg, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open loads a store persisted by Persist. A torn trailing record in the
+// final segment (simulating a crash during append) is truncated; torn or
+// corrupt records elsewhere are an error.
+func Open(dir string, segCap int) (*Store, error) {
+	if segCap <= 0 {
+		segCap = defaultSegCap
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".dat" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	s := &Store{segCap: segCap}
+	for idx, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		last := idx == len(names)-1
+		valid, n, nbytes, err := validatePrefix(data, last)
+		if err != nil {
+			return nil, fmt.Errorf("filestore: segment %s: %w", name, err)
+		}
+		seg := make([]byte, valid, max(segCap, valid))
+		copy(seg, data[:valid])
+		s.segments = append(s.segments, seg)
+		s.count += n
+		s.bytes += nbytes
+	}
+	if len(s.segments) == 0 {
+		s.segments = [][]byte{make([]byte, 0, segCap)}
+	}
+	return s, nil
+}
+
+// validatePrefix walks records in seg and returns the byte length of the
+// valid prefix, the record count, and total bytes. If allowTorn, a
+// truncated or checksum-failing final record is dropped rather than being
+// an error.
+func validatePrefix(seg []byte, allowTorn bool) (valid, count, nbytes int, err error) {
+	off := 0
+	for off+headerSize <= len(seg) {
+		n := int(binary.LittleEndian.Uint32(seg[off : off+4]))
+		want := binary.LittleEndian.Uint32(seg[off+4 : off+8])
+		start := off + headerSize
+		if n > maxRecordBytes || start+n > len(seg) {
+			if allowTorn {
+				return off, count, nbytes, nil
+			}
+			return 0, 0, 0, fmt.Errorf("truncated record at offset %d", off)
+		}
+		if crc32.ChecksumIEEE(seg[start:start+n]) != want {
+			if allowTorn && start+n == len(seg) {
+				return off, count, nbytes, nil
+			}
+			return 0, 0, 0, fmt.Errorf("%w at offset %d", ErrCorrupt, off)
+		}
+		off = start + n
+		count++
+		nbytes += headerSize + n
+	}
+	if off != len(seg) {
+		if allowTorn {
+			return off, count, nbytes, nil
+		}
+		return 0, 0, 0, fmt.Errorf("trailing garbage of %d bytes", len(seg)-off)
+	}
+	return off, count, nbytes, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package hi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/users"
+)
+
+func yesOracle(Question) (bool, int) { return true, 0 }
+func noOracle(Question) (bool, int)  { return false, 0 }
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := NewQueue(0)
+	q.Push(Question{Subject: "low", Priority: 0.1})
+	q.Push(Question{Subject: "high", Priority: 0.9})
+	q.Push(Question{Subject: "mid", Priority: 0.5})
+	first, ok := q.Pop()
+	if !ok || first.Subject != "high" {
+		t.Fatalf("first = %+v", first)
+	}
+	second, _ := q.Pop()
+	if second.Subject != "mid" {
+		t.Fatalf("second = %+v", second)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestQueueBudget(t *testing.T) {
+	q := NewQueue(2)
+	for i := 0; i < 5; i++ {
+		q.Push(Question{Subject: "q"})
+	}
+	n := 0
+	for {
+		if _, ok := q.Pop(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("budget allowed %d pops", n)
+	}
+	if q.Asked() != 2 {
+		t.Fatalf("Asked = %d", q.Asked())
+	}
+}
+
+func TestQueueIDsAssigned(t *testing.T) {
+	q := NewQueue(0)
+	id1 := q.Push(Question{})
+	id2 := q.Push(Question{})
+	if id1 == id2 || id1 == 0 {
+		t.Fatalf("ids: %d %d", id1, id2)
+	}
+}
+
+func TestSimulatedAnswererPerfect(t *testing.T) {
+	a := NewSimulatedAnswerer("u1", 0, 1, yesOracle)
+	for i := 0; i < 50; i++ {
+		if ans := a.Answer(Question{ID: i}); !ans.Yes {
+			t.Fatal("perfect answerer answered wrong")
+		}
+	}
+	if a.Answered() != 50 {
+		t.Fatalf("Answered = %d", a.Answered())
+	}
+}
+
+func TestSimulatedAnswererErrorRate(t *testing.T) {
+	a := NewSimulatedAnswerer("u1", 0.3, 7, yesOracle)
+	wrong := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if ans := a.Answer(Question{ID: i}); !ans.Yes {
+			wrong++
+		}
+	}
+	rate := float64(wrong) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("observed error rate %v, configured 0.3", rate)
+	}
+}
+
+func TestSimulatedAnswererDeterministic(t *testing.T) {
+	a1 := NewSimulatedAnswerer("u", 0.5, 42, yesOracle)
+	a2 := NewSimulatedAnswerer("u", 0.5, 42, yesOracle)
+	for i := 0; i < 100; i++ {
+		if a1.Answer(Question{ID: i}).Yes != a2.Answer(Question{ID: i}).Yes {
+			t.Fatal("same seed must replay identically")
+		}
+	}
+}
+
+func TestCrowdMajorityBeatsIndividualError(t *testing.T) {
+	// 9 members, each 20% wrong: majority vote should be nearly always
+	// right — the mass-collaboration claim.
+	members := make([]Answerer, 9)
+	for i := range members {
+		members[i] = NewSimulatedAnswerer(string(rune('a'+i)), 0.2, int64(i+1), yesOracle)
+	}
+	crowd := NewCrowd(members, nil)
+	wrong := 0
+	for i := 0; i < 500; i++ {
+		v := crowd.Ask(Question{ID: i})
+		if !v.Yes {
+			wrong++
+		}
+		if v.Support < 0.5 {
+			t.Fatalf("support %v below majority", v.Support)
+		}
+	}
+	// Binomial(9, 0.2): P(majority wrong) ~ 2%, so ~10 expected out of
+	// 500; an individual would be wrong ~100 times.
+	if wrong > 30 {
+		t.Fatalf("crowd wrong %d/500 times", wrong)
+	}
+}
+
+func TestCrowdReputationWeighting(t *testing.T) {
+	// Two unreliable users vs one reliable user: with reputation weights,
+	// the reliable user dominates.
+	um := users.NewManager()
+	um.Register("good", "pw", users.RoleOrdinary)
+	um.Register("bad1", "pw", users.RoleOrdinary)
+	um.Register("bad2", "pw", users.RoleOrdinary)
+	for i := 0; i < 50; i++ {
+		um.RecordFeedbackOutcome("good", true)
+		um.RecordFeedbackOutcome("bad1", false)
+		um.RecordFeedbackOutcome("bad2", false)
+	}
+	good := NewSimulatedAnswerer("good", 0, 1, yesOracle)
+	bad1 := NewSimulatedAnswerer("bad1", 0, 2, noOracle) // always answers "no" (wrong)
+	bad2 := NewSimulatedAnswerer("bad2", 0, 3, noOracle)
+	crowd := NewCrowd([]Answerer{good, bad1, bad2}, um)
+	v := crowd.Ask(Question{ID: 1})
+	if !v.Yes {
+		t.Fatalf("reputation weighting failed: %+v", v)
+	}
+	// Unweighted, the two bad users would win.
+	flat := NewCrowd([]Answerer{good, bad1, bad2}, nil)
+	if v := flat.Ask(Question{ID: 2}); v.Yes {
+		t.Fatal("control: unweighted majority should be wrong here")
+	}
+}
+
+func TestCrowdChoiceAggregation(t *testing.T) {
+	oracle := func(Question) (bool, int) { return true, 2 }
+	members := make([]Answerer, 7)
+	for i := range members {
+		members[i] = NewSimulatedAnswerer(string(rune('a'+i)), 0.15, int64(i+10), oracle)
+	}
+	crowd := NewCrowd(members, nil)
+	q := Question{ID: 1, Kind: QFormChoice, Payload: []string{"q0", "q1", "q2", "q3"}}
+	right := 0
+	for i := 0; i < 200; i++ {
+		q.ID = i
+		if v := crowd.Ask(q); v.Choice == 2 {
+			right++
+		}
+	}
+	if right < 190 {
+		t.Fatalf("crowd chose correctly only %d/200", right)
+	}
+}
+
+func TestCrowdEmpty(t *testing.T) {
+	crowd := NewCrowd(nil, nil)
+	v := crowd.Ask(Question{ID: 1})
+	if v.Support != 0 || len(v.Answers) != 0 {
+		t.Fatalf("empty crowd verdict: %+v", v)
+	}
+}
+
+func TestSessionRun(t *testing.T) {
+	q := NewQueue(0)
+	for i := 0; i < 10; i++ {
+		q.Push(Question{Subject: "s", Priority: float64(i)})
+	}
+	crowd := NewCrowd([]Answerer{NewSimulatedAnswerer("u", 0, 1, yesOracle)}, nil)
+	s := &Session{Queue: q, Crowd: crowd}
+	seen := 0
+	n := s.Run(4, func(Question, Verdict) { seen++ })
+	if n != 4 || seen != 4 {
+		t.Fatalf("Run processed %d/%d", n, seen)
+	}
+	n = s.Run(0, func(Question, Verdict) { seen++ })
+	if n != 6 || seen != 10 {
+		t.Fatalf("drain processed %d, total %d", n, seen)
+	}
+}
+
+func TestMatchSubject(t *testing.T) {
+	if s := MatchSubject("David Smith", "D. Smith"); !strings.Contains(s, "~") {
+		t.Fatalf("subject: %q", s)
+	}
+}

@@ -1,0 +1,322 @@
+package integrate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AttributeMatch is a proposed correspondence between two attribute names
+// from different extracted schemas, with a confidence score.
+type AttributeMatch struct {
+	A, B  string
+	Score float64
+}
+
+// synonymPairs seeds the schema matcher with domain knowledge of the kind
+// the paper says humans or knowledge bases supply.
+var synonymPairs = map[[2]string]float64{
+	{"location", "address"}:     0.9,
+	{"population", "pop_total"}: 0.9,
+	{"pop", "population"}:       0.85,
+	{"area", "area_sq_mi"}:      0.8,
+	{"name", "title"}:           0.7,
+}
+
+// SchemaMatcher proposes attribute correspondences using name similarity,
+// seeded synonyms, and (optionally) value-distribution overlap.
+type SchemaMatcher struct {
+	// Threshold below which candidates are dropped (default 0.5).
+	Threshold float64
+	// Synonyms can be extended by domain developers or HI feedback.
+	Synonyms map[[2]string]float64
+}
+
+// NewSchemaMatcher returns a matcher with default synonyms.
+func NewSchemaMatcher() *SchemaMatcher {
+	syn := map[[2]string]float64{}
+	for k, v := range synonymPairs {
+		syn[normPair(k[0], k[1])] = v
+	}
+	return &SchemaMatcher{Threshold: 0.5, Synonyms: syn}
+}
+
+// AddSynonym records a confirmed correspondence (e.g. from HI feedback).
+func (m *SchemaMatcher) AddSynonym(a, b string, score float64) {
+	m.Synonyms[normPair(a, b)] = score
+}
+
+func normPair(a, b string) [2]string {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// scoreNames combines synonym knowledge with string similarity. known
+// reports whether the score comes from authoritative knowledge (exact
+// match or a recorded synonym) rather than string heuristics.
+func (m *SchemaMatcher) scoreNames(a, b string) (score float64, known bool) {
+	if strings.EqualFold(a, b) {
+		return 1, true
+	}
+	if s, ok := m.Synonyms[normPair(a, b)]; ok {
+		return s, true
+	}
+	// Underscore-insensitive token overlap plus edit similarity.
+	ta := strings.ReplaceAll(strings.ToLower(a), "_", " ")
+	tb := strings.ReplaceAll(strings.ToLower(b), "_", " ")
+	tok := TokenJaccard(ta, tb)
+	ed := JaroWinkler(ta, tb)
+	if tok > ed {
+		return tok, false
+	}
+	return ed, false
+}
+
+// MatchAttributes proposes correspondences between two attribute sets,
+// optionally using sample values per attribute to add distribution
+// evidence. Each attribute of A is matched to its best candidate in B if
+// the score clears the threshold; results are sorted by descending score.
+func (m *SchemaMatcher) MatchAttributes(attrsA, attrsB []string, valuesA, valuesB map[string][]string) []AttributeMatch {
+	var out []AttributeMatch
+	for _, a := range attrsA {
+		best := AttributeMatch{Score: -1}
+		for _, b := range attrsB {
+			s, known := m.scoreNames(a, b)
+			// Blend in value-distribution evidence whenever samples exist
+			// for both attributes (zero overlap is evidence against) —
+			// unless the score is authoritative knowledge (exact name or
+			// confirmed synonym), which heuristics must not dilute.
+			if !known && valuesA != nil && valuesB != nil && len(valuesA[a]) > 0 && len(valuesB[b]) > 0 {
+				s = 0.7*s + 0.3*valueOverlap(valuesA[a], valuesB[b])
+			}
+			if s > best.Score {
+				best = AttributeMatch{A: a, B: b, Score: s}
+			}
+		}
+		if best.Score >= m.Threshold {
+			out = append(out, best)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// valueOverlap estimates distribution similarity as Jaccard of value sets.
+func valueOverlap(va, vb []string) float64 {
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	sa := map[string]bool{}
+	for _, v := range va {
+		sa[strings.ToLower(v)] = true
+	}
+	inter, union := 0, len(sa)
+	seen := map[string]bool{}
+	for _, v := range vb {
+		lv := strings.ToLower(v)
+		if seen[lv] {
+			continue
+		}
+		seen[lv] = true
+		if sa[lv] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return float64(inter) / float64(union)
+}
+
+// --- Entity resolution -------------------------------------------------------
+
+// Mention is one surface occurrence of an entity to be resolved.
+type Mention struct {
+	ID      int
+	Surface string
+	Context string // e.g. home city or document title, used as weak evidence
+}
+
+// MatchPair is a proposed coreference between two mentions.
+type MatchPair struct {
+	A, B  int // mention IDs
+	Score float64
+}
+
+// Resolver clusters mentions that refer to the same real-world entity.
+type Resolver struct {
+	// Threshold is the minimum pair score to link (default 0.82).
+	Threshold float64
+	// ContextWeight blends context similarity into the score (default 0.2).
+	ContextWeight float64
+	// Sim scores two surfaces (default NameSimilarity).
+	Sim func(a, b string) float64
+}
+
+// NewResolver returns a resolver tuned for person names.
+func NewResolver() *Resolver {
+	return &Resolver{Threshold: 0.82, ContextWeight: 0.2, Sim: NameSimilarity}
+}
+
+// ScorePair scores two mentions.
+func (r *Resolver) ScorePair(a, b Mention) float64 {
+	s := r.Sim(a.Surface, b.Surface)
+	if r.ContextWeight > 0 && a.Context != "" && b.Context != "" {
+		ctx := TokenJaccard(a.Context, b.Context)
+		s = (1-r.ContextWeight)*s + r.ContextWeight*ctx
+	}
+	return s
+}
+
+// CandidatePairs scores all pairs above a floor, sorted descending. With a
+// blocking key (first letter of last name) the quadratic blowup stays
+// manageable, mirroring standard ER practice.
+func (r *Resolver) CandidatePairs(mentions []Mention) []MatchPair {
+	blocks := map[byte][]Mention{}
+	for _, m := range mentions {
+		_, last := normalizeName(m.Surface)
+		key := byte(0)
+		if last != "" {
+			key = last[0]
+		}
+		blocks[key] = append(blocks[key], m)
+	}
+	var out []MatchPair
+	for _, block := range blocks {
+		for i := 0; i < len(block); i++ {
+			for j := i + 1; j < len(block); j++ {
+				s := r.ScorePair(block[i], block[j])
+				if s >= r.Threshold*0.6 { // keep sub-threshold pairs for HI review
+					out = append(out, MatchPair{A: block[i].ID, B: block[j].ID, Score: s})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Decision is an external (HI) verdict on a candidate pair.
+type Decision struct {
+	A, B  int
+	Match bool
+}
+
+// Cluster groups mentions into entities: pairs scoring >= Threshold link,
+// HI decisions override scores in either direction, and links propagate by
+// union-find (transitive closure).
+func (r *Resolver) Cluster(mentions []Mention, decisions []Decision) [][]int {
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, m := range mentions {
+		parent[m.ID] = m.ID
+	}
+	overridden := map[[2]string]bool{}
+	_ = overridden
+
+	decided := map[[2]int]bool{}
+	verdict := map[[2]int]bool{}
+	for _, d := range decisions {
+		k := pairKey(d.A, d.B)
+		decided[k] = true
+		verdict[k] = d.Match
+		if d.Match {
+			union(d.A, d.B)
+		}
+	}
+	for _, p := range r.CandidatePairs(mentions) {
+		k := pairKey(p.A, p.B)
+		if decided[k] {
+			continue // HI verdict wins
+		}
+		if p.Score >= r.Threshold {
+			union(p.A, p.B)
+		}
+	}
+	clusters := map[int][]int{}
+	for _, m := range mentions {
+		root := find(m.ID)
+		clusters[root] = append(clusters[root], m.ID)
+	}
+	out := make([][]int, 0, len(clusters))
+	for _, ids := range clusters {
+		sort.Ints(ids)
+		out = append(out, ids)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// PairwiseF1 scores predicted clusters against gold clusters by pairwise
+// precision/recall/F1 — the standard ER metric used in the feedback
+// experiments (E3, E4).
+func PairwiseF1(pred, gold [][]int) (precision, recall, f1 float64) {
+	pp := pairSet(pred)
+	gp := pairSet(gold)
+	if len(pp) == 0 && len(gp) == 0 {
+		return 1, 1, 1
+	}
+	tp := 0
+	for p := range pp {
+		if gp[p] {
+			tp++
+		}
+	}
+	if len(pp) > 0 {
+		precision = float64(tp) / float64(len(pp))
+	}
+	if len(gp) > 0 {
+		recall = float64(tp) / float64(len(gp))
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return
+}
+
+func pairSet(clusters [][]int) map[[2]int]bool {
+	out := map[[2]int]bool{}
+	for _, c := range clusters {
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				out[pairKey(c[i], c[j])] = true
+			}
+		}
+	}
+	return out
+}
+
+// String renders a match for explanations.
+func (p MatchPair) String() string {
+	return fmt.Sprintf("mention %d ~ mention %d (%.2f)", p.A, p.B, p.Score)
+}

@@ -1,0 +1,161 @@
+// Package monitor implements Figure 1's statistics monitor and alert
+// monitor (Part VI): components report named counters and gauges, alert
+// rules watch them, and triggered alerts notify the system manager. A
+// simulated clock keeps tests and experiments deterministic.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Stats collects named counters and gauges. Safe for concurrent use.
+type Stats struct {
+	mu       sync.RWMutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats {
+	return &Stats{counters: map[string]int64{}, gauges: map[string]float64{}}
+}
+
+// Inc adds delta to a counter.
+func (s *Stats) Inc(name string, delta int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters[name] += delta
+}
+
+// Set sets a gauge.
+func (s *Stats) Set(name string, value float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gauges[name] = value
+}
+
+// Counter reads a counter (0 if absent).
+func (s *Stats) Counter(name string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counters[name]
+}
+
+// Gauge reads a gauge (0, false if absent).
+func (s *Stats) Gauge(name string) (float64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.gauges[name]
+	return v, ok
+}
+
+// Snapshot renders all metrics sorted by name.
+func (s *Stats) Snapshot() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k, v := range s.counters {
+		out = append(out, fmt.Sprintf("counter %s = %d", k, v))
+	}
+	for k, v := range s.gauges {
+		out = append(out, fmt.Sprintf("gauge %s = %g", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alert is one triggered alert.
+type Alert struct {
+	Rule    string
+	Message string
+	Tick    int64
+}
+
+// Rule watches the stats and fires when its condition holds.
+type Rule struct {
+	Name string
+	// Check returns a non-empty message to fire.
+	Check func(s *Stats) string
+	// Cooldown suppresses re-firing for this many ticks (0 = every tick).
+	Cooldown  int64
+	lastFired int64
+	everFired bool
+}
+
+// AlertMonitor evaluates rules on demand (each Evaluate call is one tick).
+type AlertMonitor struct {
+	mu     sync.Mutex
+	stats  *Stats
+	rules  []*Rule
+	alerts []Alert
+	tick   int64
+}
+
+// NewAlertMonitor wires a monitor to a stats collector.
+func NewAlertMonitor(stats *Stats) *AlertMonitor {
+	return &AlertMonitor{stats: stats}
+}
+
+// AddRule registers a rule.
+func (m *AlertMonitor) AddRule(r Rule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rr := r
+	m.rules = append(m.rules, &rr)
+}
+
+// Evaluate advances one tick, fires due rules, and returns new alerts.
+func (m *AlertMonitor) Evaluate() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	var fired []Alert
+	for _, r := range m.rules {
+		if r.everFired && r.Cooldown > 0 && m.tick-r.lastFired <= r.Cooldown {
+			continue
+		}
+		if msg := r.Check(m.stats); msg != "" {
+			a := Alert{Rule: r.Name, Message: msg, Tick: m.tick}
+			m.alerts = append(m.alerts, a)
+			fired = append(fired, a)
+			r.lastFired = m.tick
+			r.everFired = true
+		}
+	}
+	return fired
+}
+
+// History returns all alerts fired so far.
+func (m *AlertMonitor) History() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
+
+// ThresholdRule builds a common rule: fire when a counter exceeds limit.
+func ThresholdRule(name, counter string, limit int64) Rule {
+	return Rule{
+		Name: name,
+		Check: func(s *Stats) string {
+			if v := s.Counter(counter); v > limit {
+				return fmt.Sprintf("%s = %d exceeds %d", counter, v, limit)
+			}
+			return ""
+		},
+	}
+}
+
+// GaugeBelowRule fires when a gauge drops below min.
+func GaugeBelowRule(name, gauge string, min float64) Rule {
+	return Rule{
+		Name: name,
+		Check: func(s *Stats) string {
+			if v, ok := s.Gauge(gauge); ok && v < min {
+				return fmt.Sprintf("%s = %g below %g", gauge, v, min)
+			}
+			return ""
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsCountersGauges(t *testing.T) {
+	s := NewStats()
+	s.Inc("extractions", 5)
+	s.Inc("extractions", 3)
+	if got := s.Counter("extractions"); got != 8 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := s.Counter("missing"); got != 0 {
+		t.Fatalf("missing counter = %d", got)
+	}
+	s.Set("coverage", 0.75)
+	if v, ok := s.Gauge("coverage"); !ok || v != 0.75 {
+		t.Fatalf("gauge: %v %v", v, ok)
+	}
+	if _, ok := s.Gauge("missing"); ok {
+		t.Fatal("missing gauge should report absent")
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || !strings.Contains(snap[0], "counter extractions") {
+		t.Fatalf("snapshot: %v", snap)
+	}
+}
+
+func TestThresholdRuleFiresOnce(t *testing.T) {
+	s := NewStats()
+	m := NewAlertMonitor(s)
+	r := ThresholdRule("too-many-errors", "errors", 10)
+	r.Cooldown = 100
+	m.AddRule(r)
+	if fired := m.Evaluate(); len(fired) != 0 {
+		t.Fatalf("fired too early: %v", fired)
+	}
+	s.Inc("errors", 11)
+	fired := m.Evaluate()
+	if len(fired) != 1 || fired[0].Rule != "too-many-errors" {
+		t.Fatalf("fired: %v", fired)
+	}
+	// Cooldown suppresses.
+	if fired := m.Evaluate(); len(fired) != 0 {
+		t.Fatalf("cooldown violated: %v", fired)
+	}
+	if len(m.History()) != 1 {
+		t.Fatalf("history: %v", m.History())
+	}
+}
+
+func TestCooldownExpires(t *testing.T) {
+	s := NewStats()
+	m := NewAlertMonitor(s)
+	r := ThresholdRule("r", "c", 0)
+	r.Cooldown = 2
+	m.AddRule(r)
+	s.Inc("c", 1)
+	if len(m.Evaluate()) != 1 { // tick 1, fires
+		t.Fatal("should fire at tick 1")
+	}
+	if len(m.Evaluate()) != 0 { // tick 2, cooling
+		t.Fatal("tick 2 should cool")
+	}
+	if len(m.Evaluate()) != 0 { // tick 3, cooling
+		t.Fatal("tick 3 should cool")
+	}
+	if len(m.Evaluate()) != 1 { // tick 4, refires
+		t.Fatal("tick 4 should refire")
+	}
+}
+
+func TestGaugeBelowRule(t *testing.T) {
+	s := NewStats()
+	m := NewAlertMonitor(s)
+	m.AddRule(GaugeBelowRule("low-coverage", "coverage", 0.5))
+	// Gauge absent: no fire.
+	if fired := m.Evaluate(); len(fired) != 0 {
+		t.Fatalf("fired on absent gauge: %v", fired)
+	}
+	s.Set("coverage", 0.3)
+	fired := m.Evaluate()
+	if len(fired) != 1 || !strings.Contains(fired[0].Message, "0.3") {
+		t.Fatalf("fired: %v", fired)
+	}
+	s.Set("coverage", 0.9)
+	if fired := m.Evaluate(); len(fired) != 0 {
+		t.Fatalf("fired with healthy gauge: %v", fired)
+	}
+}
+
+func TestConcurrentStats(t *testing.T) {
+	s := NewStats()
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				s.Inc("n", 1)
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if s.Counter("n") != 8000 {
+		t.Fatalf("lost increments: %d", s.Counter("n"))
+	}
+}

@@ -1,0 +1,211 @@
+// Package provenance is the processing layer's provenance and explanation
+// manager (Figure 1, Part V): every derived datum records which operator
+// produced it from which inputs, forming a lineage DAG. Why-provenance
+// queries walk the DAG back to source documents and human answers, and the
+// explanation manager renders the walk as human-readable text — the
+// substrate for "explain why the system believes Madison's September
+// temperature is 62".
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NodeID identifies a lineage node.
+type NodeID int64
+
+// NodeKind classifies lineage nodes.
+type NodeKind string
+
+const (
+	// KindDocument is a source document.
+	KindDocument NodeKind = "document"
+	// KindExtraction is a field produced by an IE operator.
+	KindExtraction NodeKind = "extraction"
+	// KindIntegration is a merge/match produced by an II operator.
+	KindIntegration NodeKind = "integration"
+	// KindFeedback is a human answer.
+	KindFeedback NodeKind = "feedback"
+	// KindDerived is any downstream computed datum (tuple, aggregate).
+	KindDerived NodeKind = "derived"
+)
+
+// Node is one lineage DAG node.
+type Node struct {
+	ID       NodeID
+	Kind     NodeKind
+	Label    string  // human-readable description
+	Operator string  // producing operator, empty for sources
+	Conf     float64 // confidence at production time (0 if n/a)
+	Inputs   []NodeID
+}
+
+// Graph is an append-only lineage DAG. Safe for concurrent use.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[NodeID]*Node
+	next  NodeID
+}
+
+// NewGraph returns an empty lineage graph.
+func NewGraph() *Graph { return &Graph{nodes: map[NodeID]*Node{}} }
+
+// Add records a node; inputs must already exist. It returns the new id.
+func (g *Graph) Add(kind NodeKind, label, operator string, conf float64, inputs ...NodeID) (NodeID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, in := range inputs {
+		if _, ok := g.nodes[in]; !ok {
+			return 0, fmt.Errorf("provenance: unknown input node %d", in)
+		}
+	}
+	g.next++
+	id := g.next
+	g.nodes[id] = &Node{
+		ID: id, Kind: kind, Label: label, Operator: operator, Conf: conf,
+		Inputs: append([]NodeID(nil), inputs...),
+	}
+	return id, nil
+}
+
+// MustAdd is Add that panics on a dangling input; for construction code
+// whose inputs are by construction present.
+func (g *Graph) MustAdd(kind NodeKind, label, operator string, conf float64, inputs ...NodeID) NodeID {
+	id, err := g.Add(kind, label, operator, conf, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Get returns a copy of the node, or false.
+func (g *Graph) Get(id NodeID) (Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Len returns the node count.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// Why returns the full ancestry of id (why-provenance): every node
+// reachable through input edges, in a stable topological-ish order
+// (sources first).
+func (g *Graph) Why(id NodeID) []Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := map[NodeID]bool{}
+	var order []NodeID
+	var visit func(NodeID)
+	visit = func(cur NodeID) {
+		if seen[cur] {
+			return
+		}
+		seen[cur] = true
+		n, ok := g.nodes[cur]
+		if !ok {
+			return
+		}
+		ins := append([]NodeID(nil), n.Inputs...)
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+		for _, in := range ins {
+			visit(in)
+		}
+		order = append(order, cur)
+	}
+	visit(id)
+	out := make([]Node, 0, len(order))
+	for _, nid := range order {
+		out = append(out, *g.nodes[nid])
+	}
+	return out
+}
+
+// Sources returns only the source nodes (documents, feedback) behind id.
+func (g *Graph) Sources(id NodeID) []Node {
+	var out []Node
+	for _, n := range g.Why(id) {
+		if len(n.Inputs) == 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Depth returns the longest input chain length below id (a source is 0).
+func (g *Graph) Depth(id NodeID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	memo := map[NodeID]int{}
+	var depth func(NodeID) int
+	depth = func(cur NodeID) int {
+		if d, ok := memo[cur]; ok {
+			return d
+		}
+		n, ok := g.nodes[cur]
+		if !ok || len(n.Inputs) == 0 {
+			memo[cur] = 0
+			return 0
+		}
+		best := 0
+		for _, in := range n.Inputs {
+			if d := depth(in) + 1; d > best {
+				best = d
+			}
+		}
+		memo[cur] = best
+		return best
+	}
+	return depth(id)
+}
+
+// Explain renders a human-readable, indented derivation of id — the
+// explanation manager's output.
+func (g *Graph) Explain(id NodeID) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var b strings.Builder
+	seen := map[NodeID]bool{}
+	var render func(NodeID, int)
+	render = func(cur NodeID, depth int) {
+		n, ok := g.nodes[cur]
+		if !ok {
+			return
+		}
+		indent := strings.Repeat("  ", depth)
+		line := fmt.Sprintf("%s- [%s] %s", indent, n.Kind, n.Label)
+		if n.Operator != "" {
+			line += fmt.Sprintf(" (via %s", n.Operator)
+			if n.Conf > 0 {
+				line += fmt.Sprintf(", conf %.2f", n.Conf)
+			}
+			line += ")"
+		} else if n.Conf > 0 {
+			line += fmt.Sprintf(" (conf %.2f)", n.Conf)
+		}
+		b.WriteString(line + "\n")
+		if seen[cur] {
+			if len(n.Inputs) > 0 {
+				b.WriteString(indent + "  (shown above)\n")
+			}
+			return
+		}
+		seen[cur] = true
+		for _, in := range n.Inputs {
+			render(in, depth+1)
+		}
+	}
+	render(id, 0)
+	return b.String()
+}

@@ -1,0 +1,328 @@
+package rdbms
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BTree is an in-memory B+tree index mapping a single-column key Value to
+// the RIDs of tuples with that key. Duplicate keys are supported; each key
+// holds a posting list. Indexes are rebuilt from the heap at database open
+// (and after crash recovery), so they need no WAL records of their own —
+// a deliberate simplification documented in DESIGN.md.
+type BTree struct {
+	mu    sync.RWMutex
+	root  node
+	order int // max children of an internal node
+	size  int // number of (key, rid) pairs
+}
+
+const defaultBTreeOrder = 64
+
+type node interface {
+	isLeaf() bool
+}
+
+type leafNode struct {
+	keys     []Value
+	postings [][]RID
+	next     *leafNode
+}
+
+func (*leafNode) isLeaf() bool { return true }
+
+type innerNode struct {
+	keys     []Value // separators: children[i] holds keys < keys[i]
+	children []node
+}
+
+func (*innerNode) isLeaf() bool { return false }
+
+// NewBTree returns an empty tree with the default order.
+func NewBTree() *BTree { return NewBTreeOrder(defaultBTreeOrder) }
+
+// NewBTreeOrder returns an empty tree with the given order (min 4).
+func NewBTreeOrder(order int) *BTree {
+	if order < 4 {
+		order = 4
+	}
+	return &BTree{root: &leafNode{}, order: order}
+}
+
+// Len returns the number of (key, rid) entries.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+func lessKey(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c < 0
+}
+
+func eqKey(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// findLeaf descends to the leaf that should contain key, recording the path.
+func (t *BTree) findLeaf(key Value) (*leafNode, []*innerNode, []int) {
+	var path []*innerNode
+	var idxs []int
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		i := 0
+		for i < len(in.keys) && !lessKey(key, in.keys[i]) {
+			i++
+		}
+		path = append(path, in)
+		idxs = append(idxs, i)
+		n = in.children[i]
+	}
+	return n.(*leafNode), path, idxs
+}
+
+// Insert adds (key, rid).
+func (t *BTree) Insert(key Value, rid RID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, path, idxs := t.findLeaf(key)
+	// Position within leaf.
+	i := 0
+	for i < len(leaf.keys) && lessKey(leaf.keys[i], key) {
+		i++
+	}
+	if i < len(leaf.keys) && eqKey(leaf.keys[i], key) {
+		leaf.postings[i] = append(leaf.postings[i], rid)
+		t.size++
+		return
+	}
+	leaf.keys = insertValueAt(leaf.keys, i, key)
+	leaf.postings = insertPostingAt(leaf.postings, i, []RID{rid})
+	t.size++
+	if len(leaf.keys) < t.order {
+		return
+	}
+	// Split the leaf.
+	mid := len(leaf.keys) / 2
+	right := &leafNode{
+		keys:     append([]Value(nil), leaf.keys[mid:]...),
+		postings: append([][]RID(nil), leaf.postings[mid:]...),
+		next:     leaf.next,
+	}
+	leaf.keys = leaf.keys[:mid:mid]
+	leaf.postings = leaf.postings[:mid:mid]
+	leaf.next = right
+	t.propagateSplit(path, idxs, right.keys[0], right)
+}
+
+// propagateSplit inserts (sep, right) into the parent chain, splitting
+// internal nodes as needed.
+func (t *BTree) propagateSplit(path []*innerNode, idxs []int, sep Value, right node) {
+	for level := len(path) - 1; level >= 0; level-- {
+		parent := path[level]
+		i := idxs[level]
+		parent.keys = insertValueAt(parent.keys, i, sep)
+		parent.children = insertNodeAt(parent.children, i+1, right)
+		if len(parent.children) <= t.order {
+			return
+		}
+		mid := len(parent.keys) / 2
+		sep = parent.keys[mid]
+		newRight := &innerNode{
+			keys:     append([]Value(nil), parent.keys[mid+1:]...),
+			children: append([]node(nil), parent.children[mid+1:]...),
+		}
+		parent.keys = parent.keys[:mid:mid]
+		parent.children = parent.children[: mid+1 : mid+1]
+		right = newRight
+	}
+	// Root split.
+	t.root = &innerNode{keys: []Value{sep}, children: []node{t.root, right}}
+}
+
+// Delete removes one (key, rid) pair; it returns false if absent. Leaves
+// may underflow — the tree does not rebalance on delete (acceptable for an
+// index that is rebuilt at open; lookups remain correct).
+func (t *BTree) Delete(key Value, rid RID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	leaf, _, _ := t.findLeaf(key)
+	for i, k := range leaf.keys {
+		if !eqKey(k, key) {
+			continue
+		}
+		for j, r := range leaf.postings[i] {
+			if r == rid {
+				leaf.postings[i] = append(leaf.postings[i][:j], leaf.postings[i][j+1:]...)
+				t.size--
+				if len(leaf.postings[i]) == 0 {
+					leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+					leaf.postings = append(leaf.postings[:i], leaf.postings[i+1:]...)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Lookup returns the RIDs for key (nil if none).
+func (t *BTree) Lookup(key Value) []RID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, _, _ := t.findLeaf(key)
+	for i, k := range leaf.keys {
+		if eqKey(k, key) {
+			return append([]RID(nil), leaf.postings[i]...)
+		}
+	}
+	return nil
+}
+
+// Range calls fn for every (key, rid) with lo <= key <= hi, in key order.
+// A nil lo means unbounded below; nil hi unbounded above. Returning false
+// stops the iteration.
+func (t *BTree) Range(lo, hi *Value, fn func(key Value, rid RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var leaf *leafNode
+	if lo != nil {
+		leaf, _, _ = t.findLeaf(*lo)
+	} else {
+		n := t.root
+		for !n.isLeaf() {
+			n = n.(*innerNode).children[0]
+		}
+		leaf = n.(*leafNode)
+	}
+	for leaf != nil {
+		for i, k := range leaf.keys {
+			if lo != nil {
+				if c, ok := Compare(k, *lo); !ok || c < 0 {
+					continue
+				}
+			}
+			if hi != nil {
+				if c, ok := Compare(k, *hi); !ok || c > 0 {
+					return
+				}
+			}
+			for _, rid := range leaf.postings[i] {
+				if !fn(k, rid) {
+					return
+				}
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
+// Keys returns all distinct keys in order (testing helper).
+func (t *BTree) Keys() []Value {
+	var out []Value
+	t.Range(nil, nil, func(k Value, _ RID) bool {
+		if len(out) == 0 || !eqKey(out[len(out)-1], k) {
+			out = append(out, k)
+		}
+		return true
+	})
+	return out
+}
+
+// CheckInvariants validates key ordering and structure; used by tests.
+func (t *BTree) CheckInvariants() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, err := checkNode(t.root, nil, nil)
+	if err != nil {
+		return err
+	}
+	// Leaf chain must be sorted overall.
+	n := t.root
+	for !n.isLeaf() {
+		n = n.(*innerNode).children[0]
+	}
+	var prev *Value
+	for leaf := n.(*leafNode); leaf != nil; leaf = leaf.next {
+		for i := range leaf.keys {
+			k := leaf.keys[i]
+			if prev != nil && !lessKey(*prev, k) {
+				return fmt.Errorf("btree: leaf chain out of order: %v !< %v", *prev, k)
+			}
+			kk := k
+			prev = &kk
+			if len(leaf.postings[i]) == 0 {
+				return fmt.Errorf("btree: empty posting for key %v", k)
+			}
+		}
+	}
+	return nil
+}
+
+func checkNode(n node, lo, hi *Value) (int, error) {
+	if n.isLeaf() {
+		leaf := n.(*leafNode)
+		for _, k := range leaf.keys {
+			if lo != nil && lessKey(k, *lo) {
+				return 0, fmt.Errorf("btree: key %v below bound %v", k, *lo)
+			}
+			if hi != nil && !lessKey(k, *hi) {
+				return 0, fmt.Errorf("btree: key %v not below bound %v", k, *hi)
+			}
+		}
+		return 1, nil
+	}
+	in := n.(*innerNode)
+	if len(in.children) != len(in.keys)+1 {
+		return 0, fmt.Errorf("btree: inner node fanout mismatch")
+	}
+	depth := -1
+	for i, c := range in.children {
+		var clo, chi *Value
+		if i == 0 {
+			clo = lo
+		} else {
+			clo = &in.keys[i-1]
+		}
+		if i == len(in.keys) {
+			chi = hi
+		} else {
+			chi = &in.keys[i]
+		}
+		d, err := checkNode(c, clo, chi)
+		if err != nil {
+			return 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return 0, fmt.Errorf("btree: uneven depth")
+		}
+	}
+	return depth + 1, nil
+}
+
+func insertValueAt(s []Value, i int, v Value) []Value {
+	s = append(s, Value{})
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertPostingAt(s [][]RID, i int, v []RID) [][]RID {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertNodeAt(s []node, i int, v node) []node {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,223 @@
+package rdbms
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func ridOf(i int) RID { return RID{Page: PageID(i / 100), Slot: uint16(i % 100)} }
+
+func TestBTreeInsertLookup(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert(NewInt(int64(i)), ridOf(i))
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		rids := bt.Lookup(NewInt(int64(i)))
+		if len(rids) != 1 || rids[0] != ridOf(i) {
+			t.Fatalf("Lookup(%d) = %v", i, rids)
+		}
+	}
+	if rids := bt.Lookup(NewInt(5000)); rids != nil {
+		t.Fatalf("missing key returned %v", rids)
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 50; i++ {
+		bt.Insert(NewString("dup"), ridOf(i))
+	}
+	rids := bt.Lookup(NewString("dup"))
+	if len(rids) != 50 {
+		t.Fatalf("got %d postings", len(rids))
+	}
+	if !bt.Delete(NewString("dup"), ridOf(7)) {
+		t.Fatal("delete failed")
+	}
+	if len(bt.Lookup(NewString("dup"))) != 49 {
+		t.Fatal("posting not removed")
+	}
+	if bt.Delete(NewString("dup"), ridOf(7)) {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestBTreeDeleteAllPostingsRemovesKey(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert(NewInt(1), ridOf(0))
+	bt.Insert(NewInt(2), ridOf(1))
+	if !bt.Delete(NewInt(1), ridOf(0)) {
+		t.Fatal("delete failed")
+	}
+	keys := bt.Keys()
+	if len(keys) != 1 || keys[0].I != 2 {
+		t.Fatalf("keys after delete: %v", keys)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	bt := NewBTreeOrder(8) // small order forces deep trees
+	for i := 0; i < 500; i++ {
+		bt.Insert(NewInt(int64(i)), ridOf(i))
+	}
+	lo, hi := NewInt(100), NewInt(199)
+	var got []int64
+	bt.Range(&lo, &hi, func(k Value, _ RID) bool {
+		got = append(got, k.I)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("range returned %d keys", len(got))
+	}
+	for i, k := range got {
+		if k != int64(100+i) {
+			t.Fatalf("range out of order at %d: %d", i, k)
+		}
+	}
+	// Unbounded below.
+	var first []int64
+	hi2 := NewInt(4)
+	bt.Range(nil, &hi2, func(k Value, _ RID) bool {
+		first = append(first, k.I)
+		return true
+	})
+	if len(first) != 5 || first[0] != 0 {
+		t.Fatalf("open-low range: %v", first)
+	}
+	// Unbounded above.
+	n := 0
+	lo2 := NewInt(495)
+	bt.Range(&lo2, nil, func(Value, RID) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("open-high range: %d", n)
+	}
+	// Early stop.
+	n = 0
+	bt.Range(nil, nil, func(Value, RID) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop at %d", n)
+	}
+}
+
+func TestBTreeReverseAndRandomInsert(t *testing.T) {
+	for name, order := range map[string][]int{"reverse": nil, "random": nil} {
+		_ = order
+		bt := NewBTreeOrder(6)
+		var keys []int
+		for i := 999; i >= 0; i-- {
+			keys = append(keys, i)
+		}
+		if name == "random" {
+			rng := rand.New(rand.NewSource(4))
+			rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		}
+		for _, k := range keys {
+			bt.Insert(NewInt(int64(k)), ridOf(k))
+		}
+		if err := bt.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := bt.Keys()
+		if len(got) != 1000 {
+			t.Fatalf("%s: %d keys", name, len(got))
+		}
+		for i, k := range got {
+			if k.I != int64(i) {
+				t.Fatalf("%s: key %d = %d", name, i, k.I)
+			}
+		}
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	bt := NewBTreeOrder(4)
+	words := []string{"madison", "chicago", "denver", "austin", "boston", "seattle", "miami", "atlanta"}
+	for i, w := range words {
+		bt.Insert(NewString(w), ridOf(i))
+	}
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	got := bt.Keys()
+	for i, k := range got {
+		if k.S != sorted[i] {
+			t.Fatalf("key %d = %q, want %q", i, k.S, sorted[i])
+		}
+	}
+}
+
+func TestBTreeMixedChurnProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		bt := NewBTreeOrder(5)
+		ref := map[int64][]RID{}
+		size := 0
+		for i, op := range ops {
+			k := int64(op % 50)
+			if k < 0 {
+				k = -k
+			}
+			rid := ridOf(i)
+			if op%3 == 0 && len(ref[k]) > 0 {
+				victim := ref[k][0]
+				ref[k] = ref[k][1:]
+				if !bt.Delete(NewInt(k), victim) {
+					return false
+				}
+				size--
+			} else {
+				bt.Insert(NewInt(k), rid)
+				ref[k] = append(ref[k], rid)
+				size++
+			}
+		}
+		if bt.Len() != size {
+			return false
+		}
+		if err := bt.CheckInvariants(); err != nil {
+			return false
+		}
+		for k, rids := range ref {
+			got := bt.Lookup(NewInt(k))
+			if len(got) != len(rids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeConcurrentReaders(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 2000; i++ {
+		bt.Insert(NewInt(int64(i)), ridOf(i))
+	}
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 500; i++ {
+				if len(bt.Lookup(NewInt(int64(i)))) != 1 {
+					t.Error("lookup failed")
+					break
+				}
+			}
+			done <- true
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,145 @@
+package rdbms
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool caches pages in memory with LRU eviction and pin counting.
+// Dirty pages are written back on eviction or Flush.
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // of PageID; front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	elem  *list.Element
+}
+
+// NewBufferPool wraps pager with a cache of capacity pages.
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+	}
+}
+
+// Pin fetches a page into the pool and pins it. The returned buffer aliases
+// the cached frame: callers that modify it must call Unpin with dirty=true.
+func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+		bp.lru.MoveToFront(f.elem)
+		bp.hits++
+		return f.data, nil
+	}
+	bp.misses++
+	if err := bp.evictIfFullLocked(); err != nil {
+		return nil, err
+	}
+	data := make([]byte, PageSize)
+	if err := bp.pager.ReadPage(id, data); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: data, pins: 1}
+	f.elem = bp.lru.PushFront(id)
+	bp.frames[id] = f
+	return f.data, nil
+}
+
+// NewPage allocates a fresh page, pins it, and returns its id and buffer.
+func (bp *BufferPool) NewPage() (PageID, []byte, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.evictIfFullLocked(); err != nil {
+		return InvalidPage, nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, dirty: true}
+	f.elem = bp.lru.PushFront(id)
+	bp.frames[id] = f
+	return id, f.data, nil
+}
+
+// Unpin releases one pin; dirty marks the frame as modified.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		return
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+func (bp *BufferPool) evictIfFullLocked() error {
+	for len(bp.frames) >= bp.capacity {
+		// Scan from LRU end for an unpinned victim.
+		var victim *frame
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			f := bp.frames[e.Value.(PageID)]
+			if f.pins == 0 {
+				victim = f
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("rdbms: buffer pool exhausted (%d frames all pinned)", len(bp.frames))
+		}
+		if victim.dirty {
+			if err := bp.pager.WritePage(victim.id, victim.data); err != nil {
+				return err
+			}
+		}
+		bp.lru.Remove(victim.elem)
+		delete(bp.frames, victim.id)
+	}
+	return nil
+}
+
+// Flush writes all dirty frames back and syncs the pager.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.WritePage(f.id, f.data); err != nil {
+				bp.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	bp.mu.Unlock()
+	return bp.pager.Sync()
+}
+
+// Stats returns hit/miss counters.
+func (bp *BufferPool) Stats() (hits, misses int64) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits, bp.misses
+}

@@ -1,0 +1,179 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ColumnDef describes one column.
+type ColumnDef struct {
+	Name string
+	Type Type
+}
+
+// TableSchema is a table's name and ordered columns.
+type TableSchema struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *TableSchema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks that t conforms to the schema (arity and types; NULL is
+// allowed in any column).
+func (s *TableSchema) Validate(t Tuple) error {
+	if len(t) != len(s.Columns) {
+		return fmt.Errorf("rdbms: tuple arity %d != schema arity %d for %s", len(t), len(s.Columns), s.Name)
+	}
+	for i, v := range t {
+		if v.Type == TNull {
+			continue
+		}
+		want := s.Columns[i].Type
+		if v.Type == want {
+			continue
+		}
+		// Allow int into float columns.
+		if want == TFloat && v.Type == TInt {
+			continue
+		}
+		return fmt.Errorf("rdbms: column %s expects %s, got %s", s.Columns[i].Name, want, v.Type)
+	}
+	return nil
+}
+
+// Coerce converts tuple values to the schema's declared types where a
+// lossless conversion exists (int -> float).
+func (s *TableSchema) Coerce(t Tuple) Tuple {
+	out := t.Clone()
+	for i := range out {
+		if i < len(s.Columns) && s.Columns[i].Type == TFloat && out[i].Type == TInt {
+			out[i] = NewFloat(float64(out[i].I))
+		}
+	}
+	return out
+}
+
+// Table is a named heap with optional per-column indexes.
+type Table struct {
+	Schema  TableSchema
+	Heap    *HeapFile
+	Indexes map[string]*BTree // column name -> index
+}
+
+// catalog page layout (page 0):
+//   magic "UDB1" | checkpointLSN u64 | numTables u32 |
+//   per table: name | ncols u32 | (colName, typeByte)* | firstPage u32 |
+//              nIndexes u32 | indexColName*
+
+var catalogMagic = [4]byte{'U', 'D', 'B', '1'}
+
+type catalogData struct {
+	checkpointLSN LSN
+	tables        []catalogTable
+}
+
+type catalogTable struct {
+	schema    TableSchema
+	firstPage PageID
+	indexCols []string
+}
+
+func encodeCatalog(c *catalogData) ([]byte, error) {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, catalogMagic[:]...)
+	var tmp8 [8]byte
+	binary.LittleEndian.PutUint64(tmp8[:], uint64(c.checkpointLSN))
+	buf = append(buf, tmp8[:]...)
+	var tmp4 [4]byte
+	binary.LittleEndian.PutUint32(tmp4[:], uint32(len(c.tables)))
+	buf = append(buf, tmp4[:]...)
+	for _, t := range c.tables {
+		buf = appendString(buf, t.schema.Name)
+		binary.LittleEndian.PutUint32(tmp4[:], uint32(len(t.schema.Columns)))
+		buf = append(buf, tmp4[:]...)
+		for _, col := range t.schema.Columns {
+			buf = appendString(buf, col.Name)
+			buf = append(buf, byte(col.Type))
+		}
+		binary.LittleEndian.PutUint32(tmp4[:], uint32(t.firstPage))
+		buf = append(buf, tmp4[:]...)
+		cols := append([]string(nil), t.indexCols...)
+		sort.Strings(cols)
+		binary.LittleEndian.PutUint32(tmp4[:], uint32(len(cols)))
+		buf = append(buf, tmp4[:]...)
+		for _, ic := range cols {
+			buf = appendString(buf, ic)
+		}
+	}
+	if len(buf) > PageSize {
+		return nil, fmt.Errorf("rdbms: catalog of %d bytes exceeds one page", len(buf))
+	}
+	page := make([]byte, PageSize)
+	copy(page, buf)
+	return page, nil
+}
+
+func decodeCatalog(page []byte) (*catalogData, error) {
+	if len(page) < 16 {
+		return nil, fmt.Errorf("rdbms: short catalog page")
+	}
+	if [4]byte(page[:4]) != catalogMagic {
+		return nil, fmt.Errorf("rdbms: bad catalog magic")
+	}
+	c := &catalogData{checkpointLSN: LSN(binary.LittleEndian.Uint64(page[4:12]))}
+	n := int(binary.LittleEndian.Uint32(page[12:16]))
+	off := 16
+	for i := 0; i < n; i++ {
+		var t catalogTable
+		name, used, err := readString(page[off:])
+		if err != nil {
+			return nil, err
+		}
+		t.schema.Name = name
+		off += used
+		if len(page) < off+4 {
+			return nil, fmt.Errorf("rdbms: truncated catalog")
+		}
+		ncols := int(binary.LittleEndian.Uint32(page[off : off+4]))
+		off += 4
+		for j := 0; j < ncols; j++ {
+			cname, used, err := readString(page[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += used
+			if len(page) < off+1 {
+				return nil, fmt.Errorf("rdbms: truncated catalog column")
+			}
+			t.schema.Columns = append(t.schema.Columns, ColumnDef{Name: cname, Type: Type(page[off])})
+			off++
+		}
+		if len(page) < off+8 {
+			return nil, fmt.Errorf("rdbms: truncated catalog table")
+		}
+		t.firstPage = PageID(binary.LittleEndian.Uint32(page[off : off+4]))
+		off += 4
+		nidx := int(binary.LittleEndian.Uint32(page[off : off+4]))
+		off += 4
+		for j := 0; j < nidx; j++ {
+			ic, used, err := readString(page[off:])
+			if err != nil {
+				return nil, err
+			}
+			t.indexCols = append(t.indexCols, ic)
+			off += used
+		}
+		c.tables = append(c.tables, t)
+	}
+	return c, nil
+}

@@ -1,0 +1,181 @@
+package rdbms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomizedCrashRecovery drives the engine through random workloads
+// of interleaved transactions, crashes at a random point (losing the
+// unflushed WAL tail and whatever pages the buffer pool happened to have
+// written), recovers, and verifies that the surviving state is exactly
+// the set of committed changes. This is the durability property the
+// whole storage design exists for; it runs across many seeds.
+func TestRandomizedCrashRecovery(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runCrashScenario(t, seed)
+		})
+	}
+}
+
+func runCrashScenario(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pager := NewMemPager()
+	wal := NewMemWAL()
+	db, err := Open(pager, wal, Options{BufferPages: 4 + rng.Intn(12)}) // tiny pool forces steals
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableSchema{Name: "kv", Columns: []ColumnDef{
+		{Name: "k", Type: TInt}, {Name: "v", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// expected tracks the committed state by key.
+	expected := map[int64]string{}
+	rids := map[int64]RID{}
+
+	nTxns := 5 + rng.Intn(15)
+	for i := 0; i < nTxns; i++ {
+		tx := db.Begin()
+		// Buffer the txn's local effects; apply to expected only on commit.
+		local := map[int64]*string{} // nil string pointer = deleted
+		ops := 1 + rng.Intn(8)
+		aborted := false
+		for j := 0; j < ops; j++ {
+			k := int64(rng.Intn(20))
+			switch rng.Intn(3) {
+			case 0: // insert or update
+				v := fmt.Sprintf("s%d-t%d-o%d-%s", seed, i, j, pad(rng.Intn(120)))
+				if rid, ok := rids[k]; ok && currentlyLive(expected, local, k) {
+					newRID, err := tx.Update("kv", rid, Tuple{NewInt(k), NewString(v)})
+					if err != nil {
+						t.Fatalf("update: %v", err)
+					}
+					rids[k] = newRID
+				} else {
+					rid, err := tx.Insert("kv", Tuple{NewInt(k), NewString(v)})
+					if err != nil {
+						t.Fatalf("insert: %v", err)
+					}
+					rids[k] = rid
+				}
+				vv := v
+				local[k] = &vv
+			case 1: // delete if live
+				if rid, ok := rids[k]; ok && currentlyLive(expected, local, k) {
+					if err := tx.Delete("kv", rid); err != nil {
+						t.Fatalf("delete: %v", err)
+					}
+					local[k] = nil
+				}
+			case 2: // read (exercises locks)
+				if rid, ok := rids[k]; ok {
+					if _, _, err := tx.Get("kv", rid); err != nil {
+						t.Fatalf("get: %v", err)
+					}
+				}
+			}
+		}
+		switch rng.Intn(4) {
+		case 0: // abort explicitly
+			if err := tx.Abort(); err != nil {
+				t.Fatalf("abort: %v", err)
+			}
+			aborted = true
+		case 1: // leave in-flight (lost at crash) with 25% probability,
+			// but only for the final transaction so later txns don't block.
+			if i == nTxns-1 {
+				aborted = true // its effects must not survive
+				break
+			}
+			fallthrough
+		default:
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		}
+		if !aborted {
+			for k, v := range local {
+				if v == nil {
+					delete(expected, k)
+				} else {
+					expected[k] = *v
+				}
+			}
+		}
+		// Occasionally checkpoint (only when nothing is in flight).
+		if rng.Intn(5) == 0 && !inFlight(db) {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+		}
+		// Occasionally flush dirty pages without checkpointing, simulating
+		// background writeback (steal).
+		if rng.Intn(3) == 0 {
+			if err := db.bp.Flush(); err != nil {
+				t.Fatalf("flush: %v", err)
+			}
+		}
+	}
+
+	// Crash: lose the unflushed WAL tail, reopen.
+	wal.DropUnflushed()
+	re, err := Open(pager, wal, Options{BufferPages: 64})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	got := map[int64]string{}
+	tx := re.Begin()
+	err = tx.Scan("kv", func(_ RID, tup Tuple) bool {
+		got[tup[0].I] = tup[1].S
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	if len(got) != len(expected) {
+		t.Fatalf("after recovery: %d rows, want %d\n got: %v\nwant: %v", len(got), len(expected), keysOfMap(got), keysOfMap(expected))
+	}
+	for k, v := range expected {
+		if got[k] != v {
+			t.Fatalf("key %d = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func currentlyLive(committed map[int64]string, local map[int64]*string, k int64) bool {
+	if v, ok := local[k]; ok {
+		return v != nil
+	}
+	_, ok := committed[k]
+	return ok
+}
+
+func inFlight(db *DB) bool {
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	return len(db.active) > 0
+}
+
+func pad(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 'x'
+	}
+	return string(b)
+}
+
+func keysOfMap(m map[int64]string) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,455 @@
+package rdbms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DB is the database engine facade: catalog, storage, WAL, lock manager,
+// and transaction lifecycle. The durability protocol is steal/no-force
+// with logical logging: dirty pages may be written back at any time (the
+// buffer pool flushes the WAL first, honouring the WAL rule), commits
+// force only the log, and recovery redoes committed work after the last
+// checkpoint and undoes losers using before-images.
+//
+// DDL (CREATE TABLE / CREATE INDEX / DROP TABLE) is not logged: each DDL
+// statement performs a full quiesced checkpoint, so the catalog is always
+// consistent with a checkpoint boundary. Indexes are rebuilt from the
+// heap when a database is opened.
+type DB struct {
+	mu     sync.RWMutex // guards tables map and checkpointing
+	pager  Pager
+	bp     *BufferPool
+	wal    *WAL
+	lm     *LockManager
+	tables map[string]*Table
+
+	txnMu   sync.Mutex
+	nextTxn TxnID
+	active  map[TxnID]*Txn
+
+	checkpointLSN LSN
+}
+
+// Options configures Open.
+type Options struct {
+	BufferPages int // buffer pool capacity (default 256)
+}
+
+// Open initializes a database over pager and wal. A fresh pager gets a new
+// catalog; an existing one is recovered (catalog load, WAL redo/undo,
+// index rebuild).
+func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
+	if opts.BufferPages == 0 {
+		opts.BufferPages = 256
+	}
+	db := &DB{
+		pager:  pager,
+		wal:    wal,
+		lm:     NewLockManager(),
+		tables: make(map[string]*Table),
+		active: make(map[TxnID]*Txn),
+	}
+	db.bp = NewBufferPool(pagerWithWALRule{pager, wal}, opts.BufferPages)
+	if pager.NumPages() == 0 {
+		// Fresh database: allocate and write the catalog page.
+		id, err := pager.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		if id != 0 {
+			return nil, fmt.Errorf("rdbms: catalog page allocated as %d, want 0", id)
+		}
+		if err := db.writeCatalog(); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	if err := db.recover(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// pagerWithWALRule enforces write-ahead logging: any page write first
+// forces the WAL, so before-images of every flushed change are durable.
+type pagerWithWALRule struct {
+	Pager
+	wal *WAL
+}
+
+func (p pagerWithWALRule) WritePage(id PageID, buf []byte) error {
+	if err := p.wal.Flush(); err != nil {
+		return err
+	}
+	return p.Pager.WritePage(id, buf)
+}
+
+func (db *DB) writeCatalog() error {
+	cat := catalogData{checkpointLSN: db.checkpointLSN}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := db.tables[n]
+		ct := catalogTable{schema: t.Schema, firstPage: t.Heap.FirstPage()}
+		for col := range t.Indexes {
+			ct.indexCols = append(ct.indexCols, col)
+		}
+		cat.tables = append(cat.tables, ct)
+	}
+	page, err := encodeCatalog(&cat)
+	if err != nil {
+		return err
+	}
+	if err := db.pager.WritePage(0, page); err != nil {
+		return err
+	}
+	return db.pager.Sync()
+}
+
+// Checkpoint flushes the WAL and all dirty pages, then records the durable
+// LSN in the catalog. It requires a quiesced system (no active
+// transactions) so that the checkpoint is a clean recovery boundary.
+func (db *DB) Checkpoint() error {
+	db.txnMu.Lock()
+	n := len(db.active)
+	db.txnMu.Unlock()
+	if n > 0 {
+		return fmt.Errorf("rdbms: checkpoint with %d active transactions", n)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.wal.Flush(); err != nil {
+		return err
+	}
+	if err := db.bp.Flush(); err != nil {
+		return err
+	}
+	db.checkpointLSN = db.wal.FlushedLSN()
+	db.wal.Append(&LogRecord{Kind: LogCheckpoint})
+	if err := db.wal.Flush(); err != nil {
+		return err
+	}
+	db.checkpointLSN = db.wal.FlushedLSN()
+	return db.writeCatalog()
+}
+
+// CreateTable adds a table and checkpoints.
+func (db *DB) CreateTable(schema TableSchema) error {
+	if len(schema.Columns) == 0 {
+		return fmt.Errorf("rdbms: table %s needs at least one column", schema.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Columns {
+		if seen[c.Name] {
+			return fmt.Errorf("rdbms: duplicate column %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[schema.Name]; ok {
+		return fmt.Errorf("rdbms: table %s already exists", schema.Name)
+	}
+	heap, err := CreateHeapFile(db.bp)
+	if err != nil {
+		return err
+	}
+	db.tables[schema.Name] = &Table{Schema: schema, Heap: heap, Indexes: map[string]*BTree{}}
+	return db.checkpointLocked()
+}
+
+// DropTable removes a table. Its pages are abandoned (no free-list reuse).
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("rdbms: table %s does not exist", name)
+	}
+	delete(db.tables, name)
+	return db.checkpointLocked()
+}
+
+// CreateIndex builds a B+tree index on a column and checkpoints.
+func (db *DB) CreateIndex(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("rdbms: table %s does not exist", table)
+	}
+	ci := t.Schema.ColIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("rdbms: no column %s in %s", column, table)
+	}
+	if _, ok := t.Indexes[column]; ok {
+		return fmt.Errorf("rdbms: index on %s.%s already exists", table, column)
+	}
+	idx := NewBTree()
+	err := t.Heap.Scan(func(rid RID, tup Tuple) bool {
+		idx.Insert(tup[ci], rid)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	t.Indexes[column] = idx
+	return db.checkpointLocked()
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LockManager exposes the lock manager (for tests and diagnostics).
+func (db *DB) LockManager() *LockManager { return db.lm }
+
+// BufferStats returns buffer pool hit/miss counters.
+func (db *DB) BufferStats() (hits, misses int64) { return db.bp.Stats() }
+
+// Close flushes everything. The database must be quiesced.
+func (db *DB) Close() error {
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	return db.pager.Close()
+}
+
+// recover loads the catalog and replays the WAL: redo committed work after
+// the checkpoint, undo losers, rebuild indexes, and checkpoint.
+func (db *DB) recover() error {
+	page := make([]byte, PageSize)
+	if err := db.pager.ReadPage(0, page); err != nil {
+		return err
+	}
+	cat, err := decodeCatalog(page)
+	if err != nil {
+		return err
+	}
+	db.checkpointLSN = cat.checkpointLSN
+	for _, ct := range cat.tables {
+		heap, err := OpenHeapFile(db.bp, ct.firstPage)
+		if err != nil {
+			return err
+		}
+		t := &Table{Schema: ct.schema, Heap: heap, Indexes: map[string]*BTree{}}
+		for _, col := range ct.indexCols {
+			t.Indexes[col] = NewBTree() // populated after replay
+		}
+		db.tables[ct.schema.Name] = t
+	}
+
+	records, err := db.wal.Records(db.checkpointLSN)
+	if err != nil {
+		return err
+	}
+	// Analysis: find winners (committed) and losers.
+	committed := map[TxnID]bool{}
+	aborted := map[TxnID]bool{}
+	var order []*LogRecord
+	for _, r := range records {
+		switch r.Kind {
+		case LogCommit:
+			committed[r.Txn] = true
+		case LogAbort:
+			aborted[r.Txn] = true
+		}
+		order = append(order, r)
+	}
+	// Redo committed changes in log order.
+	for _, r := range order {
+		if !committed[r.Txn] {
+			continue
+		}
+		if err := db.redo(r); err != nil {
+			return err
+		}
+	}
+	// Undo losers (neither committed nor aborted — aborted txns already
+	// rolled back in memory before any page flush could... no: with steal,
+	// an aborted txn's changes were undone by its own Abort path and the
+	// undo is reflected in the heap only if those pages flushed. To stay
+	// correct we also undo aborted txns' records that lack compensation;
+	// since Abort physically restores pages before writing LogAbort, and
+	// those restores happened before any later flush, replaying undo for
+	// aborted txns is idempotent and safe).
+	for i := len(order) - 1; i >= 0; i-- {
+		r := order[i]
+		if committed[r.Txn] {
+			continue
+		}
+		if err := db.undo(r); err != nil {
+			return err
+		}
+	}
+	// Rebuild indexes from heap contents.
+	for _, t := range db.tables {
+		for col := range t.Indexes {
+			ci := t.Schema.ColIndex(col)
+			fresh := NewBTree()
+			err := t.Heap.Scan(func(rid RID, tup Tuple) bool {
+				fresh.Insert(tup[ci], rid)
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			t.Indexes[col] = fresh
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.checkpointLocked()
+}
+
+// ensureHeapPage makes sure the page referenced by a log record exists in
+// the pager and belongs to the table's heap chain. Pages allocated before
+// a crash may never have reached disk; recovery recreates them.
+func (db *DB) ensureHeapPage(t *Table, id PageID) error {
+	for db.pager.NumPages() <= id {
+		if _, err := db.pager.Allocate(); err != nil {
+			return err
+		}
+	}
+	if !t.Heap.Contains(id) {
+		return t.Heap.Adopt(id)
+	}
+	return nil
+}
+
+// redo re-applies a committed change idempotently.
+func (db *DB) redo(r *LogRecord) error {
+	t := db.tables[r.Table]
+	if t == nil {
+		return nil // table dropped after the record was written
+	}
+	if r.Kind != LogInsert && r.Kind != LogDelete && r.Kind != LogUpdate {
+		return nil
+	}
+	if err := db.ensureHeapPage(t, r.Row.Page); err != nil {
+		return err
+	}
+	switch r.Kind {
+	case LogInsert:
+		cur, live, err := t.Heap.Get(r.Row)
+		if err != nil {
+			return err
+		}
+		if live {
+			if tupleEqual(cur, r.After) {
+				return nil // already applied
+			}
+			_, err := t.Heap.Update(r.Row, r.After)
+			return err
+		}
+		return t.Heap.InsertAt(r.Row, r.After)
+	case LogDelete:
+		_, live, err := t.Heap.Get(r.Row)
+		if err != nil {
+			return err
+		}
+		if !live {
+			return nil
+		}
+		_, err = t.Heap.Delete(r.Row)
+		return err
+	case LogUpdate:
+		_, live, err := t.Heap.Get(r.Row)
+		if err != nil {
+			return err
+		}
+		if !live {
+			return t.Heap.InsertAt(r.Row, r.After)
+		}
+		_, err = t.Heap.Update(r.Row, r.After)
+		return err
+	}
+	return nil
+}
+
+// undo reverses a loser's change idempotently.
+func (db *DB) undo(r *LogRecord) error {
+	t := db.tables[r.Table]
+	if t == nil {
+		return nil
+	}
+	if r.Kind != LogInsert && r.Kind != LogDelete && r.Kind != LogUpdate {
+		return nil
+	}
+	if err := db.ensureHeapPage(t, r.Row.Page); err != nil {
+		return err
+	}
+	switch r.Kind {
+	case LogInsert:
+		cur, live, err := t.Heap.Get(r.Row)
+		if err != nil {
+			return err
+		}
+		if live && tupleEqual(cur, r.After) {
+			_, err := t.Heap.Delete(r.Row)
+			return err
+		}
+		return nil
+	case LogDelete:
+		_, live, err := t.Heap.Get(r.Row)
+		if err != nil {
+			return err
+		}
+		if !live {
+			return t.Heap.InsertAt(r.Row, r.Before)
+		}
+		return nil
+	case LogUpdate:
+		cur, live, err := t.Heap.Get(r.Row)
+		if err != nil {
+			return err
+		}
+		if live && tupleEqual(cur, r.After) {
+			_, err := t.Heap.Update(r.Row, r.Before)
+			return err
+		}
+		if !live {
+			return t.Heap.InsertAt(r.Row, r.Before)
+		}
+		return nil
+	}
+	return nil
+}
+
+func tupleEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Type != b[i].Type {
+			return false
+		}
+		if !Equal(a[i], b[i]) && !(a[i].IsNull() && b[i].IsNull()) {
+			return false
+		}
+	}
+	return true
+}

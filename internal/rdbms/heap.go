@@ -1,0 +1,343 @@
+package rdbms
+
+import (
+	"fmt"
+	"sync"
+)
+
+// HeapFile is an unordered collection of tuples stored in a chain of
+// slotted pages. All page access goes through the buffer pool. A HeapFile
+// serializes its own structural mutations with a mutex; transaction-level
+// isolation is provided above it by the lock manager.
+type HeapFile struct {
+	mu    sync.Mutex
+	bp    *BufferPool
+	first PageID
+	pages []PageID // cached chain order
+}
+
+// CreateHeapFile allocates the first page of a new heap.
+func CreateHeapFile(bp *BufferPool) (*HeapFile, error) {
+	id, data, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	p := newSlottedPage(data)
+	p.setNext(InvalidPage)
+	bp.Unpin(id, true)
+	return &HeapFile{bp: bp, first: id, pages: []PageID{id}}, nil
+}
+
+// OpenHeapFile reconstructs a heap from its first page by walking the chain.
+func OpenHeapFile(bp *BufferPool, first PageID) (*HeapFile, error) {
+	h := &HeapFile{bp: bp, first: first}
+	id := first
+	for id != InvalidPage {
+		data, err := bp.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		p := newSlottedPage(data)
+		next := p.next()
+		bp.Unpin(id, false)
+		h.pages = append(h.pages, id)
+		id = next
+		if len(h.pages) > 1<<24 {
+			return nil, fmt.Errorf("rdbms: heap chain cycle at page %d", id)
+		}
+	}
+	return h, nil
+}
+
+// FirstPage returns the head page id (stored in the catalog).
+func (h *HeapFile) FirstPage() PageID { return h.first }
+
+// Insert stores a tuple and returns its RID.
+func (h *HeapFile) Insert(t Tuple) (RID, error) { return h.InsertWith(t, nil) }
+
+// InsertWith stores a tuple and, while the target page is still pinned,
+// invokes onApply with the new RID. Pinned pages cannot be evicted, so a
+// WAL append performed in onApply is guaranteed to precede any flush of
+// the modified page (the write-ahead rule).
+func (h *HeapFile) InsertWith(t Tuple, onApply func(RID)) (RID, error) {
+	rec := EncodeTuple(t)
+	if len(rec)+slotSize > PageSize-pageHeaderSize {
+		return RID{}, fmt.Errorf("rdbms: tuple of %d bytes exceeds page capacity", len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try the last page first (append-mostly workloads), then scan.
+	order := make([]PageID, 0, len(h.pages))
+	if n := len(h.pages); n > 0 {
+		order = append(order, h.pages[n-1])
+		order = append(order, h.pages[:n-1]...)
+	}
+	for _, id := range order {
+		data, err := h.bp.Pin(id)
+		if err != nil {
+			return RID{}, err
+		}
+		p := newSlottedPage(data)
+		if slot, ok := p.insert(rec); ok {
+			rid := RID{Page: id, Slot: slot}
+			if onApply != nil {
+				onApply(rid)
+			}
+			h.bp.Unpin(id, true)
+			return rid, nil
+		}
+		h.bp.Unpin(id, false)
+	}
+	// Need a new page linked to the tail.
+	id, data, err := h.bp.NewPage()
+	if err != nil {
+		return RID{}, err
+	}
+	p := newSlottedPage(data)
+	p.setNext(InvalidPage)
+	slot, ok := p.insert(rec)
+	if !ok {
+		h.bp.Unpin(id, true)
+		return RID{}, fmt.Errorf("rdbms: tuple does not fit in a fresh page")
+	}
+	rid := RID{Page: id, Slot: slot}
+	if onApply != nil {
+		onApply(rid)
+	}
+	h.bp.Unpin(id, true)
+	// Link previous tail to the new page.
+	tail := h.pages[len(h.pages)-1]
+	tdata, err := h.bp.Pin(tail)
+	if err != nil {
+		return RID{}, err
+	}
+	newSlottedPage(tdata).setNext(id)
+	h.bp.Unpin(tail, true)
+	h.pages = append(h.pages, id)
+	return rid, nil
+}
+
+// Contains reports whether page id is part of this heap's chain.
+func (h *HeapFile) Contains(id PageID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.pages {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Adopt links an already-allocated page into the heap chain. Recovery uses
+// this for pages that were allocated before a crash but whose chain link
+// never reached disk. The page is (re)initialized if blank.
+func (h *HeapFile) Adopt(id PageID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.pages {
+		if p == id {
+			return nil
+		}
+	}
+	data, err := h.bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	p := newSlottedPage(data)
+	p.setNext(InvalidPage)
+	h.bp.Unpin(id, true)
+	tail := h.pages[len(h.pages)-1]
+	tdata, err := h.bp.Pin(tail)
+	if err != nil {
+		return err
+	}
+	newSlottedPage(tdata).setNext(id)
+	h.bp.Unpin(tail, true)
+	h.pages = append(h.pages, id)
+	return nil
+}
+
+// InsertAt re-inserts a tuple at a specific RID if that slot is free; used
+// by crash recovery to redo inserts idempotently. If the exact slot cannot
+// be honoured (already occupied by live data) it returns an error.
+func (h *HeapFile) InsertAt(rid RID, t Tuple) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec := EncodeTuple(t)
+	data, err := h.bp.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(rid.Page, true)
+	p := newSlottedPage(data)
+	if rid.Slot < p.numSlots() {
+		if _, live := p.read(rid.Slot); live {
+			return fmt.Errorf("rdbms: InsertAt %v: slot occupied", rid)
+		}
+		// Re-materialize into the tombstoned slot.
+		if p.freeSpace() < len(rec) {
+			return fmt.Errorf("rdbms: InsertAt %v: no space", rid)
+		}
+		newStart := p.freeStart() - uint16(len(rec))
+		copy(p.data[newStart:], rec)
+		p.setFreeStart(newStart)
+		p.setSlot(rid.Slot, newStart, uint16(len(rec)))
+		return nil
+	}
+	// Slot index beyond current count: extend the slot array to reach it.
+	for p.numSlots() <= rid.Slot {
+		if p.freeSpace() < slotSize {
+			return fmt.Errorf("rdbms: InsertAt %v: no slot space", rid)
+		}
+		s := p.numSlots()
+		p.setSlot(s, 0, tombstoneLen)
+		p.setNumSlots(s + 1)
+	}
+	if p.freeSpace() < len(rec) {
+		return fmt.Errorf("rdbms: InsertAt %v: no space", rid)
+	}
+	newStart := p.freeStart() - uint16(len(rec))
+	copy(p.data[newStart:], rec)
+	p.setFreeStart(newStart)
+	p.setSlot(rid.Slot, newStart, uint16(len(rec)))
+	return nil
+}
+
+// Get reads the tuple at rid; ok is false for deleted or absent rows.
+func (h *HeapFile) Get(rid RID) (Tuple, bool, error) {
+	data, err := h.bp.Pin(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer h.bp.Unpin(rid.Page, false)
+	p := newSlottedPage(data)
+	rec, ok := p.read(rid.Slot)
+	if !ok {
+		return nil, false, nil
+	}
+	t, err := DecodeTuple(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// Delete tombstones the tuple at rid.
+func (h *HeapFile) Delete(rid RID) (bool, error) { return h.DeleteWith(rid, nil) }
+
+// DeleteWith tombstones the tuple at rid, invoking onApply while the page
+// is pinned (see InsertWith for the write-ahead rationale).
+func (h *HeapFile) DeleteWith(rid RID, onApply func()) (bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, err := h.bp.Pin(rid.Page)
+	if err != nil {
+		return false, err
+	}
+	defer h.bp.Unpin(rid.Page, true)
+	p := newSlottedPage(data)
+	ok := p.del(rid.Slot)
+	if ok && onApply != nil {
+		onApply()
+	}
+	return ok, nil
+}
+
+// Update replaces the tuple at rid in place. If the new tuple no longer
+// fits in the page, Update deletes the old row and inserts elsewhere,
+// returning the (possibly new) RID.
+func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
+	newRID, ok, err := h.TryUpdateInPlace(rid, t, nil)
+	if err != nil {
+		return RID{}, err
+	}
+	if ok {
+		return newRID, nil
+	}
+	if deleted, err := h.Delete(rid); err != nil || !deleted {
+		return RID{}, fmt.Errorf("rdbms: update of missing row %v (err=%v)", rid, err)
+	}
+	return h.Insert(t)
+}
+
+// TryUpdateInPlace replaces the tuple at rid if the new encoding fits in
+// its page, invoking onApply while the page is pinned. ok is false when the
+// tuple must move (caller performs delete+insert, each separately logged).
+func (h *HeapFile) TryUpdateInPlace(rid RID, t Tuple, onApply func(RID)) (RID, bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rec := EncodeTuple(t)
+	data, err := h.bp.Pin(rid.Page)
+	if err != nil {
+		return RID{}, false, err
+	}
+	p := newSlottedPage(data)
+	if p.update(rid.Slot, rec) {
+		if onApply != nil {
+			onApply(rid)
+		}
+		h.bp.Unpin(rid.Page, true)
+		return rid, true, nil
+	}
+	_, live := p.read(rid.Slot)
+	h.bp.Unpin(rid.Page, false)
+	if !live {
+		return RID{}, false, fmt.Errorf("rdbms: update of missing row %v", rid)
+	}
+	return RID{}, false, nil
+}
+
+// Scan calls fn for every live tuple in page-chain order. Returning false
+// stops the scan.
+func (h *HeapFile) Scan(fn func(rid RID, t Tuple) bool) error {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, id := range pages {
+		data, err := h.bp.Pin(id)
+		if err != nil {
+			return err
+		}
+		p := newSlottedPage(data)
+		n := p.numSlots()
+		type row struct {
+			rid RID
+			t   Tuple
+		}
+		rows := make([]row, 0, n)
+		for s := uint16(0); s < n; s++ {
+			rec, ok := p.read(s)
+			if !ok {
+				continue
+			}
+			t, err := DecodeTuple(rec)
+			if err != nil {
+				h.bp.Unpin(id, false)
+				return err
+			}
+			rows = append(rows, row{RID{Page: id, Slot: s}, t})
+		}
+		h.bp.Unpin(id, false)
+		for _, r := range rows {
+			if !fn(r.rid, r.t) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of live tuples (full scan).
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, Tuple) bool { n++; return true })
+	return n, err
+}
+
+// Pages returns the number of pages in the chain.
+func (h *HeapFile) Pages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}

@@ -1,0 +1,298 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 4096
+
+// PageID identifies a page within the database file.
+type PageID uint32
+
+// InvalidPage is the nil page id.
+const InvalidPage PageID = 0xFFFFFFFF
+
+// RID locates a row: page and slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Pager provides page-granular storage; implementations are an in-memory
+// array (for tests and benchmarks) and a real file.
+type Pager interface {
+	// ReadPage fills buf (len PageSize) with page id's contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf as page id's contents.
+	WritePage(id PageID, buf []byte) error
+	// Allocate extends the store by one page and returns its id.
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() PageID
+	// Sync flushes to stable storage.
+	Sync() error
+	Close() error
+}
+
+// MemPager is an in-memory Pager.
+type MemPager struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewMemPager returns an empty in-memory pager.
+func NewMemPager() *MemPager { return &MemPager{} }
+
+func (m *MemPager) ReadPage(id PageID, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("rdbms: read of unallocated page %d", id)
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+func (m *MemPager) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("rdbms: write of unallocated page %d", id)
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+func (m *MemPager) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages = append(m.pages, make([]byte, PageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+func (m *MemPager) NumPages() PageID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return PageID(len(m.pages))
+}
+
+func (m *MemPager) Sync() error  { return nil }
+func (m *MemPager) Close() error { return nil }
+
+// FilePager stores pages in a single file.
+type FilePager struct {
+	mu sync.Mutex
+	f  *os.File
+	n  PageID
+}
+
+// OpenFilePager opens (creating if needed) a page file.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FilePager{f: f, n: PageID(st.Size() / PageSize)}, nil
+}
+
+func (p *FilePager) ReadPage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.n {
+		return fmt.Errorf("rdbms: read of unallocated page %d", id)
+	}
+	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+func (p *FilePager) WritePage(id PageID, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.n {
+		return fmt.Errorf("rdbms: write of unallocated page %d", id)
+	}
+	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+func (p *FilePager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.n
+	p.n++
+	zero := make([]byte, PageSize)
+	if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		p.n--
+		return InvalidPage, err
+	}
+	return id, nil
+}
+
+func (p *FilePager) NumPages() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+func (p *FilePager) Sync() error  { return p.f.Sync() }
+func (p *FilePager) Close() error { return p.f.Close() }
+
+// Slotted page layout:
+//   [0:2)  numSlots
+//   [2:4)  freeStart (offset where the next record payload region begins,
+//          growing down from PageSize)
+//   [4:8)  next page id in the heap chain (InvalidPage terminates)
+//   then numSlots slot entries of 4 bytes each: [offset uint16, len uint16].
+//   A slot with len == 0xFFFF is a tombstone (deleted).
+//
+// Records are written from the end of the page toward the slot array.
+
+const (
+	pageHeaderSize = 8
+	slotSize       = 4
+	tombstoneLen   = 0xFFFF
+)
+
+type slottedPage struct {
+	data []byte // PageSize bytes
+}
+
+func newSlottedPage(data []byte) *slottedPage {
+	p := &slottedPage{data: data}
+	if p.freeStart() == 0 {
+		p.setFreeStart(PageSize)
+	}
+	return p
+}
+
+func (p *slottedPage) numSlots() uint16      { return binary.LittleEndian.Uint16(p.data[0:2]) }
+func (p *slottedPage) setNumSlots(n uint16)  { binary.LittleEndian.PutUint16(p.data[0:2], n) }
+func (p *slottedPage) freeStart() uint16     { return binary.LittleEndian.Uint16(p.data[2:4]) }
+func (p *slottedPage) setFreeStart(v uint16) { binary.LittleEndian.PutUint16(p.data[2:4], v) }
+func (p *slottedPage) next() PageID          { return PageID(binary.LittleEndian.Uint32(p.data[4:8])) }
+func (p *slottedPage) setNext(id PageID)     { binary.LittleEndian.PutUint32(p.data[4:8], uint32(id)) }
+
+func (p *slottedPage) slot(i uint16) (off, length uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p.data[base : base+2]),
+		binary.LittleEndian.Uint16(p.data[base+2 : base+4])
+}
+
+func (p *slottedPage) setSlot(i uint16, off, length uint16) {
+	base := pageHeaderSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p.data[base:base+2], off)
+	binary.LittleEndian.PutUint16(p.data[base+2:base+4], length)
+}
+
+// freeSpace returns usable bytes for a new record (including its slot).
+func (p *slottedPage) freeSpace() int {
+	slotEnd := pageHeaderSize + int(p.numSlots())*slotSize
+	return int(p.freeStart()) - slotEnd
+}
+
+// insert places rec in the page and returns its slot, or false if it does
+// not fit.
+func (p *slottedPage) insert(rec []byte) (uint16, bool) {
+	if len(rec) > tombstoneLen-1 {
+		return 0, false
+	}
+	// Reuse a tombstone slot if the payload fits in freeStart space anyway
+	// (payload space is not compacted; we just take new space).
+	need := len(rec) + slotSize
+	if p.freeSpace() < need {
+		// Try reusing a tombstoned slot: then we only need payload space.
+		if p.freeSpace() < len(rec) {
+			return 0, false
+		}
+		for i := uint16(0); i < p.numSlots(); i++ {
+			if _, l := p.slot(i); l == tombstoneLen {
+				newStart := p.freeStart() - uint16(len(rec))
+				copy(p.data[newStart:], rec)
+				p.setFreeStart(newStart)
+				p.setSlot(i, newStart, uint16(len(rec)))
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	// Prefer a tombstone slot even when space is plentiful, to bound slot
+	// array growth under churn.
+	for i := uint16(0); i < p.numSlots(); i++ {
+		if _, l := p.slot(i); l == tombstoneLen {
+			newStart := p.freeStart() - uint16(len(rec))
+			copy(p.data[newStart:], rec)
+			p.setFreeStart(newStart)
+			p.setSlot(i, newStart, uint16(len(rec)))
+			return i, true
+		}
+	}
+	slot := p.numSlots()
+	newStart := p.freeStart() - uint16(len(rec))
+	copy(p.data[newStart:], rec)
+	p.setFreeStart(newStart)
+	p.setSlot(slot, newStart, uint16(len(rec)))
+	p.setNumSlots(slot + 1)
+	return slot, true
+}
+
+// read returns the record in slot i, or false for tombstones/bad slots.
+func (p *slottedPage) read(i uint16) ([]byte, bool) {
+	if i >= p.numSlots() {
+		return nil, false
+	}
+	off, l := p.slot(i)
+	if l == tombstoneLen {
+		return nil, false
+	}
+	return p.data[off : off+l], true
+}
+
+// del tombstones slot i.
+func (p *slottedPage) del(i uint16) bool {
+	if i >= p.numSlots() {
+		return false
+	}
+	off, l := p.slot(i)
+	if l == tombstoneLen {
+		return false
+	}
+	p.setSlot(i, off, tombstoneLen)
+	return true
+}
+
+// update replaces slot i's record. If the new record fits in the old
+// record's space it is updated in place; otherwise new payload space is
+// taken. Returns false if it cannot fit.
+func (p *slottedPage) update(i uint16, rec []byte) bool {
+	if i >= p.numSlots() {
+		return false
+	}
+	off, l := p.slot(i)
+	if l == tombstoneLen {
+		return false
+	}
+	if len(rec) <= int(l) {
+		copy(p.data[off:], rec)
+		p.setSlot(i, off, uint16(len(rec)))
+		return true
+	}
+	if p.freeSpace() < len(rec) {
+		return false
+	}
+	newStart := p.freeStart() - uint16(len(rec))
+	copy(p.data[newStart:], rec)
+	p.setFreeStart(newStart)
+	p.setSlot(i, newStart, uint16(len(rec)))
+	return true
+}

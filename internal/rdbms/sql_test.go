@@ -1,0 +1,378 @@
+package rdbms
+
+import (
+	"strings"
+	"testing"
+)
+
+func sqlDB(t *testing.T) *DB {
+	t.Helper()
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE cities (name STRING, state STRING, pop INT, temp FLOAT)")
+	mustExec(t, db, `INSERT INTO cities VALUES
+		('Madison', 'WI', 233209, 62.0),
+		('Milwaukee', 'WI', 594833, 60.5),
+		('Chicago', 'IL', 2746388, 64.0),
+		('Springfield', 'IL', 114394, 65.5),
+		('Denver', 'CO', 715522, 55.0)`)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *ResultSet {
+	t.Helper()
+	rs, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return rs
+}
+
+func TestSQLLexer(t *testing.T) {
+	toks, err := lexSQL("SELECT a, b FROM t WHERE x >= 1.5 AND name = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+	}
+	if toks[len(toks)-1].kind != tkEOF {
+		t.Fatal("missing EOF")
+	}
+	// The escaped string should decode.
+	found := false
+	for _, tok := range toks {
+		if tok.kind == tkString && tok.text == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped string not lexed: %v", toks)
+	}
+	if _, err := lexSQL("SELECT 'unterminated"); err == nil {
+		t.Fatal("unterminated string must fail")
+	}
+	if _, err := lexSQL("SELECT a ! b"); err == nil {
+		t.Fatal("stray ! must fail")
+	}
+}
+
+func TestSQLParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT * FROM",
+		"SELECT FROM t",
+		"INSERT INTO t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t extra garbage here ,",
+		"DELETE t",
+		"UPDATE t WHERE x = 1",
+		"SELECT SUM(*) FROM t",
+	}
+	for _, q := range bad {
+		if _, err := ParseSQL(q); err == nil {
+			t.Errorf("ParseSQL(%q) should fail", q)
+		}
+	}
+}
+
+func TestSQLSelectAll(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT * FROM cities")
+	if len(rs.Rows) != 5 {
+		t.Fatalf("got %d rows", len(rs.Rows))
+	}
+	if len(rs.Columns) != 4 || rs.Columns[0] != "name" {
+		t.Fatalf("columns: %v", rs.Columns)
+	}
+	if !strings.Contains(rs.Plan, "seq scan") {
+		t.Fatalf("plan: %q", rs.Plan)
+	}
+}
+
+func TestSQLWhereFilter(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT name FROM cities WHERE state = 'WI'")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("got %d rows: %v", len(rs.Rows), rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE pop > 500000 AND state != 'IL'")
+	if len(rs.Rows) != 2 { // Milwaukee, Denver
+		t.Fatalf("got %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE pop BETWEEN 100000 AND 600000 ORDER BY name")
+	if len(rs.Rows) != 3 || rs.Rows[0][0].S != "Madison" {
+		t.Fatalf("between: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE name LIKE 'M%'")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("like: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE NOT (state = 'WI' OR state = 'IL')")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "Denver" {
+		t.Fatalf("not/or: %v", rs.Rows)
+	}
+}
+
+func TestSQLProjectionExpressions(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT name, pop / 1000 AS thousands FROM cities WHERE name = 'Madison'")
+	if len(rs.Rows) != 1 || rs.Rows[0][1].I != 233 {
+		t.Fatalf("arith projection: %v", rs.Rows)
+	}
+	if rs.Columns[1] != "thousands" {
+		t.Fatalf("alias lost: %v", rs.Columns)
+	}
+	rs = mustExec(t, db, "SELECT temp * 2.0 FROM cities WHERE name = 'Denver'")
+	if rs.Rows[0][0].F != 110.0 {
+		t.Fatalf("float arith: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name + ', ' + state FROM cities WHERE name = 'Madison'")
+	if rs.Rows[0][0].S != "Madison, WI" {
+		t.Fatalf("string concat: %v", rs.Rows)
+	}
+}
+
+func TestSQLOrderLimitOffset(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT name, pop FROM cities ORDER BY pop DESC LIMIT 2")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "Chicago" || rs.Rows[1][0].S != "Denver" {
+		t.Fatalf("order desc limit: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities ORDER BY pop ASC LIMIT 2 OFFSET 1")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "Madison" {
+		t.Fatalf("offset: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities ORDER BY state, pop DESC")
+	if rs.Rows[0][0].S != "Denver" || rs.Rows[1][0].S != "Chicago" {
+		t.Fatalf("multi-key order: %v", rs.Rows)
+	}
+	// OFFSET beyond result size.
+	rs = mustExec(t, db, "SELECT name FROM cities OFFSET 99")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("big offset: %v", rs.Rows)
+	}
+}
+
+func TestSQLAggregates(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT COUNT(*), SUM(pop), MIN(pop), MAX(pop) FROM cities")
+	r := rs.Rows[0]
+	if r[0].I != 5 {
+		t.Fatalf("count: %v", r)
+	}
+	wantSum := int64(233209 + 594833 + 2746388 + 114394 + 715522)
+	if r[1].I != wantSum {
+		t.Fatalf("sum: %v want %d", r[1], wantSum)
+	}
+	if r[2].I != 114394 || r[3].I != 2746388 {
+		t.Fatalf("min/max: %v", r)
+	}
+	rs = mustExec(t, db, "SELECT AVG(temp) FROM cities WHERE state = 'IL'")
+	if rs.Rows[0][0].F != 64.75 {
+		t.Fatalf("avg: %v", rs.Rows)
+	}
+}
+
+func TestSQLGroupByHaving(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT state, COUNT(*) AS n, SUM(pop) FROM cities GROUP BY state ORDER BY state")
+	if len(rs.Rows) != 3 {
+		t.Fatalf("groups: %v", rs.Rows)
+	}
+	if rs.Rows[0][0].S != "CO" || rs.Rows[1][0].S != "IL" || rs.Rows[2][0].S != "WI" {
+		t.Fatalf("group order: %v", rs.Rows)
+	}
+	if rs.Rows[2][1].I != 2 {
+		t.Fatalf("WI count: %v", rs.Rows[2])
+	}
+	rs = mustExec(t, db, "SELECT state FROM cities GROUP BY state HAVING COUNT(*) >= 2 ORDER BY state")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "IL" {
+		t.Fatalf("having: %v", rs.Rows)
+	}
+	// Aggregate over empty input.
+	rs = mustExec(t, db, "SELECT COUNT(*) FROM cities WHERE pop > 99999999")
+	if rs.Rows[0][0].I != 0 {
+		t.Fatalf("empty count: %v", rs.Rows)
+	}
+	// Non-grouped column must error.
+	if _, err := db.Exec("SELECT name, COUNT(*) FROM cities GROUP BY state"); err == nil {
+		t.Fatal("ungrouped column should fail")
+	}
+}
+
+func TestSQLJoin(t *testing.T) {
+	db := sqlDB(t)
+	mustExec(t, db, "CREATE TABLE people (pname STRING, city STRING)")
+	mustExec(t, db, `INSERT INTO people VALUES
+		('David Smith', 'Madison'), ('Sarah Lee', 'Chicago'), ('Ann Ray', 'Madison'), ('Bo Diaz', 'Nowhere')`)
+	rs := mustExec(t, db, `SELECT pname, state FROM people JOIN cities ON city = name ORDER BY pname`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("join rows: %v", rs.Rows)
+	}
+	if rs.Rows[0][0].S != "Ann Ray" || rs.Rows[0][1].S != "WI" {
+		t.Fatalf("join row 0: %v", rs.Rows[0])
+	}
+	if !strings.Contains(rs.Plan, "hash join") {
+		t.Fatalf("plan: %q", rs.Plan)
+	}
+	// Qualified columns with aliases.
+	rs = mustExec(t, db, `SELECT p.pname, c.pop FROM people p JOIN cities c ON p.city = c.name WHERE c.state = 'WI' ORDER BY p.pname`)
+	if len(rs.Rows) != 2 || rs.Rows[0][1].I != 233209 {
+		t.Fatalf("aliased join: %v", rs.Rows)
+	}
+}
+
+func TestSQLDistinct(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "SELECT DISTINCT state FROM cities ORDER BY state")
+	if len(rs.Rows) != 3 {
+		t.Fatalf("distinct: %v", rs.Rows)
+	}
+}
+
+func TestSQLUpdateDelete(t *testing.T) {
+	db := sqlDB(t)
+	rs := mustExec(t, db, "UPDATE cities SET pop = pop + 1 WHERE state = 'WI'")
+	if rs.Rows[0][0].I != 2 {
+		t.Fatalf("updated count: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT pop FROM cities WHERE name = 'Madison'")
+	if rs.Rows[0][0].I != 233210 {
+		t.Fatalf("update lost: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "DELETE FROM cities WHERE state = 'IL'")
+	if rs.Rows[0][0].I != 2 {
+		t.Fatalf("deleted count: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT COUNT(*) FROM cities")
+	if rs.Rows[0][0].I != 3 {
+		t.Fatalf("rows after delete: %v", rs.Rows)
+	}
+	// Unfiltered delete clears the table.
+	mustExec(t, db, "DELETE FROM cities")
+	rs = mustExec(t, db, "SELECT COUNT(*) FROM cities")
+	if rs.Rows[0][0].I != 0 {
+		t.Fatal("table should be empty")
+	}
+}
+
+func TestSQLInsertWithColumns(t *testing.T) {
+	db := sqlDB(t)
+	mustExec(t, db, "INSERT INTO cities (name, pop) VALUES ('Partial', 42)")
+	rs := mustExec(t, db, "SELECT state, temp FROM cities WHERE name = 'Partial'")
+	if !rs.Rows[0][0].IsNull() || !rs.Rows[0][1].IsNull() {
+		t.Fatalf("unlisted columns should be NULL: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE temp IS NULL")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "Partial" {
+		t.Fatalf("IS NULL: %v", rs.Rows)
+	}
+	rs = mustExec(t, db, "SELECT COUNT(temp) FROM cities")
+	if rs.Rows[0][0].I != 5 { // COUNT(col) skips NULLs
+		t.Fatalf("COUNT(col): %v", rs.Rows)
+	}
+}
+
+func TestSQLIndexAccessPath(t *testing.T) {
+	db := sqlDB(t)
+	mustExec(t, db, "CREATE INDEX ON cities (name)")
+	rs := mustExec(t, db, "SELECT pop FROM cities WHERE name = 'Madison'")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].I != 233209 {
+		t.Fatalf("index query: %v", rs.Rows)
+	}
+	if !strings.Contains(rs.Plan, "index eq scan") {
+		t.Fatalf("expected index plan, got %q", rs.Plan)
+	}
+	// Range access path on numeric index.
+	mustExec(t, db, "CREATE INDEX ON cities (pop)")
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE pop >= 500000 AND pop <= 800000 ORDER BY name")
+	if !strings.Contains(rs.Plan, "index range scan") {
+		t.Fatalf("expected range plan, got %q", rs.Plan)
+	}
+	if len(rs.Rows) != 2 { // Milwaukee, Denver
+		t.Fatalf("range rows: %v", rs.Rows)
+	}
+	// Index results must stay consistent after updates.
+	mustExec(t, db, "UPDATE cities SET pop = 900000 WHERE name = 'Denver'")
+	rs = mustExec(t, db, "SELECT name FROM cities WHERE pop >= 500000 AND pop <= 800000")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "Milwaukee" {
+		t.Fatalf("post-update range: %v", rs.Rows)
+	}
+}
+
+func TestSQLSeqVsIndexSameResults(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE n (v INT)")
+	tx := db.Begin()
+	for i := 0; i < 500; i++ {
+		tx.Insert("n", Tuple{NewInt(int64(i % 50))})
+	}
+	tx.Commit()
+	before := mustExec(t, db, "SELECT COUNT(*) FROM n WHERE v = 25")
+	mustExec(t, db, "CREATE INDEX ON n (v)")
+	after := mustExec(t, db, "SELECT COUNT(*) FROM n WHERE v = 25")
+	if before.Rows[0][0].I != after.Rows[0][0].I {
+		t.Fatalf("index changed results: %v vs %v", before.Rows, after.Rows)
+	}
+	if !strings.Contains(after.Plan, "index") {
+		t.Fatalf("plan: %q", after.Plan)
+	}
+}
+
+func TestSQLMultiStatementTransaction(t *testing.T) {
+	db := sqlDB(t)
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO cities VALUES ('Tx City', 'TX', 1, 70.0)"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := tx.Exec("SELECT COUNT(*) FROM cities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows[0][0].I != 6 {
+		t.Fatalf("within txn count: %v", rs.Rows)
+	}
+	tx.Abort()
+	rs = mustExec(t, db, "SELECT COUNT(*) FROM cities")
+	if rs.Rows[0][0].I != 5 {
+		t.Fatalf("abort did not roll back SQL insert: %v", rs.Rows)
+	}
+}
+
+func TestSQLDDLInsideTxnRejected(t *testing.T) {
+	db := sqlDB(t)
+	tx := db.Begin()
+	defer tx.Abort()
+	if _, err := tx.Exec("CREATE TABLE x (a INT)"); err == nil {
+		t.Fatal("DDL inside txn must fail")
+	}
+}
+
+func TestSQLDivisionByZero(t *testing.T) {
+	db := sqlDB(t)
+	if _, err := db.Exec("SELECT pop / 0 FROM cities"); err == nil {
+		t.Fatal("division by zero must error")
+	}
+}
+
+func TestSQLMadisonAverageTemperature(t *testing.T) {
+	// The paper's §2 motivating query shape: average over extracted
+	// monthly temperatures.
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE temps (city STRING, month STRING, temp FLOAT)")
+	months := []string{"March", "April", "May", "June", "July", "August", "September"}
+	vals := []float64{36, 48, 59, 69, 73, 71, 62}
+	for i, m := range months {
+		mustExec(t, db, "INSERT INTO temps VALUES ('Madison, Wisconsin', '"+m+"', "+
+			NewFloat(vals[i]).String()+")")
+	}
+	rs := mustExec(t, db, "SELECT AVG(temp) FROM temps WHERE city = 'Madison, Wisconsin'")
+	want := (36.0 + 48 + 59 + 69 + 73 + 71 + 62) / 7
+	if got := rs.Rows[0][0].F; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("average = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,120 @@
+package rdbms
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates SQL token kinds.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkSymbol // ( ) , ; * = < > <= >= != . + - /
+)
+
+type sqlToken struct {
+	kind tokKind
+	text string // keywords uppercased; idents as written
+	pos  int
+}
+
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"DROP": true, "ON": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"GROUP": true, "HAVING": true, "AS": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "INT": true, "INTEGER": true, "FLOAT": true, "DOUBLE": true,
+	"STRING": true, "TEXT": true, "VARCHAR": true, "BOOL": true, "BOOLEAN": true,
+	"BIGINT": true, "REAL": true, "LIKE": true, "IS": true, "DISTINCT": true,
+	"BETWEEN": true, "OFFSET": true,
+}
+
+// lexSQL tokenizes a SQL string.
+func lexSQL(input string) ([]sqlToken, error) {
+	var toks []sqlToken
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sql: unterminated string at %d", i)
+			}
+			toks = append(toks, sqlToken{kind: tkString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			dots := 0
+			for j < n && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				if input[j] == '.' {
+					dots++
+					if dots > 1 {
+						break
+					}
+				}
+				j++
+			}
+			toks = append(toks, sqlToken{kind: tkNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if sqlKeywords[upper] {
+				toks = append(toks, sqlToken{kind: tkKeyword, text: upper, pos: i})
+			} else {
+				toks = append(toks, sqlToken{kind: tkIdent, text: word, pos: i})
+			}
+			i = j
+		case strings.ContainsRune("(),;*=.+-/", c):
+			toks = append(toks, sqlToken{kind: tkSymbol, text: string(c), pos: i})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, sqlToken{kind: tkSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, sqlToken{kind: tkSymbol, text: "!=", pos: i})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("sql: stray '!' at %d", i)
+			} else {
+				toks = append(toks, sqlToken{kind: tkSymbol, text: string(c), pos: i})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, sqlToken{kind: tkEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,679 @@
+package rdbms
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSQL parses one SQL statement.
+func ParseSQL(input string) (Statement, error) {
+	toks, err := lexSQL(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, input: input}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	if p.peek().kind == tkSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tkEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type sqlParser struct {
+	toks  []sqlToken
+	pos   int
+	input string
+}
+
+func (p *sqlParser) peek() sqlToken { return p.toks[p.pos] }
+func (p *sqlParser) next() sqlToken { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *sqlParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+func (p *sqlParser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tkKeyword || t.text != kw {
+		return fmt.Errorf("sql: expected %s, got %q (position %d)", kw, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *sqlParser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tkSymbol || t.text != sym {
+		return fmt.Errorf("sql: expected %q, got %q (position %d)", sym, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *sqlParser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tkKeyword && p.peek().text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) acceptSymbol(sym string) bool {
+	if p.peek().kind == tkSymbol && p.peek().text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tkIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q (position %d)", t.text, t.pos)
+	}
+	return t.text, nil
+}
+
+func (p *sqlParser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tkKeyword {
+		return nil, p.errorf("expected statement keyword, got %q", t.text)
+	}
+	switch t.text {
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "SELECT":
+		return p.parseSelect()
+	}
+	return nil, p.errorf("unsupported statement %s", t.text)
+}
+
+func (p *sqlParser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.acceptKeyword("TABLE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		schema := TableSchema{Name: name}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tt := p.next()
+			if tt.kind != tkKeyword {
+				return nil, p.errorf("expected type for column %s, got %q", col, tt.text)
+			}
+			typ, err := ParseType(tt.text)
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, ColumnDef{Name: col, Type: typ})
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return CreateTableStmt{Schema: schema}, nil
+	case p.acceptKeyword("INDEX"):
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return CreateIndexStmt{Table: table, Column: col}, nil
+	}
+	return nil, p.errorf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *sqlParser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return DropTableStmt{Table: name}, nil
+}
+
+func (p *sqlParser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := InsertStmt{Table: table}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	stmt := UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Column: col, Value: e})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseSelect() (Statement, error) {
+	p.next() // SELECT
+	stmt := SelectStmt{Limit: -1}
+	stmt.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		if p.acceptSymbol("*") {
+			stmt.Exprs = append(stmt.Exprs, SelectExpr{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			se := SelectExpr{Expr: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				se.Alias = alias
+			} else if p.peek().kind == tkIdent {
+				se.Alias = p.next().text
+			}
+			stmt.Exprs = append(stmt.Exprs, se)
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	if p.peek().kind == tkIdent {
+		stmt.FromAlias = p.next().text
+	}
+	if p.acceptKeyword("INNER") || p.peek().kind == tkKeyword && p.peek().text == "JOIN" {
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		jt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinClause{Table: jt}
+		if p.peek().kind == tkIdent {
+			j.Alias = p.next().text
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		j.Left, j.Right = left, right
+		stmt.Join = j
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = n
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) parseIntLiteral() (int, error) {
+	t := p.next()
+	if t.kind != tkNumber {
+		return 0, fmt.Errorf("sql: expected number, got %q (position %d)", t.text, t.pos)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("sql: bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *sqlParser) parseColumnRef() (ColumnRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: name, Column: col}, nil
+	}
+	return ColumnRef{Column: name}, nil
+}
+
+// Expression grammar (precedence climbing):
+//   expr    := orExpr
+//   orExpr  := andExpr (OR andExpr)*
+//   andExpr := notExpr (AND notExpr)*
+//   notExpr := NOT notExpr | cmpExpr
+//   cmpExpr := addExpr ((=|!=|<|<=|>|>=|LIKE) addExpr
+//            | IS [NOT] NULL | BETWEEN addExpr AND addExpr)?
+//   addExpr := mulExpr ((+|-) mulExpr)*
+//   mulExpr := unary ((*|/) unary)*
+//   unary   := - unary | primary
+//   primary := literal | aggCall | columnRef | ( expr )
+
+func (p *sqlParser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *sqlParser) parseCmp() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tkSymbol {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: t.text, Left: left, Right: right}, nil
+		}
+	}
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "LIKE":
+			p.next()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: "LIKE", Left: left, Right: right}, nil
+		case "IS":
+			p.next()
+			not := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			return IsNullExpr{X: left, Not: not}, nil
+		case "BETWEEN":
+			p.next()
+			lo, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BetweenExpr{X: left, Lo: lo, Hi: hi}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *sqlParser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *sqlParser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tkSymbol && (t.text == "*" || t.text == "/") {
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *sqlParser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *sqlParser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad float %q", t.text)
+			}
+			return Literal{Val: NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad integer %q", t.text)
+		}
+		return Literal{Val: NewInt(n)}, nil
+	case tkString:
+		p.next()
+		return Literal{Val: NewString(t.text)}, nil
+	case tkKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return Literal{Val: Null()}, nil
+		case "TRUE":
+			p.next()
+			return Literal{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return Literal{Val: NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			agg := AggExpr{Func: t.text}
+			if p.acceptSymbol("*") {
+				if t.text != "COUNT" {
+					return nil, p.errorf("%s(*) is not valid", t.text)
+				}
+				agg.Star = true
+			} else {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.text)
+	case tkIdent:
+		return p.parseColumnRef()
+	case tkSymbol:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.text)
+}

@@ -1,0 +1,685 @@
+package rdbms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execSelect runs a SELECT: access-path selection (index vs sequential
+// scan), optional hash join, filtering, grouping/aggregation, projection,
+// DISTINCT, ORDER BY, LIMIT/OFFSET.
+func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
+	t, err := tx.table(s.From)
+	if err != nil {
+		return nil, err
+	}
+	fromName := s.FromAlias
+	if fromName == "" {
+		fromName = s.From
+	}
+	b := bindingForTable(&t.Schema, fromName)
+
+	rows, plan, err := tx.baseRows(s, t, fromName, b)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Join != nil {
+		rows, b, err = tx.hashJoin(rows, b, s.Join)
+		if err != nil {
+			return nil, err
+		}
+		plan += " + hash join " + s.Join.Table
+	}
+
+	// Residual filter.
+	if s.Where != nil {
+		filtered := rows[:0:0]
+		for _, r := range rows {
+			v, err := evalExpr(s.Where, b, r)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+
+	grouped := len(s.GroupBy) > 0
+	for _, se := range s.Exprs {
+		if !se.Star && hasAgg(se.Expr) {
+			grouped = true
+		}
+	}
+
+	var out *ResultSet
+	if grouped {
+		out, err = groupAndAggregate(s, b, rows)
+	} else {
+		out, err = project(s, b, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Distinct {
+		out.Rows = distinctRows(out.Rows)
+	}
+	if len(s.OrderBy) > 0 && !grouped {
+		// For non-grouped queries, order by evaluating keys against the
+		// pre-projection rows is wrong once projected; instead we sorted
+		// inside project (see below). Grouped ordering is handled in
+		// groupAndAggregate.
+	}
+	// LIMIT/OFFSET applied last.
+	if s.Offset > 0 {
+		if s.Offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(out.Rows) {
+		out.Rows = out.Rows[:s.Limit]
+	}
+	out.Plan = plan
+	return out, nil
+}
+
+// baseRows produces the working rows for the FROM table, using an index
+// when a WHERE conjunct permits.
+func (tx *Txn) baseRows(s SelectStmt, t *Table, fromName string, b *binding) ([]Tuple, string, error) {
+	if ap := chooseAccessPath(s.Where, t, fromName); ap != nil {
+		rows, err := tx.indexRows(s.From, t, ap)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, ap.describe(), nil
+	}
+	var rows []Tuple
+	err := tx.Scan(s.From, func(_ RID, tup Tuple) bool {
+		rows = append(rows, tup.Clone())
+		return true
+	})
+	return rows, "seq scan " + s.From, err
+}
+
+// accessPath is a chosen index strategy: equality or range on one column.
+type accessPath struct {
+	column string
+	eq     *Value
+	lo, hi *Value // inclusive bounds; nil = open
+}
+
+func (ap *accessPath) describe() string {
+	if ap.eq != nil {
+		return fmt.Sprintf("index eq scan (%s = %s)", ap.column, ap.eq.String())
+	}
+	parts := []string{}
+	if ap.lo != nil {
+		parts = append(parts, fmt.Sprintf("%s >= %s", ap.column, ap.lo.String()))
+	}
+	if ap.hi != nil {
+		parts = append(parts, fmt.Sprintf("%s <= %s", ap.column, ap.hi.String()))
+	}
+	return "index range scan (" + strings.Join(parts, " and ") + ")"
+}
+
+// chooseAccessPath inspects the WHERE clause's top-level conjuncts for a
+// sargable predicate (col op literal) on an indexed column of the FROM
+// table. Equality beats range.
+func chooseAccessPath(where Expr, t *Table, fromName string) *accessPath {
+	if where == nil || len(t.Indexes) == 0 {
+		return nil
+	}
+	conjuncts := splitConjuncts(where)
+	var best *accessPath
+	for _, c := range conjuncts {
+		be, ok := c.(BinaryExpr)
+		if !ok {
+			continue
+		}
+		col, lit, op, ok := sargable(be, fromName)
+		if !ok {
+			continue
+		}
+		if _, indexed := t.Indexes[col]; !indexed {
+			continue
+		}
+		switch op {
+		case "=":
+			v := lit
+			return &accessPath{column: col, eq: &v} // equality: take it
+		case ">=", ">":
+			v := lit
+			if best == nil {
+				best = &accessPath{column: col}
+			}
+			if best.column == col && best.lo == nil {
+				best.lo = &v
+				if op == ">" {
+					// Use the bound as inclusive and let the residual
+					// filter drop boundary rows.
+					best.lo = &v
+				}
+			}
+		case "<=", "<":
+			v := lit
+			if best == nil {
+				best = &accessPath{column: col}
+			}
+			if best.column == col && best.hi == nil {
+				best.hi = &v
+			}
+		}
+	}
+	if best != nil && best.lo == nil && best.hi == nil {
+		return nil
+	}
+	return best
+}
+
+// sargable matches col op literal / literal op col for the FROM table,
+// returning the normalized (col, literal, op).
+func sargable(be BinaryExpr, fromName string) (string, Value, string, bool) {
+	switch be.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return "", Value{}, "", false
+	}
+	if cr, ok := be.Left.(ColumnRef); ok {
+		if lit, ok2 := be.Right.(Literal); ok2 {
+			if cr.Table == "" || cr.Table == fromName {
+				return cr.Column, lit.Val, be.Op, true
+			}
+		}
+	}
+	if cr, ok := be.Right.(ColumnRef); ok {
+		if lit, ok2 := be.Left.(Literal); ok2 {
+			if cr.Table == "" || cr.Table == fromName {
+				return cr.Column, lit.Val, flipOp(be.Op), true
+			}
+		}
+	}
+	return "", Value{}, "", false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func splitConjuncts(e Expr) []Expr {
+	if be, ok := e.(BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.Left), splitConjuncts(be.Right)...)
+	}
+	return []Expr{e}
+}
+
+func (tx *Txn) indexRows(table string, t *Table, ap *accessPath) ([]Tuple, error) {
+	var rids []RID
+	if ap.eq != nil {
+		var err error
+		rids, err = tx.IndexLookup(table, ap.column, *ap.eq)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		err := tx.IndexRange(table, ap.column, ap.lo, ap.hi, func(_ Value, rid RID) bool {
+			rids = append(rids, rid)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]Tuple, 0, len(rids))
+	for _, rid := range rids {
+		tup, live, err := t.Heap.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		if live {
+			rows = append(rows, tup)
+		}
+	}
+	return rows, nil
+}
+
+// hashJoin joins rows with the join table on the equality condition,
+// returning combined rows and the widened binding.
+func (tx *Txn) hashJoin(left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *binding, error) {
+	rt, err := tx.table(j.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	rightName := j.Alias
+	if rightName == "" {
+		rightName = j.Table
+	}
+	rb := bindingForTable(&rt.Schema, rightName)
+
+	// Decide which side of ON belongs to the right table.
+	var leftKey, rightKey ColumnRef
+	if _, err := rb.lookup(j.Right); err == nil {
+		if _, err := lb.lookup(j.Left); err == nil {
+			leftKey, rightKey = j.Left, j.Right
+		}
+	}
+	if leftKey.Column == "" {
+		if _, err := rb.lookup(j.Left); err == nil {
+			if _, err := lb.lookup(j.Right); err == nil {
+				leftKey, rightKey = j.Right, j.Left
+			}
+		}
+	}
+	if leftKey.Column == "" {
+		return nil, nil, fmt.Errorf("rdbms: join condition %s = %s does not reference both tables", j.Left, j.Right)
+	}
+	li, err := lb.lookup(leftKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	ri, err := rb.lookup(rightKey)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Build hash table over the right side.
+	build := map[string][]Tuple{}
+	err = tx.Scan(j.Table, func(_ RID, tup Tuple) bool {
+		k := hashKey(tup[ri])
+		build[k] = append(build[k], tup.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	combined := &binding{cols: append(append([]ColumnRef(nil), lb.cols...), rb.cols...)}
+	var out []Tuple
+	for _, l := range left {
+		if l[li].IsNull() {
+			continue
+		}
+		for _, r := range build[hashKey(l[li])] {
+			if !Equal(l[li], r[ri]) {
+				continue
+			}
+			row := make(Tuple, 0, len(l)+len(r))
+			row = append(row, l...)
+			row = append(row, r...)
+			out = append(out, row)
+		}
+	}
+	return out, combined, nil
+}
+
+func hashKey(v Value) string {
+	// Numeric values hash identically across int/float so joins across the
+	// two types behave like Compare.
+	if f, ok := v.AsFloat(); ok {
+		return fmt.Sprintf("n%v", f)
+	}
+	return v.Type.String() + ":" + v.String()
+}
+
+// project evaluates the select list over each row, handling * expansion
+// and ORDER BY (which may reference unprojected columns).
+func project(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
+	cols, exprs := expandSelect(s, b)
+	out := &ResultSet{Columns: cols}
+
+	type keyedRow struct {
+		keys Tuple
+		row  Tuple
+	}
+	keyed := make([]keyedRow, 0, len(rows))
+	for _, r := range rows {
+		proj := make(Tuple, len(exprs))
+		for i, e := range exprs {
+			v, err := evalExpr(e, b, r)
+			if err != nil {
+				return nil, err
+			}
+			proj[i] = v
+		}
+		var keys Tuple
+		for _, ok := range s.OrderBy {
+			v, err := evalOrderKey(ok.Expr, b, r, cols, proj)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		keyed = append(keyed, keyedRow{keys, proj})
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(keyed, func(i, j int) bool {
+			return orderLess(keyed[i].keys, keyed[j].keys, s.OrderBy)
+		})
+	}
+	for _, kr := range keyed {
+		out.Rows = append(out.Rows, kr.row)
+	}
+	return out, nil
+}
+
+// evalOrderKey evaluates an ORDER BY key; a bare column name may refer to
+// a select-list alias.
+func evalOrderKey(e Expr, b *binding, row Tuple, cols []string, proj Tuple) (Value, error) {
+	if cr, ok := e.(ColumnRef); ok && cr.Table == "" {
+		for i, c := range cols {
+			if c == cr.Column {
+				return proj[i], nil
+			}
+		}
+	}
+	return evalExpr(e, b, row)
+}
+
+func orderLess(a, b Tuple, keys []OrderKey) bool {
+	for i, k := range keys {
+		c, ok := Compare(a[i], b[i])
+		if !ok {
+			continue
+		}
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// expandSelect resolves * and produces output column names and expressions.
+func expandSelect(s SelectStmt, b *binding) ([]string, []Expr) {
+	var cols []string
+	var exprs []Expr
+	for _, se := range s.Exprs {
+		if se.Star {
+			for _, c := range b.cols {
+				cols = append(cols, c.Column)
+				exprs = append(exprs, ColumnRef{Table: c.Table, Column: c.Column})
+			}
+			continue
+		}
+		name := se.Alias
+		if name == "" {
+			name = exprString(se.Expr)
+		}
+		cols = append(cols, name)
+		exprs = append(exprs, se.Expr)
+	}
+	return cols, exprs
+}
+
+func distinctRows(rows []Tuple) []Tuple {
+	seen := map[string]bool{}
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := ""
+		for _, v := range r {
+			k += hashKey(v) + "|"
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn    string
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	min   Value
+	max   Value
+	init  bool
+}
+
+func (a *aggState) add(v Value) {
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch v.Type {
+	case TInt:
+		a.sumI += v.I
+		a.sum += float64(v.I)
+		if !a.init {
+			a.isInt = true
+		}
+	case TFloat:
+		a.sum += v.F
+		a.isInt = false
+	}
+	if !a.init {
+		a.min, a.max = v, v
+		a.init = true
+		return
+	}
+	if c, ok := Compare(v, a.min); ok && c < 0 {
+		a.min = v
+	}
+	if c, ok := Compare(v, a.max); ok && c > 0 {
+		a.max = v
+	}
+}
+
+func (a *aggState) result() Value {
+	switch a.fn {
+	case "COUNT":
+		return NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return Null()
+		}
+		if a.isInt {
+			return NewInt(a.sumI)
+		}
+		return NewFloat(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return Null()
+		}
+		return NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		if !a.init {
+			return Null()
+		}
+		return a.min
+	case "MAX":
+		if !a.init {
+			return Null()
+		}
+		return a.max
+	}
+	return Null()
+}
+
+// groupAndAggregate implements GROUP BY + aggregates + HAVING + ORDER BY
+// for grouped queries (including implicit single-group aggregation).
+func groupAndAggregate(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
+	cols, exprs := expandSelect(s, b)
+
+	type group struct {
+		keyVals Tuple
+		rows    []Tuple
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, r := range rows {
+		var keyVals Tuple
+		k := ""
+		for _, g := range s.GroupBy {
+			v, err := evalExpr(g, b, r)
+			if err != nil {
+				return nil, err
+			}
+			keyVals = append(keyVals, v)
+			k += hashKey(v) + "|"
+		}
+		gr, ok := groups[k]
+		if !ok {
+			gr = &group{keyVals: keyVals}
+			groups[k] = gr
+			order = append(order, k)
+		}
+		gr.rows = append(gr.rows, r)
+	}
+	// Implicit single group for aggregate-only queries with no rows.
+	if len(s.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	evalAggExpr := func(e Expr, gr *group) (Value, error) {
+		return evalWithAggs(e, b, gr.rows, s.GroupBy, gr.keyVals)
+	}
+
+	out := &ResultSet{Columns: cols}
+	type keyedRow struct {
+		keys Tuple
+		row  Tuple
+	}
+	var keyed []keyedRow
+	for _, k := range order {
+		gr := groups[k]
+		if s.Having != nil {
+			v, err := evalAggExpr(s.Having, gr)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		row := make(Tuple, len(exprs))
+		for i, e := range exprs {
+			v, err := evalAggExpr(e, gr)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		var keys Tuple
+		for _, okey := range s.OrderBy {
+			// Order keys may be aliases of the projection.
+			if cr, ok := okey.Expr.(ColumnRef); ok && cr.Table == "" {
+				found := false
+				for i, c := range cols {
+					if c == cr.Column {
+						keys = append(keys, row[i])
+						found = true
+						break
+					}
+				}
+				if found {
+					continue
+				}
+			}
+			v, err := evalAggExpr(okey.Expr, gr)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, v)
+		}
+		keyed = append(keyed, keyedRow{keys, row})
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(keyed, func(i, j int) bool {
+			return orderLess(keyed[i].keys, keyed[j].keys, s.OrderBy)
+		})
+	}
+	for _, kr := range keyed {
+		out.Rows = append(out.Rows, kr.row)
+	}
+	return out, nil
+}
+
+// evalWithAggs evaluates an expression that may contain aggregates over the
+// group's rows. Non-aggregate column refs must be GROUP BY keys.
+func evalWithAggs(e Expr, b *binding, rows []Tuple, groupBy []ColumnRef, keyVals Tuple) (Value, error) {
+	switch x := e.(type) {
+	case AggExpr:
+		st := &aggState{fn: x.Func}
+		for _, r := range rows {
+			if x.Star {
+				st.count++
+				continue
+			}
+			v, err := evalExpr(x.Arg, b, r)
+			if err != nil {
+				return Value{}, err
+			}
+			st.add(v)
+		}
+		return st.result(), nil
+	case ColumnRef:
+		for i, g := range groupBy {
+			if g.Column == x.Column && (x.Table == "" || g.Table == "" || g.Table == x.Table) {
+				return keyVals[i], nil
+			}
+		}
+		return Value{}, fmt.Errorf("rdbms: column %s is neither aggregated nor grouped", x)
+	case Literal:
+		return x.Val, nil
+	case BinaryExpr:
+		l, err := evalWithAggs(x.Left, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := evalWithAggs(x.Right, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		return evalBinary(BinaryExpr{Op: x.Op, Left: Literal{Val: l}, Right: Literal{Val: r}}, b, nil)
+	case UnaryExpr:
+		v, err := evalWithAggs(x.X, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		return evalExpr(UnaryExpr{Op: x.Op, X: Literal{Val: v}}, b, nil)
+	case IsNullExpr:
+		v, err := evalWithAggs(x.X, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		return NewBool(v.IsNull() != x.Not), nil
+	case BetweenExpr:
+		v, err := evalWithAggs(x.X, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := evalWithAggs(x.Lo, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := evalWithAggs(x.Hi, b, rows, groupBy, keyVals)
+		if err != nil {
+			return Value{}, err
+		}
+		return evalExpr(BetweenExpr{X: Literal{Val: v}, Lo: Literal{Val: lo}, Hi: Literal{Val: hi}}, b, nil)
+	}
+	return Value{}, fmt.Errorf("rdbms: unsupported grouped expression %T", e)
+}

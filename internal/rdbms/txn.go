@@ -1,0 +1,331 @@
+package rdbms
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTxnDone is returned when using a committed or aborted transaction.
+var ErrTxnDone = errors.New("rdbms: transaction already finished")
+
+// Txn is a strict-2PL transaction. All reads and writes go through a Txn;
+// locks are held until Commit or Abort. Txn methods are not safe for
+// concurrent use by multiple goroutines (one goroutine per transaction,
+// many concurrent transactions).
+type Txn struct {
+	id   TxnID
+	db   *DB
+	done bool
+	undo []undoRec
+}
+
+type undoRec struct {
+	kind   LogKind
+	table  string
+	rid    RID
+	before Tuple
+	after  Tuple
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	db.txnMu.Lock()
+	db.nextTxn++
+	tx := &Txn{id: db.nextTxn, db: db}
+	db.active[tx.id] = tx
+	db.txnMu.Unlock()
+	db.wal.Append(&LogRecord{Kind: LogBegin, Txn: tx.id})
+	return tx
+}
+
+// ID returns the transaction id.
+func (tx *Txn) ID() TxnID { return tx.id }
+
+func (tx *Txn) table(name string) (*Table, error) {
+	t := tx.db.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("rdbms: table %s does not exist", name)
+	}
+	return t, nil
+}
+
+// Insert adds a tuple, returning its RID.
+func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
+	if tx.done {
+		return RID{}, ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return RID{}, err
+	}
+	tup = t.Schema.Coerce(tup)
+	if err := t.Schema.Validate(tup); err != nil {
+		return RID{}, err
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockIX); err != nil {
+		return RID{}, err
+	}
+	rid, err := t.Heap.InsertWith(tup, func(rid RID) {
+		tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: rid, After: tup})
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	// Lock the new row exclusively (no other txn can see it anyway until
+	// commit, but readers scanning the heap must block on it).
+	if err := tx.db.lm.Acquire(tx.id, RowLock(table, rid), LockExclusive); err != nil {
+		return RID{}, err
+	}
+	for col, idx := range t.Indexes {
+		ci := t.Schema.ColIndex(col)
+		idx.Insert(tup[ci], rid)
+	}
+	tx.undo = append(tx.undo, undoRec{kind: LogInsert, table: table, rid: rid, after: tup})
+	return rid, nil
+}
+
+// Get reads the tuple at rid under a shared lock.
+func (tx *Txn) Get(table string, rid RID) (Tuple, bool, error) {
+	if tx.done {
+		return nil, false, ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockIS); err != nil {
+		return nil, false, err
+	}
+	if err := tx.db.lm.Acquire(tx.id, RowLock(table, rid), LockShared); err != nil {
+		return nil, false, err
+	}
+	return t.Heap.Get(rid)
+}
+
+// Delete removes the tuple at rid.
+func (tx *Txn) Delete(table string, rid RID) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockIX); err != nil {
+		return err
+	}
+	if err := tx.db.lm.Acquire(tx.id, RowLock(table, rid), LockExclusive); err != nil {
+		return err
+	}
+	before, live, err := t.Heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	if !live {
+		return fmt.Errorf("rdbms: delete of missing row %v", rid)
+	}
+	ok, err := t.Heap.DeleteWith(rid, func() {
+		tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
+	})
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("rdbms: delete of missing row %v", rid)
+	}
+	for col, idx := range t.Indexes {
+		ci := t.Schema.ColIndex(col)
+		idx.Delete(before[ci], rid)
+	}
+	tx.undo = append(tx.undo, undoRec{kind: LogDelete, table: table, rid: rid, before: before})
+	return nil
+}
+
+// Update replaces the tuple at rid, returning its (possibly new) RID.
+func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
+	if tx.done {
+		return RID{}, ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return RID{}, err
+	}
+	tup = t.Schema.Coerce(tup)
+	if err := t.Schema.Validate(tup); err != nil {
+		return RID{}, err
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockIX); err != nil {
+		return RID{}, err
+	}
+	if err := tx.db.lm.Acquire(tx.id, RowLock(table, rid), LockExclusive); err != nil {
+		return RID{}, err
+	}
+	before, live, err := t.Heap.Get(rid)
+	if err != nil {
+		return RID{}, err
+	}
+	if !live {
+		return RID{}, fmt.Errorf("rdbms: update of missing row %v", rid)
+	}
+	newRID, ok, err := t.Heap.TryUpdateInPlace(rid, tup, func(r RID) {
+		tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: table, Row: r, Before: before, After: tup})
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	if ok {
+		tx.fixIndexes(t, rid, newRID, before, tup)
+		tx.undo = append(tx.undo, undoRec{kind: LogUpdate, table: table, rid: newRID, before: before, after: tup})
+		return newRID, nil
+	}
+	// Tuple moves: logged as delete + insert so each page mutation has its
+	// own record while pinned.
+	if _, err := t.Heap.DeleteWith(rid, func() {
+		tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
+	}); err != nil {
+		return RID{}, err
+	}
+	tx.undo = append(tx.undo, undoRec{kind: LogDelete, table: table, rid: rid, before: before})
+	newRID, err = t.Heap.InsertWith(tup, func(r RID) {
+		tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: r, After: tup})
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	if err := tx.db.lm.Acquire(tx.id, RowLock(table, newRID), LockExclusive); err != nil {
+		return RID{}, err
+	}
+	tx.fixIndexes(t, rid, newRID, before, tup)
+	tx.undo = append(tx.undo, undoRec{kind: LogInsert, table: table, rid: newRID, after: tup})
+	return newRID, nil
+}
+
+func (tx *Txn) fixIndexes(t *Table, oldRID, newRID RID, before, after Tuple) {
+	for col, idx := range t.Indexes {
+		ci := t.Schema.ColIndex(col)
+		idx.Delete(before[ci], oldRID)
+		idx.Insert(after[ci], newRID)
+	}
+}
+
+// Scan iterates every live tuple in the table under a shared table lock.
+func (tx *Txn) Scan(table string, fn func(rid RID, t Tuple) bool) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockShared); err != nil {
+		return err
+	}
+	return t.Heap.Scan(fn)
+}
+
+// IndexLookup returns RIDs with key in the named column's index, under a
+// shared table lock.
+func (tx *Txn) IndexLookup(table, column string, key Value) ([]RID, error) {
+	if tx.done {
+		return nil, ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return nil, err
+	}
+	idx := t.Indexes[column]
+	if idx == nil {
+		return nil, fmt.Errorf("rdbms: no index on %s.%s", table, column)
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockShared); err != nil {
+		return nil, err
+	}
+	return idx.Lookup(key), nil
+}
+
+// IndexRange iterates index entries in [lo, hi] (nil = unbounded).
+func (tx *Txn) IndexRange(table, column string, lo, hi *Value, fn func(key Value, rid RID) bool) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	t, err := tx.table(table)
+	if err != nil {
+		return err
+	}
+	idx := t.Indexes[column]
+	if idx == nil {
+		return fmt.Errorf("rdbms: no index on %s.%s", table, column)
+	}
+	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockShared); err != nil {
+		return err
+	}
+	idx.Range(lo, hi, fn)
+	return nil
+}
+
+// Commit forces the log and releases locks. After Commit the transaction's
+// effects are durable (they survive a crash).
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.db.wal.Append(&LogRecord{Kind: LogCommit, Txn: tx.id})
+	if err := tx.db.wal.Flush(); err != nil {
+		return err
+	}
+	tx.finish()
+	return nil
+}
+
+// Abort rolls back all changes using in-memory before-images, then logs
+// the abort and releases locks.
+func (tx *Txn) Abort() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		t := tx.db.Table(u.table)
+		if t == nil {
+			continue
+		}
+		switch u.kind {
+		case LogInsert:
+			if _, err := t.Heap.Delete(u.rid); err != nil {
+				return fmt.Errorf("rdbms: abort undo insert: %w", err)
+			}
+			for col, idx := range t.Indexes {
+				ci := t.Schema.ColIndex(col)
+				idx.Delete(u.after[ci], u.rid)
+			}
+		case LogDelete:
+			if err := t.Heap.InsertAt(u.rid, u.before); err != nil {
+				return fmt.Errorf("rdbms: abort undo delete: %w", err)
+			}
+			for col, idx := range t.Indexes {
+				ci := t.Schema.ColIndex(col)
+				idx.Insert(u.before[ci], u.rid)
+			}
+		case LogUpdate:
+			if _, err := t.Heap.Update(u.rid, u.before); err != nil {
+				return fmt.Errorf("rdbms: abort undo update: %w", err)
+			}
+			for col, idx := range t.Indexes {
+				ci := t.Schema.ColIndex(col)
+				idx.Delete(u.after[ci], u.rid)
+				idx.Insert(u.before[ci], u.rid)
+			}
+		}
+	}
+	tx.db.wal.Append(&LogRecord{Kind: LogAbort, Txn: tx.id})
+	tx.finish()
+	return nil
+}
+
+func (tx *Txn) finish() {
+	tx.done = true
+	tx.db.lm.ReleaseAll(tx.id)
+	tx.db.txnMu.Lock()
+	delete(tx.db.active, tx.id)
+	tx.db.txnMu.Unlock()
+}

@@ -1,0 +1,294 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// LSN is a log sequence number: the byte offset of a record in the log.
+type LSN uint64
+
+// TxnID identifies a transaction.
+type TxnID uint64
+
+// LogKind enumerates WAL record types.
+type LogKind uint8
+
+const (
+	LogBegin LogKind = iota + 1
+	LogCommit
+	LogAbort
+	LogInsert
+	LogDelete
+	LogUpdate
+	LogCheckpoint
+)
+
+func (k LogKind) String() string {
+	switch k {
+	case LogBegin:
+		return "BEGIN"
+	case LogCommit:
+		return "COMMIT"
+	case LogAbort:
+		return "ABORT"
+	case LogInsert:
+		return "INSERT"
+	case LogDelete:
+		return "DELETE"
+	case LogUpdate:
+		return "UPDATE"
+	case LogCheckpoint:
+		return "CHECKPOINT"
+	}
+	return fmt.Sprintf("LogKind(%d)", uint8(k))
+}
+
+// LogRecord is one WAL entry. Insert carries After; Delete carries Before;
+// Update carries both. Table names the affected table.
+type LogRecord struct {
+	LSN    LSN
+	Kind   LogKind
+	Txn    TxnID
+	Table  string
+	Row    RID
+	Before Tuple
+	After  Tuple
+}
+
+func encodeLogRecord(r *LogRecord) []byte {
+	var body []byte
+	body = append(body, byte(r.Kind))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], uint64(r.Txn))
+	body = append(body, tmp[:]...)
+	body = appendString(body, r.Table)
+	var rid [8]byte
+	binary.LittleEndian.PutUint32(rid[0:4], uint32(r.Row.Page))
+	binary.LittleEndian.PutUint16(rid[4:6], r.Row.Slot)
+	body = append(body, rid[:6]...)
+	body = appendBytes(body, encodeMaybeTuple(r.Before))
+	body = appendBytes(body, encodeMaybeTuple(r.After))
+	// Frame: len + crc + body.
+	out := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(body))
+	return append(out, body...)
+}
+
+func decodeLogRecord(body []byte) (*LogRecord, error) {
+	if len(body) < 9 {
+		return nil, fmt.Errorf("rdbms: short log body")
+	}
+	r := &LogRecord{Kind: LogKind(body[0])}
+	r.Txn = TxnID(binary.LittleEndian.Uint64(body[1:9]))
+	off := 9
+	tbl, n, err := readString(body[off:])
+	if err != nil {
+		return nil, err
+	}
+	r.Table = tbl
+	off += n
+	if len(body) < off+6 {
+		return nil, fmt.Errorf("rdbms: short log rid")
+	}
+	r.Row.Page = PageID(binary.LittleEndian.Uint32(body[off : off+4]))
+	r.Row.Slot = binary.LittleEndian.Uint16(body[off+4 : off+6])
+	off += 6
+	beforeRaw, n, err := readBytes(body[off:])
+	if err != nil {
+		return nil, err
+	}
+	off += n
+	afterRaw, _, err := readBytes(body[off:])
+	if err != nil {
+		return nil, err
+	}
+	if r.Before, err = decodeMaybeTuple(beforeRaw); err != nil {
+		return nil, err
+	}
+	if r.After, err = decodeMaybeTuple(afterRaw); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func encodeMaybeTuple(t Tuple) []byte {
+	if t == nil {
+		return nil
+	}
+	return EncodeTuple(t)
+}
+
+func decodeMaybeTuple(b []byte) (Tuple, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	return DecodeTuple(b)
+}
+
+func appendString(buf []byte, s string) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, int, error) {
+	b, n, err := readBytes(buf)
+	return string(b), n, err
+}
+
+func appendBytes(buf, b []byte) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, b...)
+}
+
+func readBytes(buf []byte) ([]byte, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("rdbms: short length prefix")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	if len(buf) < 4+n {
+		return nil, 0, fmt.Errorf("rdbms: short payload")
+	}
+	return buf[4 : 4+n], 4 + n, nil
+}
+
+// WAL is an append-only write-ahead log. Append buffers the record; Flush
+// forces buffered records to stable storage. Commit durability is achieved
+// by flushing before acknowledging.
+type WAL struct {
+	mu      sync.Mutex
+	buf     []byte // unflushed tail
+	flushed LSN    // bytes durably stored
+	next    LSN    // next LSN to assign (= flushed + len(buf))
+	file    *os.File
+	mem     []byte // durable bytes when file == nil (simulated stable store)
+}
+
+// NewMemWAL returns a WAL backed by an in-memory "stable store"; Flush
+// copies the buffer into it. Crash simulation keeps only flushed bytes.
+func NewMemWAL() *WAL { return &WAL{} }
+
+// OpenFileWAL opens or creates a file-backed WAL.
+func OpenFileWAL(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{file: f, flushed: LSN(st.Size()), next: LSN(st.Size())}, nil
+}
+
+// Append adds a record, assigning and returning its LSN.
+func (w *WAL) Append(r *LogRecord) LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsn := w.next
+	r.LSN = lsn
+	enc := encodeLogRecord(r)
+	w.buf = append(w.buf, enc...)
+	w.next += LSN(len(enc))
+	return lsn
+}
+
+// Flush forces buffered records to stable storage.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if w.file != nil {
+		if _, err := w.file.WriteAt(w.buf, int64(w.flushed)); err != nil {
+			return err
+		}
+		if err := w.file.Sync(); err != nil {
+			return err
+		}
+	} else {
+		w.mem = append(w.mem, w.buf...)
+	}
+	w.flushed += LSN(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// FlushedLSN returns the durable boundary.
+func (w *WAL) FlushedLSN() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushed
+}
+
+// DropUnflushed discards buffered records, simulating a crash where only
+// flushed bytes survive. Test/experiment hook.
+func (w *WAL) DropUnflushed() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.next = w.flushed
+	w.buf = w.buf[:0]
+}
+
+// Records reads all durable records starting at from. Records with bad
+// checksums or truncated frames terminate the scan (torn tail).
+func (w *WAL) Records(from LSN) ([]*LogRecord, error) {
+	w.mu.Lock()
+	var data []byte
+	if w.file != nil {
+		st, err := w.file.Stat()
+		if err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+		data = make([]byte, st.Size())
+		if _, err := w.file.ReadAt(data, 0); err != nil {
+			w.mu.Unlock()
+			return nil, err
+		}
+		data = data[:w.flushed]
+	} else {
+		data = append([]byte(nil), w.mem...)
+	}
+	w.mu.Unlock()
+
+	var out []*LogRecord
+	off := int(from)
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if off+8+n > len(data) {
+			break // torn tail
+		}
+		body := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(body) != want {
+			break
+		}
+		r, err := decodeLogRecord(body)
+		if err != nil {
+			return nil, err
+		}
+		r.LSN = LSN(off)
+		out = append(out, r)
+		off += 8 + n
+	}
+	return out, nil
+}
+
+// Close releases the underlying file, if any.
+func (w *WAL) Close() error {
+	if w.file != nil {
+		return w.file.Close()
+	}
+	return nil
+}

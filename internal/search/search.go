@@ -1,0 +1,304 @@
+// Package search is the IR substrate: an inverted index over a corpus with
+// BM25 and TF-IDF ranking plus snippet generation. It plays two roles in
+// the reproduction: (1) the keyword-search baseline that Section 2 of the
+// paper argues cannot answer structured questions like "the average
+// March-September temperature in Madison", and (2) the keyword entry mode
+// of the user layer, from which queries are reformulated into structured
+// ones.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/doc"
+)
+
+// Ranking selects the scoring function.
+type Ranking int
+
+const (
+	// BM25 is Okapi BM25 with k1=1.2, b=0.75.
+	BM25 Ranking = iota
+	// TFIDF is ln-scaled term frequency times inverse document frequency.
+	TFIDF
+)
+
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// posting records one document's statistics for a term.
+type posting struct {
+	docID doc.DocID
+	tf    int
+	// positions of the term (token index) for phrase/snippet logic.
+	positions []int
+}
+
+// Index is an inverted index. Build once, then query concurrently.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting
+	docLen   map[doc.DocID]int
+	titles   map[doc.DocID]string
+	corpus   *doc.Corpus
+	totalLen int
+	n        int
+}
+
+// NewIndex returns an empty index bound to a corpus (for snippeting).
+func NewIndex(corpus *doc.Corpus) *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		docLen:   make(map[doc.DocID]int),
+		titles:   make(map[doc.DocID]string),
+		corpus:   corpus,
+	}
+}
+
+// BuildIndex indexes every document in the corpus.
+func BuildIndex(corpus *doc.Corpus) *Index {
+	idx := NewIndex(corpus)
+	for _, d := range corpus.Docs() {
+		idx.Add(d)
+	}
+	return idx
+}
+
+// Add indexes one document. Title terms are indexed too (titles matter for
+// entity-style queries like "Madison Wisconsin").
+func (idx *Index) Add(d *doc.Document) {
+	idx.mu.Lock()
+	defer idx.mu.Unlock()
+	terms := map[string][]int{}
+	pos := 0
+	for _, tk := range doc.Tokenize(d.Title) {
+		t := doc.NormalizeTerm(tk.Text)
+		if t != "" {
+			terms[t] = append(terms[t], pos)
+			pos++
+		}
+	}
+	for _, tk := range doc.Tokenize(d.Text) {
+		t := doc.NormalizeTerm(tk.Text)
+		if t != "" {
+			terms[t] = append(terms[t], pos)
+			pos++
+		}
+	}
+	for t, positions := range terms {
+		idx.postings[t] = append(idx.postings[t], posting{docID: d.ID, tf: len(positions), positions: positions})
+	}
+	idx.docLen[d.ID] = pos
+	idx.titles[d.ID] = d.Title
+	idx.totalLen += pos
+	idx.n++
+}
+
+// N returns the number of indexed documents.
+func (idx *Index) N() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return idx.n
+}
+
+// Terms returns the number of distinct terms.
+func (idx *Index) Terms() int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.postings)
+}
+
+// DocFreq returns how many documents contain term.
+func (idx *Index) DocFreq(term string) int {
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	return len(idx.postings[doc.NormalizeTerm(term)])
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	DocID   doc.DocID
+	Title   string
+	Score   float64
+	Snippet string
+}
+
+// Search ranks documents for a free-text query and returns the top k.
+func (idx *Index) Search(query string, k int, ranking Ranking) []Hit {
+	terms := QueryTerms(query)
+	if len(terms) == 0 || k <= 0 {
+		return nil
+	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	avgLen := 1.0
+	if idx.n > 0 {
+		avgLen = float64(idx.totalLen) / float64(idx.n)
+	}
+	scores := map[doc.DocID]float64{}
+	for _, term := range terms {
+		plist := idx.postings[term]
+		if len(plist) == 0 {
+			continue
+		}
+		df := float64(len(plist))
+		var idf float64
+		switch ranking {
+		case BM25:
+			idf = math.Log(1 + (float64(idx.n)-df+0.5)/(df+0.5))
+		case TFIDF:
+			idf = math.Log(float64(idx.n+1) / (df + 1))
+		}
+		for _, p := range plist {
+			tf := float64(p.tf)
+			var s float64
+			switch ranking {
+			case BM25:
+				dl := float64(idx.docLen[p.docID])
+				s = idf * (tf * (bm25K1 + 1)) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+			case TFIDF:
+				s = idf * (1 + math.Log(tf))
+			}
+			scores[p.docID] += s
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{DocID: id, Title: idx.titles[id], Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].DocID < hits[j].DocID // deterministic ties
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	for i := range hits {
+		hits[i].Snippet = idx.snippet(hits[i].DocID, terms)
+	}
+	return hits
+}
+
+// QueryTerms normalizes a free-text query into index terms.
+func QueryTerms(query string) []string {
+	var out []string
+	for _, tk := range doc.Tokenize(query) {
+		t := doc.NormalizeTerm(tk.Text)
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// snippet extracts a sentence containing the most query terms.
+func (idx *Index) snippet(id doc.DocID, terms []string) string {
+	if idx.corpus == nil {
+		return ""
+	}
+	d := idx.corpus.Get(id)
+	if d == nil {
+		return ""
+	}
+	want := map[string]bool{}
+	for _, t := range terms {
+		want[t] = true
+	}
+	best := ""
+	bestScore := -1
+	for _, sp := range doc.Sentences(d.Text) {
+		sent := d.Slice(sp)
+		score := 0
+		for _, tk := range doc.Tokenize(sent) {
+			if want[doc.NormalizeTerm(tk.Text)] {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			best = sent
+		}
+	}
+	if len(best) > 200 {
+		best = best[:200] + "..."
+	}
+	return strings.TrimSpace(best)
+}
+
+// PhraseSearch returns documents containing the exact normalized phrase,
+// using positional postings.
+func (idx *Index) PhraseSearch(phrase string, k int) []Hit {
+	terms := QueryTerms(phrase)
+	if len(terms) == 0 {
+		return nil
+	}
+	idx.mu.RLock()
+	defer idx.mu.RUnlock()
+	// Candidate docs: intersection over all terms.
+	candidates := map[doc.DocID][][]int{}
+	for i, term := range terms {
+		plist := idx.postings[term]
+		next := map[doc.DocID][][]int{}
+		for _, p := range plist {
+			if i == 0 {
+				next[p.docID] = [][]int{p.positions}
+				continue
+			}
+			if prev, ok := candidates[p.docID]; ok {
+				next[p.docID] = append(prev, p.positions)
+			}
+		}
+		candidates = next
+		if len(candidates) == 0 {
+			return nil
+		}
+	}
+	var hits []Hit
+	for id, positionLists := range candidates {
+		if len(positionLists) != len(terms) {
+			continue
+		}
+		if hasConsecutiveRun(positionLists) {
+			hits = append(hits, Hit{DocID: id, Title: idx.titles[id], Score: 1})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].DocID < hits[j].DocID })
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	for i := range hits {
+		hits[i].Snippet = idx.snippet(hits[i].DocID, terms)
+	}
+	return hits
+}
+
+// hasConsecutiveRun reports whether there exist positions p0 < p1 < ... with
+// p[i+1] = p[i]+1 across the per-term position lists.
+func hasConsecutiveRun(lists [][]int) bool {
+	starts := lists[0]
+	for _, s := range starts {
+		ok := true
+		for i := 1; i < len(lists); i++ {
+			if !containsInt(lists[i], s+i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(sorted []int, x int) bool {
+	i := sort.SearchInts(sorted, x)
+	return i < len(sorted) && sorted[i] == x
+}

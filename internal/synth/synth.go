@@ -1,0 +1,429 @@
+// Package synth generates a deterministic Wikipedia-like corpus: city
+// articles with weather infoboxes, people pages with name variants, and
+// filler articles. It substitutes for the Wikipedia data the paper's
+// examples are narrated over (the Madison average-temperature query, the
+// "David Smith" / "D. Smith" entity-resolution example, and the 135-degree
+// outlier the semantic debugger should flag), providing exact ground truth
+// so experiments can score extraction, integration, and query accuracy.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/doc"
+)
+
+// Months in article order.
+var Months = []string{
+	"January", "February", "March", "April", "May", "June",
+	"July", "August", "September", "October", "November", "December",
+}
+
+// City is the ground truth for a generated city article.
+type City struct {
+	Name       string
+	State      string
+	Population int
+	// MonthlyTemp[i] is the mean temperature (Fahrenheit) for Months[i].
+	MonthlyTemp [12]float64
+	Founded     int
+	AreaSqMi    float64
+	Title       string // article title, "Name, State"
+}
+
+// Person is the ground truth for a generated person article. Each person
+// may be mentioned under several surface forms across documents; Mentions
+// records every (docTitle, surface) pair emitted.
+type Person struct {
+	ID        int
+	First     string
+	Last      string
+	City      string // home city title
+	Born      int
+	Mentions  []Mention
+	Canonical string // "First Last"
+}
+
+// Mention records one occurrence of a person reference in a document.
+type Mention struct {
+	DocTitle string
+	Surface  string
+}
+
+// Truth bundles the ground truth of a generated corpus.
+type Truth struct {
+	Cities []City
+	People []Person
+	// Corruptions lists injected semantic errors: document title and the
+	// corrupted value that a semantic debugger should flag.
+	Corruptions []Corruption
+}
+
+// Corruption is an injected outlier, e.g. a 135-degree July temperature.
+type Corruption struct {
+	DocTitle string
+	Field    string // "temperature" or "population"
+	Month    string // for temperature corruptions
+	Value    float64
+}
+
+// CityTruth returns the city with the given article title, or nil.
+func (t *Truth) CityTruth(title string) *City {
+	for i := range t.Cities {
+		if t.Cities[i].Title == title {
+			return &t.Cities[i]
+		}
+	}
+	return nil
+}
+
+// AvgTemp returns the average of the ground-truth monthly temperatures of
+// the named city over month indexes [from, to] inclusive (0-based).
+func (c *City) AvgTemp(from, to int) float64 {
+	sum := 0.0
+	n := 0
+	for i := from; i <= to && i < 12; i++ {
+		sum += c.MonthlyTemp[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Config controls corpus generation.
+type Config struct {
+	Seed   int64
+	Cities int // number of city articles (Madison always included)
+	People int // number of distinct people
+	Filler int // number of filler articles
+	// MentionsPerPerson controls how many documents mention each person
+	// (>=1); extra mentions use abbreviated or noisy surface forms, which
+	// is what makes entity resolution non-trivial.
+	MentionsPerPerson int
+	// CorruptFrac injects semantic outliers into this fraction of city
+	// articles (0 disables).
+	CorruptFrac float64
+	// InfoboxNoise, when true, randomly varies infobox attribute names
+	// (e.g. "location" vs "address") to exercise schema matching.
+	InfoboxNoise bool
+}
+
+// DefaultConfig returns a small default corpus configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, Cities: 50, People: 40, Filler: 30, MentionsPerPerson: 3}
+}
+
+var stateNames = []string{
+	"Wisconsin", "Illinois", "Minnesota", "Iowa", "Michigan", "Ohio",
+	"Indiana", "Missouri", "Kansas", "Nebraska", "Colorado", "Texas",
+	"Oregon", "Washington", "California", "New York", "Vermont", "Maine",
+	"Georgia", "Florida", "Arizona", "Utah", "Nevada", "Montana",
+}
+
+var cityPrefix = []string{
+	"Spring", "Oak", "Maple", "River", "Lake", "Cedar", "Pine", "Fair",
+	"Green", "Stone", "Clear", "North", "South", "East", "West", "Grand",
+	"Silver", "Golden", "Red", "Blue", "Elm", "Ash", "Birch", "Willow",
+}
+
+var citySuffix = []string{
+	"field", "ville", "ton", "burg", "wood", "port", "dale", "view",
+	"brook", "haven", "ridge", "mont", "crest", "side", "ford", "creek",
+}
+
+var firstNames = []string{
+	"David", "Sarah", "Michael", "Jennifer", "Robert", "Linda", "James",
+	"Patricia", "John", "Barbara", "Daniel", "Susan", "Mark", "Karen",
+	"Paul", "Nancy", "Thomas", "Lisa", "Steven", "Betty", "Kevin", "Helen",
+	"Brian", "Sandra", "Edward", "Donna", "Ronald", "Carol", "Anthony", "Ruth",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+}
+
+var fillerTopics = []string{
+	"limestone quarrying", "railroad history", "glacial geology",
+	"prairie restoration", "cheese production", "river navigation",
+	"municipal governance", "public libraries", "street car systems",
+	"agricultural fairs", "brewing traditions", "ice harvesting",
+}
+
+// Generate produces a corpus and its ground truth from cfg. The output is
+// deterministic for a given configuration.
+func Generate(cfg Config) (*doc.Corpus, *Truth) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	corpus := doc.NewCorpus()
+	truth := &Truth{}
+
+	cities := makeCities(rng, cfg.Cities)
+	truth.Cities = cities
+
+	people := makePeople(rng, cfg.People, cities)
+
+	// Decide corruption targets up front so article text embeds them.
+	corrupt := map[int]bool{}
+	if cfg.CorruptFrac > 0 {
+		n := int(float64(len(cities)) * cfg.CorruptFrac)
+		for len(corrupt) < n && len(corrupt) < len(cities) {
+			i := rng.Intn(len(cities))
+			if cities[i].Title == "Madison, Wisconsin" {
+				continue // keep the canonical example clean
+			}
+			corrupt[i] = true
+		}
+	}
+
+	for i := range cities {
+		c := &cities[i]
+		var corr *Corruption
+		if corrupt[i] {
+			mi := rng.Intn(12)
+			corr = &Corruption{
+				DocTitle: c.Title,
+				Field:    "temperature",
+				Month:    Months[mi],
+				Value:    135 + float64(rng.Intn(40)),
+			}
+			truth.Corruptions = append(truth.Corruptions, *corr)
+		}
+		text := cityArticle(rng, c, corr, cfg.InfoboxNoise)
+		corpus.Add(doc.Document{
+			Title:  c.Title,
+			Source: "synth://city/" + strings.ReplaceAll(c.Title, " ", "_"),
+			Text:   text,
+			Meta:   map[string]string{"kind": "city"},
+		})
+	}
+
+	mentions := cfg.MentionsPerPerson
+	if mentions < 1 {
+		mentions = 1
+	}
+	for i := range people {
+		p := &people[i]
+		for m := 0; m < mentions; m++ {
+			surface := surfaceForm(rng, p, m)
+			// The person id keeps titles unique even when two generated
+			// people share a name (as real wikis disambiguate).
+			title := fmt.Sprintf("%s (profile %d.%d)", surface, p.ID, m)
+			text := personArticle(rng, p, surface, m)
+			corpus.Add(doc.Document{
+				Title:  title,
+				Source: "synth://person/" + fmt.Sprint(p.ID) + "/" + fmt.Sprint(m),
+				Text:   text,
+				Meta:   map[string]string{"kind": "person"},
+			})
+			p.Mentions = append(p.Mentions, Mention{DocTitle: title, Surface: surface})
+		}
+	}
+	truth.People = people
+
+	for i := 0; i < cfg.Filler; i++ {
+		topic := fillerTopics[rng.Intn(len(fillerTopics))]
+		title := fmt.Sprintf("History of %s (%d)", topic, i)
+		corpus.Add(doc.Document{
+			Title:  title,
+			Source: "synth://filler/" + fmt.Sprint(i),
+			Text:   fillerArticle(rng, topic),
+			Meta:   map[string]string{"kind": "filler"},
+		})
+	}
+	return corpus, truth
+}
+
+func makeCities(rng *rand.Rand, n int) []City {
+	cities := make([]City, 0, n)
+	// Madison first, with fixed well-known-ish climatology so the §2
+	// walkthrough has a stable expected answer.
+	madison := City{
+		Name: "Madison", State: "Wisconsin", Population: 233209,
+		Founded: 1856, AreaSqMi: 94.03,
+		MonthlyTemp: [12]float64{19, 24, 36, 48, 59, 69, 73, 71, 62, 50, 36, 23},
+		Title:       "Madison, Wisconsin",
+	}
+	cities = append(cities, madison)
+	seen := map[string]bool{madison.Title: true}
+	for len(cities) < n {
+		name := cityPrefix[rng.Intn(len(cityPrefix))] + citySuffix[rng.Intn(len(citySuffix))]
+		state := stateNames[rng.Intn(len(stateNames))]
+		title := name + ", " + state
+		if seen[title] {
+			continue
+		}
+		seen[title] = true
+		c := City{
+			Name: name, State: state,
+			Population: 20000 + rng.Intn(2000000),
+			Founded:    1780 + rng.Intn(180),
+			AreaSqMi:   5 + rng.Float64()*200,
+			Title:      title,
+		}
+		// A plausible seasonal curve: cold base + sinusoid-ish ramp.
+		base := 10 + rng.Float64()*35
+		amp := 20 + rng.Float64()*35
+		for m := 0; m < 12; m++ {
+			seasonal := amp * seasonFactor(m)
+			c.MonthlyTemp[m] = round1(base + seasonal + rng.Float64()*4 - 2)
+		}
+		cities = append(cities, c)
+	}
+	return cities
+}
+
+// seasonFactor approximates a northern-hemisphere season curve peaking in
+// July (index 6), in [0,1].
+func seasonFactor(month int) float64 {
+	d := month - 6
+	if d < 0 {
+		d = -d
+	}
+	return 1 - float64(d)/6.0
+}
+
+func round1(f float64) float64 { return float64(int(f*10+0.5)) / 10 }
+
+func makePeople(rng *rand.Rand, n int, cities []City) []Person {
+	people := make([]Person, 0, n)
+	// Guarantee the paper's example pair exists.
+	people = append(people, Person{
+		ID: 0, First: "David", Last: "Smith",
+		City: cities[0].Title, Born: 1962, Canonical: "David Smith",
+	})
+	for i := 1; i < n; i++ {
+		f := firstNames[rng.Intn(len(firstNames))]
+		l := lastNames[rng.Intn(len(lastNames))]
+		people = append(people, Person{
+			ID: i, First: f, Last: l,
+			City:      cities[rng.Intn(len(cities))].Title,
+			Born:      1930 + rng.Intn(70),
+			Canonical: f + " " + l,
+		})
+	}
+	return people
+}
+
+// surfaceForm returns a surface realization of the person's name. Mention 0
+// is always the canonical full name; later mentions abbreviate or reorder.
+func surfaceForm(rng *rand.Rand, p *Person, mention int) string {
+	if mention == 0 {
+		return p.Canonical
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return p.First[:1] + ". " + p.Last // "D. Smith"
+	case 1:
+		return p.Last + ", " + p.First // "Smith, David"
+	case 2:
+		return p.First[:1] + ". " + p.Last // again: abbreviations dominate
+	default:
+		return p.First + " " + p.Last
+	}
+}
+
+func cityArticle(rng *rand.Rand, c *City, corr *Corruption, noisyAttrs bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", c.Title)
+	fmt.Fprintf(&b, "%s is a city in the state of %s. ", c.Name, c.State)
+	fmt.Fprintf(&b, "The city was founded in %d and has a population of %d. ",
+		c.Founded, c.Population)
+	fmt.Fprintf(&b, "It covers an area of %.2f square miles.\n\n", c.AreaSqMi)
+
+	// Infobox block, MediaWiki-flavoured. Attribute-name noise exercises
+	// the schema matcher ("location" vs "address").
+	locAttr := "location"
+	popAttr := "population"
+	if noisyAttrs && rng.Intn(2) == 0 {
+		locAttr = "address"
+	}
+	if noisyAttrs && rng.Intn(3) == 0 {
+		popAttr = "pop_total"
+	}
+	fmt.Fprintf(&b, "{{Infobox settlement\n")
+	fmt.Fprintf(&b, "| name = %s\n", c.Name)
+	fmt.Fprintf(&b, "| %s = %s, %s\n", locAttr, c.Name, c.State)
+	fmt.Fprintf(&b, "| %s = %d\n", popAttr, c.Population)
+	fmt.Fprintf(&b, "| founded = %d\n", c.Founded)
+	fmt.Fprintf(&b, "| area_sq_mi = %.2f\n", c.AreaSqMi)
+	fmt.Fprintf(&b, "}}\n\n")
+
+	// Climate section: a weather table with one line per month, the form
+	// the §2 example extracts ("month = September", "temperature = 70").
+	fmt.Fprintf(&b, "Climate\n\n")
+	fmt.Fprintf(&b, "The climate of %s varies through the year.\n", c.Name)
+	for m := 0; m < 12; m++ {
+		temp := c.MonthlyTemp[m]
+		if corr != nil && corr.Month == Months[m] && corr.Field == "temperature" {
+			temp = corr.Value
+		}
+		fmt.Fprintf(&b, "The average temperature in %s is %.1f degrees Fahrenheit.\n",
+			Months[m], temp)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Economy\n\nThe economy of %s is driven by %s and %s.\n",
+		c.Name, fillerTopics[rng.Intn(len(fillerTopics))], fillerTopics[rng.Intn(len(fillerTopics))])
+	return b.String()
+}
+
+func personArticle(rng *rand.Rand, p *Person, surface string, mention int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", surface)
+	fmt.Fprintf(&b, "%s was born in %d. ", surface, p.Born)
+	fmt.Fprintf(&b, "%s lives in %s. ", surface, p.City)
+	switch mention % 3 {
+	case 0:
+		fmt.Fprintf(&b, "%s is known for work on %s.\n", surface,
+			fillerTopics[rng.Intn(len(fillerTopics))])
+	case 1:
+		fmt.Fprintf(&b, "A profile of %s appeared in the local gazette.\n", surface)
+	default:
+		fmt.Fprintf(&b, "%s has contributed to several community projects.\n", surface)
+	}
+	return b.String()
+}
+
+func fillerArticle(rng *rand.Rand, topic string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "History of %s\n\n", topic)
+	n := 4 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "In %d the practice of %s changed significantly. ",
+			1800+rng.Intn(200), topic)
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "Records from the period are kept in regional archives. ")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Mutate returns a modified copy of the corpus simulating one day of edits:
+// churnFrac of documents get a paragraph appended or a sentence changed.
+// It returns the new texts keyed by title (documents are value-copied; the
+// input corpus is not modified). Used by the snapshot-store experiment.
+func Mutate(c *doc.Corpus, churnFrac float64, seed int64) map[string]string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[string]string, c.Len())
+	for _, d := range c.Docs() {
+		text := d.Text
+		if rng.Float64() < churnFrac {
+			switch rng.Intn(3) {
+			case 0:
+				text += fmt.Sprintf("\nUpdate %d: minor revision recorded.\n", seed)
+			case 1:
+				text = strings.Replace(text, "city", "municipality", 1)
+			default:
+				text += fmt.Sprintf("\nSee also: regional almanac %d.\n", rng.Intn(1000))
+			}
+		}
+		out[d.Title] = text
+	}
+	return out
+}

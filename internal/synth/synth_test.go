@@ -1,0 +1,159 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(42)
+	c1, t1 := Generate(cfg)
+	c2, t2 := Generate(cfg)
+	if c1.Len() != c2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", c1.Len(), c2.Len())
+	}
+	for i, d := range c1.Docs() {
+		if d.Text != c2.Docs()[i].Text || d.Title != c2.Docs()[i].Title {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+	}
+	if len(t1.Cities) != len(t2.Cities) {
+		t.Fatal("truth differs")
+	}
+}
+
+func TestGenerateIncludesMadison(t *testing.T) {
+	c, truth := Generate(DefaultConfig(1))
+	d := c.FindByTitle("Madison, Wisconsin")
+	if d == nil {
+		t.Fatal("Madison article missing")
+	}
+	if !strings.Contains(d.Text, "The average temperature in September is 62.0 degrees Fahrenheit.") {
+		t.Fatalf("Madison September line missing; text:\n%s", d.Text)
+	}
+	city := truth.CityTruth("Madison, Wisconsin")
+	if city == nil {
+		t.Fatal("Madison truth missing")
+	}
+	if city.Population != 233209 {
+		t.Fatalf("Madison population = %d", city.Population)
+	}
+	// March..September average (indexes 2..8): (36+48+59+69+73+71+62)/7.
+	want := (36.0 + 48 + 59 + 69 + 73 + 71 + 62) / 7
+	if got := city.AvgTemp(2, 8); got != want {
+		t.Fatalf("AvgTemp(2,8) = %v, want %v", got, want)
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	cfg := Config{Seed: 7, Cities: 10, People: 5, Filler: 3, MentionsPerPerson: 2}
+	c, truth := Generate(cfg)
+	want := 10 + 5*2 + 3
+	if c.Len() != want {
+		t.Fatalf("corpus has %d docs, want %d", c.Len(), want)
+	}
+	if len(truth.Cities) != 10 || len(truth.People) != 5 {
+		t.Fatalf("truth sizes: %d cities, %d people", len(truth.Cities), len(truth.People))
+	}
+	for _, p := range truth.People {
+		if len(p.Mentions) != 2 {
+			t.Fatalf("person %s has %d mentions", p.Canonical, len(p.Mentions))
+		}
+		if p.Mentions[0].Surface != p.Canonical {
+			t.Fatalf("first mention must be canonical, got %q", p.Mentions[0].Surface)
+		}
+	}
+}
+
+func TestGenerateDavidSmithExists(t *testing.T) {
+	_, truth := Generate(DefaultConfig(3))
+	if truth.People[0].Canonical != "David Smith" {
+		t.Fatalf("first person = %q, want David Smith", truth.People[0].Canonical)
+	}
+}
+
+func TestCorruptions(t *testing.T) {
+	cfg := Config{Seed: 11, Cities: 40, People: 2, Filler: 0, MentionsPerPerson: 1, CorruptFrac: 0.2}
+	c, truth := Generate(cfg)
+	if len(truth.Corruptions) == 0 {
+		t.Fatal("expected corruptions")
+	}
+	for _, corr := range truth.Corruptions {
+		if corr.DocTitle == "Madison, Wisconsin" {
+			t.Fatal("Madison must never be corrupted")
+		}
+		if corr.Value < 135 {
+			t.Fatalf("corrupt value %v should be an outlier", corr.Value)
+		}
+		d := c.FindByTitle(corr.DocTitle)
+		if d == nil {
+			t.Fatalf("corrupted doc %q missing", corr.DocTitle)
+		}
+		if !strings.Contains(d.Text, corr.Month) {
+			t.Fatalf("corrupted doc lacks month %s", corr.Month)
+		}
+	}
+}
+
+func TestInfoboxNoise(t *testing.T) {
+	cfg := Config{Seed: 5, Cities: 60, People: 1, Filler: 0, MentionsPerPerson: 1, InfoboxNoise: true}
+	c, _ := Generate(cfg)
+	sawLocation, sawAddress := false, false
+	for _, d := range c.Docs() {
+		if strings.Contains(d.Text, "| location =") {
+			sawLocation = true
+		}
+		if strings.Contains(d.Text, "| address =") {
+			sawAddress = true
+		}
+	}
+	if !sawLocation || !sawAddress {
+		t.Fatalf("attribute noise not exercised: location=%v address=%v", sawLocation, sawAddress)
+	}
+}
+
+func TestMutateChurn(t *testing.T) {
+	c, _ := Generate(Config{Seed: 2, Cities: 30, People: 0, Filler: 10, MentionsPerPerson: 1})
+	texts := Mutate(c, 0.5, 99)
+	if len(texts) != c.Len() {
+		t.Fatalf("Mutate returned %d texts, want %d", len(texts), c.Len())
+	}
+	changed := 0
+	for _, d := range c.Docs() {
+		if texts[d.Title] != d.Text {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no documents changed at churn 0.5")
+	}
+	if changed == c.Len() {
+		t.Fatal("all documents changed at churn 0.5; expected partial churn")
+	}
+	// Zero churn leaves everything identical.
+	same := Mutate(c, 0, 99)
+	for _, d := range c.Docs() {
+		if same[d.Title] != d.Text {
+			t.Fatal("zero churn must not modify documents")
+		}
+	}
+}
+
+func TestAvgTempEmptyRange(t *testing.T) {
+	c := City{}
+	if got := c.AvgTemp(5, 4); got != 0 {
+		t.Fatalf("empty range avg = %v, want 0", got)
+	}
+}
+
+func TestSeasonFactorShape(t *testing.T) {
+	if seasonFactor(6) != 1 {
+		t.Fatalf("July factor = %v", seasonFactor(6))
+	}
+	if seasonFactor(0) != 0 {
+		t.Fatalf("January factor = %v", seasonFactor(0))
+	}
+	if seasonFactor(3) <= seasonFactor(1) {
+		t.Fatal("season factor should increase toward July")
+	}
+}

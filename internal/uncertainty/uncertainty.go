@@ -1,0 +1,247 @@
+// Package uncertainty is the processing layer's uncertainty manager
+// (Figure 1, Part V): extracted tuples carry confidences, operators
+// combine them under an independence assumption, corroborating evidence
+// is merged with noisy-or, human feedback updates beliefs, and queries can
+// ask for expected values and top-k most-probable answers instead of
+// pretending the extracted data is certain.
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Conf is a probability in [0, 1].
+type Conf = float64
+
+// And combines confidences of jointly required evidence (independent
+// conjunction): both sources must be right.
+func And(a, b Conf) Conf { return clamp(a * b) }
+
+// NoisyOr merges corroborating evidence for the same fact: each source
+// independently could establish it.
+func NoisyOr(confs ...Conf) Conf {
+	p := 1.0
+	for _, c := range confs {
+		p *= 1 - clamp(c)
+	}
+	return clamp(1 - p)
+}
+
+// BayesUpdate revises a prior with an observation from a source whose
+// reliability (probability of being correct) is given. agree reports
+// whether the source affirmed the fact.
+func BayesUpdate(prior Conf, reliability float64, agree bool) Conf {
+	prior = clamp(prior)
+	r := clampOpen(reliability)
+	var pObs float64
+	var pObsGivenTrue float64
+	if agree {
+		pObsGivenTrue = r
+		pObs = r*prior + (1-r)*(1-prior)
+	} else {
+		pObsGivenTrue = 1 - r
+		pObs = (1-r)*prior + r*(1-prior)
+	}
+	if pObs == 0 {
+		return prior
+	}
+	return clamp(pObsGivenTrue * prior / pObs)
+}
+
+func clamp(c Conf) Conf {
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+func clampOpen(c float64) float64 {
+	const eps = 1e-9
+	if c < eps {
+		return eps
+	}
+	if c > 1-eps {
+		return 1 - eps
+	}
+	return c
+}
+
+// Fact is an uncertain attribute-value assertion about an entity.
+type Fact struct {
+	Entity    string
+	Attribute string
+	Qualifier string
+	Value     string
+	Conf      Conf
+	// Sources lists provenance ids (extraction records, HI answers).
+	Sources []int64
+}
+
+// Key identifies the assertion independent of its value: an entity's
+// attribute (+qualifier) holds exactly one true value, so different values
+// under one key are mutually exclusive alternatives.
+func (f *Fact) Key() string {
+	return f.Entity + "\x00" + f.Attribute + "\x00" + f.Qualifier
+}
+
+func (f *Fact) String() string {
+	if f.Qualifier != "" {
+		return fmt.Sprintf("%s.%s[%s]=%s (%.2f)", f.Entity, f.Attribute, f.Qualifier, f.Value, f.Conf)
+	}
+	return fmt.Sprintf("%s.%s=%s (%.2f)", f.Entity, f.Attribute, f.Value, f.Conf)
+}
+
+// Store accumulates uncertain facts, merging corroboration and tracking
+// alternative values per key.
+type Store struct {
+	byKey map[string][]*Fact // alternatives, kept sorted by Conf desc
+	n     int
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store { return &Store{byKey: map[string][]*Fact{}} }
+
+// Len returns the number of distinct (key, value) assertions.
+func (s *Store) Len() int { return s.n }
+
+// Assert records a fact. A repeated (key, value) pair merges by noisy-or;
+// a new value becomes an alternative.
+func (s *Store) Assert(f Fact) *Fact {
+	alts := s.byKey[f.Key()]
+	for _, existing := range alts {
+		if existing.Value == f.Value {
+			existing.Conf = NoisyOr(existing.Conf, f.Conf)
+			existing.Sources = append(existing.Sources, f.Sources...)
+			s.sortAlts(f.Key())
+			return existing
+		}
+	}
+	cp := f
+	s.byKey[f.Key()] = append(alts, &cp)
+	s.n++
+	s.sortAlts(f.Key())
+	return &cp
+}
+
+func (s *Store) sortAlts(key string) {
+	alts := s.byKey[key]
+	sort.SliceStable(alts, func(i, j int) bool { return alts[i].Conf > alts[j].Conf })
+}
+
+// Feedback applies a human verdict on a specific (key, value): agreement
+// raises its confidence by Bayes update with the answerer's reliability,
+// disagreement lowers it.
+func (s *Store) Feedback(key, value string, reliability float64, agree bool) bool {
+	for _, f := range s.byKey[key] {
+		if f.Value == value {
+			f.Conf = BayesUpdate(f.Conf, reliability, agree)
+			s.sortAlts(key)
+			return true
+		}
+	}
+	return false
+}
+
+// Best returns the most probable value for key, or false if none.
+func (s *Store) Best(key string) (*Fact, bool) {
+	alts := s.byKey[key]
+	if len(alts) == 0 {
+		return nil, false
+	}
+	return alts[0], true
+}
+
+// Alternatives returns all values for a key, most probable first.
+func (s *Store) Alternatives(key string) []*Fact {
+	return append([]*Fact(nil), s.byKey[key]...)
+}
+
+// Keys returns all keys, sorted.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopK returns the k highest-confidence facts across the store (best value
+// per key only).
+func (s *Store) TopK(k int) []*Fact {
+	var out []*Fact
+	for _, key := range s.Keys() {
+		if best, ok := s.Best(key); ok {
+			out = append(out, best)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Conf != out[j].Conf {
+			return out[i].Conf > out[j].Conf
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Threshold returns facts whose best value clears minConf.
+func (s *Store) Threshold(minConf Conf) []*Fact {
+	var out []*Fact
+	for _, key := range s.Keys() {
+		if best, ok := s.Best(key); ok && best.Conf >= minConf {
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+// ExpectedFloat treats the alternatives of key as a distribution over
+// numeric values (confidences renormalized) and returns the expectation.
+// parse failures are skipped; ok is false if nothing parses.
+func (s *Store) ExpectedFloat(key string, parse func(string) (float64, error)) (float64, bool) {
+	alts := s.byKey[key]
+	total := 0.0
+	sum := 0.0
+	for _, f := range alts {
+		v, err := parse(f.Value)
+		if err != nil {
+			continue
+		}
+		total += f.Conf
+		sum += f.Conf * v
+	}
+	if total == 0 {
+		return 0, false
+	}
+	return sum / total, true
+}
+
+// Entropy returns the Shannon entropy (bits) of a key's renormalized
+// alternative distribution — the question router uses it to prioritize
+// ambiguous facts for human review.
+func (s *Store) Entropy(key string) float64 {
+	alts := s.byKey[key]
+	total := 0.0
+	for _, f := range alts {
+		total += f.Conf
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, f := range alts {
+		p := f.Conf / total
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}

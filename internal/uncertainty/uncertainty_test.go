@@ -1,0 +1,199 @@
+package uncertainty
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestAndNoisyOr(t *testing.T) {
+	if got := And(0.8, 0.5); got != 0.4 {
+		t.Fatalf("And = %v", got)
+	}
+	if got := NoisyOr(0.5, 0.5); got != 0.75 {
+		t.Fatalf("NoisyOr = %v", got)
+	}
+	if got := NoisyOr(0.9); got != 0.9 {
+		t.Fatalf("single NoisyOr = %v", got)
+	}
+	if got := NoisyOr(); got != 0 {
+		t.Fatalf("empty NoisyOr = %v", got)
+	}
+	if got := NoisyOr(1.0, 0.2); got != 1.0 {
+		t.Fatalf("certain NoisyOr = %v", got)
+	}
+}
+
+func TestCombinatorsStayInRange(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 1))
+		b = math.Abs(math.Mod(b, 1))
+		for _, v := range []float64{And(a, b), NoisyOr(a, b), BayesUpdate(a, b, true), BayesUpdate(a, b, false)} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBayesUpdateDirections(t *testing.T) {
+	prior := 0.6
+	up := BayesUpdate(prior, 0.9, true)
+	if up <= prior {
+		t.Fatalf("agreement should raise: %v -> %v", prior, up)
+	}
+	down := BayesUpdate(prior, 0.9, false)
+	if down >= prior {
+		t.Fatalf("disagreement should lower: %v -> %v", prior, down)
+	}
+	// An unreliable source (reliability 0.5) should not move the prior.
+	same := BayesUpdate(prior, 0.5, true)
+	if math.Abs(same-prior) > 1e-9 {
+		t.Fatalf("coin-flip source moved prior: %v", same)
+	}
+	// A source more often wrong than right moves it the other way.
+	inverted := BayesUpdate(prior, 0.2, true)
+	if inverted >= prior {
+		t.Fatalf("anti-reliable agreement should lower: %v", inverted)
+	}
+}
+
+func TestStoreAssertMergeAlternatives(t *testing.T) {
+	s := NewStore()
+	f1 := s.Assert(Fact{Entity: "Madison", Attribute: "temperature", Qualifier: "September", Value: "62", Conf: 0.6, Sources: []int64{1}})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Corroboration merges by noisy-or.
+	f2 := s.Assert(Fact{Entity: "Madison", Attribute: "temperature", Qualifier: "September", Value: "62", Conf: 0.5, Sources: []int64{2}})
+	if f1 != f2 {
+		t.Fatal("same value should merge into one fact")
+	}
+	if got := f2.Conf; got != 0.8 {
+		t.Fatalf("merged conf = %v, want 0.8", got)
+	}
+	if len(f2.Sources) != 2 {
+		t.Fatalf("sources not merged: %v", f2.Sources)
+	}
+	// A different value is an alternative, not a merge.
+	s.Assert(Fact{Entity: "Madison", Attribute: "temperature", Qualifier: "September", Value: "135", Conf: 0.3})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	best, ok := s.Best(f1.Key())
+	if !ok || best.Value != "62" {
+		t.Fatalf("best = %+v", best)
+	}
+	alts := s.Alternatives(f1.Key())
+	if len(alts) != 2 || alts[1].Value != "135" {
+		t.Fatalf("alternatives: %v", alts)
+	}
+}
+
+func TestStoreFeedback(t *testing.T) {
+	s := NewStore()
+	f := s.Assert(Fact{Entity: "e", Attribute: "a", Value: "v1", Conf: 0.5})
+	s.Assert(Fact{Entity: "e", Attribute: "a", Value: "v2", Conf: 0.45})
+	// Reliable human rejects v1 repeatedly: v2 should become best.
+	for i := 0; i < 3; i++ {
+		if !s.Feedback(f.Key(), "v1", 0.9, false) {
+			t.Fatal("feedback target not found")
+		}
+	}
+	best, _ := s.Best(f.Key())
+	if best.Value != "v2" {
+		t.Fatalf("after negative feedback best = %+v", best)
+	}
+	if s.Feedback(f.Key(), "nope", 0.9, true) {
+		t.Fatal("feedback on missing value should return false")
+	}
+	if s.Feedback("missing-key", "v", 0.9, true) {
+		t.Fatal("feedback on missing key should return false")
+	}
+}
+
+func TestStoreBestMissing(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Best("nothing"); ok {
+		t.Fatal("Best on empty key")
+	}
+}
+
+func TestStoreTopKAndThreshold(t *testing.T) {
+	s := NewStore()
+	s.Assert(Fact{Entity: "a", Attribute: "x", Value: "1", Conf: 0.9})
+	s.Assert(Fact{Entity: "b", Attribute: "x", Value: "2", Conf: 0.7})
+	s.Assert(Fact{Entity: "c", Attribute: "x", Value: "3", Conf: 0.3})
+	top := s.TopK(2)
+	if len(top) != 2 || top[0].Entity != "a" || top[1].Entity != "b" {
+		t.Fatalf("TopK: %v", top)
+	}
+	all := s.TopK(0)
+	if len(all) != 3 {
+		t.Fatalf("TopK(0): %v", all)
+	}
+	hi := s.Threshold(0.65)
+	if len(hi) != 2 {
+		t.Fatalf("Threshold: %v", hi)
+	}
+}
+
+func TestExpectedFloat(t *testing.T) {
+	s := NewStore()
+	s.Assert(Fact{Entity: "m", Attribute: "temp", Value: "60", Conf: 0.8})
+	s.Assert(Fact{Entity: "m", Attribute: "temp", Value: "70", Conf: 0.2})
+	key := (&Fact{Entity: "m", Attribute: "temp"}).Key()
+	got, ok := s.ExpectedFloat(key, func(v string) (float64, error) {
+		return strconv.ParseFloat(v, 64)
+	})
+	if !ok || got != 62 {
+		t.Fatalf("expected value = %v ok=%v", got, ok)
+	}
+	// Unparseable values are skipped.
+	s.Assert(Fact{Entity: "m", Attribute: "temp", Value: "unknown", Conf: 0.9})
+	got, ok = s.ExpectedFloat(key, func(v string) (float64, error) {
+		return strconv.ParseFloat(v, 64)
+	})
+	if !ok || got != 62 {
+		t.Fatalf("with junk value: %v ok=%v", got, ok)
+	}
+	if _, ok := s.ExpectedFloat("missing", strconvParse); ok {
+		t.Fatal("missing key should not produce expectation")
+	}
+}
+
+func strconvParse(v string) (float64, error) { return strconv.ParseFloat(v, 64) }
+
+func TestEntropyPrioritizesAmbiguity(t *testing.T) {
+	s := NewStore()
+	s.Assert(Fact{Entity: "sure", Attribute: "a", Value: "v", Conf: 0.99})
+	s.Assert(Fact{Entity: "torn", Attribute: "a", Value: "v1", Conf: 0.5})
+	s.Assert(Fact{Entity: "torn", Attribute: "a", Value: "v2", Conf: 0.5})
+	sureKey := (&Fact{Entity: "sure", Attribute: "a"}).Key()
+	tornKey := (&Fact{Entity: "torn", Attribute: "a"}).Key()
+	if s.Entropy(tornKey) <= s.Entropy(sureKey) {
+		t.Fatalf("entropy(torn)=%v should exceed entropy(sure)=%v",
+			s.Entropy(tornKey), s.Entropy(sureKey))
+	}
+	if h := s.Entropy(tornKey); math.Abs(h-1.0) > 1e-9 {
+		t.Fatalf("50/50 entropy = %v, want 1 bit", h)
+	}
+	if s.Entropy("missing") != 0 {
+		t.Fatal("missing key entropy should be 0")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	s.Assert(Fact{Entity: "b", Attribute: "x", Value: "1", Conf: 0.5})
+	s.Assert(Fact{Entity: "a", Attribute: "x", Value: "1", Conf: 0.5})
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] > keys[1] {
+		t.Fatalf("keys: %v", keys)
+	}
+}

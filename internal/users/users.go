@@ -1,0 +1,206 @@
+// Package users implements the user layer's management modules from the
+// paper's Figure 1: authentication, a reputation manager (for weighting
+// mass-collaboration feedback), and an incentive manager (accounting for
+// contribution rewards).
+package users
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Role separates the paper's two user populations.
+type Role string
+
+const (
+	// RoleDeveloper writes declarative IE+II+HI programs and SQL.
+	RoleDeveloper Role = "developer"
+	// RoleOrdinary asks keyword questions and gives feedback.
+	RoleOrdinary Role = "ordinary"
+)
+
+// ErrAuth is returned for bad credentials or unknown users.
+var ErrAuth = errors.New("users: authentication failed")
+
+// ErrExists is returned when registering a duplicate username.
+var ErrExists = errors.New("users: user already exists")
+
+// User is an account.
+type User struct {
+	Name     string
+	Role     Role
+	passHash string
+}
+
+// Manager is the authentication + reputation + incentive hub. Safe for
+// concurrent use.
+type Manager struct {
+	mu       sync.RWMutex
+	users    map[string]*User
+	sessions map[string]string // token -> username
+	rep      map[string]*repState
+	points   map[string]int64
+	nextTok  int64
+}
+
+type repState struct {
+	correct int
+	wrong   int
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		users:    make(map[string]*User),
+		sessions: make(map[string]string),
+		rep:      make(map[string]*repState),
+		points:   make(map[string]int64),
+	}
+}
+
+func hashPassword(name, pass string) string {
+	sum := sha256.Sum256([]byte(name + "\x00" + pass))
+	return hex.EncodeToString(sum[:])
+}
+
+// Register creates an account.
+func (m *Manager) Register(name, pass string, role Role) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.users[name]; ok {
+		return ErrExists
+	}
+	m.users[name] = &User{Name: name, Role: role, passHash: hashPassword(name, pass)}
+	m.rep[name] = &repState{}
+	return nil
+}
+
+// Authenticate verifies credentials and returns a session token.
+func (m *Manager) Authenticate(name, pass string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	u, ok := m.users[name]
+	if !ok || u.passHash != hashPassword(name, pass) {
+		return "", ErrAuth
+	}
+	m.nextTok++
+	tok := fmt.Sprintf("tok-%d-%s", m.nextTok, hashPassword(name, fmt.Sprint(m.nextTok))[:12])
+	m.sessions[tok] = name
+	return tok, nil
+}
+
+// Whoami resolves a session token to a user.
+func (m *Manager) Whoami(token string) (*User, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	name, ok := m.sessions[token]
+	if !ok {
+		return nil, ErrAuth
+	}
+	u := m.users[name]
+	cp := *u
+	return &cp, nil
+}
+
+// Logout invalidates a token.
+func (m *Manager) Logout(token string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, token)
+}
+
+// --- Reputation --------------------------------------------------------------
+
+// RecordFeedbackOutcome updates a user's reputation after the system learns
+// whether their answer was correct (e.g. it agreed with the eventual
+// consensus or a gold check).
+func (m *Manager) RecordFeedbackOutcome(name string, correct bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.rep[name]
+	if !ok {
+		st = &repState{}
+		m.rep[name] = st
+	}
+	if correct {
+		st.correct++
+	} else {
+		st.wrong++
+	}
+}
+
+// Weight implements hi.ReputationSource: a Laplace-smoothed accuracy
+// estimate in (0,1), so users with a track record of correct feedback count
+// more in mass-collaboration votes.
+func (m *Manager) Weight(name string) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, ok := m.rep[name]
+	if !ok {
+		return 0.5
+	}
+	return (float64(st.correct) + 1) / (float64(st.correct+st.wrong) + 2)
+}
+
+// Accuracy returns raw (correct, wrong) counts.
+func (m *Manager) Accuracy(name string) (correct, wrong int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if st, ok := m.rep[name]; ok {
+		return st.correct, st.wrong
+	}
+	return 0, 0
+}
+
+// --- Incentives --------------------------------------------------------------
+
+// Award grants incentive points for a contribution (answered question,
+// confirmed correction, contributed page).
+func (m *Manager) Award(name string, points int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.points[name] += points
+}
+
+// Points returns a user's balance.
+func (m *Manager) Points(name string) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.points[name]
+}
+
+// LeaderEntry is one row of the incentive leaderboard.
+type LeaderEntry struct {
+	Name   string
+	Points int64
+	Weight float64
+}
+
+// Leaderboard returns the top-n contributors by points.
+func (m *Manager) Leaderboard(n int) []LeaderEntry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]LeaderEntry, 0, len(m.points))
+	for name, p := range m.points {
+		st := m.rep[name]
+		w := 0.5
+		if st != nil {
+			w = (float64(st.correct) + 1) / (float64(st.correct+st.wrong) + 2)
+		}
+		out = append(out, LeaderEntry{Name: name, Points: p, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Points != out[j].Points {
+			return out[i].Points > out[j].Points
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

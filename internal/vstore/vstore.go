@@ -1,0 +1,326 @@
+// Package vstore implements a Subversion-like versioned store for
+// unstructured corpus snapshots. Daily snapshots of crawled documents
+// overlap heavily, so only the first version of a document is stored in
+// full; later versions are stored as line-level deltas against the
+// previous version. The store reports exact byte accounting so the
+// snapshot-storage experiment (E7) can measure the space saving the paper
+// claims for diff-based storage.
+package vstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Revision numbers a snapshot; the first committed snapshot is revision 1.
+type Revision int
+
+// Store is a versioned document store. It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	head  Revision
+	docs  map[string]*history // keyed by document title/path
+	bytes struct {
+		full  int // bytes stored as full texts
+		delta int // bytes stored as delta scripts
+		raw   int // bytes that full-snapshot storage would have used
+	}
+}
+
+type history struct {
+	baseRev  Revision
+	baseText string
+	// versions[i] applies on top of the result of versions[:i] applied to
+	// baseText. Each has the revision at which it was committed.
+	versions []delta
+	// hashByRev caches content hash per committed revision for integrity
+	// checks.
+	hashByRev map[Revision]string
+}
+
+type delta struct {
+	rev    Revision
+	script []edit
+	size   int
+}
+
+// edit is one line-range replacement: replace lines [Start, End) of the
+// previous version with Lines.
+type edit struct {
+	Start int
+	End   int
+	Lines []string
+}
+
+// NewStore returns an empty store at revision 0.
+func NewStore() *Store {
+	return &Store{docs: make(map[string]*history)}
+}
+
+// Head returns the latest committed revision (0 if none).
+func (s *Store) Head() Revision {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+// Commit stores a snapshot: the full set of document texts keyed by title.
+// Documents absent from a snapshot keep their previous content (the store
+// models an overlay crawl, not deletion); pass an empty string to record
+// an explicit deletion. It returns the new revision number.
+func (s *Store) Commit(texts map[string]string) Revision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.head++
+	rev := s.head
+	titles := make([]string, 0, len(texts))
+	for t := range texts {
+		titles = append(titles, t)
+	}
+	sort.Strings(titles)
+	for _, title := range titles {
+		text := texts[title]
+		s.bytes.raw += len(text)
+		h := s.docs[title]
+		if h == nil {
+			h = &history{baseRev: rev, baseText: text, hashByRev: map[Revision]string{rev: hashText(text)}}
+			s.docs[title] = h
+			s.bytes.full += len(text)
+			continue
+		}
+		prev := h.materializeLocked(len(h.versions))
+		if prev == text {
+			h.hashByRev[rev] = hashText(text)
+			continue // unchanged: zero additional storage
+		}
+		script := diffLines(splitLines(prev), splitLines(text))
+		d := delta{rev: rev, script: script, size: scriptSize(script)}
+		h.versions = append(h.versions, d)
+		h.hashByRev[rev] = hashText(text)
+		s.bytes.delta += d.size
+	}
+	return rev
+}
+
+// Checkout returns the text of a document as of revision rev. ok is false
+// if the document did not exist at that revision.
+func (s *Store) Checkout(title string, rev Revision) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.docs[title]
+	if h == nil || rev < h.baseRev || rev > s.head {
+		return "", false
+	}
+	// Count how many deltas were committed at or before rev.
+	n := 0
+	for _, d := range h.versions {
+		if d.rev <= rev {
+			n++
+		}
+	}
+	return h.materializeLocked(n), true
+}
+
+// CheckoutHead returns the latest text of a document.
+func (s *Store) CheckoutHead(title string) (string, bool) {
+	return s.Checkout(title, s.Head())
+}
+
+// Titles returns all stored document titles in sorted order.
+func (s *Store) Titles() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for t := range s.docs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Verify recomputes the content hash of every (document, revision) pair and
+// compares it with the hash recorded at commit time. It returns an error
+// naming the first mismatch, or nil.
+func (s *Store) Verify() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for title, h := range s.docs {
+		for rev, want := range h.hashByRev {
+			n := 0
+			for _, d := range h.versions {
+				if d.rev <= rev {
+					n++
+				}
+			}
+			if got := hashText(h.materializeLocked(n)); got != want {
+				return fmt.Errorf("vstore: %q at r%d: hash %s, recorded %s", title, rev, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports storage accounting.
+type Stats struct {
+	Head       Revision
+	Documents  int
+	FullBytes  int // base versions stored in full
+	DeltaBytes int // delta scripts
+	RawBytes   int // what storing every snapshot in full would cost
+	Deltas     int
+}
+
+// StoredBytes is the total the store actually uses.
+func (st Stats) StoredBytes() int { return st.FullBytes + st.DeltaBytes }
+
+// SavingsRatio is RawBytes / StoredBytes (1.0 means no saving).
+func (st Stats) SavingsRatio() float64 {
+	stored := st.StoredBytes()
+	if stored == 0 {
+		return 1
+	}
+	return float64(st.RawBytes) / float64(stored)
+}
+
+// Stats returns current storage accounting.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Head: s.head, Documents: len(s.docs),
+		FullBytes: s.bytes.full, DeltaBytes: s.bytes.delta, RawBytes: s.bytes.raw,
+	}
+	for _, h := range s.docs {
+		st.Deltas += len(h.versions)
+	}
+	return st
+}
+
+func (h *history) materializeLocked(nDeltas int) string {
+	if nDeltas == 0 {
+		return h.baseText
+	}
+	lines := splitLines(h.baseText)
+	for i := 0; i < nDeltas; i++ {
+		lines = applyScript(lines, h.versions[i].script)
+	}
+	return strings.Join(lines, "\n")
+}
+
+func hashText(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:8])
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func scriptSize(script []edit) int {
+	size := 0
+	for _, e := range script {
+		size += 16 // range header
+		for _, l := range e.Lines {
+			size += len(l) + 1
+		}
+	}
+	return size
+}
+
+// diffLines computes a line-level edit script transforming a into b using a
+// simple common-prefix/suffix trim plus a greedy longest-common-subsequence
+// on the middle via dynamic programming (bounded: if the middle is huge the
+// whole middle is replaced, which is still correct, just less compact).
+func diffLines(a, b []string) []edit {
+	// Trim common prefix.
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	// Trim common suffix.
+	sA, sB := len(a), len(b)
+	for sA > p && sB > p && a[sA-1] == b[sB-1] {
+		sA--
+		sB--
+	}
+	midA, midB := a[p:sA], b[p:sB]
+	const dpLimit = 2000
+	if len(midA)*len(midB) > dpLimit*dpLimit || len(midA) == 0 || len(midB) == 0 {
+		if len(midA) == 0 && len(midB) == 0 {
+			return nil
+		}
+		return []edit{{Start: p, End: sA, Lines: append([]string(nil), midB...)}}
+	}
+	// LCS DP over the middle.
+	n, m := len(midA), len(midB)
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if midA[i] == midB[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var edits []edit
+	i, j := 0, 0
+	for i < n || j < m {
+		if i < n && j < m && midA[i] == midB[j] {
+			i++
+			j++
+			continue
+		}
+		// Collect a maximal non-matching block.
+		startA, startB := i, j
+		for i < n || j < m {
+			if i < n && j < m && midA[i] == midB[j] {
+				break
+			}
+			if i < n && (j >= m || dp[i+1][j] >= dp[i][j+1]) {
+				i++
+			} else {
+				j++
+			}
+		}
+		edits = append(edits, edit{
+			Start: p + startA,
+			End:   p + i,
+			Lines: append([]string(nil), midB[startB:j]...),
+		})
+	}
+	return edits
+}
+
+// applyScript applies an edit script to lines; edits are ordered by Start
+// and expressed in the coordinate space of the input.
+func applyScript(lines []string, script []edit) []string {
+	if len(script) == 0 {
+		return lines
+	}
+	out := make([]string, 0, len(lines))
+	pos := 0
+	for _, e := range script {
+		if e.Start > pos {
+			out = append(out, lines[pos:e.Start]...)
+		}
+		out = append(out, e.Lines...)
+		pos = e.End
+	}
+	if pos < len(lines) {
+		out = append(out, lines[pos:]...)
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package vstore
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommitCheckoutRoundTrip(t *testing.T) {
+	s := NewStore()
+	r1 := s.Commit(map[string]string{"a": "line1\nline2\nline3", "b": "hello"})
+	if r1 != 1 {
+		t.Fatalf("first revision = %d", r1)
+	}
+	r2 := s.Commit(map[string]string{"a": "line1\nCHANGED\nline3"})
+	if r2 != 2 {
+		t.Fatalf("second revision = %d", r2)
+	}
+	if got, ok := s.Checkout("a", r1); !ok || got != "line1\nline2\nline3" {
+		t.Fatalf("checkout a@1 = %q ok=%v", got, ok)
+	}
+	if got, ok := s.Checkout("a", r2); !ok || got != "line1\nCHANGED\nline3" {
+		t.Fatalf("checkout a@2 = %q ok=%v", got, ok)
+	}
+	// b was not in snapshot 2; it keeps its r1 content.
+	if got, ok := s.Checkout("b", r2); !ok || got != "hello" {
+		t.Fatalf("checkout b@2 = %q ok=%v", got, ok)
+	}
+	if got, ok := s.CheckoutHead("a"); !ok || got != "line1\nCHANGED\nline3" {
+		t.Fatalf("CheckoutHead = %q ok=%v", got, ok)
+	}
+}
+
+func TestCheckoutMissing(t *testing.T) {
+	s := NewStore()
+	s.Commit(map[string]string{"a": "x"})
+	if _, ok := s.Checkout("missing", 1); ok {
+		t.Fatal("missing doc should not check out")
+	}
+	if _, ok := s.Checkout("a", 0); ok {
+		t.Fatal("revision 0 predates the document")
+	}
+	if _, ok := s.Checkout("a", 99); ok {
+		t.Fatal("future revision should fail")
+	}
+}
+
+func TestUnchangedSnapshotCostsNothing(t *testing.T) {
+	s := NewStore()
+	text := strings.Repeat("stable content line\n", 100)
+	s.Commit(map[string]string{"doc": text})
+	before := s.Stats()
+	for i := 0; i < 10; i++ {
+		s.Commit(map[string]string{"doc": text})
+	}
+	after := s.Stats()
+	if after.DeltaBytes != before.DeltaBytes || after.FullBytes != before.FullBytes {
+		t.Fatalf("unchanged snapshots must add no storage: before=%+v after=%+v", before, after)
+	}
+	if after.RawBytes <= before.RawBytes {
+		t.Fatal("raw accounting should still grow")
+	}
+	if after.SavingsRatio() < 10 {
+		t.Fatalf("savings ratio = %v, want >= 10 for 11 identical snapshots", after.SavingsRatio())
+	}
+}
+
+func TestDeltaSmallerThanFull(t *testing.T) {
+	s := NewStore()
+	base := strings.Repeat("aaaa bbbb cccc dddd\n", 200)
+	s.Commit(map[string]string{"doc": base})
+	changed := strings.Replace(base, "aaaa bbbb cccc dddd", "EDITED LINE", 1)
+	s.Commit(map[string]string{"doc": changed})
+	st := s.Stats()
+	if st.DeltaBytes >= len(base)/2 {
+		t.Fatalf("delta of a one-line edit should be small, got %d bytes (doc %d bytes)", st.DeltaBytes, len(base))
+	}
+	if got, _ := s.CheckoutHead("doc"); got != changed {
+		t.Fatal("delta checkout mismatch")
+	}
+}
+
+func TestManyRevisionsChain(t *testing.T) {
+	s := NewStore()
+	lines := make([]string, 50)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line %d", i)
+	}
+	want := make([]string, 0, 30)
+	for rev := 0; rev < 30; rev++ {
+		lines[rev%50] = fmt.Sprintf("line %d revised at %d", rev%50, rev)
+		text := strings.Join(lines, "\n")
+		want = append(want, text)
+		s.Commit(map[string]string{"doc": text})
+	}
+	for i, w := range want {
+		got, ok := s.Checkout("doc", Revision(i+1))
+		if !ok || got != w {
+			t.Fatalf("revision %d mismatch", i+1)
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitDeletionAsEmpty(t *testing.T) {
+	s := NewStore()
+	s.Commit(map[string]string{"doc": "content"})
+	s.Commit(map[string]string{"doc": ""})
+	if got, ok := s.CheckoutHead("doc"); !ok || got != "" {
+		t.Fatalf("deleted doc = %q ok=%v", got, ok)
+	}
+	if got, _ := s.Checkout("doc", 1); got != "content" {
+		t.Fatal("history must preserve pre-deletion content")
+	}
+}
+
+func TestTitles(t *testing.T) {
+	s := NewStore()
+	s.Commit(map[string]string{"b": "1", "a": "2", "c": "3"})
+	got := s.Titles()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Fatalf("Titles = %v", got)
+	}
+}
+
+func TestDiffApplyProperty(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a := bytesToLines(aRaw)
+		b := bytesToLines(bRaw)
+		script := diffLines(a, b)
+		got := applyScript(a, script)
+		if len(got) != len(b) {
+			return false
+		}
+		for i := range b {
+			if got[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bytesToLines maps arbitrary bytes into short line slices from a small
+// alphabet so diffs exercise real common subsequences.
+func bytesToLines(raw []byte) []string {
+	lines := make([]string, 0, len(raw))
+	for _, x := range raw {
+		lines = append(lines, fmt.Sprintf("line-%d", x%7))
+	}
+	return lines
+}
+
+func TestRandomChurnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	s := NewStore()
+	docs := map[string][]string{}
+	for i := 0; i < 5; i++ {
+		lines := make([]string, 20+rng.Intn(30))
+		for j := range lines {
+			lines[j] = fmt.Sprintf("doc%d line%d token%d", i, j, rng.Intn(5))
+		}
+		docs[fmt.Sprintf("doc%d", i)] = lines
+	}
+	type snap map[string]string
+	var snaps []snap
+	for rev := 0; rev < 15; rev++ {
+		sn := snap{}
+		for title, lines := range docs {
+			if rng.Intn(3) == 0 {
+				k := rng.Intn(len(lines))
+				lines[k] = fmt.Sprintf("%s edited@%d", lines[k], rev)
+				docs[title] = lines
+			}
+			sn[title] = strings.Join(lines, "\n")
+		}
+		snaps = append(snaps, sn)
+		s.Commit(sn)
+	}
+	for i, sn := range snaps {
+		for title, want := range sn {
+			got, ok := s.Checkout(title, Revision(i+1))
+			if !ok || got != want {
+				t.Fatalf("checkout %s@%d mismatch", title, i+1)
+			}
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SavingsRatio() <= 1.5 {
+		t.Fatalf("savings ratio %v too low for low-churn snapshots", st.SavingsRatio())
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewStore()
+	st := s.Stats()
+	if st.StoredBytes() != 0 || st.SavingsRatio() != 1 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	s := NewStore()
+	s.Commit(map[string]string{"doc": "a\nb\nc"})
+	s.Commit(map[string]string{"doc": "a\nB\nc"})
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				if _, ok := s.Checkout("doc", 2); !ok {
+					t.Error("checkout failed")
+				}
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,173 @@
+// Package wiki is the MediaWiki-like store of Figure 1's storage layer: it
+// holds user contributions (pages with full revision history) under
+// optimistic concurrency control — an editor submits the revision number
+// they based their edit on, and a conflicting concurrent edit is rejected
+// rather than silently overwritten.
+package wiki
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrConflict is returned when an edit's base revision is stale.
+var ErrConflict = errors.New("wiki: edit conflict (page changed since base revision)")
+
+// ErrNoPage is returned for operations on missing pages.
+var ErrNoPage = errors.New("wiki: no such page")
+
+// Revision is one stored version of a page.
+type Revision struct {
+	Num     int // 1-based
+	Author  string
+	Comment string
+	Text    string
+}
+
+type page struct {
+	title     string
+	revisions []Revision
+}
+
+// Store is the wiki. Safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	pages map[string]*page
+}
+
+// NewStore returns an empty wiki.
+func NewStore() *Store { return &Store{pages: map[string]*page{}} }
+
+// Create adds a new page; it fails if the title exists.
+func (s *Store) Create(title, text, author, comment string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[title]; ok {
+		return fmt.Errorf("wiki: page %q already exists", title)
+	}
+	s.pages[title] = &page{
+		title:     title,
+		revisions: []Revision{{Num: 1, Author: author, Comment: comment, Text: text}},
+	}
+	return nil
+}
+
+// Edit appends a revision if baseRev is still the head (optimistic
+// concurrency). On success it returns the new revision number.
+func (s *Store) Edit(title, text, author, comment string, baseRev int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return 0, ErrNoPage
+	}
+	head := len(p.revisions)
+	if baseRev != head {
+		return 0, fmt.Errorf("%w: base %d, head %d", ErrConflict, baseRev, head)
+	}
+	p.revisions = append(p.revisions, Revision{
+		Num: head + 1, Author: author, Comment: comment, Text: text,
+	})
+	return head + 1, nil
+}
+
+// Read returns the head revision of a page.
+func (s *Store) Read(title string) (Revision, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return Revision{}, ErrNoPage
+	}
+	return p.revisions[len(p.revisions)-1], nil
+}
+
+// ReadRev returns a specific revision.
+func (s *Store) ReadRev(title string, rev int) (Revision, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return Revision{}, ErrNoPage
+	}
+	if rev < 1 || rev > len(p.revisions) {
+		return Revision{}, fmt.Errorf("wiki: %q has no revision %d", title, rev)
+	}
+	return p.revisions[rev-1], nil
+}
+
+// History returns all revisions of a page, oldest first.
+func (s *Store) History(title string) ([]Revision, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pages[title]
+	if !ok {
+		return nil, ErrNoPage
+	}
+	return append([]Revision(nil), p.revisions...), nil
+}
+
+// Titles lists all page titles sorted.
+func (s *Store) Titles() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.pages))
+	for t := range s.pages {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contributions counts revisions per author across all pages (feeds the
+// incentive manager).
+func (s *Store) Contributions() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string]int{}
+	for _, p := range s.pages {
+		for _, r := range p.revisions {
+			out[r.Author]++
+		}
+	}
+	return out
+}
+
+// Diff renders a minimal line diff between two revisions of a page
+// ("-" removed, "+" added), for review interfaces.
+func (s *Store) Diff(title string, fromRev, toRev int) (string, error) {
+	from, err := s.ReadRev(title, fromRev)
+	if err != nil {
+		return "", err
+	}
+	to, err := s.ReadRev(title, toRev)
+	if err != nil {
+		return "", err
+	}
+	a := strings.Split(from.Text, "\n")
+	b := strings.Split(to.Text, "\n")
+	var out strings.Builder
+	// Common-prefix/suffix trim; middle rendered as remove+add.
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	sa, sb := len(a), len(b)
+	for sa > p && sb > p && a[sa-1] == b[sb-1] {
+		sa--
+		sb--
+	}
+	for _, l := range a[p:sa] {
+		fmt.Fprintf(&out, "- %s\n", l)
+	}
+	for _, l := range b[p:sb] {
+		fmt.Fprintf(&out, "+ %s\n", l)
+	}
+	if out.Len() == 0 {
+		return "(no changes)\n", nil
+	}
+	return out.String(), nil
+}

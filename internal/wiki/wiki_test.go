@@ -1,0 +1,154 @@
+package wiki
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCreateReadEdit(t *testing.T) {
+	s := NewStore()
+	if err := s.Create("Madison", "v1 text", "alice", "created"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("Madison", "x", "bob", ""); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	rev, err := s.Read("Madison")
+	if err != nil || rev.Num != 1 || rev.Text != "v1 text" || rev.Author != "alice" {
+		t.Fatalf("read: %+v %v", rev, err)
+	}
+	n, err := s.Edit("Madison", "v2 text", "bob", "fix", 1)
+	if err != nil || n != 2 {
+		t.Fatalf("edit: %v %v", n, err)
+	}
+	rev, _ = s.Read("Madison")
+	if rev.Num != 2 || rev.Author != "bob" {
+		t.Fatalf("head: %+v", rev)
+	}
+	if _, err := s.Read("nope"); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("missing page: %v", err)
+	}
+	if _, err := s.Edit("nope", "x", "a", "", 1); !errors.Is(err, ErrNoPage) {
+		t.Fatalf("edit missing: %v", err)
+	}
+}
+
+func TestOptimisticConcurrencyConflict(t *testing.T) {
+	s := NewStore()
+	s.Create("p", "base", "a", "")
+	// Two editors both read revision 1.
+	if _, err := s.Edit("p", "from b", "b", "", 1); err != nil {
+		t.Fatal(err)
+	}
+	// The second editor's base is stale.
+	if _, err := s.Edit("p", "from c", "c", "", 1); !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	// After re-reading head, the edit succeeds.
+	head, _ := s.Read("p")
+	if _, err := s.Edit("p", "from c rebased", "c", "", head.Num); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryAndReadRev(t *testing.T) {
+	s := NewStore()
+	s.Create("p", "one", "a", "c1")
+	s.Edit("p", "two", "b", "c2", 1)
+	s.Edit("p", "three", "a", "c3", 2)
+	hist, err := s.History("p")
+	if err != nil || len(hist) != 3 {
+		t.Fatalf("history: %v %v", hist, err)
+	}
+	if hist[0].Text != "one" || hist[2].Text != "three" {
+		t.Fatalf("history order: %+v", hist)
+	}
+	rev, err := s.ReadRev("p", 2)
+	if err != nil || rev.Text != "two" {
+		t.Fatalf("ReadRev: %+v %v", rev, err)
+	}
+	if _, err := s.ReadRev("p", 9); err == nil {
+		t.Fatal("bad rev should fail")
+	}
+	if _, err := s.History("nope"); !errors.Is(err, ErrNoPage) {
+		t.Fatal("history of missing page")
+	}
+}
+
+func TestTitlesAndContributions(t *testing.T) {
+	s := NewStore()
+	s.Create("B", "x", "alice", "")
+	s.Create("A", "y", "bob", "")
+	s.Edit("A", "y2", "alice", "", 1)
+	titles := s.Titles()
+	if len(titles) != 2 || titles[0] != "A" {
+		t.Fatalf("titles: %v", titles)
+	}
+	contrib := s.Contributions()
+	if contrib["alice"] != 2 || contrib["bob"] != 1 {
+		t.Fatalf("contributions: %v", contrib)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := NewStore()
+	s.Create("p", "line1\nline2\nline3", "a", "")
+	s.Edit("p", "line1\nCHANGED\nline3", "b", "", 1)
+	d, err := s.Diff("p", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d, "- line2") || !strings.Contains(d, "+ CHANGED") {
+		t.Fatalf("diff:\n%s", d)
+	}
+	if strings.Contains(d, "line1") {
+		t.Fatalf("unchanged lines should not appear:\n%s", d)
+	}
+	same, _ := s.Diff("p", 2, 2)
+	if !strings.Contains(same, "no changes") {
+		t.Fatalf("identity diff: %q", same)
+	}
+	if _, err := s.Diff("nope", 1, 1); err == nil {
+		t.Fatal("diff of missing page")
+	}
+}
+
+func TestConcurrentEditorsExactlyOneWinsPerRound(t *testing.T) {
+	s := NewStore()
+	s.Create("p", "v0", "seed", "")
+	const editors = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	for e := 0; e < editors; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for {
+					head, err := s.Read("p")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := s.Edit("p", head.Text+".", "e", "", head.Num); err == nil {
+						break
+					} else if !errors.Is(err, ErrConflict) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	hist, _ := s.History("p")
+	if len(hist) != 1+editors*rounds {
+		t.Fatalf("revisions: %d, want %d", len(hist), 1+editors*rounds)
+	}
+	head, _ := s.Read("p")
+	if len(head.Text) != 2+editors*rounds {
+		t.Fatalf("all edits must compose: %q", head.Text[:10])
+	}
+}
