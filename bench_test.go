@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perfbench"
 	"repro/internal/synth"
 	"repro/internal/uql"
 )
@@ -81,6 +82,24 @@ func BenchmarkE1StructuredVsKeyword(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCatalogCache compares the guided-query hot path on the
+// incremental catalog cache against the pre-PR1 scan-per-query baseline
+// (full catalog scan + reformulation + execution per query). Compare
+// ns/op and allocs/op across the two sub-benchmarks; cmd/benchrunner
+// -perfout records the same pair in BENCH_PR1.json.
+func BenchmarkCatalogCache(b *testing.B) {
+	b.Run("AskGuidedCached", perfbench.AskGuidedCached)
+	b.Run("AskGuidedScanPerQuery", perfbench.AskGuidedScanPerQuery)
+}
+
+// BenchmarkSelectStreaming measures the streaming SELECT path: a
+// selective WHERE over 10k rows (rejected tuples are never cloned) and an
+// unordered LIMIT that stops the scan early. Watch allocs/op.
+func BenchmarkSelectStreaming(b *testing.B) {
+	b.Run("Filtered10k", perfbench.SelectFiltered10k)
+	b.Run("Limited10k", perfbench.SelectLimited10k)
 }
 
 // BenchmarkE2IncrementalVsOneShot measures time-to-first-answer.

@@ -5,23 +5,49 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/perfbench"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller parameterizations")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	only := flag.String("only", "", "run only this experiment id (e.g. E3)")
+	perfout := flag.String("perfout", "", "run the query-path micro-benchmarks and write the trajectory JSON (e.g. BENCH_PR1.json); skips the experiment suite")
 	flag.Parse()
 
+	if *perfout != "" {
+		if err := runPerf(*perfout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*quick, *seed, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
+}
+
+// runPerf runs the PR1 query-path micro-benchmarks and writes the
+// trajectory point.
+func runPerf(path string) error {
+	rep := perfbench.RunAll()
+	for _, r := range rep.Results {
+		fmt.Printf("%-40s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("catalog speedup (scan-per-query / cached): %.1fx\n", rep.CatalogSpeedup)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func run(quick bool, seed int64, only string) error {

@@ -10,4 +10,45 @@
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the measured
 // results, and examples/ for runnable walkthroughs. The E1-E10 benchmarks
 // in bench_test.go regenerate every experiment.
+//
+// # Query-path architecture (PR1)
+//
+// The exploitation modes (keyword → guided reformulation → SQL → browse)
+// are the serving hot path, rebuilt around three structures:
+//
+// Catalog cache. core.System maintains the reformulation catalog (distinct
+// entities, attributes, per-attribute qualifier vocabulary) incrementally
+// instead of scanning the extracted table per query. Write paths that go
+// through core (materialize, CorrectValue) fold their committed rows into
+// the cache under System.mu, strictly after their transaction commits;
+// write paths that bypass core's row bookkeeping (UQL STORE inside
+// Generate, non-SELECT statements through System.SQL) invalidate it, and
+// the next Catalog()/AskGuided call rebuilds it with one full scan while
+// holding System.mu across scan + install. The assembled catalog and the
+// reformulator derived from it are memoized between writes, so a
+// read-only streak of AskGuided calls does no per-query catalog work.
+// Writes driven at the rdbms.DB handle directly are outside this
+// contract; all extracted-table writes must go through System.
+//
+// Streaming scans. rdbms SELECT pushes the WHERE clause into the scan
+// callback for single-table queries: rejected tuples are never retained
+// or cloned, and unordered, ungrouped, non-distinct LIMIT queries stop
+// the scan as soon as OFFSET+LIMIT rows qualify. Access paths are chosen
+// cost-based — among several usable equality predicates, the index
+// matching the fewest entries (exact B+tree posting counts) wins; strict
+// bounds (>, <) widen to inclusive index ranges and rely on the residual
+// filter, which is always evaluated over fetched rows, to drop boundary
+// rows. Join, distinct, and group keys use a prefix-free byte encoding
+// (length-prefixed strings, numeric values via their float64 image) so
+// key building is allocation-free and collision-free.
+//
+// Task queue. Pending incremental-extraction tasks live in a
+// priority-indexed queue (container/heap) with a per-attribute index:
+// Demand boosts touch only the demanded attribute's tasks, ExtractPending
+// pops highest-priority-first in O(log n), and equal priorities drain
+// FIFO in plan order — the same order the previous stable sort produced.
+//
+// BENCH_PR1.json (written by `go run ./cmd/benchrunner -perfout
+// BENCH_PR1.json`) records the measured trajectory point; see ROADMAP.md
+// for the numbers.
 package repro

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/rdbms"
+	"repro/internal/reformulate"
+)
+
+// catalogCache incrementally maintains the reformulation catalog — the
+// distinct entities, attributes, and per-attribute qualifier vocabulary of
+// the extracted table — so the keyword→structured hot path (AskGuided)
+// runs zero table scans. All fields are guarded by System.mu.
+//
+// Lifecycle contract:
+//   - Write paths that go through core (materialize, CorrectValue) update
+//     the cache in place, after their transaction commits, under System.mu.
+//   - Write paths that bypass core's row bookkeeping (UQL STORE inside
+//     Generate, direct System.SQL writes) invalidate the cache; the next
+//     Catalog() call rebuilds it with one full scan and reinstalls it.
+//   - Rebuilds hold System.mu across the scan + install, so a concurrent
+//     incremental update can neither be lost nor observed half-applied.
+//     (Lock order is always System.mu → rdbms locks, never the reverse:
+//     core write paths touch the cache only after Commit released their
+//     rdbms locks.)
+type catalogCache struct {
+	valid     bool
+	entities  map[string]bool
+	attrs     map[string]bool
+	qualSeen  map[string]map[string]bool
+	qualOrder map[string][]string // first-seen qualifier order per attribute
+
+	// built memoizes the assembled (sorted) catalog between writes, and
+	// reform the reformulator derived from it (whose construction
+	// tokenizes every entity name), so a read-only streak of AskGuided
+	// calls does no per-query catalog work at all. Both are cleared
+	// whenever the cache content changes.
+	built  *reformulate.Catalog
+	reform *reformulate.Reformulator
+}
+
+// markDirty discards the memoized catalog and reformulator after a content
+// change; the underlying entity/attribute/qualifier sets stay valid.
+func (c *catalogCache) markDirty() {
+	c.built = nil
+	c.reform = nil
+}
+
+// invalidate discards the cache; the next snapshot triggers a full rescan.
+func (c *catalogCache) invalidate() {
+	c.valid = false
+	c.entities = nil
+	c.attrs = nil
+	c.qualSeen = nil
+	c.qualOrder = nil
+	c.markDirty()
+}
+
+// reset prepares empty-but-valid state for a rebuild.
+func (c *catalogCache) reset() {
+	c.valid = true
+	c.entities = map[string]bool{}
+	c.attrs = map[string]bool{}
+	c.qualSeen = map[string]map[string]bool{}
+	c.qualOrder = map[string][]string{}
+	c.markDirty()
+}
+
+// addRow folds one extracted row's (entity, attribute, qualifier) into the
+// cache. Idempotent, so replaying a row already seen by a rebuild is safe.
+// No-op while the cache is invalid (a later rebuild will pick the row up).
+func (c *catalogCache) addRow(entity, attribute, qualifier string) {
+	if !c.valid {
+		return
+	}
+	if !c.entities[entity] {
+		c.entities[entity] = true
+		c.markDirty()
+	}
+	if !c.attrs[attribute] {
+		c.attrs[attribute] = true
+		c.markDirty()
+	}
+	if qualifier != "" {
+		if c.qualSeen[attribute] == nil {
+			c.qualSeen[attribute] = map[string]bool{}
+		}
+		if !c.qualSeen[attribute][qualifier] {
+			c.qualSeen[attribute][qualifier] = true
+			c.qualOrder[attribute] = append(c.qualOrder[attribute], qualifier)
+			c.markDirty()
+		}
+	}
+}
+
+// snapshot assembles the reformulate.Catalog from the cache. The result
+// shares slices with the memoized copy; callers must treat it as
+// read-only (reformulate does).
+func (c *catalogCache) snapshot(table string) reformulate.Catalog {
+	if c.built != nil {
+		return *c.built
+	}
+	cat := reformulate.Catalog{Table: table, Qualifiers: map[string][]string{}}
+	cat.Entities = make([]string, 0, len(c.entities))
+	for e := range c.entities {
+		cat.Entities = append(cat.Entities, e)
+	}
+	sort.Strings(cat.Entities)
+	cat.Attributes = make([]string, 0, len(c.attrs))
+	for a := range c.attrs {
+		cat.Attributes = append(cat.Attributes, a)
+	}
+	sort.Strings(cat.Attributes)
+	// Qualifier vocabulary keeps first-seen (document) order, which for
+	// month-qualified attributes is calendar order.
+	for a, quals := range c.qualOrder {
+		cat.Qualifiers[a] = quals
+	}
+	c.built = &cat
+	return cat
+}
+
+// reformulator returns the memoized reformulator over the cached catalog,
+// building it on first use after a change. Reformulators are read-only
+// after construction, so sharing one across queries is safe.
+func (c *catalogCache) reformulator(table string) *reformulate.Reformulator {
+	if c.reform == nil {
+		c.reform = reformulate.New(c.snapshot(table))
+	}
+	return c.reform
+}
+
+// rebuildFrom repopulates the cache with one full scan of the extracted
+// table. Caller holds System.mu.
+func (c *catalogCache) rebuildFrom(db *rdbms.DB, table string) error {
+	c.reset()
+	tx := db.Begin()
+	err := tx.Scan(table, func(_ rdbms.RID, t rdbms.Tuple) bool {
+		c.addRow(t[0].S, t[1].S, t[2].S)
+		return true
+	})
+	if err != nil {
+		tx.Abort()
+		c.invalidate()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		c.invalidate()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/uql"
+)
+
+// assertCatalogFresh checks that the cached Catalog() equals a fresh
+// full-scan rebuild (CatalogScan), the cache-correctness invariant.
+func assertCatalogFresh(t *testing.T, s *System, when string) {
+	t.Helper()
+	cached, err := s.Catalog()
+	if err != nil {
+		t.Fatalf("%s: Catalog: %v", when, err)
+	}
+	fresh, err := s.CatalogScan()
+	if err != nil {
+		t.Fatalf("%s: CatalogScan: %v", when, err)
+	}
+	if !reflect.DeepEqual(cached, fresh) {
+		t.Fatalf("%s: cached catalog diverged from full scan\ncached: %+v\nfresh:  %+v", when, cached, fresh)
+	}
+}
+
+func TestCatalogCacheMatchesFullScan(t *testing.T) {
+	s, _ := newSystem(t, 10, 4, 0)
+	assertCatalogFresh(t, s, "empty table")
+
+	// After Generate (UQL STORE writes bypass materialize and must
+	// invalidate the cache).
+	if _, err := s.Generate(`
+		EXTRACT temperature FROM docs USING city KIND city INTO temps;
+		STORE temps INTO TABLE extracted;
+	`, uql.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "after Generate")
+
+	// After incremental extraction (materialize maintains the cache in
+	// place — no invalidation, so this exercises addRow).
+	if err := s.PlanIncremental("city", []string{"population", "founded"}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExtractPending("city", 0); err != nil {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "after ExtractPending")
+
+	// After a human correction (in-place value rewrite).
+	cat, err := s.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Entities) == 0 {
+		t.Fatal("no entities extracted")
+	}
+	ent := cat.Entities[0]
+	var qual string
+	if quals := cat.Qualifiers["temperature"]; len(quals) > 0 {
+		qual = quals[0]
+	}
+	if err := s.CorrectValue("alice", ent, "temperature", qual, "12.5"); err != nil {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "after CorrectValue")
+
+	// After direct SQL writes through the System facade.
+	if _, err := s.SQL("INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Metropolis', 'mayor', '', 'Jane Doe', NULL, 0.9)"); err != nil {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "after SQL INSERT")
+	cached, _ := s.Catalog()
+	found := false
+	for _, e := range cached.Entities {
+		if e == "Metropolis" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SQL INSERT did not surface in the catalog")
+	}
+
+	if _, err := s.SQL("DELETE FROM extracted WHERE entity = 'Metropolis'"); err != nil {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "after SQL DELETE")
+	cached, _ = s.Catalog()
+	for _, e := range cached.Entities {
+		if e == "Metropolis" {
+			t.Fatal("deleted entity still in catalog")
+		}
+	}
+}
+
+func TestCatalogCacheReusesMemoizedSnapshot(t *testing.T) {
+	s, _ := newSystem(t, 6, 2, 0)
+	if _, err := s.Generate(`
+		EXTRACT temperature FROM docs USING city KIND city INTO temps;
+		STORE temps INTO TABLE extracted;
+	`, uql.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read-only streak: the memoized snapshot (and its slices) is reused.
+	if len(a.Entities) > 0 && &a.Entities[0] != &b.Entities[0] {
+		t.Fatal("catalog snapshot rebuilt despite no writes")
+	}
+}
+
+// TestCatalogCacheSurvivesRefreshChanged: RefreshChanged deletes an
+// entity's rows before re-extracting; the warm cache cannot un-see rows,
+// so the refresh must invalidate it (regression for a review finding).
+func TestCatalogCacheSurvivesRefreshChanged(t *testing.T) {
+	s, _ := newSystem(t, 8, 0, 0)
+	if err := s.PlanIncremental("city", []string{"temperature", "population"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExtractPending("city", 0); err != nil {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "warm before refresh") // warms the cache
+	// Day-2 crawl: Madison's article becomes unextractable prose, so the
+	// refresh deletes its rows and materializes nothing for it.
+	s.CommitSnapshot(map[string]string{"Madison, Wisconsin": "Nothing structured remains here."})
+	changed, err := s.RefreshChanged("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed: %v", changed)
+	}
+	assertCatalogFresh(t, s, "after RefreshChanged")
+	cat, _ := s.Catalog()
+	for _, e := range cat.Entities {
+		if e == "Madison, Wisconsin" {
+			t.Fatal("deleted entity still served from warm catalog cache")
+		}
+	}
+}
+
+// TestCatalogCacheInvalidatedOnGenerateError: UQL ops run sequentially
+// and each STORE commits its own transaction, so a program that stores
+// then errors must still invalidate the cache (regression for a review
+// finding).
+func TestCatalogCacheInvalidatedOnGenerateError(t *testing.T) {
+	s, _ := newSystem(t, 6, 0, 0)
+	assertCatalogFresh(t, s, "warm on empty table") // warms the cache
+	_, err := s.Generate(`
+		EXTRACT temperature FROM docs USING city KIND city INTO temps;
+		STORE temps INTO TABLE extracted;
+		STORE no_such_relation INTO TABLE extracted;
+	`, uql.Options{})
+	if err == nil {
+		t.Fatal("expected error from STORE of unknown relation")
+	}
+	// The first STORE committed rows; the cached catalog must see them.
+	assertCatalogFresh(t, s, "after failed Generate")
+	cat, _ := s.Catalog()
+	if len(cat.Entities) == 0 {
+		t.Fatal("committed STORE rows invisible to catalog after failed Generate")
+	}
+}
+
+// TestCatalogCacheConcurrentQueryAndExtract races AskGuided against
+// ExtractPending and CorrectValue; run with -race. The invariant at the
+// end: cache still matches a full scan.
+func TestCatalogCacheConcurrentQueryAndExtract(t *testing.T) {
+	s, _ := newSystem(t, 10, 4, 0)
+	if err := s.PlanIncremental("city", []string{"temperature", "population"}, 8); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := s.ExtractPending("city", 2); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := s.AskGuided("average temperature Madison Wisconsin", 3); err != nil {
+					errs <- fmt.Errorf("AskGuided: %w", err)
+					return
+				}
+				s.Demand("population", 0.5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	assertCatalogFresh(t, s, "after concurrent query+extract")
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/alert"
@@ -58,7 +59,8 @@ type System struct {
 	Stats  *monitor.Stats
 
 	mu        sync.Mutex
-	tasks     []task // pending incremental extraction tasks, priority order
+	queue     taskQueue    // pending incremental extraction tasks
+	cat       catalogCache // incrementally maintained reformulation catalog
 	done      map[string]int
 	total     map[string]int
 	snapshots *vstore.Store // lazily initialized by Snapshots()
@@ -136,6 +138,14 @@ func New(cfg Config) (*System, error) {
 // produced by the program register themselves in the evolving schema.
 func (s *System) Generate(program string, opts uql.Options) (*uql.Plan, error) {
 	plan, err := uql.Exec(program, s.Env, opts)
+	// UQL STORE statements insert into the extracted table directly,
+	// bypassing materialize's incremental cache maintenance; force the next
+	// Catalog() to rescan. This must happen even when Exec errors: ops run
+	// sequentially and each STORE commits its own transaction, so an error
+	// later in the program does not undo earlier STOREs.
+	s.mu.Lock()
+	s.cat.invalidate()
+	s.mu.Unlock()
 	if err != nil {
 		return plan, err
 	}
@@ -161,7 +171,7 @@ func (s *System) PlanIncremental(extractor string, attributes []string, parts in
 	defer s.mu.Unlock()
 	for _, attr := range attributes {
 		for pi, p := range partitions {
-			s.tasks = append(s.tasks, task{
+			s.queue.push(task{
 				attribute: attr, docs: p, part: pi,
 				priority: 0,
 			})
@@ -177,18 +187,14 @@ func (s *System) PlanIncremental(extractor string, attributes []string, parts in
 func (s *System) Demand(attribute string, boost float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := range s.tasks {
-		if s.tasks[i].attribute == attribute {
-			s.tasks[i].priority += boost
-		}
-	}
+	s.queue.boost(attribute, boost)
 }
 
 // PendingTasks returns the number of queued tasks.
 func (s *System) PendingTasks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.tasks)
+	return s.queue.len()
 }
 
 // Coverage returns the fraction of an attribute's planned tasks that have
@@ -214,13 +220,18 @@ func (s *System) ExtractPending(extractor string, budget int) (int, error) {
 		return 0, fmt.Errorf("core: unknown extractor %q", extractor)
 	}
 	s.mu.Lock()
-	sort.SliceStable(s.tasks, func(i, j int) bool { return s.tasks[i].priority > s.tasks[j].priority })
 	n := budget
-	if n <= 0 || n > len(s.tasks) {
-		n = len(s.tasks)
+	if n <= 0 || n > s.queue.len() {
+		n = s.queue.len()
 	}
-	batch := append([]task(nil), s.tasks[:n]...)
-	s.tasks = s.tasks[n:]
+	batch := make([]task, 0, n)
+	for len(batch) < n {
+		tk, ok := s.queue.pop()
+		if !ok {
+			break
+		}
+		batch = append(batch, tk)
+	}
 	s.mu.Unlock()
 
 	for _, tk := range batch {
@@ -243,7 +254,7 @@ func (s *System) extractTask(reg uql.RegisteredExtractor, tk task) []uql.Row {
 	pipeline := reg.Pipeline.ForAttributes(tk.attribute)
 	var rows []uql.Row
 	for _, d := range tk.docs {
-		if hint != "" && hint != " " && !containsStr(d.Text, hint) {
+		if hint != "" && hint != " " && !strings.Contains(d.Text, hint) {
 			continue
 		}
 		for _, f := range pipeline.ExtractDoc(d) {
@@ -258,19 +269,6 @@ func (s *System) extractTask(reg uql.RegisteredExtractor, tk task) []uql.Row {
 		}
 	}
 	return rows
-}
-
-func containsStr(haystack, needle string) bool {
-	return len(needle) == 0 || len(haystack) >= len(needle) && indexStr(haystack, needle) >= 0
-}
-
-func indexStr(h, n string) int {
-	for i := 0; i+len(n) <= len(h); i++ {
-		if h[i:i+len(n)] == n {
-			return i
-		}
-	}
-	return -1
 }
 
 // materialize appends rows to the extracted table in one transaction and
@@ -289,6 +287,14 @@ func (s *System) materialize(rows []uql.Row) error {
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	// Fold the committed rows into the catalog cache (after Commit, so the
+	// cache never sees rows an abort would retract, and without holding
+	// rdbms locks under s.mu).
+	s.mu.Lock()
+	for _, r := range rows {
+		s.cat.addRow(r.Entity, r.Attribute, r.Qualifier)
+	}
+	s.mu.Unlock()
 	s.Stats.Inc("core.materialized.rows", int64(len(rows)))
 	s.evolveSchema(rows)
 	alertRows := make([]alert.Row, len(rows))
@@ -378,50 +384,32 @@ func (s *System) KeywordSearch(query string, k int) []search.Hit {
 	return s.Index.Search(query, k, search.BM25)
 }
 
-// Catalog summarizes the extracted structure for the reformulator.
+// Catalog summarizes the extracted structure for the reformulator. It is
+// served from the incrementally maintained catalog cache; only the first
+// call after an invalidating write (Generate's STORE, a direct SQL write)
+// scans the table. The returned catalog shares slices with the cache and
+// must be treated as read-only.
 func (s *System) Catalog() (reformulate.Catalog, error) {
-	cat := reformulate.Catalog{Table: TableName, Qualifiers: map[string][]string{}}
-	entities := map[string]bool{}
-	attrs := map[string]bool{}
-	qualsByAttr := map[string]map[string]bool{}
-	qualOrder := map[string][]string{}
-	tx := s.DB.Begin()
-	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
-		e, a, q := t[0].S, t[1].S, t[2].S
-		entities[e] = true
-		attrs[a] = true
-		if q != "" {
-			if qualsByAttr[a] == nil {
-				qualsByAttr[a] = map[string]bool{}
-			}
-			if !qualsByAttr[a][q] {
-				qualsByAttr[a][q] = true
-				qualOrder[a] = append(qualOrder[a], q)
-			}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cat.valid {
+		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
+			return reformulate.Catalog{Table: TableName}, err
 		}
-		return true
-	})
-	if err != nil {
-		tx.Abort()
-		return cat, err
 	}
-	if err := tx.Commit(); err != nil {
-		return cat, err
+	return s.cat.snapshot(TableName), nil
+}
+
+// CatalogScan builds the catalog with a full table scan, bypassing the
+// cache. It is the verification baseline: tests assert Catalog() matches
+// it after every kind of write, and the perf benchmarks use it as the
+// scan-per-query comparison point.
+func (s *System) CatalogScan() (reformulate.Catalog, error) {
+	var fresh catalogCache
+	if err := fresh.rebuildFrom(s.DB, TableName); err != nil {
+		return reformulate.Catalog{Table: TableName}, err
 	}
-	for e := range entities {
-		cat.Entities = append(cat.Entities, e)
-	}
-	sort.Strings(cat.Entities)
-	for a := range attrs {
-		cat.Attributes = append(cat.Attributes, a)
-	}
-	sort.Strings(cat.Attributes)
-	// Qualifier vocabulary keeps first-seen (document) order, which for
-	// month-qualified attributes is calendar order.
-	for a, quals := range qualOrder {
-		cat.Qualifiers[a] = quals
-	}
-	return cat, nil
+	return fresh.snapshot(TableName), nil
 }
 
 // GuidedAnswer is the result of the keyword -> structured transition: the
@@ -437,11 +425,15 @@ type GuidedAnswer struct {
 // guess candidate structured queries, execute the best one, and report
 // extraction coverage for the touched attribute.
 func (s *System) AskGuided(query string, k int) (*GuidedAnswer, error) {
-	cat, err := s.Catalog()
-	if err != nil {
-		return nil, err
+	s.mu.Lock()
+	if !s.cat.valid {
+		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 	}
-	r := reformulate.New(cat)
+	r := s.cat.reformulator(TableName)
+	s.mu.Unlock()
 	cands := r.Candidates(query, k)
 	out := &GuidedAnswer{Candidates: cands}
 	if len(cands) == 0 {
@@ -460,10 +452,20 @@ func (s *System) AskGuided(query string, k int) (*GuidedAnswer, error) {
 }
 
 // SQL is exploitation mode 3: direct structured querying for sophisticated
-// users.
+// users. Writes issued this way bypass the incremental catalog
+// maintenance, so any mutating statement (the executor sets
+// ResultSet.Mutated) — or an error, conservatively — invalidates the
+// catalog cache. (Writes driven through s.DB directly are outside the
+// cache contract: all extracted-table writes must go through System.)
 func (s *System) SQL(query string) (*rdbms.ResultSet, error) {
 	s.Stats.Inc("core.queries.sql", 1)
-	return s.DB.Exec(query)
+	rs, err := s.DB.Exec(query)
+	if err != nil || rs.Mutated {
+		s.mu.Lock()
+		s.cat.invalidate()
+		s.mu.Unlock()
+	}
+	return rs, err
 }
 
 // Browse is exploitation mode 4: a faceted browser over the extracted
@@ -557,6 +559,12 @@ func (s *System) CorrectValue(user, entity, attribute, qualifier, newValue strin
 	if err := tx.Commit(); err != nil {
 		return err
 	}
+	// A correction rewrites the value in place; the row's (entity,
+	// attribute, qualifier) key is unchanged, so folding it back in keeps
+	// the cache exact without a rescan.
+	s.mu.Lock()
+	s.cat.addRow(entity, attribute, qualifier)
+	s.mu.Unlock()
 	s.Users.Award(user, 5)
 	s.Stats.Inc("core.corrections", 1)
 	return nil

@@ -61,11 +61,17 @@ func (s *System) RefreshChanged(extractor string) ([]string, error) {
 		d.Text = head
 		changed = append(changed, d.Title)
 
-		// Replace this entity's extracted rows.
+		// Replace this entity's extracted rows. The DELETE removes rows the
+		// incremental catalog cache cannot un-see (addRow only adds), so
+		// invalidate it; the following materialize is a no-op on an invalid
+		// cache and the next Catalog() rescans.
 		if _, err := s.DB.Exec(fmt.Sprintf(
 			"DELETE FROM %s WHERE entity = '%s'", TableName, sqlEscape(d.Title))); err != nil {
 			return nil, err
 		}
+		s.mu.Lock()
+		s.cat.invalidate()
+		s.mu.Unlock()
 		var rows []uql.Row
 		for _, f := range reg.Pipeline.ExtractDoc(d) {
 			s.Debugger.Observe(f.Attribute, f.Value)

@@ -1,0 +1,106 @@
+package core
+
+import "container/heap"
+
+// taskQueue is the pending-extraction queue: a priority queue over tasks
+// (highest priority first, FIFO among equal priorities — the same order
+// the previous stable-sort implementation produced) with a per-attribute
+// index so demand boosts touch only the affected attribute's tasks.
+//
+// Complexities, n = pending tasks, k = tasks of one attribute:
+//   - push:            O(log n)
+//   - pop (highest):   O(log n)
+//   - boost(attr):     O(k log n)   (was O(n) scan + O(n log n) sort per drain)
+//
+// Guarded by System.mu.
+type taskQueue struct {
+	items   taskHeap
+	byAttr  map[string][]*taskItem
+	nextSeq int64
+}
+
+// taskItem is a queued task plus its bookkeeping positions in the heap and
+// in its attribute's index slice.
+type taskItem struct {
+	task
+	seq     int64 // insertion order, breaks priority ties FIFO
+	heapIdx int
+	attrIdx int
+}
+
+type taskHeap []*taskItem
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *taskHeap) Push(x any) {
+	it := x.(*taskItem)
+	it.heapIdx = len(*h)
+	*h = append(*h, it)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+func (q *taskQueue) len() int { return len(q.items) }
+
+// push enqueues one task.
+func (q *taskQueue) push(t task) {
+	if q.byAttr == nil {
+		q.byAttr = map[string][]*taskItem{}
+	}
+	it := &taskItem{task: t, seq: q.nextSeq}
+	q.nextSeq++
+	it.attrIdx = len(q.byAttr[t.attribute])
+	q.byAttr[t.attribute] = append(q.byAttr[t.attribute], it)
+	heap.Push(&q.items, it)
+}
+
+// pop removes and returns the highest-priority task. ok is false when the
+// queue is empty.
+func (q *taskQueue) pop() (task, bool) {
+	if len(q.items) == 0 {
+		return task{}, false
+	}
+	it := heap.Pop(&q.items).(*taskItem)
+	q.dropFromAttrIndex(it)
+	return it.task, true
+}
+
+// dropFromAttrIndex swap-deletes the item from its attribute's index.
+func (q *taskQueue) dropFromAttrIndex(it *taskItem) {
+	idx := q.byAttr[it.attribute]
+	last := len(idx) - 1
+	moved := idx[last]
+	idx[it.attrIdx] = moved
+	moved.attrIdx = it.attrIdx
+	idx[last] = nil
+	if last == 0 {
+		delete(q.byAttr, it.attribute)
+	} else {
+		q.byAttr[it.attribute] = idx[:last]
+	}
+}
+
+// boost raises the priority of every pending task of one attribute and
+// restores heap order for each.
+func (q *taskQueue) boost(attribute string, delta float64) {
+	for _, it := range q.byAttr[attribute] {
+		it.priority += delta
+		heap.Fix(&q.items, it.heapIdx)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func TestTaskQueueOrdering(t *testing.T) {
+	var q taskQueue
+	// Three attributes, two parts each, all priority 0.
+	for _, attr := range []string{"a", "b", "c"} {
+		for p := 0; p < 2; p++ {
+			q.push(task{attribute: attr, part: p})
+		}
+	}
+	if q.len() != 6 {
+		t.Fatalf("len = %d", q.len())
+	}
+	// Boost b: its tasks drain first, FIFO among themselves; the rest keep
+	// insertion order (the stable-sort contract of the old implementation).
+	q.boost("b", 5)
+	want := []struct {
+		attr string
+		part int
+	}{
+		{"b", 0}, {"b", 1},
+		{"a", 0}, {"a", 1}, {"c", 0}, {"c", 1},
+	}
+	for i, w := range want {
+		tk, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if tk.attribute != w.attr || tk.part != w.part {
+			t.Fatalf("pop %d = %s/%d, want %s/%d", i, tk.attribute, tk.part, w.attr, w.part)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestTaskQueueBoostAfterPartialDrain(t *testing.T) {
+	var q taskQueue
+	for i := 0; i < 4; i++ {
+		q.push(task{attribute: "x", part: i})
+	}
+	q.push(task{attribute: "y", part: 0})
+	// Drain two x tasks, then boost y: the per-attribute index must have
+	// dropped the popped items.
+	q.pop()
+	q.pop()
+	q.boost("y", 10)
+	tk, _ := q.pop()
+	if tk.attribute != "y" {
+		t.Fatalf("after boost, popped %s", tk.attribute)
+	}
+	// Remaining x tasks keep FIFO order.
+	tk, _ = q.pop()
+	if tk.attribute != "x" || tk.part != 2 {
+		t.Fatalf("popped %s/%d, want x/2", tk.attribute, tk.part)
+	}
+	tk, _ = q.pop()
+	if tk.attribute != "x" || tk.part != 3 {
+		t.Fatalf("popped %s/%d, want x/3", tk.attribute, tk.part)
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d", q.len())
+	}
+	// Boosting a fully drained attribute is a no-op, not a panic.
+	q.boost("x", 1)
+}
+
+func TestTaskQueueCumulativeBoosts(t *testing.T) {
+	var q taskQueue
+	q.push(task{attribute: "a"})
+	q.push(task{attribute: "b"})
+	q.push(task{attribute: "c"})
+	q.boost("c", 1)
+	q.boost("b", 1)
+	q.boost("b", 1) // b overtakes c cumulatively
+	order := []string{}
+	for {
+		tk, ok := q.pop()
+		if !ok {
+			break
+		}
+		order = append(order, tk.attribute)
+	}
+	if order[0] != "b" || order[1] != "c" || order[2] != "a" {
+		t.Fatalf("order = %v", order)
+	}
+}

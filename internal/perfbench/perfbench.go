@@ -1,0 +1,230 @@
+// Package perfbench holds the query-path micro-benchmarks introduced with
+// the PR1 performance overhaul, shared by two drivers: bench_test.go runs
+// them under `go test -bench` (BenchmarkCatalogCache,
+// BenchmarkSelectStreaming), and cmd/benchrunner runs them via
+// testing.Benchmark to record a BENCH_PR1.json trajectory point.
+//
+// Two comparisons matter:
+//   - AskGuidedCached vs AskGuidedScanPerQuery: the guided-query hot path
+//     served from the incremental catalog cache versus the pre-PR1
+//     behavior (full catalog scan per query), replicated here from public
+//     System pieces so the baseline stays measurable after the rewrite.
+//   - SelectFiltered10k: allocations of a selective WHERE over 10k rows,
+//     which the streaming scan answers without cloning rejected tuples.
+package perfbench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rdbms"
+	"repro/internal/reformulate"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+const (
+	seed        = 42
+	guidedQuery = "average March September temperature Madison Wisconsin"
+)
+
+// newGuidedSystem builds a system with an extracted structure, ready for
+// guided queries.
+func newGuidedSystem() (*core.System, error) {
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: seed, Cities: 100, People: 30, Filler: 80, MentionsPerPerson: 2,
+	})
+	sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Generate(`
+		EXTRACT temperature FROM docs USING city KIND city INTO temps;
+		STORE temps INTO TABLE extracted;
+	`, uql.Options{}); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// AskGuidedCached measures the §3.2 keyword→structured flow on the
+// incremental catalog cache: after the first query warms the cache, no
+// AskGuided call scans the extracted table.
+func AskGuidedCached(b *testing.B) {
+	sys, err := newGuidedSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.AskGuided(guidedQuery, 3); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := sys.AskGuided(guidedQuery, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Answer == nil || len(ans.Answer.Rows) == 0 {
+			b.Fatal("no answer")
+		}
+	}
+}
+
+// AskGuidedScanPerQuery measures the pre-cache behavior: every query
+// rebuilds the catalog with a full table scan (System.CatalogScan), then
+// reformulates and executes — exactly what AskGuided did before PR1.
+func AskGuidedScanPerQuery(b *testing.B) {
+	sys, err := newGuidedSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat, err := sys.CatalogScan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cands := reformulate.New(cat).Candidates(guidedQuery, 3)
+		if len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+		rs, err := sys.DB.Exec(cands[0].SQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) == 0 {
+			b.Fatal("no answer")
+		}
+	}
+}
+
+// selectRows is the table size for the streaming-scan benches.
+const selectRows = 10000
+
+// newSelectDB builds an in-memory table of selectRows rows with an
+// unindexed float column; about 1% of rows pass the selective predicate.
+func newSelectDB() (*rdbms.DB, error) {
+	db, err := rdbms.Open(rdbms.NewMemPager(), rdbms.NewMemWAL(), rdbms.Options{BufferPages: 2048})
+	if err != nil {
+		return nil, err
+	}
+	schema := rdbms.TableSchema{Name: "metrics", Columns: []rdbms.ColumnDef{
+		{Name: "id", Type: rdbms.TInt},
+		{Name: "city", Type: rdbms.TString},
+		{Name: "val", Type: rdbms.TFloat},
+	}}
+	if err := db.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	tx := db.Begin()
+	for i := 0; i < selectRows; i++ {
+		tup := rdbms.Tuple{
+			rdbms.NewInt(int64(i)),
+			rdbms.NewString(fmt.Sprintf("city-%d", i%97)),
+			rdbms.NewFloat(float64(i % 100)),
+		}
+		if _, err := tx.Insert("metrics", tup); err != nil {
+			tx.Abort()
+			return nil, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// SelectFiltered10k measures a selective WHERE (1% of 10k rows qualify)
+// answered by the streaming seq scan: rejected tuples are filtered inside
+// the scan callback and never retained or cloned.
+func SelectFiltered10k(b *testing.B) {
+	db, err := newSelectDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Exec("SELECT id, val FROM metrics WHERE val < 1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != selectRows/100 {
+			b.Fatalf("got %d rows", len(rs.Rows))
+		}
+	}
+}
+
+// SelectLimited10k measures early-LIMIT termination: an unordered LIMIT
+// stops the scan as soon as enough rows qualify.
+func SelectLimited10k(b *testing.B) {
+	db, err := newSelectDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Exec("SELECT id FROM metrics LIMIT 10")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != 10 {
+			b.Fatalf("got %d rows", len(rs.Rows))
+		}
+	}
+}
+
+// Result is one recorded micro-benchmark.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is a BENCH_PR1.json trajectory point.
+type Report struct {
+	PR      int      `json:"pr"`
+	Suite   string   `json:"suite"`
+	Results []Result `json:"results"`
+	// CatalogSpeedup is AskGuidedScanPerQuery ns/op divided by
+	// AskGuidedCached ns/op (the ≥5x acceptance bar).
+	CatalogSpeedup float64 `json:"catalog_speedup"`
+}
+
+// RunAll executes every micro-benchmark via testing.Benchmark and
+// assembles the trajectory report.
+func RunAll() Report {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"CatalogCache/AskGuidedCached", AskGuidedCached},
+		{"CatalogCache/AskGuidedScanPerQuery", AskGuidedScanPerQuery},
+		{"SelectStreaming/Filtered10k", SelectFiltered10k},
+		{"SelectStreaming/Limited10k", SelectLimited10k},
+	}
+	rep := Report{PR: 1, Suite: "query-path"}
+	byName := map[string]Result{}
+	for _, bm := range benches {
+		r := testing.Benchmark(bm.fn)
+		res := Result{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		byName[bm.name] = res
+	}
+	cached := byName["CatalogCache/AskGuidedCached"]
+	scan := byName["CatalogCache/AskGuidedScanPerQuery"]
+	if cached.NsPerOp > 0 {
+		rep.CatalogSpeedup = scan.NsPerOp / cached.NsPerOp
+	}
+	return rep
+}

@@ -183,6 +183,21 @@ func (t *BTree) Lookup(key Value) []RID {
 	return nil
 }
 
+// CountKey returns the number of entries for key without copying the
+// posting list. The access-path chooser uses it as an exact cardinality
+// estimate when several equality predicates could use an index.
+func (t *BTree) CountKey(key Value) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	leaf, _, _ := t.findLeaf(key)
+	for i, k := range leaf.keys {
+		if eqKey(k, key) {
+			return len(leaf.postings[i])
+		}
+	}
+	return 0
+}
+
 // Range calls fn for every (key, rid) with lo <= key <= hi, in key order.
 // A nil lo means unbounded below; nil hi unbounded above. Returning false
 // stops the iteration.

@@ -12,6 +12,11 @@ type ResultSet struct {
 	// Plan describes how the statement was executed (seq scan, index
 	// scan, join strategy); useful for the optimizer experiments.
 	Plan string
+	// Mutated reports whether the statement changed table data
+	// (INSERT/UPDATE/DELETE/DROP TABLE). Callers maintaining derived
+	// caches key invalidation off this flag rather than the
+	// display-oriented Plan string.
+	Mutated bool
 }
 
 // String renders a small result set as an aligned table.
@@ -44,7 +49,7 @@ func (db *DB) Exec(sql string) (*ResultSet, error) {
 	case CreateIndexStmt:
 		return &ResultSet{Plan: "create index"}, db.CreateIndex(s.Table, s.Column)
 	case DropTableStmt:
-		return &ResultSet{Plan: "drop table"}, db.DropTable(s.Table)
+		return &ResultSet{Plan: "drop table", Mutated: true}, db.DropTable(s.Table)
 	}
 	tx := db.Begin()
 	rs, err := tx.ExecStmt(stmt)
@@ -357,7 +362,7 @@ func (tx *Txn) execInsert(s InsertStmt) (*ResultSet, error) {
 		}
 		n++
 	}
-	return &ResultSet{Columns: []string{"inserted"}, Rows: []Tuple{{NewInt(int64(n))}}, Plan: "insert"}, nil
+	return &ResultSet{Columns: []string{"inserted"}, Rows: []Tuple{{NewInt(int64(n))}}, Plan: "insert", Mutated: true}, nil
 }
 
 func (tx *Txn) execUpdate(s UpdateStmt) (*ResultSet, error) {
@@ -406,7 +411,7 @@ func (tx *Txn) execUpdate(s UpdateStmt) (*ResultSet, error) {
 			return nil, err
 		}
 	}
-	return &ResultSet{Columns: []string{"updated"}, Rows: []Tuple{{NewInt(int64(len(matches)))}}, Plan: "update"}, nil
+	return &ResultSet{Columns: []string{"updated"}, Rows: []Tuple{{NewInt(int64(len(matches)))}}, Plan: "update", Mutated: true}, nil
 }
 
 func (tx *Txn) execDelete(s DeleteStmt) (*ResultSet, error) {
@@ -438,5 +443,5 @@ func (tx *Txn) execDelete(s DeleteStmt) (*ResultSet, error) {
 			return nil, err
 		}
 	}
-	return &ResultSet{Columns: []string{"deleted"}, Rows: []Tuple{{NewInt(int64(len(rids)))}}, Plan: "delete"}, nil
+	return &ResultSet{Columns: []string{"deleted"}, Rows: []Tuple{{NewInt(int64(len(rids)))}}, Plan: "delete", Mutated: true}, nil
 }

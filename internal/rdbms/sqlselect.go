@@ -1,7 +1,9 @@
 package rdbms
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -9,6 +11,11 @@ import (
 // execSelect runs a SELECT: access-path selection (index vs sequential
 // scan), optional hash join, filtering, grouping/aggregation, projection,
 // DISTINCT, ORDER BY, LIMIT/OFFSET.
+//
+// The base access is streaming: for single-table queries the WHERE clause
+// is evaluated inside the scan callback, so tuples that fail the filter
+// are dropped before they are ever retained, and unordered
+// LIMIT/OFFSET queries stop scanning as soon as enough rows qualify.
 func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	t, err := tx.table(s.From)
 	if err != nil {
@@ -20,7 +27,30 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	}
 	b := bindingForTable(&t.Schema, fromName)
 
-	rows, plan, err := tx.baseRows(s, t, fromName, b)
+	grouped := len(s.GroupBy) > 0
+	for _, se := range s.Exprs {
+		if !se.Star && hasAgg(se.Expr) {
+			grouped = true
+		}
+	}
+
+	// With no join, WHERE references only the FROM table and is pushed
+	// into the base access. With a join it may reference join columns, so
+	// it stays a post-join residual.
+	pushedWhere := s.Where
+	if s.Join != nil {
+		pushedWhere = nil
+	}
+	// Unordered, ungrouped, non-distinct queries need at most
+	// offset+limit qualifying rows; anything fancier consumes the full
+	// qualifying set.
+	stopAfter := -1
+	if s.Join == nil && !grouped && !s.Distinct &&
+		len(s.OrderBy) == 0 && s.Limit >= 0 {
+		stopAfter = s.Offset + s.Limit
+	}
+
+	rows, plan, err := tx.baseRows(s, t, fromName, b, pushedWhere, stopAfter)
 	if err != nil {
 		return nil, err
 	}
@@ -31,27 +61,20 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 			return nil, err
 		}
 		plan += " + hash join " + s.Join.Table
-	}
 
-	// Residual filter.
-	if s.Where != nil {
-		filtered := rows[:0:0]
-		for _, r := range rows {
-			v, err := evalExpr(s.Where, b, r)
-			if err != nil {
-				return nil, err
+		// Residual filter, post-join.
+		if s.Where != nil {
+			filtered := rows[:0:0]
+			for _, r := range rows {
+				v, err := evalExpr(s.Where, b, r)
+				if err != nil {
+					return nil, err
+				}
+				if truthy(v) {
+					filtered = append(filtered, r)
+				}
 			}
-			if truthy(v) {
-				filtered = append(filtered, r)
-			}
-		}
-		rows = filtered
-	}
-
-	grouped := len(s.GroupBy) > 0
-	for _, se := range s.Exprs {
-		if !se.Star && hasAgg(se.Expr) {
-			grouped = true
+			rows = filtered
 		}
 	}
 
@@ -68,12 +91,8 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	if s.Distinct {
 		out.Rows = distinctRows(out.Rows)
 	}
-	if len(s.OrderBy) > 0 && !grouped {
-		// For non-grouped queries, order by evaluating keys against the
-		// pre-projection rows is wrong once projected; instead we sorted
-		// inside project (see below). Grouped ordering is handled in
-		// groupAndAggregate.
-	}
+	// Non-grouped ORDER BY is handled inside project (keys may reference
+	// unprojected columns); grouped ordering inside groupAndAggregate.
 	// LIMIT/OFFSET applied last.
 	if s.Offset > 0 {
 		if s.Offset >= len(out.Rows) {
@@ -89,21 +108,40 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	return out, nil
 }
 
-// baseRows produces the working rows for the FROM table, using an index
-// when a WHERE conjunct permits.
-func (tx *Txn) baseRows(s SelectStmt, t *Table, fromName string, b *binding) ([]Tuple, string, error) {
+// baseRows produces the qualifying rows for the FROM table, using an index
+// when a WHERE conjunct permits. Access-path choice always inspects the
+// full WHERE (sargable conjuncts reference only the FROM table), while
+// filter — nil for joined queries, whose WHERE may reference join columns
+// — is evaluated against each candidate before it is retained: scan
+// tuples are freshly decoded, so retained rows need no defensive copy and
+// rejected rows cost no allocation. stopAfter >= 0 caps retained rows.
+func (tx *Txn) baseRows(s SelectStmt, t *Table, fromName string, b *binding, filter Expr, stopAfter int) ([]Tuple, string, error) {
 	if ap := chooseAccessPath(s.Where, t, fromName); ap != nil {
-		rows, err := tx.indexRows(s.From, t, ap)
+		rows, err := tx.indexRows(s.From, t, ap, b, filter, stopAfter)
 		if err != nil {
 			return nil, "", err
 		}
 		return rows, ap.describe(), nil
 	}
 	var rows []Tuple
+	var evalErr error
 	err := tx.Scan(s.From, func(_ RID, tup Tuple) bool {
-		rows = append(rows, tup.Clone())
-		return true
+		if filter != nil {
+			v, err := evalExpr(filter, b, tup)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		rows = append(rows, tup)
+		return stopAfter < 0 || len(rows) < stopAfter
 	})
+	if evalErr != nil {
+		return nil, "", evalErr
+	}
 	return rows, "seq scan " + s.From, err
 }
 
@@ -130,13 +168,19 @@ func (ap *accessPath) describe() string {
 
 // chooseAccessPath inspects the WHERE clause's top-level conjuncts for a
 // sargable predicate (col op literal) on an indexed column of the FROM
-// table. Equality beats range.
+// table. Equality beats range, and among several usable equality
+// predicates the one matching the fewest index entries wins (exact
+// cardinality from the B+tree posting list, so `attribute = X AND
+// entity = Y` fetches via the selective entity index, not the broad
+// attribute one).
 func chooseAccessPath(where Expr, t *Table, fromName string) *accessPath {
 	if where == nil || len(t.Indexes) == 0 {
 		return nil
 	}
 	conjuncts := splitConjuncts(where)
-	var best *accessPath
+	var bestEq *accessPath
+	bestEqCount := 0
+	var bestRange *accessPath
 	for _, c := range conjuncts {
 		be, ok := c.(BinaryExpr)
 		if !ok {
@@ -146,40 +190,43 @@ func chooseAccessPath(where Expr, t *Table, fromName string) *accessPath {
 		if !ok {
 			continue
 		}
-		if _, indexed := t.Indexes[col]; !indexed {
+		idx, indexed := t.Indexes[col]
+		if !indexed {
 			continue
 		}
+		v := lit
 		switch op {
 		case "=":
-			v := lit
-			return &accessPath{column: col, eq: &v} // equality: take it
-		case ">=", ">":
-			v := lit
-			if best == nil {
-				best = &accessPath{column: col}
+			n := idx.CountKey(v)
+			if bestEq == nil || n < bestEqCount {
+				bestEq = &accessPath{column: col, eq: &v}
+				bestEqCount = n
 			}
-			if best.column == col && best.lo == nil {
-				best.lo = &v
-				if op == ">" {
-					// Use the bound as inclusive and let the residual
-					// filter drop boundary rows.
-					best.lo = &v
-				}
+		case ">=", ">":
+			// Strict bounds are widened to inclusive; the residual filter
+			// (always evaluated over fetched rows) drops boundary rows.
+			if bestRange == nil {
+				bestRange = &accessPath{column: col}
+			}
+			if bestRange.column == col && bestRange.lo == nil {
+				bestRange.lo = &v
 			}
 		case "<=", "<":
-			v := lit
-			if best == nil {
-				best = &accessPath{column: col}
+			if bestRange == nil {
+				bestRange = &accessPath{column: col}
 			}
-			if best.column == col && best.hi == nil {
-				best.hi = &v
+			if bestRange.column == col && bestRange.hi == nil {
+				bestRange.hi = &v
 			}
 		}
 	}
-	if best != nil && best.lo == nil && best.hi == nil {
+	if bestEq != nil {
+		return bestEq
+	}
+	if bestRange != nil && bestRange.lo == nil && bestRange.hi == nil {
 		return nil
 	}
-	return best
+	return bestRange
 }
 
 // sargable matches col op literal / literal op col for the FROM table,
@@ -228,7 +275,10 @@ func splitConjuncts(e Expr) []Expr {
 	return []Expr{e}
 }
 
-func (tx *Txn) indexRows(table string, t *Table, ap *accessPath) ([]Tuple, error) {
+// indexRows fetches tuples via the chosen index path, applying the full
+// WHERE clause (the index may cover only some conjuncts, and range paths
+// treat strict bounds as inclusive) and the early-stop cap as it goes.
+func (tx *Txn) indexRows(table string, t *Table, ap *accessPath, b *binding, where Expr, stopAfter int) ([]Tuple, error) {
 	var rids []RID
 	if ap.eq != nil {
 		var err error
@@ -251,8 +301,21 @@ func (tx *Txn) indexRows(table string, t *Table, ap *accessPath) ([]Tuple, error
 		if err != nil {
 			return nil, err
 		}
-		if live {
-			rows = append(rows, tup)
+		if !live {
+			continue
+		}
+		if where != nil {
+			v, err := evalExpr(where, b, tup)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		rows = append(rows, tup)
+		if stopAfter >= 0 && len(rows) >= stopAfter {
+			break
 		}
 	}
 	return rows, nil
@@ -297,11 +360,14 @@ func (tx *Txn) hashJoin(left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *bin
 		return nil, nil, err
 	}
 
-	// Build hash table over the right side.
+	// Build hash table over the right side. Scan tuples are freshly
+	// decoded, so they are retained without cloning.
 	build := map[string][]Tuple{}
+	var keyBuf []byte
 	err = tx.Scan(j.Table, func(_ RID, tup Tuple) bool {
-		k := hashKey(tup[ri])
-		build[k] = append(build[k], tup.Clone())
+		keyBuf = appendKey(keyBuf[:0], tup[ri])
+		k := string(keyBuf)
+		build[k] = append(build[k], tup)
 		return true
 	})
 	if err != nil {
@@ -314,7 +380,8 @@ func (tx *Txn) hashJoin(left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *bin
 		if l[li].IsNull() {
 			continue
 		}
-		for _, r := range build[hashKey(l[li])] {
+		keyBuf = appendKey(keyBuf[:0], l[li])
+		for _, r := range build[string(keyBuf)] {
 			if !Equal(l[li], r[ri]) {
 				continue
 			}
@@ -327,13 +394,44 @@ func (tx *Txn) hashJoin(left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *bin
 	return out, combined, nil
 }
 
-func hashKey(v Value) string {
-	// Numeric values hash identically across int/float so joins across the
-	// two types behave like Compare.
+// appendKey appends a canonical, prefix-free encoding of v to dst, for use
+// as a join/distinct/group hash key. Values that Compare as equal encode
+// identically (int/float encode via their float64 image), and no two
+// distinct tuples can collide: strings are length-prefixed, every variant
+// is tagged, so concatenated keys parse unambiguously. Callers reuse dst
+// across rows; the only allocation left is the map's own key copy on
+// first insertion (lookups via map[string(buf)] are allocation-free).
+func appendKey(dst []byte, v Value) []byte {
 	if f, ok := v.AsFloat(); ok {
-		return fmt.Sprintf("n%v", f)
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(f))
+		dst = append(dst, 'n')
+		return append(dst, tmp[:]...)
 	}
-	return v.Type.String() + ":" + v.String()
+	switch v.Type {
+	case TString:
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(v.S)))
+		dst = append(dst, 's')
+		dst = append(dst, tmp[:]...)
+		return append(dst, v.S...)
+	case TBool:
+		if v.B {
+			return append(dst, 'b', 1)
+		}
+		return append(dst, 'b', 0)
+	case TNull:
+		return append(dst, 'z')
+	}
+	return append(dst, '?')
+}
+
+// appendTupleKey appends the concatenated key of every value in the tuple.
+func appendTupleKey(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		dst = appendKey(dst, v)
+	}
+	return dst
 }
 
 // project evaluates the select list over each row, handling * expansion
@@ -432,13 +530,11 @@ func expandSelect(s SelectStmt, b *binding) ([]string, []Expr) {
 func distinctRows(rows []Tuple) []Tuple {
 	seen := map[string]bool{}
 	out := rows[:0:0]
+	var keyBuf []byte
 	for _, r := range rows {
-		k := ""
-		for _, v := range r {
-			k += hashKey(v) + "|"
-		}
-		if !seen[k] {
-			seen[k] = true
+		keyBuf = appendTupleKey(keyBuf[:0], r)
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
 			out = append(out, r)
 		}
 	}
@@ -528,20 +624,22 @@ func groupAndAggregate(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, erro
 	}
 	groups := map[string]*group{}
 	var order []string
+	var keyBuf []byte
 	for _, r := range rows {
 		var keyVals Tuple
-		k := ""
+		keyBuf = keyBuf[:0]
 		for _, g := range s.GroupBy {
 			v, err := evalExpr(g, b, r)
 			if err != nil {
 				return nil, err
 			}
 			keyVals = append(keyVals, v)
-			k += hashKey(v) + "|"
+			keyBuf = appendKey(keyBuf, v)
 		}
-		gr, ok := groups[k]
+		gr, ok := groups[string(keyBuf)]
 		if !ok {
 			gr = &group{keyVals: keyVals}
+			k := string(keyBuf)
 			groups[k] = gr
 			order = append(order, k)
 		}

@@ -8,6 +8,7 @@
 package search
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 	"strings"
@@ -167,23 +168,56 @@ func (idx *Index) Search(query string, k int, ranking Ranking) []Hit {
 			scores[p.docID] += s
 		}
 	}
-	hits := make([]Hit, 0, len(scores))
+	// Bounded top-k selection: a min-heap of the k best hits seen so far
+	// (worst at the root), O(n log k) instead of sorting every scored
+	// document. Tie order matches the previous full sort: higher score
+	// first, then lower DocID.
+	h := make(hitHeap, 0, k)
 	for id, s := range scores {
-		hits = append(hits, Hit{DocID: id, Title: idx.titles[id], Score: s})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+		hit := Hit{DocID: id, Score: s}
+		if len(h) < k {
+			hit.Title = idx.titles[id]
+			heap.Push(&h, hit)
+			continue
 		}
-		return hits[i].DocID < hits[j].DocID // deterministic ties
-	})
-	if len(hits) > k {
-		hits = hits[:k]
+		if hitBeats(hit, h[0]) {
+			hit.Title = idx.titles[id]
+			h[0] = hit
+			heap.Fix(&h, 0)
+		}
+	}
+	hits := make([]Hit, len(h))
+	for i := len(hits) - 1; i >= 0; i-- {
+		hits[i] = heap.Pop(&h).(Hit)
 	}
 	for i := range hits {
 		hits[i].Snippet = idx.snippet(hits[i].DocID, terms)
 	}
 	return hits
+}
+
+// hitBeats reports whether a outranks b: higher score wins, ties go to the
+// lower DocID (deterministic).
+func hitBeats(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.DocID < b.DocID
+}
+
+// hitHeap is a min-heap by rank: the root is the worst of the kept hits.
+type hitHeap []Hit
+
+func (h hitHeap) Len() int           { return len(h) }
+func (h hitHeap) Less(i, j int) bool { return hitBeats(h[j], h[i]) }
+func (h hitHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x any)        { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
 }
 
 // QueryTerms normalizes a free-text query into index terms.

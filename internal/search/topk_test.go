@@ -1,0 +1,77 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/doc"
+)
+
+// TestTopKMatchesFullSort checks that the bounded-heap selection returns
+// exactly what sorting every scored hit would: same members, same order,
+// deterministic ties, at every k.
+func TestTopKMatchesFullSort(t *testing.T) {
+	corpus := doc.NewCorpus()
+	// Many documents with overlapping term sets so scores repeat and tie.
+	for i := 0; i < 60; i++ {
+		text := "alpha beta"
+		switch i % 3 {
+		case 1:
+			text = "alpha beta alpha"
+		case 2:
+			text = "beta gamma"
+		}
+		corpus.Add(doc.Document{Title: fmt.Sprintf("doc-%02d", i), Text: text})
+	}
+	idx := BuildIndex(corpus)
+
+	for _, ranking := range []Ranking{BM25, TFIDF} {
+		// Full ranking via a k no smaller than the corpus.
+		all := idx.Search("alpha beta", corpus.Len(), ranking)
+		if len(all) == 0 {
+			t.Fatal("no hits")
+		}
+		// The reference order: score desc, DocID asc.
+		ref := append([]Hit(nil), all...)
+		sort.SliceStable(ref, func(i, j int) bool { return hitBeats(ref[i], ref[j]) })
+		for i := range all {
+			if all[i].DocID != ref[i].DocID {
+				t.Fatalf("ranking %v: full result not in rank order at %d", ranking, i)
+			}
+		}
+		for _, k := range []int{1, 2, 3, 5, 17, len(all)} {
+			got := idx.Search("alpha beta", k, ranking)
+			if len(got) != k && len(got) != len(all) {
+				t.Fatalf("ranking %v k=%d: got %d hits", ranking, k, len(got))
+			}
+			for i := range got {
+				if got[i].DocID != all[i].DocID {
+					t.Fatalf("ranking %v k=%d: hit %d = %v, want %v", ranking, k, i, got[i].DocID, all[i].DocID)
+				}
+				if math.Abs(got[i].Score-all[i].Score) > 1e-12 {
+					t.Fatalf("ranking %v k=%d: score mismatch at %d", ranking, k, i)
+				}
+				if got[i].Title == "" || got[i].Snippet == "" {
+					t.Fatalf("ranking %v k=%d: hit %d missing title/snippet", ranking, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	corpus := doc.NewCorpus()
+	corpus.Add(doc.Document{Title: "only", Text: "solitary term here"})
+	idx := BuildIndex(corpus)
+	if hits := idx.Search("solitary", 0, BM25); hits != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if hits := idx.Search("solitary", 10, BM25); len(hits) != 1 {
+		t.Fatalf("k larger than hit count: %d", len(hits))
+	}
+	if hits := idx.Search("absent", 5, BM25); len(hits) != 0 {
+		t.Fatal("no-match query should return empty")
+	}
+}
