@@ -102,6 +102,22 @@ func BenchmarkSelectStreaming(b *testing.B) {
 	b.Run("Limited10k", perfbench.SelectLimited10k)
 }
 
+// BenchmarkSortedQueries measures the PR2 sorted-query paths: ORDER BY
+// with no LIMIT (full materialize + stable sort — also the pre-PR2 cost
+// of ORDER BY+LIMIT), the bounded top-k heap, and the index-order scan.
+func BenchmarkSortedQueries(b *testing.B) {
+	b.Run("OrderByFullSort10k", perfbench.OrderByFullSort10k)
+	b.Run("OrderByTopK10k", perfbench.OrderByTopK10k)
+	b.Run("OrderByIndexOrder10k", perfbench.OrderByIndexOrder10k)
+}
+
+// BenchmarkWarmStart compares a cold Open's catalog rebuild scan against
+// restoring the persisted warm snapshot.
+func BenchmarkWarmStart(b *testing.B) {
+	b.Run("CatalogColdRebuild", perfbench.CatalogColdRebuild)
+	b.Run("WarmStartLoad", perfbench.WarmStartLoad)
+}
+
 // BenchmarkE2IncrementalVsOneShot measures time-to-first-answer.
 func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 	cfg := synth.Config{Seed: benchSeed, Cities: 120, People: 40, Filler: 100, MentionsPerPerson: 2}

@@ -2,6 +2,12 @@
 // (E1-E10) and prints the result series as text tables — the repository's
 // equivalent of the paper's evaluation section. Run with -quick for a
 // smaller parameterization.
+//
+// Perf modes (skip the experiment suite): -perfout BENCH_PR2.json runs
+// the query-path micro-benchmarks and writes a trajectory point;
+// -compare BENCH_PR2.json -tolerance 0.25 additionally gates them
+// against a committed baseline, exiting nonzero when any tracked bench
+// regresses beyond the tolerance — the CI bench-regression gate.
 package main
 
 import (
@@ -18,11 +24,13 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller parameterizations")
 	seed := flag.Int64("seed", 42, "experiment seed")
 	only := flag.String("only", "", "run only this experiment id (e.g. E3)")
-	perfout := flag.String("perfout", "", "run the query-path micro-benchmarks and write the trajectory JSON (e.g. BENCH_PR1.json); skips the experiment suite")
+	perfout := flag.String("perfout", "", "run the query-path micro-benchmarks and write the trajectory JSON (e.g. BENCH_PR2.json); skips the experiment suite")
+	compare := flag.String("compare", "", "run the micro-benchmarks and gate them against a committed baseline JSON; exits nonzero when any tracked bench regresses beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown per bench in -compare mode (0.25 = 25%)")
 	flag.Parse()
 
-	if *perfout != "" {
-		if err := runPerf(*perfout); err != nil {
+	if *perfout != "" || *compare != "" {
+		if err := runPerf(*perfout, *compare, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -34,20 +42,48 @@ func main() {
 	}
 }
 
-// runPerf runs the PR1 query-path micro-benchmarks and writes the
-// trajectory point.
-func runPerf(path string) error {
+// runPerf runs the query-path micro-benchmarks, optionally writes the
+// trajectory point, and optionally gates against a committed baseline.
+func runPerf(outPath, comparePath string, tolerance float64) error {
 	rep := perfbench.RunAll()
 	for _, r := range rep.Results {
 		fmt.Printf("%-40s %12.0f ns/op %8d B/op %6d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
-	fmt.Printf("catalog speedup (scan-per-query / cached): %.1fx\n", rep.CatalogSpeedup)
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	fmt.Printf("catalog speedup (scan-per-query / cached):   %.1fx\n", rep.CatalogSpeedup)
+	fmt.Printf("order-by speedup (full sort / top-k):        %.1fx\n", rep.OrderBySpeedup)
+	fmt.Printf("index-order speedup (full sort / idx order): %.1fx\n", rep.IndexOrderSpeedup)
+	fmt.Printf("warm-start speedup (cold rebuild / load):    %.1fx\n", rep.WarmStartSpeedup)
+	if outPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if comparePath == "" {
+		return nil
+	}
+	buf, err := os.ReadFile(comparePath)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	var baseline perfbench.Report
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", comparePath, err)
+	}
+	regs := perfbench.Compare(baseline, rep, tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("bench gate: all tracked benches within %.0f%% of %s\n", tolerance*100, comparePath)
+		return nil
+	}
+	for _, g := range regs {
+		fmt.Fprintf(os.Stderr, "REGRESSION %-40s %12.0f -> %12.0f ns/op (%.2fx, tolerance %.2fx)\n",
+			g.Name, g.BaselineNs, g.CurrentNs, g.Ratio, 1+tolerance)
+	}
+	return fmt.Errorf("%d tracked bench(es) regressed beyond %.0f%% of %s", len(regs), tolerance*100, comparePath)
 }
 
 func run(quick bool, seed int64, only string) error {

@@ -51,4 +51,57 @@
 // BENCH_PR1.json (written by `go run ./cmd/benchrunner -perfout
 // BENCH_PR1.json`) records the measured trajectory point; see ROADMAP.md
 // for the numbers.
+//
+// # Sorted queries and warm start (PR2)
+//
+// The sorted-query path was rebuilt end to end, and the warm structures
+// PR1 introduced now survive process restarts:
+//
+// Top-k ORDER BY. An ORDER BY with a LIMIT no longer materializes,
+// projects, and stable-sorts every row. Projection keeps a bounded
+// max-heap of the OFFSET+LIMIT best rows (O(n log k)): per row it
+// evaluates only the ORDER BY keys (select-list aliases resolve to their
+// underlying expressions), rows that cannot beat the current worst are
+// dropped without cloning, and only survivors are projected. Tie order is
+// exactly the stable sort's — key ties break by the row's original
+// sequence. Grouped queries reuse the same collector over their groups.
+// DISTINCT disqualifies the bound (dedup after truncation could underfill
+// the limit) and falls back to the full sort.
+//
+// Index-order scans. When the single ORDER BY key is an indexed column of
+// a single-table, ungrouped, non-distinct LIMIT query, the executor walks
+// the B+tree in key order (BTree.GroupedRange, ascending via the leaf
+// chain, descending via a pruned reverse descent) and stops after
+// OFFSET+LIMIT qualifying rows: no sort runs at all, and the full WHERE
+// is evaluated as a residual during the walk. Rows with equal keys are
+// fetched in ascending RID order, matching what a heap scan feeds the
+// stable sort, so output is byte-identical to full-sort. A usable
+// equality access path still wins (a selective posting fetch plus top-k
+// beats walking the whole index); a range predicate on the sort column
+// folds into the scan bounds. The plan string reports "index order scan".
+//
+// Warm start. SaveWarmState persists the catalog cache (entities,
+// attributes, qualifier vocabularies) and the pending task queue
+// (priorities, partitions, documents by title) as one checksummed JSON
+// record in the filestore segment store; repeated saves append. Open /
+// LoadWarmState restores the newest snapshot so a reopened system serves
+// AskGuided with zero table scans and resumes incremental extraction
+// where it left off. Staleness is decided by two cheap checks: the
+// snapshot's extracted-table row count must match the live table (read
+// O(1) from the entity index), and the snapshot's invalidation epoch —
+// advanced by every cache change or invalidation — must not be older than
+// the live cache's. A refused snapshot just means a cold open: the next
+// Catalog() rebuilds by scan.
+//
+// Incremental reformulator. The reformulator's entity-token index is no
+// longer rebuilt whenever the catalog changes: materialized rows feed it
+// deltas (AddEntity tokenizes just the new entity; AddAttribute and
+// AddQualifier append), and candidate ranking breaks all ties by name
+// rather than catalog position, so an incrementally grown reformulator
+// answers identically to one rebuilt from the same catalog.
+//
+// BENCH_PR2.json records the measured PR2 trajectory point, and CI gates
+// every tracked bench against it: `go run ./cmd/benchrunner -compare
+// BENCH_PR2.json -tolerance 0.25` exits nonzero when any tracked bench
+// regresses more than 25%, so the PR1/PR2 wins cannot silently erode.
 package repro

@@ -30,20 +30,28 @@ type catalogCache struct {
 	qualSeen  map[string]map[string]bool
 	qualOrder map[string][]string // first-seen qualifier order per attribute
 
-	// built memoizes the assembled (sorted) catalog between writes, and
-	// reform the reformulator derived from it (whose construction
-	// tokenizes every entity name), so a read-only streak of AskGuided
-	// calls does no per-query catalog work at all. Both are cleared
-	// whenever the cache content changes.
+	// epoch is the invalidation epoch: it advances on every content
+	// change and every invalidation, versioning the cache for warm-start
+	// persistence — a persisted snapshot is stale if the live cache has
+	// moved past the epoch it was saved at.
+	epoch int64
+
+	// built memoizes the assembled (sorted) catalog between writes; it is
+	// cleared whenever the cache content changes. reform is the
+	// reformulator derived from the catalog: instead of being rebuilt per
+	// change (its construction tokenizes every entity name), it is
+	// maintained incrementally — addRow feeds it just the delta — and is
+	// dropped only on full invalidation.
 	built  *reformulate.Catalog
 	reform *reformulate.Reformulator
 }
 
-// markDirty discards the memoized catalog and reformulator after a content
-// change; the underlying entity/attribute/qualifier sets stay valid.
+// markDirty discards the memoized catalog after a content change and
+// advances the invalidation epoch; the entity/attribute/qualifier sets
+// and the incrementally maintained reformulator stay valid.
 func (c *catalogCache) markDirty() {
 	c.built = nil
-	c.reform = nil
+	c.epoch++
 }
 
 // invalidate discards the cache; the next snapshot triggers a full rescan.
@@ -53,6 +61,7 @@ func (c *catalogCache) invalidate() {
 	c.attrs = nil
 	c.qualSeen = nil
 	c.qualOrder = nil
+	c.reform = nil
 	c.markDirty()
 }
 
@@ -63,22 +72,31 @@ func (c *catalogCache) reset() {
 	c.attrs = map[string]bool{}
 	c.qualSeen = map[string]map[string]bool{}
 	c.qualOrder = map[string][]string{}
+	c.reform = nil
 	c.markDirty()
 }
 
 // addRow folds one extracted row's (entity, attribute, qualifier) into the
-// cache. Idempotent, so replaying a row already seen by a rebuild is safe.
-// No-op while the cache is invalid (a later rebuild will pick the row up).
+// cache — and, when a reformulator is live, into its token index (the
+// per-delta maintenance that replaces whole-index rebuilds). Idempotent,
+// so replaying a row already seen by a rebuild is safe. No-op while the
+// cache is invalid (a later rebuild will pick the row up).
 func (c *catalogCache) addRow(entity, attribute, qualifier string) {
 	if !c.valid {
 		return
 	}
 	if !c.entities[entity] {
 		c.entities[entity] = true
+		if c.reform != nil {
+			c.reform.AddEntity(entity)
+		}
 		c.markDirty()
 	}
 	if !c.attrs[attribute] {
 		c.attrs[attribute] = true
+		if c.reform != nil {
+			c.reform.AddAttribute(attribute)
+		}
 		c.markDirty()
 	}
 	if qualifier != "" {
@@ -88,9 +106,37 @@ func (c *catalogCache) addRow(entity, attribute, qualifier string) {
 		if !c.qualSeen[attribute][qualifier] {
 			c.qualSeen[attribute][qualifier] = true
 			c.qualOrder[attribute] = append(c.qualOrder[attribute], qualifier)
+			if c.reform != nil {
+				c.reform.AddQualifier(attribute, qualifier)
+			}
 			c.markDirty()
 		}
 	}
+}
+
+// installWarm replaces the cache content with a persisted warm snapshot,
+// adopting its epoch. Qualifier vocabularies keep the persisted order.
+func (c *catalogCache) installWarm(entities, attrs []string, quals map[string][]string, epoch int64) {
+	c.reset()
+	for _, e := range entities {
+		c.entities[e] = true
+	}
+	for _, a := range attrs {
+		c.attrs[a] = true
+	}
+	for a, vocab := range quals {
+		seen := map[string]bool{}
+		order := make([]string, 0, len(vocab))
+		for _, q := range vocab {
+			if !seen[q] {
+				seen[q] = true
+				order = append(order, q)
+			}
+		}
+		c.qualSeen[a] = seen
+		c.qualOrder[a] = order
+	}
+	c.epoch = epoch
 }
 
 // snapshot assembles the reformulate.Catalog from the cache. The result

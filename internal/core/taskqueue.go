@@ -1,6 +1,9 @@
 package core
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // taskQueue is the pending-extraction queue: a priority queue over tasks
 // (highest priority first, FIFO among equal priorities — the same order
@@ -94,6 +97,24 @@ func (q *taskQueue) dropFromAttrIndex(it *taskItem) {
 	} else {
 		q.byAttr[it.attribute] = idx[:last]
 	}
+}
+
+// snapshot returns every pending task in pop order (priority desc, FIFO
+// among equals) without draining the queue; warm-start persistence saves
+// this so a restored queue replays pushes in the same order.
+func (q *taskQueue) snapshot() []task {
+	items := append([]*taskItem(nil), q.items...)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].priority != items[j].priority {
+			return items[i].priority > items[j].priority
+		}
+		return items[i].seq < items[j].seq
+	})
+	out := make([]task, len(items))
+	for i, it := range items {
+		out[i] = it.task
+	}
+	return out
 }
 
 // boost raises the priority of every pending task of one attribute and

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/doc"
+	"repro/internal/filestore"
+)
+
+// Warm-start persistence. The PR1 catalog cache and task queue die with
+// the process: every reopened system pays a cold full scan on its first
+// Catalog()/AskGuided and has to replan incremental extraction. This file
+// persists that warm state through the filestore layer (the paper's
+// append-only segment store for intermediate structured data): each
+// SaveWarmState appends one checksummed snapshot record tagged with the
+// cache's invalidation epoch, and LoadWarmState restores the newest
+// snapshot that still matches the live database — so Open serves warm
+// with zero table scans.
+//
+// Staleness is decided by two checks, both cheap:
+//   - Row-count validation: the snapshot records the extracted table's
+//     row count at save time (read O(1) from the entity index); a
+//     snapshot whose count disagrees with the live table describes a
+//     different table state and is refused.
+//   - Invalidation-epoch validation: every cache change or invalidation
+//     advances the epoch, and a snapshot older than the live cache's
+//     epoch is refused — a save followed by any write cannot be loaded
+//     back over the newer state.
+//
+// A refused snapshot is not an error: the load reports cold and the next
+// Catalog() rebuilds by scan, exactly the pre-warm-start behavior.
+
+// warmTask is one serialized pending extraction task. Documents persist
+// by title and re-resolve against the corpus at load.
+type warmTask struct {
+	Attribute string   `json:"attribute"`
+	Priority  float64  `json:"priority"`
+	Part      int      `json:"part"`
+	Docs      []string `json:"docs"`
+}
+
+// warmState is one persisted snapshot record.
+type warmState struct {
+	Epoch      int64               `json:"epoch"`
+	Rows       int                 `json:"rows"`
+	Entities   []string            `json:"entities"`
+	Attributes []string            `json:"attributes"`
+	Qualifiers map[string][]string `json:"qualifiers"`
+	Queue      []warmTask          `json:"queue"`
+	Done       map[string]int      `json:"done"`
+	Total      map[string]int      `json:"total"`
+}
+
+// warmSegCap sizes the filestore segments backing warm snapshots: they
+// are small JSON records, and a tight segment keeps Open from allocating
+// the 1 MiB default per load.
+const warmSegCap = 64 << 10
+
+// extractedRowCount reads the extracted table's row count from the entity
+// index in O(1) — every row carries an entity, so index entries == rows.
+func (s *System) extractedRowCount() (int, error) {
+	t := s.DB.Table(TableName)
+	if t == nil {
+		return 0, fmt.Errorf("core: table %s does not exist", TableName)
+	}
+	idx := t.Indexes["entity"]
+	if idx == nil {
+		return 0, fmt.Errorf("core: no entity index on %s", TableName)
+	}
+	return idx.Len(), nil
+}
+
+// SaveWarmState appends a snapshot of the catalog cache and the pending
+// task queue to the filestore under dir. An invalid cache is rebuilt
+// (one scan) first, so the snapshot always describes the live table.
+func (s *System) SaveWarmState(dir string) error {
+	s.mu.Lock()
+	if !s.cat.valid {
+		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	cat := s.cat.snapshot(TableName)
+	st := warmState{
+		Epoch:      s.cat.epoch,
+		Entities:   cat.Entities,
+		Attributes: cat.Attributes,
+		Qualifiers: cat.Qualifiers,
+		Done:       map[string]int{},
+		Total:      map[string]int{},
+	}
+	for a, n := range s.done {
+		st.Done[a] = n
+	}
+	for a, n := range s.total {
+		st.Total[a] = n
+	}
+	for _, tk := range s.queue.snapshot() {
+		wt := warmTask{Attribute: tk.attribute, Priority: tk.priority, Part: tk.part}
+		for _, d := range tk.docs {
+			wt.Docs = append(wt.Docs, d.Title)
+		}
+		st.Queue = append(st.Queue, wt)
+	}
+	// Row count is read under s.mu too (lock order System.mu → rdbms, the
+	// same order rebuilds use), so the snapshot can't interleave with a
+	// concurrent materialize.
+	rows, err := s.extractedRowCount()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	st.Rows = rows
+	s.mu.Unlock()
+
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	store, err := openOrCreateStore(dir)
+	if err != nil {
+		return err
+	}
+	if _, err := store.Append(payload); err != nil {
+		return err
+	}
+	if err := store.Persist(dir); err != nil {
+		return err
+	}
+	s.Stats.Inc("core.warmstate.saved", 1)
+	return nil
+}
+
+func openOrCreateStore(dir string) (*filestore.Store, error) {
+	if _, err := os.Stat(dir); err != nil {
+		if os.IsNotExist(err) {
+			return filestore.New(warmSegCap), nil
+		}
+		return nil, err
+	}
+	return filestore.Open(dir, warmSegCap)
+}
+
+// LoadWarmState restores the newest valid snapshot from dir, replacing
+// the catalog cache and queue state. It returns warm=false (with no
+// error) when no snapshot passes the staleness checks — the system then
+// stays cold and rebuilds by scan as before. A missing dir is cold, not
+// an error.
+func (s *System) LoadWarmState(dir string) (bool, error) {
+	if _, err := os.Stat(dir); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	store, err := filestore.Open(dir, warmSegCap)
+	if err != nil {
+		return false, err
+	}
+	var best *warmState
+	err = store.Scan(func(_ filestore.RecordID, payload []byte) bool {
+		var st warmState
+		if json.Unmarshal(payload, &st) != nil {
+			return true // skip undecodable records, keep scanning
+		}
+		if best == nil || st.Epoch > best.Epoch {
+			best = &st
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	if best == nil {
+		return false, nil
+	}
+
+	// Resolve queue documents against the live corpus before touching any
+	// state; an unresolvable title means the snapshot describes another
+	// corpus and is stale as a whole. The title map is built only when
+	// there is a queue to resolve — the common queue-less load skips it.
+	var queue []task
+	if len(best.Queue) > 0 {
+		byTitle := make(map[string]*doc.Document, s.Corpus.Len())
+		for _, d := range s.Corpus.Docs() {
+			byTitle[d.Title] = d
+		}
+		queue = make([]task, 0, len(best.Queue))
+		for _, wt := range best.Queue {
+			tk := task{attribute: wt.Attribute, priority: wt.Priority, part: wt.Part}
+			for _, title := range wt.Docs {
+				d, ok := byTitle[title]
+				if !ok {
+					s.Stats.Inc("core.warmstate.stale", 1)
+					return false, nil
+				}
+				tk.docs = append(tk.docs, d)
+			}
+			queue = append(queue, tk)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cat.epoch > best.Epoch {
+		// The live cache has been invalidated or written past the save
+		// point; the snapshot is from an older life of the table.
+		s.Stats.Inc("core.warmstate.stale", 1)
+		return false, nil
+	}
+	rows, err := s.extractedRowCount()
+	if err != nil {
+		return false, err
+	}
+	if best.Rows != rows {
+		s.Stats.Inc("core.warmstate.stale", 1)
+		return false, nil
+	}
+	s.cat.installWarm(best.Entities, best.Attributes, best.Qualifiers, best.Epoch)
+	s.queue = taskQueue{}
+	for _, tk := range queue {
+		s.queue.push(tk)
+	}
+	s.done = map[string]int{}
+	for a, n := range best.Done {
+		s.done[a] = n
+	}
+	s.total = map[string]int{}
+	for a, n := range best.Total {
+		s.total[a] = n
+	}
+	s.Stats.Inc("core.warmstate.loaded", 1)
+	return true, nil
+}
+
+// Open builds a System, runs setup (typically the deterministic
+// generation that repopulates the extracted table after a restart), then
+// restores warm state from warmDir. warm reports whether a snapshot was
+// accepted; when false the system is fully functional but cold — the
+// first Catalog()/AskGuided rebuilds by scan.
+func Open(cfg Config, warmDir string, setup func(*System) error) (s *System, warm bool, err error) {
+	s, err = New(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if setup != nil {
+		if err := setup(s); err != nil {
+			return nil, false, err
+		}
+	}
+	warm, err = s.LoadWarmState(warmDir)
+	return s, warm, err
+}
+
+// WarmEpoch returns the catalog cache's current invalidation epoch
+// (diagnostics and tests).
+func (s *System) WarmEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cat.epoch
+}
+
+// PendingByAttribute returns the number of pending tasks per attribute,
+// sorted by attribute name (diagnostics and warm-start tests).
+func (s *System) PendingByAttribute() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[string]int{}
+	for _, tk := range s.queue.snapshot() {
+		out[tk.attribute]++
+	}
+	return out
+}

@@ -1,20 +1,32 @@
 // Package perfbench holds the query-path micro-benchmarks introduced with
-// the PR1 performance overhaul, shared by two drivers: bench_test.go runs
-// them under `go test -bench` (BenchmarkCatalogCache,
-// BenchmarkSelectStreaming), and cmd/benchrunner runs them via
-// testing.Benchmark to record a BENCH_PR1.json trajectory point.
+// the PR1 performance overhaul and extended by the PR2 sorted-query
+// overhaul, shared by two drivers: bench_test.go runs them under `go test
+// -bench` (BenchmarkCatalogCache, BenchmarkSelectStreaming,
+// BenchmarkSortedQueries), and cmd/benchrunner runs them via
+// testing.Benchmark to record a BENCH_PR<n>.json trajectory point and to
+// gate CI against regressions (-compare).
 //
-// Two comparisons matter:
+// The comparisons that matter:
 //   - AskGuidedCached vs AskGuidedScanPerQuery: the guided-query hot path
 //     served from the incremental catalog cache versus the pre-PR1
 //     behavior (full catalog scan per query), replicated here from public
 //     System pieces so the baseline stays measurable after the rewrite.
 //   - SelectFiltered10k: allocations of a selective WHERE over 10k rows,
 //     which the streaming scan answers without cloning rejected tuples.
+//   - OrderByTopK10k / OrderByIndexOrder10k vs OrderByFullSort10k: the
+//     PR2 sorted paths (bounded heap; index-order scan) versus the
+//     pre-PR2 cost, which materialized and stable-sorted every row —
+//     exactly what ORDER BY without LIMIT still does, so the no-LIMIT
+//     query is the measurable stand-in for the old ORDER BY+LIMIT.
+//   - WarmStartLoad vs CatalogColdRebuild: restoring the persisted warm
+//     catalog + queue snapshot versus the full-table rescan a cold Open
+//     pays.
 package perfbench
 
 import (
 	"fmt"
+	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -178,6 +190,134 @@ func SelectLimited10k(b *testing.B) {
 	}
 }
 
+// newSelectDBIndexed is newSelectDB plus a B+tree index on id, the sort
+// column of the index-order benches.
+func newSelectDBIndexed() (*rdbms.DB, error) {
+	db, err := newSelectDB()
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex("metrics", "id"); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// OrderByFullSort10k measures ORDER BY with no LIMIT: every row is
+// materialized, projected, and stable-sorted. This is the pre-PR2 cost of
+// ORDER BY+LIMIT too (the old path sorted everything and truncated), so
+// it doubles as the committed baseline the top-k speedup is measured
+// against.
+func OrderByFullSort10k(b *testing.B) {
+	db, err := newSelectDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Exec("SELECT id, val FROM metrics ORDER BY val")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != selectRows {
+			b.Fatalf("got %d rows", len(rs.Rows))
+		}
+	}
+}
+
+// OrderByTopK10k measures ORDER BY+LIMIT on an unindexed sort key: the
+// bounded heap retains OFFSET+LIMIT rows and only they are projected.
+func OrderByTopK10k(b *testing.B) {
+	db, err := newSelectDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Exec("SELECT id, val FROM metrics ORDER BY val LIMIT 10")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != 10 {
+			b.Fatalf("got %d rows", len(rs.Rows))
+		}
+	}
+}
+
+// OrderByIndexOrder10k measures ORDER BY+LIMIT when the sort key is an
+// indexed column: the scan walks the index in key order and stops after
+// LIMIT rows — no sort at all.
+func OrderByIndexOrder10k(b *testing.B) {
+	db, err := newSelectDBIndexed()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := db.Exec("SELECT id, val FROM metrics ORDER BY id DESC LIMIT 10")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Rows) != 10 {
+			b.Fatalf("got %d rows", len(rs.Rows))
+		}
+		if !strings.Contains(rs.Plan, "index order scan") {
+			b.Fatalf("plan %q did not use the index-order path", rs.Plan)
+		}
+	}
+}
+
+// CatalogColdRebuild measures what a cold Open pays on its first guided
+// query: a full scan of the extracted table to rebuild the catalog.
+func CatalogColdRebuild(b *testing.B) {
+	sys, err := newGuidedSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat, err := sys.CatalogScan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cat.Entities) == 0 {
+			b.Fatal("empty catalog")
+		}
+	}
+}
+
+// WarmStartLoad measures restoring the persisted warm snapshot (catalog +
+// task queue) in place of that rebuild scan.
+func WarmStartLoad(b *testing.B) {
+	sys, err := newGuidedSystem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "perfbench-warm-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := sys.SaveWarmState(dir); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm, err := sys.LoadWarmState(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !warm {
+			b.Fatal("warm snapshot refused")
+		}
+	}
+}
+
 // Result is one recorded micro-benchmark.
 type Result struct {
 	Name        string  `json:"name"`
@@ -186,14 +326,21 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// Report is a BENCH_PR1.json trajectory point.
+// Report is a BENCH_PR<n>.json trajectory point.
 type Report struct {
 	PR      int      `json:"pr"`
 	Suite   string   `json:"suite"`
 	Results []Result `json:"results"`
 	// CatalogSpeedup is AskGuidedScanPerQuery ns/op divided by
-	// AskGuidedCached ns/op (the ≥5x acceptance bar).
+	// AskGuidedCached ns/op (PR1's ≥5x acceptance bar).
 	CatalogSpeedup float64 `json:"catalog_speedup"`
+	// OrderBySpeedup is OrderByFullSort10k (the pre-PR2 ORDER BY+LIMIT
+	// cost) divided by OrderByTopK10k (PR2's ≥5x acceptance bar), and
+	// IndexOrderSpeedup the same baseline over OrderByIndexOrder10k.
+	OrderBySpeedup    float64 `json:"order_by_speedup"`
+	IndexOrderSpeedup float64 `json:"index_order_speedup"`
+	// WarmStartSpeedup is CatalogColdRebuild over WarmStartLoad.
+	WarmStartSpeedup float64 `json:"warm_start_speedup"`
 }
 
 // RunAll executes every micro-benchmark via testing.Benchmark and
@@ -207,8 +354,13 @@ func RunAll() Report {
 		{"CatalogCache/AskGuidedScanPerQuery", AskGuidedScanPerQuery},
 		{"SelectStreaming/Filtered10k", SelectFiltered10k},
 		{"SelectStreaming/Limited10k", SelectLimited10k},
+		{"SortedQueries/OrderByFullSort10k", OrderByFullSort10k},
+		{"SortedQueries/OrderByTopK10k", OrderByTopK10k},
+		{"SortedQueries/OrderByIndexOrder10k", OrderByIndexOrder10k},
+		{"WarmStart/CatalogColdRebuild", CatalogColdRebuild},
+		{"WarmStart/WarmStartLoad", WarmStartLoad},
 	}
-	rep := Report{PR: 1, Suite: "query-path"}
+	rep := Report{PR: 2, Suite: "sorted-query"}
 	byName := map[string]Result{}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
@@ -221,10 +373,50 @@ func RunAll() Report {
 		rep.Results = append(rep.Results, res)
 		byName[bm.name] = res
 	}
-	cached := byName["CatalogCache/AskGuidedCached"]
-	scan := byName["CatalogCache/AskGuidedScanPerQuery"]
-	if cached.NsPerOp > 0 {
-		rep.CatalogSpeedup = scan.NsPerOp / cached.NsPerOp
+	ratio := func(num, den string) float64 {
+		if d := byName[den].NsPerOp; d > 0 {
+			return byName[num].NsPerOp / d
+		}
+		return 0
 	}
+	rep.CatalogSpeedup = ratio("CatalogCache/AskGuidedScanPerQuery", "CatalogCache/AskGuidedCached")
+	rep.OrderBySpeedup = ratio("SortedQueries/OrderByFullSort10k", "SortedQueries/OrderByTopK10k")
+	rep.IndexOrderSpeedup = ratio("SortedQueries/OrderByFullSort10k", "SortedQueries/OrderByIndexOrder10k")
+	rep.WarmStartSpeedup = ratio("WarmStart/CatalogColdRebuild", "WarmStart/WarmStartLoad")
 	return rep
+}
+
+// Regression is one tracked bench that slowed past the gate tolerance.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64 // CurrentNs / BaselineNs
+}
+
+// Compare gates current against baseline: every bench present in both
+// reports regresses when its ns/op exceeds baseline*(1+tolerance).
+// Benches only in one report are ignored (the suite may grow), so a
+// fresh baseline must be committed alongside new benches.
+func Compare(baseline, current Report, tolerance float64) []Regression {
+	base := map[string]Result{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if cur.NsPerOp > b.NsPerOp*(1+tolerance) {
+			regs = append(regs, Regression{
+				Name:       cur.Name,
+				BaselineNs: b.NsPerOp,
+				CurrentNs:  cur.NsPerOp,
+				Ratio:      cur.NsPerOp / b.NsPerOp,
+			})
+		}
+	}
+	return regs
 }

@@ -236,6 +236,91 @@ func (t *BTree) Range(lo, hi *Value, fn func(key Value, rid RID) bool) {
 	}
 }
 
+// GroupedRange calls fn once per distinct key with lo <= key <= hi (nil =
+// unbounded), with that key's posting list, in ascending (desc=false) or
+// descending (desc=true) key order. The posting slice is the tree's own
+// storage: callers must not retain or mutate it past the callback.
+// Returning false stops the iteration. The sorted-query index-order path
+// uses this to stream rows in ORDER BY order without materializing the
+// whole index.
+func (t *BTree) GroupedRange(lo, hi *Value, desc bool, fn func(key Value, rids []RID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if desc {
+		groupedDesc(t.root, lo, hi, fn)
+		return
+	}
+	var leaf *leafNode
+	if lo != nil {
+		leaf, _, _ = t.findLeaf(*lo)
+	} else {
+		n := t.root
+		for !n.isLeaf() {
+			n = n.(*innerNode).children[0]
+		}
+		leaf = n.(*leafNode)
+	}
+	for leaf != nil {
+		for i, k := range leaf.keys {
+			if lo != nil {
+				if c, ok := Compare(k, *lo); !ok || c < 0 {
+					continue
+				}
+			}
+			if hi != nil {
+				if c, ok := Compare(k, *hi); !ok || c > 0 {
+					return
+				}
+			}
+			if !fn(k, leaf.postings[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
+// groupedDesc walks the subtree in descending key order. The leaf chain
+// only links forward, so the descent recurses through internal nodes in
+// reverse child order, pruning children entirely above hi; it returns
+// false once a key below lo is reached (every later key is smaller).
+func groupedDesc(n node, lo, hi *Value, fn func(key Value, rids []RID) bool) bool {
+	if n.isLeaf() {
+		leaf := n.(*leafNode)
+		for i := len(leaf.keys) - 1; i >= 0; i-- {
+			k := leaf.keys[i]
+			if hi != nil {
+				if c, ok := Compare(k, *hi); !ok || c > 0 {
+					continue
+				}
+			}
+			if lo != nil {
+				if c, ok := Compare(k, *lo); ok && c < 0 {
+					return false
+				}
+			}
+			if !fn(k, leaf.postings[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	in := n.(*innerNode)
+	for ci := len(in.children) - 1; ci >= 0; ci-- {
+		// children[ci] holds keys >= keys[ci-1] (for ci > 0): skip the
+		// child when its lower separator already exceeds hi.
+		if hi != nil && ci > 0 {
+			if c, ok := Compare(in.keys[ci-1], *hi); ok && c > 0 {
+				continue
+			}
+		}
+		if !groupedDesc(in.children[ci], lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
 // Keys returns all distinct keys in order (testing helper).
 func (t *BTree) Keys() []Value {
 	var out []Value

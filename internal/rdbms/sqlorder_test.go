@@ -1,0 +1,311 @@
+package rdbms
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The sorted-query equivalence suite: every fast path (bounded top-k heap,
+// index-order scan) must return exactly what the full stable sort
+// produces — same rows, same order, including tie order — across ties,
+// OFFSET, DESC, and empty-string ("NULL-ish") values.
+
+// orderedDB builds a table exercising duplicates and empty values. id is
+// indexed (for index-order scans), val is not (for heap top-k), and grp
+// has heavy duplication for tie-order checks.
+func orderedDB(t *testing.T, rows int, indexID bool) *DB {
+	t.Helper()
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE ord (id INT, grp STRING, val FLOAT, label STRING)")
+	if indexID {
+		mustExec(t, db, "CREATE INDEX ON ord (id)")
+		mustExec(t, db, "CREATE INDEX ON ord (grp)")
+	}
+	tx := db.Begin()
+	for i := 0; i < rows; i++ {
+		grp := fmt.Sprintf("g%d", i%5)
+		if i%11 == 0 {
+			grp = "" // NULL-ish empty value in the sort key
+		}
+		if _, err := tx.Insert("ord", Tuple{
+			NewInt(int64(i % 17)), // duplicated ids: tie fodder for the index path
+			NewString(grp),
+			NewFloat(float64(i % 23)),
+			NewString(fmt.Sprintf("row-%d", i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// refSorted executes the query WITHOUT its LIMIT/OFFSET — which takes the
+// classic full-materialize + stable-sort path — and applies OFFSET/LIMIT
+// by slicing. That is the semantics every fast path must reproduce.
+func refSorted(t *testing.T, db *DB, sqlNoLimit string, offset, limit int) [][]string {
+	t.Helper()
+	rs := mustExec(t, db, sqlNoLimit)
+	rows := rs.Rows
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return renderRows(rows)
+}
+
+func renderRows(rows []Tuple) [][]string {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = make([]string, len(r))
+		for j, v := range r {
+			out[i][j] = v.String()
+		}
+	}
+	return out
+}
+
+func assertSameRows(t *testing.T, sql string, got *ResultSet, want [][]string) {
+	t.Helper()
+	g := renderRows(got.Rows)
+	if !reflect.DeepEqual(g, want) {
+		t.Fatalf("%s (plan %q):\ngot  %v\nwant %v", sql, got.Plan, g, want)
+	}
+}
+
+func TestTopKOrderByEquivalence(t *testing.T) {
+	db := orderedDB(t, 300, false)
+	cases := []struct {
+		base          string // query without LIMIT/OFFSET
+		offset, limit int
+	}{
+		{"SELECT label, val FROM ord ORDER BY val", 0, 10},
+		{"SELECT label, val FROM ord ORDER BY val DESC", 0, 10},
+		{"SELECT label, grp FROM ord ORDER BY grp", 0, 25},         // empty-string keys sort first
+		{"SELECT label, grp FROM ord ORDER BY grp DESC", 5, 25},    // ... and last under DESC
+		{"SELECT label FROM ord ORDER BY val, id DESC", 0, 40},     // multi-key
+		{"SELECT label FROM ord ORDER BY grp, val DESC, id", 7, 9}, // multi-key + offset
+		{"SELECT label, val FROM ord ORDER BY val", 295, 20},       // offset near the end
+		{"SELECT label, val FROM ord ORDER BY val", 400, 5},        // offset past the end
+		{"SELECT label, val FROM ord ORDER BY val", 0, 0},          // LIMIT 0
+		{"SELECT label, val FROM ord ORDER BY val", 0, 1000},       // LIMIT > rows (no bound)
+		{"SELECT label, val AS v FROM ord ORDER BY v DESC", 0, 12}, // alias key
+		{"SELECT label FROM ord WHERE val >= 5 ORDER BY val", 3, 8},
+	}
+	for _, c := range cases {
+		sql := c.base + fmt.Sprintf(" LIMIT %d", c.limit)
+		if c.offset > 0 {
+			sql += fmt.Sprintf(" OFFSET %d", c.offset)
+		}
+		want := refSorted(t, db, c.base, c.offset, c.limit)
+		got := mustExec(t, db, sql)
+		assertSameRows(t, sql, got, want)
+	}
+}
+
+func TestIndexOrderScanEquivalence(t *testing.T) {
+	db := orderedDB(t, 300, true)
+	cases := []struct {
+		base          string
+		offset, limit int
+		wantPlan      string
+	}{
+		{"SELECT label, id FROM ord ORDER BY id", 0, 10, "index order scan (id)"},
+		{"SELECT label, id FROM ord ORDER BY id DESC", 0, 10, "index order scan (id desc)"},
+		{"SELECT label, id FROM ord ORDER BY id", 12, 10, "index order scan (id)"},
+		{"SELECT label, grp FROM ord ORDER BY grp", 0, 30, "index order scan (grp)"}, // empty strings first
+		{"SELECT label, grp FROM ord ORDER BY grp DESC", 0, 30, "index order scan (grp desc)"},
+		// Ties: ids repeat every 17 rows; tie order must match the stable sort.
+		{"SELECT label FROM ord ORDER BY id", 0, 60, "index order scan (id)"},
+		{"SELECT label FROM ord ORDER BY id DESC", 0, 60, "index order scan (id desc)"},
+		// Residual (non-sargable) WHERE evaluated during the ordered scan.
+		{"SELECT label, id FROM ord WHERE label LIKE 'row-1%' ORDER BY id", 0, 15, "index order scan (id)"},
+		// Sargable range on the sort column folds into the scan bounds.
+		{"SELECT label, id FROM ord WHERE id >= 3 AND id < 9 ORDER BY id", 0, 20, "index order scan (id)"},
+		{"SELECT label, id FROM ord WHERE id > 3 AND id <= 9 ORDER BY id DESC", 2, 20, "index order scan (id desc)"},
+		// Alias resolves to the indexed column.
+		{"SELECT id AS k, label FROM ord ORDER BY k", 0, 10, "index order scan (id)"},
+	}
+	for _, c := range cases {
+		sql := c.base + fmt.Sprintf(" LIMIT %d", c.limit)
+		if c.offset > 0 {
+			sql += fmt.Sprintf(" OFFSET %d", c.offset)
+		}
+		want := refSorted(t, db, c.base, c.offset, c.limit)
+		got := mustExec(t, db, sql)
+		if got.Plan != c.wantPlan {
+			t.Fatalf("%s: plan %q, want %q", sql, got.Plan, c.wantPlan)
+		}
+		assertSameRows(t, sql, got, want)
+	}
+}
+
+// TestIndexOrderYieldsToSelectiveEquality: an equality predicate on an
+// indexed column must keep the selective eq access path (plus top-k sort)
+// rather than walking the whole sort-column index.
+func TestIndexOrderYieldsToSelectiveEquality(t *testing.T) {
+	db := orderedDB(t, 300, true)
+	base := "SELECT label, id FROM ord WHERE grp = 'g3' ORDER BY id"
+	sql := base + " LIMIT 10"
+	got := mustExec(t, db, sql)
+	if !strings.Contains(got.Plan, "index eq scan (grp") {
+		t.Fatalf("plan %q should use the grp equality index", got.Plan)
+	}
+	assertSameRows(t, sql, got, refSorted(t, db, base, 0, 10))
+}
+
+// TestIndexOrderSkipsUnsupportedShapes: grouping, DISTINCT, joins,
+// multi-key ordering, and missing LIMIT must all take the classic path.
+func TestIndexOrderSkipsUnsupportedShapes(t *testing.T) {
+	db := orderedDB(t, 100, true)
+	for _, sql := range []string{
+		"SELECT id, COUNT(*) FROM ord GROUP BY id ORDER BY id LIMIT 5",
+		"SELECT DISTINCT id FROM ord ORDER BY id LIMIT 5",
+		"SELECT id FROM ord ORDER BY id, val LIMIT 5",
+		"SELECT id FROM ord ORDER BY id",
+	} {
+		rs := mustExec(t, db, sql)
+		if strings.Contains(rs.Plan, "index order scan") {
+			t.Fatalf("%s: unexpected index order scan (plan %q)", sql, rs.Plan)
+		}
+	}
+}
+
+// TestIndexOrderYieldsToRangeOnOtherColumn: a sargable range on a
+// different indexed column bounds the candidate set; the planner must
+// keep that range path (plus top-k) instead of walking the whole sort
+// index and filtering (regression for a review finding).
+func TestIndexOrderYieldsToRangeOnOtherColumn(t *testing.T) {
+	db := orderedDB(t, 300, true)
+	base := "SELECT label, id FROM ord WHERE grp >= 'g4' ORDER BY id"
+	sql := base + " LIMIT 10"
+	got := mustExec(t, db, sql)
+	if !strings.Contains(got.Plan, "index range scan (grp") {
+		t.Fatalf("plan %q should use the grp range index", got.Plan)
+	}
+	assertSameRows(t, sql, got, refSorted(t, db, base, 0, 10))
+}
+
+// TestIndexOrderSeesUncommittedWrites: the ordered scan runs inside the
+// statement's own transaction and must see rows inserted earlier in it —
+// and deleted rows must not resurface via stale index postings.
+func TestIndexOrderAfterDeletes(t *testing.T) {
+	db := orderedDB(t, 120, true)
+	mustExec(t, db, "DELETE FROM ord WHERE id = 2")
+	mustExec(t, db, "DELETE FROM ord WHERE label = 'row-40'")
+	base := "SELECT label, id FROM ord ORDER BY id"
+	sql := base + " LIMIT 30"
+	got := mustExec(t, db, sql)
+	if got.Plan != "index order scan (id)" {
+		t.Fatalf("plan %q", got.Plan)
+	}
+	assertSameRows(t, sql, got, refSorted(t, db, base, 0, 30))
+}
+
+// TestGroupedTopKEquivalence: grouped queries with ORDER BY + LIMIT use the
+// bounded heap over groups; output must match the full sort.
+func TestGroupedTopKEquivalence(t *testing.T) {
+	db := orderedDB(t, 300, false)
+	base := "SELECT grp, COUNT(*), AVG(val) FROM ord GROUP BY grp ORDER BY grp DESC"
+	sql := base + " LIMIT 3"
+	got := mustExec(t, db, sql)
+	assertSameRows(t, sql, got, refSorted(t, db, base, 0, 3))
+
+	base = "SELECT id, SUM(val) AS s FROM ord GROUP BY id ORDER BY s DESC, id"
+	sql = base + " LIMIT 4 OFFSET 2"
+	got = mustExec(t, db, sql)
+	assertSameRows(t, sql, got, refSorted(t, db, base, 2, 4))
+}
+
+func TestBTreeGroupedRange(t *testing.T) {
+	bt := NewBTreeOrder(4) // tiny order forces splits and deep structure
+	const n = 200
+	for i := 0; i < n; i++ {
+		bt.Insert(NewInt(int64(i%37)), RID{Page: PageID(i / 10), Slot: uint16(i % 10)})
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	collect := func(lo, hi *Value, desc bool) ([]int64, int) {
+		var keys []int64
+		total := 0
+		bt.GroupedRange(lo, hi, desc, func(k Value, rids []RID) bool {
+			keys = append(keys, k.I)
+			total += len(rids)
+			return true
+		})
+		return keys, total
+	}
+	keys, total := collect(nil, nil, false)
+	if len(keys) != 37 || total != n {
+		t.Fatalf("asc full: %d keys, %d entries", len(keys), total)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("asc order violated: %v", keys)
+		}
+	}
+	dkeys, dtotal := collect(nil, nil, true)
+	if len(dkeys) != 37 || dtotal != n {
+		t.Fatalf("desc full: %d keys, %d entries", len(dkeys), dtotal)
+	}
+	for i := range dkeys {
+		if dkeys[i] != keys[len(keys)-1-i] {
+			t.Fatalf("desc is not the reverse of asc: %v vs %v", dkeys, keys)
+		}
+	}
+	lo, hi := NewInt(5), NewInt(11)
+	bkeys, _ := collect(&lo, &hi, false)
+	if want := []int64{5, 6, 7, 8, 9, 10, 11}; !reflect.DeepEqual(bkeys, want) {
+		t.Fatalf("asc bounded: %v, want %v", bkeys, want)
+	}
+	bdkeys, _ := collect(&lo, &hi, true)
+	if want := []int64{11, 10, 9, 8, 7, 6, 5}; !reflect.DeepEqual(bdkeys, want) {
+		t.Fatalf("desc bounded: %v, want %v", bdkeys, want)
+	}
+	// Early stop.
+	stops := 0
+	bt.GroupedRange(nil, nil, true, func(k Value, _ []RID) bool {
+		stops++
+		return stops < 3
+	})
+	if stops != 3 {
+		t.Fatalf("early stop after %d callbacks", stops)
+	}
+}
+
+// TestTopKCollector exercises the bounded heap directly: stable tie order
+// and strict bounding.
+func TestTopKCollector(t *testing.T) {
+	order := []OrderKey{{Expr: ColumnRef{Column: "k"}, Desc: false}}
+	tk := newTopK(3, order)
+	vals := []int64{5, 1, 5, 2, 5, 0, 5}
+	for seq, v := range vals {
+		keys := Tuple{NewInt(v)}
+		if !tk.accepts(keys) {
+			continue
+		}
+		tk.add(&keyedRow{keys: keys, row: Tuple{NewInt(int64(seq))}, seq: seq})
+	}
+	got := tk.sorted()
+	if len(got) != 3 {
+		t.Fatalf("retained %d rows", len(got))
+	}
+	// Sorted by key: 0 (seq 5), 1 (seq 1), 2 (seq 3).
+	wantSeqs := []int64{5, 1, 3}
+	for i, kr := range got {
+		if kr.row[0].I != wantSeqs[i] {
+			t.Fatalf("row %d: seq %d, want %d", i, kr.row[0].I, wantSeqs[i])
+		}
+	}
+}

@@ -41,6 +41,25 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	if s.Join != nil {
 		pushedWhere = nil
 	}
+	// Ordered LIMIT queries whose single sort key is an indexed column are
+	// served in index order: rows emerge already sorted, OFFSET+LIMIT stops
+	// the scan early, and no sort runs at all.
+	if op := chooseOrderPath(s, t, fromName, b, grouped); op != nil {
+		rows, err := tx.indexOrderRows(s, t, op, b, s.Offset+s.Limit)
+		if err != nil {
+			return nil, err
+		}
+		ordered := s
+		ordered.OrderBy = nil // rows are pre-sorted; project must not re-sort
+		out, err := project(ordered, b, rows)
+		if err != nil {
+			return nil, err
+		}
+		applyOffsetLimit(out, s.Offset, s.Limit)
+		out.Plan = op.describe()
+		return out, nil
+	}
+
 	// Unordered, ungrouped, non-distinct queries need at most
 	// offset+limit qualifying rows; anything fancier consumes the full
 	// qualifying set.
@@ -94,18 +113,22 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	// Non-grouped ORDER BY is handled inside project (keys may reference
 	// unprojected columns); grouped ordering inside groupAndAggregate.
 	// LIMIT/OFFSET applied last.
-	if s.Offset > 0 {
-		if s.Offset >= len(out.Rows) {
-			out.Rows = nil
-		} else {
-			out.Rows = out.Rows[s.Offset:]
-		}
-	}
-	if s.Limit >= 0 && s.Limit < len(out.Rows) {
-		out.Rows = out.Rows[:s.Limit]
-	}
+	applyOffsetLimit(out, s.Offset, s.Limit)
 	out.Plan = plan
 	return out, nil
+}
+
+func applyOffsetLimit(out *ResultSet, offset, limit int) {
+	if offset > 0 {
+		if offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[offset:]
+		}
+	}
+	if limit >= 0 && limit < len(out.Rows) {
+		out.Rows = out.Rows[:limit]
+	}
 }
 
 // baseRows produces the qualifying rows for the FROM table, using an index
@@ -435,17 +458,14 @@ func appendTupleKey(dst []byte, t Tuple) []byte {
 }
 
 // project evaluates the select list over each row, handling * expansion
-// and ORDER BY (which may reference unprojected columns).
+// and ORDER BY (which may reference unprojected columns). An ORDER BY with
+// a LIMIT keeps only the top OFFSET+LIMIT rows in a bounded heap — and
+// projects only those — instead of materializing and sorting everything.
 func project(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
 	cols, exprs := expandSelect(s, b)
 	out := &ResultSet{Columns: cols}
 
-	type keyedRow struct {
-		keys Tuple
-		row  Tuple
-	}
-	keyed := make([]keyedRow, 0, len(rows))
-	for _, r := range rows {
+	projectRow := func(r Tuple) (Tuple, error) {
 		proj := make(Tuple, len(exprs))
 		for i, e := range exprs {
 			v, err := evalExpr(e, b, r)
@@ -453,6 +473,30 @@ func project(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
 				return nil, err
 			}
 			proj[i] = v
+		}
+		return proj, nil
+	}
+
+	if n, bounded := topKBound(s, len(rows)); bounded {
+		sorted, err := topKRows(s, b, rows, cols, exprs, n)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range sorted {
+			proj, err := projectRow(r)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, proj)
+		}
+		return out, nil
+	}
+
+	keyed := make([]keyedRow, 0, len(rows))
+	for seq, r := range rows {
+		proj, err := projectRow(r)
+		if err != nil {
+			return nil, err
 		}
 		var keys Tuple
 		for _, ok := range s.OrderBy {
@@ -462,7 +506,7 @@ func project(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
 			}
 			keys = append(keys, v)
 		}
-		keyed = append(keyed, keyedRow{keys, proj})
+		keyed = append(keyed, keyedRow{keys: keys, row: proj, seq: seq})
 	}
 	if len(s.OrderBy) > 0 {
 		sort.SliceStable(keyed, func(i, j int) bool {
@@ -471,6 +515,64 @@ func project(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
 	}
 	for _, kr := range keyed {
 		out.Rows = append(out.Rows, kr.row)
+	}
+	return out, nil
+}
+
+// topKBound reports whether ORDER BY + LIMIT can be served by the bounded
+// top-k collector, and the number of rows it must retain (OFFSET+LIMIT).
+// DISTINCT disqualifies it: dedup after truncation could underfill the
+// limit.
+func topKBound(s SelectStmt, nrows int) (int, bool) {
+	if len(s.OrderBy) == 0 || s.Limit < 0 || s.Distinct {
+		return 0, false
+	}
+	n := s.Offset + s.Limit
+	return n, n < nrows
+}
+
+// topKRows runs the bounded-heap top-k over the base rows, evaluating only
+// ORDER BY keys per row (select-list aliases resolve to their underlying
+// expressions) and returning the surviving source rows in sorted order.
+// Only survivors are ever projected by the caller: O(n log k) time, O(k)
+// retained rows, k projections.
+func topKRows(s SelectStmt, b *binding, rows []Tuple, cols []string, exprs []Expr, n int) ([]Tuple, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	keyExprs := make([]Expr, len(s.OrderBy))
+	for i, ok := range s.OrderBy {
+		keyExprs[i] = ok.Expr
+		if cr, isCol := ok.Expr.(ColumnRef); isCol && cr.Table == "" {
+			for ci, c := range cols {
+				if c == cr.Column {
+					keyExprs[i] = exprs[ci]
+					break
+				}
+			}
+		}
+	}
+	tk := newTopK(n, s.OrderBy)
+	scratch := make(Tuple, len(keyExprs))
+	for seq, r := range rows {
+		for i, e := range keyExprs {
+			v, err := evalExpr(e, b, r)
+			if err != nil {
+				return nil, err
+			}
+			scratch[i] = v
+		}
+		if !tk.accepts(scratch) {
+			continue
+		}
+		keys := make(Tuple, len(scratch))
+		copy(keys, scratch)
+		tk.add(&keyedRow{keys: keys, row: r, seq: seq})
+	}
+	sorted := tk.sorted()
+	out := make([]Tuple, len(sorted))
+	for i, kr := range sorted {
+		out[i] = kr.row
 	}
 	return out, nil
 }
@@ -656,10 +758,6 @@ func groupAndAggregate(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, erro
 	}
 
 	out := &ResultSet{Columns: cols}
-	type keyedRow struct {
-		keys Tuple
-		row  Tuple
-	}
 	var keyed []keyedRow
 	for _, k := range order {
 		gr := groups[k]
@@ -702,12 +800,25 @@ func groupAndAggregate(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, erro
 			}
 			keys = append(keys, v)
 		}
-		keyed = append(keyed, keyedRow{keys, row})
+		keyed = append(keyed, keyedRow{keys: keys, row: row, seq: len(keyed)})
 	}
 	if len(s.OrderBy) > 0 {
-		sort.SliceStable(keyed, func(i, j int) bool {
-			return orderLess(keyed[i].keys, keyed[j].keys, s.OrderBy)
-		})
+		if n, bounded := topKBound(s, len(keyed)); bounded {
+			// Groups are already materialized; the bounded heap still
+			// replaces the O(g log g) sort with O(g log k).
+			tk := newTopK(n, s.OrderBy)
+			for i := range keyed {
+				tk.add(&keyed[i])
+			}
+			keyed = keyed[:0:0]
+			for _, kr := range tk.sorted() {
+				keyed = append(keyed, *kr)
+			}
+		} else {
+			sort.SliceStable(keyed, func(i, j int) bool {
+				return orderLess(keyed[i].keys, keyed[j].keys, s.OrderBy)
+			})
+		}
 	}
 	for _, kr := range keyed {
 		out.Rows = append(out.Rows, kr.row)

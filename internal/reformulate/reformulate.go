@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/doc"
 	"repro/internal/integrate"
@@ -79,30 +80,107 @@ type Catalog struct {
 	Qualifiers map[string][]string
 }
 
-// Reformulator guesses structured queries from keywords.
+// Reformulator guesses structured queries from keywords. It can be built
+// whole from a catalog (New) or maintained incrementally on catalog deltas
+// (AddEntity/AddAttribute/AddQualifier): candidate ranking breaks every
+// tie by name, never by catalog position, so an incrementally grown
+// reformulator answers identically to one rebuilt from the same catalog
+// regardless of insertion order. Queries and deltas may run concurrently;
+// an internal RWMutex keeps them safe.
 type Reformulator struct {
+	mu  sync.RWMutex
 	cat Catalog
-	// entity index: normalized token -> entity names containing it
+	// entity index: normalized token -> indexes into cat.Entities
 	entityTokens map[string][]int
+	entitySeen   map[string]bool
+	attrSeen     map[string]bool
 }
 
-// New builds a reformulator over a catalog.
+// New builds a reformulator over a catalog. The qualifier map is copied
+// (vocabulary slices stay shared; AddQualifier copies them on write), so
+// later deltas never mutate the caller's catalog — which may be a
+// memoized snapshot other readers hold as read-only.
 func New(cat Catalog) *Reformulator {
-	r := &Reformulator{cat: cat, entityTokens: map[string][]int{}}
+	quals := make(map[string][]string, len(cat.Qualifiers))
+	for a, v := range cat.Qualifiers {
+		quals[a] = v
+	}
+	cat.Qualifiers = quals
+	r := &Reformulator{
+		cat:          cat,
+		entityTokens: map[string][]int{},
+		entitySeen:   map[string]bool{},
+		attrSeen:     map[string]bool{},
+	}
 	for i, e := range cat.Entities {
-		for _, tk := range doc.Tokenize(e) {
-			t := doc.NormalizeTerm(tk.Text)
-			if t != "" {
-				r.entityTokens[t] = append(r.entityTokens[t], i)
-			}
-		}
+		r.entitySeen[e] = true
+		r.indexEntityTokens(e, i)
+	}
+	for _, a := range cat.Attributes {
+		r.attrSeen[a] = true
 	}
 	return r
+}
+
+func (r *Reformulator) indexEntityTokens(entity string, idx int) {
+	for _, tk := range doc.Tokenize(entity) {
+		t := doc.NormalizeTerm(tk.Text)
+		if t != "" {
+			r.entityTokens[t] = append(r.entityTokens[t], idx)
+		}
+	}
+}
+
+// AddEntity folds one new entity into the token index — tokenizing only
+// that entity, not rebuilding the whole index. Idempotent.
+func (r *Reformulator) AddEntity(entity string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entitySeen[entity] {
+		return
+	}
+	r.entitySeen[entity] = true
+	r.cat.Entities = append(r.cat.Entities, entity)
+	r.indexEntityTokens(entity, len(r.cat.Entities)-1)
+}
+
+// AddAttribute registers one new attribute. Idempotent.
+func (r *Reformulator) AddAttribute(attr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.attrSeen[attr] {
+		return
+	}
+	r.attrSeen[attr] = true
+	r.cat.Attributes = append(r.cat.Attributes, attr)
+}
+
+// AddQualifier appends one qualifier to an attribute's vocabulary in
+// arrival order (the order that defines qualifier ranges). Idempotent.
+// The vocabulary slice is copied on write so previously shared catalog
+// snapshots are never mutated.
+func (r *Reformulator) AddQualifier(attr, qual string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vocab := r.cat.Qualifiers[attr]
+	for _, q := range vocab {
+		if q == qual {
+			return
+		}
+	}
+	if r.cat.Qualifiers == nil {
+		r.cat.Qualifiers = map[string][]string{}
+	}
+	fresh := make([]string, 0, len(vocab)+1)
+	fresh = append(fresh, vocab...)
+	r.cat.Qualifiers[attr] = append(fresh, qual)
 }
 
 // Candidates returns the top-k guessed structured queries for a keyword
 // query, best first.
 func (r *Reformulator) Candidates(query string, k int) []Candidate {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	terms := []string{}
 	for _, tk := range doc.Tokenize(query) {
 		t := doc.NormalizeTerm(tk.Text)
@@ -208,11 +286,13 @@ func (r *Reformulator) detectEntities(terms []string, k int) []scoredEntity {
 	for ei, v := range votes {
 		cands = append(cands, cand{ei, v})
 	}
+	// Ties break by entity name, not catalog position, so incremental and
+	// rebuilt token indexes rank identically.
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].votes != cands[j].votes {
 			return cands[i].votes > cands[j].votes
 		}
-		return cands[i].idx < cands[j].idx
+		return r.cat.Entities[cands[i].idx] < r.cat.Entities[cands[j].idx]
 	})
 	if k > 0 && len(cands) > k {
 		cands = cands[:k]
@@ -253,7 +333,13 @@ func (r *Reformulator) scoreAttributes(terms []string) []attrScore {
 			out = append(out, attrScore{attr: attr, score: best})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+	// Equal scores order by attribute name, independent of catalog order.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].attr < out[j].attr
+	})
 	if len(out) > 3 {
 		out = out[:3]
 	}

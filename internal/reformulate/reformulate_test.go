@@ -167,6 +167,75 @@ func TestAccuracyAtK(t *testing.T) {
 	}
 }
 
+// TestIncrementalEqualsRebuilt grows a reformulator delta by delta — in
+// an order unlike the sorted catalog — and checks it answers every probe
+// identically to one rebuilt whole from the final catalog.
+func TestIncrementalEqualsRebuilt(t *testing.T) {
+	full := cityCatalog()
+	full.Entities = append(full.Entities, "Madison, Illinois") // ambiguous with Madison, WI
+	full.Attributes = append(full.Attributes, "temperament")   // fuzzy-collides with temperature
+
+	// Start from a one-entity seed and add the rest in reverse order.
+	seed := Catalog{
+		Table:      full.Table,
+		Entities:   []string{full.Entities[0]},
+		Attributes: []string{full.Attributes[0]},
+		Qualifiers: map[string][]string{},
+	}
+	inc := New(seed)
+	for i := len(full.Entities) - 1; i >= 1; i-- {
+		inc.AddEntity(full.Entities[i])
+	}
+	for i := len(full.Attributes) - 1; i >= 1; i-- {
+		inc.AddAttribute(full.Attributes[i])
+	}
+	for _, m := range full.Qualifiers["temperature"] {
+		inc.AddQualifier("temperature", m)
+	}
+	// Idempotence: replays must not duplicate index entries.
+	inc.AddEntity(full.Entities[2])
+	inc.AddAttribute("temperature")
+	inc.AddQualifier("temperature", "March")
+
+	rebuilt := New(full)
+	probes := []string{
+		"average March September temperature Madison Wisconsin",
+		"temperature Madison", // ambiguous entity: tie order must match
+		"population Chicago",
+		"warmest temperature Denver",
+		"temperament Springfield",
+		"how many count population",
+	}
+	for _, q := range probes {
+		a := inc.Candidates(q, 6)
+		b := rebuilt.Candidates(q, 6)
+		if len(a) != len(b) {
+			t.Fatalf("%q: %d vs %d candidates\ninc: %+v\nreb: %+v", q, len(a), len(b), a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q candidate %d:\ninc: %+v\nreb: %+v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestAddQualifierCopiesOnWrite: vocabulary slices handed out in earlier
+// catalog snapshots must not be mutated by later deltas.
+func TestAddQualifierCopiesOnWrite(t *testing.T) {
+	r := New(Catalog{Table: "t", Qualifiers: map[string][]string{}})
+	r.AddAttribute("temperature")
+	r.AddQualifier("temperature", "March")
+	before := r.cat.Qualifiers["temperature"]
+	r.AddQualifier("temperature", "April")
+	if len(before) != 1 || before[0] != "March" {
+		t.Fatalf("earlier vocabulary mutated: %v", before)
+	}
+	if got := r.cat.Qualifiers["temperature"]; len(got) != 2 || got[1] != "April" {
+		t.Fatalf("vocabulary after delta: %v", got)
+	}
+}
+
 func TestSQLEscaping(t *testing.T) {
 	cat := cityCatalog()
 	cat.Entities = append(cat.Entities, "O'Fallon, Missouri")
