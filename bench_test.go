@@ -118,6 +118,15 @@ func BenchmarkWarmStart(b *testing.B) {
 	b.Run("WarmStartLoad", perfbench.WarmStartLoad)
 }
 
+// BenchmarkDurability measures the on-disk lifecycle costs introduced
+// with the crash-safe storage: a durable commit (WAL fsync per
+// transaction) and a full close→reopen of a checkpointed 10k-row
+// database.
+func BenchmarkDurability(b *testing.B) {
+	b.Run("DiskCommit", perfbench.DiskCommit)
+	b.Run("DiskReopen", perfbench.DiskReopen)
+}
+
 // BenchmarkE2IncrementalVsOneShot measures time-to-first-answer.
 func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 	cfg := synth.Config{Seed: benchSeed, Cities: 120, People: 40, Filler: 100, MentionsPerPerson: 2}

@@ -20,6 +20,9 @@
 // Flags:
 //
 //	-cities N -people N -filler N -seed N -workers N -corrupt F
+//	-data DIR   persist the database under DIR: generate once, then
+//	            search/ask/sql against the recovered structure in later
+//	            invocations
 package main
 
 import (
@@ -46,7 +49,7 @@ EXTRACT temperature, population, founded FROM docs USING city KIND city INTO cit
 STORE cityfacts INTO TABLE extracted;
 `
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("unidb", flag.ContinueOnError)
 	cities := fs.Int("cities", 50, "synthetic city articles")
 	people := fs.Int("people", 20, "synthetic people")
@@ -54,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "corpus seed")
 	workers := fs.Int("workers", 4, "cluster workers")
 	corrupt := fs.Float64("corrupt", 0, "fraction of corrupted city articles")
+	dataDir := fs.String("data", "", "persist the database under this directory: the extracted structure survives across invocations (crash-safe rdbms + warm snapshots)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,9 +71,28 @@ func run(args []string, out io.Writer) error {
 		Seed: *seed, Cities: *cities, People: *people, Filler: *filler,
 		MentionsPerPerson: 2, CorruptFrac: *corrupt,
 	})
-	sys, err := core.New(core.Config{Corpus: corpus, Workers: *workers})
-	if err != nil {
-		return err
+	cfg := core.Config{Corpus: corpus, Workers: *workers}
+	var sys *core.System
+	if *dataDir != "" {
+		s, rep, err := core.OpenDir(*dataDir, cfg, nil)
+		if err != nil {
+			return err
+		}
+		sys = s
+		if rep.Reopened {
+			fmt.Fprintf(out, "(reopened database under %s, warm=%v)\n", *dataDir, rep.Warm)
+		}
+		defer func() {
+			if err := sys.Close(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
+	} else {
+		s, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		sys = s
 	}
 
 	cmd, cmdArgs := rest[0], rest[1:]
@@ -190,9 +213,13 @@ func run(args []string, out io.Writer) error {
 }
 
 // ensureGenerated lazily runs the demo extraction so exploitation commands
-// work out of the box.
+// work out of the box. A database reopened from -data already holds its
+// structure and is left alone.
 func ensureGenerated(sys *core.System) {
 	if sys.Stats.Counter("uql.store.rows") > 0 {
+		return
+	}
+	if n, err := sys.ExtractedRows(); err == nil && n > 0 {
 		return
 	}
 	if _, err := sys.Generate(demoProgram, uql.Options{}); err != nil {

@@ -134,3 +134,21 @@ func TestCLIStats(t *testing.T) {
 		t.Fatalf("stats output:\n%s", out)
 	}
 }
+
+func TestCLIDataDirPersistsAcrossInvocations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "unidb-data")
+	// First invocation generates and persists.
+	out := runCLI(t, "-data", dir, "generate")
+	if !strings.Contains(out, "materialized rows") {
+		t.Fatalf("generate output: %s", out)
+	}
+	// Second invocation reopens the database: the structure must come
+	// from disk (reopened banner), not from a fresh demo generation.
+	out = runCLI(t, "-data", dir, "sql", "SELECT COUNT(*) AS n FROM extracted")
+	if !strings.Contains(out, "reopened database under") {
+		t.Fatalf("second invocation did not reopen: %s", out)
+	}
+	if strings.Contains(out, "n\n0\n") {
+		t.Fatalf("no rows survived the reopen: %s", out)
+	}
+}

@@ -100,8 +100,72 @@
 // rather than catalog position, so an incrementally grown reformulator
 // answers identically to one rebuilt from the same catalog.
 //
-// BENCH_PR2.json records the measured PR2 trajectory point, and CI gates
-// every tracked bench against it: `go run ./cmd/benchrunner -compare
-// BENCH_PR2.json -tolerance 0.25` exits nonzero when any tracked bench
-// regresses more than 25%, so the PR1/PR2 wins cannot silently erode.
+// BENCH_PR2.json records the measured PR2 trajectory point.
+//
+// # Crash-safe durability and recovery (PR3)
+//
+// The rdbms is now a reopenable on-disk database with a fault-injection
+// harness proving its crash safety.
+//
+// Storage stack. A Device is the durable byte store (file-backed
+// FileDevice; crash-simulating MemDevice that separates synced from
+// unsynced bytes). DevicePager frames every page on its device as
+// [crc32(payload), pageID, payload]: checksums catch corruption and
+// misdirected writes at read time, an all-zero frame reads as a valid
+// blank page (what an allocated-but-never-synced page becomes after a
+// crash), and page-sized writes are assumed power-fail atomic — the
+// classic sector-atomicity assumption; the checksum exists to detect
+// that assumption breaking, loudly, not to silently repair it. The WAL
+// also runs over a Device, and opening one truncates any torn tail
+// (half-written frame) back to the last whole record so post-crash
+// appends never land after garbage.
+//
+// Lifecycle. rdbms.OpenDir(dir) wires pager + WAL + buffer pool +
+// recovery over dir/data.udb and dir/wal.udb; Close checkpoints and
+// releases both. The buffer pool itself enforces the WAL rule (no dirty
+// page is written back before the log records describing it are
+// durable), and every checkpoint — quiesced by construction — flushes
+// pages, then truncates the WAL entirely (Device.Truncate is durable by
+// itself, so old-generation records can never resurface), then rewrites
+// the catalog; each intermediate crash point is analyzed in
+// checkpointLocked. Abort writes compensation records for its physical
+// restores, so recovery replays aborted transactions like winners (net
+// zero, in global log order) and a commit whose flush failed can be
+// durably superseded by its abort.
+//
+// Recovery by logical materialization. Rather than replaying records
+// one at a time against pages whose on-disk state may already reflect
+// later operations (which creates hybrid page states that never existed,
+// transiently overflows pages, and forces rows off their logged RIDs),
+// recovery computes each touched slot's final content directly from the
+// log — last resolved (committed or aborted) record's outcome per slot;
+// verdict-less in-flight transactions freeze their slots at the state
+// just before their first touch — and then writes each page once,
+// slot-pinned, compacting as needed. Slotted pages compact in place
+// (slot numbers, hence RIDs, never change), which also lets live aborts
+// restore before-images on churn-fragmented pages.
+//
+// Fault harness. FaultInjector + FaultDevice (exposed as NewFaultPager /
+// NewFaultWAL) schedule an error, a dropped (lying) fsync, a torn write,
+// or a process kill at the Nth mutating I/O, counted globally across the
+// pager and WAL. The crash-recovery property suite dry-runs a seeded
+// workload to enumerate its injection points, then re-runs it once per
+// point — 200+ runs asserted — killing it there, discarding a random
+// subset of unsynced writes (MemDevice.Crash), reopening, and checking
+// an in-memory oracle: all acknowledged commits visible byte for byte,
+// no aborted or in-flight data, in-doubt commits all-or-nothing, page
+// checksums clean, state stable across a further close/reopen; every
+// fourth point also crashes recovery itself mid-flight first. core
+// builds on the same machinery: Config.Dir / core.OpenDir root the
+// database and the warm-state snapshots (now guarded by an
+// order-independent (entity, attribute, qualifier) content checksum that
+// refuses same-row-count divergence) under one directory, and
+// System.Close checkpoints both — see examples/quickstart for the full
+// close→reopen walkthrough.
+//
+// BENCH_PR3.json records the measured trajectory point (including the
+// new DiskCommit/DiskReopen durability benches), and CI gates every
+// tracked bench against it: `go run ./cmd/benchrunner -compare
+// BENCH_PR3.json -tolerance 0.25` exits nonzero when any tracked bench
+// regresses more than 25%, so earlier wins cannot silently erode.
 package repro

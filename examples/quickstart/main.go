@@ -1,11 +1,14 @@
 // Quickstart: the minimal end-to-end loop — generate a corpus, run a
-// declarative extraction program, and move from keyword search to a
-// structured answer.
+// declarative extraction program over a crash-safe on-disk database,
+// move from keyword search to a structured answer, then close and
+// reopen the same directory to show the extracted structure (and the
+// warm catalog over it) surviving a real process-style restart.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/synth"
@@ -17,23 +20,35 @@ func main() {
 	corpus, _ := synth.Generate(synth.DefaultConfig(1))
 	fmt.Printf("corpus: %d documents, %d KiB\n", corpus.Len(), corpus.Bytes()/1024)
 
-	// 2. Stand up the end-to-end system.
-	sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+	// 2. A durable root: dir/db holds the checksummed page file and WAL,
+	// dir/warm the catalog/queue snapshots. Everything below survives in
+	// this directory across Close → OpenDir.
+	dir, err := os.MkdirTemp("", "quickstart-*")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer os.RemoveAll(dir)
 
-	// 3. Generation: a declarative IE program materializes structure.
-	plan, err := sys.Generate(`
-		EXTRACT temperature, population FROM docs USING city KIND city INTO facts;
-		STORE facts INTO TABLE extracted;
-	`, uql.Options{})
+	// 3. First life: stand up the system; the setup runs only because the
+	// directory is fresh, and materializes structure via a declarative IE
+	// program.
+	sys, rep, err := core.OpenDir(dir, core.Config{Corpus: corpus, Workers: 4}, func(s *core.System) error {
+		plan, err := s.Generate(`
+			EXTRACT temperature, population FROM docs USING city KIND city INTO facts;
+			STORE facts INTO TABLE extracted;
+		`, uql.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nexecution plan:")
+		fmt.Println(plan.Explain)
+		return nil
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nexecution plan:")
-	fmt.Println(plan.Explain)
-	fmt.Printf("rows materialized: %d\n", sys.Stats.Counter("uql.store.rows"))
+	fmt.Printf("first open: reopened=%v warm=%v, rows materialized: %d\n",
+		rep.Reopened, rep.Warm, sys.Stats.Counter("uql.store.rows"))
 
 	// 4. Exploitation, mode 1: plain keyword search (the IR baseline).
 	fmt.Println("\nkeyword search: 'average temperature Madison Wisconsin'")
@@ -55,12 +70,38 @@ func main() {
 		fmt.Printf("\nanswer: the average temperature in Madison is %.1f degrees F\n", avg)
 	}
 
-	// 6. Exploitation, mode 3: direct SQL for sophisticated users.
-	rs, err := sys.SQL(`SELECT entity, num FROM extracted
+	// 6. Close: checkpoint the database (all pages durable, WAL truncated)
+	// and save a warm snapshot. This is the full shutdown a real
+	// deployment would run.
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclosed: database checkpointed to disk, warm snapshot saved")
+
+	// 7. Second life: reopen the same directory. The extracted table
+	// recovers from the data file — no re-extraction — and the warm
+	// snapshot restores the catalog without a rebuild scan.
+	sys2, rep2, err := core.OpenDir(dir, core.Config{Corpus: corpus, Workers: 4}, func(s *core.System) error {
+		log.Fatal("setup ran on reopen — the database was not recovered")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reopened: reopened=%v warm=%v (extraction skipped, structure recovered from %s)\n",
+		rep2.Reopened, rep2.Warm, dir)
+
+	// 8. Exploitation, mode 3: direct SQL for sophisticated users — served
+	// from the recovered on-disk structure.
+	rs, err := sys2.SQL(`SELECT entity, num FROM extracted
 		WHERE attribute = 'population' AND num > 1000000 ORDER BY num DESC LIMIT 5`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\ncities over one million (via SQL):")
+	fmt.Println("\ncities over one million (via SQL, after reopen):")
 	fmt.Print(rs.String())
+
+	if err := sys2.Close(); err != nil {
+		log.Fatal(err)
+	}
 }

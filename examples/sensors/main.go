@@ -3,13 +3,16 @@
 // logs replace wiki text; the identical end-to-end machinery extracts
 // readings, learns their normal range (flagging a faulty sensor), infers
 // higher-level events ("someone entered the room") via alert
-// subscriptions, and answers structured queries over the result.
+// subscriptions, and answers structured queries over the result. The
+// readings live in a crash-safe on-disk database: the example ends by
+// closing it and reopening the directory, querying the recovered data.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 
 	"repro/internal/alert"
@@ -21,7 +24,12 @@ import (
 
 func main() {
 	corpus := sensorCorpus(11)
-	sys, err := core.New(core.Config{Corpus: corpus})
+	dir, err := os.MkdirTemp("", "sensors-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sys, _, err := core.OpenDir(dir, core.Config{Corpus: corpus}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,6 +90,25 @@ func main() {
 	fmt.Printf("\nsemantic debugger flagged %d suspicious readings: %v\n",
 		len(violations), keys(faulty))
 	fmt.Println("(sensor hall-9 is broken and reports 9.99)")
+
+	// Durability: checkpoint + close, then reopen the same directory. The
+	// readings recover from disk — no re-extraction — and keep answering.
+	if err := sys.Close(); err != nil {
+		log.Fatal(err)
+	}
+	sys2, rep, err := core.OpenDir(dir, core.Config{Corpus: corpus}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs2, err := sys2.SQL(`SELECT COUNT(*) AS readings FROM extracted WHERE attribute = 'reading'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter close + reopen from %s (reopened=%v warm=%v):\n", dir, rep.Reopened, rep.Warm)
+	fmt.Printf("readings recovered from disk: %s\n", rs2.Rows[0][0].String())
+	if err := sys2.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // sensorCorpus builds daily sensor-log "documents": mostly readings in

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"hash/fnv"
 	"sort"
 
 	"repro/internal/rdbms"
@@ -36,6 +37,17 @@ type catalogCache struct {
 	// moved past the epoch it was saved at.
 	epoch int64
 
+	// hash is an order-independent multiset hash over every extracted
+	// row's (entity, attribute, qualifier): per-row FNV-1a digests summed
+	// with wrapping addition, so insertion order is irrelevant but
+	// multiplicity counts. It is the warm-start content validator — two
+	// table states with equal row counts but different content (the
+	// divergence row counts cannot see) hash differently. Maintained by
+	// rebuilds and by materialize's per-row folds; CorrectValue rewrites
+	// a row's value in place without touching its (entity, attribute,
+	// qualifier), so it leaves the hash alone.
+	hash uint64
+
 	// built memoizes the assembled (sorted) catalog between writes; it is
 	// cleared whenever the cache content changes. reform is the
 	// reformulator derived from the catalog: instead of being rebuilt per
@@ -62,7 +74,28 @@ func (c *catalogCache) invalidate() {
 	c.qualSeen = nil
 	c.qualOrder = nil
 	c.reform = nil
+	c.hash = 0
 	c.markDirty()
+}
+
+// rowContentHash digests one row's catalog-relevant identity.
+func rowContentHash(entity, attribute, qualifier string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(entity))
+	h.Write([]byte{0})
+	h.Write([]byte(attribute))
+	h.Write([]byte{0})
+	h.Write([]byte(qualifier))
+	return h.Sum64()
+}
+
+// foldRowHash adds one materialized row into the content hash. No-op
+// while invalid: the next rebuild recomputes the hash from the table.
+func (c *catalogCache) foldRowHash(entity, attribute, qualifier string) {
+	if !c.valid {
+		return
+	}
+	c.hash += rowContentHash(entity, attribute, qualifier)
 }
 
 // reset prepares empty-but-valid state for a rebuild.
@@ -73,6 +106,7 @@ func (c *catalogCache) reset() {
 	c.qualSeen = map[string]map[string]bool{}
 	c.qualOrder = map[string][]string{}
 	c.reform = nil
+	c.hash = 0
 	c.markDirty()
 }
 
@@ -115,8 +149,9 @@ func (c *catalogCache) addRow(entity, attribute, qualifier string) {
 }
 
 // installWarm replaces the cache content with a persisted warm snapshot,
-// adopting its epoch. Qualifier vocabularies keep the persisted order.
-func (c *catalogCache) installWarm(entities, attrs []string, quals map[string][]string, epoch int64) {
+// adopting its epoch and content hash. Qualifier vocabularies keep the
+// persisted order.
+func (c *catalogCache) installWarm(entities, attrs []string, quals map[string][]string, epoch int64, hash uint64) {
 	c.reset()
 	for _, e := range entities {
 		c.entities[e] = true
@@ -137,6 +172,7 @@ func (c *catalogCache) installWarm(entities, attrs []string, quals map[string][]
 		c.qualOrder[a] = order
 	}
 	c.epoch = epoch
+	c.hash = hash
 }
 
 // snapshot assembles the reformulate.Catalog from the cache. The result
@@ -183,6 +219,7 @@ func (c *catalogCache) rebuildFrom(db *rdbms.DB, table string) error {
 	tx := db.Begin()
 	err := tx.Scan(table, func(_ rdbms.RID, t rdbms.Tuple) bool {
 		c.addRow(t[0].S, t[1].S, t[2].S)
+		c.hash += rowContentHash(t[0].S, t[1].S, t[2].S)
 		return true
 	})
 	if err != nil {

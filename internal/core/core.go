@@ -39,6 +39,12 @@ type Config struct {
 	Corpus  *doc.Corpus
 	Workers int       // cluster workers (0 = sequential extraction)
 	Crowd   *hi.Crowd // optional: enables HI statements and feedback
+	// Dir, when set, backs the database with crash-safe on-disk storage
+	// (rdbms.OpenDir under this directory) instead of in-memory pager and
+	// WAL: the extracted structure survives Close and process death, and
+	// reopening the same Dir recovers it. Empty keeps the in-memory
+	// database (tests, benchmarks, throwaway runs).
+	Dir string
 }
 
 // System is the running end-to-end instance.
@@ -64,6 +70,9 @@ type System struct {
 	done      map[string]int
 	total     map[string]int
 	snapshots *vstore.Store // lazily initialized by Snapshots()
+
+	diskBacked bool   // the DB persists on disk and Close must release it
+	warmDir    string // warm-state directory Close saves into (OpenDir)
 }
 
 // task is one unit of incremental best-effort extraction: one attribute
@@ -75,23 +84,34 @@ type task struct {
 	part      int
 }
 
-// New builds a system over a corpus.
+// New builds a system over a corpus. With cfg.Dir set the database opens
+// from (or creates) crash-safe on-disk storage; an existing directory
+// reopens with its extracted table and indexes already in place.
 func New(cfg Config) (*System, error) {
 	if cfg.Corpus == nil {
 		return nil, fmt.Errorf("core: corpus required")
 	}
-	db, err := rdbms.Open(rdbms.NewMemPager(), rdbms.NewMemWAL(), rdbms.Options{BufferPages: 512})
+	var db *rdbms.DB
+	var err error
+	if cfg.Dir != "" {
+		db, err = rdbms.OpenDir(cfg.Dir, rdbms.Options{BufferPages: 512})
+	} else {
+		db, err = rdbms.Open(rdbms.NewMemPager(), rdbms.NewMemWAL(), rdbms.Options{BufferPages: 512})
+	}
 	if err != nil {
 		return nil, err
 	}
-	if err := db.CreateTable(uql.StoreSchema(TableName)); err != nil {
-		return nil, err
+	if t := db.Table(TableName); t == nil {
+		if err := db.CreateTable(uql.StoreSchema(TableName)); err != nil {
+			return nil, err
+		}
 	}
-	if err := db.CreateIndex(TableName, "entity"); err != nil {
-		return nil, err
-	}
-	if err := db.CreateIndex(TableName, "attribute"); err != nil {
-		return nil, err
+	for _, col := range []string{"entity", "attribute"} {
+		if db.Table(TableName).Indexes[col] == nil {
+			if err := db.CreateIndex(TableName, col); err != nil {
+				return nil, err
+			}
+		}
 	}
 	env := uql.NewEnv()
 	env.Sources["docs"] = cfg.Corpus
@@ -116,18 +136,19 @@ func New(cfg Config) (*System, error) {
 		},
 	}
 	s := &System{
-		Corpus:   cfg.Corpus,
-		DB:       db,
-		Env:      env,
-		Index:    search.BuildIndex(cfg.Corpus),
-		Users:    users.NewManager(),
-		Wiki:     wiki.NewStore(),
-		Alerts:   alert.NewCenter(),
-		Debugger: debugger.New(),
-		Schema:   schema.NewEvolver(TableName),
-		Stats:    env.Stats,
-		done:     map[string]int{},
-		total:    map[string]int{},
+		Corpus:     cfg.Corpus,
+		DB:         db,
+		diskBacked: cfg.Dir != "",
+		Env:        env,
+		Index:      search.BuildIndex(cfg.Corpus),
+		Users:      users.NewManager(),
+		Wiki:       wiki.NewStore(),
+		Alerts:     alert.NewCenter(),
+		Debugger:   debugger.New(),
+		Schema:     schema.NewEvolver(TableName),
+		Stats:      env.Stats,
+		done:       map[string]int{},
+		total:      map[string]int{},
 	}
 	return s, nil
 }
@@ -289,10 +310,14 @@ func (s *System) materialize(rows []uql.Row) error {
 	}
 	// Fold the committed rows into the catalog cache (after Commit, so the
 	// cache never sees rows an abort would retract, and without holding
-	// rdbms locks under s.mu).
+	// rdbms locks under s.mu). Each row also folds into the content hash:
+	// materialize is the only path that adds rows while the cache stays
+	// valid, so the hash tracks the table's (entity, attribute,
+	// qualifier) multiset exactly.
 	s.mu.Lock()
 	for _, r := range rows {
 		s.cat.addRow(r.Entity, r.Attribute, r.Qualifier)
+		s.cat.foldRowHash(r.Entity, r.Attribute, r.Qualifier)
 	}
 	s.mu.Unlock()
 	s.Stats.Inc("core.materialized.rows", int64(len(rows)))

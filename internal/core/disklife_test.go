@@ -1,0 +1,190 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+// Tests for the single-root disk lifecycle (OpenDir/Close) and the
+// warm-state content checksum.
+
+func TestOpenDirFullLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: 11, Cities: 12, People: 4, Filler: 10, MentionsPerPerson: 2,
+	})
+	setup := func(s *System) error {
+		if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+			return err
+		}
+		if err := s.PlanIncremental("city", []string{"population"}, 4); err != nil {
+			return err
+		}
+		_, err := s.ExtractPending("city", 2)
+		return err
+	}
+
+	// First life: fresh directory, setup generates the structure.
+	a, repA, err := OpenDir(dir, Config{Corpus: corpus}, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Reopened {
+		t.Fatal("fresh directory reported as reopened")
+	}
+	catA, err := a.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsA, err := a.extractedRowCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsA == 0 {
+		t.Fatal("setup produced no rows")
+	}
+	pendingA := a.PendingTasks()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: the database reopens from disk — setup must NOT run
+	// (a sentinel would double the rows) — and warm state restores the
+	// catalog and queue over the recovered table.
+	b, repB, err := OpenDir(dir, Config{Corpus: corpus}, func(s *System) error {
+		t.Fatal("setup ran on reopen")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repB.Reopened {
+		t.Fatal("existing database not detected")
+	}
+	if !repB.Warm {
+		t.Fatal("warm snapshot refused on reopen of identical state")
+	}
+	rowsB, err := b.extractedRowCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsB != rowsA {
+		t.Fatalf("rows after reopen: %d, want %d", rowsB, rowsA)
+	}
+	if b.PendingTasks() != pendingA {
+		t.Fatalf("pending tasks after reopen: %d, want %d", b.PendingTasks(), pendingA)
+	}
+	catB, err := b.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(catA, catB) {
+		t.Fatalf("catalog after reopen differs:\ngot  %+v\nwant %+v", catB, catA)
+	}
+	// The recovered structure answers queries.
+	rs, err := b.SQL("SELECT COUNT(*) AS n FROM extracted WHERE attribute = 'temperature'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].I == 0 {
+		t.Fatalf("reopened database gave no temperature rows: %v", rs.Rows)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third life: still there after a second full cycle.
+	c, repC, err := OpenDir(dir, Config{Corpus: corpus}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repC.Reopened {
+		t.Fatal("third open did not reopen")
+	}
+	rowsC, _ := c.extractedRowCount()
+	if rowsC != rowsA {
+		t.Fatalf("rows in third life: %d, want %d", rowsC, rowsA)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStateChecksumCatchesSameCountDivergence builds two tables with
+// the same row count but different content: row-count and epoch checks
+// pass, and only the content checksum can refuse the snapshot.
+func TestWarmStateChecksumCatchesSameCountDivergence(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "warm")
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: 11, Cities: 12, People: 4, Filler: 10, MentionsPerPerson: 2,
+	})
+
+	rowsOf := func(qual string, n int) []uql.Row {
+		out := make([]uql.Row, n)
+		for i := range out {
+			out[i] = uql.Row{
+				Entity:    "City-" + string(rune('A'+i%7)),
+				Attribute: "temperature",
+				Qualifier: qual,
+				Value:     "42",
+				Conf:      0.9,
+			}
+		}
+		return out
+	}
+
+	// Process A materializes n rows with qualifier "jan" and saves.
+	a, err := New(Config{Corpus: corpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.materialize(rowsOf("jan", 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Catalog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveWarmState(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process B materializes the SAME NUMBER of rows with a different
+	// qualifier: same row count, same epoch trajectory, different content.
+	b, err := New(Config{Corpus: corpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.materialize(rowsOf("jul", 20)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := b.LoadWarmState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm {
+		t.Fatal("snapshot with matching row count but divergent content was accepted")
+	}
+	if b.Stats.Counter("core.warmstate.stale") == 0 {
+		t.Fatal("stale counter not bumped")
+	}
+
+	// A process with truly identical content still loads warm.
+	c, err := New(Config{Corpus: corpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.materialize(rowsOf("jan", 20)); err != nil {
+		t.Fatal(err)
+	}
+	warm, err = c.LoadWarmState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm {
+		t.Fatal("identical content refused")
+	}
+}

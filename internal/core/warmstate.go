@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/doc"
 	"repro/internal/filestore"
@@ -43,8 +44,14 @@ type warmTask struct {
 
 // warmState is one persisted snapshot record.
 type warmState struct {
-	Epoch      int64               `json:"epoch"`
-	Rows       int                 `json:"rows"`
+	Epoch int64 `json:"epoch"`
+	Rows  int   `json:"rows"`
+	// Checksum is the order-independent content hash over every row's
+	// (entity, attribute, qualifier) at save time. Row count catches
+	// different-size divergence; the checksum catches same-count
+	// divergence — a snapshot from a table with the same number of rows
+	// but different content is refused.
+	Checksum   uint64              `json:"checksum"`
 	Entities   []string            `json:"entities"`
 	Attributes []string            `json:"attributes"`
 	Qualifiers map[string][]string `json:"qualifiers"`
@@ -86,6 +93,7 @@ func (s *System) SaveWarmState(dir string) error {
 	cat := s.cat.snapshot(TableName)
 	st := warmState{
 		Epoch:      s.cat.epoch,
+		Checksum:   s.cat.hash,
 		Entities:   cat.Entities,
 		Attributes: cat.Attributes,
 		Qualifiers: cat.Qualifiers,
@@ -219,7 +227,22 @@ func (s *System) LoadWarmState(dir string) (bool, error) {
 		s.Stats.Inc("core.warmstate.stale", 1)
 		return false, nil
 	}
-	s.cat.installWarm(best.Entities, best.Attributes, best.Qualifiers, best.Epoch)
+	// Content validation: the snapshot's checksum must match the live
+	// table's (entity, attribute, qualifier) multiset hash, so a snapshot
+	// from a same-size-but-different table is refused. A warm in-memory
+	// cache compares in O(1); a cold one (fresh process) first rebuilds
+	// from the table — the same scan its first Catalog() would have paid,
+	// spent here to buy the verification.
+	if !s.cat.valid {
+		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
+			return false, err
+		}
+	}
+	if s.cat.hash != best.Checksum {
+		s.Stats.Inc("core.warmstate.stale", 1)
+		return false, nil
+	}
+	s.cat.installWarm(best.Entities, best.Attributes, best.Qualifiers, best.Epoch, best.Checksum)
 	s.queue = taskQueue{}
 	for _, tk := range queue {
 		s.queue.push(tk)
@@ -253,6 +276,78 @@ func Open(cfg Config, warmDir string, setup func(*System) error) (s *System, war
 	}
 	warm, err = s.LoadWarmState(warmDir)
 	return s, warm, err
+}
+
+// OpenReport describes what OpenDir found on disk.
+type OpenReport struct {
+	// Reopened is true when the on-disk database already held extracted
+	// rows: the database recovered from its files and setup was skipped.
+	Reopened bool
+	// Warm is true when a warm snapshot passed validation, so the catalog
+	// cache and task queue resumed without a cold rebuild.
+	Warm bool
+}
+
+// OpenDir is the single-root disk lifecycle: the crash-safe database
+// lives in dir/db and warm snapshots in dir/warm, so the extracted
+// structure and the caches over it reopen from the same place. On a
+// fresh directory it runs setup to generate the structure; on an
+// existing one the database recovers from disk, setup is skipped, and
+// warm state restores on top of the recovered table. Close the returned
+// System to checkpoint the database and save a fresh warm snapshot.
+func OpenDir(dir string, cfg Config, setup func(*System) error) (*System, OpenReport, error) {
+	cfg.Dir = filepath.Join(dir, "db")
+	s, err := New(cfg)
+	if err != nil {
+		return nil, OpenReport{}, err
+	}
+	// On any later failure, release the database files (and the directory
+	// lock they hold) before reporting the error; best effort, since the
+	// failure may have left active state Close cannot checkpoint.
+	fail := func(rep OpenReport, err error) (*System, OpenReport, error) {
+		s.DB.Close()
+		return nil, rep, err
+	}
+	rows, err := s.extractedRowCount()
+	if err != nil {
+		return fail(OpenReport{}, err)
+	}
+	rep := OpenReport{Reopened: rows > 0}
+	if !rep.Reopened && setup != nil {
+		if err := setup(s); err != nil {
+			return fail(rep, err)
+		}
+	}
+	s.warmDir = filepath.Join(dir, "warm")
+	rep.Warm, err = s.LoadWarmState(s.warmDir)
+	if err != nil {
+		return fail(rep, err)
+	}
+	return s, rep, nil
+}
+
+// Close persists what the next life needs and releases the storage: a
+// warm snapshot is saved (when this System was opened via OpenDir) and a
+// disk-backed database is checkpointed and closed, after which OpenDir
+// on the same root reopens both. In-memory systems close to a no-op.
+func (s *System) Close() error {
+	if s.warmDir != "" {
+		if err := s.SaveWarmState(s.warmDir); err != nil {
+			return err
+		}
+	}
+	if s.diskBacked {
+		return s.DB.Close()
+	}
+	return nil
+}
+
+// ExtractedRows returns the number of rows in the extracted table, read
+// O(1) from the entity index (diagnostics, CLI, and reopen detection).
+func (s *System) ExtractedRows() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.extractedRowCount()
 }
 
 // WarmEpoch returns the catalog cache's current invalidation epoch

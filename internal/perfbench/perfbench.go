@@ -1,10 +1,11 @@
 // Package perfbench holds the query-path micro-benchmarks introduced with
-// the PR1 performance overhaul and extended by the PR2 sorted-query
-// overhaul, shared by two drivers: bench_test.go runs them under `go test
-// -bench` (BenchmarkCatalogCache, BenchmarkSelectStreaming,
-// BenchmarkSortedQueries), and cmd/benchrunner runs them via
-// testing.Benchmark to record a BENCH_PR<n>.json trajectory point and to
-// gate CI against regressions (-compare).
+// the PR1 performance overhaul, extended by the PR2 sorted-query overhaul
+// and the PR3 durability work, shared by two drivers: bench_test.go runs
+// them under `go test -bench` (BenchmarkCatalogCache,
+// BenchmarkSelectStreaming, BenchmarkSortedQueries, BenchmarkDurability),
+// and cmd/benchrunner runs them via testing.Benchmark to record a
+// BENCH_PR<n>.json trajectory point and to gate CI against regressions
+// (-compare).
 //
 // The comparisons that matter:
 //   - AskGuidedCached vs AskGuidedScanPerQuery: the guided-query hot path
@@ -21,6 +22,9 @@
 //   - WarmStartLoad vs CatalogColdRebuild: restoring the persisted warm
 //     catalog + queue snapshot versus the full-table rescan a cold Open
 //     pays.
+//   - DiskCommit / DiskReopen: the PR3 durability costs — a WAL-fsync'd
+//     transaction commit against the crash-safe on-disk database, and a
+//     full close→reopen of a checkpointed 10k-row database.
 package perfbench
 
 import (
@@ -318,6 +322,84 @@ func WarmStartLoad(b *testing.B) {
 	}
 }
 
+// DiskCommit measures one durable transaction commit — WAL append plus
+// fsync — against the crash-safe on-disk database (rdbms.OpenDir), the
+// per-transaction price of surviving power loss.
+func DiskCommit(b *testing.B) {
+	dir, err := os.MkdirTemp("", "perfbench-disk-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(rdbms.TableSchema{Name: "kv", Columns: []rdbms.ColumnDef{
+		{Name: "k", Type: rdbms.TInt}, {Name: "v", Type: rdbms.TString},
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := db.Begin()
+		if _, err := tx.Insert("kv", rdbms.Tuple{rdbms.NewInt(int64(i)), rdbms.NewString("payload")}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DiskReopen measures the close→reopen cycle of a checkpointed on-disk
+// database holding 10k rows: catalog load, heap chain walk, WAL scan
+// (empty after the checkpoint), and index rebuild.
+func DiskReopen(b *testing.B) {
+	dir, err := os.MkdirTemp("", "perfbench-reopen-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(rdbms.TableSchema{Name: "kv", Columns: []rdbms.ColumnDef{
+		{Name: "k", Type: rdbms.TInt}, {Name: "v", Type: rdbms.TString},
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("kv", "k"); err != nil {
+		b.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < selectRows; i++ {
+		if _, err := tx.Insert("kv", rdbms.Tuple{rdbms.NewInt(int64(i)), rdbms.NewString("payload")}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Result is one recorded micro-benchmark.
 type Result struct {
 	Name        string  `json:"name"`
@@ -359,19 +441,30 @@ func RunAll() Report {
 		{"SortedQueries/OrderByIndexOrder10k", OrderByIndexOrder10k},
 		{"WarmStart/CatalogColdRebuild", CatalogColdRebuild},
 		{"WarmStart/WarmStartLoad", WarmStartLoad},
+		{"Durability/DiskCommit", DiskCommit},
+		{"Durability/DiskReopen", DiskReopen},
 	}
-	rep := Report{PR: 2, Suite: "sorted-query"}
-	byName := map[string]Result{}
+	rep := Report{PR: 3, Suite: "durability"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
-		res := Result{
+		rep.Results = append(rep.Results, Result{
 			Name:        bm.name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		rep.Results = append(rep.Results, res)
-		byName[bm.name] = res
+		})
+	}
+	rep.FillSpeedups()
+	return rep
+}
+
+// FillSpeedups recomputes the headline ratios from Results. A missing or
+// zero-time denominator yields 0 rather than a division blow-up, so a
+// partially populated report stays well formed.
+func (rep *Report) FillSpeedups() {
+	byName := map[string]Result{}
+	for _, r := range rep.Results {
+		byName[r.Name] = r
 	}
 	ratio := func(num, den string) float64 {
 		if d := byName[den].NsPerOp; d > 0 {
@@ -383,7 +476,6 @@ func RunAll() Report {
 	rep.OrderBySpeedup = ratio("SortedQueries/OrderByFullSort10k", "SortedQueries/OrderByTopK10k")
 	rep.IndexOrderSpeedup = ratio("SortedQueries/OrderByFullSort10k", "SortedQueries/OrderByIndexOrder10k")
 	rep.WarmStartSpeedup = ratio("WarmStart/CatalogColdRebuild", "WarmStart/WarmStartLoad")
-	return rep
 }
 
 // Regression is one tracked bench that slowed past the gate tolerance.

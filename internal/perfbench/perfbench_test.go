@@ -1,0 +1,109 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		PR:    3,
+		Suite: "durability",
+		Results: []Result{
+			{Name: "CatalogCache/AskGuidedCached", NsPerOp: 50, AllocsPerOp: 400, BytesPerOp: 9000},
+			{Name: "CatalogCache/AskGuidedScanPerQuery", NsPerOp: 700, AllocsPerOp: 7000, BytesPerOp: 90000},
+			{Name: "SortedQueries/OrderByFullSort10k", NsPerOp: 19000, AllocsPerOp: 40000, BytesPerOp: 1 << 20},
+			{Name: "SortedQueries/OrderByTopK10k", NsPerOp: 2000, AllocsPerOp: 20000, BytesPerOp: 1 << 18},
+			{Name: "SortedQueries/OrderByIndexOrder10k", NsPerOp: 20, AllocsPerOp: 86, BytesPerOp: 4096},
+			{Name: "WarmStart/CatalogColdRebuild", NsPerOp: 500, AllocsPerOp: 6000, BytesPerOp: 1 << 16},
+			{Name: "WarmStart/WarmStartLoad", NsPerOp: 80, AllocsPerOp: 186, BytesPerOp: 1 << 12},
+		},
+	}
+}
+
+func TestFillSpeedups(t *testing.T) {
+	rep := sampleReport()
+	rep.FillSpeedups()
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+	if !approx(rep.CatalogSpeedup, 14) {
+		t.Fatalf("catalog speedup %v, want 14", rep.CatalogSpeedup)
+	}
+	if !approx(rep.OrderBySpeedup, 9.5) {
+		t.Fatalf("order-by speedup %v, want 9.5", rep.OrderBySpeedup)
+	}
+	if !approx(rep.IndexOrderSpeedup, 950) {
+		t.Fatalf("index-order speedup %v, want 950", rep.IndexOrderSpeedup)
+	}
+	if !approx(rep.WarmStartSpeedup, 6.25) {
+		t.Fatalf("warm-start speedup %v, want 6.25", rep.WarmStartSpeedup)
+	}
+}
+
+func TestFillSpeedupsMissingBenchesYieldZero(t *testing.T) {
+	rep := Report{Results: []Result{
+		{Name: "CatalogCache/AskGuidedScanPerQuery", NsPerOp: 700},
+		// No AskGuidedCached denominator, nothing else at all.
+	}}
+	rep.FillSpeedups()
+	if rep.CatalogSpeedup != 0 || rep.OrderBySpeedup != 0 || rep.IndexOrderSpeedup != 0 || rep.WarmStartSpeedup != 0 {
+		t.Fatalf("missing benches should give zero ratios: %+v", rep)
+	}
+}
+
+func TestCompareToleranceMath(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 1000},
+		{Name: "Z", NsPerOp: 0}, // degenerate baseline: never gates
+	}}
+	cur := Report{Results: []Result{
+		{Name: "A", NsPerOp: 1250},  // exactly at the 25% gate: allowed
+		{Name: "B", NsPerOp: 1251},  // just past: regression
+		{Name: "C", NsPerOp: 500},   // improvement: fine
+		{Name: "Z", NsPerOp: 99999}, // zero baseline ignored
+		{Name: "NEW", NsPerOp: 1e9}, // not in baseline: ignored (suite may grow)
+	}}
+	regs := Compare(base, cur, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Name != "B" || r.BaselineNs != 1000 || r.CurrentNs != 1251 {
+		t.Fatalf("unexpected regression record: %+v", r)
+	}
+	if math.Abs(r.Ratio-1.251) > 1e-9 {
+		t.Fatalf("ratio %v, want 1.251", r.Ratio)
+	}
+	// Zero tolerance: any slowdown at all regresses.
+	if regs := Compare(base, cur, 0); len(regs) != 2 {
+		t.Fatalf("tolerance 0: got %d regressions, want 2 (A and B): %+v", len(regs), regs)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	rep.FillSpeedups()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", rep, back)
+	}
+	// The JSON field names are the stable contract with committed
+	// BENCH_PR<n>.json baselines — a rename would silently disable the
+	// CI gate for old baselines.
+	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("serialized report missing %s:\n%s", key, buf)
+		}
+	}
+}

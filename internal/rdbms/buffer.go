@@ -8,9 +8,17 @@ import (
 
 // BufferPool caches pages in memory with LRU eviction and pin counting.
 // Dirty pages are written back on eviction or Flush.
+//
+// The pool is where the write-ahead rule is enforced: no dirty page
+// reaches the pager before the WAL records describing its changes are
+// durable. Mutators append their log record while the modified page is
+// pinned (see HeapFile.InsertWith), pinned pages cannot be evicted, and
+// every write-back path below flushes the WAL first — so the before-image
+// of any flushed change is always recoverable.
 type BufferPool struct {
 	mu       sync.Mutex
 	pager    Pager
+	wal      *WAL // flushed before any page write-back; nil disables the rule
 	capacity int
 	frames   map[PageID]*frame
 	lru      *list.List // of PageID; front = most recently used
@@ -27,17 +35,30 @@ type frame struct {
 	elem  *list.Element
 }
 
-// NewBufferPool wraps pager with a cache of capacity pages.
-func NewBufferPool(pager Pager, capacity int) *BufferPool {
+// NewBufferPool wraps pager with a cache of capacity pages. A non-nil wal
+// is flushed before any dirty page is written back (the WAL rule); pass
+// nil for pools that do not participate in logging (tests, benchmarks).
+func NewBufferPool(pager Pager, wal *WAL, capacity int) *BufferPool {
 	if capacity < 2 {
 		capacity = 2
 	}
 	return &BufferPool{
 		pager:    pager,
+		wal:      wal,
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
 		lru:      list.New(),
 	}
+}
+
+// writeBack enforces the WAL rule and writes one frame to the pager.
+func (bp *BufferPool) writeBack(f *frame) error {
+	if bp.wal != nil {
+		if err := bp.wal.Flush(); err != nil {
+			return err
+		}
+	}
+	return bp.pager.WritePage(f.id, f.data)
 }
 
 // Pin fetches a page into the pool and pins it. The returned buffer aliases
@@ -111,7 +132,7 @@ func (bp *BufferPool) evictIfFullLocked() error {
 			return fmt.Errorf("rdbms: buffer pool exhausted (%d frames all pinned)", len(bp.frames))
 		}
 		if victim.dirty {
-			if err := bp.pager.WritePage(victim.id, victim.data); err != nil {
+			if err := bp.writeBack(victim); err != nil {
 				return err
 			}
 		}
@@ -126,7 +147,7 @@ func (bp *BufferPool) Flush() error {
 	bp.mu.Lock()
 	for _, f := range bp.frames {
 		if f.dirty {
-			if err := bp.pager.WritePage(f.id, f.data); err != nil {
+			if err := bp.writeBack(f); err != nil {
 				bp.mu.Unlock()
 				return err
 			}
@@ -136,6 +157,9 @@ func (bp *BufferPool) Flush() error {
 	bp.mu.Unlock()
 	return bp.pager.Sync()
 }
+
+// NumPages reports the underlying pager's allocated page count.
+func (bp *BufferPool) NumPages() PageID { return bp.pager.NumPages() }
 
 // Stats returns hit/miss counters.
 func (bp *BufferPool) Stats() (hits, misses int64) {

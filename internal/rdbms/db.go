@@ -2,6 +2,8 @@ package rdbms
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -10,8 +12,9 @@ import (
 // and transaction lifecycle. The durability protocol is steal/no-force
 // with logical logging: dirty pages may be written back at any time (the
 // buffer pool flushes the WAL first, honouring the WAL rule), commits
-// force only the log, and recovery redoes committed work after the last
-// checkpoint and undoes losers using before-images.
+// force only the log, aborts write compensation records for their
+// physical restores, and recovery materializes each touched slot's final
+// state from the post-checkpoint log (see recover).
 //
 // DDL (CREATE TABLE / CREATE INDEX / DROP TABLE) is not logged: each DDL
 // statement performs a full quiesced checkpoint, so the catalog is always
@@ -25,6 +28,12 @@ type DB struct {
 	lm     *LockManager
 	tables map[string]*Table
 
+	// ownsStorage marks databases built by OpenDir, whose Close also
+	// closes the pager and WAL it opened. dirLock is OpenDir's exclusive
+	// flock on the directory, released by Close.
+	ownsStorage bool
+	dirLock     *os.File
+
 	txnMu   sync.Mutex
 	nextTxn TxnID
 	active  map[TxnID]*Txn
@@ -37,9 +46,54 @@ type Options struct {
 	BufferPages int // buffer pool capacity (default 256)
 }
 
+// DataFileName and WALFileName are the files OpenDir manages inside its
+// directory.
+const (
+	DataFileName = "data.udb"
+	WALFileName  = "wal.udb"
+)
+
+// OpenDir opens (creating if needed) an on-disk database rooted at dir:
+// checksummed pages in dir/data.udb, the write-ahead log in dir/wal.udb.
+// An existing directory is recovered — torn WAL tail truncated, committed
+// work redone, losers undone — and Close checkpoints and releases both
+// files, so OpenDir → work → Close → OpenDir is the full crash-safe
+// lifecycle.
+func OpenDir(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := lockDBDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pager, err := OpenFilePager(filepath.Join(dir, DataFileName))
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
+	wal, err := OpenFileWAL(filepath.Join(dir, WALFileName))
+	if err != nil {
+		pager.Close()
+		lock.Close()
+		return nil, err
+	}
+	db, err := Open(pager, wal, opts)
+	if err != nil {
+		pager.Close()
+		wal.Close()
+		lock.Close()
+		return nil, err
+	}
+	db.ownsStorage = true
+	db.dirLock = lock
+	return db, nil
+}
+
 // Open initializes a database over pager and wal. A fresh pager gets a new
 // catalog; an existing one is recovered (catalog load, WAL redo/undo,
-// index rebuild).
+// index rebuild). The buffer pool enforces the WAL rule for every dirty
+// page it writes back.
 func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 	if opts.BufferPages == 0 {
 		opts.BufferPages = 256
@@ -51,7 +105,7 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 		tables: make(map[string]*Table),
 		active: make(map[TxnID]*Txn),
 	}
-	db.bp = NewBufferPool(pagerWithWALRule{pager, wal}, opts.BufferPages)
+	db.bp = NewBufferPool(pager, wal, opts.BufferPages)
 	if pager.NumPages() == 0 {
 		// Fresh database: allocate and write the catalog page.
 		id, err := pager.Allocate()
@@ -70,20 +124,6 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 		return nil, err
 	}
 	return db, nil
-}
-
-// pagerWithWALRule enforces write-ahead logging: any page write first
-// forces the WAL, so before-images of every flushed change are durable.
-type pagerWithWALRule struct {
-	Pager
-	wal *WAL
-}
-
-func (p pagerWithWALRule) WritePage(id PageID, buf []byte) error {
-	if err := p.wal.Flush(); err != nil {
-		return err
-	}
-	return p.Pager.WritePage(id, buf)
 }
 
 func (db *DB) writeCatalog() error {
@@ -126,6 +166,15 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
+// checkpointLocked makes the checkpoint durable in three ordered steps,
+// each of which leaves a recoverable state if the next is lost to a
+// crash: (1) flush the WAL and every dirty page — the data files now hold
+// all committed work; (2) reset (truncate) the WAL, which is safe because
+// step 1 made the log redundant, and which bounds log growth at every
+// checkpoint; (3) write the catalog with checkpointLSN 0. A crash between
+// 2 and 3 leaves a catalog LSN pointing past the now-empty log, which a
+// recovery scan reads as "no records" — correct, since the pages are
+// complete.
 func (db *DB) checkpointLocked() error {
 	if err := db.wal.Flush(); err != nil {
 		return err
@@ -133,12 +182,10 @@ func (db *DB) checkpointLocked() error {
 	if err := db.bp.Flush(); err != nil {
 		return err
 	}
-	db.checkpointLSN = db.wal.FlushedLSN()
-	db.wal.Append(&LogRecord{Kind: LogCheckpoint})
-	if err := db.wal.Flush(); err != nil {
+	if err := db.wal.Reset(); err != nil {
 		return err
 	}
-	db.checkpointLSN = db.wal.FlushedLSN()
+	db.checkpointLSN = 0
 	return db.writeCatalog()
 }
 
@@ -230,12 +277,26 @@ func (db *DB) LockManager() *LockManager { return db.lm }
 // BufferStats returns buffer pool hit/miss counters.
 func (db *DB) BufferStats() (hits, misses int64) { return db.bp.Stats() }
 
-// Close flushes everything. The database must be quiesced.
+// Close checkpoints (flushing the WAL and all dirty pages, then resetting
+// the log) and releases the storage this DB owns. The database must be
+// quiesced. After Close, OpenDir on the same directory reopens the
+// database from its data file alone.
 func (db *DB) Close() error {
 	if err := db.Checkpoint(); err != nil {
 		return err
 	}
-	return db.pager.Close()
+	if err := db.pager.Close(); err != nil {
+		return err
+	}
+	if db.ownsStorage {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+	}
+	if db.dirLock != nil {
+		return db.dirLock.Close()
+	}
+	return nil
 }
 
 // recover loads the catalog and replays the WAL: redo committed work after
@@ -244,6 +305,16 @@ func (db *DB) recover() error {
 	page := make([]byte, PageSize)
 	if err := db.pager.ReadPage(0, page); err != nil {
 		return err
+	}
+	if allZero(page) {
+		// The catalog page was allocated but its first write never became
+		// durable: the database died before completing initialization, so
+		// nothing can have committed. Reinitialize in place, discarding
+		// whatever the orphaned WAL holds.
+		if err := db.wal.Reset(); err != nil {
+			return err
+		}
+		return db.writeCatalog()
 	}
 	cat, err := decodeCatalog(page)
 	if err != nil {
@@ -266,43 +337,102 @@ func (db *DB) recover() error {
 	if err != nil {
 		return err
 	}
-	// Analysis: find winners (committed) and losers.
-	committed := map[TxnID]bool{}
-	aborted := map[TxnID]bool{}
-	var order []*LogRecord
+	// Analysis: a transaction is resolved if any verdict record survived
+	// (an aborted transaction's log carries both its operations and the
+	// compensation records Abort wrote while rolling back, so its net
+	// outcome is already encoded in its record stream).
+	resolved := map[TxnID]bool{}
 	for _, r := range records {
-		switch r.Kind {
-		case LogCommit:
-			committed[r.Txn] = true
-		case LogAbort:
-			aborted[r.Txn] = true
-		}
-		order = append(order, r)
-	}
-	// Redo committed changes in log order.
-	for _, r := range order {
-		if !committed[r.Txn] {
-			continue
-		}
-		if err := db.redo(r); err != nil {
-			return err
+		if r.Kind == LogCommit || r.Kind == LogAbort {
+			resolved[r.Txn] = true
 		}
 	}
-	// Undo losers (neither committed nor aborted — aborted txns already
-	// rolled back in memory before any page flush could... no: with steal,
-	// an aborted txn's changes were undone by its own Abort path and the
-	// undo is reflected in the heap only if those pages flushed. To stay
-	// correct we also undo aborted txns' records that lack compensation;
-	// since Abort physically restores pages before writing LogAbort, and
-	// those restores happened before any later flush, replaying undo for
-	// aborted txns is idempotent and safe).
-	for i := len(order) - 1; i >= 0; i-- {
-		r := order[i]
-		if committed[r.Txn] {
+	// Logical state materialization. Replaying records one at a time
+	// against pages whose on-disk state may already reflect *later*
+	// operations creates hybrid page states that never existed in any
+	// execution — transiently overflowing pages and forcing rows to move
+	// off their logged RIDs, which corrupts every subsequent RID-targeted
+	// replay decision. Instead, compute each touched slot's final
+	// post-recovery content directly from the log, then write every page
+	// once:
+	//   - a slot's final content is the outcome of the last resolved
+	//     record that touched it (strict 2PL serializes per-slot record
+	//     streams, so "last" is well defined);
+	//   - a verdict-less transaction (in flight at the crash) still held
+	//     its locks, so its records are the slot's trailing suffix; the
+	//     slot reverts to the state just before that suffix — the prior
+	//     resolved outcome, or the loser's own first before-image when
+	//     the whole post-checkpoint stream belongs to it;
+	//   - untouched slots keep their on-disk content (covered by the
+	//     checkpoint).
+	// The materialized page state is one a live execution would have
+	// reached by aborting the losers at crash time, so it always fits
+	// its page (after compaction) and no row ever changes RID.
+	final := map[string]map[RID]*slotOutcome{}
+	for _, r := range records {
+		if r.Kind != LogInsert && r.Kind != LogDelete && r.Kind != LogUpdate {
 			continue
 		}
-		if err := db.undo(r); err != nil {
-			return err
+		if db.tables[r.Table] == nil {
+			continue // table dropped after the record was written
+		}
+		byRID := final[r.Table]
+		if byRID == nil {
+			byRID = map[RID]*slotOutcome{}
+			final[r.Table] = byRID
+		}
+		st := byRID[r.Row]
+		if st == nil {
+			st = &slotOutcome{}
+			byRID[r.Row] = st
+		}
+		if st.frozen {
+			continue // later records on a loser-trailed slot are the same loser's
+		}
+		if resolved[r.Txn] {
+			switch r.Kind {
+			case LogInsert, LogUpdate:
+				st.live, st.tup = true, r.After
+			case LogDelete:
+				st.live, st.tup = false, nil
+			}
+			st.decided = true
+		} else {
+			// First record of the in-flight loser on this slot: freeze the
+			// slot at the state just before it.
+			if !st.decided {
+				switch r.Kind {
+				case LogInsert:
+					st.live = false
+				case LogDelete, LogUpdate:
+					st.live, st.tup = true, r.Before
+				}
+				st.decided = true
+			}
+			st.frozen = true
+		}
+	}
+	for _, name := range sortedKeys(final) {
+		t := db.tables[name]
+		byPage := map[PageID]map[uint16]SlotContent{}
+		for rid, st := range final[name] {
+			if byPage[rid.Page] == nil {
+				byPage[rid.Page] = map[uint16]SlotContent{}
+			}
+			byPage[rid.Page][rid.Slot] = SlotContent{Live: st.live, Tup: st.tup}
+		}
+		pages := make([]PageID, 0, len(byPage))
+		for pid := range byPage {
+			pages = append(pages, pid)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		for _, pid := range pages {
+			if err := db.ensureHeapPage(t, pid); err != nil {
+				return err
+			}
+			if err := t.Heap.MaterializeSlots(pid, byPage[pid]); err != nil {
+				return err
+			}
 		}
 	}
 	// Rebuild indexes from heap contents.
@@ -325,6 +455,24 @@ func (db *DB) recover() error {
 	return db.checkpointLocked()
 }
 
+// slotOutcome accumulates one slot's final post-recovery content while
+// walking the log.
+type slotOutcome struct {
+	live    bool
+	tup     Tuple
+	decided bool // some record has determined this slot's content
+	frozen  bool // an in-flight loser touched the slot; no further updates
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ensureHeapPage makes sure the page referenced by a log record exists in
 // the pager and belongs to the table's heap chain. Pages allocated before
 // a crash may never have reached disk; recovery recreates them.
@@ -336,105 +484,6 @@ func (db *DB) ensureHeapPage(t *Table, id PageID) error {
 	}
 	if !t.Heap.Contains(id) {
 		return t.Heap.Adopt(id)
-	}
-	return nil
-}
-
-// redo re-applies a committed change idempotently.
-func (db *DB) redo(r *LogRecord) error {
-	t := db.tables[r.Table]
-	if t == nil {
-		return nil // table dropped after the record was written
-	}
-	if r.Kind != LogInsert && r.Kind != LogDelete && r.Kind != LogUpdate {
-		return nil
-	}
-	if err := db.ensureHeapPage(t, r.Row.Page); err != nil {
-		return err
-	}
-	switch r.Kind {
-	case LogInsert:
-		cur, live, err := t.Heap.Get(r.Row)
-		if err != nil {
-			return err
-		}
-		if live {
-			if tupleEqual(cur, r.After) {
-				return nil // already applied
-			}
-			_, err := t.Heap.Update(r.Row, r.After)
-			return err
-		}
-		return t.Heap.InsertAt(r.Row, r.After)
-	case LogDelete:
-		_, live, err := t.Heap.Get(r.Row)
-		if err != nil {
-			return err
-		}
-		if !live {
-			return nil
-		}
-		_, err = t.Heap.Delete(r.Row)
-		return err
-	case LogUpdate:
-		_, live, err := t.Heap.Get(r.Row)
-		if err != nil {
-			return err
-		}
-		if !live {
-			return t.Heap.InsertAt(r.Row, r.After)
-		}
-		_, err = t.Heap.Update(r.Row, r.After)
-		return err
-	}
-	return nil
-}
-
-// undo reverses a loser's change idempotently.
-func (db *DB) undo(r *LogRecord) error {
-	t := db.tables[r.Table]
-	if t == nil {
-		return nil
-	}
-	if r.Kind != LogInsert && r.Kind != LogDelete && r.Kind != LogUpdate {
-		return nil
-	}
-	if err := db.ensureHeapPage(t, r.Row.Page); err != nil {
-		return err
-	}
-	switch r.Kind {
-	case LogInsert:
-		cur, live, err := t.Heap.Get(r.Row)
-		if err != nil {
-			return err
-		}
-		if live && tupleEqual(cur, r.After) {
-			_, err := t.Heap.Delete(r.Row)
-			return err
-		}
-		return nil
-	case LogDelete:
-		_, live, err := t.Heap.Get(r.Row)
-		if err != nil {
-			return err
-		}
-		if !live {
-			return t.Heap.InsertAt(r.Row, r.Before)
-		}
-		return nil
-	case LogUpdate:
-		cur, live, err := t.Heap.Get(r.Row)
-		if err != nil {
-			return err
-		}
-		if live && tupleEqual(cur, r.After) {
-			_, err := t.Heap.Update(r.Row, r.Before)
-			return err
-		}
-		if !live {
-			return t.Heap.InsertAt(r.Row, r.Before)
-		}
-		return nil
 	}
 	return nil
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package rdbms
+
+import "os"
+
+// lockDBDir is a no-op on platforms without flock: concurrent opens of
+// the same directory are not detected there.
+func lockDBDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package rdbms
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDBDir takes an exclusive advisory lock on dir's lock file, so two
+// processes (or two OpenDir calls in one process) cannot operate on the
+// same database files concurrently — each would maintain its own page
+// count and WAL offset over shared bytes and corrupt both. The lock is
+// released when the returned file closes (DB.Close) or the process dies,
+// so a crash never leaves a stale lock behind.
+func lockDBDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("rdbms: database %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}

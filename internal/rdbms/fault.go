@@ -1,0 +1,178 @@
+package rdbms
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Fault injection for durability testing. Faults are injected at the
+// Device layer — the byte store beneath the Pager and WAL interfaces —
+// because that is where real failures happen: a torn write leaves real
+// half-written bytes (an invalid page frame checksum, a truncated WAL
+// record) rather than a simulation of one, and a dropped sync leaves
+// real bytes in the volatile cache for a later crash to claim.
+// NewFaultPager and NewFaultWAL assemble the fault-carrying Pager and
+// WAL the engine consumes, so a test injects by construction:
+//
+//	inj := NewFaultInjector()
+//	inj.Schedule(17, FaultCrash) // kill the process at the 17th I/O
+//	pager, _ := NewFaultPager(pageDev, inj)
+//	wal, _ := NewFaultWAL(walDev, inj)
+//	db, _ := Open(pager, wal, Options{})
+//
+// Mutating device operations (write, sync, truncate) share one global
+// op counter across every device wrapped with the same injector, so
+// "the Nth I/O" ranges over the whole database, pager and WAL together
+// — the crash-recovery property suite enumerates every such point.
+
+// ErrInjected is the error returned by operations the injector fails.
+var ErrInjected = errors.New("rdbms: injected I/O fault")
+
+// CrashSignal is the panic value thrown when a scheduled FaultCrash (or
+// the crash following a FaultTornWrite) fires: it simulates the process
+// dying at that exact I/O. Harnesses recover() it, apply
+// MemDevice.Crash to discard unsynced bytes, and reopen.
+type CrashSignal struct {
+	Op int64 // the global I/O index at which the crash fired
+}
+
+// FaultKind enumerates what the injector can do to an I/O operation.
+type FaultKind uint8
+
+const (
+	// FaultNone lets the operation through.
+	FaultNone FaultKind = iota
+	// FaultError fails the operation with ErrInjected, without side
+	// effects; the engine sees a transient I/O error.
+	FaultError
+	// FaultDropSync makes a Sync report success without persisting — a
+	// lying disk cache. Scheduled on a non-sync operation it degrades to
+	// FaultError.
+	FaultDropSync
+	// FaultTornWrite applies only a prefix of the write's bytes and then
+	// crashes (panics with CrashSignal): a write torn by power loss.
+	// Scheduled on a non-write operation it degrades to FaultCrash.
+	FaultTornWrite
+	// FaultCrash panics with CrashSignal before the operation executes.
+	FaultCrash
+)
+
+// FaultInjector schedules faults by global I/O index across every device
+// wrapped with it. It also counts operations, so a fault-free dry run
+// measures how many injection points a workload has.
+type FaultInjector struct {
+	mu    sync.Mutex
+	ops   int64
+	sched map[int64]FaultKind
+}
+
+// NewFaultInjector returns an injector with no faults scheduled.
+func NewFaultInjector() *FaultInjector {
+	return &FaultInjector{sched: map[int64]FaultKind{}}
+}
+
+// Schedule arms fault k at the op-th mutating I/O (0-based).
+func (fi *FaultInjector) Schedule(op int64, k FaultKind) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.sched[op] = k
+}
+
+// Ops returns the number of mutating I/O operations seen so far.
+func (fi *FaultInjector) Ops() int64 {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.ops
+}
+
+// step consumes one op index and returns the fault armed for it.
+func (fi *FaultInjector) step() (int64, FaultKind) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	idx := fi.ops
+	fi.ops++
+	return idx, fi.sched[idx]
+}
+
+// FaultDevice wraps a Device, applying the injector's schedule to every
+// mutating operation. Reads pass through uncounted: they cannot affect
+// durability, and keeping them out of the op space keeps injection-point
+// enumeration tight.
+//
+// tearable marks devices whose on-disk format tolerates torn writes. The
+// WAL does (its record framing detects and truncates a torn tail); page
+// frames do not — like production engines, the pager assumes power-fail
+// atomicity of a page-sized write (real systems buy this with sector
+// atomicity or full-page writes), and its checksums exist to detect the
+// assumption breaking, not to recover from it. A torn write scheduled on
+// a non-tearable device therefore degrades to a plain crash.
+type FaultDevice struct {
+	inner    Device
+	inj      *FaultInjector
+	tearable bool
+}
+
+// NewFaultDevice wraps dev with fault injection.
+func NewFaultDevice(dev Device, inj *FaultInjector) *FaultDevice {
+	return &FaultDevice{inner: dev, inj: inj}
+}
+
+func (fd *FaultDevice) ReadAt(p []byte, off int64) (int, error) { return fd.inner.ReadAt(p, off) }
+func (fd *FaultDevice) Size() (int64, error)                    { return fd.inner.Size() }
+func (fd *FaultDevice) Close() error                            { return fd.inner.Close() }
+
+func (fd *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
+	idx, k := fd.inj.step()
+	switch k {
+	case FaultError, FaultDropSync:
+		return 0, fmt.Errorf("%w (write, op %d)", ErrInjected, idx)
+	case FaultTornWrite:
+		if fd.tearable {
+			fd.inner.WriteAt(p[:len(p)/2], off)
+		}
+		panic(CrashSignal{Op: idx})
+	case FaultCrash:
+		panic(CrashSignal{Op: idx})
+	}
+	return fd.inner.WriteAt(p, off)
+}
+
+func (fd *FaultDevice) Sync() error {
+	idx, k := fd.inj.step()
+	switch k {
+	case FaultError:
+		return fmt.Errorf("%w (sync, op %d)", ErrInjected, idx)
+	case FaultDropSync:
+		return nil // lie: report durability without providing it
+	case FaultTornWrite, FaultCrash:
+		panic(CrashSignal{Op: idx})
+	}
+	return fd.inner.Sync()
+}
+
+func (fd *FaultDevice) Truncate(size int64) error {
+	idx, k := fd.inj.step()
+	switch k {
+	case FaultError, FaultDropSync:
+		return fmt.Errorf("%w (truncate, op %d)", ErrInjected, idx)
+	case FaultTornWrite, FaultCrash:
+		panic(CrashSignal{Op: idx})
+	}
+	return fd.inner.Truncate(size)
+}
+
+// NewFaultPager returns a checksummed Pager over dev whose I/O passes
+// through the injector — the Pager the engine opens when a test wants
+// page-side faults.
+func NewFaultPager(dev Device, inj *FaultInjector) (*DevicePager, error) {
+	return NewDevicePager(NewFaultDevice(dev, inj))
+}
+
+// NewFaultWAL returns a WAL over dev whose I/O passes through the
+// injector — the WAL the engine opens when a test wants log-side faults.
+// The WAL device is tearable: torn writes leave real half-frames for the
+// open-time tail truncation to clean up.
+func NewFaultWAL(dev Device, inj *FaultInjector) (*WAL, error) {
+	return NewWALOn(&FaultDevice{inner: dev, inj: inj, tearable: true})
+}

@@ -2,6 +2,7 @@ package rdbms
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -28,11 +29,18 @@ func CreateHeapFile(bp *BufferPool) (*HeapFile, error) {
 	return &HeapFile{bp: bp, first: id, pages: []PageID{id}}, nil
 }
 
-// OpenHeapFile reconstructs a heap from its first page by walking the chain.
+// OpenHeapFile reconstructs a heap from its first page by walking the
+// chain. The walk tolerates crash artifacts at the tail: a next pointer
+// to a page that never became durable (beyond the allocated range), or a
+// next of 0 — the link field of a page whose own contents were lost
+// reads as zero, and no chain ever links *to* page 0 (links always
+// target later allocations, and under a DB page 0 is the catalog). Both
+// terminate the chain; any rows on such pages are covered by WAL
+// records, and recovery re-adopts the pages it replays onto.
 func OpenHeapFile(bp *BufferPool, first PageID) (*HeapFile, error) {
 	h := &HeapFile{bp: bp, first: first}
 	id := first
-	for id != InvalidPage {
+	for id != InvalidPage && (id != 0 || len(h.pages) == 0) && id < bp.NumPages() {
 		data, err := bp.Pin(id)
 		if err != nil {
 			return nil, err
@@ -159,9 +167,14 @@ func (h *HeapFile) Adopt(id PageID) error {
 }
 
 // InsertAt re-inserts a tuple at a specific RID if that slot is free; used
-// by crash recovery to redo inserts idempotently. If the exact slot cannot
-// be honoured (already occupied by live data) it returns an error.
-func (h *HeapFile) InsertAt(rid RID, t Tuple) error {
+// by abort and crash recovery to restore rows idempotently. If the exact
+// slot cannot be honoured (already occupied by live data) it returns an
+// error.
+func (h *HeapFile) InsertAt(rid RID, t Tuple) error { return h.InsertAtWith(rid, t, nil) }
+
+// InsertAtWith is InsertAt with an onApply hook invoked while the page is
+// pinned (see InsertWith for the write-ahead rationale).
+func (h *HeapFile) InsertAtWith(rid RID, t Tuple, onApply func()) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	rec := EncodeTuple(t)
@@ -175,32 +188,97 @@ func (h *HeapFile) InsertAt(rid RID, t Tuple) error {
 		if _, live := p.read(rid.Slot); live {
 			return fmt.Errorf("rdbms: InsertAt %v: slot occupied", rid)
 		}
-		// Re-materialize into the tombstoned slot.
-		if p.freeSpace() < len(rec) {
+		// Re-materialize into the tombstoned slot, compacting the page if
+		// churn has fragmented away the contiguous space.
+		if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
 			return fmt.Errorf("rdbms: InsertAt %v: no space", rid)
 		}
 		newStart := p.freeStart() - uint16(len(rec))
 		copy(p.data[newStart:], rec)
 		p.setFreeStart(newStart)
 		p.setSlot(rid.Slot, newStart, uint16(len(rec)))
+		if onApply != nil {
+			onApply()
+		}
 		return nil
 	}
 	// Slot index beyond current count: extend the slot array to reach it.
 	for p.numSlots() <= rid.Slot {
-		if p.freeSpace() < slotSize {
+		if p.freeSpace() < slotSize && !p.compactFor(slotSize) {
 			return fmt.Errorf("rdbms: InsertAt %v: no slot space", rid)
 		}
 		s := p.numSlots()
 		p.setSlot(s, 0, tombstoneLen)
 		p.setNumSlots(s + 1)
 	}
-	if p.freeSpace() < len(rec) {
+	if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
 		return fmt.Errorf("rdbms: InsertAt %v: no space", rid)
 	}
 	newStart := p.freeStart() - uint16(len(rec))
 	copy(p.data[newStart:], rec)
 	p.setFreeStart(newStart)
 	p.setSlot(rid.Slot, newStart, uint16(len(rec)))
+	if onApply != nil {
+		onApply()
+	}
+	return nil
+}
+
+// SlotContent is the target state of one slot for MaterializeSlots.
+type SlotContent struct {
+	Live bool
+	Tup  Tuple
+}
+
+// MaterializeSlots forces the given slots of one page to exactly the
+// given contents, leaving every other slot untouched. Crash recovery uses
+// it to write each page's computed post-recovery state in one pass: all
+// targeted slots are tombstoned first so their old bytes are reclaimable,
+// then live contents are placed slot-pinned (rows never move to another
+// RID), compacting as needed.
+func (h *HeapFile) MaterializeSlots(id PageID, slots map[uint16]SlotContent) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, err := h.bp.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(id, true)
+	p := newSlottedPage(data)
+	order := make([]uint16, 0, len(slots))
+	var maxSlot uint16
+	for s := range slots {
+		order = append(order, s)
+		if s > maxSlot {
+			maxSlot = s
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for p.numSlots() <= maxSlot {
+		if p.freeSpace() < slotSize && !p.compactFor(slotSize) {
+			return fmt.Errorf("rdbms: materialize page %d: no slot space", id)
+		}
+		s := p.numSlots()
+		p.setSlot(s, 0, tombstoneLen)
+		p.setNumSlots(s + 1)
+	}
+	for _, s := range order {
+		p.setSlot(s, 0, tombstoneLen)
+	}
+	for _, s := range order {
+		sc := slots[s]
+		if !sc.Live {
+			continue
+		}
+		rec := EncodeTuple(sc.Tup)
+		if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
+			return fmt.Errorf("rdbms: materialize %d:%d: no space for %d bytes", id, s, len(rec))
+		}
+		newStart := p.freeStart() - uint16(len(rec))
+		copy(p.data[newStart:], rec)
+		p.setFreeStart(newStart)
+		p.setSlot(s, newStart, uint16(len(rec)))
+	}
 	return nil
 }
 

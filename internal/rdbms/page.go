@@ -2,8 +2,9 @@ package rdbms
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"os"
+	"hash/crc32"
 	"sync"
 )
 
@@ -85,68 +86,138 @@ func (m *MemPager) NumPages() PageID {
 func (m *MemPager) Sync() error  { return nil }
 func (m *MemPager) Close() error { return nil }
 
-// FilePager stores pages in a single file.
-type FilePager struct {
-	mu sync.Mutex
-	f  *os.File
-	n  PageID
+// On durable devices every page is stored as a frame: an 8-byte header
+// of [crc32(payload) u32][pageID u32] followed by the PageSize payload.
+// The checksum detects corruption (bit rot, torn page writes, software
+// bugs) at read time instead of silently decoding garbage, and the
+// embedded page id catches misdirected writes. An all-zero frame is a
+// valid blank page: it is what an allocated-but-never-synced page reads
+// as after a crash, and recovery rewrites such pages from the log.
+const (
+	pageFrameHeader = 8
+	pageFrameSize   = PageSize + pageFrameHeader
+)
+
+// ErrPageChecksum reports a page whose stored checksum does not match its
+// contents — the database file is corrupt at that page.
+var ErrPageChecksum = errors.New("rdbms: page checksum mismatch")
+
+// DevicePager stores checksummed page frames on a Device. It is the
+// durable Pager: file-backed databases use it over a FileDevice, and the
+// crash-recovery harness uses it over a MemDevice (optionally wrapped in
+// a FaultDevice).
+type DevicePager struct {
+	mu    sync.Mutex
+	dev   Device
+	n     PageID
+	frame []byte // scratch frame buffer, guarded by mu
+}
+
+// NewDevicePager opens a pager over dev. A partial trailing frame (from a
+// crash-torn allocation) is ignored; the page count covers whole frames.
+func NewDevicePager(dev Device) (*DevicePager, error) {
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	return &DevicePager{
+		dev:   dev,
+		n:     PageID(size / pageFrameSize),
+		frame: make([]byte, pageFrameSize),
+	}, nil
 }
 
 // OpenFilePager opens (creating if needed) a page file.
-func OpenFilePager(path string) (*FilePager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func OpenFilePager(path string) (*DevicePager, error) {
+	dev, err := OpenFileDevice(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &FilePager{f: f, n: PageID(st.Size() / PageSize)}, nil
+	return NewDevicePager(dev)
 }
 
-func (p *FilePager) ReadPage(id PageID, buf []byte) error {
+func (p *DevicePager) ReadPage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if id >= p.n {
 		return fmt.Errorf("rdbms: read of unallocated page %d", id)
 	}
-	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
-	return err
+	if _, err := p.dev.ReadAt(p.frame, int64(id)*pageFrameSize); err != nil {
+		return err
+	}
+	payload := p.frame[pageFrameHeader:]
+	if allZero(p.frame) {
+		// Blank page: allocated but never durably written.
+		copy(buf[:PageSize], payload)
+		return nil
+	}
+	wantCRC := binary.LittleEndian.Uint32(p.frame[0:4])
+	wantID := binary.LittleEndian.Uint32(p.frame[4:8])
+	if wantID != uint32(id) {
+		return fmt.Errorf("%w: page %d frame carries id %d", ErrPageChecksum, id, wantID)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return fmt.Errorf("%w: page %d", ErrPageChecksum, id)
+	}
+	copy(buf[:PageSize], payload)
+	return nil
 }
 
-func (p *FilePager) WritePage(id PageID, buf []byte) error {
+func (p *DevicePager) WritePage(id PageID, buf []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if id >= p.n {
 		return fmt.Errorf("rdbms: write of unallocated page %d", id)
 	}
-	_, err := p.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	binary.LittleEndian.PutUint32(p.frame[0:4], crc32.ChecksumIEEE(buf[:PageSize]))
+	binary.LittleEndian.PutUint32(p.frame[4:8], uint32(id))
+	copy(p.frame[pageFrameHeader:], buf[:PageSize])
+	_, err := p.dev.WriteAt(p.frame, int64(id)*pageFrameSize)
 	return err
 }
 
-func (p *FilePager) Allocate() (PageID, error) {
+func (p *DevicePager) Allocate() (PageID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	id := p.n
-	p.n++
-	zero := make([]byte, PageSize)
-	if _, err := p.f.WriteAt(zero, int64(id)*PageSize); err != nil {
-		p.n--
+	zero := make([]byte, pageFrameSize)
+	if _, err := p.dev.WriteAt(zero, int64(id)*pageFrameSize); err != nil {
 		return InvalidPage, err
 	}
+	p.n++
 	return id, nil
 }
 
-func (p *FilePager) NumPages() PageID {
+func (p *DevicePager) NumPages() PageID {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.n
 }
 
-func (p *FilePager) Sync() error  { return p.f.Sync() }
-func (p *FilePager) Close() error { return p.f.Close() }
+func (p *DevicePager) Sync() error  { return p.dev.Sync() }
+func (p *DevicePager) Close() error { return p.dev.Close() }
+
+// VerifyChecksums reads every page, returning the first checksum error.
+// Recovery tooling and the crash harness use it to assert the database
+// file is clean end to end.
+func (p *DevicePager) VerifyChecksums() error {
+	buf := make([]byte, PageSize)
+	for id := PageID(0); id < p.NumPages(); id++ {
+		if err := p.ReadPage(id, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Slotted page layout:
 //   [0:2)  numSlots
@@ -201,48 +272,90 @@ func (p *slottedPage) freeSpace() int {
 	return int(p.freeStart()) - slotEnd
 }
 
+// liveBytes sums the payload bytes of live records.
+func (p *slottedPage) liveBytes() int {
+	total := 0
+	for i := uint16(0); i < p.numSlots(); i++ {
+		if _, l := p.slot(i); l != tombstoneLen {
+			total += int(l)
+		}
+	}
+	return total
+}
+
+// compact rewrites every live payload contiguously at the end of the
+// page, reclaiming the space of deleted and superseded records. Slot
+// indexes — and therefore RIDs — are preserved; only payload offsets
+// move. Crash recovery depends on this: undo must be able to restore a
+// before-image at its original RID even on a page fragmented by churn.
+func (p *slottedPage) compact() {
+	n := p.numSlots()
+	free := uint16(PageSize)
+	scratch := make([]byte, 0, PageSize)
+	type placed struct {
+		slot   uint16
+		length uint16
+		at     int // offset into scratch
+	}
+	var recs []placed
+	for i := uint16(0); i < n; i++ {
+		rec, ok := p.read(i)
+		if !ok {
+			continue
+		}
+		recs = append(recs, placed{slot: i, length: uint16(len(rec)), at: len(scratch)})
+		scratch = append(scratch, rec...)
+	}
+	for _, r := range recs {
+		free -= r.length
+		copy(p.data[free:], scratch[r.at:r.at+int(r.length)])
+		p.setSlot(r.slot, free, r.length)
+	}
+	p.setFreeStart(free)
+}
+
+// compactFor compacts the page if doing so yields at least need usable
+// bytes, reporting whether the space is now available. It never compacts
+// unless success is guaranteed, so callers can safely restore slot state
+// on a false return.
+func (p *slottedPage) compactFor(need int) bool {
+	reclaimable := PageSize - pageHeaderSize - int(p.numSlots())*slotSize - p.liveBytes()
+	if reclaimable < need {
+		return false
+	}
+	p.compact()
+	return true
+}
+
 // insert places rec in the page and returns its slot, or false if it does
-// not fit.
+// not fit even after compaction.
 func (p *slottedPage) insert(rec []byte) (uint16, bool) {
 	if len(rec) > tombstoneLen-1 {
 		return 0, false
 	}
-	// Reuse a tombstone slot if the payload fits in freeStart space anyway
-	// (payload space is not compacted; we just take new space).
-	need := len(rec) + slotSize
-	if p.freeSpace() < need {
-		// Try reusing a tombstoned slot: then we only need payload space.
-		if p.freeSpace() < len(rec) {
-			return 0, false
-		}
-		for i := uint16(0); i < p.numSlots(); i++ {
-			if _, l := p.slot(i); l == tombstoneLen {
-				newStart := p.freeStart() - uint16(len(rec))
-				copy(p.data[newStart:], rec)
-				p.setFreeStart(newStart)
-				p.setSlot(i, newStart, uint16(len(rec)))
-				return i, true
-			}
-		}
-		return 0, false
-	}
-	// Prefer a tombstone slot even when space is plentiful, to bound slot
-	// array growth under churn.
+	// Prefer a tombstone slot, to bound slot array growth under churn.
+	slot := p.numSlots()
+	newSlot := true
 	for i := uint16(0); i < p.numSlots(); i++ {
 		if _, l := p.slot(i); l == tombstoneLen {
-			newStart := p.freeStart() - uint16(len(rec))
-			copy(p.data[newStart:], rec)
-			p.setFreeStart(newStart)
-			p.setSlot(i, newStart, uint16(len(rec)))
-			return i, true
+			slot, newSlot = i, false
+			break
 		}
 	}
-	slot := p.numSlots()
+	need := len(rec)
+	if newSlot {
+		need += slotSize
+	}
+	if p.freeSpace() < need && !p.compactFor(need) {
+		return 0, false
+	}
 	newStart := p.freeStart() - uint16(len(rec))
 	copy(p.data[newStart:], rec)
 	p.setFreeStart(newStart)
 	p.setSlot(slot, newStart, uint16(len(rec)))
-	p.setNumSlots(slot + 1)
+	if newSlot {
+		p.setNumSlots(slot + 1)
+	}
 	return slot, true
 }
 
@@ -288,7 +401,14 @@ func (p *slottedPage) update(i uint16, rec []byte) bool {
 		return true
 	}
 	if p.freeSpace() < len(rec) {
-		return false
+		// The old copy's bytes count as reclaimable once the slot is
+		// tombstoned; compactFor only compacts when it will succeed, so
+		// the slot can be restored intact on failure.
+		p.setSlot(i, 0, tombstoneLen)
+		if !p.compactFor(len(rec)) {
+			p.setSlot(i, off, l)
+			return false
+		}
 	}
 	newStart := p.freeStart() - uint16(len(rec))
 	copy(p.data[newStart:], rec)

@@ -154,7 +154,7 @@ func TestFilePagerRoundTrip(t *testing.T) {
 
 func TestBufferPoolEviction(t *testing.T) {
 	m := NewMemPager()
-	bp := NewBufferPool(m, 4)
+	bp := NewBufferPool(m, nil, 4)
 	var ids []PageID
 	for i := 0; i < 10; i++ {
 		id, data, err := bp.NewPage()
@@ -185,7 +185,7 @@ func TestBufferPoolEviction(t *testing.T) {
 
 func TestBufferPoolAllPinned(t *testing.T) {
 	m := NewMemPager()
-	bp := NewBufferPool(m, 2)
+	bp := NewBufferPool(m, nil, 2)
 	id1, _, _ := bp.NewPage()
 	id2, _, _ := bp.NewPage()
 	if _, _, err := bp.NewPage(); err == nil {
@@ -200,7 +200,7 @@ func TestBufferPoolAllPinned(t *testing.T) {
 
 func TestBufferPoolFlush(t *testing.T) {
 	m := NewMemPager()
-	bp := NewBufferPool(m, 8)
+	bp := NewBufferPool(m, nil, 8)
 	id, data, _ := bp.NewPage()
 	copy(data, "dirty data")
 	bp.Unpin(id, true)
@@ -218,7 +218,7 @@ func TestBufferPoolFlush(t *testing.T) {
 
 func newTestHeap(t *testing.T) *HeapFile {
 	t.Helper()
-	bp := NewBufferPool(NewMemPager(), 16)
+	bp := NewBufferPool(NewMemPager(), nil, 16)
 	h, err := CreateHeapFile(bp)
 	if err != nil {
 		t.Fatal(err)
@@ -325,7 +325,7 @@ func TestHeapUpdateInPlaceAndMove(t *testing.T) {
 }
 
 func TestHeapOpenWalkChain(t *testing.T) {
-	bp := NewBufferPool(NewMemPager(), 32)
+	bp := NewBufferPool(NewMemPager(), nil, 32)
 	h, err := CreateHeapFile(bp)
 	if err != nil {
 		t.Fatal(err)
@@ -375,7 +375,7 @@ func TestHeapInsertAtForRecovery(t *testing.T) {
 }
 
 func TestHeapAdopt(t *testing.T) {
-	bp := NewBufferPool(NewMemPager(), 16)
+	bp := NewBufferPool(NewMemPager(), nil, 16)
 	h, _ := CreateHeapFile(bp)
 	// Allocate an orphan page directly.
 	id, _, err := bp.NewPage()

@@ -16,7 +16,13 @@ type Txn struct {
 	id   TxnID
 	db   *DB
 	done bool
-	undo []undoRec
+	// commitLogged is set once a COMMIT record has been appended. If that
+	// commit's flush fails and the caller aborts instead, the abort must
+	// be flushed too: otherwise a crash could durably keep the commit
+	// record but lose the abort, resurrecting a transaction the caller
+	// was told did not commit.
+	commitLogged bool
+	undo         []undoRec
 }
 
 type undoRec struct {
@@ -71,6 +77,11 @@ func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
+	// Record the undo entry before anything below can fail: a logged,
+	// applied operation with no undo entry would go uncompensated by
+	// Abort, and recovery would replay it as this transaction's final
+	// verdict on the slot.
+	tx.undo = append(tx.undo, undoRec{kind: LogInsert, table: table, rid: rid, after: tup})
 	// Lock the new row exclusively (no other txn can see it anyway until
 	// commit, but readers scanning the heap must block on it).
 	if err := tx.db.lm.Acquire(tx.id, RowLock(table, rid), LockExclusive); err != nil {
@@ -80,7 +91,6 @@ func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
 		ci := t.Schema.ColIndex(col)
 		idx.Insert(tup[ci], rid)
 	}
-	tx.undo = append(tx.undo, undoRec{kind: LogInsert, table: table, rid: rid, after: tup})
 	return rid, nil
 }
 
@@ -192,11 +202,13 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
+	// Undo entry first, for the same reason as in Insert: the logged
+	// insert must be compensatable even if the lock acquire fails.
+	tx.undo = append(tx.undo, undoRec{kind: LogInsert, table: table, rid: newRID, after: tup})
 	if err := tx.db.lm.Acquire(tx.id, RowLock(table, newRID), LockExclusive); err != nil {
 		return RID{}, err
 	}
 	tx.fixIndexes(t, rid, newRID, before, tup)
-	tx.undo = append(tx.undo, undoRec{kind: LogInsert, table: table, rid: newRID, after: tup})
 	return newRID, nil
 }
 
@@ -270,7 +282,11 @@ func (tx *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	tx.db.wal.Append(&LogRecord{Kind: LogCommit, Txn: tx.id})
+	tx.commitLogged = true
 	if err := tx.db.wal.Flush(); err != nil {
+		// The commit record may or may not be durable; the transaction is
+		// in doubt until the caller aborts (which forces the abort record
+		// out) or a crash lets recovery decide from what survived.
 		return err
 	}
 	tx.finish()
@@ -278,7 +294,12 @@ func (tx *Txn) Commit() error {
 }
 
 // Abort rolls back all changes using in-memory before-images, then logs
-// the abort and releases locks.
+// the abort and releases locks. Every physical restore is logged as a
+// compensation record attributed to this transaction: recovery replays
+// aborted transactions like winners (the operations and their
+// compensations net to nothing, in global log order), which is what
+// keeps an aborted transaction's undo from firing twice when a later
+// committed transaction reuses the same RID.
 func (tx *Txn) Abort() error {
 	if tx.done {
 		return ErrTxnDone
@@ -291,7 +312,9 @@ func (tx *Txn) Abort() error {
 		}
 		switch u.kind {
 		case LogInsert:
-			if _, err := t.Heap.Delete(u.rid); err != nil {
+			if _, err := t.Heap.DeleteWith(u.rid, func() {
+				tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: u.table, Row: u.rid, Before: u.after})
+			}); err != nil {
 				return fmt.Errorf("rdbms: abort undo insert: %w", err)
 			}
 			for col, idx := range t.Indexes {
@@ -299,7 +322,9 @@ func (tx *Txn) Abort() error {
 				idx.Delete(u.after[ci], u.rid)
 			}
 		case LogDelete:
-			if err := t.Heap.InsertAt(u.rid, u.before); err != nil {
+			if err := t.Heap.InsertAtWith(u.rid, u.before, func() {
+				tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: u.rid, After: u.before})
+			}); err != nil {
 				return fmt.Errorf("rdbms: abort undo delete: %w", err)
 			}
 			for col, idx := range t.Indexes {
@@ -307,17 +332,45 @@ func (tx *Txn) Abort() error {
 				idx.Insert(u.before[ci], u.rid)
 			}
 		case LogUpdate:
-			if _, err := t.Heap.Update(u.rid, u.before); err != nil {
+			restoredRID := u.rid
+			_, ok, err := t.Heap.TryUpdateInPlace(u.rid, u.before, func(r RID) {
+				tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: u.table, Row: r, Before: u.after, After: u.before})
+			})
+			if err != nil {
 				return fmt.Errorf("rdbms: abort undo update: %w", err)
+			}
+			if !ok {
+				// The before-image no longer fits in place: compensate as
+				// a delete + insert, like a moving update.
+				if _, err := t.Heap.DeleteWith(u.rid, func() {
+					tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: u.table, Row: u.rid, Before: u.after})
+				}); err != nil {
+					return fmt.Errorf("rdbms: abort undo update: %w", err)
+				}
+				restoredRID, err = t.Heap.InsertWith(u.before, func(r RID) {
+					tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: r, After: u.before})
+				})
+				if err != nil {
+					return fmt.Errorf("rdbms: abort undo update: %w", err)
+				}
 			}
 			for col, idx := range t.Indexes {
 				ci := t.Schema.ColIndex(col)
 				idx.Delete(u.after[ci], u.rid)
-				idx.Insert(u.before[ci], u.rid)
+				idx.Insert(u.before[ci], restoredRID)
 			}
 		}
 	}
 	tx.db.wal.Append(&LogRecord{Kind: LogAbort, Txn: tx.id})
+	if tx.commitLogged {
+		// Aborting a failed commit: the abort verdict must reach stable
+		// storage before it is acknowledged, so the earlier commit record
+		// can never outlive it in the log (recovery takes the last
+		// verdict).
+		if err := tx.db.wal.Flush(); err != nil {
+			return err
+		}
+	}
 	tx.finish()
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sync"
 )
 
@@ -160,35 +159,93 @@ func readBytes(buf []byte) ([]byte, int, error) {
 	return buf[4 : 4+n], 4 + n, nil
 }
 
-// WAL is an append-only write-ahead log. Append buffers the record; Flush
-// forces buffered records to stable storage. Commit durability is achieved
-// by flushing before acknowledging.
+// WAL is an append-only write-ahead log over a Device. Append buffers the
+// record; Flush forces buffered records to stable storage (device write +
+// sync). Commit durability is achieved by flushing before acknowledging.
+//
+// Opening a WAL scans the durable log for a torn tail — a frame whose
+// length prefix overruns the device or whose checksum fails, left by a
+// crash mid-flush — and truncates the device back to the last whole
+// record, so post-crash appends never land after garbage bytes that a
+// recovery scan would refuse to read past.
 type WAL struct {
 	mu      sync.Mutex
 	buf     []byte // unflushed tail
 	flushed LSN    // bytes durably stored
 	next    LSN    // next LSN to assign (= flushed + len(buf))
-	file    *os.File
-	mem     []byte // durable bytes when file == nil (simulated stable store)
+	dev     Device
 }
 
-// NewMemWAL returns a WAL backed by an in-memory "stable store"; Flush
-// copies the buffer into it. Crash simulation keeps only flushed bytes.
-func NewMemWAL() *WAL { return &WAL{} }
+// NewMemWAL returns a WAL over an in-memory device; Flush makes records
+// durable against the simulated crash model (MemDevice.Crash keeps only
+// synced bytes).
+func NewMemWAL() *WAL {
+	w, err := NewWALOn(NewMemDevice())
+	if err != nil {
+		// A fresh MemDevice cannot fail to open.
+		panic(err)
+	}
+	return w
+}
 
 // OpenFileWAL opens or creates a file-backed WAL.
 func OpenFileWAL(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	dev, err := OpenFileDevice(path)
 	if err != nil {
 		return nil, err
 	}
-	st, err := f.Stat()
+	w, err := NewWALOn(dev)
 	if err != nil {
-		f.Close()
+		dev.Close()
 		return nil, err
 	}
-	return &WAL{file: f, flushed: LSN(st.Size()), next: LSN(st.Size())}, nil
+	return w, nil
 }
+
+// NewWALOn opens a WAL over dev, truncating any torn tail left by a crash.
+func NewWALOn(dev Device) (*WAL, error) {
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := dev.ReadAt(data, 0); err != nil {
+			return nil, err
+		}
+	}
+	end := int64(validLogEnd(data))
+	if end < size {
+		if err := dev.Truncate(end); err != nil {
+			return nil, err
+		}
+	}
+	return &WAL{dev: dev, flushed: LSN(end), next: LSN(end)}, nil
+}
+
+// walkLogFrames iterates the whole, checksum-clean frames in data
+// starting at off, calling fn (when non-nil; a false return stops early)
+// with each frame's offset and body, and returns the offset where the
+// last valid frame ends. It is the single definition of the torn-tail
+// boundary: open-time truncation and Records both use it, so the bytes
+// truncation keeps are exactly the bytes a recovery scan will read.
+func walkLogFrames(data []byte, off int, fn func(off int, body []byte) bool) int {
+	for off+8 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if off+8+n > len(data) || crc32.ChecksumIEEE(data[off+8:off+8+n]) != want {
+			break
+		}
+		if fn != nil && !fn(off, data[off+8:off+8+n]) {
+			return off
+		}
+		off += 8 + n
+	}
+	return off
+}
+
+// validLogEnd returns the torn-tail truncation boundary.
+func validLogEnd(data []byte) int { return walkLogFrames(data, 0, nil) }
 
 // Append adds a record, assigning and returning its LSN.
 func (w *WAL) Append(r *LogRecord) LSN {
@@ -209,17 +266,30 @@ func (w *WAL) Flush() error {
 	if len(w.buf) == 0 {
 		return nil
 	}
-	if w.file != nil {
-		if _, err := w.file.WriteAt(w.buf, int64(w.flushed)); err != nil {
-			return err
-		}
-		if err := w.file.Sync(); err != nil {
-			return err
-		}
-	} else {
-		w.mem = append(w.mem, w.buf...)
+	if _, err := w.dev.WriteAt(w.buf, int64(w.flushed)); err != nil {
+		return err
+	}
+	if err := w.dev.Sync(); err != nil {
+		return err
 	}
 	w.flushed += LSN(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Reset discards the entire log: a checkpoint has made every logged
+// change durable in the data pages, so no record is needed for recovery.
+// The truncation is durable before Reset returns (Device.Truncate syncs),
+// which guarantees records from the previous log generation cannot
+// reappear after a crash and be replayed into the new one.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.dev.Truncate(0); err != nil {
+		return err
+	}
+	w.flushed = 0
+	w.next = 0
 	w.buf = w.buf[:0]
 	return nil
 }
@@ -244,51 +314,32 @@ func (w *WAL) DropUnflushed() {
 // checksums or truncated frames terminate the scan (torn tail).
 func (w *WAL) Records(from LSN) ([]*LogRecord, error) {
 	w.mu.Lock()
-	var data []byte
-	if w.file != nil {
-		st, err := w.file.Stat()
-		if err != nil {
+	data := make([]byte, w.flushed)
+	if w.flushed > 0 {
+		if _, err := w.dev.ReadAt(data, 0); err != nil {
 			w.mu.Unlock()
 			return nil, err
 		}
-		data = make([]byte, st.Size())
-		if _, err := w.file.ReadAt(data, 0); err != nil {
-			w.mu.Unlock()
-			return nil, err
-		}
-		data = data[:w.flushed]
-	} else {
-		data = append([]byte(nil), w.mem...)
 	}
 	w.mu.Unlock()
 
 	var out []*LogRecord
-	off := int(from)
-	for off+8 <= len(data) {
-		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if off+8+n > len(data) {
-			break // torn tail
-		}
-		body := data[off+8 : off+8+n]
-		if crc32.ChecksumIEEE(body) != want {
-			break
-		}
+	var decodeErr error
+	walkLogFrames(data, int(from), func(off int, body []byte) bool {
 		r, err := decodeLogRecord(body)
 		if err != nil {
-			return nil, err
+			decodeErr = err
+			return false
 		}
 		r.LSN = LSN(off)
 		out = append(out, r)
-		off += 8 + n
+		return true
+	})
+	if decodeErr != nil {
+		return nil, decodeErr
 	}
 	return out, nil
 }
 
-// Close releases the underlying file, if any.
-func (w *WAL) Close() error {
-	if w.file != nil {
-		return w.file.Close()
-	}
-	return nil
-}
+// Close releases the underlying device.
+func (w *WAL) Close() error { return w.dev.Close() }
