@@ -124,7 +124,9 @@ func BenchmarkWarmStart(b *testing.B) {
 // database.
 func BenchmarkDurability(b *testing.B) {
 	b.Run("DiskCommit", perfbench.DiskCommit)
+	b.Run("DiskCommitParallel", perfbench.DiskCommitParallel)
 	b.Run("DiskReopen", perfbench.DiskReopen)
+	b.Run("DiskReopenIndexed", perfbench.DiskReopenIndexed)
 }
 
 // BenchmarkE2IncrementalVsOneShot measures time-to-first-answer.

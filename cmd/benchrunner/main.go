@@ -54,6 +54,8 @@ func runPerf(outPath, comparePath string, tolerance float64) error {
 	fmt.Printf("order-by speedup (full sort / top-k):        %.1fx\n", rep.OrderBySpeedup)
 	fmt.Printf("index-order speedup (full sort / idx order): %.1fx\n", rep.IndexOrderSpeedup)
 	fmt.Printf("warm-start speedup (cold rebuild / load):    %.1fx\n", rep.WarmStartSpeedup)
+	fmt.Printf("group-commit speedup (solo / 8 committers):  %.1fx\n", rep.GroupCommitSpeedup)
+	fmt.Printf("indexed-reopen speedup (rebuild / idx load): %.1fx\n", rep.IndexedReopenSpeedup)
 	if outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
 	"sort"
 
 	"repro/internal/rdbms"
@@ -78,15 +77,14 @@ func (c *catalogCache) invalidate() {
 	c.markDirty()
 }
 
-// rowContentHash digests one row's catalog-relevant identity.
+// rowContentHash digests one row's catalog-relevant identity. It is
+// rdbms.ContentHashValues over the same three columns the database's
+// incremental table hash covers (see System setup), so the cache-side
+// hash and the engine-maintained one are directly comparable: warm-start
+// validation can use whichever is cheapest.
 func rowContentHash(entity, attribute, qualifier string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(entity))
-	h.Write([]byte{0})
-	h.Write([]byte(attribute))
-	h.Write([]byte{0})
-	h.Write([]byte(qualifier))
-	return h.Sum64()
+	return rdbms.ContentHashValues(
+		rdbms.NewString(entity), rdbms.NewString(attribute), rdbms.NewString(qualifier))
 }
 
 // foldRowHash adds one materialized row into the content hash. No-op

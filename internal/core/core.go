@@ -113,6 +113,14 @@ func New(cfg Config) (*System, error) {
 			}
 		}
 	}
+	// The engine maintains the (entity, attribute, qualifier) multiset
+	// hash incrementally and persists it with every checkpoint, so a
+	// fresh process verifies warm-start snapshots in O(1) instead of
+	// rescanning the table (a no-op on reopen: the spec is already in the
+	// on-disk catalog and the recovered digest is kept).
+	if err := db.EnableContentHash(TableName, []string{"entity", "attribute", "qualifier"}); err != nil {
+		return nil, err
+	}
 	env := uql.NewEnv()
 	env.Sources["docs"] = cfg.Corpus
 	env.DB = db

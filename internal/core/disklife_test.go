@@ -114,6 +114,60 @@ func TestOpenDirFullLifecycle(t *testing.T) {
 	}
 }
 
+// TestWarmLoadVerifiesInO1OnReopen: a fresh process reopening a disk
+// root must validate the warm snapshot against the engine-maintained
+// content hash — O(1) — instead of rebuilding the catalog with a table
+// scan. The o1verify counter proves the fast path ran, and the engine
+// digest must equal what a cache rebuild would compute (the hashes are
+// defined over the same columns by the same function).
+func TestWarmLoadVerifiesInO1OnReopen(t *testing.T) {
+	dir := t.TempDir()
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: 11, Cities: 12, People: 4, Filler: 10, MentionsPerPerson: 2,
+	})
+	setup := func(s *System) error {
+		_, err := s.Generate(warmGenProgram, uql.Options{})
+		return err
+	}
+	a, _, err := OpenDir(dir, Config{Corpus: corpus}, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Catalog(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, rep, err := OpenDir(dir, Config{Corpus: corpus}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reopened || !rep.Warm {
+		t.Fatalf("expected warm reopen, got %+v", rep)
+	}
+	if b.Stats.Counter("core.warmstate.o1verify") == 0 {
+		t.Fatal("warm load did not take the O(1) content-hash verification path")
+	}
+	// Cross-check: the engine's persisted digest equals a from-scratch
+	// cache rebuild's digest.
+	engineHash, ok := b.DB.ContentHash(TableName)
+	if !ok {
+		t.Fatal("content hash not enabled on the extracted table")
+	}
+	var fresh catalogCache
+	if err := fresh.rebuildFrom(b.DB, TableName); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.hash != engineHash {
+		t.Fatalf("engine digest %x != cache rebuild digest %x", engineHash, fresh.hash)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestWarmStateChecksumCatchesSameCountDivergence builds two tables with
 // the same row count but different content: row-count and epoch checks
 // pass, and only the content checksum can refuse the snapshot.

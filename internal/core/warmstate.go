@@ -91,6 +91,13 @@ func (s *System) SaveWarmState(dir string) error {
 		}
 	}
 	cat := s.cat.snapshot(TableName)
+	// The checksum is the cache's own digest, so it always describes the
+	// Entities/Attributes being persisted. The load side compares it
+	// against the engine-maintained table digest — the two are defined
+	// over the same columns by the same function, and a freshly rebuilt
+	// cache's hash equals the table's, so a valid snapshot verifies in
+	// O(1) while any divergence (cache and table drifting apart between
+	// snapshot and save) is refused rather than papered over.
 	st := warmState{
 		Epoch:      s.cat.epoch,
 		Checksum:   s.cat.hash,
@@ -229,18 +236,27 @@ func (s *System) LoadWarmState(dir string) (bool, error) {
 	}
 	// Content validation: the snapshot's checksum must match the live
 	// table's (entity, attribute, qualifier) multiset hash, so a snapshot
-	// from a same-size-but-different table is refused. A warm in-memory
-	// cache compares in O(1); a cold one (fresh process) first rebuilds
-	// from the table — the same scan its first Catalog() would have paid,
-	// spent here to buy the verification.
-	if !s.cat.valid {
-		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
-			return false, err
+	// from a same-size-but-different table is refused. The engine
+	// maintains that digest incrementally as table metadata (persisted
+	// through checkpoints, adjusted by crash recovery), so even a fresh
+	// process verifies in O(1) — no rebuild scan. The scan fallback below
+	// only runs when content hashing is not enabled on the table.
+	if h, ok := s.DB.ContentHash(TableName); ok {
+		if h != best.Checksum {
+			s.Stats.Inc("core.warmstate.stale", 1)
+			return false, nil
 		}
-	}
-	if s.cat.hash != best.Checksum {
-		s.Stats.Inc("core.warmstate.stale", 1)
-		return false, nil
+		s.Stats.Inc("core.warmstate.o1verify", 1)
+	} else {
+		if !s.cat.valid {
+			if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
+				return false, err
+			}
+		}
+		if s.cat.hash != best.Checksum {
+			s.Stats.Inc("core.warmstate.stale", 1)
+			return false, nil
+		}
 	}
 	s.cat.installWarm(best.Entities, best.Attributes, best.Qualifiers, best.Epoch, best.Checksum)
 	s.queue = taskQueue{}

@@ -22,15 +22,24 @@
 //   - WarmStartLoad vs CatalogColdRebuild: restoring the persisted warm
 //     catalog + queue snapshot versus the full-table rescan a cold Open
 //     pays.
-//   - DiskCommit / DiskReopen: the PR3 durability costs — a WAL-fsync'd
-//     transaction commit against the crash-safe on-disk database, and a
-//     full close→reopen of a checkpointed 10k-row database.
+//   - DiskCommit vs DiskCommitParallel: the per-transaction fsync price
+//     of durable commit, alone versus with 8 concurrent committers
+//     sharing group-commit flush batches (PR4's amortization bar: the
+//     concurrent per-txn cost must be ≤ 1/4 of the single-committer
+//     cost).
+//   - DiskReopen vs DiskReopenIndexed: close→reopen of a checkpointed
+//     10k-row database with the index rebuilt from a full heap scan
+//     (RebuildIndexes, the pre-PR4 cost kept measurable as the in-run
+//     baseline) versus bulk-loaded from its persistent checkpoint chain
+//     (the PR4 happy path, asserted via OpenStats).
 package perfbench
 
 import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -354,15 +363,74 @@ func DiskCommit(b *testing.B) {
 	}
 }
 
-// DiskReopen measures the close→reopen cycle of a checkpointed on-disk
-// database holding 10k rows: catalog load, heap chain walk, WAL scan
-// (empty after the checkpoint), and index rebuild.
-func DiskReopen(b *testing.B) {
-	dir, err := os.MkdirTemp("", "perfbench-reopen-*")
+// DiskCommitParallel measures the amortized per-transaction commit cost
+// with 8 concurrent committers: the WAL's group-commit sequencer batches
+// their commit records into shared flush batches, so the fleet pays a
+// few fsyncs per batch instead of one each. Compare against DiskCommit
+// for the amortization factor.
+func DiskCommitParallel(b *testing.B) {
+	const committers = 8
+	dir, err := os.MkdirTemp("", "perfbench-diskpar-*")
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
+	db, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(rdbms.TableSchema{Name: "kv", Columns: []rdbms.ColumnDef{
+		{Name: "k", Type: rdbms.TInt}, {Name: "v", Type: rdbms.TString},
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	syncsBefore := db.WALSyncs()
+	var next int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i > int64(b.N) {
+					return
+				}
+				tx := db.Begin()
+				if _, err := tx.Insert("kv", rdbms.Tuple{rdbms.NewInt(i), rdbms.NewString("payload")}); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					tx.Abort()
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		b.Fatal(err)
+	}
+	if syncs := db.WALSyncs() - syncsBefore; syncs > 0 {
+		b.ReportMetric(float64(b.N)/float64(syncs), "commits/sync")
+	}
+}
+
+// reopenDB builds the checkpointed 10k-row indexed database the reopen
+// benches cycle against.
+func reopenDB(b *testing.B) string {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "perfbench-reopen-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
 	db, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 1024})
 	if err != nil {
 		b.Fatal(err)
@@ -387,12 +455,44 @@ func DiskReopen(b *testing.B) {
 	if err := db.Close(); err != nil {
 		b.Fatal(err)
 	}
+	return dir
+}
+
+// DiskReopen measures the close→reopen cycle of a checkpointed on-disk
+// database holding 10k rows with the index checkpoint load DISABLED
+// (catalog load, heap chain walk, empty WAL scan, full index rebuild
+// from the heap) — the pre-PR4 reopen cost, kept measurable as the
+// committed baseline DiskReopenIndexed's speedup is judged against.
+func DiskReopen(b *testing.B) {
+	dir := reopenDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 1024, RebuildIndexes: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := re.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DiskReopenIndexed measures the same cycle on the PR4 happy path: the
+// index bulk-loads from its persistent checkpoint chain, the WAL tail is
+// empty, and recovery writes nothing. The bench fails if the load falls
+// back to a rebuild.
+func DiskReopenIndexed(b *testing.B) {
+	dir := reopenDB(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		re, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 1024})
 		if err != nil {
 			b.Fatal(err)
+		}
+		if st := re.LastOpenStats(); st.IndexesLoaded != 1 || st.IndexesRebuilt != 0 {
+			b.Fatalf("reopen did not load the index checkpoint: %+v", st)
 		}
 		if err := re.Close(); err != nil {
 			b.Fatal(err)
@@ -423,6 +523,14 @@ type Report struct {
 	IndexOrderSpeedup float64 `json:"index_order_speedup"`
 	// WarmStartSpeedup is CatalogColdRebuild over WarmStartLoad.
 	WarmStartSpeedup float64 `json:"warm_start_speedup"`
+	// GroupCommitSpeedup is DiskCommit (one committer, one fsync per
+	// txn) over DiskCommitParallel (8 committers sharing group-commit
+	// batches): the fsync amortization factor (PR4's ≥4x bar).
+	GroupCommitSpeedup float64 `json:"group_commit_speedup"`
+	// IndexedReopenSpeedup is DiskReopen (full index rebuild from the
+	// heap) over DiskReopenIndexed (bulk load from the persistent index
+	// checkpoint) — PR4's ≥5x reopen bar, measured in-run on one machine.
+	IndexedReopenSpeedup float64 `json:"indexed_reopen_speedup"`
 }
 
 // RunAll executes every micro-benchmark via testing.Benchmark and
@@ -442,9 +550,11 @@ func RunAll() Report {
 		{"WarmStart/CatalogColdRebuild", CatalogColdRebuild},
 		{"WarmStart/WarmStartLoad", WarmStartLoad},
 		{"Durability/DiskCommit", DiskCommit},
+		{"Durability/DiskCommitParallel", DiskCommitParallel},
 		{"Durability/DiskReopen", DiskReopen},
+		{"Durability/DiskReopenIndexed", DiskReopenIndexed},
 	}
-	rep := Report{PR: 3, Suite: "durability"}
+	rep := Report{PR: 4, Suite: "diskpath"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, Result{
@@ -476,6 +586,8 @@ func (rep *Report) FillSpeedups() {
 	rep.OrderBySpeedup = ratio("SortedQueries/OrderByFullSort10k", "SortedQueries/OrderByTopK10k")
 	rep.IndexOrderSpeedup = ratio("SortedQueries/OrderByFullSort10k", "SortedQueries/OrderByIndexOrder10k")
 	rep.WarmStartSpeedup = ratio("WarmStart/CatalogColdRebuild", "WarmStart/WarmStartLoad")
+	rep.GroupCommitSpeedup = ratio("Durability/DiskCommit", "Durability/DiskCommitParallel")
+	rep.IndexedReopenSpeedup = ratio("Durability/DiskReopen", "Durability/DiskReopenIndexed")
 }
 
 // Regression is one tracked bench that slowed past the gate tolerance.

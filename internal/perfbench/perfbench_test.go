@@ -20,6 +20,10 @@ func sampleReport() Report {
 			{Name: "SortedQueries/OrderByIndexOrder10k", NsPerOp: 20, AllocsPerOp: 86, BytesPerOp: 4096},
 			{Name: "WarmStart/CatalogColdRebuild", NsPerOp: 500, AllocsPerOp: 6000, BytesPerOp: 1 << 16},
 			{Name: "WarmStart/WarmStartLoad", NsPerOp: 80, AllocsPerOp: 186, BytesPerOp: 1 << 12},
+			{Name: "Durability/DiskCommit", NsPerOp: 150000, AllocsPerOp: 30, BytesPerOp: 1500},
+			{Name: "Durability/DiskCommitParallel", NsPerOp: 25000, AllocsPerOp: 30, BytesPerOp: 1500},
+			{Name: "Durability/DiskReopen", NsPerOp: 20000000, AllocsPerOp: 100000, BytesPerOp: 1 << 24},
+			{Name: "Durability/DiskReopenIndexed", NsPerOp: 2000000, AllocsPerOp: 10000, BytesPerOp: 1 << 21},
 		},
 	}
 }
@@ -40,6 +44,12 @@ func TestFillSpeedups(t *testing.T) {
 	if !approx(rep.WarmStartSpeedup, 6.25) {
 		t.Fatalf("warm-start speedup %v, want 6.25", rep.WarmStartSpeedup)
 	}
+	if !approx(rep.GroupCommitSpeedup, 6) {
+		t.Fatalf("group-commit speedup %v, want 6", rep.GroupCommitSpeedup)
+	}
+	if !approx(rep.IndexedReopenSpeedup, 10) {
+		t.Fatalf("indexed-reopen speedup %v, want 10", rep.IndexedReopenSpeedup)
+	}
 }
 
 func TestFillSpeedupsMissingBenchesYieldZero(t *testing.T) {
@@ -48,7 +58,8 @@ func TestFillSpeedupsMissingBenchesYieldZero(t *testing.T) {
 		// No AskGuidedCached denominator, nothing else at all.
 	}}
 	rep.FillSpeedups()
-	if rep.CatalogSpeedup != 0 || rep.OrderBySpeedup != 0 || rep.IndexOrderSpeedup != 0 || rep.WarmStartSpeedup != 0 {
+	if rep.CatalogSpeedup != 0 || rep.OrderBySpeedup != 0 || rep.IndexOrderSpeedup != 0 ||
+		rep.WarmStartSpeedup != 0 || rep.GroupCommitSpeedup != 0 || rep.IndexedReopenSpeedup != 0 {
 		t.Fatalf("missing benches should give zero ratios: %+v", rep)
 	}
 }
@@ -101,7 +112,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	// The JSON field names are the stable contract with committed
 	// BENCH_PR<n>.json baselines — a rename would silently disable the
 	// CI gate for old baselines.
-	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`} {
+	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`, `"group_commit_speedup"`, `"indexed_reopen_speedup"`} {
 		if !strings.Contains(string(buf), key) {
 			t.Fatalf("serialized report missing %s:\n%s", key, buf)
 		}

@@ -13,8 +13,9 @@ import (
 type BTree struct {
 	mu    sync.RWMutex
 	root  node
-	order int // max children of an internal node
-	size  int // number of (key, rid) pairs
+	order int   // max children of an internal node
+	size  int   // number of (key, rid) pairs
+	mut   int64 // mutation counter: bumps on every content change
 }
 
 const defaultBTreeOrder = 64
@@ -56,6 +57,16 @@ func (t *BTree) Len() int {
 	return t.size
 }
 
+// Mutations returns the number of content changes (inserts and deletes)
+// applied to the tree. Index checkpointing uses it to skip
+// re-serializing an index whose contents have not moved since its chain
+// was last written or loaded.
+func (t *BTree) Mutations() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.mut
+}
+
 func lessKey(a, b Value) bool {
 	c, ok := Compare(a, b)
 	return ok && c < 0
@@ -88,6 +99,7 @@ func (t *BTree) findLeaf(key Value) (*leafNode, []*innerNode, []int) {
 func (t *BTree) Insert(key Value, rid RID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.mut++
 	leaf, path, idxs := t.findLeaf(key)
 	// Position within leaf.
 	i := 0
@@ -158,6 +170,7 @@ func (t *BTree) Delete(key Value, rid RID) bool {
 			if r == rid {
 				leaf.postings[i] = append(leaf.postings[i][:j], leaf.postings[i][j+1:]...)
 				t.size--
+				t.mut++
 				if len(leaf.postings[i]) == 0 {
 					leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
 					leaf.postings = append(leaf.postings[:i], leaf.postings[i+1:]...)
@@ -319,6 +332,78 @@ func groupedDesc(n node, lo, hi *Value, fn func(key Value, rids []RID) bool) boo
 		}
 	}
 	return true
+}
+
+// newBTreeFromSorted builds a tree from entries already in strictly
+// ascending key order, each key owning its posting list. It is the index
+// checkpoint loader's bulk path: leaves are filled left to right and the
+// internal levels assembled bottom-up, so construction is O(n) with zero
+// key comparisons — against O(n log n) comparison-driven inserts for a
+// rebuild from the heap. The caller transfers ownership of keys and
+// postings. Invalid input (out-of-order or duplicate keys, empty
+// postings) returns an error; the loader then falls back to a rebuild.
+func newBTreeFromSorted(order int, keys []Value, postings [][]RID) (*BTree, error) {
+	t := NewBTreeOrder(order)
+	if len(keys) != len(postings) {
+		return nil, fmt.Errorf("btree: bulk load arity mismatch")
+	}
+	if len(keys) == 0 {
+		return t, nil
+	}
+	size := 0
+	for i := range keys {
+		if len(postings[i]) == 0 {
+			return nil, fmt.Errorf("btree: bulk load empty posting for %v", keys[i])
+		}
+		if i > 0 && !lessKey(keys[i-1], keys[i]) {
+			return nil, fmt.Errorf("btree: bulk load keys out of order at %v", keys[i])
+		}
+		size += len(postings[i])
+	}
+	// Leaves hold at most order-1 keys (the in-place insert splits at
+	// order), so filling to order-1 is the densest legal packing.
+	fill := t.order - 1
+	var leaves []*leafNode
+	var mins []Value // each leaf's first key: the separator material above
+	for i := 0; i < len(keys); i += fill {
+		j := i + fill
+		if j > len(keys) {
+			j = len(keys)
+		}
+		lf := &leafNode{
+			keys:     keys[i:j:j],
+			postings: postings[i:j:j],
+		}
+		if len(leaves) > 0 {
+			leaves[len(leaves)-1].next = lf
+		}
+		leaves = append(leaves, lf)
+		mins = append(mins, keys[i])
+	}
+	level := make([]node, len(leaves))
+	for i, lf := range leaves {
+		level[i] = lf
+	}
+	for len(level) > 1 {
+		var up []node
+		var upMins []Value
+		for i := 0; i < len(level); i += t.order {
+			j := i + t.order
+			if j > len(level) {
+				j = len(level)
+			}
+			in := &innerNode{children: append([]node(nil), level[i:j]...)}
+			for k := i + 1; k < j; k++ {
+				in.keys = append(in.keys, mins[k])
+			}
+			up = append(up, in)
+			upMins = append(upMins, mins[i])
+		}
+		level, mins = up, upMins
+	}
+	t.root = level[0]
+	t.size = size
+	return t, nil
 }
 
 // Keys returns all distinct keys in order (testing helper).

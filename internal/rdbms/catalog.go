@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // ColumnDef describes one column.
@@ -68,24 +69,81 @@ type Table struct {
 	Schema  TableSchema
 	Heap    *HeapFile
 	Indexes map[string]*BTree // column name -> index
+
+	// Content-hash maintenance (EnableContentHash): hashCols are the
+	// column positions folded into the order-independent multiset hash,
+	// hashColNames their catalog-persisted names, and hash the live
+	// accumulator (atomic: committers fold their deltas in concurrently).
+	// The hash is persisted in the catalog at checkpoint and adjusted by
+	// recovery from the WAL tail, so a fresh process reads the table's
+	// content digest in O(1).
+	hashCols     []int
+	hashColNames []string
+	hash         atomic.Uint64
+
+	// idx tracks each index's on-disk checkpoint chain (see
+	// idxcheckpoint.go): where the serialized B+tree lives, the
+	// checkpoint stamp it carries, and the tree's mutation count when it
+	// was last written — unchanged indexes skip re-serialization.
+	idx map[string]*idxPersist
+}
+
+// rowHash digests the content-hashed columns of one tuple.
+func (t *Table) rowHash(tup Tuple) uint64 {
+	return contentHashCols(tup, t.hashCols)
+}
+
+// idxPersist is one index's checkpoint-chain bookkeeping.
+type idxPersist struct {
+	firstPage PageID // head of the serialized chain (InvalidPage: none)
+	stamp     uint64 // checkpointID written into the chain header
+	savedMut  int64  // BTree.Mutations() at last serialize/load; -1 forces a rewrite
+}
+
+// idxState returns (creating if needed) the persistence state for col.
+func (t *Table) idxState(col string) *idxPersist {
+	if t.idx == nil {
+		t.idx = map[string]*idxPersist{}
+	}
+	ip, ok := t.idx[col]
+	if !ok {
+		ip = &idxPersist{firstPage: InvalidPage, savedMut: -1}
+		t.idx[col] = ip
+	}
+	return ip
 }
 
 // catalog page layout (page 0):
-//   magic "UDB1" | checkpointLSN u64 | numTables u32 |
+//   magic "UDB2" | checkpointLSN u64 | checkpointID u64 | numTables u32 |
 //   per table: name | ncols u32 | (colName, typeByte)* | firstPage u32 |
-//              nIndexes u32 | indexColName*
+//              hashFlag u8 [ nHashCols u32 | hashColName* | hash u64 ] |
+//              nIndexes u32 | (indexColName | chainFirstPage u32 | stamp u64)*
 
-var catalogMagic = [4]byte{'U', 'D', 'B', '1'}
+var catalogMagic = [4]byte{'U', 'D', 'B', '2'}
 
 type catalogData struct {
 	checkpointLSN LSN
+	checkpointID  uint64
 	tables        []catalogTable
 }
 
 type catalogTable struct {
 	schema    TableSchema
 	firstPage PageID
-	indexCols []string
+	indexes   []catalogIndex
+	hashCols  []string
+	hash      uint64
+	hasHash   bool
+}
+
+// catalogIndex records one index column and its serialized checkpoint
+// chain: the chain's head page and the checkpoint stamp it must carry to
+// be loadable (a mismatch means the chain belongs to another checkpoint
+// generation and the index is rebuilt from the heap instead).
+type catalogIndex struct {
+	col       string
+	firstPage PageID
+	stamp     uint64
 }
 
 func encodeCatalog(c *catalogData) ([]byte, error) {
@@ -93,6 +151,8 @@ func encodeCatalog(c *catalogData) ([]byte, error) {
 	buf = append(buf, catalogMagic[:]...)
 	var tmp8 [8]byte
 	binary.LittleEndian.PutUint64(tmp8[:], uint64(c.checkpointLSN))
+	buf = append(buf, tmp8[:]...)
+	binary.LittleEndian.PutUint64(tmp8[:], c.checkpointID)
 	buf = append(buf, tmp8[:]...)
 	var tmp4 [4]byte
 	binary.LittleEndian.PutUint32(tmp4[:], uint32(len(c.tables)))
@@ -107,12 +167,28 @@ func encodeCatalog(c *catalogData) ([]byte, error) {
 		}
 		binary.LittleEndian.PutUint32(tmp4[:], uint32(t.firstPage))
 		buf = append(buf, tmp4[:]...)
-		cols := append([]string(nil), t.indexCols...)
-		sort.Strings(cols)
-		binary.LittleEndian.PutUint32(tmp4[:], uint32(len(cols)))
+		if t.hasHash {
+			buf = append(buf, 1)
+			binary.LittleEndian.PutUint32(tmp4[:], uint32(len(t.hashCols)))
+			buf = append(buf, tmp4[:]...)
+			for _, hc := range t.hashCols {
+				buf = appendString(buf, hc)
+			}
+			binary.LittleEndian.PutUint64(tmp8[:], t.hash)
+			buf = append(buf, tmp8[:]...)
+		} else {
+			buf = append(buf, 0)
+		}
+		idxs := append([]catalogIndex(nil), t.indexes...)
+		sort.Slice(idxs, func(i, j int) bool { return idxs[i].col < idxs[j].col })
+		binary.LittleEndian.PutUint32(tmp4[:], uint32(len(idxs)))
 		buf = append(buf, tmp4[:]...)
-		for _, ic := range cols {
-			buf = appendString(buf, ic)
+		for _, ic := range idxs {
+			buf = appendString(buf, ic.col)
+			binary.LittleEndian.PutUint32(tmp4[:], uint32(ic.firstPage))
+			buf = append(buf, tmp4[:]...)
+			binary.LittleEndian.PutUint64(tmp8[:], ic.stamp)
+			buf = append(buf, tmp8[:]...)
 		}
 	}
 	if len(buf) > PageSize {
@@ -124,15 +200,24 @@ func encodeCatalog(c *catalogData) ([]byte, error) {
 }
 
 func decodeCatalog(page []byte) (*catalogData, error) {
-	if len(page) < 16 {
+	if len(page) < 24 {
 		return nil, fmt.Errorf("rdbms: short catalog page")
 	}
 	if [4]byte(page[:4]) != catalogMagic {
+		if [4]byte(page[:4]) == ([4]byte{'U', 'D', 'B', '1'}) {
+			// The pre-PR4 layout (no checkpoint id, chain pointers, or hash
+			// spec). No migration path is kept — the format predates any
+			// release — but fail with a diagnosis, not "bad magic".
+			return nil, fmt.Errorf("rdbms: catalog format UDB1 is no longer supported; delete the database directory and regenerate")
+		}
 		return nil, fmt.Errorf("rdbms: bad catalog magic")
 	}
-	c := &catalogData{checkpointLSN: LSN(binary.LittleEndian.Uint64(page[4:12]))}
-	n := int(binary.LittleEndian.Uint32(page[12:16]))
-	off := 16
+	c := &catalogData{
+		checkpointLSN: LSN(binary.LittleEndian.Uint64(page[4:12])),
+		checkpointID:  binary.LittleEndian.Uint64(page[12:20]),
+	}
+	n := int(binary.LittleEndian.Uint32(page[20:24]))
+	off := 24
 	for i := 0; i < n; i++ {
 		var t catalogTable
 		name, used, err := readString(page[off:])
@@ -158,11 +243,37 @@ func decodeCatalog(page []byte) (*catalogData, error) {
 			t.schema.Columns = append(t.schema.Columns, ColumnDef{Name: cname, Type: Type(page[off])})
 			off++
 		}
-		if len(page) < off+8 {
+		if len(page) < off+5 {
 			return nil, fmt.Errorf("rdbms: truncated catalog table")
 		}
 		t.firstPage = PageID(binary.LittleEndian.Uint32(page[off : off+4]))
 		off += 4
+		hasHash := page[off] == 1
+		off++
+		if hasHash {
+			t.hasHash = true
+			if len(page) < off+4 {
+				return nil, fmt.Errorf("rdbms: truncated catalog hash spec")
+			}
+			nhc := int(binary.LittleEndian.Uint32(page[off : off+4]))
+			off += 4
+			for j := 0; j < nhc; j++ {
+				hc, used, err := readString(page[off:])
+				if err != nil {
+					return nil, err
+				}
+				t.hashCols = append(t.hashCols, hc)
+				off += used
+			}
+			if len(page) < off+8 {
+				return nil, fmt.Errorf("rdbms: truncated catalog hash")
+			}
+			t.hash = binary.LittleEndian.Uint64(page[off : off+8])
+			off += 8
+		}
+		if len(page) < off+4 {
+			return nil, fmt.Errorf("rdbms: truncated catalog indexes")
+		}
 		nidx := int(binary.LittleEndian.Uint32(page[off : off+4]))
 		off += 4
 		for j := 0; j < nidx; j++ {
@@ -170,8 +281,16 @@ func decodeCatalog(page []byte) (*catalogData, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.indexCols = append(t.indexCols, ic)
 			off += used
+			if len(page) < off+12 {
+				return nil, fmt.Errorf("rdbms: truncated catalog index entry")
+			}
+			t.indexes = append(t.indexes, catalogIndex{
+				col:       ic,
+				firstPage: PageID(binary.LittleEndian.Uint32(page[off : off+4])),
+				stamp:     binary.LittleEndian.Uint64(page[off+4 : off+12]),
+			})
+			off += 12
 		}
 		c.tables = append(c.tables, t)
 	}

@@ -1,0 +1,257 @@
+package rdbms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scanHash recomputes a table's multiset content digest from the heap —
+// the oracle every incremental path must match.
+func scanHash(t *testing.T, db *DB, table string, cols []int) uint64 {
+	t.Helper()
+	var sum uint64
+	tx := db.Begin()
+	err := tx.Scan(table, func(_ RID, tup Tuple) bool {
+		sum += contentHashCols(tup, cols)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	return sum
+}
+
+func hashTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE kv (k INT, v STRING, w FLOAT)")
+	if err := db.EnableContentHash("kv", []string{"k", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestContentHashIncrementalMatchesScan drives a seeded mix of inserts,
+// updates, deletes, commits, and aborts, asserting after every
+// transaction that the incrementally maintained digest equals a full
+// recompute — including that aborted work leaves no trace.
+func TestContentHashIncrementalMatchesScan(t *testing.T) {
+	db := hashTestDB(t)
+	cols := db.Table("kv").hashCols
+	rng := rand.New(rand.NewSource(7))
+	live := map[int64]RID{}
+	for round := 0; round < 60; round++ {
+		tx := db.Begin()
+		local := map[int64]RID{}
+		ops := 1 + rng.Intn(6)
+		for i := 0; i < ops; i++ {
+			k := int64(rng.Intn(20))
+			rid, known := local[k]
+			if !known {
+				rid, known = live[k]
+			}
+			switch rng.Intn(3) {
+			case 0:
+				r, err := tx.Insert("kv", Tuple{NewInt(k), NewString(fmt.Sprintf("r%d-%d", round, i)), NewFloat(1)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				local[k] = r
+			case 1:
+				if known {
+					newRID, err := tx.Update("kv", rid, Tuple{NewInt(k), NewString(fmt.Sprintf("u%d-%d", round, i)), NewFloat(2)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					local[k] = newRID
+				}
+			case 2:
+				if known {
+					if err := tx.Delete("kv", rid); err != nil {
+						t.Fatal(err)
+					}
+					delete(local, k)
+					local[k] = RID{Page: InvalidPage} // poison: the key is gone this txn
+				}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			if err := tx.Abort(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for k, r := range local {
+				if r.Page == InvalidPage {
+					delete(live, k)
+				} else {
+					live[k] = r
+				}
+			}
+		}
+		got, ok := db.ContentHash("kv")
+		if !ok {
+			t.Fatal("content hash not enabled")
+		}
+		if want := scanHash(t, db, "kv", cols); got != want {
+			t.Fatalf("round %d: incremental hash %x != scan hash %x", round, got, want)
+		}
+	}
+}
+
+// TestContentHashIgnoresUnhashedColumns: updating only a column outside
+// the hash spec must leave the digest unchanged (the warm-start
+// contract: value corrections do not invalidate the catalog identity).
+func TestContentHashIgnoresUnhashedColumns(t *testing.T) {
+	db := hashTestDB(t)
+	tx := db.Begin()
+	rid, err := tx.Insert("kv", Tuple{NewInt(1), NewString("a"), NewFloat(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := db.ContentHash("kv")
+	tx = db.Begin()
+	if _, err := tx.Update("kv", rid, Tuple{NewInt(1), NewString("a"), NewFloat(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := db.ContentHash("kv")
+	if before != after {
+		t.Fatalf("hash moved on unhashed-column update: %x -> %x", before, after)
+	}
+	tx = db.Begin()
+	if _, err := tx.Update("kv", rid, Tuple{NewInt(1), NewString("b"), NewFloat(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	moved, _ := db.ContentHash("kv")
+	if moved == after {
+		t.Fatal("hash must move when a hashed column changes")
+	}
+}
+
+// TestContentHashSurvivesReopen: the digest is persisted at checkpoint
+// and restored — adjusted for the WAL tail — by recovery, so a fresh
+// process reads the correct value in O(1).
+func TestContentHashSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDir(dir, Options{BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE kv (k INT, v STRING, w FLOAT)")
+	if err := db.EnableContentHash("kv", []string{"k", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < 200; i++ {
+		if _, err := tx.Insert("kv", Tuple{NewInt(int64(i)), NewString(fmt.Sprintf("v%d", i)), NewFloat(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := db.ContentHash("kv")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir, Options{BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := re.ContentHash("kv")
+	if !ok || got != want {
+		t.Fatalf("reopened hash %x (ok=%v), want %x", got, ok, want)
+	}
+	// Re-enabling the same spec must be a no-op that keeps the digest.
+	if err := re.EnableContentHash("kv", []string{"k", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if got2, _ := re.ContentHash("kv"); got2 != want {
+		t.Fatalf("re-enable changed hash %x -> %x", want, got2)
+	}
+	if want2 := scanHash(t, re, "kv", re.Table("kv").hashCols); got != want2 {
+		t.Fatalf("reopened hash %x != scan recompute %x", got, want2)
+	}
+	re.Close()
+}
+
+// TestContentHashCrashRecoveryAdjustment: commits after the last
+// checkpoint live only in the WAL at crash time; recovery must adjust
+// the catalog's checkpoint-time digest by the tail's deltas (and ignore
+// the in-flight loser).
+func TestContentHashCrashRecoveryAdjustment(t *testing.T) {
+	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pager, _ := NewDevicePager(pageDev)
+	wal, _ := NewWALOn(walDev)
+	db, err := Open(pager, wal, Options{BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableSchema{Name: "kv", Columns: []ColumnDef{
+		{Name: "k", Type: TInt}, {Name: "v", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableContentHash("kv", []string{"k", "v"}); err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	tx := db.Begin()
+	for i := 0; i < 50; i++ {
+		rid, err := tx.Insert("kv", Tuple{NewInt(int64(i)), NewString("pre")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail: committed churn + an in-flight loser, then crash.
+	tx = db.Begin()
+	if err := tx.Delete("kv", rids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Update("kv", rids[1], Tuple{NewInt(1), NewString("post")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("kv", Tuple{NewInt(1000), NewString("tail")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser := db.Begin()
+	if _, err := loser.Insert("kv", Tuple{NewInt(2000), NewString("loser")}); err != nil {
+		t.Fatal(err)
+	}
+	db.wal.Flush()
+	pageDev.Crash(nil)
+	walDev.Crash(nil)
+
+	re, _ := reopenClean(t, pageDev, walDev)
+	got, ok := re.ContentHash("kv")
+	if !ok {
+		t.Fatal("hash spec lost across recovery")
+	}
+	if want := scanHash(t, re, "kv", re.Table("kv").hashCols); got != want {
+		t.Fatalf("recovered hash %x != scan recompute %x", got, want)
+	}
+	re.Close()
+}

@@ -39,12 +39,37 @@ type DB struct {
 	active  map[TxnID]*Txn
 
 	checkpointLSN LSN
+	// checkpointID is a monotonically increasing checkpoint generation
+	// counter (persisted in the catalog). Index checkpoint chains are
+	// stamped with it; a chain whose stamp disagrees with the catalog
+	// belongs to another generation and is rejected at load.
+	checkpointID uint64
+
+	rebuildIndexes bool      // Options.RebuildIndexes: skip checkpoint loads
+	openStats      OpenStats // what the last recover() did with indexes
 }
 
 // Options configures Open.
 type Options struct {
 	BufferPages int // buffer pool capacity (default 256)
+	// RebuildIndexes disables loading indexes from their checkpoint
+	// chains, forcing the legacy full rebuild from the heap (benchmarks
+	// and tests of the fallback path).
+	RebuildIndexes bool
 }
+
+// OpenStats reports how recovery reconstructed secondary structures.
+type OpenStats struct {
+	// IndexesLoaded counts indexes restored from a valid checkpoint chain
+	// (bulk load + WAL-tail delta); IndexesRebuilt counts fallbacks to
+	// the full heap-scan rebuild (missing, stale, or torn chains).
+	IndexesLoaded  int
+	IndexesRebuilt int
+}
+
+// LastOpenStats returns the index-reconstruction stats of the recovery
+// that opened this database (zero for a freshly created one).
+func (db *DB) LastOpenStats() OpenStats { return db.openStats }
 
 // DataFileName and WALFileName are the files OpenDir manages inside its
 // directory.
@@ -99,11 +124,12 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 		opts.BufferPages = 256
 	}
 	db := &DB{
-		pager:  pager,
-		wal:    wal,
-		lm:     NewLockManager(),
-		tables: make(map[string]*Table),
-		active: make(map[TxnID]*Txn),
+		pager:          pager,
+		wal:            wal,
+		lm:             NewLockManager(),
+		tables:         make(map[string]*Table),
+		active:         make(map[TxnID]*Txn),
+		rebuildIndexes: opts.RebuildIndexes,
 	}
 	db.bp = NewBufferPool(pager, wal, opts.BufferPages)
 	if pager.NumPages() == 0 {
@@ -127,7 +153,7 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 }
 
 func (db *DB) writeCatalog() error {
-	cat := catalogData{checkpointLSN: db.checkpointLSN}
+	cat := catalogData{checkpointLSN: db.checkpointLSN, checkpointID: db.checkpointID}
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -136,8 +162,18 @@ func (db *DB) writeCatalog() error {
 	for _, n := range names {
 		t := db.tables[n]
 		ct := catalogTable{schema: t.Schema, firstPage: t.Heap.FirstPage()}
+		if t.hashCols != nil {
+			ct.hasHash = true
+			ct.hashCols = t.hashColNames
+			ct.hash = t.hash.Load()
+		}
 		for col := range t.Indexes {
-			ct.indexCols = append(ct.indexCols, col)
+			ci := catalogIndex{col: col, firstPage: InvalidPage}
+			if ip := t.idx[col]; ip != nil {
+				ci.firstPage = ip.firstPage
+				ci.stamp = ip.stamp
+			}
+			ct.indexes = append(ct.indexes, ci)
 		}
 		cat.tables = append(cat.tables, ct)
 	}
@@ -166,20 +202,40 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
-// checkpointLocked makes the checkpoint durable in three ordered steps,
+// checkpointLocked makes the checkpoint durable in five ordered steps,
 // each of which leaves a recoverable state if the next is lost to a
-// crash: (1) flush the WAL and every dirty page — the data files now hold
-// all committed work; (2) reset (truncate) the WAL, which is safe because
+// crash: (1) flush the WAL and every dirty page — the data files now
+// hold all committed work; (2) serialize changed indexes into their
+// stamped checkpoint chains (a chain that fails to persist whole is
+// rejected by its CRC/stamp at load and the index rebuilt, so no
+// ordering against the catalog is required); (3) write the catalog with
+// the fresh chain stamps and content-hash accumulators, pointing
+// checkpointLSN at the current end of the log — a replay origin with an
+// empty suffix; (4) reset (truncate) the WAL, which is safe because
 // step 1 made the log redundant, and which bounds log growth at every
-// checkpoint; (3) write the catalog with checkpointLSN 0. A crash between
-// 2 and 3 leaves a catalog LSN pointing past the now-empty log, which a
-// recovery scan reads as "no records" — correct, since the pages are
-// complete.
+// checkpoint; (5) rewrite the catalog with checkpointLSN 0.
+//
+// Step 3 exists for the derived metadata: a crash between 4 and 5 used
+// to leave the previous catalog — whose content hash and chain stamps
+// describe an older table state — alongside a log the reset had already
+// emptied, so the WAL-tail adjustment that normally reconciles them had
+// nothing to replay (the fault harness caught the content hash going
+// stale exactly there). With the pre-reset catalog in place, every
+// crash window pairs a catalog with a log whose post-checkpointLSN
+// suffix is exactly the work the catalog has not seen: full log before
+// step 3, empty suffix (LSN at old log end, or 0) afterwards.
 func (db *DB) checkpointLocked() error {
 	if err := db.wal.Flush(); err != nil {
 		return err
 	}
 	if err := db.bp.Flush(); err != nil {
+		return err
+	}
+	if err := db.writeIndexCheckpoints(); err != nil {
+		return err
+	}
+	db.checkpointLSN = db.wal.FlushedLSN()
+	if err := db.writeCatalog(); err != nil {
 		return err
 	}
 	if err := db.wal.Reset(); err != nil {
@@ -277,6 +333,10 @@ func (db *DB) LockManager() *LockManager { return db.lm }
 // BufferStats returns buffer pool hit/miss counters.
 func (db *DB) BufferStats() (hits, misses int64) { return db.bp.Stats() }
 
+// WALSyncs returns the number of WAL device syncs performed so far: the
+// group-commit amortization diagnostic (commits per sync).
+func (db *DB) WALSyncs() int64 { return db.wal.Syncs() }
+
 // Close checkpoints (flushing the WAL and all dirty pages, then resetting
 // the log) and releases the storage this DB owns. The database must be
 // quiesced. After Close, OpenDir on the same directory reopens the
@@ -299,8 +359,13 @@ func (db *DB) Close() error {
 	return nil
 }
 
-// recover loads the catalog and replays the WAL: redo committed work after
-// the checkpoint, undo losers, rebuild indexes, and checkpoint.
+// recover loads the catalog and replays the WAL: redo committed work
+// after the checkpoint, undo losers, restore indexes (from their
+// checkpoint chains plus the WAL tail when possible, by full heap
+// rebuild otherwise), adjust content hashes, and checkpoint. A reopen
+// that finds an empty log and loads every index skips the closing
+// checkpoint entirely — the on-disk state is already exactly the
+// checkpoint.
 func (db *DB) recover() error {
 	page := make([]byte, PageSize)
 	if err := db.pager.ReadPage(0, page); err != nil {
@@ -321,14 +386,44 @@ func (db *DB) recover() error {
 		return err
 	}
 	db.checkpointLSN = cat.checkpointLSN
+	db.checkpointID = cat.checkpointID
+	// loadedIdx marks indexes restored from a checkpoint chain; the rest
+	// are rebuilt from the heap after replay.
+	loadedIdx := map[*Table]map[string]bool{}
 	for _, ct := range cat.tables {
 		heap, err := OpenHeapFile(db.bp, ct.firstPage)
 		if err != nil {
 			return err
 		}
 		t := &Table{Schema: ct.schema, Heap: heap, Indexes: map[string]*BTree{}}
-		for _, col := range ct.indexCols {
-			t.Indexes[col] = NewBTree() // populated after replay
+		if ct.hasHash {
+			cols := make([]int, len(ct.hashCols))
+			for i, hc := range ct.hashCols {
+				ci := t.Schema.ColIndex(hc)
+				if ci < 0 {
+					return fmt.Errorf("rdbms: catalog hash column %s missing from %s", hc, ct.schema.Name)
+				}
+				cols[i] = ci
+			}
+			t.hashCols = cols
+			t.hashColNames = append([]string(nil), ct.hashCols...)
+			t.hash.Store(ct.hash)
+		}
+		loadedIdx[t] = map[string]bool{}
+		for _, ci := range ct.indexes {
+			ip := t.idxState(ci.col)
+			ip.firstPage = ci.firstPage
+			ip.stamp = ci.stamp
+			if bt := db.loadIndexCheckpoint(ci); bt != nil {
+				t.Indexes[ci.col] = bt
+				ip.savedMut = bt.Mutations()
+				loadedIdx[t][ci.col] = true
+				db.openStats.IndexesLoaded++
+				continue
+			}
+			t.Indexes[ci.col] = NewBTree() // placeholder; rebuilt after replay
+			ip.savedMut = -1
+			db.openStats.IndexesRebuilt++
 		}
 		db.tables[ct.schema.Name] = t
 	}
@@ -386,6 +481,21 @@ func (db *DB) recover() error {
 			st = &slotOutcome{}
 			byRID[r.Row] = st
 		}
+		if !st.priorSet {
+			// The first post-checkpoint record on a slot reveals its
+			// checkpoint-time content (checkpoints quiesce, so no record
+			// predates the slot's first toucher): an insert means the slot
+			// was dead, a delete/update carries the before-image. Loaded
+			// index checkpoints and persisted content hashes describe that
+			// state; the prior image is what their WAL-tail delta removes.
+			switch r.Kind {
+			case LogInsert:
+				st.priorLive = false
+			case LogDelete, LogUpdate:
+				st.priorLive, st.prior = true, r.Before
+			}
+			st.priorSet = true
+		}
 		if st.frozen {
 			continue // later records on a loser-trailed slot are the same loser's
 		}
@@ -435,10 +545,33 @@ func (db *DB) recover() error {
 			}
 		}
 	}
-	// Rebuild indexes from heap contents.
-	for _, t := range db.tables {
+	// Index maintenance. A checkpoint-loaded index reflects the
+	// checkpoint-time heap; the touched slots' prior→final transitions
+	// are exactly the delta the WAL tail applies to it. Indexes that
+	// could not be loaded rebuild from the heap as before.
+	allLoaded := true
+	for name, t := range db.tables {
+		var touched []RID
+		for rid := range final[name] {
+			touched = append(touched, rid)
+		}
+		sort.Slice(touched, func(i, j int) bool { return ridLess(touched[i], touched[j]) })
 		for col := range t.Indexes {
 			ci := t.Schema.ColIndex(col)
+			if loadedIdx[t][col] {
+				idx := t.Indexes[col]
+				for _, rid := range touched {
+					st := final[name][rid]
+					if st.priorLive {
+						idx.Delete(st.prior[ci], rid)
+					}
+					if st.live {
+						idx.Insert(st.tup[ci], rid)
+					}
+				}
+				continue
+			}
+			allLoaded = false
 			fresh := NewBTree()
 			err := t.Heap.Scan(func(rid RID, tup Tuple) bool {
 				fresh.Insert(tup[ci], rid)
@@ -449,6 +582,38 @@ func (db *DB) recover() error {
 			}
 			t.Indexes[col] = fresh
 		}
+	}
+	// Content hashes: the catalog holds each table's checkpoint-time
+	// digest; fold in the touched slots' prior→final deltas so the
+	// in-memory accumulator describes the recovered (committed) state.
+	for name, slots := range final {
+		t := db.tables[name]
+		if t.hashCols == nil {
+			continue
+		}
+		var delta uint64
+		for _, st := range slots {
+			if st.priorLive {
+				delta -= t.rowHash(st.prior)
+			}
+			if st.live {
+				delta += t.rowHash(st.tup)
+			}
+		}
+		t.hash.Add(delta)
+	}
+	if len(records) == 0 && db.checkpointLSN == 0 && allLoaded {
+		// Warm reopen: the log is empty, every index came off its chain,
+		// and nothing was replayed — the on-disk files already are the
+		// checkpoint this recovery would write. Skipping it makes the
+		// happy reopen O(live data read), with zero writes.
+		//
+		// allLoaded is also a safety condition, not just an optimization:
+		// after ANY failed chain load the closing checkpoint below must
+		// run, so the stale chain (whose links may dangle) is rewritten
+		// before new allocations can reuse the page ids it points at —
+		// see the reuse-safety invariant on chainPages.
+		return nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -462,6 +627,14 @@ type slotOutcome struct {
 	tup     Tuple
 	decided bool // some record has determined this slot's content
 	frozen  bool // an in-flight loser touched the slot; no further updates
+
+	// The slot's checkpoint-time state, taken from its first
+	// post-checkpoint record: what loaded index checkpoints and persisted
+	// content hashes still describe, and therefore the "remove" side of
+	// their WAL-tail delta.
+	prior     Tuple
+	priorLive bool
+	priorSet  bool
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -286,7 +286,7 @@ func TestSlottedPageCompaction(t *testing.T) {
 	}
 	var slots []uint16
 	for {
-		s, ok := p.insert(big)
+		s, ok := p.insert(big, nil)
 		if !ok {
 			break
 		}
@@ -302,7 +302,7 @@ func TestSlottedPageCompaction(t *testing.T) {
 			t.Fatalf("del slot %d", slots[i])
 		}
 	}
-	s, ok := p.insert(big)
+	s, ok := p.insert(big, nil)
 	if !ok {
 		t.Fatal("insert after deletes should compact and succeed")
 	}

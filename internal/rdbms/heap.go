@@ -68,6 +68,16 @@ func (h *HeapFile) Insert(t Tuple) (RID, error) { return h.InsertWith(t, nil) }
 // WAL append performed in onApply is guaranteed to precede any flush of
 // the modified page (the write-ahead rule).
 func (h *HeapFile) InsertWith(t Tuple, onApply func(RID)) (RID, error) {
+	return h.InsertWhere(t, nil, onApply)
+}
+
+// InsertWhere is InsertWith with a slot admission filter: a non-nil
+// slotOK vetoes candidate slots (tombstone reuse and fresh slots alike).
+// The transaction layer uses it to skip tombstoned slots whose row lock
+// is still held by a concurrent deleting transaction — reusing such a
+// slot would collide with that transaction's abort, which restores its
+// row at the same RID.
+func (h *HeapFile) InsertWhere(t Tuple, slotOK func(RID) bool, onApply func(RID)) (RID, error) {
 	rec := EncodeTuple(t)
 	if len(rec)+slotSize > PageSize-pageHeaderSize {
 		return RID{}, fmt.Errorf("rdbms: tuple of %d bytes exceeds page capacity", len(rec))
@@ -85,8 +95,13 @@ func (h *HeapFile) InsertWith(t Tuple, onApply func(RID)) (RID, error) {
 		if err != nil {
 			return RID{}, err
 		}
+		var pageOK func(uint16) bool
+		if slotOK != nil {
+			id := id
+			pageOK = func(slot uint16) bool { return slotOK(RID{Page: id, Slot: slot}) }
+		}
 		p := newSlottedPage(data)
-		if slot, ok := p.insert(rec); ok {
+		if slot, ok := p.insert(rec, pageOK); ok {
 			rid := RID{Page: id, Slot: slot}
 			if onApply != nil {
 				onApply(rid)
@@ -103,7 +118,7 @@ func (h *HeapFile) InsertWith(t Tuple, onApply func(RID)) (RID, error) {
 	}
 	p := newSlottedPage(data)
 	p.setNext(InvalidPage)
-	slot, ok := p.insert(rec)
+	slot, ok := p.insert(rec, nil)
 	if !ok {
 		h.bp.Unpin(id, true)
 		return RID{}, fmt.Errorf("rdbms: tuple does not fit in a fresh page")

@@ -1,0 +1,151 @@
+package rdbms
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression for the tombstone-reuse concurrency gap: an insert must not
+// reuse a tombstoned slot whose row lock is still held by the deleting
+// transaction. If it did, the deleter's abort would try to restore its
+// row at the reused RID and collide with the newcomer.
+func TestInsertSkipsLockedTombstoneSlot(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE kv (k INT, v STRING)")
+
+	// Seed one committed row; remember its RID.
+	seed := db.Begin()
+	rid0, err := seed.Insert("kv", Tuple{NewInt(1), NewString("original")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Txn A deletes the row and stays open: its X lock on rid0 outlives
+	// the tombstone.
+	txA := db.Begin()
+	if err := txA.Delete("kv", rid0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Txn B inserts concurrently. Without the slot filter it would grab
+	// rid0 (the only tombstone on a page with plenty of free space).
+	txB := db.Begin()
+	ridB, err := txB.Insert("kv", Tuple{NewInt(2), NewString("newcomer")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ridB == rid0 {
+		t.Fatalf("insert reused tombstoned slot %v still row-locked by the deleting txn", rid0)
+	}
+	if err := txB.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A aborts: its undo must restore the original row at rid0.
+	if err := txA.Abort(); err != nil {
+		t.Fatalf("abort after concurrent insert: %v", err)
+	}
+	got := map[int64]string{}
+	tx := db.Begin()
+	if err := tx.Scan("kv", func(_ RID, tup Tuple) bool {
+		got[tup[0].I] = tup[1].S
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	want := map[int64]string{1: "original", 2: "newcomer"}
+	if len(got) != len(want) || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("after abort: got %v, want %v", got, want)
+	}
+}
+
+// TestInsertReusesTombstoneAfterRelease: once the deleting transaction
+// commits (releasing its locks), the tombstoned slot is fair game again —
+// the filter must not permanently retire slots.
+func TestInsertReusesTombstoneAfterRelease(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE kv (k INT, v STRING)")
+	seed := db.Begin()
+	rid0, err := seed.Insert("kv", Tuple{NewInt(1), NewString("gone")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	del := db.Begin()
+	if err := del.Delete("kv", rid0); err != nil {
+		t.Fatal(err)
+	}
+	if err := del.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ins := db.Begin()
+	rid1, err := ins.Insert("kv", Tuple{NewInt(2), NewString("recycled")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid1 != rid0 {
+		t.Fatalf("expected tombstone reuse of %v, got %v", rid0, rid1)
+	}
+	if err := ins.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDeleteInsertChurn hammers the delete/insert interleaving
+// under -race: each round a deleter holds its lock across a concurrent
+// inserter's slot choice, then aborts. No abort may fail and the final
+// state must contain exactly the survivors.
+func TestConcurrentDeleteInsertChurn(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE kv (k INT, v STRING)")
+	rids := map[int64]RID{}
+	seed := db.Begin()
+	for i := int64(0); i < 20; i++ {
+		rid, err := seed.Insert("kv", Tuple{NewInt(i), NewString(fmt.Sprintf("seed-%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for round := int64(0); round < 20; round++ {
+		victim := round % 20
+		txA := db.Begin()
+		if err := txA.Delete("kv", rids[victim]); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() {
+			txB := db.Begin()
+			if _, err := txB.Insert("kv", Tuple{NewInt(100 + round), NewString("churn")}); err != nil {
+				txB.Abort()
+				done <- err
+				return
+			}
+			done <- txB.Commit()
+		}()
+		if err := <-done; err != nil {
+			t.Fatalf("round %d: concurrent insert: %v", round, err)
+		}
+		if err := txA.Abort(); err != nil {
+			t.Fatalf("round %d: abort: %v", round, err)
+		}
+	}
+	n := 0
+	tx := db.Begin()
+	if err := tx.Scan("kv", func(RID, Tuple) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if n != 40 { // 20 seeds (all aborts restored) + 20 churn inserts
+		t.Fatalf("final row count %d, want 40", n)
+	}
+}

@@ -1,0 +1,294 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Persistent B+tree index checkpoints.
+//
+// Indexes used to be rebuilt from a full heap scan at every open — the
+// bulk of a reopen's cost. A checkpoint now serializes each index's
+// contents (keys in ascending order, posting lists in stored order) into
+// a chain of pages through the ordinary pager, stamps the chain with the
+// checkpoint's identity, and records the chain head and stamp in the
+// catalog. Open loads the index back with an O(n) comparison-free bulk
+// build and applies only the WAL tail, instead of rebuilding from the
+// heap.
+//
+// Safety is by validation, not by write ordering: the chain carries the
+// checkpoint stamp and a CRC over its entry bytes, and the catalog names
+// the stamp it expects. A crash anywhere around a checkpoint leaves
+// either a catalog pointing at a fully matching chain (loadable) or some
+// mismatch — an old catalog naming a stamp the rewritten chain no longer
+// carries, a new catalog whose chain pages never became durable, torn or
+// lost pages breaking the CRC — and every mismatch falls back to the
+// heap rebuild that was previously unconditional. A stale or torn chain
+// can therefore never surface through a query; at worst it costs the old
+// rebuild price. Chains are rewritten in place (reusing their pages)
+// only when the index actually changed since the last serialization.
+//
+// Chain page layout: [next PageID u32 | payload (PageSize-4 bytes)].
+// Stream layout (spanning the chain payloads):
+//   magic "UIX1" | stamp u64 | payloadLen u32 | crc32(payload) u32 |
+//   payload: nEntries u32 | per entry: key (value encoding) |
+//            nRIDs u32 | (page u32, slot u16)*
+
+const (
+	idxChainHeader = 4
+	idxChainCap    = PageSize - idxChainHeader
+	idxStreamHdr   = 4 + 8 + 4 + 4
+	// idxMaxChainPages bounds chain walks against corrupt next pointers
+	// (cycles or runaway chains): 1<<18 pages is a 1 GiB index, far past
+	// anything this engine stores.
+	idxMaxChainPages = 1 << 18
+)
+
+var idxMagic = [4]byte{'U', 'I', 'X', '1'}
+
+// serializeIndex renders the tree's entries as a checkpoint stream
+// payload (without the stream header).
+func serializeIndex(bt *BTree) []byte {
+	buf := make([]byte, 4, 1024)
+	entries := uint32(0)
+	var tmp [6]byte
+	bt.GroupedRange(nil, nil, false, func(key Value, rids []RID) bool {
+		buf = encodeValue(buf, key)
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(rids)))
+		buf = append(buf, n[:]...)
+		for _, rid := range rids {
+			binary.LittleEndian.PutUint32(tmp[0:4], uint32(rid.Page))
+			binary.LittleEndian.PutUint16(tmp[4:6], rid.Slot)
+			buf = append(buf, tmp[:]...)
+		}
+		entries++
+		return true
+	})
+	binary.LittleEndian.PutUint32(buf[0:4], entries)
+	return buf
+}
+
+// indexFromStream parses a checkpoint payload and bulk-builds the tree.
+func indexFromStream(payload []byte) (*BTree, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("rdbms: short index stream")
+	}
+	n := int(binary.LittleEndian.Uint32(payload[0:4]))
+	off := 4
+	if n < 0 || n > len(payload) {
+		return nil, fmt.Errorf("rdbms: implausible index entry count %d", n)
+	}
+	keys := make([]Value, 0, n)
+	postings := make([][]RID, 0, n)
+	for i := 0; i < n; i++ {
+		key, used, err := decodeValue(payload[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		if len(payload) < off+4 {
+			return nil, fmt.Errorf("rdbms: truncated index posting count")
+		}
+		nr := int(binary.LittleEndian.Uint32(payload[off : off+4]))
+		off += 4
+		if nr <= 0 || len(payload) < off+6*nr {
+			return nil, fmt.Errorf("rdbms: truncated index posting list")
+		}
+		rids := make([]RID, nr)
+		for j := 0; j < nr; j++ {
+			rids[j] = RID{
+				Page: PageID(binary.LittleEndian.Uint32(payload[off : off+4])),
+				Slot: binary.LittleEndian.Uint16(payload[off+4 : off+6]),
+			}
+			off += 6
+		}
+		keys = append(keys, key)
+		postings = append(postings, rids)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("rdbms: %d trailing bytes in index stream", len(payload)-off)
+	}
+	return newBTreeFromSorted(defaultBTreeOrder, keys, postings)
+}
+
+// chainPages walks an existing chain from first, returning its page ids
+// in order. The walk stops at the first unreadable page or invalid link;
+// the caller reuses whatever prefix survives and allocates the rest.
+//
+// Reuse safety: chain pages carry no per-page ownership tag, so this
+// walk must never hand back a page that belongs to a heap. That holds
+// because a dangling or stale next pointer can only exist after a
+// failed load — and every failed load forces savedMut=-1, which makes
+// the same recover() rewrite the chain (closing checkpoint) before any
+// post-open allocation could claim the pointed-to page id. Changes that
+// defer or skip that rewrite after a failed load would break this
+// invariant; see the allLoaded condition in recover().
+func (db *DB) chainPages(first PageID) []PageID {
+	var chain []PageID
+	buf := make([]byte, PageSize)
+	seen := map[PageID]bool{}
+	id := first
+	for id != InvalidPage && id != 0 && id < db.pager.NumPages() && len(chain) < idxMaxChainPages {
+		if seen[id] {
+			break
+		}
+		if err := db.pager.ReadPage(id, buf); err != nil {
+			// A torn chain page: it is still a usable page slot (the next
+			// write re-frames it), but its link is garbage — stop here.
+			chain = append(chain, id)
+			break
+		}
+		seen[id] = true
+		chain = append(chain, id)
+		id = PageID(binary.LittleEndian.Uint32(buf[:4]))
+	}
+	return chain
+}
+
+// writeIndexChain serializes stream across the chain rooted at first
+// (InvalidPage: no chain yet), reusing its pages and allocating more as
+// needed, and returns the (possibly new) chain head. Durability rides on
+// the catalog write's sync that follows every checkpoint: if any chain
+// page fails to persist, the CRC or stamp check at load rejects the
+// chain and the index is rebuilt.
+func (db *DB) writeIndexChain(first PageID, stamp uint64, payload []byte) (PageID, error) {
+	stream := make([]byte, idxStreamHdr, idxStreamHdr+len(payload))
+	copy(stream[0:4], idxMagic[:])
+	binary.LittleEndian.PutUint64(stream[4:12], stamp)
+	binary.LittleEndian.PutUint32(stream[12:16], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(stream[16:20], crc32.ChecksumIEEE(payload))
+	stream = append(stream, payload...)
+
+	chain := db.chainPages(first)
+	need := (len(stream) + idxChainCap - 1) / idxChainCap
+	if need == 0 {
+		need = 1
+	}
+	for len(chain) < need {
+		id, err := db.pager.Allocate()
+		if err != nil {
+			return InvalidPage, err
+		}
+		chain = append(chain, id)
+	}
+	page := make([]byte, PageSize)
+	for i := 0; i < need; i++ {
+		for j := range page {
+			page[j] = 0
+		}
+		// The last written page still links to any surplus pages from a
+		// longer previous chain: readers stop at the stream's declared
+		// length, and keeping the link lets the next checkpoint reuse
+		// those pages instead of leaking them on every shrink/regrow
+		// cycle (there is no free list to reclaim them otherwise).
+		next := InvalidPage
+		if i+1 < len(chain) {
+			next = chain[i+1]
+		}
+		binary.LittleEndian.PutUint32(page[0:4], uint32(next))
+		lo := i * idxChainCap
+		hi := lo + idxChainCap
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		copy(page[idxChainHeader:], stream[lo:hi])
+		if err := db.pager.WritePage(chain[i], page); err != nil {
+			return InvalidPage, err
+		}
+	}
+	return chain[0], nil
+}
+
+// readIndexChain reassembles a chain's stream, validating magic, length,
+// and CRC, and returns the stamp and entry payload. Any anomaly — a torn
+// page, a broken link, a checksum mismatch — is an error; the caller
+// falls back to rebuilding the index from the heap.
+func (db *DB) readIndexChain(first PageID) (uint64, []byte, error) {
+	if first == InvalidPage || first >= db.pager.NumPages() {
+		return 0, nil, fmt.Errorf("rdbms: index chain head %d out of range", first)
+	}
+	buf := make([]byte, PageSize)
+	if err := db.pager.ReadPage(first, buf); err != nil {
+		return 0, nil, err
+	}
+	body := buf[idxChainHeader:]
+	if [4]byte(body[0:4]) != idxMagic {
+		return 0, nil, fmt.Errorf("rdbms: bad index chain magic at page %d", first)
+	}
+	stamp := binary.LittleEndian.Uint64(body[4:12])
+	plen := int(binary.LittleEndian.Uint32(body[12:16]))
+	wantCRC := binary.LittleEndian.Uint32(body[16:20])
+	if plen < 0 || plen > idxMaxChainPages*idxChainCap {
+		return 0, nil, fmt.Errorf("rdbms: implausible index stream length %d", plen)
+	}
+	total := idxStreamHdr + plen
+	stream := make([]byte, 0, total)
+	stream = append(stream, body[:min(len(body), total)]...)
+	next := PageID(binary.LittleEndian.Uint32(buf[0:4]))
+	pages := 1
+	for len(stream) < total {
+		if next == InvalidPage || next == 0 || next >= db.pager.NumPages() || pages >= idxMaxChainPages {
+			return 0, nil, fmt.Errorf("rdbms: index chain truncated after %d pages", pages)
+		}
+		if err := db.pager.ReadPage(next, buf); err != nil {
+			return 0, nil, err
+		}
+		body = buf[idxChainHeader:]
+		stream = append(stream, body[:min(len(body), total-len(stream))]...)
+		next = PageID(binary.LittleEndian.Uint32(buf[0:4]))
+		pages++
+	}
+	payload := stream[idxStreamHdr:]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return 0, nil, fmt.Errorf("rdbms: index chain checksum mismatch at page %d", first)
+	}
+	return stamp, payload, nil
+}
+
+// loadIndexCheckpoint attempts to restore one index from its chain,
+// returning nil (fall back to rebuild) on any validation failure: no
+// chain, unreadable or torn pages, a stamp from another checkpoint
+// generation, a checksum mismatch, or a malformed stream.
+func (db *DB) loadIndexCheckpoint(ci catalogIndex) *BTree {
+	if db.rebuildIndexes || ci.firstPage == InvalidPage {
+		return nil
+	}
+	stamp, payload, err := db.readIndexChain(ci.firstPage)
+	if err != nil || stamp != ci.stamp {
+		return nil
+	}
+	bt, err := indexFromStream(payload)
+	if err != nil {
+		return nil
+	}
+	return bt
+}
+
+// writeIndexCheckpoints serializes every index whose contents changed
+// since its chain was last written, stamping the chains with a fresh
+// checkpoint id. Runs under db.mu as part of checkpointLocked.
+func (db *DB) writeIndexCheckpoints() error {
+	db.checkpointID++
+	stamp := db.checkpointID
+	for _, name := range sortedKeys(db.tables) {
+		t := db.tables[name]
+		for _, col := range sortedKeys(t.Indexes) {
+			bt := t.Indexes[col]
+			ip := t.idxState(col)
+			mut := bt.Mutations()
+			if ip.firstPage != InvalidPage && ip.savedMut == mut {
+				continue // unchanged since last serialization
+			}
+			first, err := db.writeIndexChain(ip.firstPage, stamp, serializeIndex(bt))
+			if err != nil {
+				return err
+			}
+			ip.firstPage = first
+			ip.stamp = stamp
+			ip.savedMut = mut
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package rdbms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// The reopen matrix: index state on disk can be fresh (checkpoint chains
+// plus a WAL tail to replay), checkpointed (the happy bulk-load path),
+// stale (a chain stamped by another checkpoint generation), or torn
+// (chain bytes corrupted). Loads must succeed only in the first two
+// cases; the others must fall back to a heap rebuild — and in every case
+// queries answered through the index must match a from-scratch rebuild.
+
+// buildKVDir creates an on-disk db with an indexed kv table of n rows
+// and closes it cleanly.
+func buildKVDir(t *testing.T, dir string, n int) {
+	t.Helper()
+	db, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableSchema{Name: "kv", Columns: []ColumnDef{
+		{Name: "k", Type: TInt}, {Name: "v", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("kv", "k"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		if _, err := tx.Insert("kv", Tuple{NewInt(int64(i % 97)), NewString(fmt.Sprintf("row-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// verifyIndexedDB asserts index integrity and query correctness against
+// both the heap and the index-order path, then closes the db.
+func verifyIndexedDB(t *testing.T, db *DB, wantRows int) {
+	t.Helper()
+	idx := db.Table("kv").Indexes["k"]
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatalf("index invariants: %v", err)
+	}
+	if idx.Len() != wantRows {
+		t.Fatalf("index has %d entries, want %d", idx.Len(), wantRows)
+	}
+	// Index lookups must agree with a heap scan, key by key.
+	byKey := map[int64]map[RID]bool{}
+	total := 0
+	tx := db.Begin()
+	err := tx.Scan("kv", func(rid RID, tup Tuple) bool {
+		if byKey[tup[0].I] == nil {
+			byKey[tup[0].I] = map[RID]bool{}
+		}
+		byKey[tup[0].I][rid] = true
+		total++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range byKey {
+		rids, err := tx.IndexLookup("kv", "k", NewInt(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[RID]bool{}
+		for _, r := range rids {
+			got[r] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("key %d: index rids %v, heap rids %v", k, got, want)
+		}
+	}
+	tx.Commit()
+	if total != wantRows {
+		t.Fatalf("heap has %d rows, want %d", total, wantRows)
+	}
+	// An index-order query must produce exactly what the full sort does.
+	ordered := mustExec(t, db, "SELECT k, v FROM kv ORDER BY k LIMIT 25")
+	reference := mustExec(t, db, "SELECT k, v FROM kv ORDER BY k")
+	ref := reference.Rows
+	if len(ref) > 25 {
+		ref = ref[:25]
+	}
+	if !reflect.DeepEqual(renderRows(ordered.Rows), renderRows(ref)) {
+		t.Fatalf("index-order query diverges from full sort (plan %q)", ordered.Plan)
+	}
+}
+
+func TestReopenMatrixCheckpointed(t *testing.T) {
+	dir := t.TempDir()
+	buildKVDir(t, dir, 500)
+	db, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.LastOpenStats(); st.IndexesLoaded != 1 || st.IndexesRebuilt != 0 {
+		t.Fatalf("happy reopen should load the checkpointed index, got %+v", st)
+	}
+	verifyIndexedDB(t, db, 500)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenMatrixRebuildOption(t *testing.T) {
+	dir := t.TempDir()
+	buildKVDir(t, dir, 300)
+	db, err := OpenDir(dir, Options{BufferPages: 512, RebuildIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.LastOpenStats(); st.IndexesLoaded != 0 || st.IndexesRebuilt != 1 {
+		t.Fatalf("RebuildIndexes should force the fallback, got %+v", st)
+	}
+	verifyIndexedDB(t, db, 300)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenMatrixFreshTail: chains exist from the last checkpoint but
+// the process died with committed work in the WAL tail. The index loads
+// from its chain and the tail's deltas are applied on top — no rebuild —
+// and the result matches the committed state.
+func TestReopenMatrixFreshTail(t *testing.T) {
+	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pager, err := NewDevicePager(pageDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := NewWALOn(walDev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(pager, wal, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(TableSchema{Name: "kv", Columns: []ColumnDef{
+		{Name: "k", Type: TInt}, {Name: "v", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex("kv", "k"); err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	tx := db.Begin()
+	for i := 0; i < 200; i++ {
+		rid, err := tx.Insert("kv", Tuple{NewInt(int64(i % 31)), NewString(fmt.Sprintf("pre-%d", i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil { // chains now cover 200 rows
+		t.Fatal(err)
+	}
+	// Post-checkpoint tail: inserts, deletes, and an update, all committed
+	// (WAL-durable) but not checkpointed; plus one in-flight loser.
+	tx = db.Begin()
+	for i := 0; i < 40; i++ {
+		if _, err := tx.Insert("kv", Tuple{NewInt(int64(100 + i)), NewString(fmt.Sprintf("tail-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Delete("kv", rids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Update("kv", rids[7], Tuple{NewInt(999), NewString("moved")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	loser := db.Begin()
+	if _, err := loser.Insert("kv", Tuple{NewInt(5000), NewString("loser")}); err != nil {
+		t.Fatal(err)
+	}
+	db.wal.Flush() // the loser's records reach disk, but no verdict
+
+	// Crash: keep only synced bytes.
+	pageDev.Crash(nil)
+	walDev.Crash(nil)
+	re, pager2 := reopenClean(t, pageDev, walDev)
+	if err := pager2.VerifyChecksums(); err != nil {
+		t.Fatal(err)
+	}
+	if st := re.LastOpenStats(); st.IndexesLoaded != 1 || st.IndexesRebuilt != 0 {
+		t.Fatalf("tail reopen should load the chain and replay, got %+v", st)
+	}
+	verifyIndexedDB(t, re, 200+40-1) // 200 pre + 40 tail - 1 delete (the update keeps its row)
+	re.Close()
+}
+
+// tamperDataFile opens the closed database's data file raw, lets fn
+// mutate catalog+pages, and persists the result.
+func tamperDataFile(t *testing.T, dir string, fn func(p *DevicePager, cat *catalogData)) {
+	t.Helper()
+	p, err := OpenFilePager(filepath.Join(dir, DataFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, PageSize)
+	if err := p.ReadPage(0, page); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := decodeCatalog(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn(p, cat)
+	enc, err := encodeCatalog(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(0, enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenMatrixStaleChain: the catalog names a stamp the chain does
+// not carry (simulating a crash that left catalog and chain in different
+// checkpoint generations). The load must reject the chain and rebuild —
+// never serve index results from another generation's contents.
+func TestReopenMatrixStaleChain(t *testing.T) {
+	dir := t.TempDir()
+	buildKVDir(t, dir, 400)
+	tamperDataFile(t, dir, func(p *DevicePager, cat *catalogData) {
+		for ti := range cat.tables {
+			for ii := range cat.tables[ti].indexes {
+				cat.tables[ti].indexes[ii].stamp++ // catalog now expects a generation the chain never saw
+			}
+		}
+	})
+	db, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.LastOpenStats(); st.IndexesRebuilt != 1 || st.IndexesLoaded != 0 {
+		t.Fatalf("stale chain must rebuild, got %+v", st)
+	}
+	verifyIndexedDB(t, db, 400)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The healing checkpoint must leave the next reopen loadable again.
+	db2, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db2.LastOpenStats(); st.IndexesLoaded != 1 {
+		t.Fatalf("reopen after heal should load, got %+v", st)
+	}
+	verifyIndexedDB(t, db2, 400)
+	db2.Close()
+}
+
+// TestReopenMatrixTornChain: flip a byte inside the chain's entry bytes
+// (with a valid page frame, as a misdirected or partial write would
+// leave after the frame checksum was recomputed). The stream CRC must
+// reject it and the index rebuild from the heap.
+func TestReopenMatrixTornChain(t *testing.T) {
+	dir := t.TempDir()
+	buildKVDir(t, dir, 400)
+	tamperDataFile(t, dir, func(p *DevicePager, cat *catalogData) {
+		first := cat.tables[0].indexes[0].firstPage
+		page := make([]byte, PageSize)
+		if err := p.ReadPage(first, page); err != nil {
+			t.Fatal(err)
+		}
+		page[idxChainHeader+idxStreamHdr+8] ^= 0xFF
+		if err := p.WritePage(first, page); err != nil {
+			t.Fatal(err)
+		}
+	})
+	db, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.LastOpenStats(); st.IndexesRebuilt != 1 || st.IndexesLoaded != 0 {
+		t.Fatalf("torn chain must rebuild, got %+v", st)
+	}
+	verifyIndexedDB(t, db, 400)
+	db.Close()
+}
+
+// TestReopenMatrixTruncatedChain: break the chain's link structure (next
+// pointer into the void) — the reassembly must fail cleanly and rebuild.
+func TestReopenMatrixTruncatedChain(t *testing.T) {
+	dir := t.TempDir()
+	buildKVDir(t, dir, 2000) // enough rows for a multi-page chain
+	tamperDataFile(t, dir, func(p *DevicePager, cat *catalogData) {
+		first := cat.tables[0].indexes[0].firstPage
+		page := make([]byte, PageSize)
+		if err := p.ReadPage(first, page); err != nil {
+			t.Fatal(err)
+		}
+		if PageID(binary.LittleEndian.Uint32(page[0:4])) == InvalidPage {
+			t.Fatal("test needs a multi-page chain; raise the row count")
+		}
+		binary.LittleEndian.PutUint32(page[0:4], uint32(InvalidPage)) // chain now ends mid-stream
+		if err := p.WritePage(first, page); err != nil {
+			t.Fatal(err)
+		}
+	})
+	db, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.LastOpenStats(); st.IndexesRebuilt != 1 || st.IndexesLoaded != 0 {
+		t.Fatalf("truncated chain must rebuild, got %+v", st)
+	}
+	verifyIndexedDB(t, db, 2000)
+	db.Close()
+}
+
+// TestIndexChainShrinkReusesPages: a chain that shrinks must keep its
+// surplus pages linked so later checkpoints reuse them — repeated
+// shrink/grow cycles may not grow the page file.
+func TestIndexChainShrinkReusesPages(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, "CREATE TABLE kv (k INT, v STRING)")
+	mustExec(t, db, "CREATE INDEX ON kv (k)")
+	insert := func(lo, hi int) {
+		tx := db.Begin()
+		for i := lo; i < hi; i++ {
+			if _, err := tx.Insert("kv", Tuple{NewInt(int64(i)), NewString(fmt.Sprintf("v%d", i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert(0, 3000) // multi-page chain
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "DELETE FROM kv WHERE k >= 100") // shrink
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := db.pager.NumPages()
+	for cycle := 0; cycle < 3; cycle++ {
+		insert(3000+cycle*2900, 3000+cycle*2900+2900) // regrow to the old size
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, db, "DELETE FROM kv WHERE k >= 100")
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grown := db.pager.NumPages() - base; grown > 4 {
+		t.Fatalf("shrink/grow cycles leaked %d pages (chain pages not reused)", grown)
+	}
+}
+
+// TestBTreeBulkLoadMatchesInserts: the checkpoint loader's O(n) bulk
+// build must produce a tree observationally identical to insert-built.
+func TestBTreeBulkLoadMatchesInserts(t *testing.T) {
+	ref := NewBTreeOrder(8)
+	var keys []Value
+	var postings [][]RID
+	for i := 0; i < 500; i++ {
+		k := NewInt(int64(i * 3))
+		rids := []RID{{Page: PageID(i), Slot: 0}}
+		if i%7 == 0 {
+			rids = append(rids, RID{Page: PageID(i), Slot: 1})
+		}
+		for _, r := range rids {
+			ref.Insert(k, r)
+		}
+		keys = append(keys, k)
+		postings = append(postings, rids)
+	}
+	bulk, err := newBTreeFromSorted(8, keys, postings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != ref.Len() {
+		t.Fatalf("bulk len %d, ref len %d", bulk.Len(), ref.Len())
+	}
+	var got, want [][2]any
+	bulk.Range(nil, nil, func(k Value, r RID) bool { got = append(got, [2]any{k, r}); return true })
+	ref.Range(nil, nil, func(k Value, r RID) bool { want = append(want, [2]any{k, r}); return true })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("bulk-loaded range differs from insert-built")
+	}
+	// Bulk-loaded trees must keep absorbing inserts and deletes.
+	bulk.Insert(NewInt(1), RID{Page: 9999})
+	if !bulk.Delete(NewInt(0), RID{Page: 0, Slot: 0}) {
+		t.Fatal("delete after bulk load")
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order input must be rejected (loader falls back to rebuild).
+	if _, err := newBTreeFromSorted(8, []Value{NewInt(2), NewInt(1)}, [][]RID{{{}}, {{}}}); err == nil {
+		t.Fatal("out-of-order bulk load must fail")
+	}
+}
+
+// TestIndexCheckpointSkipsUnchanged: a checkpoint whose indexes did not
+// change since the last serialization must not rewrite their chains.
+func TestIndexCheckpointSkipsUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	buildKVDir(t, dir, 100)
+	db, err := OpenDir(dir, Options{BufferPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := db.Table("kv").idx["k"]
+	stampBefore := ip.stamp
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if ip.stamp != stampBefore {
+		t.Fatalf("unchanged index was re-serialized (stamp %d -> %d)", stampBefore, ip.stamp)
+	}
+	// After a write it must be rewritten with a fresh stamp.
+	tx := db.Begin()
+	if _, err := tx.Insert("kv", Tuple{NewInt(7), NewString("new")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if ip.stamp == stampBefore {
+		t.Fatal("changed index kept its old chain stamp")
+	}
+	db.Close()
+}

@@ -328,8 +328,11 @@ func (p *slottedPage) compactFor(need int) bool {
 }
 
 // insert places rec in the page and returns its slot, or false if it does
-// not fit even after compaction.
-func (p *slottedPage) insert(rec []byte) (uint16, bool) {
+// not fit even after compaction. A non-nil slotOK can veto candidate
+// slots (the caller may know a tombstoned slot is still claimed by an
+// in-flight transaction); a vetoed fresh slot means the whole page is
+// unusable for this insert.
+func (p *slottedPage) insert(rec []byte, slotOK func(uint16) bool) (uint16, bool) {
 	if len(rec) > tombstoneLen-1 {
 		return 0, false
 	}
@@ -337,10 +340,13 @@ func (p *slottedPage) insert(rec []byte) (uint16, bool) {
 	slot := p.numSlots()
 	newSlot := true
 	for i := uint16(0); i < p.numSlots(); i++ {
-		if _, l := p.slot(i); l == tombstoneLen {
+		if _, l := p.slot(i); l == tombstoneLen && (slotOK == nil || slotOK(i)) {
 			slot, newSlot = i, false
 			break
 		}
+	}
+	if newSlot && slotOK != nil && !slotOK(slot) {
+		return 0, false
 	}
 	need := len(rec)
 	if newSlot {

@@ -49,15 +49,22 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		ordered := s
-		ordered.OrderBy = nil // rows are pre-sorted; project must not re-sort
-		out, err := project(ordered, b, rows)
+		return presortedResult(s, b, rows, op.describe())
+	}
+
+	// ORDER BY + LIMIT served by a sequential scan: push the bounded
+	// top-k heap below the base scan, so rows it rejects are dropped
+	// inside the scan callback instead of being retained by baseRows and
+	// handed to projection. Index access paths keep the classic route
+	// (they already bound the candidate set); project()'s own top-k then
+	// handles them.
+	if s.Join == nil && !grouped && !s.Distinct && len(s.OrderBy) > 0 && s.Limit >= 0 &&
+		chooseAccessPath(s.Where, t, fromName) == nil {
+		rows, err := tx.scanTopKRows(s, b)
 		if err != nil {
 			return nil, err
 		}
-		applyOffsetLimit(out, s.Offset, s.Limit)
-		out.Plan = op.describe()
-		return out, nil
+		return presortedResult(s, b, rows, "seq scan "+s.From+" + top-k pushdown")
 	}
 
 	// Unordered, ungrouped, non-distinct queries need at most
@@ -113,6 +120,21 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	// Non-grouped ORDER BY is handled inside project (keys may reference
 	// unprojected columns); grouped ordering inside groupAndAggregate.
 	// LIMIT/OFFSET applied last.
+	applyOffsetLimit(out, s.Offset, s.Limit)
+	out.Plan = plan
+	return out, nil
+}
+
+// presortedResult finishes a query whose base rows already arrive in
+// ORDER BY order (index-order scan, scan-level top-k): project without
+// re-sorting, then apply OFFSET/LIMIT and the plan line.
+func presortedResult(s SelectStmt, b *binding, rows []Tuple, plan string) (*ResultSet, error) {
+	ordered := s
+	ordered.OrderBy = nil // rows are pre-sorted; project must not re-sort
+	out, err := project(ordered, b, rows)
+	if err != nil {
+		return nil, err
+	}
 	applyOffsetLimit(out, s.Offset, s.Limit)
 	out.Plan = plan
 	return out, nil
@@ -519,6 +541,85 @@ func project(s SelectStmt, b *binding, rows []Tuple) (*ResultSet, error) {
 	return out, nil
 }
 
+// resolveKeyExprs maps ORDER BY expressions to evaluable expressions,
+// following select-list aliases (ORDER BY v where the list has `val AS
+// v`) — the same resolution project()'s top-k and evalOrderKey perform.
+func resolveKeyExprs(s SelectStmt, cols []string, exprs []Expr) []Expr {
+	keyExprs := make([]Expr, len(s.OrderBy))
+	for i, ok := range s.OrderBy {
+		keyExprs[i] = ok.Expr
+		if cr, isCol := ok.Expr.(ColumnRef); isCol && cr.Table == "" {
+			for ci, c := range cols {
+				if c == cr.Column {
+					keyExprs[i] = exprs[ci]
+					break
+				}
+			}
+		}
+	}
+	return keyExprs
+}
+
+// scanTopKRows runs the bounded top-k collector inside the sequential
+// scan: each tuple has its WHERE filter and ORDER BY keys evaluated in
+// the scan callback, and only tuples the heap accepts are ever retained
+// — a rejected row costs no allocation beyond its transient decode.
+// Survivors return in ORDER BY order (ties in scan order, matching the
+// stable full sort). O(k) live memory for any table size.
+func (tx *Txn) scanTopKRows(s SelectStmt, b *binding) ([]Tuple, error) {
+	n := s.Offset + s.Limit
+	if n == 0 {
+		return nil, nil
+	}
+	cols, exprs := expandSelect(s, b)
+	keyExprs := resolveKeyExprs(s, cols, exprs)
+	tk := newTopK(n, s.OrderBy)
+	scratch := make(Tuple, len(keyExprs))
+	seq := 0
+	var evalErr error
+	err := tx.Scan(s.From, func(_ RID, tup Tuple) bool {
+		if s.Where != nil {
+			v, err := evalExpr(s.Where, b, tup)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truthy(v) {
+				return true
+			}
+		}
+		for i, e := range keyExprs {
+			v, err := evalExpr(e, b, tup)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			scratch[i] = v
+		}
+		mySeq := seq
+		seq++
+		if !tk.accepts(scratch) {
+			return true
+		}
+		keys := make(Tuple, len(scratch))
+		copy(keys, scratch)
+		tk.add(&keyedRow{keys: keys, row: tup, seq: mySeq})
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	sorted := tk.sorted()
+	out := make([]Tuple, len(sorted))
+	for i, kr := range sorted {
+		out[i] = kr.row
+	}
+	return out, nil
+}
+
 // topKBound reports whether ORDER BY + LIMIT can be served by the bounded
 // top-k collector, and the number of rows it must retain (OFFSET+LIMIT).
 // DISTINCT disqualifies it: dedup after truncation could underfill the
@@ -540,18 +641,7 @@ func topKRows(s SelectStmt, b *binding, rows []Tuple, cols []string, exprs []Exp
 	if n == 0 {
 		return nil, nil
 	}
-	keyExprs := make([]Expr, len(s.OrderBy))
-	for i, ok := range s.OrderBy {
-		keyExprs[i] = ok.Expr
-		if cr, isCol := ok.Expr.(ColumnRef); isCol && cr.Table == "" {
-			for ci, c := range cols {
-				if c == cr.Column {
-					keyExprs[i] = exprs[ci]
-					break
-				}
-			}
-		}
-	}
+	keyExprs := resolveKeyExprs(s, cols, exprs)
 	tk := newTopK(n, s.OrderBy)
 	scratch := make(Tuple, len(keyExprs))
 	for seq, r := range rows {

@@ -9,11 +9,11 @@ import (
 
 func TestSlottedPageInsertReadDelete(t *testing.T) {
 	p := newSlottedPage(make([]byte, PageSize))
-	s1, ok := p.insert([]byte("alpha"))
+	s1, ok := p.insert([]byte("alpha"), nil)
 	if !ok {
 		t.Fatal("insert failed")
 	}
-	s2, ok := p.insert([]byte("beta"))
+	s2, ok := p.insert([]byte("beta"), nil)
 	if !ok {
 		t.Fatal("insert failed")
 	}
@@ -33,7 +33,7 @@ func TestSlottedPageInsertReadDelete(t *testing.T) {
 		t.Fatal("double delete should fail")
 	}
 	// Tombstone slot reused by next insert.
-	s3, ok := p.insert([]byte("gamma"))
+	s3, ok := p.insert([]byte("gamma"), nil)
 	if !ok || s3 != s1 {
 		t.Fatalf("tombstone reuse: slot %d, want %d", s3, s1)
 	}
@@ -41,7 +41,7 @@ func TestSlottedPageInsertReadDelete(t *testing.T) {
 
 func TestSlottedPageUpdate(t *testing.T) {
 	p := newSlottedPage(make([]byte, PageSize))
-	s, _ := p.insert([]byte("aaaa"))
+	s, _ := p.insert([]byte("aaaa"), nil)
 	if !p.update(s, []byte("bb")) {
 		t.Fatal("shrink update failed")
 	}
@@ -64,7 +64,7 @@ func TestSlottedPageFull(t *testing.T) {
 	rec := make([]byte, 100)
 	n := 0
 	for {
-		if _, ok := p.insert(rec); !ok {
+		if _, ok := p.insert(rec, nil); !ok {
 			break
 		}
 		n++

@@ -23,6 +23,44 @@ type Txn struct {
 	// was told did not commit.
 	commitLogged bool
 	undo         []undoRec
+	// hashDelta accumulates, per content-hashed table, the wrapping-sum
+	// delta this transaction's writes apply to the table's multiset
+	// content hash. Applied at Commit (after the log is durable) and
+	// discarded at Abort, whose physical restores return the table — and
+	// therefore the hash — to its pre-transaction state.
+	hashDelta map[string]uint64
+}
+
+// slotFilter returns the tombstone-reuse predicate for inserts: a
+// tombstoned slot whose row lock is still held by another transaction is
+// off limits. The holder is a deleter that may yet abort — its undo would
+// restore the old row at that exact RID, colliding with the new tuple.
+// (The insert path re-locks the chosen RID afterwards; this filter keeps
+// the choice and the lock grant consistent because the only transaction
+// that could hold the lock is the one excluded here.)
+func (tx *Txn) slotFilter(table string) func(RID) bool {
+	return func(rid RID) bool {
+		return !tx.db.lm.HeldByOther(tx.id, RowLock(table, rid))
+	}
+}
+
+// foldHash accumulates a row-content change into the transaction's hash
+// delta for a content-hashed table. remove/add may be nil.
+func (tx *Txn) foldHash(t *Table, table string, remove, add Tuple) {
+	if t.hashCols == nil {
+		return
+	}
+	if tx.hashDelta == nil {
+		tx.hashDelta = map[string]uint64{}
+	}
+	d := tx.hashDelta[table]
+	if remove != nil {
+		d -= t.rowHash(remove)
+	}
+	if add != nil {
+		d += t.rowHash(add)
+	}
+	tx.hashDelta[table] = d
 }
 
 type undoRec struct {
@@ -71,7 +109,7 @@ func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
 	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockIX); err != nil {
 		return RID{}, err
 	}
-	rid, err := t.Heap.InsertWith(tup, func(rid RID) {
+	rid, err := t.Heap.InsertWhere(tup, tx.slotFilter(table), func(rid RID) {
 		tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: rid, After: tup})
 	})
 	if err != nil {
@@ -91,6 +129,7 @@ func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
 		ci := t.Schema.ColIndex(col)
 		idx.Insert(tup[ci], rid)
 	}
+	tx.foldHash(t, table, nil, tup)
 	return rid, nil
 }
 
@@ -148,6 +187,7 @@ func (tx *Txn) Delete(table string, rid RID) error {
 		idx.Delete(before[ci], rid)
 	}
 	tx.undo = append(tx.undo, undoRec{kind: LogDelete, table: table, rid: rid, before: before})
+	tx.foldHash(t, table, before, nil)
 	return nil
 }
 
@@ -186,6 +226,7 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 	if ok {
 		tx.fixIndexes(t, rid, newRID, before, tup)
 		tx.undo = append(tx.undo, undoRec{kind: LogUpdate, table: table, rid: newRID, before: before, after: tup})
+		tx.foldHash(t, table, before, tup)
 		return newRID, nil
 	}
 	// Tuple moves: logged as delete + insert so each page mutation has its
@@ -196,7 +237,7 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 		return RID{}, err
 	}
 	tx.undo = append(tx.undo, undoRec{kind: LogDelete, table: table, rid: rid, before: before})
-	newRID, err = t.Heap.InsertWith(tup, func(r RID) {
+	newRID, err = t.Heap.InsertWhere(tup, tx.slotFilter(table), func(r RID) {
 		tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: r, After: tup})
 	})
 	if err != nil {
@@ -209,6 +250,7 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 		return RID{}, err
 	}
 	tx.fixIndexes(t, rid, newRID, before, tup)
+	tx.foldHash(t, table, before, tup)
 	return newRID, nil
 }
 
@@ -276,18 +318,29 @@ func (tx *Txn) IndexRange(table, column string, lo, hi *Value, fn func(key Value
 }
 
 // Commit forces the log and releases locks. After Commit the transaction's
-// effects are durable (they survive a crash).
+// effects are durable (they survive a crash). Durability is bought through
+// the WAL's group-commit sequencer: the committer waits only until the
+// flush batch containing its own commit record is durable, so N
+// concurrent committers share O(1) fsyncs instead of paying one each.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
 	}
-	tx.db.wal.Append(&LogRecord{Kind: LogCommit, Txn: tx.id})
+	target := tx.db.wal.AppendEnd(&LogRecord{Kind: LogCommit, Txn: tx.id})
 	tx.commitLogged = true
-	if err := tx.db.wal.Flush(); err != nil {
+	if err := tx.db.wal.FlushCommit(target); err != nil {
 		// The commit record may or may not be durable; the transaction is
 		// in doubt until the caller aborts (which forces the abort record
 		// out) or a crash lets recovery decide from what survived.
 		return err
+	}
+	// The commit is durable: fold this transaction's content-hash deltas
+	// into their tables. Still before finish() so a table's hash already
+	// reflects the rows a newly admitted reader can see.
+	for name, d := range tx.hashDelta {
+		if t := tx.db.Table(name); t != nil {
+			t.hash.Add(d)
+		}
 	}
 	tx.finish()
 	return nil
@@ -347,7 +400,7 @@ func (tx *Txn) Abort() error {
 				}); err != nil {
 					return fmt.Errorf("rdbms: abort undo update: %w", err)
 				}
-				restoredRID, err = t.Heap.InsertWith(u.before, func(r RID) {
+				restoredRID, err = t.Heap.InsertWhere(u.before, tx.slotFilter(u.table), func(r RID) {
 					tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: r, After: u.before})
 				})
 				if err != nil {

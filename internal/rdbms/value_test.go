@@ -171,13 +171,17 @@ func TestColIndex(t *testing.T) {
 func TestCatalogRoundTrip(t *testing.T) {
 	cat := &catalogData{
 		checkpointLSN: 12345,
+		checkpointID:  42,
 		tables: []catalogTable{
 			{
 				schema: TableSchema{Name: "cities", Columns: []ColumnDef{
 					{Name: "name", Type: TString}, {Name: "pop", Type: TInt},
 				}},
 				firstPage: 7,
-				indexCols: []string{"name"},
+				indexes:   []catalogIndex{{col: "name", firstPage: 11, stamp: 42}},
+				hasHash:   true,
+				hashCols:  []string{"name"},
+				hash:      0xdeadbeefcafef00d,
 			},
 			{
 				schema:    TableSchema{Name: "empty", Columns: []ColumnDef{{Name: "v", Type: TFloat}}},
@@ -196,14 +200,22 @@ func TestCatalogRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.checkpointLSN != 12345 || len(got.tables) != 2 {
+	if got.checkpointLSN != 12345 || got.checkpointID != 42 || len(got.tables) != 2 {
 		t.Fatalf("decoded %+v", got)
 	}
 	if got.tables[0].schema.Name != "cities" || got.tables[0].firstPage != 7 {
 		t.Fatalf("table 0: %+v", got.tables[0])
 	}
-	if len(got.tables[0].indexCols) != 1 || got.tables[0].indexCols[0] != "name" {
-		t.Fatalf("index cols: %v", got.tables[0].indexCols)
+	idx := got.tables[0].indexes
+	if len(idx) != 1 || idx[0].col != "name" || idx[0].firstPage != 11 || idx[0].stamp != 42 {
+		t.Fatalf("index entries: %+v", idx)
+	}
+	if !got.tables[0].hasHash || got.tables[0].hash != 0xdeadbeefcafef00d ||
+		len(got.tables[0].hashCols) != 1 || got.tables[0].hashCols[0] != "name" {
+		t.Fatalf("hash spec: %+v", got.tables[0])
+	}
+	if got.tables[1].hasHash || len(got.tables[1].indexes) != 0 {
+		t.Fatalf("table 1 should have no hash or indexes: %+v", got.tables[1])
 	}
 	if got.tables[1].schema.Columns[0].Type != TFloat {
 		t.Fatal("column type lost")
