@@ -125,6 +125,7 @@ func BenchmarkWarmStart(b *testing.B) {
 func BenchmarkDurability(b *testing.B) {
 	b.Run("DiskCommit", perfbench.DiskCommit)
 	b.Run("DiskCommitParallel", perfbench.DiskCommitParallel)
+	b.Run("DiskCommitDuringCheckpoint", perfbench.DiskCommitDuringCheckpoint)
 	b.Run("DiskReopen", perfbench.DiskReopen)
 	b.Run("DiskReopenIndexed", perfbench.DiskReopenIndexed)
 }

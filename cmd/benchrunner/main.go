@@ -56,6 +56,7 @@ func runPerf(outPath, comparePath string, tolerance float64) error {
 	fmt.Printf("warm-start speedup (cold rebuild / load):    %.1fx\n", rep.WarmStartSpeedup)
 	fmt.Printf("group-commit speedup (solo / 8 committers):  %.1fx\n", rep.GroupCommitSpeedup)
 	fmt.Printf("indexed-reopen speedup (rebuild / idx load): %.1fx\n", rep.IndexedReopenSpeedup)
+	fmt.Printf("checkpoint commit overhead (in-flight ckpt):  %.2fx\n", rep.CheckpointCommitOverhead)
 	if outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -238,4 +238,104 @@
 // urgent); and the CI bench gate benchmarks a PR's merge-base and head
 // on the same runner instead of comparing against numbers measured on
 // another machine. BENCH_PR4.json records the trajectory point.
+//
+// # Non-quiescing checkpoints via page LSNs (PR5)
+//
+// PR5 removes the last stop-the-world stall on the disk path: a
+// checkpoint used to refuse active transactions outright, so a database
+// under sustained traffic could never bound its log or tighten its
+// recovery window. Checkpoints are now fuzzy — commits proceed at a
+// small bounded overhead while one is in flight (DiskCommitDuringCheckpoint
+// runs within ~1.1x of DiskCommit, a bench that previously could not
+// run at all) — built on three structural changes.
+//
+// Page LSNs. The slotted-page header carries the LSN of the last logged
+// mutation applied to the page, stamped under the same pin and heap
+// mutex that serialize the mutation, so per-page stamps are monotonic
+// and a page's content is always exactly "every record with LSN <=
+// pageLSN applied" (TestPageLSNTracksLog asserts the stamp equals the
+// last record per page). The buffer pool's WAL rule is now precise —
+// write-back flushes the log only up to the page's LSN — and each dirty
+// frame tracks a conservative recLSN (the first record since it was
+// last clean), with written-but-unsynced recLSNs retained until a pager
+// sync actually covers them.
+//
+// Monotonic LSNs and WAL prefix truncation. The WAL carries a
+// double-slot header (valid-CRC, higher-sequence slot wins) recording
+// the log's base — the logical LSN of its first physical byte — so LSNs
+// never reset for the life of the database and page stamps stay
+// comparable with log records across every checkpoint. TruncateTo
+// replaces the old full reset: the checkpoint computes the horizon
+// min(recLSN of pages not yet durably written, firstLSN of active
+// transactions, durable end) and discards only the prefix below it. A
+// live tail is preserved by a crash-safe copy-down protocol — the move
+// is announced in the header (COPYING state, with the previous base)
+// before any byte moves, the copy only runs when it cannot overlap its
+// source, a terminator frame stops stale bytes from parsing as records,
+// and an interrupted copy is redone idempotently at open.
+// TestWALPrefixTruncationCrashSafety kills the protocol at every one of
+// its I/O steps and checks the surviving records keep their LSNs.
+//
+// ARIES-style recovery. Redo is physical and gated on pageLSN <
+// rec.LSN: every data record from the catalog's replay origin is
+// re-applied slot-pinned exactly when the page has not seen it, then
+// the page is stamped. Fuzzy checkpoints flush pages mid-traffic, so
+// recovery routinely meets pages ahead of the replay origin — the gate
+// makes those a no-op instead of the hybrid states that forced PR3's
+// logical materialization, and replaying the same tail twice changes
+// nothing (TestRedoIdempotent). Losers (no verdict record) are then
+// undone newest-first by forcing slots back to their before-images —
+// state-idempotent, so recovery crashing mid-undo and re-running
+// converges. The per-slot prior→final outcome machine survives from PR3
+// only as the delta feed for loaded index chains and persisted content
+// hashes.
+//
+// Fuzzy checkpoint protocol. A checkpoint brackets itself with
+// begin/end WAL records (the begin record carries the dirty-page table
+// and active-transaction list), flushes dirty pages with the pool lock
+// taken per frame — pinned pages are simply skipped and keep holding
+// the horizon back — and writes the catalog with the horizon as the new
+// replay origin BEFORE truncating, so every crash window recovers from
+// a catalog whose origin the surviving log still covers. Derived state
+// is the subtle part: index checkpoint chains and content hashes are
+// only trustworthy if captured at a moment no transaction was active,
+// so each table tracks a mutation counter against its last consistent
+// capture (catMut/snapLSN). An idle checkpoint holds the transaction
+// admission gate for the brief in-memory serialization and re-captures
+// changed tables; a mid-traffic checkpoint instead marks changed
+// tables' derived state invalid (chain stamps bumped away from their
+// chains, hash flagged) — recovery then rebuilds those by scan, while
+// untouched tables keep their loadable chains and O(1)-verifiable
+// hashes. The clean close path is unchanged: Close still quiesces, so
+// DiskReopenIndexed's bulk-load reopen and LoadWarmState's O(1) verify
+// are exactly as fast as PR4 left them. core exposes System.Checkpoint
+// so a long-running system can bound its log mid-traffic
+// (TestCheckpointDoesNotStallWriters drives corrections and catalog
+// reads under a continuous checkpointer).
+//
+// Proof. The fault harness grew a concurrency-aware suite
+// (TestFuzzyCheckpointCrashSuite): three committer goroutines and a
+// background checkpointer run against fault-injected devices, and the
+// process is killed at every mutating I/O index — landing inside page
+// flushes, chain writes, catalog writes, and each WAL-truncation step
+// while commits are genuinely in flight. Once a kill fires, every other
+// goroutine's next I/O dies too (the injector models the whole process
+// dying), then a clean reopen is checked against a per-transaction
+// oracle (acked commits fully visible; unacked transactions atomic;
+// deleted rows never resurface; no invented rows) plus the
+// index-vs-heap and content-hash oracles, under -race. Together with
+// the single-threaded property suite (now 776 enumerated kill points,
+// >= 700 asserted) the fault suites run 1040+ injection runs. A
+// seed-reproducible soak (TestSoakCheckpointerReopen) runs a randomized
+// workload against an in-memory shadow model with a live checkpointer
+// and periodic close/reopen, asserting byte-identical ORDER BY results
+// each phase. The CI coverage gate on internal/rdbms rose from 80% to
+// 84% (85.9% measured), and the crash-recovery job's regex includes the
+// new suites.
+//
+// Also in PR5: Options.GroupCommitWindow exposes the group-commit
+// straggler window (nil = default 512 yields; explicit zero degenerates
+// to solo-commit flushing, asserted by TestGroupCommitZeroWindowSoloCommit),
+// and BENCH_PR5.json records the trajectory point with the new
+// checkpoint_commit_overhead ratio.
 package repro

@@ -358,6 +358,18 @@ func (s *System) Close() error {
 	return nil
 }
 
+// Checkpoint forces everything committed so far into the data pages and
+// truncates the WAL — without stalling concurrent work. The engine's
+// checkpoints are fuzzy (PR5): they run while guided-query writers,
+// CorrectValue, and extraction transactions keep committing, so a
+// long-running System can bound its log growth and tighten its
+// crash-recovery window on a timer or after large ingests, with no
+// quiesce coordination. (Close still checkpoints; this makes the same
+// durability available mid-flight.)
+func (s *System) Checkpoint() error {
+	return s.DB.Checkpoint()
+}
+
 // ExtractedRows returns the number of rows in the extracted table, read
 // O(1) from the entity index (diagnostics, CLI, and reopen detection).
 func (s *System) ExtractedRows() (int, error) {

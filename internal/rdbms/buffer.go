@@ -13,8 +13,15 @@ import (
 // reaches the pager before the WAL records describing its changes are
 // durable. Mutators append their log record while the modified page is
 // pinned (see HeapFile.InsertWith), pinned pages cannot be evicted, and
-// every write-back path below flushes the WAL first — so the before-image
-// of any flushed change is always recoverable.
+// every write-back path below flushes the WAL up to the page's LSN first
+// — so the before-image of any flushed change is always recoverable.
+//
+// The pool also maintains each dirty frame's recLSN — a conservative
+// lower bound on the LSN of the first record that dirtied it since it
+// was last clean — and remembers the recLSNs of pages written back but
+// not yet covered by a pager sync. min over both is the WAL-truncation
+// horizon a fuzzy checkpoint may not pass: every record below it
+// describes changes that are durably in the data pages.
 type BufferPool struct {
 	mu       sync.Mutex
 	pager    Pager
@@ -23,8 +30,21 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	lru      *list.List // of PageID; front = most recently used
 
+	// unsynced holds the recLSN of every frame written back since the
+	// last pager sync: written is not durable, so those records must
+	// survive truncation until a sync covers them. Entries are stamped
+	// with syncEpoch so a write-back racing an in-flight pager sync (not
+	// guaranteed to be covered by it) survives that sync's clear.
+	unsynced  map[PageID]unsyncedRec
+	syncEpoch uint64
+
 	hits   int64
 	misses int64
+}
+
+type unsyncedRec struct {
+	lsn   LSN
+	epoch uint64
 }
 
 type frame struct {
@@ -33,11 +53,20 @@ type frame struct {
 	pins  int
 	dirty bool
 	elem  *list.Element
+
+	// pinLSN is the WAL's next-LSN sampled when the current pin group
+	// started (pins went 0 -> 1): any record appended while any of those
+	// pins is held has an LSN >= pinLSN. recLSN is pinLSN frozen at the
+	// clean -> dirty transition — a conservative lower bound on the first
+	// record covering the frame's unwritten changes.
+	pinLSN LSN
+	recLSN LSN
 }
 
 // NewBufferPool wraps pager with a cache of capacity pages. A non-nil wal
-// is flushed before any dirty page is written back (the WAL rule); pass
-// nil for pools that do not participate in logging (tests, benchmarks).
+// is flushed (up to the page LSN) before any dirty page is written back
+// (the WAL rule); pass nil for pools that do not participate in logging
+// (tests, benchmarks).
 func NewBufferPool(pager Pager, wal *WAL, capacity int) *BufferPool {
 	if capacity < 2 {
 		capacity = 2
@@ -48,17 +77,33 @@ func NewBufferPool(pager Pager, wal *WAL, capacity int) *BufferPool {
 		capacity: capacity,
 		frames:   make(map[PageID]*frame),
 		lru:      list.New(),
+		unsynced: make(map[PageID]unsyncedRec),
 	}
 }
 
-// writeBack enforces the WAL rule and writes one frame to the pager.
+// writeBack enforces the WAL rule and writes one frame to the pager. The
+// caller holds bp.mu; the frame's recLSN moves to the unsynced set (the
+// write is not durable until the next pager sync).
 func (bp *BufferPool) writeBack(f *frame) error {
 	if bp.wal != nil {
-		if err := bp.wal.Flush(); err != nil {
+		// Flush the log only up to the page's last stamped record: +1 so
+		// the record STARTING at pageLSN is covered whole (flush targets
+		// land on record boundaries, so any boundary past the start is at
+		// or past the end).
+		if err := bp.wal.FlushTo(pageLSNOf(f.data) + 1); err != nil {
 			return err
 		}
 	}
-	return bp.pager.WritePage(f.id, f.data)
+	if err := bp.pager.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	rec := unsyncedRec{lsn: f.recLSN, epoch: bp.syncEpoch}
+	if prev, ok := bp.unsynced[f.id]; ok && prev.lsn < rec.lsn {
+		rec.lsn = prev.lsn // keep the older (more conservative) bound
+	}
+	bp.unsynced[f.id] = rec
+	f.recLSN = 0
+	return nil
 }
 
 // Pin fetches a page into the pool and pins it. The returned buffer aliases
@@ -67,6 +112,9 @@ func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
 	if f, ok := bp.frames[id]; ok {
+		if f.pins == 0 && bp.wal != nil {
+			f.pinLSN = bp.wal.NextLSN()
+		}
 		f.pins++
 		bp.lru.MoveToFront(f.elem)
 		bp.hits++
@@ -81,6 +129,9 @@ func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
 		return nil, err
 	}
 	f := &frame{id: id, data: data, pins: 1}
+	if bp.wal != nil {
+		f.pinLSN = bp.wal.NextLSN()
+	}
 	f.elem = bp.lru.PushFront(id)
 	bp.frames[id] = f
 	return f.data, nil
@@ -98,6 +149,10 @@ func (bp *BufferPool) NewPage() (PageID, []byte, error) {
 		return InvalidPage, nil, err
 	}
 	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, dirty: true}
+	if bp.wal != nil {
+		f.pinLSN = bp.wal.NextLSN()
+		f.recLSN = f.pinLSN
+	}
 	f.elem = bp.lru.PushFront(id)
 	bp.frames[id] = f
 	return id, f.data, nil
@@ -112,8 +167,9 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 		return
 	}
 	f.pins--
-	if dirty {
+	if dirty && !f.dirty {
 		f.dirty = true
+		f.recLSN = f.pinLSN
 	}
 }
 
@@ -142,20 +198,121 @@ func (bp *BufferPool) evictIfFullLocked() error {
 	return nil
 }
 
-// Flush writes all dirty frames back and syncs the pager.
+// Flush writes dirty frames back and syncs the pager. It is fuzzy: the
+// pool lock is taken per frame, not across the whole pass, so committers
+// keep pinning and mutating other pages while a checkpoint flushes —
+// this is what removes the checkpoint's quiesce stall. A frame pinned at
+// its turn is skipped and simply stays dirty (its recLSN keeps holding
+// the WAL-truncation horizon back); frames dirtied after the snapshot
+// are caught by the next checkpoint.
 func (bp *BufferPool) Flush() error {
 	bp.mu.Lock()
-	for _, f := range bp.frames {
+	ids := make([]PageID, 0, len(bp.frames))
+	for id, f := range bp.frames {
 		if f.dirty {
-			if err := bp.writeBack(f); err != nil {
-				bp.mu.Unlock()
-				return err
-			}
-			f.dirty = false
+			ids = append(ids, id)
 		}
 	}
 	bp.mu.Unlock()
-	return bp.pager.Sync()
+	for _, id := range ids {
+		// Per-frame closure so the pool lock is released even if the
+		// write-back panics (the fault harness's simulated crash fires
+		// inside device I/O; a leaked bp.mu would wedge every concurrent
+		// committer that should instead die its own death).
+		err := func() error {
+			bp.mu.Lock()
+			defer bp.mu.Unlock()
+			f, ok := bp.frames[id]
+			if !ok || !f.dirty || f.pins > 0 {
+				return nil
+			}
+			if err := bp.writeBack(f); err != nil {
+				return err
+			}
+			f.dirty = false
+			return nil
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	// Sync covers exactly the writes issued before it started. Bumping
+	// syncEpoch first makes any write-back that races in during the sync
+	// carry a newer stamp, so the post-sync clear (entries with an older
+	// stamp only) can never discard the recLSN of a page write the fsync
+	// did not cover — even a re-write of a page that was also in the
+	// covered set.
+	bp.mu.Lock()
+	bp.syncEpoch++
+	cut := bp.syncEpoch
+	bp.mu.Unlock()
+	if err := bp.pager.Sync(); err != nil {
+		return err
+	}
+	bp.mu.Lock()
+	for id, rec := range bp.unsynced {
+		if rec.epoch < cut {
+			delete(bp.unsynced, id)
+		}
+	}
+	bp.mu.Unlock()
+	return nil
+}
+
+// HasPendingWrites reports whether any frame is dirty or any write-back
+// is still uncovered by a pager sync — i.e. whether a checkpoint's flush
+// would have work to do.
+func (bp *BufferPool) HasPendingWrites() bool {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if len(bp.unsynced) > 0 {
+		return true
+	}
+	for _, f := range bp.frames {
+		if f.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// MinRecLSN returns the smallest recLSN across dirty frames and
+// written-but-unsynced pages — the oldest WAL record still needed to
+// redo changes that are not yet durably in the data pages — or ok=false
+// when everything is durable.
+func (bp *BufferPool) MinRecLSN() (LSN, bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	var minLSN LSN
+	found := false
+	take := func(l LSN) {
+		if !found || l < minLSN {
+			minLSN, found = l, true
+		}
+	}
+	for _, f := range bp.frames {
+		if f.dirty {
+			take(f.recLSN)
+		}
+	}
+	for _, rec := range bp.unsynced {
+		take(rec.lsn)
+	}
+	return minLSN, found
+}
+
+// DirtyPageTable returns a snapshot of (page, recLSN) for every dirty
+// frame — the dirty-page table a fuzzy checkpoint's begin record carries.
+func (bp *BufferPool) DirtyPageTable() map[PageID]LSN {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	out := make(map[PageID]LSN)
+	for id, f := range bp.frames {
+		if f.dirty {
+			out[id] = f.recLSN
+		}
+	}
+	return out
 }
 
 // NumPages reports the underlying pager's allocated page count.

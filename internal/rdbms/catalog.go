@@ -86,7 +86,45 @@ type Table struct {
 	// checkpoint stamp it carries, and the tree's mutation count when it
 	// was last written — unchanged indexes skip re-serialization.
 	idx map[string]*idxPersist
+
+	// Fuzzy-checkpoint consistency bookkeeping. mut counts every heap
+	// mutation applied through a transaction (including abort
+	// compensations); catMut is mut's value at the last CONSISTENT
+	// derived-state capture — a checkpoint that serialized this table's
+	// index chains and content hash while no transaction was active, at
+	// log position snapLSN. mut == catMut therefore means "the persisted
+	// chains and hash still describe this table exactly as of snapLSN,
+	// and every later record for it in the log is >= snapLSN" — the
+	// condition under which a crash recovery may bulk-load the chains and
+	// delta-adjust the hash from the WAL tail. A fuzzy checkpoint taken
+	// while the table is mid-change instead marks the persisted state
+	// invalid (hashValid=false, chain stamps bumped), and recovery falls
+	// back to rebuild/recompute by scan.
+	mut    atomic.Int64
+	catMut int64
+	// snapLSN / derivedValid / catHash are what the catalog persists for
+	// this table: the log position of the last consistent capture,
+	// whether that capture is trustworthy, and the hash value frozen at
+	// it (never the live accumulator — a committer folding its delta
+	// mid-catalog-write must not leak into a snapshot claiming an older
+	// log position).
+	snapLSN      LSN
+	derivedValid bool
+	catHash      uint64
+
+	// bornLSN is the log position at which this table incarnation was
+	// created (persisted in the catalog). Recovery ignores any WAL record
+	// for this table name with an older LSN: with non-quiescing
+	// checkpoints the log tail can outlive a DROP TABLE + CREATE TABLE of
+	// the same name (a long-running transaction holds the truncation
+	// horizon back), and without the fence the old incarnation's records
+	// would replay into — and adopt foreign pages into — the new table.
+	bornLSN LSN
 }
+
+// noteMutation records that a transaction mutated this table's heap (and
+// therefore its indexes and content hash).
+func (t *Table) noteMutation() { t.mut.Add(1) }
 
 // rowHash digests the content-hashed columns of one tuple.
 func (t *Table) rowHash(tup Tuple) uint64 {
@@ -114,12 +152,22 @@ func (t *Table) idxState(col string) *idxPersist {
 }
 
 // catalog page layout (page 0):
-//   magic "UDB2" | checkpointLSN u64 | checkpointID u64 | numTables u32 |
+//   magic "UDB3" | checkpointLSN u64 | checkpointID u64 | numTables u32 |
 //   per table: name | ncols u32 | (colName, typeByte)* | firstPage u32 |
+//              snapLSN u64 | bornLSN u64 |
+//              flags u8 (bit0: derived state valid) |
 //              hashFlag u8 [ nHashCols u32 | hashColName* | hash u64 ] |
 //              nIndexes u32 | (indexColName | chainFirstPage u32 | stamp u64)*
+//
+// checkpointLSN is the recovery replay origin (the checkpoint's
+// truncation horizon); snapLSN is the log position the table's persisted
+// derived state (index chains, content hash) was captured at, and the
+// valid flag says whether that capture was consistent (taken with no
+// transaction active on the table) — see Table.catMut.
 
-var catalogMagic = [4]byte{'U', 'D', 'B', '2'}
+var catalogMagic = [4]byte{'U', 'D', 'B', '3'}
+
+const catFlagDerivedValid = 1 << 0
 
 type catalogData struct {
 	checkpointLSN LSN
@@ -128,12 +176,15 @@ type catalogData struct {
 }
 
 type catalogTable struct {
-	schema    TableSchema
-	firstPage PageID
-	indexes   []catalogIndex
-	hashCols  []string
-	hash      uint64
-	hasHash   bool
+	schema       TableSchema
+	firstPage    PageID
+	snapLSN      LSN
+	bornLSN      LSN
+	derivedValid bool
+	indexes      []catalogIndex
+	hashCols     []string
+	hash         uint64
+	hasHash      bool
 }
 
 // catalogIndex records one index column and its serialized checkpoint
@@ -167,6 +218,15 @@ func encodeCatalog(c *catalogData) ([]byte, error) {
 		}
 		binary.LittleEndian.PutUint32(tmp4[:], uint32(t.firstPage))
 		buf = append(buf, tmp4[:]...)
+		binary.LittleEndian.PutUint64(tmp8[:], uint64(t.snapLSN))
+		buf = append(buf, tmp8[:]...)
+		binary.LittleEndian.PutUint64(tmp8[:], uint64(t.bornLSN))
+		buf = append(buf, tmp8[:]...)
+		var flags byte
+		if t.derivedValid {
+			flags |= catFlagDerivedValid
+		}
+		buf = append(buf, flags)
 		if t.hasHash {
 			buf = append(buf, 1)
 			binary.LittleEndian.PutUint32(tmp4[:], uint32(len(t.hashCols)))
@@ -204,11 +264,13 @@ func decodeCatalog(page []byte) (*catalogData, error) {
 		return nil, fmt.Errorf("rdbms: short catalog page")
 	}
 	if [4]byte(page[:4]) != catalogMagic {
-		if [4]byte(page[:4]) == ([4]byte{'U', 'D', 'B', '1'}) {
-			// The pre-PR4 layout (no checkpoint id, chain pointers, or hash
-			// spec). No migration path is kept — the format predates any
-			// release — but fail with a diagnosis, not "bad magic".
-			return nil, fmt.Errorf("rdbms: catalog format UDB1 is no longer supported; delete the database directory and regenerate")
+		if page[0] == 'U' && page[1] == 'D' && page[2] == 'B' && (page[3] == '1' || page[3] == '2') {
+			// Pre-PR5 layouts (UDB1: no checkpoint id/chains/hash; UDB2: no
+			// page LSNs, snapshot LSNs, or derived-state validity — and its
+			// slotted pages lack the widened LSN header). No migration path
+			// is kept — the format predates any release — but fail with a
+			// diagnosis, not "bad magic".
+			return nil, fmt.Errorf("rdbms: catalog format UDB%c is no longer supported; delete the database directory and regenerate", page[3])
 		}
 		return nil, fmt.Errorf("rdbms: bad catalog magic")
 	}
@@ -243,11 +305,17 @@ func decodeCatalog(page []byte) (*catalogData, error) {
 			t.schema.Columns = append(t.schema.Columns, ColumnDef{Name: cname, Type: Type(page[off])})
 			off++
 		}
-		if len(page) < off+5 {
+		if len(page) < off+22 {
 			return nil, fmt.Errorf("rdbms: truncated catalog table")
 		}
 		t.firstPage = PageID(binary.LittleEndian.Uint32(page[off : off+4]))
 		off += 4
+		t.snapLSN = LSN(binary.LittleEndian.Uint64(page[off : off+8]))
+		off += 8
+		t.bornLSN = LSN(binary.LittleEndian.Uint64(page[off : off+8]))
+		off += 8
+		t.derivedValid = page[off]&catFlagDerivedValid != 0
+		off++
 		hasHash := page[off] == 1
 		off++
 		if hasHash {

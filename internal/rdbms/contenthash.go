@@ -51,9 +51,11 @@ func contentHashCols(tup Tuple, cols []int) uint64 {
 // restores the digest without scanning. Re-enabling with the same
 // columns is a no-op (the reopen path); changing the column set rescans.
 func (db *DB) EnableContentHash(table string, cols []string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	db.mu.RLock()
 	t, ok := db.tables[table]
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("rdbms: table %s does not exist", table)
 	}
@@ -75,26 +77,42 @@ func (db *DB) EnableContentHash(table string, cols []string) error {
 	if same {
 		return nil // already maintained (reopen path): keep the recovered digest
 	}
-	// Enabling runs a WAL-resetting checkpoint (like DDL) and the scan
-	// below reads without transaction locks: both require quiesce, the
-	// same precondition Checkpoint enforces.
-	db.txnMu.Lock()
-	n := len(db.active)
-	db.txnMu.Unlock()
-	if n > 0 {
-		return fmt.Errorf("rdbms: enable content hash with %d active transactions", n)
-	}
-	var sum uint64
-	err := t.Heap.Scan(func(_ RID, tup Tuple) bool {
-		sum += contentHashCols(tup, idxs)
-		return true
-	})
-	if err != nil {
+	// The baseline scan reads without transaction locks, so enabling
+	// requires quiesce (checkpoints themselves no longer do) — and the
+	// check must stay atomic with the scan: db.mu is held exclusively
+	// across check + scan + install, which parks every new transaction
+	// operation at its db.Table lookup until the digest is in place. A
+	// transaction beginning mid-scan would otherwise write rows the scan
+	// already passed without folding a delta (hashCols is still nil from
+	// its point of view), silently corrupting the baseline.
+	if err := func() error {
+		db.mu.Lock()
+		defer db.mu.Unlock() // released before the checkpoint below (it takes RLock)
+		db.txnMu.Lock()
+		n := len(db.active)
+		db.txnMu.Unlock()
+		if n > 0 {
+			return fmt.Errorf("rdbms: enable content hash with %d active transactions", n)
+		}
+		var sum uint64
+		err := t.Heap.Scan(func(_ RID, tup Tuple) bool {
+			sum += contentHashCols(tup, idxs)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		t.hashCols = idxs
+		t.hashColNames = append([]string(nil), cols...)
+		t.hash.Store(sum)
+		t.catHash = sum
+		// Mark the table changed so the checkpoint's consistent capture
+		// re-freezes snapLSN/validity around the new spec.
+		t.noteMutation()
+		return nil
+	}(); err != nil {
 		return err
 	}
-	t.hashCols = idxs
-	t.hashColNames = append([]string(nil), cols...)
-	t.hash.Store(sum)
 	// Persist the spec like DDL: the catalog is always consistent with a
 	// checkpoint boundary.
 	return db.checkpointLocked()

@@ -249,9 +249,12 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
+	// A quiescent checkpoint's horizon is the end of the log, so the file
+	// shrinks to just the WAL header (the base-LSN bookkeeping that keeps
+	// LSNs monotonic across truncations).
 	st, _ = os.Stat(filepath.Join(dir, WALFileName))
-	if st.Size() != 0 {
-		t.Fatalf("WAL not truncated at checkpoint: %d bytes", st.Size())
+	if st.Size() != walHeaderSize {
+		t.Fatalf("WAL not truncated at checkpoint: %d bytes, want %d (header only)", st.Size(), walHeaderSize)
 	}
 	// Post-checkpoint work still recovers after a kill (drop the flock by
 	// hand, as the OS would for a dead process).

@@ -61,10 +61,19 @@ const (
 // FaultInjector schedules faults by global I/O index across every device
 // wrapped with it. It also counts operations, so a fault-free dry run
 // measures how many injection points a workload has.
+//
+// Once a scheduled crash fires, the injector considers the process dead:
+// every subsequent I/O through it also crashes (panics with the original
+// CrashSignal op). With a single-threaded workload that changes nothing
+// — the first panic unwinds the whole run — but with concurrent
+// committers and checkpointers it models reality: the machine does not
+// keep serving other goroutines' I/O after the power cut.
 type FaultInjector struct {
-	mu    sync.Mutex
-	ops   int64
-	sched map[int64]FaultKind
+	mu     sync.Mutex
+	ops    int64
+	sched  map[int64]FaultKind
+	dead   bool
+	deadOp int64
 }
 
 // NewFaultInjector returns an injector with no faults scheduled.
@@ -90,9 +99,24 @@ func (fi *FaultInjector) Ops() int64 {
 func (fi *FaultInjector) step() (int64, FaultKind) {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
+	if fi.dead {
+		return fi.deadOp, FaultCrash
+	}
 	idx := fi.ops
 	fi.ops++
-	return idx, fi.sched[idx]
+	k := fi.sched[idx]
+	if k == FaultCrash || k == FaultTornWrite {
+		fi.dead = true
+		fi.deadOp = idx
+	}
+	return idx, k
+}
+
+// Crashed reports whether a scheduled crash has fired (and at which op).
+func (fi *FaultInjector) Crashed() (int64, bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.deadOp, fi.dead
 }
 
 // FaultDevice wraps a Device, applying the injector's schedule to every

@@ -433,8 +433,8 @@ func TestCrashRecoveryPropertySuite(t *testing.T) {
 			t.Logf("seed %d: %d injection points", seed, total)
 		})
 	}
-	if !testing.Short() && runs < 200 {
-		t.Fatalf("property suite executed %d fault-injection runs, want >= 200", runs)
+	if !testing.Short() && runs < 700 {
+		t.Fatalf("property suite executed %d fault-injection runs, want >= 700", runs)
 	}
 	t.Logf("crash-recovery property suite: %d fault-injection runs", runs)
 }

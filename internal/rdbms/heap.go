@@ -2,7 +2,6 @@ package rdbms
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 )
 
@@ -66,8 +65,11 @@ func (h *HeapFile) Insert(t Tuple) (RID, error) { return h.InsertWith(t, nil) }
 // InsertWith stores a tuple and, while the target page is still pinned,
 // invokes onApply with the new RID. Pinned pages cannot be evicted, so a
 // WAL append performed in onApply is guaranteed to precede any flush of
-// the modified page (the write-ahead rule).
-func (h *HeapFile) InsertWith(t Tuple, onApply func(RID)) (RID, error) {
+// the modified page (the write-ahead rule). onApply returns the LSN of
+// the record it logged, which is stamped into the page header (the page
+// LSN recovery's redo gating compares against); return 0 for unlogged
+// mutations.
+func (h *HeapFile) InsertWith(t Tuple, onApply func(RID) LSN) (RID, error) {
 	return h.InsertWhere(t, nil, onApply)
 }
 
@@ -77,7 +79,7 @@ func (h *HeapFile) InsertWith(t Tuple, onApply func(RID)) (RID, error) {
 // is still held by a concurrent deleting transaction — reusing such a
 // slot would collide with that transaction's abort, which restores its
 // row at the same RID.
-func (h *HeapFile) InsertWhere(t Tuple, slotOK func(RID) bool, onApply func(RID)) (RID, error) {
+func (h *HeapFile) InsertWhere(t Tuple, slotOK func(RID) bool, onApply func(RID) LSN) (RID, error) {
 	rec := EncodeTuple(t)
 	if len(rec)+slotSize > PageSize-pageHeaderSize {
 		return RID{}, fmt.Errorf("rdbms: tuple of %d bytes exceeds page capacity", len(rec))
@@ -104,7 +106,9 @@ func (h *HeapFile) InsertWhere(t Tuple, slotOK func(RID) bool, onApply func(RID)
 		if slot, ok := p.insert(rec, pageOK); ok {
 			rid := RID{Page: id, Slot: slot}
 			if onApply != nil {
-				onApply(rid)
+				if lsn := onApply(rid); lsn != 0 {
+					p.setPageLSN(lsn)
+				}
 			}
 			h.bp.Unpin(id, true)
 			return rid, nil
@@ -125,7 +129,9 @@ func (h *HeapFile) InsertWhere(t Tuple, slotOK func(RID) bool, onApply func(RID)
 	}
 	rid := RID{Page: id, Slot: slot}
 	if onApply != nil {
-		onApply(rid)
+		if lsn := onApply(rid); lsn != 0 {
+			p.setPageLSN(lsn)
+		}
 	}
 	h.bp.Unpin(id, true)
 	// Link previous tail to the new page.
@@ -182,14 +188,14 @@ func (h *HeapFile) Adopt(id PageID) error {
 }
 
 // InsertAt re-inserts a tuple at a specific RID if that slot is free; used
-// by abort and crash recovery to restore rows idempotently. If the exact
-// slot cannot be honoured (already occupied by live data) it returns an
-// error.
+// by abort to restore rows idempotently. If the exact slot cannot be
+// honoured (already occupied by live data) it returns an error.
 func (h *HeapFile) InsertAt(rid RID, t Tuple) error { return h.InsertAtWith(rid, t, nil) }
 
 // InsertAtWith is InsertAt with an onApply hook invoked while the page is
-// pinned (see InsertWith for the write-ahead rationale).
-func (h *HeapFile) InsertAtWith(rid RID, t Tuple, onApply func()) error {
+// pinned (see InsertWith for the write-ahead rationale and the page-LSN
+// stamping contract).
+func (h *HeapFile) InsertAtWith(rid RID, t Tuple, onApply func() LSN) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	rec := EncodeTuple(t)
@@ -203,97 +209,100 @@ func (h *HeapFile) InsertAtWith(rid RID, t Tuple, onApply func()) error {
 		if _, live := p.read(rid.Slot); live {
 			return fmt.Errorf("rdbms: InsertAt %v: slot occupied", rid)
 		}
-		// Re-materialize into the tombstoned slot, compacting the page if
-		// churn has fragmented away the contiguous space.
-		if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
-			return fmt.Errorf("rdbms: InsertAt %v: no space", rid)
-		}
-		newStart := p.freeStart() - uint16(len(rec))
-		copy(p.data[newStart:], rec)
-		p.setFreeStart(newStart)
-		p.setSlot(rid.Slot, newStart, uint16(len(rec)))
-		if onApply != nil {
-			onApply()
-		}
-		return nil
 	}
-	// Slot index beyond current count: extend the slot array to reach it.
-	for p.numSlots() <= rid.Slot {
-		if p.freeSpace() < slotSize && !p.compactFor(slotSize) {
-			return fmt.Errorf("rdbms: InsertAt %v: no slot space", rid)
-		}
-		s := p.numSlots()
-		p.setSlot(s, 0, tombstoneLen)
-		p.setNumSlots(s + 1)
+	if err := setSlotContent(p, rid.Slot, SlotContent{Live: true, Tup: t}, rec); err != nil {
+		return fmt.Errorf("rdbms: InsertAt %v: %w", rid, err)
 	}
-	if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
-		return fmt.Errorf("rdbms: InsertAt %v: no space", rid)
-	}
-	newStart := p.freeStart() - uint16(len(rec))
-	copy(p.data[newStart:], rec)
-	p.setFreeStart(newStart)
-	p.setSlot(rid.Slot, newStart, uint16(len(rec)))
 	if onApply != nil {
-		onApply()
+		if lsn := onApply(); lsn != 0 {
+			p.setPageLSN(lsn)
+		}
 	}
 	return nil
 }
 
-// SlotContent is the target state of one slot for MaterializeSlots.
+// SlotContent is the target state of one slot for RedoSlot / ForceSlot.
 type SlotContent struct {
 	Live bool
 	Tup  Tuple
 }
 
-// MaterializeSlots forces the given slots of one page to exactly the
-// given contents, leaving every other slot untouched. Crash recovery uses
-// it to write each page's computed post-recovery state in one pass: all
-// targeted slots are tombstoned first so their old bytes are reclaimable,
-// then live contents are placed slot-pinned (rows never move to another
-// RID), compacting as needed.
-func (h *HeapFile) MaterializeSlots(id PageID, slots map[uint16]SlotContent) error {
+// setSlotContent forces slot s of p to exactly sc: dead slots are
+// tombstoned (extending the slot array if s is beyond it), live contents
+// are placed slot-pinned — rows never move to another RID — compacting
+// the page as needed. rec may carry sc.Tup pre-encoded (nil to encode
+// here).
+func setSlotContent(p *slottedPage, s uint16, sc SlotContent, rec []byte) error {
+	for p.numSlots() <= s {
+		if p.freeSpace() < slotSize && !p.compactFor(slotSize) {
+			return fmt.Errorf("no slot space")
+		}
+		n := p.numSlots()
+		p.setSlot(n, 0, tombstoneLen)
+		p.setNumSlots(n + 1)
+	}
+	p.setSlot(s, 0, tombstoneLen)
+	if !sc.Live {
+		return nil
+	}
+	if rec == nil {
+		rec = EncodeTuple(sc.Tup)
+	}
+	if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
+		return fmt.Errorf("no space for %d bytes", len(rec))
+	}
+	newStart := p.freeStart() - uint16(len(rec))
+	copy(p.data[newStart:], rec)
+	p.setFreeStart(newStart)
+	p.setSlot(s, newStart, uint16(len(rec)))
+	return nil
+}
+
+// RedoSlot applies one logged mutation's outcome to a page iff the page
+// has not seen it: the record is applied only when pageLSN < lsn, and the
+// page is then stamped with lsn. Because mutations stamp the page in log
+// order, pageLSN >= lsn means the page already reflects this record (and
+// possibly later ones) — skipping it is what makes physical redo
+// idempotent: replaying the same WAL tail twice over recovered pages is a
+// no-op. Returns whether the record was applied.
+func (h *HeapFile) RedoSlot(rid RID, sc SlotContent, lsn LSN) (bool, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	data, err := h.bp.Pin(id)
+	data, err := h.bp.Pin(rid.Page)
+	if err != nil {
+		return false, err
+	}
+	p := newSlottedPage(data)
+	if p.pageLSN() >= lsn {
+		h.bp.Unpin(rid.Page, false)
+		return false, nil
+	}
+	if err := setSlotContent(p, rid.Slot, sc, nil); err != nil {
+		h.bp.Unpin(rid.Page, true)
+		return false, fmt.Errorf("rdbms: redo %v: %w", rid, err)
+	}
+	p.setPageLSN(lsn)
+	h.bp.Unpin(rid.Page, true)
+	return true, nil
+}
+
+// ForceSlot sets a slot's content unconditionally, stamping the page with
+// lsn. Recovery's undo pass uses it to roll loser transactions back to
+// their before-images: "set slot to X" is state-idempotent, so re-running
+// undo after a crash during recovery converges to the same pages.
+func (h *HeapFile) ForceSlot(rid RID, sc SlotContent, lsn LSN) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, err := h.bp.Pin(rid.Page)
 	if err != nil {
 		return err
 	}
-	defer h.bp.Unpin(id, true)
+	defer h.bp.Unpin(rid.Page, true)
 	p := newSlottedPage(data)
-	order := make([]uint16, 0, len(slots))
-	var maxSlot uint16
-	for s := range slots {
-		order = append(order, s)
-		if s > maxSlot {
-			maxSlot = s
-		}
+	if err := setSlotContent(p, rid.Slot, sc, nil); err != nil {
+		return fmt.Errorf("rdbms: undo %v: %w", rid, err)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-	for p.numSlots() <= maxSlot {
-		if p.freeSpace() < slotSize && !p.compactFor(slotSize) {
-			return fmt.Errorf("rdbms: materialize page %d: no slot space", id)
-		}
-		s := p.numSlots()
-		p.setSlot(s, 0, tombstoneLen)
-		p.setNumSlots(s + 1)
-	}
-	for _, s := range order {
-		p.setSlot(s, 0, tombstoneLen)
-	}
-	for _, s := range order {
-		sc := slots[s]
-		if !sc.Live {
-			continue
-		}
-		rec := EncodeTuple(sc.Tup)
-		if p.freeSpace() < len(rec) && !p.compactFor(len(rec)) {
-			return fmt.Errorf("rdbms: materialize %d:%d: no space for %d bytes", id, s, len(rec))
-		}
-		newStart := p.freeStart() - uint16(len(rec))
-		copy(p.data[newStart:], rec)
-		p.setFreeStart(newStart)
-		p.setSlot(s, newStart, uint16(len(rec)))
-	}
+	p.setPageLSN(lsn)
 	return nil
 }
 
@@ -320,8 +329,9 @@ func (h *HeapFile) Get(rid RID) (Tuple, bool, error) {
 func (h *HeapFile) Delete(rid RID) (bool, error) { return h.DeleteWith(rid, nil) }
 
 // DeleteWith tombstones the tuple at rid, invoking onApply while the page
-// is pinned (see InsertWith for the write-ahead rationale).
-func (h *HeapFile) DeleteWith(rid RID, onApply func()) (bool, error) {
+// is pinned (see InsertWith for the write-ahead rationale and the
+// page-LSN stamping contract).
+func (h *HeapFile) DeleteWith(rid RID, onApply func() LSN) (bool, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	data, err := h.bp.Pin(rid.Page)
@@ -332,7 +342,9 @@ func (h *HeapFile) DeleteWith(rid RID, onApply func()) (bool, error) {
 	p := newSlottedPage(data)
 	ok := p.del(rid.Slot)
 	if ok && onApply != nil {
-		onApply()
+		if lsn := onApply(); lsn != 0 {
+			p.setPageLSN(lsn)
+		}
 	}
 	return ok, nil
 }
@@ -357,7 +369,7 @@ func (h *HeapFile) Update(rid RID, t Tuple) (RID, error) {
 // TryUpdateInPlace replaces the tuple at rid if the new encoding fits in
 // its page, invoking onApply while the page is pinned. ok is false when the
 // tuple must move (caller performs delete+insert, each separately logged).
-func (h *HeapFile) TryUpdateInPlace(rid RID, t Tuple, onApply func(RID)) (RID, bool, error) {
+func (h *HeapFile) TryUpdateInPlace(rid RID, t Tuple, onApply func(RID) LSN) (RID, bool, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	rec := EncodeTuple(t)
@@ -368,7 +380,9 @@ func (h *HeapFile) TryUpdateInPlace(rid RID, t Tuple, onApply func(RID)) (RID, b
 	p := newSlottedPage(data)
 	if p.update(rid.Slot, rec) {
 		if onApply != nil {
-			onApply(rid)
+			if lsn := onApply(rid); lsn != 0 {
+				p.setPageLSN(lsn)
+			}
 		}
 		h.bp.Unpin(rid.Page, true)
 		return rid, true, nil

@@ -265,30 +265,3 @@ func (db *DB) loadIndexCheckpoint(ci catalogIndex) *BTree {
 	}
 	return bt
 }
-
-// writeIndexCheckpoints serializes every index whose contents changed
-// since its chain was last written, stamping the chains with a fresh
-// checkpoint id. Runs under db.mu as part of checkpointLocked.
-func (db *DB) writeIndexCheckpoints() error {
-	db.checkpointID++
-	stamp := db.checkpointID
-	for _, name := range sortedKeys(db.tables) {
-		t := db.tables[name]
-		for _, col := range sortedKeys(t.Indexes) {
-			bt := t.Indexes[col]
-			ip := t.idxState(col)
-			mut := bt.Mutations()
-			if ip.firstPage != InvalidPage && ip.savedMut == mut {
-				continue // unchanged since last serialization
-			}
-			first, err := db.writeIndexChain(ip.firstPage, stamp, serializeIndex(bt))
-			if err != nil {
-				return err
-			}
-			ip.firstPage = first
-			ip.stamp = stamp
-			ip.savedMut = mut
-		}
-	}
-	return nil
-}

@@ -220,20 +220,36 @@ func allZero(b []byte) bool {
 }
 
 // Slotted page layout:
-//   [0:2)  numSlots
-//   [2:4)  freeStart (offset where the next record payload region begins,
-//          growing down from PageSize)
-//   [4:8)  next page id in the heap chain (InvalidPage terminates)
+//   [0:2)   numSlots
+//   [2:4)   freeStart (offset where the next record payload region begins,
+//           growing down from PageSize)
+//   [4:8)   next page id in the heap chain (InvalidPage terminates)
+//   [8:16)  pageLSN: the LSN of the last logged mutation applied to this
+//           page. Stamped while the page is pinned, under the same heap
+//           mutex that serializes the mutation itself, so per-page LSNs
+//           are monotonic and the page content is always exactly "every
+//           logged record with LSN <= pageLSN applied". Recovery redo is
+//           gated on it (apply a record only when pageLSN < rec.LSN),
+//           which makes replay idempotent physical redo, and the buffer
+//           pool flushes the WAL only up to pageLSN before writing the
+//           page back (the precise WAL rule).
 //   then numSlots slot entries of 4 bytes each: [offset uint16, len uint16].
 //   A slot with len == 0xFFFF is a tombstone (deleted).
 //
 // Records are written from the end of the page toward the slot array.
 
 const (
-	pageHeaderSize = 8
+	pageHeaderSize = 16
 	slotSize       = 4
 	tombstoneLen   = 0xFFFF
 )
+
+// pageLSNOf reads the page LSN directly from a page buffer (used by the
+// buffer pool, which holds raw frame bytes, without building a
+// slottedPage).
+func pageLSNOf(data []byte) LSN {
+	return LSN(binary.LittleEndian.Uint64(data[8:16]))
+}
 
 type slottedPage struct {
 	data []byte // PageSize bytes
@@ -253,6 +269,8 @@ func (p *slottedPage) freeStart() uint16     { return binary.LittleEndian.Uint16
 func (p *slottedPage) setFreeStart(v uint16) { binary.LittleEndian.PutUint16(p.data[2:4], v) }
 func (p *slottedPage) next() PageID          { return PageID(binary.LittleEndian.Uint32(p.data[4:8])) }
 func (p *slottedPage) setNext(id PageID)     { binary.LittleEndian.PutUint32(p.data[4:8], uint32(id)) }
+func (p *slottedPage) pageLSN() LSN          { return LSN(binary.LittleEndian.Uint64(p.data[8:16])) }
+func (p *slottedPage) setPageLSN(lsn LSN)    { binary.LittleEndian.PutUint64(p.data[8:16], uint64(lsn)) }
 
 func (p *slottedPage) slot(i uint16) (off, length uint16) {
 	base := pageHeaderSize + int(i)*slotSize

@@ -13,9 +13,12 @@ var ErrTxnDone = errors.New("rdbms: transaction already finished")
 // concurrent use by multiple goroutines (one goroutine per transaction,
 // many concurrent transactions).
 type Txn struct {
-	id   TxnID
-	db   *DB
-	done bool
+	id       TxnID
+	db       *DB
+	done     bool
+	firstLSN LSN // LSN of this transaction's BEGIN record: while the txn is
+	// active, no WAL truncation horizon may pass it (its records are the
+	// undo information a crash-time rollback needs)
 	// commitLogged is set once a COMMIT record has been appended. If that
 	// commit's flush fails and the caller aborts instead, the abort must
 	// be flushed too: otherwise a crash could durably keep the commit
@@ -77,8 +80,12 @@ func (db *DB) Begin() *Txn {
 	db.nextTxn++
 	tx := &Txn{id: db.nextTxn, db: db}
 	db.active[tx.id] = tx
+	// The BEGIN record is appended while the txn is already registered in
+	// db.active, so a concurrent checkpoint either sees the txn (and
+	// bounds its truncation horizon by firstLSN) or runs entirely before
+	// any of its records exist.
+	tx.firstLSN = db.wal.Append(&LogRecord{Kind: LogBegin, Txn: tx.id})
 	db.txnMu.Unlock()
-	db.wal.Append(&LogRecord{Kind: LogBegin, Txn: tx.id})
 	return tx
 }
 
@@ -109,8 +116,9 @@ func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
 	if err := tx.db.lm.Acquire(tx.id, TableLock(table), LockIX); err != nil {
 		return RID{}, err
 	}
-	rid, err := t.Heap.InsertWhere(tup, tx.slotFilter(table), func(rid RID) {
-		tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: rid, After: tup})
+	t.noteMutation()
+	rid, err := t.Heap.InsertWhere(tup, tx.slotFilter(table), func(rid RID) LSN {
+		return tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: rid, After: tup})
 	})
 	if err != nil {
 		return RID{}, err
@@ -173,8 +181,9 @@ func (tx *Txn) Delete(table string, rid RID) error {
 	if !live {
 		return fmt.Errorf("rdbms: delete of missing row %v", rid)
 	}
-	ok, err := t.Heap.DeleteWith(rid, func() {
-		tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
+	t.noteMutation()
+	ok, err := t.Heap.DeleteWith(rid, func() LSN {
+		return tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
 	})
 	if err != nil {
 		return err
@@ -217,8 +226,9 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 	if !live {
 		return RID{}, fmt.Errorf("rdbms: update of missing row %v", rid)
 	}
-	newRID, ok, err := t.Heap.TryUpdateInPlace(rid, tup, func(r RID) {
-		tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: table, Row: r, Before: before, After: tup})
+	t.noteMutation()
+	newRID, ok, err := t.Heap.TryUpdateInPlace(rid, tup, func(r RID) LSN {
+		return tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: table, Row: r, Before: before, After: tup})
 	})
 	if err != nil {
 		return RID{}, err
@@ -231,14 +241,14 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 	}
 	// Tuple moves: logged as delete + insert so each page mutation has its
 	// own record while pinned.
-	if _, err := t.Heap.DeleteWith(rid, func() {
-		tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
+	if _, err := t.Heap.DeleteWith(rid, func() LSN {
+		return tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
 	}); err != nil {
 		return RID{}, err
 	}
 	tx.undo = append(tx.undo, undoRec{kind: LogDelete, table: table, rid: rid, before: before})
-	newRID, err = t.Heap.InsertWhere(tup, tx.slotFilter(table), func(r RID) {
-		tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: r, After: tup})
+	newRID, err = t.Heap.InsertWhere(tup, tx.slotFilter(table), func(r RID) LSN {
+		return tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: r, After: tup})
 	})
 	if err != nil {
 		return RID{}, err
@@ -363,10 +373,11 @@ func (tx *Txn) Abort() error {
 		if t == nil {
 			continue
 		}
+		t.noteMutation()
 		switch u.kind {
 		case LogInsert:
-			if _, err := t.Heap.DeleteWith(u.rid, func() {
-				tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: u.table, Row: u.rid, Before: u.after})
+			if _, err := t.Heap.DeleteWith(u.rid, func() LSN {
+				return tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: u.table, Row: u.rid, Before: u.after})
 			}); err != nil {
 				return fmt.Errorf("rdbms: abort undo insert: %w", err)
 			}
@@ -375,8 +386,8 @@ func (tx *Txn) Abort() error {
 				idx.Delete(u.after[ci], u.rid)
 			}
 		case LogDelete:
-			if err := t.Heap.InsertAtWith(u.rid, u.before, func() {
-				tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: u.rid, After: u.before})
+			if err := t.Heap.InsertAtWith(u.rid, u.before, func() LSN {
+				return tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: u.rid, After: u.before})
 			}); err != nil {
 				return fmt.Errorf("rdbms: abort undo delete: %w", err)
 			}
@@ -386,8 +397,8 @@ func (tx *Txn) Abort() error {
 			}
 		case LogUpdate:
 			restoredRID := u.rid
-			_, ok, err := t.Heap.TryUpdateInPlace(u.rid, u.before, func(r RID) {
-				tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: u.table, Row: r, Before: u.after, After: u.before})
+			_, ok, err := t.Heap.TryUpdateInPlace(u.rid, u.before, func(r RID) LSN {
+				return tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: u.table, Row: r, Before: u.after, After: u.before})
 			})
 			if err != nil {
 				return fmt.Errorf("rdbms: abort undo update: %w", err)
@@ -395,13 +406,13 @@ func (tx *Txn) Abort() error {
 			if !ok {
 				// The before-image no longer fits in place: compensate as
 				// a delete + insert, like a moving update.
-				if _, err := t.Heap.DeleteWith(u.rid, func() {
-					tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: u.table, Row: u.rid, Before: u.after})
+				if _, err := t.Heap.DeleteWith(u.rid, func() LSN {
+					return tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: u.table, Row: u.rid, Before: u.after})
 				}); err != nil {
 					return fmt.Errorf("rdbms: abort undo update: %w", err)
 				}
-				restoredRID, err = t.Heap.InsertWhere(u.before, tx.slotFilter(u.table), func(r RID) {
-					tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: r, After: u.before})
+				restoredRID, err = t.Heap.InsertWhere(u.before, tx.slotFilter(u.table), func(r RID) LSN {
+					return tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: u.table, Row: r, After: u.before})
 				})
 				if err != nil {
 					return fmt.Errorf("rdbms: abort undo update: %w", err)

@@ -7,9 +7,16 @@ import (
 	"hash/crc32"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// LSN is a log sequence number: the byte offset of a record in the log.
+// LSN is a log sequence number: the logical byte offset of a record in
+// the log. LSNs are monotonic across the whole life of a database — the
+// WAL header records the logical offset of the file's first physical
+// byte (its base), and truncating the log's prefix at a checkpoint
+// advances the base instead of restarting LSNs at zero. Page LSNs stay
+// comparable with log records forever, which is what makes recovery's
+// redo gating (pageLSN < rec.LSN) sound.
 type LSN uint64
 
 // TxnID identifies a transaction.
@@ -25,7 +32,13 @@ const (
 	LogInsert
 	LogDelete
 	LogUpdate
-	LogCheckpoint
+	// LogCheckpointBegin and LogCheckpointEnd bracket a fuzzy checkpoint:
+	// Begin carries the dirty-page table and active-transaction list in
+	// Data (diagnostics and property tests; recovery's replay origin is
+	// the catalog's checkpointLSN, not these records), End marks that
+	// every step up to the catalog write completed.
+	LogCheckpointBegin
+	LogCheckpointEnd
 )
 
 func (k LogKind) String() string {
@@ -42,14 +55,17 @@ func (k LogKind) String() string {
 		return "DELETE"
 	case LogUpdate:
 		return "UPDATE"
-	case LogCheckpoint:
-		return "CHECKPOINT"
+	case LogCheckpointBegin:
+		return "CKPT-BEGIN"
+	case LogCheckpointEnd:
+		return "CKPT-END"
 	}
 	return fmt.Sprintf("LogKind(%d)", uint8(k))
 }
 
 // LogRecord is one WAL entry. Insert carries After; Delete carries Before;
-// Update carries both. Table names the affected table.
+// Update carries both. Table names the affected table. Data is an opaque
+// payload used by checkpoint records (the serialized dirty-page table).
 type LogRecord struct {
 	LSN    LSN
 	Kind   LogKind
@@ -58,6 +74,7 @@ type LogRecord struct {
 	Row    RID
 	Before Tuple
 	After  Tuple
+	Data   []byte
 }
 
 func encodeLogRecord(r *LogRecord) []byte {
@@ -73,6 +90,7 @@ func encodeLogRecord(r *LogRecord) []byte {
 	body = append(body, rid[:6]...)
 	body = appendBytes(body, encodeMaybeTuple(r.Before))
 	body = appendBytes(body, encodeMaybeTuple(r.After))
+	body = appendBytes(body, r.Data)
 	// Frame: len + crc + body.
 	out := make([]byte, 8, 8+len(body))
 	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
@@ -104,9 +122,17 @@ func decodeLogRecord(body []byte) (*LogRecord, error) {
 		return nil, err
 	}
 	off += n
-	afterRaw, _, err := readBytes(body[off:])
+	afterRaw, n, err := readBytes(body[off:])
 	if err != nil {
 		return nil, err
+	}
+	off += n
+	dataRaw, _, err := readBytes(body[off:])
+	if err != nil {
+		return nil, err
+	}
+	if len(dataRaw) > 0 {
+		r.Data = append([]byte(nil), dataRaw...)
 	}
 	if r.Before, err = decodeMaybeTuple(beforeRaw); err != nil {
 		return nil, err
@@ -168,6 +194,62 @@ func readBytes(buf []byte) ([]byte, int, error) {
 // reopening the device (a fresh WAL) resolves the in-doubt commits.
 var ErrWALPoisoned = errors.New("rdbms: wal unusable after crash during flush")
 
+// WAL header. The first walHeaderSize bytes of the device hold two
+// 32-byte header slots; the valid slot with the higher sequence number is
+// authoritative. A slot records the log's base (the logical LSN of
+// physical offset walHeaderSize), the previous base (needed to finish an
+// interrupted prefix truncation), a monotonic sequence number, and a
+// state (clean, or mid-copy during TruncateTo). Slot updates always
+// target the inactive slot, so a torn header write can never destroy the
+// authoritative one (a 32-byte aligned write is covered by the same
+// sector-atomicity assumption page frames already rely on).
+const (
+	walSlotSize   = 32
+	walHeaderSize = 2 * walSlotSize
+
+	walStateClean   = 0
+	walStateCopying = 1
+)
+
+var walMagic = [4]byte{'U', 'W', 'L', '1'}
+
+type walHeaderSlot struct {
+	base     LSN
+	prevBase LSN
+	seq      uint32
+	state    uint32
+}
+
+func encodeWALSlot(s walHeaderSlot) []byte {
+	buf := make([]byte, walSlotSize)
+	copy(buf[0:4], walMagic[:])
+	binary.LittleEndian.PutUint64(buf[4:12], uint64(s.base))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(s.prevBase))
+	binary.LittleEndian.PutUint32(buf[20:24], s.seq)
+	binary.LittleEndian.PutUint32(buf[24:28], s.state)
+	binary.LittleEndian.PutUint32(buf[28:32], crc32.ChecksumIEEE(buf[:28]))
+	return buf
+}
+
+func decodeWALSlot(buf []byte) (walHeaderSlot, bool) {
+	if len(buf) < walSlotSize || [4]byte(buf[0:4]) != walMagic {
+		return walHeaderSlot{}, false
+	}
+	if crc32.ChecksumIEEE(buf[:28]) != binary.LittleEndian.Uint32(buf[28:32]) {
+		return walHeaderSlot{}, false
+	}
+	return walHeaderSlot{
+		base:     LSN(binary.LittleEndian.Uint64(buf[4:12])),
+		prevBase: LSN(binary.LittleEndian.Uint64(buf[12:20])),
+		seq:      binary.LittleEndian.Uint32(buf[20:24]),
+		state:    binary.LittleEndian.Uint32(buf[24:28]),
+	}, true
+}
+
+// DefaultGroupCommitWindow is the group-commit leader's straggler-wait
+// budget in scheduler-yield iterations when Options does not override it.
+const DefaultGroupCommitWindow = 512
+
 // WAL is an append-only write-ahead log over a Device. Append buffers the
 // record; Flush forces buffered records to stable storage (device write +
 // sync). Commit durability is achieved by flushing before acknowledging.
@@ -184,17 +266,23 @@ var ErrWALPoisoned = errors.New("rdbms: wal unusable after crash during flush")
 // (the in-flight one plus one batch), amortizing the dominant cost of
 // durable commit.
 //
-// Opening a WAL scans the durable log for a torn tail — a frame whose
-// length prefix overruns the device or whose checksum fails, left by a
-// crash mid-flush — and truncates the device back to the last whole
-// record, so post-crash appends never land after garbage bytes that a
-// recovery scan would refuse to read past.
+// Opening a WAL reads the header for the log's base LSN (finishing an
+// interrupted prefix truncation if the header says one was in flight),
+// then scans the durable log for a torn tail — a frame whose length
+// prefix overruns the device or whose checksum fails, left by a crash
+// mid-flush — and truncates the device back to the last whole record, so
+// post-crash appends never land after garbage bytes that a recovery scan
+// would refuse to read past.
 type WAL struct {
 	mu      sync.Mutex
-	cond    *sync.Cond // signals flush completion to waiting committers
-	buf     []byte     // unflushed tail, starts at LSN `flushed`
-	flushed LSN        // bytes durably stored
-	next    LSN        // next LSN to assign (= flushed + len(inflight) + len(buf))
+	cond    *sync.Cond    // signals flush completion to waiting committers
+	buf     []byte        // unflushed tail, starts at LSN `flushed`
+	base    LSN           // logical LSN of physical offset walHeaderSize
+	seq     uint32        // header sequence of the authoritative slot
+	slot    int           // which header slot (0/1) is authoritative
+	flushed LSN           // bytes durably stored (logical)
+	next    LSN           // next LSN to assign (= flushed + len(inflight) + len(buf))
+	nextA   atomic.Uint64 // lock-free mirror of next (buffer-pool recLSN capture)
 	dev     Device
 
 	flushing   bool   // a leader's write+sync is in flight (outside mu)
@@ -202,6 +290,29 @@ type WAL struct {
 	syncs      int64  // completed device syncs (group-commit diagnostics)
 	spare      []byte // a flushed batch's buffer, recycled for appends
 	committers int    // commits between AppendEnd and durable: potential batch-mates
+
+	window      int   // straggler-wait budget (yields); 0 = solo-commit
+	windowOpens int64 // times a leader opened the group window (tests)
+}
+
+// phys maps a logical LSN to its physical device offset.
+func (w *WAL) phys(lsn LSN) int64 { return int64(lsn-w.base) + walHeaderSize }
+
+// writeHeaderSlot writes the next header state into the inactive slot and
+// syncs, making it authoritative.
+func (w *WAL) writeHeaderSlot(s walHeaderSlot) error {
+	s.seq = w.seq + 1
+	target := 1 - w.slot
+	if _, err := w.dev.WriteAt(encodeWALSlot(s), int64(target*walSlotSize)); err != nil {
+		return err
+	}
+	if err := w.dev.Sync(); err != nil {
+		return err
+	}
+	w.seq = s.seq
+	w.slot = target
+	w.base = s.base
+	return nil
 }
 
 // NewMemWAL returns a WAL over an in-memory device; Flush makes records
@@ -230,27 +341,122 @@ func OpenFileWAL(path string) (*WAL, error) {
 	return w, nil
 }
 
-// NewWALOn opens a WAL over dev, truncating any torn tail left by a crash.
+// NewWALOn opens a WAL over dev: reads (or initializes) the header,
+// finishes an interrupted prefix truncation, and truncates any torn tail
+// left by a crash.
 func NewWALOn(dev Device) (*WAL, error) {
+	w := &WAL{dev: dev, window: DefaultGroupCommitWindow}
+	w.cond = sync.NewCond(&w.mu)
 	size, err := dev.Size()
 	if err != nil {
 		return nil, err
 	}
-	data := make([]byte, size)
-	if size > 0 {
-		if _, err := dev.ReadAt(data, 0); err != nil {
+	if size < walHeaderSize {
+		// Fresh log (or one whose header init never became durable, in
+		// which case no record was ever written either): write both slots
+		// in one aligned write, slot 0 authoritative.
+		hdr := make([]byte, walHeaderSize)
+		copy(hdr, encodeWALSlot(walHeaderSlot{base: 0, seq: 1, state: walStateClean}))
+		if _, err := dev.WriteAt(hdr, 0); err != nil {
+			return nil, err
+		}
+		if err := dev.Sync(); err != nil {
+			return nil, err
+		}
+		w.seq, w.slot = 1, 0
+		return w, nil
+	}
+	hdr := make([]byte, walHeaderSize)
+	if _, err := dev.ReadAt(hdr, 0); err != nil {
+		return nil, err
+	}
+	s0, ok0 := decodeWALSlot(hdr[:walSlotSize])
+	s1, ok1 := decodeWALSlot(hdr[walSlotSize:])
+	var active walHeaderSlot
+	switch {
+	case ok0 && (!ok1 || s0.seq >= s1.seq):
+		active, w.slot = s0, 0
+	case ok1:
+		active, w.slot = s1, 1
+	default:
+		return nil, fmt.Errorf("rdbms: wal header corrupt (both slots invalid)")
+	}
+	w.seq, w.base = active.seq, active.base
+	if active.state == walStateCopying {
+		if err := w.finishTruncation(active, size); err != nil {
+			return nil, err
+		}
+		size, err = dev.Size()
+		if err != nil {
 			return nil, err
 		}
 	}
-	end := int64(validLogEnd(data))
+	data := make([]byte, size)
+	if _, err := dev.ReadAt(data, 0); err != nil {
+		return nil, err
+	}
+	end := int64(walkLogFrames(data, walHeaderSize, nil))
 	if end < size {
 		if err := dev.Truncate(end); err != nil {
 			return nil, err
 		}
 	}
-	w := &WAL{dev: dev, flushed: LSN(end), next: LSN(end)}
-	w.cond = sync.NewCond(&w.mu)
+	w.flushed = w.base + LSN(end-walHeaderSize)
+	w.next = w.flushed
+	w.nextA.Store(uint64(w.next))
 	return w, nil
+}
+
+// finishTruncation completes a prefix truncation that a crash interrupted
+// mid-copy: the authoritative slot says the log's base is moving from
+// prevBase to base, and the tail (records >= base) is intact at its
+// pre-copy position because TruncateTo only copies when source and
+// destination cannot overlap. Redoing the copy is therefore idempotent.
+func (w *WAL) finishTruncation(s walHeaderSlot, size int64) error {
+	srcOff := walHeaderSize + int64(s.base-s.prevBase)
+	if srcOff > size {
+		return fmt.Errorf("rdbms: wal truncation source %d beyond device size %d", srcOff, size)
+	}
+	data := make([]byte, size)
+	if _, err := w.dev.ReadAt(data, 0); err != nil {
+		return err
+	}
+	validEnd := int64(walkLogFrames(data, int(srcOff), nil))
+	tailLen := validEnd - srcOff
+	if tailLen > 0 {
+		if _, err := w.dev.WriteAt(data[srcOff:validEnd], walHeaderSize); err != nil {
+			return err
+		}
+	}
+	// The terminator may only be written where it cannot touch the source
+	// region (TruncateTo's slack guard ensures this on the first attempt;
+	// keep the invariant on re-runs too, where it protects against this
+	// very copy being interrupted again).
+	if walHeaderSize+tailLen+8 <= srcOff {
+		if err := w.writeTerminator(walHeaderSize+tailLen, size); err != nil {
+			return err
+		}
+	}
+	if err := w.dev.Sync(); err != nil {
+		return err
+	}
+	if err := w.writeHeaderSlot(walHeaderSlot{base: s.base, prevBase: s.base, state: walStateClean}); err != nil {
+		return err
+	}
+	return w.dev.Truncate(walHeaderSize + tailLen)
+}
+
+// writeTerminator stamps an impossible frame header (length 0xFFFFFFFF)
+// right after a copied tail, so stale frames from the pre-copy log that
+// happen to sit at a frame boundary can never be parsed as fresh records
+// in the crash window before the file is physically truncated.
+func (w *WAL) writeTerminator(at, size int64) error {
+	if at+8 > size {
+		return nil // nothing beyond the tail to mis-parse
+	}
+	term := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
+	_, err := w.dev.WriteAt(term, at)
+	return err
 }
 
 // walkLogFrames iterates the whole, checksum-clean frames in data
@@ -273,9 +479,6 @@ func walkLogFrames(data []byte, off int, fn func(off int, body []byte) bool) int
 	}
 	return off
 }
-
-// validLogEnd returns the torn-tail truncation boundary.
-func validLogEnd(data []byte) int { return walkLogFrames(data, 0, nil) }
 
 // Append adds a record, assigning and returning its LSN.
 func (w *WAL) Append(r *LogRecord) LSN {
@@ -307,6 +510,7 @@ func (w *WAL) appendLocked(r *LogRecord) {
 	}
 	w.buf = append(w.buf, enc...)
 	w.next += LSN(len(enc))
+	w.nextA.Store(uint64(w.next))
 }
 
 // Flush forces every record appended so far to stable storage.
@@ -314,6 +518,22 @@ func (w *WAL) Flush() error {
 	w.mu.Lock()
 	return w.flushToLocked(w.next, false)
 }
+
+// FlushTo forces the log up to target to stable storage without opening
+// the group-commit window. The buffer pool uses it before writing a dirty
+// page back: flushing to the page's LSN (plus one byte, so the record
+// starting there is covered whole) is the precise WAL rule — later
+// records need not be forced. Targets beyond the append horizon clamp to
+// it.
+func (w *WAL) FlushTo(target LSN) error {
+	w.mu.Lock()
+	return w.flushToLocked(target, false)
+}
+
+// NextLSN returns the next LSN the WAL will assign, without taking the
+// WAL lock (an atomic mirror). The buffer pool samples it at pin time to
+// derive a conservative recLSN for pages that pin dirties.
+func (w *WAL) NextLSN() LSN { return LSN(w.nextA.Load()) }
 
 // FlushCommit forces the log up to target (an AppendEnd result) to
 // stable storage, participating in group commit: if another committer's
@@ -339,6 +559,9 @@ func (w *WAL) FlushCommit(target LSN) error {
 // group wait, which still only happens when other committers are in
 // flight (w.committers > 1).
 func (w *WAL) flushToLocked(target LSN, window bool) error {
+	if target > w.next {
+		target = w.next
+	}
 	for {
 		if w.poisoned {
 			w.mu.Unlock()
@@ -357,7 +580,10 @@ func (w *WAL) flushToLocked(target LSN, window bool) error {
 	// the batch is captured only after the (optional) group window, so
 	// everything appended up to that moment rides this fsync.
 	w.flushing = true
-	window = window && w.committers > 1
+	window = window && w.committers > 1 && w.window > 0
+	if window {
+		w.windowOpens++
+	}
 	w.mu.Unlock()
 	if window {
 		w.awaitStragglers()
@@ -400,7 +626,7 @@ func (w *WAL) flushToLocked(target LSN, window bool) error {
 		w.mu.Unlock()
 	}()
 	if len(chunk) > 0 {
-		if _, werr := w.dev.WriteAt(chunk, int64(base)); werr != nil {
+		if _, werr := w.dev.WriteAt(chunk, w.phys(base)); werr != nil {
 			err = werr
 		} else if serr := w.dev.Sync(); serr != nil {
 			err = serr
@@ -416,17 +642,19 @@ func (w *WAL) flushToLocked(target LSN, window bool) error {
 
 // awaitStragglers is the group-commit window: a bounded busy-yield that
 // ends as soon as appends quiesce (two consecutive checks with no growth)
-// or the iteration budget runs out. Concurrent committers run in real
+// or the iteration budget (Options.GroupCommitWindow, default
+// DefaultGroupCommitWindow) runs out. Concurrent committers run in real
 // time on other cores during the yield, so a few microseconds is enough
 // for a committer already past its WAL append to land in this batch; the
 // cost is orders of magnitude below the fsync it saves. The leader only
 // opens the window when other committers are in flight (commit records
-// appended but not yet durable), so an uncontended commit — even with
-// idle transactions open — never pays it.
+// appended but not yet durable) and the budget is nonzero — a zero
+// budget degenerates to solo-commit flushing: each leader captures only
+// what is already buffered.
 func (w *WAL) awaitStragglers() {
 	last := w.peekNext()
 	stable := 0
-	for i := 0; i < 512 && stable < 2; i++ {
+	for i := 0; i < w.window && stable < 2; i++ {
 		runtime.Gosched()
 		if i%16 == 15 {
 			cur := w.peekNext()
@@ -463,22 +691,127 @@ func (w *WAL) quiesceLocked() {
 	}
 }
 
-// Reset discards the entire log: a checkpoint has made every logged
-// change durable in the data pages, so no record is needed for recovery.
-// The truncation is durable before Reset returns (Device.Truncate syncs),
-// which guarantees records from the previous log generation cannot
-// reappear after a crash and be replayed into the new one.
-func (w *WAL) Reset() error {
+// TruncateTo discards the durable log before horizon, advancing the
+// header's base so LSNs stay monotonic. A checkpoint calls it with the
+// min(recLSN, first LSN of any active transaction) horizon: everything
+// before it is redundant (durably in the data pages and owned by
+// resolved transactions), everything at or after it must survive for
+// redo and undo.
+//
+// Two modes, both crash-safe against the caller's catalog (which must
+// already record horizon as the replay origin BEFORE TruncateTo runs):
+//
+//   - Empty tail (horizon == durable end): truncate the device to the
+//     header, then flip the header slot to the new base. A crash between
+//     the two leaves an empty log under the old base — recovery reads
+//     from the catalog's horizon, past the old base, and finds nothing,
+//     which is exactly right.
+//
+//   - Live tail: copy the surviving records down to the header boundary,
+//     but only when the copy's destination cannot overlap its source
+//     (tail length <= discarded prefix length) — otherwise skip this
+//     round; the log simply keeps its prefix until a later checkpoint
+//     qualifies. The copy is announced in the header (state COPYING, with
+//     the previous base) and synced before any byte moves, so a crash at
+//     any point either replays under the old base (copy bytes land only
+//     in the discarded region) or finds the COPYING slot and redoes the
+//     idempotent copy at open. A terminator frame after the copied tail
+//     keeps stale frames from parsing as fresh records before the final
+//     physical truncation.
+func (w *WAL) TruncateTo(horizon LSN) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.quiesceLocked()
-	if err := w.dev.Truncate(0); err != nil {
+	if w.poisoned {
+		return ErrWALPoisoned
+	}
+	if horizon > w.flushed {
+		horizon = w.flushed
+	}
+	if horizon <= w.base {
+		return nil // nothing durable before the horizon
+	}
+	tailLen := int64(w.flushed - horizon)
+	if tailLen+8 > int64(horizon-w.base) {
+		// The copied tail PLUS its 8-byte terminator must fit strictly
+		// inside the discarded prefix: at tailLen == horizon-base the
+		// terminator would land exactly on the source tail's first frame,
+		// and a crash before the CLEAN slot became durable would make the
+		// redo-copy read the terminator as the tail start and discard the
+		// surviving records. Skip this round; reclaim when the prefix has
+		// grown past the tail again.
+		return nil
+	}
+	tail := make([]byte, tailLen)
+	if tailLen > 0 {
+		if _, err := w.dev.ReadAt(tail, w.phys(horizon)); err != nil {
+			return err
+		}
+	}
+	// Announce the move first: from here on, a crash at any point either
+	// recovers under the COPYING slot (redoing the idempotent copy at
+	// open — the source region is never overwritten) or under a CLEAN
+	// slot describing a fully consistent log. LSNs never rewind: every
+	// header state derives the durable end from the NEW base, so a
+	// post-crash append can never reuse an LSN some page was stamped with.
+	//
+	// Once the header mutation begins, any failure — a clean device error
+	// as much as a crash panic — leaves the in-memory base/physical
+	// mapping unreliable relative to the device (the announced copy may
+	// not have happened), so the WAL is poisoned: continuing to append
+	// and flush could overwrite the source tail the reopen-time redo
+	// still needs. Only reopening the device resolves it, exactly as for
+	// a crash mid-flush.
+	if err := w.truncateProtocol(horizon, tail, tailLen); err != nil {
+		w.poisoned = true
 		return err
 	}
-	w.flushed = 0
-	w.next = 0
-	w.buf = w.buf[:0]
 	return nil
+}
+
+// truncateProtocol runs TruncateTo's device protocol; the caller holds
+// w.mu and poisons the WAL if it fails partway.
+func (w *WAL) truncateProtocol(horizon LSN, tail []byte, tailLen int64) error {
+	size, err := w.dev.Size()
+	if err != nil {
+		return err
+	}
+	if err := w.writeHeaderSlot(walHeaderSlot{base: horizon, prevBase: w.base, state: walStateCopying}); err != nil {
+		return err
+	}
+	// writeHeaderSlot updated w.base; physical offsets below are absolute.
+	if tailLen > 0 {
+		if _, err := w.dev.WriteAt(tail, walHeaderSize); err != nil {
+			return err
+		}
+	}
+	if err := w.writeTerminator(walHeaderSize+tailLen, size); err != nil {
+		return err
+	}
+	if err := w.dev.Sync(); err != nil {
+		return err
+	}
+	if err := w.writeHeaderSlot(walHeaderSlot{base: horizon, prevBase: horizon, state: walStateClean}); err != nil {
+		return err
+	}
+	return w.dev.Truncate(walHeaderSize + tailLen)
+}
+
+// Base returns the logical LSN of the log's first physical byte — the
+// oldest record still on the device (diagnostics and tests).
+func (w *WAL) Base() LSN {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base
+}
+
+// Empty reports whether the log holds nothing at all: no durable record
+// (flushed == base) and no buffered append. A checkpoint over an empty
+// log with nothing else to do is a no-op.
+func (w *WAL) Empty() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushed == w.base && w.next == w.flushed
 }
 
 // FlushedLSN returns the durable boundary.
@@ -495,15 +828,19 @@ func (w *WAL) DropUnflushed() {
 	defer w.mu.Unlock()
 	w.quiesceLocked()
 	w.next = w.flushed
+	w.nextA.Store(uint64(w.next))
 	w.buf = w.buf[:0]
 }
 
-// Records reads all durable records starting at from. Records with bad
-// checksums or truncated frames terminate the scan (torn tail).
+// Records reads all durable records starting at from (clamped to the
+// log's base). Records with bad checksums or truncated frames terminate
+// the scan (torn tail).
 func (w *WAL) Records(from LSN) ([]*LogRecord, error) {
 	w.mu.Lock()
-	data := make([]byte, w.flushed)
-	if w.flushed > 0 {
+	base := w.base
+	span := int64(w.flushed - base)
+	data := make([]byte, walHeaderSize+span)
+	if span > 0 {
 		if _, err := w.dev.ReadAt(data, 0); err != nil {
 			w.mu.Unlock()
 			return nil, err
@@ -511,15 +848,18 @@ func (w *WAL) Records(from LSN) ([]*LogRecord, error) {
 	}
 	w.mu.Unlock()
 
+	if from < base {
+		from = base
+	}
 	var out []*LogRecord
 	var decodeErr error
-	walkLogFrames(data, int(from), func(off int, body []byte) bool {
+	walkLogFrames(data, int(int64(from-base)+walHeaderSize), func(off int, body []byte) bool {
 		r, err := decodeLogRecord(body)
 		if err != nil {
 			decodeErr = err
 			return false
 		}
-		r.LSN = LSN(off)
+		r.LSN = base + LSN(off-walHeaderSize)
 		out = append(out, r)
 		return true
 	})
