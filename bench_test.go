@@ -7,6 +7,7 @@ package repro
 // as text tables.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -35,7 +36,7 @@ func BenchmarkE1StructuredVsKeyword(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if hits := sys.KeywordSearch(query, 10); len(hits) == 0 {
+			if hits, err := sys.KeywordSearch(context.Background(), query, 10); err != nil || len(hits) == 0 {
 				b.Fatal("no hits")
 			}
 		}
@@ -56,7 +57,7 @@ func BenchmarkE1StructuredVsKeyword(b *testing.B) {
 		b.ResetTimer()
 		var got float64
 		for i := 0; i < b.N; i++ {
-			ans, err := sys.AskGuided(query, 3)
+			ans, err := sys.AskGuided(context.Background(), query, 3)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -146,7 +147,7 @@ func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 			`, uql.Options{}); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sys.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+			if _, err := sys.AskGuided(context.Background(), "average temperature Madison Wisconsin", 1); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -165,7 +166,7 @@ func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 			if _, err := sys.ExtractPending("city", 16); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sys.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+			if _, err := sys.AskGuided(context.Background(), "average temperature Madison Wisconsin", 1); err != nil {
 				b.Fatal(err)
 			}
 		}

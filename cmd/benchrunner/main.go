@@ -57,6 +57,10 @@ func runPerf(outPath, comparePath string, tolerance float64) error {
 	fmt.Printf("group-commit speedup (solo / 8 committers):  %.1fx\n", rep.GroupCommitSpeedup)
 	fmt.Printf("indexed-reopen speedup (rebuild / idx load): %.1fx\n", rep.IndexedReopenSpeedup)
 	fmt.Printf("checkpoint commit overhead (in-flight ckpt):  %.2fx\n", rep.CheckpointCommitOverhead)
+	if sl := rep.ServerLoad; sl.Served > 0 {
+		fmt.Printf("server load (%d conns, %.1fs): %.0f ops/sec, p50 %.2fms, p99 %.2fms, shed %d\n",
+			sl.Conns, sl.Duration, sl.OpsPerSec, sl.P50Ms, sl.P99Ms, sl.Shed)
+	}
 	if outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -20,12 +20,17 @@
 // Flags:
 //
 //	-cities N -people N -filler N -seed N -workers N -corrupt F
-//	-data DIR   persist the database under DIR: generate once, then
-//	            search/ask/sql against the recovered structure in later
-//	            invocations
+//	-data DIR      persist the database under DIR: generate once, then
+//	               search/ask/sql against the recovered structure in later
+//	               invocations
+//	-timeout D     per-command deadline (e.g. 5s); queries abort mid-scan
+//	               when it expires
+//	-remote ADDR   run the command against a unidbd server at ADDR instead
+//	               of an in-process system
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +63,8 @@ func run(args []string, out io.Writer) (retErr error) {
 	workers := fs.Int("workers", 4, "cluster workers")
 	corrupt := fs.Float64("corrupt", 0, "fraction of corrupted city articles")
 	dataDir := fs.String("data", "", "persist the database under this directory: the extracted structure survives across invocations (crash-safe rdbms + warm snapshots)")
+	timeout := fs.Duration("timeout", 0, "per-command deadline (0 = none); expired deadlines abort queries mid-scan")
+	remote := fs.String("remote", "", "address of a unidbd server to run the command against (host:port)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +72,16 @@ func run(args []string, out io.Writer) (retErr error) {
 	if len(rest) == 0 {
 		fs.Usage()
 		return fmt.Errorf("missing command (generate|search|ask|sql|browse|sweep|stats)")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *remote != "" {
+		return runRemote(ctx, *remote, rest[0], rest[1:], out)
 	}
 
 	corpus, _ := synth.Generate(synth.Config{
@@ -116,8 +133,13 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 
 	case "search":
-		ensureGenerated(sys)
-		hits := sys.KeywordSearch(strings.Join(cmdArgs, " "), 10)
+		if err := ensureGenerated(sys); err != nil {
+			return err
+		}
+		hits, err := sys.KeywordSearch(ctx, strings.Join(cmdArgs, " "), 10)
+		if err != nil {
+			return err
+		}
 		for i, h := range hits {
 			fmt.Fprintf(out, "%2d. %-40s %.3f  %s\n", i+1, h.Title, h.Score, h.Snippet)
 		}
@@ -127,8 +149,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 
 	case "ask":
-		ensureGenerated(sys)
-		ans, err := sys.AskGuided(strings.Join(cmdArgs, " "), 5)
+		if err := ensureGenerated(sys); err != nil {
+			return err
+		}
+		ans, err := sys.AskGuided(ctx, strings.Join(cmdArgs, " "), 5)
 		if err != nil {
 			return err
 		}
@@ -147,8 +171,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 
 	case "sql":
-		ensureGenerated(sys)
-		rs, err := sys.SQL(strings.Join(cmdArgs, " "))
+		if err := ensureGenerated(sys); err != nil {
+			return err
+		}
+		rs, err := sys.SQL(ctx, strings.Join(cmdArgs, " "))
 		if err != nil {
 			return err
 		}
@@ -157,8 +183,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 
 	case "browse":
-		ensureGenerated(sys)
-		b, err := sys.Browse()
+		if err := ensureGenerated(sys); err != nil {
+			return err
+		}
+		b, err := sys.Browse(ctx)
 		if err != nil {
 			return err
 		}
@@ -188,8 +216,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 
 	case "sweep":
-		ensureGenerated(sys)
-		violations, err := sys.SweepSuspicious()
+		if err := ensureGenerated(sys); err != nil {
+			return err
+		}
+		violations, err := sys.SweepSuspicious(ctx)
 		if err != nil {
 			return err
 		}
@@ -203,7 +233,9 @@ func run(args []string, out io.Writer) (retErr error) {
 		return nil
 
 	case "stats":
-		ensureGenerated(sys)
+		if err := ensureGenerated(sys); err != nil {
+			return err
+		}
 		for _, line := range sys.Stats.Snapshot() {
 			fmt.Fprintln(out, line)
 		}
@@ -214,15 +246,18 @@ func run(args []string, out io.Writer) (retErr error) {
 
 // ensureGenerated lazily runs the demo extraction so exploitation commands
 // work out of the box. A database reopened from -data already holds its
-// structure and is left alone.
-func ensureGenerated(sys *core.System) {
+// structure and is left alone. Failures propagate: a command that cannot
+// have data to run against must exit non-zero, not print over an empty
+// table.
+func ensureGenerated(sys *core.System) error {
 	if sys.Stats.Counter("uql.store.rows") > 0 {
-		return
+		return nil
 	}
 	if n, err := sys.ExtractedRows(); err == nil && n > 0 {
-		return
+		return nil
 	}
 	if _, err := sys.Generate(demoProgram, uql.Options{}); err != nil {
-		fmt.Fprintln(os.Stderr, "unidb: demo generation failed:", err)
+		return fmt.Errorf("demo generation failed: %w", err)
 	}
+	return nil
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// runRemote executes one CLI command against a unidbd server instead of
+// an in-process system. The command surface mirrors the local one; the
+// ctx deadline (from -timeout) travels to the server, which enforces it
+// mid-scan.
+func runRemote(ctx context.Context, addr, cmd string, args []string, out io.Writer) error {
+	cli, err := server.Dial(addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", addr, err)
+	}
+	defer cli.Close()
+
+	switch cmd {
+	case "search":
+		hits, err := cli.Search(ctx, strings.Join(args, " "), 10)
+		if err != nil {
+			return err
+		}
+		for i, h := range hits {
+			fmt.Fprintf(out, "%2d. %-40s %.3f  %s\n", i+1, h.Title, h.Score, h.Snippet)
+		}
+		if len(hits) == 0 {
+			fmt.Fprintln(out, "(no hits)")
+		}
+		return nil
+
+	case "ask":
+		ans, err := cli.Ask(ctx, strings.Join(args, " "), 5)
+		if err != nil {
+			return err
+		}
+		if len(ans.Candidates) == 0 {
+			fmt.Fprintln(out, "no structured interpretation found; try 'search'")
+			return nil
+		}
+		fmt.Fprintln(out, "candidate structured queries:")
+		for i, c := range ans.Candidates {
+			fmt.Fprintf(out, "%2d. %-60s (score %.2f)\n", i+1, c.Form, c.Score)
+		}
+		fmt.Fprintf(out, "\nexecuting top candidate:\n  %s\n\n", ans.Candidates[0].SQL)
+		printResultSet(out, ans.Answer)
+		fmt.Fprintf(out, "(extraction coverage for %s: %.0f%%)\n",
+			ans.Candidates[0].Attribute, ans.Coverage*100)
+		return nil
+
+	case "sql":
+		rs, err := cli.SQL(ctx, strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		printResultSet(out, rs)
+		fmt.Fprintf(out, "(plan: %s)\n", rs.Plan)
+		return nil
+
+	case "browse":
+		b, err := cli.Browse(ctx, args...)
+		if err != nil {
+			return err
+		}
+		if b.Path != "" {
+			fmt.Fprintf(out, "path: %s\n", b.Path)
+		}
+		fmt.Fprintf(out, "rows: %d\n", b.Rows)
+		for _, f := range b.Facets {
+			fmt.Fprintf(out, "facet %s:\n", f.Name)
+			for i, v := range f.Values {
+				if i >= 8 {
+					fmt.Fprintf(out, "  ... %d more\n", len(f.Values)-8)
+					break
+				}
+				fmt.Fprintf(out, "  %-40s %d\n", v.Value, v.Count)
+			}
+		}
+		return nil
+
+	case "correct":
+		// correct <user> <entity> <attribute> <qualifier> <new-value>
+		if len(args) != 5 {
+			return fmt.Errorf("usage: correct <user> <entity> <attribute> <qualifier> <new-value>")
+		}
+		if err := cli.Correct(ctx, args[0], args[1], args[2], args[3], args[4]); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "corrected")
+		return nil
+
+	case "explain":
+		// explain <entity> <attribute> [qualifier]
+		if len(args) < 2 {
+			return fmt.Errorf("usage: explain <entity> <attribute> [qualifier]")
+		}
+		qual := ""
+		if len(args) > 2 {
+			qual = args[2]
+		}
+		text, err := cli.Explain(ctx, args[0], args[1], qual)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, text)
+		return nil
+
+	case "health":
+		h, err := cli.Health(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "extracted rows:   %d\n", h.ExtractedRows)
+		fmt.Fprintf(out, "in-flight ops:    %d\n", h.InFlightOps)
+		fmt.Fprintf(out, "active conns:     %d\n", h.ActiveConns)
+		fmt.Fprintf(out, "admitted/shed:    %d/%d\n", h.Admitted, h.Shed)
+		fmt.Fprintf(out, "served:           %d\n", h.Served)
+		fmt.Fprintf(out, "checkpoints:      %d\n", h.Checkpoints)
+		fmt.Fprintf(out, "wal syncs:        %d\n", h.WALSyncs)
+		fmt.Fprintf(out, "indexes loaded:   %d (rebuilt %d)\n", h.IndexesLoaded, h.IndexesRebuilt)
+		fmt.Fprintf(out, "draining/closing: %v/%v\n", h.Draining, h.Closing)
+		return nil
+	}
+	return fmt.Errorf("unknown remote command %q (search|ask|sql|browse|correct|explain|health)", cmd)
+}
+
+func printResultSet(out io.Writer, rs *server.ResultSet) {
+	if rs == nil {
+		return
+	}
+	fmt.Fprintln(out, strings.Join(rs.Columns, " | "))
+	for _, r := range rs.Rows {
+		fmt.Fprintln(out, strings.Join(r, " | "))
+	}
+}

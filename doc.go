@@ -338,4 +338,60 @@
 // to solo-commit flushing, asserted by TestGroupCommitZeroWindowSoloCommit),
 // and BENCH_PR5.json records the trajectory point with the new
 // checkpoint_commit_overhead ratio.
+//
+// # A crash- and overload-proof serving front end (PR6)
+//
+// PR6 puts the user layer on the network: cmd/unidbd serves every
+// exploitation mode (keyword search, guided queries, SQL, browsing,
+// subscriptions, corrections, provenance) over a length-prefixed JSON
+// protocol on TCP (internal/server), and cmd/unidb gained -remote to
+// drive a daemon with the same subcommands it runs locally. The front
+// end is built around four robustness guarantees:
+//
+//   - Admission control. At most Options.MaxInFlight requests execute
+//     concurrently (a non-blocking semaphore: excess requests are shed
+//     immediately with a typed "overloaded" error rather than queued),
+//     and connections beyond MaxConns are refused at accept with a
+//     final overloaded frame. Health requests bypass admission so the
+//     daemon stays observable while saturated.
+//
+//   - Deadlines. context.Context now threads through every public
+//     System method, and the storage engine polls it at scan-loop
+//     granularity (every 64 rows; Txn.WithContext, DB.ExecCtx), so a
+//     request deadline aborts a SELECT mid-scan instead of after it.
+//     Each server request runs under a deadline (request-supplied,
+//     clamped by MaxRequestTimeout); the unidb -timeout flag feeds the
+//     same context locally.
+//
+//   - Graceful drain. SIGTERM stops accepting, sheds new requests,
+//     finishes in-flight ones under DrainTimeout, then System.Close() —
+//     now idempotent and concurrent-safe: the first closer drains
+//     in-flight operations (late arrivals get core.ErrClosed) and
+//     tears down; every other caller shares its verdict. The close
+//     checkpoints and snapshots, so the daemon's next life on the same
+//     -data directory is the PR5 zero-write warm start — proven by
+//     TestDaemonSIGTERMDrain, which SIGTERMs a real re-exec'd daemon
+//     process mid-traffic and asserts exit 0 plus byte-identical
+//     database files across the warm second life.
+//
+//   - Connection robustness. Per-connection read/write deadlines, a
+//     frame size cap (oversized frames get a typed refusal, then the
+//     poisoned stream closes), malformed-JSON rejection that keeps the
+//     connection, and per-connection panic recovery. The network fault
+//     harness (FaultConn) injects slowloris byte-trickles, mid-frame
+//     disconnects, garbage prefixes, half-closes, and mixed attacker
+//     swarms — each test asserting a concurrent healthy client keeps
+//     being served and no connection leaks.
+//
+// The durability contract extends to the wire: TestDaemonKill9Durability
+// streams acked INSERTs at a daemon, kills it with SIGKILL mid-traffic,
+// reopens the directory, and audits that every acked response survived.
+// CorrectValue absorbs the strict-2PL upgrade deadlock between racing
+// corrections with a bounded retry, and the alert center's delivery
+// ledger (Center.History) proves exactly-once notification per
+// correction identity under concurrent corrections. perfbench gained a
+// sustained-load measurement (256 wire-protocol clients, mixed ops;
+// ops/sec plus p50/p99 in BENCH_PR6.json, gated by benchrunner
+// -compare), and CI gained a server smoke job: real binaries, mixed
+// remote workload, SIGTERM, clean-drain and warm-reopen assertions.
 package repro

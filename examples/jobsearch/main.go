@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 	fmt.Printf("  temperature coverage: %.0f%%\n", sys.Coverage("temperature")*100)
 	fmt.Printf("  population  coverage: %.0f%%\n", sys.Coverage("population")*100)
 
-	rs, err := sys.SQL(`SELECT entity, AVG(num) avg_temp FROM extracted
+	rs, err := sys.SQL(context.Background(), `SELECT entity, AVG(num) avg_temp FROM extracted
 		WHERE attribute = 'temperature'
 		GROUP BY entity ORDER BY avg_temp DESC LIMIT 5`)
 	if err != nil {
@@ -58,7 +59,7 @@ func main() {
 	}
 	fmt.Printf("  population coverage: %.0f%%\n", sys.Coverage("population")*100)
 
-	rs, err = sys.SQL(`SELECT t.entity, AVG(t.num) avg_temp
+	rs, err = sys.SQL(context.Background(), `SELECT t.entity, AVG(t.num) avg_temp
 		FROM extracted t JOIN extracted p ON t.entity = p.entity
 		WHERE t.attribute = 'temperature' AND p.attribute = 'population' AND p.num >= 500000
 		GROUP BY t.entity ORDER BY avg_temp DESC LIMIT 5`)

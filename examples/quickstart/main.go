@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -52,13 +53,17 @@ func main() {
 
 	// 4. Exploitation, mode 1: plain keyword search (the IR baseline).
 	fmt.Println("\nkeyword search: 'average temperature Madison Wisconsin'")
-	for i, h := range sys.KeywordSearch("average temperature Madison Wisconsin", 3) {
+	hits, err := sys.KeywordSearch(context.Background(), "average temperature Madison Wisconsin", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range hits {
 		fmt.Printf("  %d. %s (%.2f)\n", i+1, h.Title, h.Score)
 	}
 
 	// 5. Exploitation, mode 2: the same keywords guided into a structured
 	// query — the transition keyword search cannot make.
-	ans, err := sys.AskGuided("average temperature Madison Wisconsin", 3)
+	ans, err := sys.AskGuided(context.Background(), "average temperature Madison Wisconsin", 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +98,7 @@ func main() {
 
 	// 8. Exploitation, mode 3: direct SQL for sophisticated users — served
 	// from the recovered on-disk structure.
-	rs, err := sys2.SQL(`SELECT entity, num FROM extracted
+	rs, err := sys2.SQL(context.Background(), `SELECT entity, num FROM extracted
 		WHERE attribute = 'population' AND num > 1000000 ORDER BY num DESC LIMIT 5`)
 	if err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -69,7 +70,7 @@ func main() {
 		sys.Stats.Counter("core.alerts.fired"))
 
 	// Structured exploitation: busiest sensors.
-	rs, err := sys.SQL(`SELECT qualifier, COUNT(*) AS readings, AVG(num) AS avg_reading
+	rs, err := sys.SQL(context.Background(), `SELECT qualifier, COUNT(*) AS readings, AVG(num) AS avg_reading
 		FROM extracted WHERE attribute = 'reading'
 		GROUP BY qualifier ORDER BY avg_reading DESC LIMIT 5`)
 	if err != nil {
@@ -79,7 +80,7 @@ func main() {
 	fmt.Print(rs.String())
 
 	// The semantic debugger spots the faulty sensor's 9.99 readings.
-	violations, err := sys.SweepSuspicious()
+	violations, err := sys.SweepSuspicious(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs2, err := sys2.SQL(`SELECT COUNT(*) AS readings FROM extracted WHERE attribute = 'reading'`)
+	rs2, err := sys2.SQL(context.Background(), `SELECT COUNT(*) AS readings FROM extracted WHERE attribute = 'reading'`)
 	if err != nil {
 		log.Fatal(err)
 	}

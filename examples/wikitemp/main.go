@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,11 @@ func main() {
 	query := "average March September temperature Madison Wisconsin"
 	fmt.Printf("QUERY: %q\n\n", query)
 	fmt.Println("keyword search (what a 2009 search engine gives you):")
-	for i, h := range sys.KeywordSearch(query, 3) {
+	hits, err := sys.KeywordSearch(context.Background(), query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, h := range hits {
 		fmt.Printf("  %d. %-30s %s\n", i+1, h.Title, h.Snippet)
 	}
 	fmt.Println("  -> the answer is in there, but the engine cannot compute it.")
@@ -45,7 +50,7 @@ func main() {
 		sys.Stats.Counter("uql.store.rows"))
 
 	// --- The structured answer ------------------------------------------
-	ans, err := sys.AskGuided(query, 5)
+	ans, err := sys.AskGuided(context.Background(), query, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +62,7 @@ func main() {
 	fmt.Printf("answer: %.2f F (ground truth %.2f F)\n", got, want)
 
 	// --- The semantic debugger -------------------------------------------
-	violations, err := sys.SweepSuspicious()
+	violations, err := sys.SweepSuspicious(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,10 +54,11 @@ type Notification struct {
 // for concurrent use. Duplicate suppression: a (subscription, entity,
 // qualifier, value) combination notifies once.
 type Center struct {
-	mu     sync.Mutex
-	nextID int
-	subs   map[int]Subscription
-	fired  map[string]bool
+	mu      sync.Mutex
+	nextID  int
+	subs    map[int]Subscription
+	fired   map[string]bool
+	history []Notification
 }
 
 // NewCenter returns an empty alert center.
@@ -138,7 +139,17 @@ func (c *Center) Evaluate(rows []Row) []Notification {
 			})
 		}
 	}
+	c.history = append(c.history, out...)
 	return out
+}
+
+// History returns every notification ever fired, in firing order. It is
+// the delivery ledger concurrency tests audit: under racing refreshes,
+// each (subscription, row identity, value) must appear exactly once.
+func (c *Center) History() []Notification {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Notification(nil), c.history...)
 }
 
 func compare(v float64, op Op, threshold float64) bool {

@@ -1,6 +1,8 @@
 package alert
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -99,5 +101,40 @@ func TestNonNumericValuesSkipped(t *testing.T) {
 	c.Subscribe(Subscription{Attribute: "a", Op: OpGT, Threshold: 0})
 	if fired := c.Evaluate([]Row{{Attribute: "a", Value: "hello", Conf: 1}}); len(fired) != 0 {
 		t.Fatalf("text row fired: %+v", fired)
+	}
+}
+
+// TestEvaluateConcurrent hammers Evaluate from many goroutines with the
+// same refresh: across all returned batches each identity fires exactly
+// once, and History agrees.
+func TestEvaluateConcurrent(t *testing.T) {
+	c := NewCenter()
+	if _, err := c.Subscribe(Subscription{User: "u", Attribute: "population", Op: OpGT, Threshold: 0}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 10)
+	for i := range rows {
+		rows[i] = Row{Entity: fmt.Sprintf("e%d", i), Attribute: "population",
+			Qualifier: "now", Value: fmt.Sprintf("%d", i+1), Conf: 1}
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := len(c.Evaluate(rows))
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != len(rows) {
+		t.Fatalf("concurrent Evaluate fired %d notifications, want %d", total, len(rows))
+	}
+	if h := c.History(); len(h) != len(rows) {
+		t.Fatalf("history has %d entries, want %d", len(h), len(rows))
 	}
 }

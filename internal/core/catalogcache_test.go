@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -63,13 +64,13 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 	if quals := cat.Qualifiers["temperature"]; len(quals) > 0 {
 		qual = quals[0]
 	}
-	if err := s.CorrectValue("alice", ent, "temperature", qual, "12.5"); err != nil {
+	if err := s.CorrectValue(context.Background(), "alice", ent, "temperature", qual, "12.5"); err != nil {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "after CorrectValue")
 
 	// After direct SQL writes through the System facade.
-	if _, err := s.SQL("INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Metropolis', 'mayor', '', 'Jane Doe', NULL, 0.9)"); err != nil {
+	if _, err := s.SQL(context.Background(), "INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Metropolis', 'mayor', '', 'Jane Doe', NULL, 0.9)"); err != nil {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "after SQL INSERT")
@@ -84,7 +85,7 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 		t.Fatal("SQL INSERT did not surface in the catalog")
 	}
 
-	if _, err := s.SQL("DELETE FROM extracted WHERE entity = 'Metropolis'"); err != nil {
+	if _, err := s.SQL(context.Background(), "DELETE FROM extracted WHERE entity = 'Metropolis'"); err != nil {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "after SQL DELETE")
@@ -197,7 +198,7 @@ func TestCatalogCacheConcurrentQueryAndExtract(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				if _, err := s.AskGuided("average temperature Madison Wisconsin", 3); err != nil {
+				if _, err := s.AskGuided(context.Background(), "average temperature Madison Wisconsin", 3); err != nil {
 					errs <- fmt.Errorf("AskGuided: %w", err)
 					return
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -30,7 +31,7 @@ func TestCheckpointDoesNotStallWriters(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		s.Users.RecordFeedbackOutcome("alice", true)
 	}
-	rs, err := s.SQL("SELECT entity, qualifier FROM extracted WHERE attribute = 'temperature' LIMIT 1")
+	rs, err := s.SQL(context.Background(), "SELECT entity, qualifier FROM extracted WHERE attribute = 'temperature' LIMIT 1")
 	if err != nil || len(rs.Rows) == 0 {
 		t.Fatalf("no extracted row to correct: %v", err)
 	}
@@ -50,7 +51,7 @@ func TestCheckpointDoesNotStallWriters(t *testing.T) {
 		go func() { ckptDone <- s.Checkpoint() }()
 		for i := 0; i < writesPerRound; i++ {
 			want = fmt.Sprintf("%d.5", writes)
-			if err := s.CorrectValue("alice", ent, "temperature", qual, want); err != nil {
+			if err := s.CorrectValue(context.Background(), "alice", ent, "temperature", qual, want); err != nil {
 				t.Fatalf("write %d during checkpoint round %d: %v", writes, r, err)
 			}
 			if _, err := s.Catalog(); err != nil {
@@ -65,7 +66,7 @@ func TestCheckpointDoesNotStallWriters(t *testing.T) {
 	checkpoints := rounds
 
 	q := fmt.Sprintf("SELECT value FROM extracted WHERE entity = '%s' AND qualifier = '%s'", ent, qual)
-	rs, err = s.SQL(q)
+	rs, err = s.SQL(context.Background(), q)
 	if err != nil || len(rs.Rows) != 1 || rs.Rows[0][0].S != want {
 		t.Fatalf("corrections lost under checkpoints: %v (err=%v, want %q)", rs.Rows, err, want)
 	}
@@ -81,7 +82,7 @@ func TestCheckpointDoesNotStallWriters(t *testing.T) {
 	if !rep.Reopened {
 		t.Fatal("reopen not detected")
 	}
-	rs, err = s2.SQL(q)
+	rs, err = s2.SQL(context.Background(), q)
 	if err != nil || len(rs.Rows) != 1 || rs.Rows[0][0].S != want {
 		t.Fatalf("corrected value lost across reopen: %v (err=%v, want %q)", rs.Rows, err, want)
 	}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/uql"
+)
+
+// newCloseTestSystem builds a small in-memory system with a few extracted
+// rows so exploitation calls have something to chew on.
+func newCloseTestSystem(t *testing.T) *System {
+	t.Helper()
+	s, _ := newSystem(t, 4, 2, 0)
+	prog := `
+		EXTRACT temperature FROM docs USING city KIND city INTO temps;
+		STORE temps INTO TABLE extracted;
+	`
+	if _, err := s.Generate(prog, uql.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCloseIdempotent: Close twice sequentially returns the same result
+// and does not fail or double-release anything.
+func TestCloseIdempotent(t *testing.T) {
+	s := newCloseTestSystem(t)
+	if err := s.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestCloseConcurrent: many goroutines race Close; exactly one performs
+// the teardown and all observe the same (nil) result without panics.
+func TestCloseConcurrent(t *testing.T) {
+	s := newCloseTestSystem(t)
+	const n = 16
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("closer %d: %v", i, err)
+		}
+	}
+}
+
+// TestOpsAfterCloseGetErrClosed: every serving operation refused after
+// Close reports the typed ErrClosed, not a storage-layer error.
+func TestOpsAfterCloseGetErrClosed(t *testing.T) {
+	s := newCloseTestSystem(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.KeywordSearch(ctx, "temperature", 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("KeywordSearch: got %v, want ErrClosed", err)
+	}
+	if _, err := s.AskGuided(ctx, "temperature Helsinki", 3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AskGuided: got %v, want ErrClosed", err)
+	}
+	if _, err := s.SQL(ctx, "SELECT COUNT(*) FROM extracted"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SQL: got %v, want ErrClosed", err)
+	}
+	if _, err := s.Browse(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Browse: got %v, want ErrClosed", err)
+	}
+	if err := s.CorrectValue(ctx, "u", "Helsinki", "temperature", "", "7"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("CorrectValue: got %v, want ErrClosed", err)
+	}
+	if _, err := s.ExplainFact(ctx, "Helsinki", "temperature", ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ExplainFact: got %v, want ErrClosed", err)
+	}
+	if _, err := s.Generate("EXTRACT temperature FROM docs USING city", uql.Options{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Generate: got %v, want ErrClosed", err)
+	}
+	if err := s.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint: got %v, want ErrClosed", err)
+	}
+	if _, err := s.ExtractedRows(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ExtractedRows: got %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseDrainsInFlight: a Close issued while operations are running
+// waits for them to finish rather than tearing down underneath them, and
+// operations arriving after Close began are refused.
+func TestCloseDrainsInFlight(t *testing.T) {
+	s := newCloseTestSystem(t)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	opDone := make(chan error, 1)
+	go func() {
+		opDone <- func() error {
+			if err := s.beginOp(); err != nil {
+				return err
+			}
+			defer s.endOp()
+			close(started)
+			<-release // hold the op in flight while Close runs
+			return nil
+		}()
+	}()
+	<-started
+
+	closeDone := make(chan error, 1)
+	go func() { closeDone <- s.Close() }()
+
+	// Close must be blocked on the drain: give it a moment, then confirm
+	// new work is already refused (closing flipped) but Close has not
+	// returned.
+	deadline := time.After(2 * time.Second)
+	for !s.Closing() {
+		select {
+		case <-deadline:
+			t.Fatal("Close never flipped closing")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := s.KeywordSearch(context.Background(), "x", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("op during drain: got %v, want ErrClosed", err)
+	}
+	select {
+	case err := <-closeDone:
+		t.Fatalf("Close returned (%v) while an op was still in flight", err)
+	default:
+	}
+
+	close(release)
+	if err := <-opDone; err != nil {
+		t.Fatalf("in-flight op: %v", err)
+	}
+	select {
+	case err := <-closeDone:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the drain emptied")
+	}
+	if got := s.InFlightOps(); got != 0 {
+		t.Fatalf("in-flight after close: %d", got)
+	}
+}

@@ -7,11 +7,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/alert"
 	"repro/internal/browse"
@@ -33,6 +36,13 @@ import (
 
 // TableName is the EAV table holding the final extracted structure.
 const TableName = "extracted"
+
+// ErrClosed is returned by every serving operation once Close has begun:
+// the typed signal a draining server relays to late requests instead of
+// letting them race the engine teardown. It is also what a second,
+// concurrent Close waits behind — Close itself is idempotent and returns
+// the first close's result to every caller.
+var ErrClosed = errors.New("core: system is closed")
 
 // Config assembles a System.
 type Config struct {
@@ -70,6 +80,19 @@ type System struct {
 	done      map[string]int
 	total     map[string]int
 	snapshots *vstore.Store // lazily initialized by Snapshots()
+
+	// Lifecycle state: every serving operation is bracketed by
+	// beginOp/endOp, and Close (a) flips closing so new operations get
+	// ErrClosed, (b) waits for in-flight operations to finish, then (c)
+	// tears the storage down — the drain hook the network server builds
+	// its graceful shutdown on. lifeMu is strictly leaf-level: nothing
+	// under it blocks on s.mu or the engine.
+	lifeMu    sync.Mutex
+	lifeCond  *sync.Cond
+	inflight  int
+	closing   bool
+	closeDone chan struct{} // closed when the winning Close finishes
+	closeErr  error         // its result, readable after closeDone
 
 	diskBacked bool   // the DB persists on disk and Close must release it
 	warmDir    string // warm-state directory Close saves into (OpenDir)
@@ -158,7 +181,46 @@ func New(cfg Config) (*System, error) {
 		done:       map[string]int{},
 		total:      map[string]int{},
 	}
+	s.lifeCond = sync.NewCond(&s.lifeMu)
 	return s, nil
+}
+
+// beginOp admits one serving operation, or refuses it with ErrClosed once
+// Close has begun. Every admitted operation must be paired with endOp
+// (deferred), which is what Close's drain waits on.
+func (s *System) beginOp() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.closing {
+		return ErrClosed
+	}
+	s.inflight++
+	return nil
+}
+
+func (s *System) endOp() {
+	s.lifeMu.Lock()
+	s.inflight--
+	if s.closing && s.inflight == 0 {
+		s.lifeCond.Broadcast()
+	}
+	s.lifeMu.Unlock()
+}
+
+// InFlightOps reports the number of serving operations currently between
+// beginOp and endOp (diagnostics; the server's health endpoint and the
+// drain tests read it).
+func (s *System) InFlightOps() int {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	return s.inflight
+}
+
+// Closing reports whether Close has begun (new operations are refused).
+func (s *System) Closing() bool {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	return s.closing
 }
 
 // --- Generation ---------------------------------------------------------------
@@ -166,6 +228,10 @@ func New(cfg Config) (*System, error) {
 // Generate runs a UQL program against the system environment. Attributes
 // produced by the program register themselves in the evolving schema.
 func (s *System) Generate(program string, opts uql.Options) (*uql.Plan, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	plan, err := uql.Exec(program, s.Env, opts)
 	// UQL STORE statements insert into the extracted table directly,
 	// bypassing materialize's incremental cache maintenance; force the next
@@ -244,6 +310,10 @@ func (s *System) Coverage(attribute string) float64 {
 // materializing results into the extracted table. It returns the number
 // of tasks executed.
 func (s *System) ExtractPending(extractor string, budget int) (int, error) {
+	if err := s.beginOp(); err != nil {
+		return 0, err
+	}
+	defer s.endOp()
 	reg, ok := s.Env.Extractors[extractor]
 	if !ok {
 		return 0, fmt.Errorf("core: unknown extractor %q", extractor)
@@ -346,6 +416,10 @@ func (s *System) materialize(rows []uql.Row) error {
 // MaterializeRelation stores a named UQL relation into the extracted table
 // (used after Generate built relations without a STORE statement).
 func (s *System) MaterializeRelation(name string) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
 	rows, ok := s.Env.Relations[name]
 	if !ok {
 		return fmt.Errorf("core: unknown relation %q", name)
@@ -389,7 +463,14 @@ func (s *System) evolveSchema(rows []uql.Row) {
 // pulled it from which document, and what feedback touched it. It
 // consults the UQL environment's provenance graph via the relations that
 // produced the fact.
-func (s *System) ExplainFact(entity, attribute, qualifier string) (string, error) {
+func (s *System) ExplainFact(ctx context.Context, entity, attribute, qualifier string) (string, error) {
+	if err := s.beginOp(); err != nil {
+		return "", err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	for _, name := range sortedRelationNames(s.Env.Relations) {
 		for _, r := range s.Env.Relations[name] {
 			if r.Entity == entity && r.Attribute == attribute && r.Qualifier == qualifier && r.Prov != 0 {
@@ -411,10 +492,21 @@ func sortedRelationNames(rels map[string][]uql.Row) []string {
 
 // --- Exploitation ---------------------------------------------------------------
 
-// KeywordSearch is exploitation mode 1: ranked document hits.
-func (s *System) KeywordSearch(query string, k int) []search.Hit {
+// KeywordSearch is exploitation mode 1: ranked document hits. The index
+// is in-memory and the search bounded by k, so ctx is only consulted at
+// entry; the error return exists for the lifecycle (ErrClosed) and
+// cancellation cases a serving front end must distinguish from "no
+// hits".
+func (s *System) KeywordSearch(ctx context.Context, query string, k int) ([]search.Hit, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.Stats.Inc("core.queries.keyword", 1)
-	return s.Index.Search(query, k, search.BM25)
+	return s.Index.Search(query, k, search.BM25), nil
 }
 
 // Catalog summarizes the extracted structure for the reformulator. It is
@@ -456,8 +548,16 @@ type GuidedAnswer struct {
 
 // AskGuided is exploitation mode 2 (the §3.2 flow): take a keyword query,
 // guess candidate structured queries, execute the best one, and report
-// extraction coverage for the touched attribute.
-func (s *System) AskGuided(query string, k int) (*GuidedAnswer, error) {
+// extraction coverage for the touched attribute. The candidate execution
+// runs under ctx: a deadline cuts the structured query off mid-scan.
+func (s *System) AskGuided(ctx context.Context, query string, k int) (*GuidedAnswer, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if !s.cat.valid {
 		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
@@ -475,7 +575,7 @@ func (s *System) AskGuided(query string, k int) (*GuidedAnswer, error) {
 	s.Stats.Inc("core.queries.guided", 1)
 	top := cands[0]
 	s.Demand(top.Attribute, 1)
-	rs, err := s.DB.Exec(top.SQL)
+	rs, err := s.DB.ExecCtx(ctx, top.SQL)
 	if err != nil {
 		return nil, fmt.Errorf("core: executing %q: %w", top.SQL, err)
 	}
@@ -490,9 +590,13 @@ func (s *System) AskGuided(query string, k int) (*GuidedAnswer, error) {
 // ResultSet.Mutated) — or an error, conservatively — invalidates the
 // catalog cache. (Writes driven through s.DB directly are outside the
 // cache contract: all extracted-table writes must go through System.)
-func (s *System) SQL(query string) (*rdbms.ResultSet, error) {
+func (s *System) SQL(ctx context.Context, query string) (*rdbms.ResultSet, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	s.Stats.Inc("core.queries.sql", 1)
-	rs, err := s.DB.Exec(query)
+	rs, err := s.DB.ExecCtx(ctx, query)
 	if err != nil || rs.Mutated {
 		s.mu.Lock()
 		s.cat.invalidate()
@@ -502,10 +606,14 @@ func (s *System) SQL(query string) (*rdbms.ResultSet, error) {
 }
 
 // Browse is exploitation mode 4: a faceted browser over the extracted
-// structure.
-func (s *System) Browse() (*browse.Browser, error) {
+// structure. The snapshot scan honors ctx at scan-loop granularity.
+func (s *System) Browse(ctx context.Context) (*browse.Browser, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	var rows []browse.Row
-	tx := s.DB.Begin()
+	tx := s.DB.Begin().WithContext(ctx)
 	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
 		rows = append(rows, browse.Row{
 			Entity: t[0].S, Attribute: t[1].S, Qualifier: t[2].S,
@@ -527,6 +635,10 @@ func (s *System) Browse() (*browse.Browser, error) {
 // Subscribe is exploitation mode 5: standing queries (alerts) over future
 // extractions.
 func (s *System) Subscribe(sub alert.Subscription) (int, error) {
+	if err := s.beginOp(); err != nil {
+		return 0, err
+	}
+	defer s.endOp()
 	return s.Alerts.Subscribe(sub)
 }
 
@@ -536,9 +648,13 @@ func (s *System) Subscribe(sub alert.Subscription) (int, error) {
 // data itself — its trimmed-support fence tolerates a corrupt minority —
 // so the sweep works regardless of which generation path (declarative or
 // incremental) produced the rows.
-func (s *System) SweepSuspicious() ([]debugger.Violation, error) {
+func (s *System) SweepSuspicious(ctx context.Context) ([]debugger.Violation, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.endOp()
 	var triples [][3]string
-	tx := s.DB.Begin()
+	tx := s.DB.Begin().WithContext(ctx)
 	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
 		triples = append(triples, [3]string{t[0].S, t[1].S, t[3].S})
 		return true
@@ -556,15 +672,76 @@ func (s *System) SweepSuspicious() ([]debugger.Violation, error) {
 	return s.Debugger.Sweep(triples), nil
 }
 
+// correctValueRetries bounds the deadlock retry loop in CorrectValue.
+// Under strict 2PL a correction's scan takes a shared table lock and the
+// update upgrades it to exclusive; two concurrent corrections therefore
+// form a classic upgrade cycle and the lock manager aborts one with
+// ErrDeadlock. The victim's work is trivially replayable (the whole
+// operation is one scan + one update), so we retry a bounded number of
+// times with a short backoff instead of surfacing the abort to the user.
+const correctValueRetries = 16
+
 // CorrectValue applies a human correction to the extracted structure: the
 // row's value is replaced and its confidence set from the corrector's
-// reputation. The contributor is rewarded via the incentive manager.
-func (s *System) CorrectValue(user, entity, attribute, qualifier, newValue string) error {
+// reputation. The contributor is rewarded via the incentive manager, and
+// the corrected row is re-evaluated against alert subscriptions (a
+// correction is new information arriving, exactly what a standing query
+// watches for). Deadlocks against concurrent corrections are retried.
+func (s *System) CorrectValue(ctx context.Context, user, entity, attribute, qualifier, newValue string) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
 	weight := s.Users.Weight(user)
-	tx := s.DB.Begin()
+	var lastErr error
+	for attempt := 0; attempt < correctValueRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if attempt > 0 {
+			// Brief jittered-by-attempt backoff so the colliding correction
+			// can finish its upgrade before we retake the shared lock.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * time.Millisecond):
+			}
+		}
+		retry, err := s.correctValueOnce(ctx, weight, entity, attribute, qualifier, newValue)
+		if err == nil {
+			s.mu.Lock()
+			s.cat.addRow(entity, attribute, qualifier)
+			s.mu.Unlock()
+			s.Users.Award(user, 5)
+			s.Stats.Inc("core.corrections", 1)
+			// Evaluate standing queries against the corrected row. The alert
+			// center dedups on (subscription, entity, qualifier, value), so a
+			// retried or repeated identical correction notifies once.
+			fired := s.Alerts.Evaluate([]alert.Row{{
+				Entity: entity, Attribute: attribute, Qualifier: qualifier,
+				Value: newValue, Conf: weight,
+			}})
+			if len(fired) > 0 {
+				s.Stats.Inc("core.alerts.fired", int64(len(fired)))
+			}
+			return nil
+		}
+		if !retry {
+			return err
+		}
+		lastErr = err
+		s.Stats.Inc("core.corrections.deadlock_retries", 1)
+	}
+	return fmt.Errorf("core: correction kept deadlocking after %d attempts: %w", correctValueRetries, lastErr)
+}
+
+// correctValueOnce runs one scan-and-update attempt. It reports retry=true
+// only for deadlock aborts (the one transient failure worth replaying).
+func (s *System) correctValueOnce(ctx context.Context, weight float64, entity, attribute, qualifier, newValue string) (retry bool, err error) {
+	tx := s.DB.Begin().WithContext(ctx)
 	var target *rdbms.RID
 	var old rdbms.Tuple
-	err := tx.Scan(TableName, func(rid rdbms.RID, t rdbms.Tuple) bool {
+	err = tx.Scan(TableName, func(rid rdbms.RID, t rdbms.Tuple) bool {
 		if t[0].S == entity && t[1].S == attribute && t[2].S == qualifier {
 			r := rid
 			target = &r
@@ -575,11 +752,11 @@ func (s *System) CorrectValue(user, entity, attribute, qualifier, newValue strin
 	})
 	if err != nil {
 		tx.Abort()
-		return err
+		return errors.Is(err, rdbms.ErrDeadlock), err
 	}
 	if target == nil {
 		tx.Abort()
-		return fmt.Errorf("core: no extracted row for %s.%s[%s]", entity, attribute, qualifier)
+		return false, fmt.Errorf("core: no extracted row for %s.%s[%s]", entity, attribute, qualifier)
 	}
 	newTuple := old.Clone()
 	newTuple[3] = rdbms.NewString(newValue)
@@ -587,20 +764,12 @@ func (s *System) CorrectValue(user, entity, attribute, qualifier, newValue strin
 	newTuple[5] = rdbms.NewFloat(weight)
 	if _, err := tx.Update(TableName, *target, newTuple); err != nil {
 		tx.Abort()
-		return err
+		return errors.Is(err, rdbms.ErrDeadlock), err
 	}
 	if err := tx.Commit(); err != nil {
-		return err
+		return errors.Is(err, rdbms.ErrDeadlock), err
 	}
-	// A correction rewrites the value in place; the row's (entity,
-	// attribute, qualifier) key is unchanged, so folding it back in keeps
-	// the cache exact without a rescan.
-	s.mu.Lock()
-	s.cat.addRow(entity, attribute, qualifier)
-	s.mu.Unlock()
-	s.Users.Award(user, 5)
-	s.Stats.Inc("core.corrections", 1)
-	return nil
+	return false, nil
 }
 
 // AverageFromRows is a helper for examples/benches: parse-and-average a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestGenerateAndGuidedAnswerPaperFlow(t *testing.T) {
 		t.Fatalf("plan: %s", plan.Explain)
 	}
 	// Exploitation: an ordinary user's keyword query, guided to structure.
-	ans, err := s.AskGuided("average March September temperature Madison Wisconsin", 5)
+	ans, err := s.AskGuided(context.Background(), "average March September temperature Madison Wisconsin", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,10 @@ func TestGenerateAndGuidedAnswerPaperFlow(t *testing.T) {
 
 func TestKeywordSearchBaselineCannotAggregate(t *testing.T) {
 	s, _ := newSystem(t, 8, 2, 0)
-	hits := s.KeywordSearch("average temperature Madison Wisconsin", 5)
+	hits, err := s.KeywordSearch(context.Background(), "average temperature Madison Wisconsin", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hits) == 0 || hits[0].Title != "Madison, Wisconsin" {
 		t.Fatalf("keyword hits: %+v", hits)
 	}
@@ -92,7 +96,7 @@ func TestIncrementalBestEffort(t *testing.T) {
 		t.Fatalf("population coverage = %v, want 0", cov)
 	}
 	// Queries already work on the partial structure.
-	rs, err := s.SQL("SELECT COUNT(*) FROM extracted WHERE attribute = 'temperature'")
+	rs, err := s.SQL(context.Background(), "SELECT COUNT(*) FROM extracted WHERE attribute = 'temperature'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +151,7 @@ func TestSweepSuspiciousFindsCorruption(t *testing.T) {
 	if _, err := s.ExtractPending("city", 0); err != nil {
 		t.Fatal(err)
 	}
-	violations, err := s.SweepSuspicious()
+	violations, err := s.SweepSuspicious(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,10 +179,10 @@ func TestCorrectValueAndIncentives(t *testing.T) {
 	}
 	s.PlanIncremental("city", []string{"temperature"}, 1)
 	s.ExtractPending("city", 0)
-	if err := s.CorrectValue("alice", "Madison, Wisconsin", "temperature", "July", "74.0"); err != nil {
+	if err := s.CorrectValue(context.Background(), "alice", "Madison, Wisconsin", "temperature", "July", "74.0"); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := s.SQL("SELECT value, conf FROM extracted WHERE entity = 'Madison, Wisconsin' AND qualifier = 'July'")
+	rs, err := s.SQL(context.Background(), "SELECT value, conf FROM extracted WHERE entity = 'Madison, Wisconsin' AND qualifier = 'July'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +195,7 @@ func TestCorrectValueAndIncentives(t *testing.T) {
 	if s.Users.Points("alice") != 5 {
 		t.Fatalf("points: %d", s.Users.Points("alice"))
 	}
-	if err := s.CorrectValue("alice", "Nowhere", "temperature", "July", "1"); err == nil {
+	if err := s.CorrectValue(context.Background(), "alice", "Nowhere", "temperature", "July", "1"); err == nil {
 		t.Fatal("correction of missing row should fail")
 	}
 }
@@ -200,7 +204,7 @@ func TestBrowseFacets(t *testing.T) {
 	s, _ := newSystem(t, 6, 0, 0)
 	s.PlanIncremental("city", []string{"temperature", "population"}, 1)
 	s.ExtractPending("city", 0)
-	b, err := s.Browse()
+	b, err := s.Browse(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +269,7 @@ func TestGenerateWithHIFeedback(t *testing.T) {
 		t.Fatal("no questions asked")
 	}
 	// Confirmed facts should have risen above their raw extractor conf.
-	rs, err := s.SQL("SELECT MAX(conf) FROM extracted WHERE attribute = 'person'")
+	rs, err := s.SQL(context.Background(), "SELECT MAX(conf) FROM extracted WHERE attribute = 'person'")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -86,7 +87,7 @@ func TestOpenDirFullLifecycle(t *testing.T) {
 		t.Fatalf("catalog after reopen differs:\ngot  %+v\nwant %+v", catB, catA)
 	}
 	// The recovered structure answers queries.
-	rs, err := b.SQL("SELECT COUNT(*) AS n FROM extracted WHERE attribute = 'temperature'")
+	rs, err := b.SQL(context.Background(), "SELECT COUNT(*) AS n FROM extracted WHERE attribute = 'temperature'")
 	if err != nil {
 		t.Fatal(err)
 	}

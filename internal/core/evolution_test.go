@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestExplainFact(t *testing.T) {
 	`, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	text, err := s.ExplainFact("Madison, Wisconsin", "temperature", "September")
+	text, err := s.ExplainFact(context.Background(), "Madison, Wisconsin", "temperature", "September")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestExplainFact(t *testing.T) {
 			t.Fatalf("explanation missing %q:\n%s", want, text)
 		}
 	}
-	if _, err := s.ExplainFact("Nowhere", "temperature", "July"); err == nil {
+	if _, err := s.ExplainFact(context.Background(), "Nowhere", "temperature", "July"); err == nil {
 		t.Fatal("missing fact should error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestSnapshotRefreshLoop(t *testing.T) {
 		t.Fatalf("changed: %v", changed)
 	}
 	// The structure reflects the new value.
-	rs, err := s.SQL(`SELECT value FROM extracted
+	rs, err := s.SQL(context.Background(), `SELECT value FROM extracted
 		WHERE entity = 'Madison, Wisconsin' AND qualifier = 'July'`)
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +53,7 @@ func TestSnapshotRefreshLoop(t *testing.T) {
 		t.Fatalf("refreshed value: %v", rs.Rows)
 	}
 	// No duplicate rows for the refreshed entity.
-	rs, _ = s.SQL(`SELECT COUNT(*) FROM extracted
+	rs, _ = s.SQL(context.Background(), `SELECT COUNT(*) FROM extracted
 		WHERE entity = 'Madison, Wisconsin' AND attribute = 'temperature'`)
 	if rs.Rows[0][0].I != 12 {
 		t.Fatalf("temperature rows after refresh: %v", rs.Rows)
@@ -62,13 +63,16 @@ func TestSnapshotRefreshLoop(t *testing.T) {
 		t.Fatal("alert did not fire on refreshed value")
 	}
 	// Keyword search sees the refreshed text.
-	hits := s.KeywordSearch("104.0 degrees July", 3)
+	hits, err := s.KeywordSearch(context.Background(), "104.0 degrees July", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hits) == 0 || hits[0].Title != "Madison, Wisconsin" {
 		t.Fatalf("index not rebuilt: %+v", hits)
 	}
 	// Other cities' ground truth is untouched.
 	other := truth.Cities[1]
-	rs, _ = s.SQL("SELECT COUNT(*) FROM extracted WHERE entity = '" + other.Title + "' AND attribute = 'temperature'")
+	rs, _ = s.SQL(context.Background(), "SELECT COUNT(*) FROM extracted WHERE entity = '"+other.Title+"' AND attribute = 'temperature'")
 	if rs.Rows[0][0].I != 12 {
 		t.Fatalf("unchanged city lost rows: %v", rs.Rows)
 	}

@@ -346,16 +346,43 @@ func OpenDir(dir string, cfg Config, setup func(*System) error) (*System, OpenRe
 // warm snapshot is saved (when this System was opened via OpenDir) and a
 // disk-backed database is checkpointed and closed, after which OpenDir
 // on the same root reopens both. In-memory systems close to a no-op.
+//
+// Close is idempotent and safe under concurrent callers: the first caller
+// flips the system into closing (new operations get ErrClosed), drains
+// in-flight operations, then tears down; every other caller — concurrent
+// or later — waits for that teardown and returns its result. This is the
+// drain primitive the network server's graceful shutdown stands on.
 func (s *System) Close() error {
+	s.lifeMu.Lock()
+	if s.closing {
+		// Another Close won; wait for it and share its verdict.
+		done := s.closeDone
+		s.lifeMu.Unlock()
+		<-done
+		return s.closeErr
+	}
+	s.closing = true
+	s.closeDone = make(chan struct{})
+	for s.inflight > 0 {
+		s.lifeCond.Wait()
+	}
+	done := s.closeDone
+	s.lifeMu.Unlock()
+
+	var err error
 	if s.warmDir != "" {
-		if err := s.SaveWarmState(s.warmDir); err != nil {
-			return err
-		}
+		err = s.SaveWarmState(s.warmDir)
 	}
 	if s.diskBacked {
-		return s.DB.Close()
+		if cerr := s.DB.Close(); err == nil {
+			err = cerr
+		}
 	}
-	return nil
+	s.lifeMu.Lock()
+	s.closeErr = err
+	s.lifeMu.Unlock()
+	close(done)
+	return err
 }
 
 // Checkpoint forces everything committed so far into the data pages and
@@ -367,12 +394,20 @@ func (s *System) Close() error {
 // quiesce coordination. (Close still checkpoints; this makes the same
 // durability available mid-flight.)
 func (s *System) Checkpoint() error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
 	return s.DB.Checkpoint()
 }
 
 // ExtractedRows returns the number of rows in the extracted table, read
 // O(1) from the entity index (diagnostics, CLI, and reopen detection).
 func (s *System) ExtractedRows() (int, error) {
+	if err := s.beginOp(); err != nil {
+		return 0, err
+	}
+	defer s.endOp()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.extractedRowCount()

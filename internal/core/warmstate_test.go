@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -101,7 +102,7 @@ func TestWarmStartRestoresCatalogAndQueue(t *testing.T) {
 	assertCatalogFresh(t, b, "after draining restored queue")
 
 	// Guided queries serve from the restored warm cache.
-	ans, err := b.AskGuided("average temperature Madison Wisconsin", 3)
+	ans, err := b.AskGuided(context.Background(), "average temperature Madison Wisconsin", 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestWarmStartStaleRowCount(t *testing.T) {
 		if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
 			return err
 		}
-		_, err := s.SQL("INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Gotham', 'mayor', '', 'Bruce', NULL, 0.5)")
+		_, err := s.SQL(context.Background(), "INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Gotham', 'mayor', '', 'Bruce', NULL, 0.5)")
 		return err
 	})
 	if err != nil {
@@ -219,10 +220,10 @@ func TestWarmStartStaleEpoch(t *testing.T) {
 	if len(cat.Entities) == 0 {
 		t.Fatal("no entities")
 	}
-	if _, err := s.SQL("DELETE FROM extracted WHERE entity = '" + cat.Entities[0] + "' AND qualifier = 'March'"); err != nil {
+	if _, err := s.SQL(context.Background(), "DELETE FROM extracted WHERE entity = '"+cat.Entities[0]+"' AND qualifier = 'March'"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.SQL("INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Gotham', 'mayor', '', 'Bruce', NULL, 0.5)"); err != nil {
+	if _, err := s.SQL(context.Background(), "INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Gotham', 'mayor', '', 'Bruce', NULL, 0.5)"); err != nil {
 		t.Fatal(err)
 	}
 	warm, err := s.LoadWarmState(dir)
@@ -287,7 +288,7 @@ func TestCatalogSnapshotImmuneToLaterDeltas(t *testing.T) {
 	}
 	// Warm the memoized reformulator so later addRow calls mutate it in
 	// place, then hold a snapshot.
-	if _, err := s.AskGuided("average temperature Madison Wisconsin", 3); err != nil {
+	if _, err := s.AskGuided(context.Background(), "average temperature Madison Wisconsin", 3); err != nil {
 		t.Fatal(err)
 	}
 	held, err := s.Catalog()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -42,7 +43,10 @@ func RunE1(sizes []int, seed int64) ([]E1Result, *Series, error) {
 		query := "average March September temperature Madison Wisconsin"
 
 		t0 := time.Now()
-		hits := sys.KeywordSearch(query, 10)
+		hits, err := sys.KeywordSearch(context.Background(), query, 10)
+		if err != nil {
+			return nil, nil, err
+		}
 		kwLat := time.Since(t0)
 		_ = hits
 
@@ -56,7 +60,7 @@ func RunE1(sizes []int, seed int64) ([]E1Result, *Series, error) {
 		pipeLat := time.Since(t0)
 
 		t0 = time.Now()
-		ans, err := sys.AskGuided(query, 3)
+		ans, err := sys.AskGuided(context.Background(), query, 3)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -144,7 +148,7 @@ func RunE2(sizes []int, seed int64) ([]E2Result, *Series, error) {
 		`, uql.Options{}); err != nil {
 			return nil, nil, err
 		}
-		if _, err := sys1.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+		if _, err := sys1.AskGuided(context.Background(), "average temperature Madison Wisconsin", 1); err != nil {
 			return nil, nil, err
 		}
 		oneShot := time.Since(t0)
@@ -163,7 +167,7 @@ func RunE2(sizes []int, seed int64) ([]E2Result, *Series, error) {
 		if _, err := sys2.ExtractPending("city", 16); err != nil {
 			return nil, nil, err
 		}
-		if _, err := sys2.AskGuided("average temperature Madison Wisconsin", 1); err != nil {
+		if _, err := sys2.AskGuided(context.Background(), "average temperature Madison Wisconsin", 1); err != nil {
 			return nil, nil, err
 		}
 		incr := time.Since(t0)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,7 @@ func RunE9(corruptFracs []float64, seed int64) ([]E9Result, *Series, error) {
 		if _, err := sys.ExtractPending("city", 0); err != nil {
 			return nil, nil, err
 		}
-		violations, err := sys.SweepSuspicious()
+		violations, err := sys.SweepSuspicious(context.Background())
 		if err != nil {
 			return nil, nil, err
 		}

@@ -37,15 +37,21 @@
 //     non-quiesce bar: commits must proceed at a bounded small multiple,
 //     not stall for the checkpoint's duration — pre-PR5 this bench could
 //     not run, since Checkpoint refused active transactions outright).
+//   - Server/SustainedLoad (PR6): 256 concurrent wire-protocol clients
+//     against an in-process unidbd server — served ops/sec plus p50/p99
+//     client-observed latency, with admission-control sheds counted
+//     (see serverload.go).
 package perfbench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rdbms"
@@ -86,13 +92,13 @@ func AskGuidedCached(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := sys.AskGuided(guidedQuery, 3); err != nil { // warm the cache
+	if _, err := sys.AskGuided(context.Background(), guidedQuery, 3); err != nil { // warm the cache
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ans, err := sys.AskGuided(guidedQuery, 3)
+		ans, err := sys.AskGuided(context.Background(), guidedQuery, 3)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -629,6 +635,12 @@ type Report struct {
 	// stall would put this at checkpoint-duration / commit-latency, i.e.
 	// orders of magnitude; bounded overhead keeps it a small factor).
 	CheckpointCommitOverhead float64 `json:"checkpoint_commit_overhead"`
+	// ServerLoad is the PR6 sustained-throughput measurement: 256 client
+	// connections driving a mixed wire-protocol workload against an
+	// in-process unidbd server. Its throughput also lands in Results as
+	// Server/SustainedLoad (ns per served op) so the -compare gate tracks
+	// serving regressions like any other bench.
+	ServerLoad ServerLoad `json:"server_load"`
 }
 
 // RunAll executes every micro-benchmark via testing.Benchmark and
@@ -653,7 +665,7 @@ func RunAll() Report {
 		{"Durability/DiskReopen", DiskReopen},
 		{"Durability/DiskReopenIndexed", DiskReopenIndexed},
 	}
-	rep := Report{PR: 5, Suite: "fuzzyckpt"}
+	rep := Report{PR: 6, Suite: "serving"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, Result{
@@ -662,6 +674,19 @@ func RunAll() Report {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
+	}
+	load, err := MeasureServerLoad(256, 1500*time.Millisecond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: server load measurement failed:", err)
+	} else {
+		rep.ServerLoad = load
+		// Gate throughput as aggregate ns per served op (monotone in a
+		// throughput drop) and the median client-observed latency; p99 is
+		// reported but not gated — too noisy for a 25% tolerance in CI.
+		rep.Results = append(rep.Results,
+			Result{Name: "Server/SustainedLoad", NsPerOp: 1e9 / load.OpsPerSec},
+			Result{Name: "Server/P50Latency", NsPerOp: load.P50Ms * 1e6},
+		)
 	}
 	rep.FillSpeedups()
 	return rep

@@ -1,0 +1,121 @@
+package perfbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ServerLoad is the sustained-throughput measurement of the PR6 serving
+// front end: many concurrent connections drive a mixed exploitation
+// workload (keyword search, SQL, health) over the wire protocol against
+// an in-process unidbd server, and we record what the stack actually
+// sustains — served operations per second and client-observed latency
+// percentiles — plus how much the admission controller shed to keep it.
+type ServerLoad struct {
+	Conns     int     `json:"conns"`
+	Duration  float64 `json:"duration_sec"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	Served    int64   `json:"served"`
+	Shed      int64   `json:"shed"`
+}
+
+// MeasureServerLoad runs conns client connections against a loopback
+// server for dur. Each connection loops a mixed op cycle; overload sheds
+// are counted, not fatal (that is the admission controller doing its
+// job), and percentiles are computed over served requests.
+func MeasureServerLoad(conns int, dur time.Duration) (ServerLoad, error) {
+	sys, err := newGuidedSystem()
+	if err != nil {
+		return ServerLoad{}, err
+	}
+	defer sys.Close()
+	srv := server.New(sys, server.Options{
+		MaxInFlight: 128,
+		MaxConns:    conns + 16,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerLoad{}, err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := ln.Addr().String()
+
+	type worker struct {
+		lat  []time.Duration
+		shed int64
+		err  error
+	}
+	workers := make([]worker, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	for w := 0; w < conns; w++ {
+		wg.Add(1)
+		go func(w *worker, i int) {
+			defer wg.Done()
+			cli, err := server.Dial(addr, 10*time.Second)
+			if err != nil {
+				w.err = err
+				return
+			}
+			defer cli.Close()
+			ctx := context.Background()
+			for op := i; time.Now().Before(deadline); op++ {
+				t0 := time.Now()
+				var err error
+				switch op % 3 {
+				case 0:
+					_, err = cli.Search(ctx, guidedQuery, 3)
+				case 1:
+					_, err = cli.SQL(ctx, "SELECT COUNT(*) FROM extracted")
+				case 2:
+					_, err = cli.Health(ctx)
+				}
+				if errors.Is(err, server.ErrOverloaded) {
+					w.shed++
+					continue
+				}
+				if err != nil {
+					w.err = err
+					return
+				}
+				w.lat = append(w.lat, time.Since(t0))
+			}
+		}(&workers[w], w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	load := ServerLoad{Conns: conns, Duration: elapsed.Seconds()}
+	for i := range workers {
+		if err := workers[i].err; err != nil {
+			return ServerLoad{}, fmt.Errorf("load worker: %w", err)
+		}
+		all = append(all, workers[i].lat...)
+		load.Shed += workers[i].shed
+	}
+	if len(all) == 0 {
+		return ServerLoad{}, fmt.Errorf("no operations completed in %v", dur)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	load.Served = int64(len(all))
+	load.OpsPerSec = float64(len(all)) / elapsed.Seconds()
+	load.P50Ms = float64(all[len(all)/2]) / float64(time.Millisecond)
+	load.P99Ms = float64(all[len(all)*99/100]) / float64(time.Millisecond)
+	return load, nil
+}

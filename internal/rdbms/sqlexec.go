@@ -1,6 +1,7 @@
 package rdbms
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -38,6 +39,19 @@ func (rs *ResultSet) String() string {
 // Exec parses and executes one SQL statement in its own transaction,
 // committing on success and aborting on error.
 func (db *DB) Exec(sql string) (*ResultSet, error) {
+	return db.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx is Exec bounded by a context: the statement's transaction has
+// ctx attached, so its scan-shaped loops stop with the context's error
+// once the deadline passes or the caller cancels (and the transaction is
+// aborted like any other failed statement). DDL is not cancelable — it
+// checkpoints, and a half-applied catalog change has no clean abort — so
+// ctx is only consulted before DDL starts.
+func (db *DB) ExecCtx(ctx context.Context, sql string) (*ResultSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stmt, err := ParseSQL(sql)
 	if err != nil {
 		return nil, err
@@ -51,7 +65,7 @@ func (db *DB) Exec(sql string) (*ResultSet, error) {
 	case DropTableStmt:
 		return &ResultSet{Plan: "drop table", Mutated: true}, db.DropTable(s.Table)
 	}
-	tx := db.Begin()
+	tx := db.Begin().WithContext(ctx)
 	rs, err := tx.ExecStmt(stmt)
 	if err != nil {
 		if abortErr := tx.Abort(); abortErr != nil {

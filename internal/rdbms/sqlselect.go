@@ -341,7 +341,12 @@ func (tx *Txn) indexRows(table string, t *Table, ap *accessPath, b *binding, whe
 		}
 	}
 	rows := make([]Tuple, 0, len(rids))
-	for _, rid := range rids {
+	for i, rid := range rids {
+		if i%ctxCheckInterval == ctxCheckInterval-1 {
+			if err := tx.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		tup, live, err := t.Heap.Get(rid)
 		if err != nil {
 			return nil, err

@@ -213,7 +213,14 @@ func (tx *Txn) indexOrderRows(s SelectStmt, t *Table, op *orderPath, b *binding,
 	var rows []Tuple
 	var ridBuf []RID
 	var evalErr error
+	var seen int
 	idx.GroupedRange(op.lo, op.hi, op.desc, func(_ Value, rids []RID) bool {
+		seen++
+		if seen%ctxCheckInterval == 0 {
+			if evalErr = tx.ctxErr(); evalErr != nil {
+				return false
+			}
+		}
 		ridBuf = append(ridBuf[:0], rids...)
 		sortRIDs(ridBuf)
 		for _, rid := range ridBuf {

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Typed client-side errors for the codes callers branch on. A server
+// error response unwraps to one of these via errors.Is; the full wire
+// message rides along in the error text.
+var (
+	// ErrServerClosed: the server is draining or its system has closed.
+	ErrServerClosed = errors.New("server: closed")
+	// ErrDeadline: the request's server-side deadline expired.
+	ErrDeadline = errors.New("server: deadline exceeded")
+	// ErrConflict: transient concurrency conflict (deadlock); retryable.
+	ErrConflict = errors.New("server: conflict")
+	// ErrBadRequest: the server rejected the request as malformed.
+	ErrBadRequest = errors.New("server: bad request")
+	// ErrNotFound: no matching fact or provenance.
+	ErrNotFound = errors.New("server: not found")
+)
+
+// codeErr maps a wire code to its typed sentinel (nil = untyped).
+func codeErr(code string) error {
+	switch code {
+	case CodeOverloaded:
+		return ErrOverloaded
+	case CodeClosed:
+		return ErrServerClosed
+	case CodeDeadline:
+		return ErrDeadline
+	case CodeCanceled:
+		return context.Canceled
+	case CodeConflict:
+		return ErrConflict
+	case CodeBadRequest, CodeTooLarge:
+		return ErrBadRequest
+	case CodeNotFound:
+		return ErrNotFound
+	}
+	return nil
+}
+
+// wireToError converts a failed response to a client error that both
+// carries the server's message and unwraps to the matching sentinel.
+func wireToError(we *WireError) error {
+	if we == nil {
+		return errors.New("server: missing error detail")
+	}
+	if sentinel := codeErr(we.Code); sentinel != nil {
+		return fmt.Errorf("%w: %s", sentinel, we.Message)
+	}
+	return we
+}
+
+// Client speaks the framed protocol to a unidbd server over one TCP
+// connection. Safe for concurrent use: requests are serialized on the
+// connection (the protocol is strictly request/response).
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	nextID   int64
+	maxFrame int
+}
+
+// Dial connects to a unidbd server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, maxFrame: DefaultMaxFrame}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Do sends one request and waits for its response. The context's
+// deadline travels to the server (TimeoutMs) and also bounds the local
+// network wait, so a dead server cannot hang the caller.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	netDeadline := time.Now().Add(2 * time.Minute)
+	if d, ok := ctx.Deadline(); ok {
+		if req.TimeoutMs == 0 {
+			req.TimeoutMs = time.Until(d).Milliseconds()
+			if req.TimeoutMs < 1 {
+				req.TimeoutMs = 1
+			}
+		}
+		// Allow the server a grace beyond the request deadline to deliver
+		// its own typed deadline error before the socket gives up.
+		netDeadline = d.Add(5 * time.Second)
+	}
+	c.conn.SetDeadline(netDeadline)
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.conn, payload); err != nil {
+		return nil, err
+	}
+	raw, err := readFrame(c.conn, c.maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, fmt.Errorf("server: undecodable response: %w", err)
+	}
+	if resp.ID != 0 && resp.ID != req.ID {
+		return nil, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return nil, wireToError(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Search runs keyword search.
+func (c *Client) Search(ctx context.Context, query string, k int) ([]Hit, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpSearch, Query: query, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Hits, nil
+}
+
+// Ask runs the guided keyword-to-structured flow.
+func (c *Client) Ask(ctx context.Context, query string, k int) (*Guided, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpAsk, Query: query, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Guided, nil
+}
+
+// SQL executes one SQL statement.
+func (c *Client) SQL(ctx context.Context, stmt string) (*ResultSet, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpSQL, SQL: stmt})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// Browse fetches a faceted browsing summary after applying refinements
+// ("facet=value" steps).
+func (c *Client) Browse(ctx context.Context, refine ...string) (*Browse, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpBrowse, Refine: refine})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Browse, nil
+}
+
+// Subscribe registers a standing query and returns its id.
+func (c *Client) Subscribe(ctx context.Context, user, entity, attribute, op string, threshold, minConf float64) (int, error) {
+	resp, err := c.Do(ctx, &Request{
+		Op: OpSubscribe, User: user, Entity: entity, Attribute: attribute,
+		SubOp: op, Threshold: threshold, MinConf: minConf,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.SubID, nil
+}
+
+// Correct applies a human correction to one extracted fact.
+func (c *Client) Correct(ctx context.Context, user, entity, attribute, qualifier, value string) error {
+	_, err := c.Do(ctx, &Request{
+		Op: OpCorrect, User: user, Entity: entity, Attribute: attribute,
+		Qualifier: qualifier, Value: value,
+	})
+	return err
+}
+
+// Explain fetches the lineage of one extracted fact.
+func (c *Client) Explain(ctx context.Context, entity, attribute, qualifier string) (string, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpExplain, Entity: entity, Attribute: attribute, Qualifier: qualifier})
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Health fetches engine and server vitals (never admission-controlled).
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpHealth})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Health, nil
+}

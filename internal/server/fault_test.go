@@ -1,0 +1,261 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The network fault harness: each test arms one pathology on an
+// attacker connection (through FaultConn) and asserts two things — the
+// server survives it, and a healthy client talking concurrently keeps
+// getting correct answers.
+
+// healthyProbe runs requests on a fresh client until stop is closed,
+// failing the test on any error.
+func healthyProbe(t *testing.T, addr string, stop <-chan struct{}, wg *sync.WaitGroup) {
+	t.Helper()
+	cli := dialTest(t, addr)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, err := cli.Search(ctx, "temperature Madison", 3)
+			cancel()
+			if err != nil {
+				t.Errorf("healthy client failed during fault: %v", err)
+				return
+			}
+		}
+	}()
+}
+
+func encodeRequest(t *testing.T, req *Request) []byte {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 4+len(payload))
+	frame[0] = byte(len(payload) >> 24)
+	frame[1] = byte(len(payload) >> 16)
+	frame[2] = byte(len(payload) >> 8)
+	frame[3] = byte(len(payload))
+	copy(frame[4:], payload)
+	return frame
+}
+
+// TestFaultSlowloris: an attacker dribbles a frame one byte at a time,
+// far slower than the idle timeout. The server must cut it off on the
+// read deadline instead of holding the connection (and any buffer)
+// forever — while a healthy client stays served.
+func TestFaultSlowloris(t *testing.T) {
+	sys := newTestSystem(t, 12)
+	srv, addr := startServer(t, sys, Options{IdleTimeout: 300 * time.Millisecond})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	healthyProbe(t, addr, stop, &wg)
+
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := NewFaultConn(raw)
+	attacker.ChunkBytes = 1
+	attacker.ChunkDelay = 20 * time.Millisecond
+	defer raw.Close()
+
+	frame := encodeRequest(t, &Request{ID: 1, Op: OpSearch, Query: "x", K: 1})
+	// The trickle takes len(frame)*20ms >> IdleTimeout; the server should
+	// hang up mid-frame. The write eventually fails (peer reset) or
+	// completes into a dead socket — either is fine for the attacker.
+	attacker.Write(frame)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server answered a slowloris frame instead of dropping it")
+	}
+
+	close(stop)
+	wg.Wait()
+	if srv.ActiveConns() > 2 { // healthy probe + slack for teardown timing
+		t.Fatalf("connections leaked: %d", srv.ActiveConns())
+	}
+}
+
+// TestFaultMidFrameDisconnect: the attacker dies halfway through a
+// frame. The server must discard the partial frame and connection
+// without disturbing anyone else.
+func TestFaultMidFrameDisconnect(t *testing.T) {
+	sys := newTestSystem(t, 12)
+	_, addr := startServer(t, sys, Options{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	healthyProbe(t, addr, stop, &wg)
+
+	for i := 0; i < 8; i++ {
+		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attacker := NewFaultConn(raw)
+		frame := encodeRequest(t, &Request{ID: 1, Op: OpSQL, SQL: "SELECT COUNT(*) FROM extracted"})
+		attacker.CutAfterBytes = len(frame) / 2
+		attacker.Write(frame) // severs itself mid-frame
+	}
+
+	close(stop)
+	wg.Wait()
+}
+
+// TestFaultGarbageBytes: raw garbage instead of a frame. The length
+// prefix decodes to nonsense; the server must refuse and close without
+// crashing.
+func TestFaultGarbageBytes(t *testing.T) {
+	sys := newTestSystem(t, 12)
+	_, addr := startServer(t, sys, Options{})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	healthyProbe(t, addr, stop, &wg)
+
+	for i := 0; i < 8; i++ {
+		raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attacker := NewFaultConn(raw)
+		attacker.GarbagePrefix = []byte{0xff, 0xfe, 0xfd, 0xfc, 0x00, 0x01, 0x02}
+		attacker.Write(encodeRequest(t, &Request{ID: 1, Op: OpHealth}))
+		raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+		// Whatever comes back (a too-large refusal or a straight hangup),
+		// the server must not serve a real response off a desynced stream.
+		payload, err := readFrame(raw, DefaultMaxFrame)
+		if err == nil {
+			var resp Response
+			if json.Unmarshal(payload, &resp) == nil && resp.OK {
+				t.Fatalf("server answered OK off a desynchronized stream: %s", payload)
+			}
+		}
+		raw.Close()
+	}
+
+	close(stop)
+	wg.Wait()
+}
+
+// TestFaultHalfClose: the client sends a request and FINs its write
+// side. The server should still deliver the response (the read side is
+// open), then reap the connection.
+func TestFaultHalfClose(t *testing.T) {
+	sys := newTestSystem(t, 12)
+	_, addr := startServer(t, sys, Options{IdleTimeout: 500 * time.Millisecond})
+
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	fc := NewFaultConn(raw)
+	if _, err := fc.Write(encodeRequest(t, &Request{ID: 1, Op: OpHealth})); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.HalfClose(); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := readFrame(raw, DefaultMaxFrame)
+	if err != nil {
+		t.Fatalf("no response after half-close: %v", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(payload, &resp); err != nil || !resp.OK {
+		t.Fatalf("response after half-close: %s", payload)
+	}
+}
+
+// TestFaultSwarm: a mob of attackers (trickles, cutters, garbage) and a
+// crowd of honest clients at the same time. Every honest request must
+// succeed; the server must end with no leaked connections.
+func TestFaultSwarm(t *testing.T) {
+	sys := newTestSystem(t, 12)
+	srv, addr := startServer(t, sys, Options{IdleTimeout: 300 * time.Millisecond})
+
+	var attackers sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		attackers.Add(1)
+		go func(kind int) {
+			defer attackers.Done()
+			raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				return // refused under load is acceptable for an attacker
+			}
+			defer raw.Close()
+			fc := NewFaultConn(raw)
+			frame := encodeRequest(t, &Request{ID: 1, Op: OpSQL, SQL: "SELECT COUNT(*) FROM extracted"})
+			switch kind % 3 {
+			case 0:
+				fc.ChunkBytes, fc.ChunkDelay = 1, 15*time.Millisecond
+			case 1:
+				fc.CutAfterBytes = len(frame) / 3
+			case 2:
+				fc.GarbagePrefix = []byte{0xde, 0xad, 0xbe, 0xef}
+			}
+			fc.Write(frame)
+			raw.SetReadDeadline(time.Now().Add(time.Second))
+			buf := make([]byte, 64)
+			raw.Read(buf)
+		}(i)
+	}
+
+	var honest sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		honest.Add(1)
+		go func(i int) {
+			defer honest.Done()
+			cli, err := Dial(addr, 5*time.Second)
+			if err != nil {
+				errCh <- fmt.Errorf("honest dial: %w", err)
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 10; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, err := cli.Search(ctx, "temperature Madison", 3)
+				cancel()
+				if err != nil {
+					errCh <- fmt.Errorf("honest client %d op %d: %w", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	honest.Wait()
+	attackers.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// All attacker connections reaped (allow the idle reaper a moment).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ActiveConns() > 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := srv.ActiveConns(); n > 0 {
+		t.Fatalf("%d connections leaked after the swarm", n)
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"net"
+	"time"
+)
+
+// FaultConn wraps a net.Conn and injects network pathologies on the
+// write path — the client-side half of the fault harness. Tests dial the
+// server through it to simulate slowloris trickle, mid-frame
+// disconnects, and garbage injection, then assert the server stays
+// available to healthy clients.
+//
+// The wrapper sits on the attacker's side by design: the server under
+// test must see real TCP misbehavior arriving over a real socket, not a
+// doctored in-process pipe.
+type FaultConn struct {
+	net.Conn
+
+	// ChunkBytes > 0 splits every Write into chunks of at most this many
+	// bytes with ChunkDelay between them (slowloris: a frame dribbles in
+	// far slower than any honest client would send it).
+	ChunkBytes int
+	ChunkDelay time.Duration
+
+	// CutAfterBytes >= 0 severs the connection (hard close) after that
+	// many bytes have been written — mid-frame when aimed inside a
+	// frame's extent. -1 disables.
+	CutAfterBytes int
+
+	// GarbagePrefix, when non-empty, is written once before the first
+	// real payload byte (stream desynchronization: the server must reject
+	// the resulting pseudo-frame without harm).
+	GarbagePrefix []byte
+
+	written     int
+	sentGarbage bool
+}
+
+// NewFaultConn wraps conn with no faults armed (CutAfterBytes disabled).
+func NewFaultConn(conn net.Conn) *FaultConn {
+	return &FaultConn{Conn: conn, CutAfterBytes: -1}
+}
+
+// Write applies the armed faults to the outgoing byte stream.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	if !f.sentGarbage && len(f.GarbagePrefix) > 0 {
+		f.sentGarbage = true
+		if _, err := f.Conn.Write(f.GarbagePrefix); err != nil {
+			return 0, err
+		}
+	}
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if f.ChunkBytes > 0 && len(chunk) > f.ChunkBytes {
+			chunk = chunk[:f.ChunkBytes]
+		}
+		if f.CutAfterBytes >= 0 && f.written+len(chunk) > f.CutAfterBytes {
+			// Sever mid-frame: write the bytes up to the cut point, then
+			// hard-close so the server sees an abrupt disconnect with a
+			// partial frame buffered.
+			keep := f.CutAfterBytes - f.written
+			if keep > 0 {
+				f.Conn.Write(chunk[:keep])
+				f.written += keep
+				total += keep
+			}
+			f.Conn.Close()
+			return total, net.ErrClosed
+		}
+		n, err := f.Conn.Write(chunk)
+		f.written += n
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+		if f.ChunkBytes > 0 && len(p) > 0 && f.ChunkDelay > 0 {
+			time.Sleep(f.ChunkDelay)
+		}
+	}
+	return total, nil
+}
+
+// HalfClose shuts down the write side only (FIN), leaving the read side
+// open — the lingering half-open connection servers must time out.
+func (f *FaultConn) HalfClose() error {
+	if tc, ok := f.Conn.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return f.Conn.Close()
+}

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/alert"
+	"repro/internal/core"
+	"repro/internal/rdbms"
+)
+
+// handle dispatches one admitted request to the core System under ctx.
+func (s *Server) handle(ctx context.Context, req *Request) *Response {
+	switch req.Op {
+	case OpSearch:
+		k := req.K
+		if k <= 0 {
+			k = 10
+		}
+		hits, err := s.sys.KeywordSearch(ctx, req.Query, k)
+		if err != nil {
+			return errResponse(err)
+		}
+		out := make([]Hit, len(hits))
+		for i, h := range hits {
+			out[i] = Hit{Title: h.Title, Score: h.Score, Snippet: h.Snippet}
+		}
+		return &Response{OK: true, Hits: out}
+
+	case OpAsk:
+		k := req.K
+		if k <= 0 {
+			k = 5
+		}
+		ans, err := s.sys.AskGuided(ctx, req.Query, k)
+		if err != nil {
+			return errResponse(err)
+		}
+		g := &Guided{Coverage: ans.Coverage, Answer: toWireResultSet(ans.Answer)}
+		for _, c := range ans.Candidates {
+			g.Candidates = append(g.Candidates, GuidedCandidate{
+				Form: c.Form(), SQL: c.SQL, Attribute: c.Attribute, Score: c.Score,
+			})
+		}
+		return &Response{OK: true, Guided: g}
+
+	case OpSQL:
+		if strings.TrimSpace(req.SQL) == "" {
+			return badRequest("sql: empty statement")
+		}
+		rs, err := s.sys.SQL(ctx, req.SQL)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Result: toWireResultSet(rs)}
+
+	case OpBrowse:
+		b, err := s.sys.Browse(ctx)
+		if err != nil {
+			return errResponse(err)
+		}
+		for _, step := range req.Refine {
+			facet, value, ok := strings.Cut(step, "=")
+			if !ok {
+				return badRequest(fmt.Sprintf("browse: refinement %q is not facet=value", step))
+			}
+			if err := b.Refine(facet, value); err != nil {
+				return badRequest(err.Error())
+			}
+		}
+		out := &Browse{Path: b.Path(), Rows: len(b.Rows())}
+		for _, f := range b.Facets() {
+			wf := Facet{Name: f.Name}
+			for _, v := range f.Values {
+				wf.Values = append(wf.Values, FacetValue{Value: v.Value, Count: v.Count})
+			}
+			out.Facets = append(out.Facets, wf)
+		}
+		return &Response{OK: true, Browse: out}
+
+	case OpSubscribe:
+		id, err := s.sys.Subscribe(alert.Subscription{
+			User: req.User, Entity: req.Entity, Attribute: req.Attribute,
+			Op: alert.Op(req.SubOp), Threshold: req.Threshold, MinConf: req.MinConf,
+		})
+		if err != nil {
+			if errors.Is(err, core.ErrClosed) {
+				return errResponse(err)
+			}
+			return badRequest(err.Error())
+		}
+		return &Response{OK: true, SubID: id}
+
+	case OpCorrect:
+		if req.Entity == "" || req.Attribute == "" {
+			return badRequest("correct: entity and attribute required")
+		}
+		err := s.sys.CorrectValue(ctx, req.User, req.Entity, req.Attribute, req.Qualifier, req.Value)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+
+	case OpExplain:
+		text, err := s.sys.ExplainFact(ctx, req.Entity, req.Attribute, req.Qualifier)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Text: text}
+
+	default:
+		return badRequest(fmt.Sprintf("unknown op %q", req.Op))
+	}
+}
+
+// handleHealth assembles the engine and server vitals. It runs outside
+// admission control and tolerates a closed system: health must answer
+// during overload and during drain.
+func (s *Server) handleHealth() *Response {
+	h := &Health{
+		InFlightOps: s.sys.InFlightOps(),
+		Closing:     s.sys.Closing(),
+		Draining:    s.isDraining(),
+		ActiveConns: s.ActiveConns(),
+	}
+	h.Admitted, h.Shed, h.Served = s.Stats()
+	if rows, err := s.sys.ExtractedRows(); err == nil {
+		h.ExtractedRows = rows
+	}
+	h.Checkpoints = s.sys.DB.Checkpoints()
+	h.WALSyncs = s.sys.DB.WALSyncs()
+	st := s.sys.DB.LastOpenStats()
+	h.IndexesLoaded, h.IndexesRebuilt = st.IndexesLoaded, st.IndexesRebuilt
+	return &Response{OK: true, Health: h}
+}
+
+func badRequest(msg string) *Response {
+	return &Response{OK: false, Err: &WireError{Code: CodeBadRequest, Message: msg}}
+}
+
+// errResponse maps an execution error to its wire code. The mapping is
+// the contract clients program against: overload and shutdown are typed,
+// deadline expiry is distinguishable from failure, deadlock aborts are
+// marked retryable.
+func errResponse(err error) *Response {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = CodeOverloaded
+	case errors.Is(err, ErrDraining), errors.Is(err, core.ErrClosed):
+		code = CodeClosed
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadline
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	case errors.Is(err, rdbms.ErrDeadlock):
+		code = CodeConflict
+	case strings.Contains(err.Error(), "no extracted row"),
+		strings.Contains(err.Error(), "no provenance"):
+		code = CodeNotFound
+	}
+	return &Response{OK: false, Err: &WireError{Code: code, Message: err.Error()}}
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrOverloaded is the typed shed signal: admission control refused the
+// request (or connection) because the server is at capacity. Clients see
+// it from the Go client as a wrapped error; on the wire it is
+// CodeOverloaded. Shedding is immediate — the server never queues work it
+// cannot start promptly.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// ErrDraining is returned by ops arriving while the server shuts down.
+var ErrDraining = errors.New("server: draining")
+
+// Options tunes the server's robustness machinery. Zero values select the
+// documented defaults.
+type Options struct {
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections (the admission semaphore). Requests beyond it are shed
+	// with CodeOverloaded immediately. Default 64.
+	MaxInFlight int
+	// MaxConns bounds accepted connections; beyond it, new connections
+	// receive one CodeOverloaded frame and are closed (the bounded accept
+	// queue). Default 1024.
+	MaxConns int
+	// MaxFrameBytes bounds a request frame. Default DefaultMaxFrame.
+	MaxFrameBytes int
+	// IdleTimeout bounds how long a connection may sit between requests
+	// before the server hangs up (slowloris defense: a reader stuck
+	// mid-frame is bounded by the same clock). Default 30s.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. Default 10s.
+	WriteTimeout time.Duration
+	// DefaultRequestTimeout applies when a request carries no timeout;
+	// MaxRequestTimeout clamps what a request may ask for. Defaults 10s
+	// and 60s.
+	DefaultRequestTimeout time.Duration
+	MaxRequestTimeout     time.Duration
+	// DrainTimeout bounds graceful shutdown: connections still busy after
+	// it are force-closed. Default 10s.
+	DrainTimeout time.Duration
+	// ErrorLog receives per-connection fault notes (panics, protocol
+	// violations). Nil discards them.
+	ErrorLog io.Writer
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxInFlight <= 0 {
+		out.MaxInFlight = 64
+	}
+	if out.MaxConns <= 0 {
+		out.MaxConns = 1024
+	}
+	if out.MaxFrameBytes <= 0 {
+		out.MaxFrameBytes = DefaultMaxFrame
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 30 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 10 * time.Second
+	}
+	if out.DefaultRequestTimeout <= 0 {
+		out.DefaultRequestTimeout = 10 * time.Second
+	}
+	if out.MaxRequestTimeout <= 0 {
+		out.MaxRequestTimeout = 60 * time.Second
+	}
+	if out.DrainTimeout <= 0 {
+		out.DrainTimeout = 10 * time.Second
+	}
+	return out
+}
+
+// Server serves the user layer over TCP. Create with New, start with
+// Serve, stop with Shutdown.
+type Server struct {
+	sys  *core.System
+	opts Options
+
+	sem chan struct{} // admission semaphore: one token per executing request
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	draining bool
+
+	connWG sync.WaitGroup // one per live connection handler
+
+	admitted atomic.Int64
+	shed     atomic.Int64
+	served   atomic.Int64
+}
+
+// New builds a server over an opened System. The server does not own the
+// System: closing it after Shutdown is the caller's job (RunDaemon wires
+// the full lifecycle).
+func New(sys *core.System, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		sys:   sys,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInFlight),
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener
+// error). It returns nil after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			// Transient accept errors (per-connection resets) should not
+			// kill the accept loop; anything persistent will repeat and
+			// the daemon's supervisor sees the log.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		if !s.registerConn(conn) {
+			// Over the connection cap (or draining): tell the client why,
+			// bounded by the write timeout, and hang up. This is the
+			// bounded accept queue — excess connections are refused in
+			// O(1), never parked.
+			s.shed.Add(1)
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			writeJSONFrame(conn, &Response{OK: false, Err: &WireError{
+				Code: CodeOverloaded, Message: "connection limit reached",
+			}})
+			conn.Close()
+			continue
+		}
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// registerConn admits a connection under the cap; false means refuse.
+func (s *Server) registerConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || len(s.conns) >= s.opts.MaxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) unregisterConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// ActiveConns reports live connections (diagnostics and tests).
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Stats reports admission counters (admitted, shed, served).
+func (s *Server) Stats() (admitted, shed, served int64) {
+	return s.admitted.Load(), s.shed.Load(), s.served.Load()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.ErrorLog != nil {
+		fmt.Fprintf(s.opts.ErrorLog, "unidbd: "+format+"\n", args...)
+	}
+}
+
+// serveConn runs one connection's request loop: read a frame, execute,
+// reply, repeat. The loop is sequential per connection — pipelining
+// concurrency comes from many connections, which is what the admission
+// semaphore governs.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.unregisterConn(conn)
+	defer conn.Close()
+	// Per-connection panic recovery: a handler bug poisons one
+	// connection, not the process. The deferred recover also covers the
+	// framing code against malformed input surprises.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("panic on %s: %v", conn.RemoteAddr(), r)
+		}
+	}()
+
+	for {
+		if s.isDraining() {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		payload, err := readFrame(conn, s.opts.MaxFrameBytes)
+		if err != nil {
+			// A too-large frame gets a typed refusal before the hangup;
+			// everything else (EOF, timeout, mid-frame disconnect) is a
+			// dead or hostile peer and is just dropped. A read that was
+			// woken by Shutdown's deadline poke lands here too and exits
+			// via the draining check above on the next iteration — or
+			// right now, since the conn is closing anyway.
+			if errors.Is(err, ErrFrameTooLarge) {
+				s.respond(conn, &Response{OK: false, Err: &WireError{
+					Code: CodeTooLarge, Message: err.Error(),
+				}})
+			}
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			// Malformed JSON inside a well-formed frame: the stream is
+			// still synchronized, so reject the request and keep the
+			// connection — a buggy client gets diagnostics, not a
+			// mysterious hangup.
+			if !s.respond(conn, &Response{OK: false, Err: &WireError{
+				Code: CodeBadRequest, Message: "malformed request: " + err.Error(),
+			}}) {
+				return
+			}
+			continue
+		}
+		if !s.respond(conn, s.execute(&req)) {
+			return
+		}
+	}
+}
+
+// respond writes one response frame under the write deadline; false
+// means the connection is unusable.
+func (s *Server) respond(conn net.Conn, resp *Response) bool {
+	conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	if err := writeJSONFrame(conn, resp); err != nil {
+		return false
+	}
+	s.served.Add(1)
+	return true
+}
+
+// execute runs one request under admission control and its deadline.
+func (s *Server) execute(req *Request) *Response {
+	start := time.Now()
+	resp := s.executeInner(req)
+	resp.ID = req.ID
+	resp.Elapsed = time.Since(start).Microseconds()
+	return resp
+}
+
+func (s *Server) executeInner(req *Request) *Response {
+	// Health is the one op that bypasses admission control: it must keep
+	// answering while the server sheds load, or overload becomes
+	// unobservable exactly when observing it matters.
+	if req.Op == OpHealth {
+		return s.handleHealth()
+	}
+	if s.isDraining() {
+		return errResponse(ErrDraining)
+	}
+	// Admission: take a token without waiting. No token, no service —
+	// the client learns immediately and can back off, instead of parking
+	// in an unbounded queue that melts latency for everyone.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		return errResponse(ErrOverloaded)
+	}
+	defer func() { <-s.sem }()
+	s.admitted.Add(1)
+
+	timeout := s.opts.DefaultRequestTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > s.opts.MaxRequestTimeout {
+		timeout = s.opts.MaxRequestTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return s.handle(ctx, req)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: stop accepting, wake idle connection
+// readers, let busy connections finish their current request, and
+// force-close whatever remains when ctx (or DrainTimeout, whichever is
+// sooner) expires. It does not close the System — the daemon does that
+// after the drain, so in-flight requests never race the engine teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	// Poke every connection blocked in a read: an expired read deadline
+	// wakes it with a timeout error and its handler exits via the
+	// draining flag. Connections mid-request are untouched — their
+	// handler checks draining only between requests.
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	limit := time.NewTimer(s.opts.DrainTimeout)
+	defer limit.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	case <-limit.C:
+	}
+	// Drain budget exhausted: sever the stragglers. Their handlers die
+	// on the closed conn and the WaitGroup unblocks.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return fmt.Errorf("server: drain timed out; %w", os.ErrDeadlineExceeded)
+}
