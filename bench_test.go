@@ -47,7 +47,7 @@ func BenchmarkE1StructuredVsKeyword(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sys.Generate(`
+		if _, err := sys.Generate(context.Background(), `
 			EXTRACT temperature FROM docs USING city KIND city INTO temps;
 			STORE temps INTO TABLE extracted;
 		`, uql.Options{}); err != nil {
@@ -75,7 +75,7 @@ func BenchmarkE1StructuredVsKeyword(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sys.Generate(`
+			if _, err := sys.Generate(context.Background(), `
 				EXTRACT temperature FROM docs USING city KIND city INTO temps;
 				STORE temps INTO TABLE extracted;
 			`, uql.Options{}); err != nil {
@@ -141,7 +141,7 @@ func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := sys.Generate(`
+			if _, err := sys.Generate(context.Background(), `
 				EXTRACT all FROM docs USING city INTO facts;
 				STORE facts INTO TABLE extracted;
 			`, uql.Options{}); err != nil {
@@ -159,11 +159,11 @@ func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := sys.PlanIncremental("city", []string{"temperature", "population", "founded"}, 16); err != nil {
+			if err := sys.PlanIncremental(context.Background(), "city", []string{"temperature", "population", "founded"}, 16); err != nil {
 				b.Fatal(err)
 			}
-			sys.Demand("temperature", 10)
-			if _, err := sys.ExtractPending("city", 16); err != nil {
+			sys.Demand(context.Background(), "temperature", 10)
+			if _, err := sys.ExtractPending(context.Background(), "city", 16); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := sys.AskGuided(context.Background(), "average temperature Madison Wisconsin", 1); err != nil {
@@ -342,7 +342,7 @@ func BenchmarkE10OptimizerAblation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := sys.Generate(program, cfg.opts); err != nil {
+				if _, err := sys.Generate(context.Background(), program, cfg.opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -61,6 +61,14 @@ func runPerf(outPath, comparePath string, tolerance float64) error {
 		fmt.Printf("server load (%d conns, %.1fs): %.0f ops/sec, p50 %.2fms, p99 %.2fms, shed %d\n",
 			sl.Conns, sl.Duration, sl.OpsPerSec, sl.P50Ms, sl.P99Ms, sl.Shed)
 	}
+	if ml := rep.MixedLoad; len(ml.Points) > 0 {
+		for _, p := range ml.Points {
+			fmt.Printf("mixed read/write (%dR x %dW, %.1fs): readers %.0f ops/sec, writers %.0f ops/sec\n",
+				p.Readers, ml.Writers, ml.DurationSec, p.ReaderOpsPerSec, p.WriterOpsPerSec)
+		}
+		fmt.Printf("mixed-read scaling (8R / 1R aggregate, %d cores): %.2fx\n", ml.Cores, ml.Scaling8x)
+		fmt.Printf("mvcc read boost (snapshot / locked, 8R engine):  %.1fx\n", ml.MVCCReadBoost)
+	}
 	if outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -123,7 +123,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			}
 			program = string(data)
 		}
-		plan, err := sys.Generate(program, uql.Options{})
+		plan, err := sys.Generate(context.Background(), program, uql.Options{})
 		if err != nil {
 			return err
 		}
@@ -256,7 +256,7 @@ func ensureGenerated(sys *core.System) error {
 	if n, err := sys.ExtractedRows(); err == nil && n > 0 {
 		return nil
 	}
-	if _, err := sys.Generate(demoProgram, uql.Options{}); err != nil {
+	if _, err := sys.Generate(context.Background(), demoProgram, uql.Options{}); err != nil {
 		return fmt.Errorf("demo generation failed: %w", err)
 	}
 	return nil

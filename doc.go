@@ -394,4 +394,73 @@
 // ops/sec plus p50/p99 in BENCH_PR6.json, gated by benchrunner
 // -compare), and CI gained a server smoke job: real binaries, mixed
 // remote workload, SIGTERM, clean-drain and warm-reopen assertions.
+//
+// # MVCC snapshot reads behind the View API (PR7)
+//
+// PR6 left the engine as the bottleneck: every read funneled through
+// System.mu and strict-2PL row locks, so reader throughput was flat no
+// matter how many cores or connections showed up. PR7 removes the
+// blocking from the read path end to end.
+//
+// Version storage. The engine keeps an LSN-keyed version store
+// (internal/rdbms/mvcc.go): the same logged-mutation hooks that feed
+// the WAL also append each overwritten or deleted row state to a
+// per-RID version chain, stamped with the LSN range it was visible in.
+// Writers pay one chain append per mutation; nothing changes in their
+// locking or logging. Pending commits register with the WAL append so a
+// version becomes visible if and only if its commit record made it to
+// the log (publish after group-commit flush, cancel on flush error,
+// release on abort).
+//
+// Visibility rule. DB.BeginSnapshot() pins a snapshot LSN — the highest
+// LSN at which every smaller-LSN transaction has either committed or
+// aborted (min(pending)-1, else the max committed LSN). A row version
+// is visible to the snapshot iff it was committed at or before that
+// LSN and not superseded by it. SELECT, index lookups, IndexRange, and
+// scans all resolve through the same rule, so a snapshot read takes
+// zero LockManager acquisitions (counter-asserted in both the rdbms
+// and core test suites) and never waits on writers or other readers.
+// One deliberate trade: a snapshot declines the index-order ORDER BY
+// streaming path (it cannot hold its visibility set against the live
+// B-tree's shape without latching out writers), so ORDER BY + LIMIT on
+// the snapshot route falls back to the top-k pushdown scan — identical
+// bytes out, no early stop; ROADMAP item 1 tracks restoring it.
+//
+// GC horizon. Version chains are swept at each checkpoint up to the
+// horizon = min(active snapshot LSNs, min(pending)-1): the oldest state
+// any live or future snapshot can still demand. An open View therefore
+// pins garbage collection but never blocks writers; closing it releases
+// the horizon.
+//
+// The View API (internal/core/view.go) surfaces the snapshot as the
+// read contract: System.View(ctx) returns a handle exposing AskGuided,
+// KeywordSearch, SQL, Browse, and ExplainFact all answering at one
+// LSN (View.LSN()), so a multi-query exploitation session is
+// repeatable-read by construction — proven by content-hash oracles and
+// a readers-vs-writers-vs-checkpointer race suite. The one-shot System
+// read methods are now thin wrappers over a throwaway View, and the
+// rest of the public surface went ctx-first and error-returning
+// (Generate, PlanIncremental, Demand, ExtractPending,
+// MaterializeRelation); Catalog()/CatalogScan() collapsed into
+// Catalog(ctx) plus an explicit RefreshCatalog(ctx).
+//
+// The serving layer sharded to match. The catalog cache and memoized
+// reformulator live behind an atomic pointer with RCU-style
+// copy-on-invalidate publication: readers take one atomic load on the
+// fast path and share a single rebuild per writer invalidation instead
+// of paying one each, and System.mu shrank to writer-side coordination.
+// The wire protocol gained request IDs: a nonzero ID dispatches the
+// request on its own server goroutine and responses are correlated by
+// ID, so one connection pipelines without head-of-line blocking (ID 0
+// keeps the legacy ordered mode); Client multiplexes concurrent calls
+// over one connection via a single reader goroutine routing responses
+// by ID.
+//
+// The headline measurement (perfbench/mixedload.go, BENCH_PR7.json):
+// 1/4/8 reader connections running the guided flow against 2 churning
+// writers. Before PR7 the sweep was pinned at ~1x; now the 8-reader
+// aggregate scales ~4x over 1 reader even on a single-core runner
+// (scheduling, not locking, is the remaining ceiling there), and the
+// engine-level comparison — 8 snapshot readers vs the old locking read
+// path under the same churn — lands around 40x.
 package repro

@@ -26,15 +26,15 @@ func main() {
 
 	// Plan extraction of both attributes over 8 corpus partitions, but do
 	// not run anything yet: generation is lazy.
-	if err := sys.PlanIncremental("city", []string{"temperature", "population"}, 8); err != nil {
+	if err := sys.PlanIncremental(context.Background(), "city", []string{"temperature", "population"}, 8); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("planned %d extraction tasks; nothing extracted yet\n", sys.PendingTasks())
 
 	// Phase 1: the user only cares about climate. Demand prioritizes
 	// temperature tasks; a small budget extracts them first.
-	sys.Demand("temperature", 10)
-	n, err := sys.ExtractPending("city", 8)
+	sys.Demand(context.Background(), "temperature", 10)
+	n, err := sys.ExtractPending(context.Background(), "city", 8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func main() {
 	// Phase 2: the user now wants only cities with at least 500k people.
 	// Population extraction runs on demand.
 	fmt.Println("\nphase 2: user adds a population constraint; extracting populations...")
-	if _, err := sys.ExtractPending("city", 0); err != nil {
+	if _, err := sys.ExtractPending(context.Background(), "city", 0); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  population coverage: %.0f%%\n", sys.Coverage("population")*100)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -75,7 +76,7 @@ func main() {
 	// Wire the reputation-weighted crowd into the system and run the
 	// person pipeline with HI-assisted entity resolution.
 	sys.Env.Crowd = hi.NewCrowd(members, sys.Users)
-	_, err = sys.Generate(`
+	_, err = sys.Generate(context.Background(), `
 		EXTRACT born FROM docs USING person KIND person INTO people;
 		RESOLVE people THRESHOLD 0.82 BUDGET 80 INTO resolved;
 		STORE resolved INTO TABLE extracted;

@@ -34,7 +34,7 @@ func main() {
 	// directory is fresh, and materializes structure via a declarative IE
 	// program.
 	sys, rep, err := core.OpenDir(dir, core.Config{Corpus: corpus, Workers: 4}, func(s *core.System) error {
-		plan, err := s.Generate(`
+		plan, err := s.Generate(context.Background(), `
 			EXTRACT temperature, population FROM docs USING city KIND city INTO facts;
 			STORE facts INTO TABLE extracted;
 		`, uql.Options{})

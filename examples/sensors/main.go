@@ -58,10 +58,10 @@ func main() {
 	}
 
 	// Same generation path as for documents — incremental, demand-driven.
-	if err := sys.PlanIncremental("sensor", []string{"reading"}, 4); err != nil {
+	if err := sys.PlanIncremental(context.Background(), "sensor", []string{"reading"}, 4); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.ExtractPending("sensor", 0); err != nil {
+	if _, err := sys.ExtractPending(context.Background(), "sensor", 0); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("extracted %d readings from %d log files\n",

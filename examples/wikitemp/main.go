@@ -40,7 +40,7 @@ func main() {
 	fmt.Println("  -> the answer is in there, but the engine cannot compute it.")
 
 	// --- Generate structure --------------------------------------------
-	if _, err := sys.Generate(`
+	if _, err := sys.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`, uql.Options{}); err != nil {

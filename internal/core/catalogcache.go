@@ -211,21 +211,20 @@ func (c *catalogCache) reformulator(table string) *reformulate.Reformulator {
 }
 
 // rebuildFrom repopulates the cache with one full scan of the extracted
-// table. Caller holds System.mu.
+// table. The scan runs through an MVCC snapshot: it sees exactly the
+// committed state at one LSN, takes zero lock-manager acquisitions, and
+// cannot deadlock against concurrent writers — important because the
+// caller holds System.mu for the duration. Caller holds System.mu.
 func (c *catalogCache) rebuildFrom(db *rdbms.DB, table string) error {
 	c.reset()
-	tx := db.Begin()
-	err := tx.Scan(table, func(_ rdbms.RID, t rdbms.Tuple) bool {
+	sn := db.BeginSnapshot()
+	defer sn.Close()
+	err := sn.Scan(table, func(_ rdbms.RID, t rdbms.Tuple) bool {
 		c.addRow(t[0].S, t[1].S, t[2].S)
 		c.hash += rowContentHash(t[0].S, t[1].S, t[2].S)
 		return true
 	})
 	if err != nil {
-		tx.Abort()
-		c.invalidate()
-		return err
-	}
-	if err := tx.Commit(); err != nil {
 		c.invalidate()
 		return err
 	}

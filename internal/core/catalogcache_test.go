@@ -14,11 +14,11 @@ import (
 // full-scan rebuild (CatalogScan), the cache-correctness invariant.
 func assertCatalogFresh(t *testing.T, s *System, when string) {
 	t.Helper()
-	cached, err := s.Catalog()
+	cached, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatalf("%s: Catalog: %v", when, err)
 	}
-	fresh, err := s.CatalogScan()
+	fresh, err := s.RefreshCatalog(context.Background())
 	if err != nil {
 		t.Fatalf("%s: CatalogScan: %v", when, err)
 	}
@@ -33,7 +33,7 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 
 	// After Generate (UQL STORE writes bypass materialize and must
 	// invalidate the cache).
-	if _, err := s.Generate(`
+	if _, err := s.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`, uql.Options{}); err != nil {
@@ -43,16 +43,16 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 
 	// After incremental extraction (materialize maintains the cache in
 	// place — no invalidation, so this exercises addRow).
-	if err := s.PlanIncremental("city", []string{"population", "founded"}, 4); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"population", "founded"}, 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "after ExtractPending")
 
 	// After a human correction (in-place value rewrite).
-	cat, err := s.Catalog()
+	cat, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "after SQL INSERT")
-	cached, _ := s.Catalog()
+	cached, _ := s.Catalog(context.Background())
 	found := false
 	for _, e := range cached.Entities {
 		if e == "Metropolis" {
@@ -89,7 +89,7 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "after SQL DELETE")
-	cached, _ = s.Catalog()
+	cached, _ = s.Catalog(context.Background())
 	for _, e := range cached.Entities {
 		if e == "Metropolis" {
 			t.Fatal("deleted entity still in catalog")
@@ -99,17 +99,17 @@ func TestCatalogCacheMatchesFullScan(t *testing.T) {
 
 func TestCatalogCacheReusesMemoizedSnapshot(t *testing.T) {
 	s, _ := newSystem(t, 6, 2, 0)
-	if _, err := s.Generate(`
+	if _, err := s.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	a, err := s.Catalog()
+	a, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Catalog()
+	b, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,10 +124,10 @@ func TestCatalogCacheReusesMemoizedSnapshot(t *testing.T) {
 // so the refresh must invalidate it (regression for a review finding).
 func TestCatalogCacheSurvivesRefreshChanged(t *testing.T) {
 	s, _ := newSystem(t, 8, 0, 0)
-	if err := s.PlanIncremental("city", []string{"temperature", "population"}, 2); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"temperature", "population"}, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	assertCatalogFresh(t, s, "warm before refresh") // warms the cache
@@ -142,7 +142,7 @@ func TestCatalogCacheSurvivesRefreshChanged(t *testing.T) {
 		t.Fatalf("changed: %v", changed)
 	}
 	assertCatalogFresh(t, s, "after RefreshChanged")
-	cat, _ := s.Catalog()
+	cat, _ := s.Catalog(context.Background())
 	for _, e := range cat.Entities {
 		if e == "Madison, Wisconsin" {
 			t.Fatal("deleted entity still served from warm catalog cache")
@@ -157,7 +157,7 @@ func TestCatalogCacheSurvivesRefreshChanged(t *testing.T) {
 func TestCatalogCacheInvalidatedOnGenerateError(t *testing.T) {
 	s, _ := newSystem(t, 6, 0, 0)
 	assertCatalogFresh(t, s, "warm on empty table") // warms the cache
-	_, err := s.Generate(`
+	_, err := s.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 		STORE no_such_relation INTO TABLE extracted;
@@ -167,7 +167,7 @@ func TestCatalogCacheInvalidatedOnGenerateError(t *testing.T) {
 	}
 	// The first STORE committed rows; the cached catalog must see them.
 	assertCatalogFresh(t, s, "after failed Generate")
-	cat, _ := s.Catalog()
+	cat, _ := s.Catalog(context.Background())
 	if len(cat.Entities) == 0 {
 		t.Fatal("committed STORE rows invisible to catalog after failed Generate")
 	}
@@ -178,7 +178,7 @@ func TestCatalogCacheInvalidatedOnGenerateError(t *testing.T) {
 // end: cache still matches a full scan.
 func TestCatalogCacheConcurrentQueryAndExtract(t *testing.T) {
 	s, _ := newSystem(t, 10, 4, 0)
-	if err := s.PlanIncremental("city", []string{"temperature", "population"}, 8); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"temperature", "population"}, 8); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -187,7 +187,7 @@ func TestCatalogCacheConcurrentQueryAndExtract(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 8; i++ {
-			if _, err := s.ExtractPending("city", 2); err != nil {
+			if _, err := s.ExtractPending(context.Background(), "city", 2); err != nil {
 				errs <- err
 				return
 			}
@@ -202,7 +202,7 @@ func TestCatalogCacheConcurrentQueryAndExtract(t *testing.T) {
 					errs <- fmt.Errorf("AskGuided: %w", err)
 					return
 				}
-				s.Demand("population", 0.5)
+				s.Demand(context.Background(), "population", 0.5)
 			}
 		}(g)
 	}

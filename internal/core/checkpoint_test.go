@@ -21,7 +21,7 @@ func TestCheckpointDoesNotStallWriters(t *testing.T) {
 		Seed: 11, Cities: 12, People: 4, Filler: 10, MentionsPerPerson: 2,
 	})
 	s, _, err := OpenDir(dir, Config{Corpus: corpus}, func(s *System) error {
-		_, err := s.Generate(warmGenProgram, uql.Options{})
+		_, err := s.Generate(context.Background(), warmGenProgram, uql.Options{})
 		return err
 	})
 	if err != nil {
@@ -54,7 +54,7 @@ func TestCheckpointDoesNotStallWriters(t *testing.T) {
 			if err := s.CorrectValue(context.Background(), "alice", ent, "temperature", qual, want); err != nil {
 				t.Fatalf("write %d during checkpoint round %d: %v", writes, r, err)
 			}
-			if _, err := s.Catalog(); err != nil {
+			if _, err := s.Catalog(context.Background()); err != nil {
 				t.Fatalf("catalog read during checkpoint round %d: %v", r, err)
 			}
 			writes++

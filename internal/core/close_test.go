@@ -19,7 +19,7 @@ func newCloseTestSystem(t *testing.T) *System {
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`
-	if _, err := s.Generate(prog, uql.Options{}); err != nil {
+	if _, err := s.Generate(context.Background(), prog, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	return s
@@ -85,7 +85,7 @@ func TestOpsAfterCloseGetErrClosed(t *testing.T) {
 	if _, err := s.ExplainFact(ctx, "Helsinki", "temperature", ""); !errors.Is(err, ErrClosed) {
 		t.Fatalf("ExplainFact: got %v, want ErrClosed", err)
 	}
-	if _, err := s.Generate("EXTRACT temperature FROM docs USING city", uql.Options{}); !errors.Is(err, ErrClosed) {
+	if _, err := s.Generate(context.Background(), "EXTRACT temperature FROM docs USING city", uql.Options{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Generate: got %v, want ErrClosed", err)
 	}
 	if err := s.Checkpoint(); !errors.Is(err, ErrClosed) {

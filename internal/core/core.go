@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/alert"
@@ -74,12 +75,22 @@ type System struct {
 	Schema *schema.Evolver
 	Stats  *monitor.Stats
 
+	// mu is writer-side coordination only: it guards the task queue, the
+	// coverage counters, and the catalog cache's mutable bookkeeping. The
+	// read hot path (View, AskGuided, KeywordSearch) never takes it — it
+	// loads the published catSnap from catPtr with one atomic load.
 	mu        sync.Mutex
 	queue     taskQueue    // pending incremental extraction tasks
 	cat       catalogCache // incrementally maintained reformulation catalog
 	done      map[string]int
 	total     map[string]int
 	snapshots *vstore.Store // lazily initialized by Snapshots()
+
+	// catPtr publishes the serving-side catalog state RCU-style: readers
+	// atomically load an immutable *catSnap and use it without locks;
+	// invalidating writers swap in nil (copy-on-invalidate) and the next
+	// reader rebuilds and republishes under mu. See catalogSnap.
+	catPtr atomic.Pointer[catSnap]
 
 	// Lifecycle state: every serving operation is bracketed by
 	// beginOp/endOp, and Close (a) flips closing so new operations get
@@ -223,15 +234,77 @@ func (s *System) Closing() bool {
 	return s.closing
 }
 
+// --- Published catalog snapshot (RCU) -----------------------------------------
+
+// catSnap is one published generation of the serving-side catalog state.
+// The struct itself is immutable after publication; the reformulator it
+// points at is the cache's live one, which is internally synchronized and
+// absorbs incremental addRow deltas in place — so a published snapshot
+// stays current across materialize/CorrectValue writes and only full
+// invalidations (UQL STORE, direct SQL writes, warm installs, rebuilds)
+// force a new generation.
+type catSnap struct {
+	reform *reformulate.Reformulator
+	epoch  int64 // cache epoch at publication (diagnostics)
+}
+
+// dropCatSnapLocked unpublishes the current catalog snapshot. Callers hold
+// s.mu and call this whenever the cache is invalidated or its reformulator
+// replaced, so no reader can keep serving from a discarded generation's
+// delta feed.
+func (s *System) dropCatSnapLocked() {
+	s.catPtr.Store(nil)
+}
+
+// ensureCatalogLocked makes the catalog cache valid, rebuilding it with
+// one full scan if an invalidating write discarded it. The rebuild resets
+// the cache's reformulator, so any published snapshot (whose reformulator
+// would silently stop receiving deltas) is dropped. Caller holds s.mu.
+func (s *System) ensureCatalogLocked() error {
+	if s.cat.valid {
+		return nil
+	}
+	s.dropCatSnapLocked()
+	return s.cat.rebuildFrom(s.DB, TableName)
+}
+
+// catalogSnap returns the published catalog snapshot. The fast path is a
+// single atomic load — no mutex, no engine locks — which is what lets
+// AskGuided and View-based reads scale across cores. When no snapshot is
+// live (first read, or the first read after an invalidation), the slow
+// path rebuilds the cache if necessary and publishes a new generation
+// under s.mu.
+func (s *System) catalogSnap() (*catSnap, error) {
+	if cs := s.catPtr.Load(); cs != nil {
+		return cs, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cs := s.catPtr.Load(); cs != nil {
+		return cs, nil
+	}
+	if err := s.ensureCatalogLocked(); err != nil {
+		return nil, err
+	}
+	cs := &catSnap{reform: s.cat.reformulator(TableName), epoch: s.cat.epoch}
+	s.catPtr.Store(cs)
+	return cs, nil
+}
+
 // --- Generation ---------------------------------------------------------------
 
 // Generate runs a UQL program against the system environment. Attributes
-// produced by the program register themselves in the evolving schema.
-func (s *System) Generate(program string, opts uql.Options) (*uql.Plan, error) {
+// produced by the program register themselves in the evolving schema. ctx
+// is consulted at entry (program execution itself is not cancellable
+// mid-statement; each STORE commits its own transaction).
+func (s *System) Generate(ctx context.Context, program string, opts uql.Options) (*uql.Plan, error) {
 	if err := s.beginOp(); err != nil {
 		return nil, err
 	}
 	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	plan, err := uql.Exec(program, s.Env, opts)
 	// UQL STORE statements insert into the extracted table directly,
 	// bypassing materialize's incremental cache maintenance; force the next
@@ -240,6 +313,7 @@ func (s *System) Generate(program string, opts uql.Options) (*uql.Plan, error) {
 	// later in the program does not undo earlier STOREs.
 	s.mu.Lock()
 	s.cat.invalidate()
+	s.dropCatSnapLocked()
 	s.mu.Unlock()
 	if err != nil {
 		return plan, err
@@ -255,7 +329,14 @@ func (s *System) Generate(program string, opts uql.Options) (*uql.Plan, error) {
 // parts chunks. Nothing is extracted until ExtractPending runs; queries
 // meanwhile see whatever has been materialized (Section 3.2's
 // "incremental, best-effort fashion").
-func (s *System) PlanIncremental(extractor string, attributes []string, parts int) error {
+func (s *System) PlanIncremental(ctx context.Context, extractor string, attributes []string, parts int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	reg, ok := s.Env.Extractors[extractor]
 	if !ok {
 		return fmt.Errorf("core: unknown extractor %q", extractor)
@@ -279,10 +360,18 @@ func (s *System) PlanIncremental(extractor string, attributes []string, parts in
 // Demand raises the priority of an attribute's pending tasks — called when
 // the query workload touches the attribute, so extraction effort follows
 // user demand.
-func (s *System) Demand(attribute string, boost float64) {
+func (s *System) Demand(ctx context.Context, attribute string, boost float64) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queue.boost(attribute, boost)
+	return nil
 }
 
 // PendingTasks returns the number of queued tasks.
@@ -309,11 +398,14 @@ func (s *System) Coverage(attribute string) float64 {
 // ExtractPending runs up to budget queued tasks (highest priority first),
 // materializing results into the extracted table. It returns the number
 // of tasks executed.
-func (s *System) ExtractPending(extractor string, budget int) (int, error) {
+func (s *System) ExtractPending(ctx context.Context, extractor string, budget int) (int, error) {
 	if err := s.beginOp(); err != nil {
 		return 0, err
 	}
 	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	reg, ok := s.Env.Extractors[extractor]
 	if !ok {
 		return 0, fmt.Errorf("core: unknown extractor %q", extractor)
@@ -333,10 +425,16 @@ func (s *System) ExtractPending(extractor string, budget int) (int, error) {
 	}
 	s.mu.Unlock()
 
-	for _, tk := range batch {
+	for done, tk := range batch {
+		// Honor cancellation between tasks: completed tasks stay
+		// materialized (incremental extraction is resumable by design) and
+		// the count reports how many ran.
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
 		rows := s.extractTask(reg, tk)
 		if err := s.materialize(rows); err != nil {
-			return 0, err
+			return done, err
 		}
 		s.mu.Lock()
 		s.done[tk.attribute]++
@@ -415,11 +513,14 @@ func (s *System) materialize(rows []uql.Row) error {
 
 // MaterializeRelation stores a named UQL relation into the extracted table
 // (used after Generate built relations without a STORE statement).
-func (s *System) MaterializeRelation(name string) error {
+func (s *System) MaterializeRelation(ctx context.Context, name string) error {
 	if err := s.beginOp(); err != nil {
 		return err
 	}
 	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	rows, ok := s.Env.Relations[name]
 	if !ok {
 		return fmt.Errorf("core: unknown relation %q", name)
@@ -471,6 +572,12 @@ func (s *System) ExplainFact(ctx context.Context, entity, attribute, qualifier s
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
+	return s.explainFact(entity, attribute, qualifier)
+}
+
+// explainFact is the lineage lookup shared by System.ExplainFact and
+// View.ExplainFact; callers handle lifecycle admission and ctx.
+func (s *System) explainFact(entity, attribute, qualifier string) (string, error) {
 	for _, name := range sortedRelationNames(s.Env.Relations) {
 		for _, r := range s.Env.Relations[name] {
 			if r.Entity == entity && r.Attribute == attribute && r.Qualifier == qualifier && r.Prov != 0 {
@@ -492,21 +599,17 @@ func sortedRelationNames(rels map[string][]uql.Row) []string {
 
 // --- Exploitation ---------------------------------------------------------------
 
-// KeywordSearch is exploitation mode 1: ranked document hits. The index
-// is in-memory and the search bounded by k, so ctx is only consulted at
-// entry; the error return exists for the lifecycle (ErrClosed) and
-// cancellation cases a serving front end must distinguish from "no
-// hits".
+// KeywordSearch is exploitation mode 1: ranked document hits. It is a
+// one-shot View wrapper; the error return exists for the lifecycle
+// (ErrClosed) and cancellation cases a serving front end must distinguish
+// from "no hits".
 func (s *System) KeywordSearch(ctx context.Context, query string, k int) ([]search.Hit, error) {
-	if err := s.beginOp(); err != nil {
+	v, err := s.View(ctx)
+	if err != nil {
 		return nil, err
 	}
-	defer s.endOp()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	s.Stats.Inc("core.queries.keyword", 1)
-	return s.Index.Search(query, k, search.BM25), nil
+	defer v.Close()
+	return v.KeywordSearch(query, k)
 }
 
 // Catalog summarizes the extracted structure for the reformulator. It is
@@ -514,27 +617,45 @@ func (s *System) KeywordSearch(ctx context.Context, query string, k int) ([]sear
 // call after an invalidating write (Generate's STORE, a direct SQL write)
 // scans the table. The returned catalog shares slices with the cache and
 // must be treated as read-only.
-func (s *System) Catalog() (reformulate.Catalog, error) {
+func (s *System) Catalog(ctx context.Context) (reformulate.Catalog, error) {
+	if err := s.beginOp(); err != nil {
+		return reformulate.Catalog{Table: TableName}, err
+	}
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return reformulate.Catalog{Table: TableName}, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.cat.valid {
-		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
-			return reformulate.Catalog{Table: TableName}, err
-		}
+	if err := s.ensureCatalogLocked(); err != nil {
+		return reformulate.Catalog{Table: TableName}, err
 	}
 	return s.cat.snapshot(TableName), nil
 }
 
-// CatalogScan builds the catalog with a full table scan, bypassing the
-// cache. It is the verification baseline: tests assert Catalog() matches
-// it after every kind of write, and the perf benchmarks use it as the
-// scan-per-query comparison point.
-func (s *System) CatalogScan() (reformulate.Catalog, error) {
-	var fresh catalogCache
-	if err := fresh.rebuildFrom(s.DB, TableName); err != nil {
+// RefreshCatalog discards the catalog cache and rebuilds it with one full
+// table scan, installing and returning the fresh catalog. It collapses the
+// old Catalog()/CatalogScan() split into one explicit operation: as the
+// verification baseline, comparing a prior Catalog() result against
+// RefreshCatalog()'s detects incremental-maintenance drift — and because
+// the rebuilt state is installed, a refresh also repairs any drift it
+// finds. The rebuild scans through an MVCC snapshot, so it neither takes
+// engine locks nor blocks concurrent writers.
+func (s *System) RefreshCatalog(ctx context.Context) (reformulate.Catalog, error) {
+	if err := s.beginOp(); err != nil {
 		return reformulate.Catalog{Table: TableName}, err
 	}
-	return fresh.snapshot(TableName), nil
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return reformulate.Catalog{Table: TableName}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropCatSnapLocked()
+	if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
+		return reformulate.Catalog{Table: TableName}, err
+	}
+	return s.cat.snapshot(TableName), nil
 }
 
 // GuidedAnswer is the result of the keyword -> structured transition: the
@@ -548,49 +669,49 @@ type GuidedAnswer struct {
 
 // AskGuided is exploitation mode 2 (the §3.2 flow): take a keyword query,
 // guess candidate structured queries, execute the best one, and report
-// extraction coverage for the touched attribute. The candidate execution
-// runs under ctx: a deadline cuts the structured query off mid-scan.
+// extraction coverage for the touched attribute. It is a one-shot View
+// wrapper — the candidate executes against an MVCC snapshot with zero
+// lock acquisitions — plus the demand signal a pinned View deliberately
+// omits: the touched attribute's pending extraction tasks are boosted so
+// effort follows the query workload. A ctx deadline cuts the structured
+// query off mid-scan.
 func (s *System) AskGuided(ctx context.Context, query string, k int) (*GuidedAnswer, error) {
-	if err := s.beginOp(); err != nil {
+	v, err := s.View(ctx)
+	if err != nil {
 		return nil, err
 	}
-	defer s.endOp()
-	if err := ctx.Err(); err != nil {
+	defer v.Close()
+	out, err := v.AskGuided(query, k)
+	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	if !s.cat.valid {
-		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
-			s.mu.Unlock()
+	if len(out.Candidates) > 0 {
+		if err := s.Demand(ctx, out.Candidates[0].Attribute, 1); err != nil {
 			return nil, err
 		}
 	}
-	r := s.cat.reformulator(TableName)
-	s.mu.Unlock()
-	cands := r.Candidates(query, k)
-	out := &GuidedAnswer{Candidates: cands}
-	if len(cands) == 0 {
-		return out, nil
-	}
-	s.Stats.Inc("core.queries.guided", 1)
-	top := cands[0]
-	s.Demand(top.Attribute, 1)
-	rs, err := s.DB.ExecCtx(ctx, top.SQL)
-	if err != nil {
-		return nil, fmt.Errorf("core: executing %q: %w", top.SQL, err)
-	}
-	out.Answer = rs
-	out.Coverage = s.Coverage(top.Attribute)
 	return out, nil
 }
 
 // SQL is exploitation mode 3: direct structured querying for sophisticated
-// users. Writes issued this way bypass the incremental catalog
-// maintenance, so any mutating statement (the executor sets
-// ResultSet.Mutated) — or an error, conservatively — invalidates the
-// catalog cache. (Writes driven through s.DB directly are outside the
-// cache contract: all extracted-table writes must go through System.)
+// users. The statement is parsed first: a SELECT runs against a one-shot
+// View (MVCC snapshot, zero lock acquisitions, no cache invalidation);
+// anything else — mutations, DDL, or unparsable input — takes the writer
+// path, where any mutating statement (the executor sets ResultSet.Mutated)
+// or error, conservatively, invalidates the catalog cache. (Writes driven
+// through s.DB directly are outside the cache contract: all
+// extracted-table writes must go through System.)
 func (s *System) SQL(ctx context.Context, query string) (*rdbms.ResultSet, error) {
+	if stmt, err := rdbms.ParseSQL(query); err == nil {
+		if _, ok := stmt.(rdbms.SelectStmt); ok {
+			v, verr := s.View(ctx)
+			if verr != nil {
+				return nil, verr
+			}
+			defer v.Close()
+			return v.SQL(query)
+		}
+	}
 	if err := s.beginOp(); err != nil {
 		return nil, err
 	}
@@ -600,36 +721,22 @@ func (s *System) SQL(ctx context.Context, query string) (*rdbms.ResultSet, error
 	if err != nil || rs.Mutated {
 		s.mu.Lock()
 		s.cat.invalidate()
+		s.dropCatSnapLocked()
 		s.mu.Unlock()
 	}
 	return rs, err
 }
 
 // Browse is exploitation mode 4: a faceted browser over the extracted
-// structure. The snapshot scan honors ctx at scan-loop granularity.
+// structure, built from a one-shot View's snapshot scan (ctx honored at
+// scan-loop granularity).
 func (s *System) Browse(ctx context.Context) (*browse.Browser, error) {
-	if err := s.beginOp(); err != nil {
-		return nil, err
-	}
-	defer s.endOp()
-	var rows []browse.Row
-	tx := s.DB.Begin().WithContext(ctx)
-	err := tx.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
-		rows = append(rows, browse.Row{
-			Entity: t[0].S, Attribute: t[1].S, Qualifier: t[2].S,
-			Value: t[3].S, Conf: t[5].F,
-		})
-		return true
-	})
+	v, err := s.View(ctx)
 	if err != nil {
-		tx.Abort()
 		return nil, err
 	}
-	if err := tx.Commit(); err != nil {
-		return nil, err
-	}
-	s.Stats.Inc("core.queries.browse", 1)
-	return browse.New(rows), nil
+	defer v.Close()
+	return v.Browse()
 }
 
 // Subscribe is exploitation mode 5: standing queries (alerts) over future

@@ -27,7 +27,7 @@ func newSystem(t *testing.T, cities, people int, corrupt float64) (*System, *syn
 func TestGenerateAndGuidedAnswerPaperFlow(t *testing.T) {
 	s, truth := newSystem(t, 12, 4, 0)
 	// Generation: the developer's declarative program.
-	plan, err := s.Generate(`
+	plan, err := s.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`, uql.Options{})
@@ -74,7 +74,7 @@ func TestKeywordSearchBaselineCannotAggregate(t *testing.T) {
 
 func TestIncrementalBestEffort(t *testing.T) {
 	s, truth := newSystem(t, 10, 2, 0)
-	if err := s.PlanIncremental("city", []string{"temperature", "population"}, 5); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"temperature", "population"}, 5); err != nil {
 		t.Fatal(err)
 	}
 	if s.PendingTasks() != 10 {
@@ -84,8 +84,8 @@ func TestIncrementalBestEffort(t *testing.T) {
 		t.Fatalf("initial coverage = %v", cov)
 	}
 	// The user demands temperatures: those tasks run first.
-	s.Demand("temperature", 10)
-	n, err := s.ExtractPending("city", 5)
+	s.Demand(context.Background(), "temperature", 10)
+	n, err := s.ExtractPending(context.Background(), "city", 5)
 	if err != nil || n != 5 {
 		t.Fatalf("ExtractPending: %d %v", n, err)
 	}
@@ -104,7 +104,7 @@ func TestIncrementalBestEffort(t *testing.T) {
 		t.Fatalf("temperature rows: %v", rs.Rows)
 	}
 	// Finish the rest.
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	if s.PendingTasks() != 0 {
@@ -128,10 +128,10 @@ func TestAlertsFireOnMaterialization(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PlanIncremental("city", []string{"population"}, 2); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"population"}, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	fired := s.Stats.Counter("core.alerts.fired")
@@ -145,10 +145,10 @@ func TestSweepSuspiciousFindsCorruption(t *testing.T) {
 	if len(truth.Corruptions) == 0 {
 		t.Skip("no corruption generated")
 	}
-	if err := s.PlanIncremental("city", []string{"temperature"}, 4); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"temperature"}, 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	violations, err := s.SweepSuspicious(context.Background())
@@ -177,8 +177,8 @@ func TestCorrectValueAndIncentives(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		s.Users.RecordFeedbackOutcome("alice", true)
 	}
-	s.PlanIncremental("city", []string{"temperature"}, 1)
-	s.ExtractPending("city", 0)
+	s.PlanIncremental(context.Background(), "city", []string{"temperature"}, 1)
+	s.ExtractPending(context.Background(), "city", 0)
 	if err := s.CorrectValue(context.Background(), "alice", "Madison, Wisconsin", "temperature", "July", "74.0"); err != nil {
 		t.Fatal(err)
 	}
@@ -202,8 +202,8 @@ func TestCorrectValueAndIncentives(t *testing.T) {
 
 func TestBrowseFacets(t *testing.T) {
 	s, _ := newSystem(t, 6, 0, 0)
-	s.PlanIncremental("city", []string{"temperature", "population"}, 1)
-	s.ExtractPending("city", 0)
+	s.PlanIncremental(context.Background(), "city", []string{"temperature", "population"}, 1)
+	s.ExtractPending(context.Background(), "city", 0)
 	b, err := s.Browse(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -230,9 +230,9 @@ func TestBrowseFacets(t *testing.T) {
 
 func TestCatalogQualifierOrder(t *testing.T) {
 	s, _ := newSystem(t, 4, 0, 0)
-	s.PlanIncremental("city", []string{"temperature"}, 1)
-	s.ExtractPending("city", 0)
-	cat, err := s.Catalog()
+	s.PlanIncremental(context.Background(), "city", []string{"temperature"}, 1)
+	s.ExtractPending(context.Background(), "city", 0)
+	cat, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestGenerateWithHIFeedback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.Generate(`
+	_, err = s.Generate(context.Background(), `
 		EXTRACT person FROM docs USING person KIND person INTO people;
 		ASK people MINCONF 0.7 BUDGET 10;
 		STORE people INTO TABLE extracted;

@@ -19,13 +19,13 @@ func TestOpenDirFullLifecycle(t *testing.T) {
 		Seed: 11, Cities: 12, People: 4, Filler: 10, MentionsPerPerson: 2,
 	})
 	setup := func(s *System) error {
-		if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+		if _, err := s.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 			return err
 		}
-		if err := s.PlanIncremental("city", []string{"population"}, 4); err != nil {
+		if err := s.PlanIncremental(context.Background(), "city", []string{"population"}, 4); err != nil {
 			return err
 		}
-		_, err := s.ExtractPending("city", 2)
+		_, err := s.ExtractPending(context.Background(), "city", 2)
 		return err
 	}
 
@@ -37,7 +37,7 @@ func TestOpenDirFullLifecycle(t *testing.T) {
 	if repA.Reopened {
 		t.Fatal("fresh directory reported as reopened")
 	}
-	catA, err := a.Catalog()
+	catA, err := a.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestOpenDirFullLifecycle(t *testing.T) {
 	if b.PendingTasks() != pendingA {
 		t.Fatalf("pending tasks after reopen: %d, want %d", b.PendingTasks(), pendingA)
 	}
-	catB, err := b.Catalog()
+	catB, err := b.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,14 +127,14 @@ func TestWarmLoadVerifiesInO1OnReopen(t *testing.T) {
 		Seed: 11, Cities: 12, People: 4, Filler: 10, MentionsPerPerson: 2,
 	})
 	setup := func(s *System) error {
-		_, err := s.Generate(warmGenProgram, uql.Options{})
+		_, err := s.Generate(context.Background(), warmGenProgram, uql.Options{})
 		return err
 	}
 	a, _, err := OpenDir(dir, Config{Corpus: corpus}, setup)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Catalog(); err != nil {
+	if _, err := a.Catalog(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Close(); err != nil {
@@ -200,7 +200,7 @@ func TestWarmStateChecksumCatchesSameCountDivergence(t *testing.T) {
 	if err := a.materialize(rowsOf("jan", 20)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Catalog(); err != nil {
+	if _, err := a.Catalog(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.SaveWarmState(dir); err != nil {

@@ -15,8 +15,8 @@ func TestSchemaEvolvesAsAttributesArrive(t *testing.T) {
 		t.Fatal("schema should start empty")
 	}
 	// Phase 1: only temperatures.
-	s.PlanIncremental("city", []string{"temperature"}, 2)
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	s.PlanIncremental(context.Background(), "city", []string{"temperature"}, 2)
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	v := s.Schema.Current()
@@ -27,8 +27,8 @@ func TestSchemaEvolvesAsAttributesArrive(t *testing.T) {
 		t.Fatalf("temperature should infer float, got %v", v.Attributes[0].Type)
 	}
 	// Phase 2: populations arrive later; the schema evolves.
-	s.PlanIncremental("city", []string{"population"}, 2)
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	s.PlanIncremental(context.Background(), "city", []string{"population"}, 2)
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	v = s.Schema.Current()
@@ -46,7 +46,7 @@ func TestSchemaEvolvesAsAttributesArrive(t *testing.T) {
 
 func TestSchemaEvolvesViaGenerate(t *testing.T) {
 	s, _ := newSystem(t, 6, 0, 0)
-	if _, err := s.Generate(`
+	if _, err := s.Generate(context.Background(), `
 		EXTRACT temperature, founded FROM docs USING city KIND city INTO facts;
 		STORE facts INTO TABLE extracted;
 	`, uql.Options{}); err != nil {
@@ -67,7 +67,7 @@ func TestSchemaEvolvesViaGenerate(t *testing.T) {
 
 func TestExplainFact(t *testing.T) {
 	s, _ := newSystem(t, 5, 0, 0)
-	if _, err := s.Generate(`
+	if _, err := s.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`, uql.Options{}); err != nil {

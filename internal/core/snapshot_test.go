@@ -11,8 +11,8 @@ import (
 func TestSnapshotRefreshLoop(t *testing.T) {
 	s, truth := newSystem(t, 8, 0, 0)
 	// Initial generation.
-	s.PlanIncremental("city", []string{"temperature", "population"}, 2)
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	s.PlanIncremental(context.Background(), "city", []string{"temperature", "population"}, 2)
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	// A standing alert on extreme July heat.
@@ -85,8 +85,8 @@ func TestSnapshotRefreshLoop(t *testing.T) {
 
 func TestRefreshNoChangesIsNoop(t *testing.T) {
 	s, _ := newSystem(t, 4, 0, 0)
-	s.PlanIncremental("city", []string{"temperature"}, 1)
-	s.ExtractPending("city", 0)
+	s.PlanIncremental(context.Background(), "city", []string{"temperature"}, 1)
+	s.ExtractPending(context.Background(), "city", 0)
 	s.Snapshots() // initialize with current corpus
 	changed, err := s.RefreshChanged("city")
 	if err != nil {

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/browse"
+	"repro/internal/rdbms"
+	"repro/internal/search"
+)
+
+// View is a consistent read-only handle over the system: every query it
+// serves — guided, keyword, SQL, browse, lineage — observes the extracted
+// structure exactly as of one commit LSN, pinned when the View began.
+// Concurrent writers keep committing; the View keeps answering from its
+// snapshot, with zero lock-manager acquisitions (reads resolve row
+// visibility through the MVCC version store instead of taking locks).
+//
+// A View counts as one in-flight serving operation from creation until
+// Close: the system's graceful drain waits for open Views, and the version
+// store's GC horizon cannot pass the View's LSN while it is open — so
+// close Views promptly. A View is not safe for concurrent use by multiple
+// goroutines; open one View per goroutine (they are cheap).
+type View struct {
+	s    *System
+	snap *rdbms.Snap
+	ctx  context.Context
+
+	// cat is the catalog generation this View reformulates with, fetched
+	// lazily on the first AskGuided so keyword-only and SQL-only Views
+	// never pay for a catalog rebuild.
+	cat    *catSnap
+	closed atomic.Bool
+}
+
+// View opens a read-only snapshot handle at the current commit horizon.
+// ctx governs every operation on the returned View (deadlines cut scans
+// off mid-flight). The caller must Close it.
+func (s *System) View(ctx context.Context) (*View, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		s.endOp()
+		return nil, err
+	}
+	return &View{s: s, ctx: ctx, snap: s.DB.BeginSnapshot().WithContext(ctx)}, nil
+}
+
+// LSN reports the commit LSN this View is pinned at: it sees exactly the
+// transactions whose commit records fall at or before this point.
+func (v *View) LSN() rdbms.LSN { return v.snap.LSN() }
+
+// Close releases the snapshot (unpinning the version-store GC horizon) and
+// the View's in-flight-operation slot. Idempotent.
+func (v *View) Close() {
+	if !v.closed.CompareAndSwap(false, true) {
+		return
+	}
+	v.snap.Close()
+	v.s.endOp()
+}
+
+// errViewClosed guards use-after-Close uniformly across View methods.
+func (v *View) err() error {
+	if v.closed.Load() {
+		return fmt.Errorf("core: view is closed")
+	}
+	return v.ctx.Err()
+}
+
+// reform returns the View's pinned catalog generation, fetching it on
+// first use. The fetch is one atomic load on the fast path; only the
+// first reformulation after an invalidating write rebuilds the catalog.
+func (v *View) reform() (*catSnap, error) {
+	if v.cat == nil {
+		cs, err := v.s.catalogSnap()
+		if err != nil {
+			return nil, err
+		}
+		v.cat = cs
+	}
+	return v.cat, nil
+}
+
+// KeywordSearch is the View-scoped exploitation mode 1: ranked document
+// hits. The document index is immutable after build, so keyword results
+// are trivially snapshot-consistent.
+func (v *View) KeywordSearch(query string, k int) ([]search.Hit, error) {
+	if err := v.err(); err != nil {
+		return nil, err
+	}
+	v.s.Stats.Inc("core.queries.keyword", 1)
+	return v.s.Index.Search(query, k, search.BM25), nil
+}
+
+// AskGuided is the View-scoped exploitation mode 2: reformulate a keyword
+// query into candidate structured queries and execute the best one at the
+// View's LSN. Unlike the one-shot System.AskGuided it does not boost
+// extraction demand — a pinned View is an observer, not a workload signal.
+func (v *View) AskGuided(query string, k int) (*GuidedAnswer, error) {
+	if err := v.err(); err != nil {
+		return nil, err
+	}
+	cs, err := v.reform()
+	if err != nil {
+		return nil, err
+	}
+	cands := cs.reform.Candidates(query, k)
+	out := &GuidedAnswer{Candidates: cands}
+	if len(cands) == 0 {
+		return out, nil
+	}
+	v.s.Stats.Inc("core.queries.guided", 1)
+	top := cands[0]
+	rs, err := v.snap.Query(top.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing %q: %w", top.SQL, err)
+	}
+	out.Answer = rs
+	out.Coverage = v.s.Coverage(top.Attribute)
+	return out, nil
+}
+
+// SQL is the View-scoped exploitation mode 3, restricted to SELECT: the
+// statement executes against the snapshot with zero lock acquisitions.
+// Mutations and DDL are refused — route writes through System.SQL.
+func (v *View) SQL(query string) (*rdbms.ResultSet, error) {
+	if err := v.err(); err != nil {
+		return nil, err
+	}
+	v.s.Stats.Inc("core.queries.sql", 1)
+	return v.snap.Query(query)
+}
+
+// Browse is the View-scoped exploitation mode 4: a faceted browser built
+// from one snapshot scan, so its facets describe exactly the structure at
+// the View's LSN.
+func (v *View) Browse() (*browse.Browser, error) {
+	if err := v.err(); err != nil {
+		return nil, err
+	}
+	var rows []browse.Row
+	err := v.snap.Scan(TableName, func(_ rdbms.RID, t rdbms.Tuple) bool {
+		rows = append(rows, browse.Row{
+			Entity: t[0].S, Attribute: t[1].S, Qualifier: t[2].S,
+			Value: t[3].S, Conf: t[5].F,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.s.Stats.Inc("core.queries.browse", 1)
+	return browse.New(rows), nil
+}
+
+// ExplainFact renders the lineage of an extracted fact (see
+// System.ExplainFact). Provenance lives in the UQL environment rather
+// than the versioned store, so lineage reflects the latest generation
+// run, not the View's LSN.
+func (v *View) ExplainFact(entity, attribute, qualifier string) (string, error) {
+	if err := v.err(); err != nil {
+		return "", err
+	}
+	return v.s.explainFact(entity, attribute, qualifier)
+}

@@ -84,11 +84,9 @@ func (s *System) extractedRowCount() (int, error) {
 // (one scan) first, so the snapshot always describes the live table.
 func (s *System) SaveWarmState(dir string) error {
 	s.mu.Lock()
-	if !s.cat.valid {
-		if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
-			s.mu.Unlock()
-			return err
-		}
+	if err := s.ensureCatalogLocked(); err != nil {
+		s.mu.Unlock()
+		return err
 	}
 	cat := s.cat.snapshot(TableName)
 	// The checksum is the cache's own digest, so it always describes the
@@ -248,10 +246,8 @@ func (s *System) LoadWarmState(dir string) (bool, error) {
 		}
 		s.Stats.Inc("core.warmstate.o1verify", 1)
 	} else {
-		if !s.cat.valid {
-			if err := s.cat.rebuildFrom(s.DB, TableName); err != nil {
-				return false, err
-			}
+		if err := s.ensureCatalogLocked(); err != nil {
+			return false, err
 		}
 		if s.cat.hash != best.Checksum {
 			s.Stats.Inc("core.warmstate.stale", 1)
@@ -259,6 +255,9 @@ func (s *System) LoadWarmState(dir string) (bool, error) {
 		}
 	}
 	s.cat.installWarm(best.Entities, best.Attributes, best.Qualifiers, best.Epoch, best.Checksum)
+	// The install replaced the cache's reformulator feed; any published
+	// catalog snapshot is now a discarded generation.
+	s.dropCatSnapLocked()
 	s.queue = taskQueue{}
 	for _, tk := range queue {
 		s.queue.push(tk)

@@ -26,17 +26,17 @@ func TestWarmStartRestoresCatalogAndQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Generate(warmGenProgram, uql.Options{}); err != nil {
+	if _, err := a.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.PlanIncremental("city", []string{"population", "founded"}, 4); err != nil {
+	if err := a.PlanIncremental(context.Background(), "city", []string{"population", "founded"}, 4); err != nil {
 		t.Fatal(err)
 	}
-	a.Demand("founded", 2) // non-trivial priorities must survive the restart
-	if _, err := a.ExtractPending("city", 3); err != nil {
+	a.Demand(context.Background(), "founded", 2) // non-trivial priorities must survive the restart
+	if _, err := a.ExtractPending(context.Background(), "city", 3); err != nil {
 		t.Fatal(err)
 	}
-	warmCat, err := a.Catalog() // warms the cache
+	warmCat, err := a.Catalog(context.Background()) // warms the cache
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +51,14 @@ func TestWarmStartRestoresCatalogAndQueue(t *testing.T) {
 	// extraction batch (so the table matches), then restores the warm
 	// catalog and the remaining queue from the snapshot.
 	b, warm, err := Open(Config{Corpus: corpus}, dir, func(s *System) error {
-		if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+		if _, err := s.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 			return err
 		}
-		if err := s.PlanIncremental("city", []string{"population", "founded"}, 4); err != nil {
+		if err := s.PlanIncremental(context.Background(), "city", []string{"population", "founded"}, 4); err != nil {
 			return err
 		}
-		s.Demand("founded", 2)
-		_, err := s.ExtractPending("city", 3)
+		s.Demand(context.Background(), "founded", 2)
+		_, err := s.ExtractPending(context.Background(), "city", 3)
 		return err
 	})
 	if err != nil {
@@ -70,7 +70,7 @@ func TestWarmStartRestoresCatalogAndQueue(t *testing.T) {
 
 	// The restored catalog must equal both the saved one and a fresh
 	// full-scan rebuild of B's table.
-	gotCat, err := b.Catalog()
+	gotCat, err := b.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestWarmStartRestoresCatalogAndQueue(t *testing.T) {
 
 	// The restored queue must actually run: draining it extracts the same
 	// attributes A would have extracted, in the same priority order.
-	if _, err := b.ExtractPending("city", 0); err != nil {
+	if _, err := b.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	if b.PendingTasks() != 0 {
@@ -123,7 +123,7 @@ func TestWarmStartEqualsColdRebuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Generate(warmGenProgram, uql.Options{}); err != nil {
+	if _, err := a.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.SaveWarmState(dir); err != nil {
@@ -131,7 +131,7 @@ func TestWarmStartEqualsColdRebuild(t *testing.T) {
 	}
 
 	b, warm, err := Open(Config{Corpus: corpus}, dir, func(s *System) error {
-		_, err := s.Generate(warmGenProgram, uql.Options{})
+		_, err := s.Generate(context.Background(), warmGenProgram, uql.Options{})
 		return err
 	})
 	if err != nil {
@@ -140,11 +140,11 @@ func TestWarmStartEqualsColdRebuild(t *testing.T) {
 	if !warm {
 		t.Fatal("warm state refused")
 	}
-	warmed, err := b.Catalog()
+	warmed, err := b.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := b.CatalogScan()
+	cold, err := b.RefreshCatalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestWarmStartStaleRowCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Generate(warmGenProgram, uql.Options{}); err != nil {
+	if _, err := a.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.SaveWarmState(dir); err != nil {
@@ -174,7 +174,7 @@ func TestWarmStartStaleRowCount(t *testing.T) {
 
 	// "Process B" materializes one extra row before loading.
 	b, warm, err := Open(Config{Corpus: corpus}, dir, func(s *System) error {
-		if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+		if _, err := s.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 			return err
 		}
 		_, err := s.SQL(context.Background(), "INSERT INTO extracted (entity, attribute, qualifier, value, num, conf) VALUES ('Gotham', 'mayor', '', 'Bruce', NULL, 0.5)")
@@ -188,7 +188,7 @@ func TestWarmStartStaleRowCount(t *testing.T) {
 	}
 	// Cold path still answers correctly.
 	assertCatalogFresh(t, b, "cold after stale refusal")
-	cat, _ := b.Catalog()
+	cat, _ := b.Catalog(context.Background())
 	found := false
 	for _, e := range cat.Entities {
 		if e == "Gotham" {
@@ -206,14 +206,14 @@ func TestWarmStartStaleRowCount(t *testing.T) {
 func TestWarmStartStaleEpoch(t *testing.T) {
 	dir := t.TempDir() + "/warm"
 	s, _ := newSystem(t, 8, 2, 0)
-	if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+	if _, err := s.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SaveWarmState(dir); err != nil {
 		t.Fatal(err)
 	}
 	// Delete one row and insert another: same row count, different table.
-	cat, err := s.Catalog()
+	cat, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,17 +241,17 @@ func TestWarmStartStaleEpoch(t *testing.T) {
 func TestWarmStartLatestSnapshotWins(t *testing.T) {
 	dir := t.TempDir() + "/warm"
 	s, _ := newSystem(t, 8, 2, 0)
-	if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+	if _, err := s.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SaveWarmState(dir); err != nil {
 		t.Fatal(err)
 	}
 	// More data, then a second snapshot into the same dir.
-	if err := s.PlanIncremental("city", []string{"population"}, 2); err != nil {
+	if err := s.PlanIncremental(context.Background(), "city", []string{"population"}, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.ExtractPending("city", 0); err != nil {
+	if _, err := s.ExtractPending(context.Background(), "city", 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SaveWarmState(dir); err != nil {
@@ -265,7 +265,7 @@ func TestWarmStartLatestSnapshotWins(t *testing.T) {
 		t.Fatal("latest snapshot refused")
 	}
 	assertCatalogFresh(t, s, "after loading latest of two snapshots")
-	cat, _ := s.Catalog()
+	cat, _ := s.Catalog(context.Background())
 	has := false
 	for _, a := range cat.Attributes {
 		if a == "population" {
@@ -283,7 +283,7 @@ func TestWarmStartLatestSnapshotWins(t *testing.T) {
 // snapshot's Qualifiers map (regression for a review finding).
 func TestCatalogSnapshotImmuneToLaterDeltas(t *testing.T) {
 	s, _ := newSystem(t, 8, 2, 0)
-	if _, err := s.Generate(warmGenProgram, uql.Options{}); err != nil {
+	if _, err := s.Generate(context.Background(), warmGenProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	// Warm the memoized reformulator so later addRow calls mutate it in
@@ -291,7 +291,7 @@ func TestCatalogSnapshotImmuneToLaterDeltas(t *testing.T) {
 	if _, err := s.AskGuided(context.Background(), "average temperature Madison Wisconsin", 3); err != nil {
 		t.Fatal(err)
 	}
-	held, err := s.Catalog()
+	held, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,14 +304,14 @@ func TestCatalogSnapshotImmuneToLaterDeltas(t *testing.T) {
 		Entity: "Gotham", Attribute: "rainfall", Qualifier: "March",
 		Value: "12", Conf: 0.9,
 	}}
-	if err := s.MaterializeRelation("inject"); err != nil {
+	if err := s.MaterializeRelation(context.Background(), "inject"); err != nil {
 		t.Fatal(err)
 	}
 	if len(held.Qualifiers) != heldAttrs {
 		t.Fatalf("held snapshot's Qualifiers map grew from %d to %d attributes", heldAttrs, len(held.Qualifiers))
 	}
 	// The live catalog, in contrast, must see the delta.
-	cur, err := s.Catalog()
+	cur, err := s.Catalog(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,7 +51,7 @@ func RunE1(sizes []int, seed int64) ([]E1Result, *Series, error) {
 		_ = hits
 
 		t0 = time.Now()
-		if _, err := sys.Generate(`
+		if _, err := sys.Generate(context.Background(), `
 			EXTRACT temperature FROM docs USING city KIND city INTO temps;
 			STORE temps INTO TABLE extracted;
 		`, uql.Options{}); err != nil {
@@ -142,7 +142,7 @@ func RunE2(sizes []int, seed int64) ([]E2Result, *Series, error) {
 			return nil, nil, err
 		}
 		t0 := time.Now()
-		if _, err := sys1.Generate(`
+		if _, err := sys1.Generate(context.Background(), `
 			EXTRACT all FROM docs USING city INTO facts;
 			STORE facts INTO TABLE extracted;
 		`, uql.Options{}); err != nil {
@@ -160,11 +160,11 @@ func RunE2(sizes []int, seed int64) ([]E2Result, *Series, error) {
 			return nil, nil, err
 		}
 		t0 = time.Now()
-		if err := sys2.PlanIncremental("city", []string{"temperature", "population", "founded"}, 16); err != nil {
+		if err := sys2.PlanIncremental(context.Background(), "city", []string{"temperature", "population", "founded"}, 16); err != nil {
 			return nil, nil, err
 		}
-		sys2.Demand("temperature", 10)
-		if _, err := sys2.ExtractPending("city", 16); err != nil {
+		sys2.Demand(context.Background(), "temperature", 10)
+		if _, err := sys2.ExtractPending(context.Background(), "city", 16); err != nil {
 			return nil, nil, err
 		}
 		if _, err := sys2.AskGuided(context.Background(), "average temperature Madison Wisconsin", 1); err != nil {

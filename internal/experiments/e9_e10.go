@@ -40,10 +40,10 @@ func RunE9(corruptFracs []float64, seed int64) ([]E9Result, *Series, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := sys.PlanIncremental("city", []string{"temperature"}, 8); err != nil {
+		if err := sys.PlanIncremental(context.Background(), "city", []string{"temperature"}, 8); err != nil {
 			return nil, nil, err
 		}
-		if _, err := sys.ExtractPending("city", 0); err != nil {
+		if _, err := sys.ExtractPending(context.Background(), "city", 0); err != nil {
 			return nil, nil, err
 		}
 		violations, err := sys.SweepSuspicious(context.Background())
@@ -128,7 +128,7 @@ func RunE10(docsN int, seed int64) ([]E10Result, *Series, error) {
 			return nil, nil, err
 		}
 		t0 := time.Now()
-		if _, err := sys.Generate(program, cfg.opts); err != nil {
+		if _, err := sys.Generate(context.Background(), program, cfg.opts); err != nil {
 			return nil, nil, err
 		}
 		elapsed := time.Since(t0)

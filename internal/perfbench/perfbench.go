@@ -41,6 +41,11 @@
 //     against an in-process unidbd server — served ops/sec plus p50/p99
 //     client-observed latency, with admission-control sheds counted
 //     (see serverload.go).
+//   - MVCC/MixedRead{1,8}R2W (PR7): the mixed read/write sweep — 1/4/8
+//     reader connections running the guided flow on MVCC snapshot Views
+//     against 2 churning writers, with the 8-vs-1 reader scaling factor
+//     and the engine-level snapshot-vs-locking read comparison (see
+//     mixedload.go).
 package perfbench
 
 import (
@@ -75,7 +80,7 @@ func newGuidedSystem() (*core.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sys.Generate(`
+	if _, err := sys.Generate(context.Background(), `
 		EXTRACT temperature FROM docs USING city KIND city INTO temps;
 		STORE temps INTO TABLE extracted;
 	`, uql.Options{}); err != nil {
@@ -119,7 +124,7 @@ func AskGuidedScanPerQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cat, err := sys.CatalogScan()
+		cat, err := sys.RefreshCatalog(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -304,7 +309,7 @@ func CatalogColdRebuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cat, err := sys.CatalogScan()
+		cat, err := sys.RefreshCatalog(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -641,6 +646,13 @@ type Report struct {
 	// Server/SustainedLoad (ns per served op) so the -compare gate tracks
 	// serving regressions like any other bench.
 	ServerLoad ServerLoad `json:"server_load"`
+	// MixedLoad is the PR7 headline: the 1/4/8-reader × 2-writer mixed
+	// sweep over MVCC snapshot reads, whose 8-vs-1 scaling factor was
+	// pinned at ~1x before PR7 (readers serialized on System.mu). Its
+	// 1- and 8-reader throughputs also land in Results as
+	// MVCC/MixedRead1R2W and MVCC/MixedRead8R2W (ns per read op) so the
+	// -compare gate tracks reader-path regressions.
+	MixedLoad MixedLoad `json:"mixed_load"`
 }
 
 // RunAll executes every micro-benchmark via testing.Benchmark and
@@ -665,7 +677,7 @@ func RunAll() Report {
 		{"Durability/DiskReopen", DiskReopen},
 		{"Durability/DiskReopenIndexed", DiskReopenIndexed},
 	}
-	rep := Report{PR: 6, Suite: "serving"}
+	rep := Report{PR: 7, Suite: "mvcc"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, Result{
@@ -687,6 +699,25 @@ func RunAll() Report {
 			Result{Name: "Server/SustainedLoad", NsPerOp: 1e9 / load.OpsPerSec},
 			Result{Name: "Server/P50Latency", NsPerOp: load.P50Ms * 1e6},
 		)
+	}
+	mixed, err := MeasureMixedReadWrite(time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: mixed read/write measurement failed:", err)
+	} else {
+		rep.MixedLoad = mixed
+		// Gate the reader path at both ends of the sweep as ns per read
+		// op; the scaling factor itself is recorded, not gated (it is a
+		// ratio of two gated numbers and too noisy for a 25% tolerance).
+		if n := len(mixed.Points); n > 0 {
+			if one := mixed.Points[0].ReaderOpsPerSec; one > 0 {
+				rep.Results = append(rep.Results,
+					Result{Name: "MVCC/MixedRead1R2W", NsPerOp: 1e9 / one})
+			}
+			if eight := mixed.Points[n-1].ReaderOpsPerSec; eight > 0 {
+				rep.Results = append(rep.Results,
+					Result{Name: "MVCC/MixedRead8R2W", NsPerOp: 1e9 / eight})
+			}
+		}
 	}
 	rep.FillSpeedups()
 	return rep

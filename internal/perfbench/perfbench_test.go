@@ -112,7 +112,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	// The JSON field names are the stable contract with committed
 	// BENCH_PR<n>.json baselines — a rename would silently disable the
 	// CI gate for old baselines.
-	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`, `"group_commit_speedup"`, `"indexed_reopen_speedup"`} {
+	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`, `"group_commit_speedup"`, `"indexed_reopen_speedup"`, `"mixed_load"`, `"scaling_8x"`} {
 		if !strings.Contains(string(buf), key) {
 			t.Fatalf("serialized report missing %s:\n%s", key, buf)
 		}

@@ -38,6 +38,7 @@ type DB struct {
 	bp     *BufferPool
 	wal    *WAL
 	lm     *LockManager
+	vs     *VersionStore
 	tables map[string]*Table
 
 	// ckptMu serializes checkpoints and DDL (the only mutators of the
@@ -167,6 +168,7 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 		pager:          pager,
 		wal:            wal,
 		lm:             NewLockManager(),
+		vs:             newVersionStore(),
 		tables:         make(map[string]*Table),
 		active:         make(map[TxnID]*Txn),
 		rebuildIndexes: opts.RebuildIndexes,
@@ -278,6 +280,9 @@ func (db *DB) Checkpoint() error {
 // checkpointLocked is Checkpoint under ckptMu (DDL and recovery call it
 // directly).
 func (db *DB) checkpointLocked() error {
+	// Opportunistic version GC: prune chain history no current or future
+	// snapshot can pin (cheap, and keeps an idle system's chains empty).
+	db.vs.Sweep()
 	if db.checkpointIsNoopLocked() {
 		// Nothing to make durable, nothing to truncate, nothing derived to
 		// re-capture: the on-disk state already IS the checkpoint. This is
@@ -550,6 +555,7 @@ func (db *DB) DropTable(name string) error {
 	}
 	delete(db.tables, name)
 	db.mu.Unlock()
+	db.vs.dropTable(name)
 	return db.checkpointLocked()
 }
 
@@ -608,6 +614,9 @@ func (db *DB) TableNames() []string {
 
 // LockManager exposes the lock manager (for tests and diagnostics).
 func (db *DB) LockManager() *LockManager { return db.lm }
+
+// Versions exposes the MVCC version store (for tests and diagnostics).
+func (db *DB) Versions() *VersionStore { return db.vs }
 
 // BufferStats returns buffer pool hit/miss counters.
 func (db *DB) BufferStats() (hits, misses int64) { return db.bp.Stats() }

@@ -7,10 +7,13 @@ import (
 
 // HeapFile is an unordered collection of tuples stored in a chain of
 // slotted pages. All page access goes through the buffer pool. A HeapFile
-// serializes its own structural mutations with a mutex; transaction-level
-// isolation is provided above it by the lock manager.
+// serializes its own structural mutations with a write lock;
+// transaction-level isolation is provided above it by the lock manager.
+// MVCC snapshot readers use the *Latched read variants, which take the
+// read side per page: many snapshots scan concurrently with each other
+// and exclude only in-progress byte mutations.
 type HeapFile struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	bp    *BufferPool
 	first PageID
 	pages []PageID // cached chain order
@@ -323,6 +326,66 @@ func (h *HeapFile) Get(rid RID) (Tuple, bool, error) {
 		return nil, false, err
 	}
 	return t, true, nil
+}
+
+// GetLatched is Get holding the heap's read latch, excluding concurrent
+// byte mutations (which hold the write side). Snapshot readers use it:
+// the plain Get is only safe under the lock manager's row locks.
+func (h *HeapFile) GetLatched(rid RID) (Tuple, bool, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.Get(rid)
+}
+
+// ScanLatched is Scan holding the read latch across each page visit (not
+// the whole scan, so writers interleave between pages). fn runs outside
+// the latch. Snapshot readers use it for the same reason as GetLatched.
+func (h *HeapFile) ScanLatched(fn func(rid RID, t Tuple) bool) error {
+	h.mu.RLock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.RUnlock()
+	for _, id := range pages {
+		rows, err := h.readPageLatched(id)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if !fn(r.rid, r.t) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+type heapRow struct {
+	rid RID
+	t   Tuple
+}
+
+func (h *HeapFile) readPageLatched(id PageID) ([]heapRow, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	data, err := h.bp.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(id, false)
+	p := newSlottedPage(data)
+	n := p.numSlots()
+	rows := make([]heapRow, 0, n)
+	for s := uint16(0); s < n; s++ {
+		rec, ok := p.read(s)
+		if !ok {
+			continue
+		}
+		t, err := DecodeTuple(rec)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, heapRow{RID{Page: id, Slot: s}, t})
+	}
+	return rows, nil
 }
 
 // Delete tombstones the tuple at rid.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrDeadlock is returned to a transaction chosen as a deadlock victim; the
@@ -106,7 +107,8 @@ type LockManager struct {
 	locks   map[LockKey]*lockState
 	waitFor map[TxnID]map[TxnID]bool // waiter -> holders it waits on
 
-	deadlocks int64
+	deadlocks    int64
+	acquisitions atomic.Int64
 }
 
 type lockState struct {
@@ -128,6 +130,7 @@ func NewLockManager() *LockManager {
 // ErrDeadlock if waiting would close a wait-for cycle. Upgrades are
 // granted when compatible with all other holders.
 func (lm *LockManager) Acquire(txn TxnID, key LockKey, mode LockMode) error {
+	lm.acquisitions.Add(1)
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	for {
@@ -260,6 +263,13 @@ func (lm *LockManager) Deadlocks() int64 {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	return lm.deadlocks
+}
+
+// Acquisitions returns the total number of Acquire calls ever made.
+// The MVCC race suite snapshots it around reader-only workloads to
+// prove snapshot reads take zero locks.
+func (lm *LockManager) Acquisitions() int64 {
+	return lm.acquisitions.Load()
 }
 
 // DebugString renders held locks (diagnostics).

@@ -1,0 +1,616 @@
+package rdbms
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MVCC snapshot reads.
+//
+// The engine's write path is unchanged: strict 2PL plus ARIES-style
+// physiological logging, with uncommitted changes applied in place
+// (steal/no-force). Snapshot readers therefore cannot trust the heap
+// alone — a page may hold bytes from a transaction that has not
+// committed, or from one that committed after the reader began. The
+// VersionStore keeps just enough history to reconstruct the committed
+// state of every in-flux row at any pinned LSN:
+//
+//   - The first time a transaction touches a row, the mutation hook
+//     records the row's pre-image as the chain's base version (from = 0,
+//     i.e. "since before recorded history"). From that point until the
+//     chain is garbage-collected, the heap bytes for that RID are
+//     advisory and readers resolve through the chain.
+//   - At commit, the transaction appends one version per touched row
+//     stamped with its commit LSN. Visibility for a snapshot pinned at S
+//     is simply "the newest version with from <= S".
+//   - A row with no chain has no in-flight or recently committed writer,
+//     so its heap bytes are committed and stable — readers use them
+//     directly. The ordering that makes this safe: writers create the
+//     chain (and its pre-image) BEFORE mutating heap bytes, and readers
+//     read the heap BEFORE consulting the chain. If a reader finds no
+//     chain after reading the heap, no writer had begun when it read.
+//
+// Snapshot acquisition must respect group commit: commit records are
+// appended (making their LSNs real) before their flush completes, and a
+// later commit's flush can publish first. A snapshot therefore pins
+// S = min(appended-but-unpublished commit LSN) - 1 when any commit is in
+// flight, else the newest published commit LSN. Registration of a commit
+// LSN as "pending" happens atomically with its WAL append (both under
+// vs.mu), so no snapshot can land between the append and the
+// registration and observe a torn boundary.
+//
+// GC horizon: a chain version is reclaimable once no current or FUTURE
+// snapshot can need it. Future snapshots pin at least
+// min(pending) - 1, so the horizon is
+//
+//	min(active snapshot LSNs, min(pending) - 1)
+//
+// and a whole chain is dropped once it has no uncommitted writer and its
+// newest version is at or below the horizon (heap bytes equal that
+// version from then on). Sweeps run at publish, snapshot release, abort,
+// and checkpoint; DropTable discards the table's chains outright.
+
+// version is one committed state of a row, valid from commit LSN `from`
+// until the next version's `from`. from == 0 is the base pre-image.
+type version struct {
+	from LSN
+	live bool
+	tup  Tuple
+}
+
+// versionChain is the (short) committed history of one row plus the
+// count of uncommitted transactions currently holding it.
+type versionChain struct {
+	writers  int
+	versions []version // ascending by from; versions[0] always visible
+}
+
+// VersionStore holds row version chains and snapshot bookkeeping for one
+// DB. All fields are guarded by mu; critical sections are tiny (map and
+// small-slice operations), so a single mutex does not bottleneck
+// readers, whose common case is a miss on a near-empty map.
+type VersionStore struct {
+	mu     sync.Mutex
+	tables map[string]map[RID]*versionChain
+	// pending holds commit LSNs appended to the WAL but not yet
+	// published (group commit in flight).
+	pending map[LSN]struct{}
+	// maxCommit is the newest published commit LSN.
+	maxCommit LSN
+	// snaps refcounts active snapshot LSNs.
+	snaps map[LSN]int
+}
+
+func newVersionStore() *VersionStore {
+	return &VersionStore{
+		tables:  make(map[string]map[RID]*versionChain),
+		pending: make(map[LSN]struct{}),
+		snaps:   make(map[LSN]int),
+	}
+}
+
+// noteWrite records the committed pre-image of (table, rid) and takes a
+// writer hold on its chain. Called once per (txn, row) before the first
+// heap mutation of that row.
+func (vs *VersionStore) noteWrite(table string, rid RID, before Tuple, live bool) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	byRID := vs.tables[table]
+	if byRID == nil {
+		byRID = make(map[RID]*versionChain)
+		vs.tables[table] = byRID
+	}
+	c := byRID[rid]
+	if c == nil {
+		c = &versionChain{versions: []version{{from: 0, live: live, tup: before.Clone()}}}
+		byRID[rid] = c
+	}
+	c.writers++
+}
+
+// beginCommit registers lsn as an in-flight commit. The caller must
+// invoke it under the same vs.mu hold that covers the WAL append of the
+// commit record — DB commit code uses withPending for that.
+func (vs *VersionStore) withPending(append func() LSN) LSN {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	lsn := append()
+	vs.pending[lsn] = struct{}{}
+	return lsn
+}
+
+// cancelPending forgets an in-flight commit whose flush failed. The
+// transaction is still live (its writer holds remain until abort).
+func (vs *VersionStore) cancelPending(lsn LSN) {
+	vs.mu.Lock()
+	delete(vs.pending, lsn)
+	vs.sweepLocked()
+	vs.mu.Unlock()
+}
+
+// finalState is the net effect of one transaction on one row.
+type finalState struct {
+	table string
+	rid   RID
+	live  bool
+	tup   Tuple
+}
+
+// publish appends each row's committed state at lsn, releases the
+// writer holds (touched is a superset of finals' rows: an op that failed
+// before mutating leaves a hold with no final state), and marks lsn
+// published.
+func (vs *VersionStore) publish(lsn LSN, finals []finalState, touched []chainRef) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	for _, f := range finals {
+		c := vs.chainLocked(f.table, f.rid)
+		if c == nil {
+			continue // table dropped mid-commit (DDL excluded by locks; defensive)
+		}
+		var tup Tuple
+		if f.live {
+			tup = f.tup.Clone()
+		}
+		c.versions = append(c.versions, version{from: lsn, live: f.live, tup: tup})
+	}
+	for _, r := range touched {
+		if c := vs.chainLocked(r.table, r.rid); c != nil {
+			c.writers--
+		}
+	}
+	delete(vs.pending, lsn)
+	if lsn > vs.maxCommit {
+		vs.maxCommit = lsn
+	}
+	vs.sweepLocked()
+}
+
+// release drops the writer holds of an aborted (or flush-failed, then
+// aborted) transaction. The heap has been restored to the pre-images by
+// undo, which is exactly each chain's base state.
+func (vs *VersionStore) release(touched []chainRef) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	for _, r := range touched {
+		if c := vs.chainLocked(r.table, r.rid); c != nil {
+			c.writers--
+		}
+	}
+	vs.sweepLocked()
+}
+
+type chainRef struct {
+	table string
+	rid   RID
+}
+
+func (vs *VersionStore) chainLocked(table string, rid RID) *versionChain {
+	if byRID := vs.tables[table]; byRID != nil {
+		return byRID[rid]
+	}
+	return nil
+}
+
+// acquireSnapshot pins and refcounts a snapshot LSN.
+func (vs *VersionStore) acquireSnapshot() LSN {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	s := vs.maxCommit
+	for lsn := range vs.pending {
+		if lsn-1 < s {
+			s = lsn - 1
+		}
+	}
+	vs.snaps[s]++
+	return s
+}
+
+func (vs *VersionStore) releaseSnapshot(s LSN) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if n := vs.snaps[s]; n <= 1 {
+		delete(vs.snaps, s)
+	} else {
+		vs.snaps[s] = n - 1
+	}
+	vs.sweepLocked()
+}
+
+// horizonLocked computes the newest LSN every current and future
+// snapshot is guaranteed to be at or above.
+func (vs *VersionStore) horizonLocked() LSN {
+	h := vs.maxCommit
+	for lsn := range vs.pending {
+		if lsn-1 < h {
+			h = lsn - 1
+		}
+	}
+	for s := range vs.snaps {
+		if s < h {
+			h = s
+		}
+	}
+	return h
+}
+
+// sweepLocked prunes versions no snapshot can pin and drops chains whose
+// newest version has become indistinguishable from the heap.
+func (vs *VersionStore) sweepLocked() {
+	h := vs.horizonLocked()
+	for table, byRID := range vs.tables {
+		for rid, c := range byRID {
+			// Keep the newest version at or below the horizon plus
+			// everything newer.
+			keep := 0
+			for i := len(c.versions) - 1; i >= 0; i-- {
+				if c.versions[i].from <= h {
+					keep = i
+					break
+				}
+			}
+			if keep > 0 {
+				c.versions = append(c.versions[:0], c.versions[keep:]...)
+			}
+			if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= h {
+				delete(byRID, rid)
+			}
+		}
+		if len(byRID) == 0 {
+			delete(vs.tables, table)
+		}
+	}
+}
+
+// Sweep runs a full GC pass (checkpoints call this).
+func (vs *VersionStore) Sweep() {
+	vs.mu.Lock()
+	vs.sweepLocked()
+	vs.mu.Unlock()
+}
+
+// dropTable discards all chains for a dropped table.
+func (vs *VersionStore) dropTable(table string) {
+	vs.mu.Lock()
+	delete(vs.tables, table)
+	vs.mu.Unlock()
+}
+
+// Chains reports the number of live version chains (tests assert GC
+// drains this to zero once writers commit and snapshots close).
+func (vs *VersionStore) Chains() int {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	n := 0
+	for _, byRID := range vs.tables {
+		n += len(byRID)
+	}
+	return n
+}
+
+// visible resolves (table, rid) at snapshot s: the newest version with
+// from <= s. ok=false means the row has no chain — its heap bytes are
+// committed and stable.
+func (vs *VersionStore) visible(table string, rid RID, s LSN) (version, bool) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	c := vs.chainLocked(table, rid)
+	if c == nil {
+		return version{}, false
+	}
+	for i := len(c.versions) - 1; i >= 0; i-- {
+		if c.versions[i].from <= s {
+			return c.versions[i], true
+		}
+	}
+	// Unreachable: the sweep keeps a version at or below the horizon,
+	// and every active snapshot is at or above it.
+	return version{}, false
+}
+
+// chainRIDs returns the chained row ids of a table, sorted, so scans can
+// surface rows that are dead in the heap but live at the snapshot.
+func (vs *VersionStore) chainRIDs(table string) []RID {
+	vs.mu.Lock()
+	byRID := vs.tables[table]
+	rids := make([]RID, 0, len(byRID))
+	for rid := range byRID {
+		rids = append(rids, rid)
+	}
+	vs.mu.Unlock()
+	sort.Slice(rids, func(i, j int) bool { return ridLess(rids[i], rids[j]) })
+	return rids
+}
+
+// Snap is a read-only snapshot transaction: it pins one LSN at creation
+// and resolves every read — scans, index probes, SELECTs — to the
+// committed state as of that LSN. It acquires no locks, writes nothing
+// to the WAL, and never blocks writers or other readers; writers never
+// block it. Close releases the snapshot so version GC can advance.
+type Snap struct {
+	db     *DB
+	lsn    LSN
+	ctx    context.Context
+	closed bool
+}
+
+// BeginSnapshot starts a lock-free read-only snapshot transaction
+// pinned at the current committed LSN.
+func (db *DB) BeginSnapshot() *Snap {
+	return &Snap{db: db, lsn: db.vs.acquireSnapshot(), ctx: context.Background()}
+}
+
+// WithContext attaches ctx; scan-shaped loops poll it like Txn's do.
+func (sn *Snap) WithContext(ctx context.Context) *Snap {
+	sn.ctx = ctx
+	return sn
+}
+
+// LSN reports the pinned snapshot LSN.
+func (sn *Snap) LSN() LSN { return sn.lsn }
+
+// Close releases the snapshot. Idempotent.
+func (sn *Snap) Close() {
+	if sn.closed {
+		return
+	}
+	sn.closed = true
+	sn.db.vs.releaseSnapshot(sn.lsn)
+}
+
+func (sn *Snap) ctxErr() error {
+	if sn.closed {
+		return fmt.Errorf("rdbms: snapshot is closed")
+	}
+	select {
+	case <-sn.ctx.Done():
+		return sn.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (sn *Snap) table(name string) (*Table, error) {
+	t := sn.db.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("rdbms: no such table %s", name)
+	}
+	return t, nil
+}
+
+// Get reads one row at the snapshot LSN. Heap first, then chain: a
+// writer creates the chain before touching heap bytes, so "no chain
+// after the heap read" proves the heap value is committed.
+func (sn *Snap) Get(table string, rid RID) (Tuple, bool, error) {
+	if err := sn.ctxErr(); err != nil {
+		return nil, false, err
+	}
+	t, err := sn.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	return sn.fetchRow(t, table, rid)
+}
+
+func (sn *Snap) fetchRow(t *Table, table string, rid RID) (Tuple, bool, error) {
+	tup, live, err := t.Heap.GetLatched(rid)
+	if v, ok := sn.db.vs.visible(table, rid, sn.lsn); ok {
+		return v.tup, v.live, nil
+	}
+	return tup, live, err
+}
+
+// Scan visits every row live at the snapshot LSN. Rows present in the
+// heap come first in heap order; rows dead in the heap but live at the
+// snapshot (deleted by a later-committed or in-flight writer) follow,
+// in RID order.
+func (sn *Snap) Scan(table string, fn func(rid RID, t Tuple) bool) error {
+	if err := sn.ctxErr(); err != nil {
+		return err
+	}
+	t, err := sn.table(table)
+	if err != nil {
+		return err
+	}
+	vs := sn.db.vs
+	seen := make(map[RID]struct{})
+	stopped := false
+	n := 0
+	var scanErr error
+	err = t.Heap.ScanLatched(func(rid RID, tup Tuple) bool {
+		n++
+		if n%ctxCheckInterval == 0 {
+			if scanErr = sn.ctxErr(); scanErr != nil {
+				return false
+			}
+		}
+		seen[rid] = struct{}{}
+		if v, ok := vs.visible(table, rid, sn.lsn); ok {
+			if !v.live {
+				return true
+			}
+			if !fn(rid, v.tup) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		if !fn(rid, tup) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	if err != nil || stopped {
+		return err
+	}
+	// Rows that are dead (or reused) in the heap now but were live at
+	// the snapshot exist only in chains.
+	for _, rid := range vs.chainRIDs(table) {
+		if _, ok := seen[rid]; ok {
+			continue
+		}
+		if v, ok := vs.visible(table, rid, sn.lsn); ok && v.live {
+			if !fn(rid, v.tup) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// IndexLookup returns candidate row ids for column = key at the
+// snapshot. The result over-approximates: it adds every chained row of
+// the table whose visible tuple matches, and callers must re-check both
+// liveness (via Get) and the predicate against the visible tuple —
+// exactly what the SELECT executor's index path already does.
+func (sn *Snap) IndexLookup(table, column string, key Value) ([]RID, error) {
+	if err := sn.ctxErr(); err != nil {
+		return nil, err
+	}
+	t, err := sn.table(table)
+	if err != nil {
+		return nil, err
+	}
+	idx := t.Indexes[column]
+	if idx == nil {
+		return nil, fmt.Errorf("rdbms: no index on %s.%s", table, column)
+	}
+	ci := t.Schema.ColIndex(column)
+	rids := idx.Lookup(key)
+	out := make([]RID, 0, len(rids))
+	have := make(map[RID]struct{}, len(rids))
+	for _, rid := range rids {
+		if _, ok := have[rid]; ok {
+			continue
+		}
+		have[rid] = struct{}{}
+		out = append(out, rid)
+	}
+	for _, rid := range sn.db.vs.chainRIDs(table) {
+		if _, ok := have[rid]; ok {
+			continue
+		}
+		v, ok := sn.db.vs.visible(table, rid, sn.lsn)
+		if !ok || !v.live {
+			continue
+		}
+		if c, ok := Compare(v.tup[ci], key); ok && c == 0 {
+			have[rid] = struct{}{}
+			out = append(out, rid)
+		}
+	}
+	return out, nil
+}
+
+// IndexRange streams candidate row ids for lo <= column <= hi (nil = an
+// open bound) at the snapshot: first the index entries in key order,
+// then chained rows whose visible tuple falls in range (RID order).
+// Like IndexLookup, candidates over-approximate and callers re-verify
+// against the visible tuple.
+func (sn *Snap) IndexRange(table, column string, lo, hi *Value, fn func(key Value, rid RID) bool) error {
+	if err := sn.ctxErr(); err != nil {
+		return err
+	}
+	t, err := sn.table(table)
+	if err != nil {
+		return err
+	}
+	idx := t.Indexes[column]
+	if idx == nil {
+		return fmt.Errorf("rdbms: no index on %s.%s", table, column)
+	}
+	ci := t.Schema.ColIndex(column)
+	have := make(map[RID]struct{})
+	n := 0
+	var rangeErr error
+	stopped := false
+	idx.Range(lo, hi, func(key Value, rid RID) bool {
+		n++
+		if n%ctxCheckInterval == 0 {
+			if rangeErr = sn.ctxErr(); rangeErr != nil {
+				return false
+			}
+		}
+		have[rid] = struct{}{}
+		if !fn(key, rid) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if rangeErr != nil {
+		return rangeErr
+	}
+	if stopped {
+		return nil
+	}
+	inRange := func(v Value) bool {
+		if lo != nil {
+			if c, ok := Compare(v, *lo); !ok || c < 0 {
+				return false
+			}
+		}
+		if hi != nil {
+			if c, ok := Compare(v, *hi); !ok || c > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rid := range sn.db.vs.chainRIDs(table) {
+		if _, ok := have[rid]; ok {
+			continue
+		}
+		v, ok := sn.db.vs.visible(table, rid, sn.lsn)
+		if !ok || !v.live {
+			continue
+		}
+		if inRange(v.tup[ci]) {
+			if !fn(v.tup[ci], rid) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// fetch implements readSource: rows resolve through the version store.
+func (sn *Snap) fetch(t *Table, table string, rid RID) (Tuple, bool, error) {
+	return sn.fetchRow(t, table, rid)
+}
+
+// orderRows implements readSource. A snapshot cannot stream rows in
+// index order without holding the snapshot's visibility set against the
+// B-tree's current shape, so it declines and the executor falls back to
+// the sort-based paths (same output, explicit sort).
+func (sn *Snap) orderRows(SelectStmt, *Table, *orderPath, *binding, int) ([]Tuple, bool, error) {
+	return nil, false, nil
+}
+
+// Query parses and executes one SELECT at the snapshot LSN. Mutating
+// statements and DDL are rejected: a Snap is read-only by construction.
+func (sn *Snap) Query(sql string) (*ResultSet, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := stmt.(SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("rdbms: snapshot transactions are read-only (got %T)", stmt)
+	}
+	return sn.ExecSelect(s)
+}
+
+// ExecSelect runs a parsed SELECT against the snapshot.
+func (sn *Snap) ExecSelect(s SelectStmt) (*ResultSet, error) {
+	if err := sn.ctxErr(); err != nil {
+		return nil, err
+	}
+	return execSelectSrc(sn, s)
+}

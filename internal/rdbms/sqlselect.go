@@ -8,16 +8,53 @@ import (
 	"strings"
 )
 
-// execSelect runs a SELECT: access-path selection (index vs sequential
-// scan), optional hash join, filtering, grouping/aggregation, projection,
-// DISTINCT, ORDER BY, LIMIT/OFFSET.
+// readSource abstracts the row access a SELECT needs, so the same
+// executor serves both strict-2PL transactions (Txn: shared locks,
+// current state) and MVCC snapshots (Snap: no locks, state at the
+// pinned LSN). Implementations promise that fetch resolves a RID to the
+// tuple THIS source considers current — the index paths rely on it when
+// re-verifying candidates.
+type readSource interface {
+	table(name string) (*Table, error)
+	ctxErr() error
+	Scan(table string, fn func(rid RID, t Tuple) bool) error
+	IndexLookup(table, column string, key Value) ([]RID, error)
+	IndexRange(table, column string, lo, hi *Value, fn func(key Value, rid RID) bool) error
+	// fetch reads the source-current tuple at rid (live=false for rows
+	// this source cannot see).
+	fetch(t *Table, table string, rid RID) (Tuple, bool, error)
+	// orderRows serves a chooseOrderPath plan: rows already in ORDER BY
+	// order. ok=false declines (the executor falls back to sort paths).
+	orderRows(s SelectStmt, t *Table, op *orderPath, b *binding, stopAfter int) ([]Tuple, bool, error)
+}
+
+// fetch implements readSource for Txn: plain heap read — callers hold
+// the table lock taken by the index probe that produced rid.
+func (tx *Txn) fetch(t *Table, _ string, rid RID) (Tuple, bool, error) {
+	return t.Heap.Get(rid)
+}
+
+// orderRows implements readSource for Txn via the index-order scan.
+func (tx *Txn) orderRows(s SelectStmt, t *Table, op *orderPath, b *binding, stopAfter int) ([]Tuple, bool, error) {
+	rows, err := tx.indexOrderRows(s, t, op, b, stopAfter)
+	return rows, true, err
+}
+
+// execSelect runs a SELECT inside a strict-2PL transaction.
+func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
+	return execSelectSrc(tx, s)
+}
+
+// execSelectSrc runs a SELECT over any readSource: access-path selection
+// (index vs sequential scan), optional hash join, filtering,
+// grouping/aggregation, projection, DISTINCT, ORDER BY, LIMIT/OFFSET.
 //
 // The base access is streaming: for single-table queries the WHERE clause
 // is evaluated inside the scan callback, so tuples that fail the filter
 // are dropped before they are ever retained, and unordered
 // LIMIT/OFFSET queries stop scanning as soon as enough rows qualify.
-func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
-	t, err := tx.table(s.From)
+func execSelectSrc(src readSource, s SelectStmt) (*ResultSet, error) {
+	t, err := src.table(s.From)
 	if err != nil {
 		return nil, err
 	}
@@ -45,11 +82,13 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	// served in index order: rows emerge already sorted, OFFSET+LIMIT stops
 	// the scan early, and no sort runs at all.
 	if op := chooseOrderPath(s, t, fromName, b, grouped); op != nil {
-		rows, err := tx.indexOrderRows(s, t, op, b, s.Offset+s.Limit)
+		rows, ok, err := src.orderRows(s, t, op, b, s.Offset+s.Limit)
 		if err != nil {
 			return nil, err
 		}
-		return presortedResult(s, b, rows, op.describe())
+		if ok {
+			return presortedResult(s, b, rows, op.describe())
+		}
 	}
 
 	// ORDER BY + LIMIT served by a sequential scan: push the bounded
@@ -60,7 +99,7 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 	// handles them.
 	if s.Join == nil && !grouped && !s.Distinct && len(s.OrderBy) > 0 && s.Limit >= 0 &&
 		chooseAccessPath(s.Where, t, fromName) == nil {
-		rows, err := tx.scanTopKRows(s, b)
+		rows, err := scanTopKRows(src, s, b)
 		if err != nil {
 			return nil, err
 		}
@@ -76,13 +115,13 @@ func (tx *Txn) execSelect(s SelectStmt) (*ResultSet, error) {
 		stopAfter = s.Offset + s.Limit
 	}
 
-	rows, plan, err := tx.baseRows(s, t, fromName, b, pushedWhere, stopAfter)
+	rows, plan, err := baseRows(src, s, t, fromName, b, pushedWhere, stopAfter)
 	if err != nil {
 		return nil, err
 	}
 
 	if s.Join != nil {
-		rows, b, err = tx.hashJoin(rows, b, s.Join)
+		rows, b, err = hashJoin(src, rows, b, s.Join)
 		if err != nil {
 			return nil, err
 		}
@@ -160,9 +199,9 @@ func applyOffsetLimit(out *ResultSet, offset, limit int) {
 // — is evaluated against each candidate before it is retained: scan
 // tuples are freshly decoded, so retained rows need no defensive copy and
 // rejected rows cost no allocation. stopAfter >= 0 caps retained rows.
-func (tx *Txn) baseRows(s SelectStmt, t *Table, fromName string, b *binding, filter Expr, stopAfter int) ([]Tuple, string, error) {
+func baseRows(src readSource, s SelectStmt, t *Table, fromName string, b *binding, filter Expr, stopAfter int) ([]Tuple, string, error) {
 	if ap := chooseAccessPath(s.Where, t, fromName); ap != nil {
-		rows, err := tx.indexRows(s.From, t, ap, b, filter, stopAfter)
+		rows, err := indexRows(src, s.From, t, ap, b, filter, stopAfter)
 		if err != nil {
 			return nil, "", err
 		}
@@ -170,7 +209,7 @@ func (tx *Txn) baseRows(s SelectStmt, t *Table, fromName string, b *binding, fil
 	}
 	var rows []Tuple
 	var evalErr error
-	err := tx.Scan(s.From, func(_ RID, tup Tuple) bool {
+	err := src.Scan(s.From, func(_ RID, tup Tuple) bool {
 		if filter != nil {
 			v, err := evalExpr(filter, b, tup)
 			if err != nil {
@@ -323,16 +362,16 @@ func splitConjuncts(e Expr) []Expr {
 // indexRows fetches tuples via the chosen index path, applying the full
 // WHERE clause (the index may cover only some conjuncts, and range paths
 // treat strict bounds as inclusive) and the early-stop cap as it goes.
-func (tx *Txn) indexRows(table string, t *Table, ap *accessPath, b *binding, where Expr, stopAfter int) ([]Tuple, error) {
+func indexRows(src readSource, table string, t *Table, ap *accessPath, b *binding, where Expr, stopAfter int) ([]Tuple, error) {
 	var rids []RID
 	if ap.eq != nil {
 		var err error
-		rids, err = tx.IndexLookup(table, ap.column, *ap.eq)
+		rids, err = src.IndexLookup(table, ap.column, *ap.eq)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		err := tx.IndexRange(table, ap.column, ap.lo, ap.hi, func(_ Value, rid RID) bool {
+		err := src.IndexRange(table, ap.column, ap.lo, ap.hi, func(_ Value, rid RID) bool {
 			rids = append(rids, rid)
 			return true
 		})
@@ -343,11 +382,11 @@ func (tx *Txn) indexRows(table string, t *Table, ap *accessPath, b *binding, whe
 	rows := make([]Tuple, 0, len(rids))
 	for i, rid := range rids {
 		if i%ctxCheckInterval == ctxCheckInterval-1 {
-			if err := tx.ctxErr(); err != nil {
+			if err := src.ctxErr(); err != nil {
 				return nil, err
 			}
 		}
-		tup, live, err := t.Heap.Get(rid)
+		tup, live, err := src.fetch(t, table, rid)
 		if err != nil {
 			return nil, err
 		}
@@ -373,8 +412,8 @@ func (tx *Txn) indexRows(table string, t *Table, ap *accessPath, b *binding, whe
 
 // hashJoin joins rows with the join table on the equality condition,
 // returning combined rows and the widened binding.
-func (tx *Txn) hashJoin(left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *binding, error) {
-	rt, err := tx.table(j.Table)
+func hashJoin(src readSource, left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *binding, error) {
+	rt, err := src.table(j.Table)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -414,7 +453,7 @@ func (tx *Txn) hashJoin(left []Tuple, lb *binding, j *JoinClause) ([]Tuple, *bin
 	// decoded, so they are retained without cloning.
 	build := map[string][]Tuple{}
 	var keyBuf []byte
-	err = tx.Scan(j.Table, func(_ RID, tup Tuple) bool {
+	err = src.Scan(j.Table, func(_ RID, tup Tuple) bool {
 		keyBuf = appendKey(keyBuf[:0], tup[ri])
 		k := string(keyBuf)
 		build[k] = append(build[k], tup)
@@ -571,7 +610,7 @@ func resolveKeyExprs(s SelectStmt, cols []string, exprs []Expr) []Expr {
 // — a rejected row costs no allocation beyond its transient decode.
 // Survivors return in ORDER BY order (ties in scan order, matching the
 // stable full sort). O(k) live memory for any table size.
-func (tx *Txn) scanTopKRows(s SelectStmt, b *binding) ([]Tuple, error) {
+func scanTopKRows(src readSource, s SelectStmt, b *binding) ([]Tuple, error) {
 	n := s.Offset + s.Limit
 	if n == 0 {
 		return nil, nil
@@ -582,7 +621,7 @@ func (tx *Txn) scanTopKRows(s SelectStmt, b *binding) ([]Tuple, error) {
 	scratch := make(Tuple, len(keyExprs))
 	seq := 0
 	var evalErr error
-	err := tx.Scan(s.From, func(_ RID, tup Tuple) bool {
+	err := src.Scan(s.From, func(_ RID, tup Tuple) bool {
 		if s.Where != nil {
 			v, err := evalExpr(s.Where, b, tup)
 			if err != nil {

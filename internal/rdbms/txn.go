@@ -36,6 +36,11 @@ type Txn struct {
 	// was told did not commit.
 	commitLogged bool
 	undo         []undoRec
+	// touched tracks the rows whose version chains this transaction holds
+	// (one writer hold per row, taken on first mutation). At commit the
+	// holds convert into published versions; at abort they are released
+	// (undo restored the heap to each chain's base image).
+	touched map[chainRef]struct{}
 	// hashDelta accumulates, per content-hashed table, the wrapping-sum
 	// delta this transaction's writes apply to the table's multiset
 	// content hash. Applied at Commit (after the log is durable) and
@@ -82,6 +87,50 @@ type undoRec struct {
 	rid    RID
 	before Tuple
 	after  Tuple
+}
+
+// noteVersion records the committed pre-image of a row in the version
+// store the first time this transaction mutates it. It must run before
+// the row's heap bytes can change (the mutation paths call it either
+// ahead of the heap call or inside the onApply hook, which runs under
+// the heap's write latch), so snapshot readers that find no chain know
+// the heap bytes they read were committed.
+func (tx *Txn) noteVersion(table string, rid RID, before Tuple, beforeLive bool) {
+	ref := chainRef{table: table, rid: rid}
+	if _, ok := tx.touched[ref]; ok {
+		return
+	}
+	if tx.touched == nil {
+		tx.touched = make(map[chainRef]struct{})
+	}
+	tx.touched[ref] = struct{}{}
+	tx.db.vs.noteWrite(table, rid, before, beforeLive)
+}
+
+// versionFinals computes the per-row net effect of this transaction from
+// its undo log (the last record per row wins).
+func (tx *Txn) versionFinals() []finalState {
+	finals := make(map[chainRef]int, len(tx.touched))
+	out := make([]finalState, 0, len(tx.touched))
+	for _, u := range tx.undo {
+		f := finalState{table: u.table, rid: u.rid, live: u.kind != LogDelete, tup: u.after}
+		ref := chainRef{table: u.table, rid: u.rid}
+		if i, ok := finals[ref]; ok {
+			out[i] = f
+			continue
+		}
+		finals[ref] = len(out)
+		out = append(out, f)
+	}
+	return out
+}
+
+func (tx *Txn) touchedRefs() []chainRef {
+	refs := make([]chainRef, 0, len(tx.touched))
+	for r := range tx.touched {
+		refs = append(refs, r)
+	}
+	return refs
 }
 
 // Begin starts a transaction.
@@ -151,6 +200,10 @@ func (tx *Txn) Insert(table string, tup Tuple) (RID, error) {
 	}
 	t.noteMutation()
 	rid, err := t.Heap.InsertWhere(tup, tx.slotFilter(table), func(rid RID) LSN {
+		// The chosen slot is only known here; the page is pinned under the
+		// heap's write latch, so the chain exists before any snapshot
+		// reader can observe the new bytes. The pre-image is "no row".
+		tx.noteVersion(table, rid, nil, false)
 		return tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: rid, After: tup})
 	})
 	if err != nil {
@@ -215,6 +268,7 @@ func (tx *Txn) Delete(table string, rid RID) error {
 		return fmt.Errorf("rdbms: delete of missing row %v", rid)
 	}
 	t.noteMutation()
+	tx.noteVersion(table, rid, before, true)
 	ok, err := t.Heap.DeleteWith(rid, func() LSN {
 		return tx.db.wal.Append(&LogRecord{Kind: LogDelete, Txn: tx.id, Table: table, Row: rid, Before: before})
 	})
@@ -260,6 +314,7 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 		return RID{}, fmt.Errorf("rdbms: update of missing row %v", rid)
 	}
 	t.noteMutation()
+	tx.noteVersion(table, rid, before, true)
 	newRID, ok, err := t.Heap.TryUpdateInPlace(rid, tup, func(r RID) LSN {
 		return tx.db.wal.Append(&LogRecord{Kind: LogUpdate, Txn: tx.id, Table: table, Row: r, Before: before, After: tup})
 	})
@@ -281,6 +336,7 @@ func (tx *Txn) Update(table string, rid RID, tup Tuple) (RID, error) {
 	}
 	tx.undo = append(tx.undo, undoRec{kind: LogDelete, table: table, rid: rid, before: before})
 	newRID, err = t.Heap.InsertWhere(tup, tx.slotFilter(table), func(r RID) LSN {
+		tx.noteVersion(table, r, nil, false)
 		return tx.db.wal.Append(&LogRecord{Kind: LogInsert, Txn: tx.id, Table: table, Row: r, After: tup})
 	})
 	if err != nil {
@@ -411,12 +467,28 @@ func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
 	}
-	target := tx.db.wal.AppendEnd(&LogRecord{Kind: LogCommit, Txn: tx.id})
+	rec := &LogRecord{Kind: LogCommit, Txn: tx.id}
+	versioned := len(tx.touched) > 0
+	var target LSN
+	if versioned {
+		// Register the commit LSN as pending atomically with its WAL
+		// append: group commit lets a later commit publish first, and
+		// without this a snapshot pinned in the gap could miss an earlier,
+		// already-appended commit and break repeatable read.
+		target = tx.db.vs.withPending(func() LSN { return tx.db.wal.AppendEnd(rec) })
+	} else {
+		target = tx.db.wal.AppendEnd(rec)
+	}
 	tx.commitLogged = true
 	if err := tx.db.wal.FlushCommit(target); err != nil {
 		// The commit record may or may not be durable; the transaction is
 		// in doubt until the caller aborts (which forces the abort record
-		// out) or a crash lets recovery decide from what survived.
+		// out) or a crash lets recovery decide from what survived. Either
+		// way this process will not publish the transaction's versions, so
+		// stop gating snapshots and GC on the pending LSN.
+		if versioned {
+			tx.db.vs.cancelPending(target)
+		}
 		return err
 	}
 	// The commit is durable: fold this transaction's content-hash deltas
@@ -426,6 +498,11 @@ func (tx *Txn) Commit() error {
 		if t := tx.db.Table(name); t != nil {
 			t.hash.Add(d)
 		}
+	}
+	if versioned {
+		// Durable: publish the per-row committed states at the commit LSN
+		// so snapshots at or past it resolve to this transaction's writes.
+		tx.db.vs.publish(target, tx.versionFinals(), tx.touchedRefs())
 	}
 	tx.finish()
 	return nil
@@ -499,6 +576,12 @@ func (tx *Txn) Abort() error {
 				idx.Insert(u.before[ci], restoredRID)
 			}
 		}
+	}
+	// Undo restored every touched row to its chain's base image; release
+	// the writer holds without publishing anything.
+	if len(tx.touched) > 0 {
+		tx.db.vs.release(tx.touchedRefs())
+		tx.touched = nil
 	}
 	tx.db.wal.Append(&LogRecord{Kind: LogAbort, Txn: tx.id})
 	if tx.commitLogged {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,16 +61,31 @@ func wireToError(we *WireError) error {
 }
 
 // Client speaks the framed protocol to a unidbd server over one TCP
-// connection. Safe for concurrent use: requests are serialized on the
-// connection (the protocol is strictly request/response).
+// connection. Safe for concurrent use, and since PR7 concurrent calls
+// are multiplexed rather than serialized: every request carries a unique
+// nonzero ID, a single reader goroutine routes response frames back to
+// their waiting callers by ID, and writes are serialized per frame — so
+// N goroutines sharing one Client pipeline N requests down one
+// connection, and a slow statement does not head-of-line-block the rest.
 type Client struct {
-	mu       sync.Mutex
 	conn     net.Conn
-	nextID   int64
 	maxFrame int
+
+	writeMu sync.Mutex // serializes request frames on the wire
+	nextID  atomic.Int64
+
+	mu      sync.Mutex // guards pending and readErr
+	pending map[int64]chan doResult
+	readErr error // reader goroutine's terminal error; fails all calls
 }
 
-// Dial connects to a unidbd server.
+// doResult is what the reader goroutine delivers to a waiting Do call.
+type doResult struct {
+	resp *Response
+	err  error
+}
+
+// Dial connects to a unidbd server and starts the response reader.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -78,28 +94,75 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, maxFrame: DefaultMaxFrame}, nil
+	c := &Client{conn: conn, maxFrame: DefaultMaxFrame, pending: map[int64]chan doResult{}}
+	go c.readLoop()
+	return c, nil
 }
 
-// Close releases the connection.
+// Close releases the connection; in-flight calls fail promptly.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.conn.Close()
 }
 
-// Do sends one request and waits for its response. The context's
-// deadline travels to the server (TimeoutMs) and also bounds the local
-// network wait, so a dead server cannot hang the caller.
-func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+// readLoop is the single connection reader: it decodes each response
+// frame and hands it to the Do call whose request ID matches. A response
+// for an ID nobody waits on (a caller that already timed out locally) is
+// dropped. On a read error — server gone, connection closed — every
+// pending and future call fails with that error.
+func (c *Client) readLoop() {
+	for {
+		raw, err := readFrame(c.conn, c.maxFrame)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		var resp Response
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			c.failAll(fmt.Errorf("server: undecodable response: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- doResult{resp: &resp} // buffered; never blocks the reader
+		}
+	}
+}
+
+// failAll poisons the client: every pending call and every later call
+// gets the reader's terminal error.
+func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.readErr = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- doResult{err: err}
+	}
+}
+
+// forget abandons a pending request (local timeout); its eventual
+// response, if any, is dropped by the reader.
+func (c *Client) forget(id int64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Do sends one request and waits for its response; concurrent Do calls
+// share the connection. The context's deadline travels to the server
+// (TimeoutMs) and also bounds the local wait — with a grace beyond the
+// request deadline so the server can deliver its own typed deadline
+// error before the client gives up — so a dead server cannot hang the
+// caller.
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.nextID++
-	req.ID = c.nextID
-	netDeadline := time.Now().Add(2 * time.Minute)
+	req.ID = c.nextID.Add(1)
+	wait := 2 * time.Minute
 	if d, ok := ctx.Deadline(); ok {
 		if req.TimeoutMs == 0 {
 			req.TimeoutMs = time.Until(d).Milliseconds()
@@ -107,33 +170,47 @@ func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
 				req.TimeoutMs = 1
 			}
 		}
-		// Allow the server a grace beyond the request deadline to deliver
-		// its own typed deadline error before the socket gives up.
-		netDeadline = d.Add(5 * time.Second)
+		wait = time.Until(d) + 5*time.Second
 	}
-	c.conn.SetDeadline(netDeadline)
 	payload, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(c.conn, payload); err != nil {
+
+	ch := make(chan doResult, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
 		return nil, err
 	}
-	raw, err := readFrame(c.conn, c.maxFrame)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	c.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	err = writeFrame(c.conn, payload)
+	c.writeMu.Unlock()
 	if err != nil {
+		c.forget(req.ID)
 		return nil, err
 	}
-	var resp Response
-	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, fmt.Errorf("server: undecodable response: %w", err)
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if !res.resp.OK {
+			return nil, wireToError(res.resp.Err)
+		}
+		return res.resp, nil
+	case <-timer.C:
+		c.forget(req.ID)
+		return nil, fmt.Errorf("server: no response to request %d within %v", req.ID, wait)
 	}
-	if resp.ID != 0 && resp.ID != req.ID {
-		return nil, fmt.Errorf("server: response id %d for request %d", resp.ID, req.ID)
-	}
-	if !resp.OK {
-		return nil, wireToError(resp.Err)
-	}
-	return &resp, nil
 }
 
 // Search runs keyword search.

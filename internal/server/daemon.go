@@ -101,7 +101,7 @@ func RunDaemon(cfg DaemonConfig) error {
 	})
 	sysCfg := core.Config{Corpus: corpus, Workers: c.Workers}
 	setup := func(s *core.System) error {
-		_, err := s.Generate(daemonProgram, uql.Options{})
+		_, err := s.Generate(context.Background(), daemonProgram, uql.Options{})
 		return err
 	}
 

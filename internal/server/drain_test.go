@@ -333,7 +333,7 @@ func TestDaemonKill9Durability(t *testing.T) {
 	// gone — and audit every acked row.
 	corpus, _ := synth.Generate(childCorpus)
 	setup := func(s *core.System) error {
-		_, err := s.Generate(daemonProgram, uql.Options{})
+		_, err := s.Generate(context.Background(), daemonProgram, uql.Options{})
 		return err
 	}
 	sys, rep, err := core.OpenDir(dataDir, core.Config{Corpus: corpus, Workers: 2}, setup)

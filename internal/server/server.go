@@ -200,14 +200,25 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// serveConn runs one connection's request loop: read a frame, execute,
-// reply, repeat. The loop is sequential per connection — pipelining
-// concurrency comes from many connections, which is what the admission
-// semaphore governs.
+// serveConn runs one connection's request loop. Requests carrying a
+// nonzero ID are pipelined: each executes in its own goroutine and its
+// response is written (under the connection's write mutex) whenever it
+// finishes, so a slow statement never head-of-line-blocks the fast ones
+// behind it — clients correlate by ID. Requests with ID 0 select the
+// legacy ordered mode: they execute inline, one at a time, and responses
+// come back in request order. The admission semaphore still bounds total
+// concurrent execution across all connections either way.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.connWG.Done()
 	defer s.unregisterConn(conn)
 	defer conn.Close()
+	// Wait for in-flight pipelined requests before closing the conn, so
+	// an idle-timeout or drain-poked exit of the read loop never yanks
+	// the socket from under a response still being produced. (Runs before
+	// the Close defer above; a force-closed conn during Shutdown just
+	// makes their writes fail fast.)
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
 	// Per-connection panic recovery: a handler bug poisons one
 	// connection, not the process. The deferred recover also covers the
 	// framing code against malformed input surprises.
@@ -216,6 +227,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("panic on %s: %v", conn.RemoteAddr(), r)
 		}
 	}()
+	// writeMu serializes response frames from concurrent request
+	// goroutines; a frame is one atomic unit on the wire.
+	var writeMu sync.Mutex
 
 	for {
 		if s.isDraining() {
@@ -231,7 +245,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// via the draining check above on the next iteration — or
 			// right now, since the conn is closing anyway.
 			if errors.Is(err, ErrFrameTooLarge) {
-				s.respond(conn, &Response{OK: false, Err: &WireError{
+				s.respond(conn, &writeMu, &Response{OK: false, Err: &WireError{
 					Code: CodeTooLarge, Message: err.Error(),
 				}})
 			}
@@ -243,22 +257,39 @@ func (s *Server) serveConn(conn net.Conn) {
 			// still synchronized, so reject the request and keep the
 			// connection — a buggy client gets diagnostics, not a
 			// mysterious hangup.
-			if !s.respond(conn, &Response{OK: false, Err: &WireError{
+			if !s.respond(conn, &writeMu, &Response{OK: false, Err: &WireError{
 				Code: CodeBadRequest, Message: "malformed request: " + err.Error(),
 			}}) {
 				return
 			}
 			continue
 		}
-		if !s.respond(conn, s.execute(&req)) {
+		if req.ID != 0 {
+			reqWG.Add(1)
+			go func(req Request) {
+				defer reqWG.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						s.logf("panic on %s (request %d): %v", conn.RemoteAddr(), req.ID, r)
+					}
+				}()
+				// A failed write means the connection is dead; the read
+				// loop will find out on its next read.
+				s.respond(conn, &writeMu, s.execute(&req))
+			}(req)
+			continue
+		}
+		if !s.respond(conn, &writeMu, s.execute(&req)) {
 			return
 		}
 	}
 }
 
-// respond writes one response frame under the write deadline; false
-// means the connection is unusable.
-func (s *Server) respond(conn net.Conn, resp *Response) bool {
+// respond writes one response frame under the connection's write mutex
+// and the write deadline; false means the connection is unusable.
+func (s *Server) respond(conn net.Conn, writeMu *sync.Mutex, resp *Response) bool {
+	writeMu.Lock()
+	defer writeMu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 	if err := writeJSONFrame(conn, resp); err != nil {
 		return false

@@ -25,7 +25,7 @@ func newTestSystem(t testing.TB, cities int) *core.System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Generate(daemonProgram, uql.Options{}); err != nil {
+	if _, err := sys.Generate(context.Background(), daemonProgram, uql.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	return sys
@@ -149,9 +149,12 @@ func TestServerEndToEnd(t *testing.T) {
 }
 
 // TestServerRequestDeadline: a request-supplied deadline is enforced
-// mid-execution and surfaces as the typed deadline error. The query is
-// forced to outlive its 1 ms budget by a table lock the test holds past
-// the deadline; once released, the scan's in-loop context polls fire.
+// mid-execution and surfaces as the typed deadline error. The statement
+// is forced to outlive its 1 ms budget by a table lock the test holds
+// past the deadline; once released, the scan's in-loop context polls
+// fire. The statement must be a mutation: SELECTs now run against MVCC
+// snapshots and never wait on locks, so only the writer path can be
+// stalled this way.
 func TestServerRequestDeadline(t *testing.T) {
 	sys := newTestSystem(t, 12)
 	_, addr := startServer(t, sys, Options{})
@@ -167,7 +170,7 @@ func TestServerRequestDeadline(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		_, err := cli.Do(context.Background(), &Request{
-			Op: OpSQL, SQL: "SELECT COUNT(*) FROM extracted", TimeoutMs: 1,
+			Op: OpSQL, SQL: "DELETE FROM extracted WHERE entity = 'nobody'", TimeoutMs: 1,
 		})
 		done <- err
 	}()
@@ -202,8 +205,9 @@ func TestServerOverloadShed(t *testing.T) {
 	sys := newTestSystem(t, 12)
 	srv, addr := startServer(t, sys, Options{MaxInFlight: 1})
 
-	// Pin the admission slot: this transaction's IX table lock blocks the
-	// client's SELECT inside the engine while it holds the only token.
+	// Pin the admission slot: this transaction's table lock blocks the
+	// client's DELETE inside the engine while it holds the only token.
+	// (A SELECT would no longer do: snapshot reads don't take locks.)
 	tx := sys.DB.Begin()
 	if _, err := tx.Insert(core.TableName, uql.StoreRow(uql.Row{
 		Entity: "Blocktown", Attribute: "temperature", Qualifier: "July", Value: "1", Conf: 1,
@@ -215,7 +219,7 @@ func TestServerOverloadShed(t *testing.T) {
 	blockedDone := make(chan error, 1)
 	go func() {
 		_, err := blocked.Do(context.Background(), &Request{
-			Op: OpSQL, SQL: "SELECT COUNT(*) FROM extracted", TimeoutMs: 30_000,
+			Op: OpSQL, SQL: "DELETE FROM extracted WHERE entity = 'nobody'", TimeoutMs: 30_000,
 		})
 		blockedDone <- err
 	}()
