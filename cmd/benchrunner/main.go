@@ -69,6 +69,10 @@ func runPerf(outPath, comparePath string, tolerance float64) error {
 		fmt.Printf("mixed-read scaling (8R / 1R aggregate, %d cores): %.2fx\n", ml.Cores, ml.Scaling8x)
 		fmt.Printf("mvcc read boost (snapshot / locked, 8R engine):  %.1fx\n", ml.MVCCReadBoost)
 	}
+	if ig := rep.Ingest; ig.BulkRowsPerSec > 0 {
+		fmt.Printf("bulk ingest (%d rows, %d batches): %.0f rows/sec; row-at-a-time %.0f rows/sec (%.1fx)\n",
+			ig.Rows, ig.Batches, ig.BulkRowsPerSec, ig.BaselineRowsPerSec, ig.Speedup)
+	}
 	if outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -16,6 +16,9 @@
 //	browse [facet=value...]         faceted browsing summary
 //	sweep                           run the semantic debugger
 //	stats                           print system statistics
+//	ingest [extractor]              bulk-ingest the whole corpus through the
+//	                                cluster and the COPY-style batch loader
+//	                                (default extractor: city)
 //
 // Flags:
 //
@@ -71,7 +74,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	rest := fs.Args()
 	if len(rest) == 0 {
 		fs.Usage()
-		return fmt.Errorf("missing command (generate|search|ask|sql|browse|sweep|stats)")
+		return fmt.Errorf("missing command (generate|search|ask|sql|browse|sweep|stats|ingest)")
 	}
 
 	ctx := context.Background()
@@ -239,6 +242,20 @@ func run(args []string, out io.Writer) (retErr error) {
 		for _, line := range sys.Stats.Snapshot() {
 			fmt.Fprintln(out, line)
 		}
+		return nil
+
+	case "ingest":
+		extractor := "city"
+		if len(cmdArgs) > 0 {
+			extractor = cmdArgs[0]
+		}
+		rep, err := sys.BulkIngest(ctx, extractor, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ingested %d rows from %d docs in %d batches (%d partitions, %d workers, deferred-index=%v)\n",
+			rep.Rows, rep.Docs, rep.Batches, rep.Partitions, rep.Workers, rep.Deferred)
+		fmt.Fprintf(out, "throughput: %.0f rows/sec\n", rep.RowsPerSec())
 		return nil
 	}
 	return fmt.Errorf("unknown command %q", cmd)

@@ -463,4 +463,62 @@
 // (scheduling, not locking, is the remaining ceiling there), and the
 // engine-level comparison — 8 snapshot readers vs the old locking read
 // path under the same churn — lands around 40x.
+//
+// # Parallel bulk ingest: cluster fan-out into a COPY-style batch load (PR8)
+//
+// Generation at corpus scale previously paid the row-at-a-time price:
+// per-row WAL records, per-row lock traffic, and O(log n) index inserts.
+// PR8 adds System.BulkIngest (internal/core/bulkingest.go): extraction
+// fans out over the MapReduce cluster — one map task per document,
+// shuffled by entity so each reduce partition delivers entity-contiguous
+// runs — and the extracted rows load through a COPY-style batch path in
+// the engine (internal/rdbms/bulkload.go).
+//
+// Batch WAL record format. Two record kinds, LogBatchInsert and
+// LogBatchDelete, carry a whole chunk in one record: a row count, then
+// per row the 6-byte RID (page u32 | slot u16, little-endian) and the
+// length-prefixed encoded tuple. A chunk of up to 32 freshly allocated
+// heap pages is filled while the pages stay PINNED and UNLINKED — no
+// reader can reach bytes outside the heap chain, and a pinned page
+// cannot be flushed before its batch record exists — then one
+// LogBatchInsert is appended, the pages are stamped with the batch LSN,
+// unpinned, and linked. Each chunk commits as its own transaction
+// (group-commit flushed), so a load is a sequence of durable
+// all-or-nothing batches. Recovery normalizes batch records into per-row
+// records stamped with the batch LSN (expandBatchRecords), so the
+// gated-redo/undo machinery applies unchanged — with one addition: rows
+// of a batch share an LSN, so the redo gate's decision for a page is
+// carried across the batch's sibling rows instead of being re-derived
+// from the now-stamped page LSN. A LogBatchDelete with before-images is
+// the compensation a failed chunk logs before rolling its rows back.
+//
+// Atomic visibility. Before a chunk links, its rows register in the
+// version store in one lock acquisition (noteBatch) with a dead base
+// version; publication appends HEAP-RESIDENT versions (nil tuple — "the
+// heap bytes, unchanged since the batch LSN"), so the store retains no
+// copy of the loaded rows and a million-row load keeps O(1) version
+// memory. A later writer materializes the version from its pre-image
+// before first touching the row (noteWrite). Snapshots therefore see
+// each batch atomically: invisible below its commit LSN, whole at or
+// above it — proven by a mid-load snapshot oracle and a crash suite that
+// kills the pipeline at every mutating I/O.
+//
+// Index build and fence. When every index of the target table is empty
+// at BeginBulkLoad, index maintenance is deferred: the load accumulates
+// (key, rid) runs, Commit sorts them once and feeds newBTreeFromSorted
+// (the PR4 bottom-up builder), and the result swaps in under the index
+// latch. Snap readers compensate the not-yet-built indexes through the
+// version chains, which the loader's own snapshot pin keeps alive.
+// Non-empty indexes are maintained incrementally per chunk. The per-batch
+// content-hash delta folds once per chunk (O(1) warm-start verification
+// holds), and Commit ends with a checkpoint fence. Also in PR8: the
+// precise version-chain retention sweep gained a size trigger
+// (sweepTriggerVersions) with geometric re-arm, bounding hot-chain growth
+// between checkpoints; cmd/unidb grew an `ingest` subcommand.
+//
+// The headline measurement (perfbench/ingestload.go, BENCH_PR8.json): a
+// 1M-row load on the extracted-table schema with both indexes and the
+// content hash enabled, versus the row-at-a-time durable path — ~20x the
+// rows/sec on the reference runner, gated in CI alongside the other
+// trajectory points.
 package repro

@@ -1,0 +1,148 @@
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/rdbms"
+	"repro/internal/uql"
+)
+
+// The PR8 headline measurement: COPY-style batched bulk load versus the
+// row-at-a-time durable path, on the extracted-table schema with both
+// indexes and the content hash enabled — the exact shape System.BulkIngest
+// loads through. The bulk side streams ingestRows rows (1M in the
+// committed trajectory point) through one BulkLoader in appendChunk-sized
+// slices, paying one logged batch record and one group-commit flush per
+// chunk plus a deferred sorted index build at the fence. The baseline
+// commits one row per transaction — the per-row WAL record + fsync price
+// ExtractPending's incremental materialization pays — over enough rows to
+// get a stable per-row cost. The ISSUE bar is bulk ≥ 10x baseline rows/sec.
+const (
+	ingestRows         = 1_000_000
+	ingestBaselineRows = 2_000
+	ingestSliceRows    = 50_000
+)
+
+// IngestLoad is the recorded bulk-ingest measurement.
+type IngestLoad struct {
+	Rows               int     `json:"rows"`
+	Batches            int     `json:"batches"`
+	BulkRowsPerSec     float64 `json:"bulk_rows_per_sec"`
+	BaselineRows       int     `json:"baseline_rows"`
+	BaselineRowsPerSec float64 `json:"baseline_rows_per_sec"`
+	// Speedup is BulkRowsPerSec / BaselineRowsPerSec (the ≥10x bar).
+	Speedup float64 `json:"speedup"`
+}
+
+// ingestDB opens a fresh on-disk database shaped like the extracted
+// table: store schema, indexes on entity and attribute, content hash on
+// the identity columns.
+func ingestDB(dir string) (*rdbms.DB, error) {
+	db, err := rdbms.OpenDir(dir, rdbms.Options{BufferPages: 2048})
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable(uql.StoreSchema("extracted")); err != nil {
+		db.Close()
+		return nil, err
+	}
+	for _, col := range []string{"entity", "attribute"} {
+		if err := db.CreateIndex("extracted", col); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if err := db.EnableContentHash("extracted", []string{"entity", "attribute", "qualifier"}); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// ingestTuple synthesizes row i of the corpus: entity-contiguous runs of
+// eight attributes each, the shape the entity-keyed shuffle hands the
+// loader.
+func ingestTuple(i int) rdbms.Tuple {
+	return uql.StoreRow(uql.Row{
+		Entity:    fmt.Sprintf("entity-%07d", i/8),
+		Attribute: fmt.Sprintf("attr-%d", i%8),
+		Qualifier: "bench",
+		Value:     fmt.Sprintf("%d", i%997),
+		Conf:      0.9,
+	})
+}
+
+// MeasureBulkIngest times the batched bulk load of rows synthetic rows
+// and the row-at-a-time baseline on identical fresh databases.
+func MeasureBulkIngest(rows int) (IngestLoad, error) {
+	load := IngestLoad{Rows: rows, BaselineRows: ingestBaselineRows}
+
+	dir, err := os.MkdirTemp("", "perfbench-ingest-*")
+	if err != nil {
+		return load, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := ingestDB(dir)
+	if err != nil {
+		return load, err
+	}
+	start := time.Now()
+	bl, err := db.BeginBulkLoad("extracted")
+	if err != nil {
+		db.Close()
+		return load, err
+	}
+	slice := make([]rdbms.Tuple, 0, ingestSliceRows)
+	for i := 0; i < rows; i++ {
+		slice = append(slice, ingestTuple(i))
+		if len(slice) == ingestSliceRows || i == rows-1 {
+			if err := bl.Append(context.Background(), slice); err != nil {
+				bl.Abort()
+				db.Close()
+				return load, err
+			}
+			slice = slice[:0]
+		}
+	}
+	stats, err := bl.Commit(context.Background())
+	if err != nil {
+		db.Close()
+		return load, err
+	}
+	elapsed := time.Since(start)
+	if err := db.Close(); err != nil {
+		return load, err
+	}
+	load.Batches = stats.Batches
+	load.BulkRowsPerSec = float64(stats.Rows) / elapsed.Seconds()
+
+	baseDir, err := os.MkdirTemp("", "perfbench-ingest-base-*")
+	if err != nil {
+		return load, err
+	}
+	defer os.RemoveAll(baseDir)
+	base, err := ingestDB(baseDir)
+	if err != nil {
+		return load, err
+	}
+	defer base.Close()
+	start = time.Now()
+	for i := 0; i < ingestBaselineRows; i++ {
+		tx := base.Begin()
+		if _, err := tx.Insert("extracted", ingestTuple(i)); err != nil {
+			tx.Abort()
+			return load, err
+		}
+		if err := tx.Commit(); err != nil {
+			return load, err
+		}
+	}
+	load.BaselineRowsPerSec = float64(ingestBaselineRows) / time.Since(start).Seconds()
+	if load.BaselineRowsPerSec > 0 {
+		load.Speedup = load.BulkRowsPerSec / load.BaselineRowsPerSec
+	}
+	return load, nil
+}

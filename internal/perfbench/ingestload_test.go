@@ -1,0 +1,26 @@
+package perfbench
+
+import "testing"
+
+// TestMeasureBulkIngestSmall exercises the measurement harness at a
+// reduced row count (the committed trajectory point runs ingestRows=1M
+// via benchrunner): both sides must produce throughput numbers and the
+// bulk side must span multiple batches.
+func TestMeasureBulkIngestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durable per-row baseline is slow in -short")
+	}
+	load, err := MeasureBulkIngest(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Rows != 20000 {
+		t.Fatalf("rows %d, want 20000", load.Rows)
+	}
+	if load.Batches < 2 {
+		t.Fatalf("only %d batch(es): chunking did not engage", load.Batches)
+	}
+	if load.BulkRowsPerSec <= 0 || load.BaselineRowsPerSec <= 0 || load.Speedup <= 0 {
+		t.Fatalf("degenerate measurement: %+v", load)
+	}
+}

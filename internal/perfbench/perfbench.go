@@ -653,6 +653,16 @@ type Report struct {
 	// MVCC/MixedRead1R2W and MVCC/MixedRead8R2W (ns per read op) so the
 	// -compare gate tracks reader-path regressions.
 	MixedLoad MixedLoad `json:"mixed_load"`
+	// Ingest is the PR8 headline: the 1M-row COPY-style bulk load (one
+	// batch WAL record per chunk, deferred sorted index build, checkpoint
+	// fence) versus the row-at-a-time durable commit path, as rows/sec on
+	// the extracted-table schema. Both sides land in Results as
+	// Ingest/BulkLoad1M and Ingest/RowAtATime (ns per row) so the
+	// -compare gate tracks load-path regressions.
+	Ingest IngestLoad `json:"ingest"`
+	// BulkIngestSpeedup is Ingest.Speedup (bulk over row-at-a-time
+	// rows/sec; PR8's ≥10x acceptance bar).
+	BulkIngestSpeedup float64 `json:"bulk_ingest_speedup"`
 }
 
 // RunAll executes every micro-benchmark via testing.Benchmark and
@@ -677,7 +687,7 @@ func RunAll() Report {
 		{"Durability/DiskReopen", DiskReopen},
 		{"Durability/DiskReopenIndexed", DiskReopenIndexed},
 	}
-	rep := Report{PR: 7, Suite: "mvcc"}
+	rep := Report{PR: 8, Suite: "bulk-ingest"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, Result{
@@ -719,6 +729,22 @@ func RunAll() Report {
 			}
 		}
 	}
+	ingest, err := MeasureBulkIngest(ingestRows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: bulk ingest measurement failed:", err)
+	} else {
+		rep.Ingest = ingest
+		// Gate both sides as ns per loaded row (monotone in a throughput
+		// drop); the speedup itself is recorded, not gated.
+		if ingest.BulkRowsPerSec > 0 {
+			rep.Results = append(rep.Results,
+				Result{Name: "Ingest/BulkLoad1M", NsPerOp: 1e9 / ingest.BulkRowsPerSec})
+		}
+		if ingest.BaselineRowsPerSec > 0 {
+			rep.Results = append(rep.Results,
+				Result{Name: "Ingest/RowAtATime", NsPerOp: 1e9 / ingest.BaselineRowsPerSec})
+		}
+	}
 	rep.FillSpeedups()
 	return rep
 }
@@ -744,6 +770,7 @@ func (rep *Report) FillSpeedups() {
 	rep.GroupCommitSpeedup = ratio("Durability/DiskCommit", "Durability/DiskCommitParallel")
 	rep.IndexedReopenSpeedup = ratio("Durability/DiskReopen", "Durability/DiskReopenIndexed")
 	rep.CheckpointCommitOverhead = ratio("Durability/DiskCommitDuringCheckpoint", "Durability/DiskCommit")
+	rep.BulkIngestSpeedup = ratio("Ingest/RowAtATime", "Ingest/BulkLoad1M")
 }
 
 // Regression is one tracked bench that slowed past the gate tolerance.

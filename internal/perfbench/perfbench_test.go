@@ -24,6 +24,8 @@ func sampleReport() Report {
 			{Name: "Durability/DiskCommitParallel", NsPerOp: 25000, AllocsPerOp: 30, BytesPerOp: 1500},
 			{Name: "Durability/DiskReopen", NsPerOp: 20000000, AllocsPerOp: 100000, BytesPerOp: 1 << 24},
 			{Name: "Durability/DiskReopenIndexed", NsPerOp: 2000000, AllocsPerOp: 10000, BytesPerOp: 1 << 21},
+			{Name: "Ingest/BulkLoad1M", NsPerOp: 2000},
+			{Name: "Ingest/RowAtATime", NsPerOp: 30000},
 		},
 	}
 }
@@ -50,6 +52,9 @@ func TestFillSpeedups(t *testing.T) {
 	if !approx(rep.IndexedReopenSpeedup, 10) {
 		t.Fatalf("indexed-reopen speedup %v, want 10", rep.IndexedReopenSpeedup)
 	}
+	if !approx(rep.BulkIngestSpeedup, 15) {
+		t.Fatalf("bulk-ingest speedup %v, want 15", rep.BulkIngestSpeedup)
+	}
 }
 
 func TestFillSpeedupsMissingBenchesYieldZero(t *testing.T) {
@@ -59,7 +64,8 @@ func TestFillSpeedupsMissingBenchesYieldZero(t *testing.T) {
 	}}
 	rep.FillSpeedups()
 	if rep.CatalogSpeedup != 0 || rep.OrderBySpeedup != 0 || rep.IndexOrderSpeedup != 0 ||
-		rep.WarmStartSpeedup != 0 || rep.GroupCommitSpeedup != 0 || rep.IndexedReopenSpeedup != 0 {
+		rep.WarmStartSpeedup != 0 || rep.GroupCommitSpeedup != 0 || rep.IndexedReopenSpeedup != 0 ||
+		rep.BulkIngestSpeedup != 0 {
 		t.Fatalf("missing benches should give zero ratios: %+v", rep)
 	}
 }
@@ -112,7 +118,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	// The JSON field names are the stable contract with committed
 	// BENCH_PR<n>.json baselines — a rename would silently disable the
 	// CI gate for old baselines.
-	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`, `"group_commit_speedup"`, `"indexed_reopen_speedup"`, `"mixed_load"`, `"scaling_8x"`} {
+	for _, key := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`, `"catalog_speedup"`, `"warm_start_speedup"`, `"group_commit_speedup"`, `"indexed_reopen_speedup"`, `"mixed_load"`, `"scaling_8x"`, `"ingest"`, `"bulk_ingest_speedup"`} {
 		if !strings.Contains(string(buf), key) {
 			t.Fatalf("serialized report missing %s:\n%s", key, buf)
 		}

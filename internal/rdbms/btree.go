@@ -406,6 +406,23 @@ func newBTreeFromSorted(order int, keys []Value, postings [][]RID) (*BTree, erro
 	return t, nil
 }
 
+// ReplaceContents swaps t's contents for other's under t's own latch.
+// The bulk loader builds a replacement tree off to the side
+// (newBTreeFromSorted over the load's sorted runs) and installs it here:
+// readers hold t.mu through every traversal, so they see either the old
+// tree or the new one, never a torn mix — and the Table.Indexes map entry
+// itself never changes, which is what keeps lockless map readers (Snap
+// paths) safe. The mutation counter advances so the next checkpoint
+// re-serializes the chain.
+func (t *BTree) ReplaceContents(other *BTree) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root = other.root
+	t.order = other.order
+	t.size = other.size
+	t.mut++
+}
+
 // Keys returns all distinct keys in order (testing helper).
 func (t *BTree) Keys() []Value {
 	var out []Value

@@ -1,0 +1,501 @@
+package rdbms
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The bulk-load suite: functional coverage of the COPY-style batch path
+// (deferred and incremental index maintenance, snapshot atomicity), the
+// bulk-vs-incremental equivalence oracle (identical content hashes and
+// byte-identical ORDER BY streams across all three sort paths), and the
+// batch crash suite (a kill at every mutating I/O of a bulk-load
+// workload must recover to a whole-chunk prefix — all-or-nothing batch
+// visibility).
+
+func bulkRows(n int) []Tuple {
+	rows := make([]Tuple, n)
+	for i := range rows {
+		rows[i] = Tuple{
+			NewInt(int64(i)),
+			NewString(fmt.Sprintf("grp-%d", i%7)),
+			NewString(strings.Repeat("v", 40+i%60) + fmt.Sprintf("-%d", i)),
+		}
+	}
+	return rows
+}
+
+func mustCreateBulk(t *testing.T, db *DB) {
+	t.Helper()
+	if err := db.CreateTable(TableSchema{Name: "bulk", Columns: []ColumnDef{
+		{Name: "id", Type: TInt},
+		{Name: "grp", Type: TString},
+		{Name: "val", Type: TString},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadBatchBasic(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateBulk(t, db)
+	if err := db.CreateIndex("bulk", "id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableContentHash("bulk", []string{"id", "grp", "val"}); err != nil {
+		t.Fatal(err)
+	}
+	rows := bulkRows(1000)
+	stats, err := db.BulkLoad(context.Background(), "bulk", bulkRows(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != 1000 {
+		t.Fatalf("stats.Rows = %d, want 1000", stats.Rows)
+	}
+	if stats.Batches < 2 {
+		t.Fatalf("expected multiple batches for 1000 rows, got %d", stats.Batches)
+	}
+	if !stats.Deferred {
+		t.Fatalf("empty index should defer the index build")
+	}
+
+	// Every row present exactly once, readable through a transaction.
+	tx := db.Begin()
+	seen := map[int64]bool{}
+	if err := tx.Scan("bulk", func(_ RID, tup Tuple) bool {
+		if seen[tup[0].I] {
+			t.Fatalf("duplicate id %d", tup[0].I)
+		}
+		seen[tup[0].I] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if len(seen) != 1000 {
+		t.Fatalf("scanned %d rows, want 1000", len(seen))
+	}
+
+	// The deferred-built index agrees with the heap.
+	idx := db.Table("bulk").Indexes["id"]
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1000 {
+		t.Fatalf("index has %d entries, want 1000", idx.Len())
+	}
+	rs := mustExec(t, db, "SELECT val FROM bulk WHERE id = 417")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != rows[417][2].S {
+		t.Fatalf("index lookup after bulk load: %v", rs.Rows)
+	}
+
+	// The folded content hash equals a full recompute.
+	var want uint64
+	tbl := db.Table("bulk")
+	if err := tbl.Heap.Scan(func(_ RID, tup Tuple) bool {
+		want += contentHashCols(tup, tbl.hashCols)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := db.ContentHash("bulk"); !ok || got != want {
+		t.Fatalf("content hash %x (ok=%v), recompute %x", got, ok, want)
+	}
+
+	// The fence checkpointed: the load's WAL growth is truncated and the
+	// version store drained.
+	if n := db.vs.Chains(); n != 0 {
+		t.Fatalf("%d version chains left after fenced bulk load", n)
+	}
+}
+
+// TestBulkLoadBatchIncrementalIndexes loads into a table that already
+// has rows (non-empty index), exercising the per-chunk incremental
+// maintenance mode.
+func TestBulkLoadBatchIncrementalIndexes(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateBulk(t, db)
+	if err := db.CreateIndex("bulk", "id"); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.Insert("bulk", Tuple{NewInt(-1), NewString("pre"), NewString("existing")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := db.BulkLoad(context.Background(), "bulk", bulkRows(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deferred {
+		t.Fatalf("non-empty index must force incremental maintenance")
+	}
+	idx := db.Table("bulk").Indexes["id"]
+	if idx.Len() != 301 {
+		t.Fatalf("index has %d entries, want 301", idx.Len())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustExec(t, db, "SELECT val FROM bulk WHERE id = -1"); len(got.Rows) != 1 || got.Rows[0][0].S != "existing" {
+		t.Fatalf("pre-existing row lost: %v", got.Rows)
+	}
+}
+
+// TestBulkLoadBatchSnapshotAtomicity pins MVCC batch publication: a
+// snapshot opened before a chunk commits never sees any of its rows, a
+// snapshot opened after sees all of them, and mid-load snapshots observe
+// only whole-chunk prefixes.
+func TestBulkLoadBatchSnapshotAtomicity(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateBulk(t, db)
+
+	before := db.BeginSnapshot()
+	defer before.Close()
+
+	bl, err := db.BeginBulkLoad("bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := bulkRows(2500)
+	var boundaries []int
+	for off := 0; off < len(rows); {
+		n, err := bl.loadChunk(rows[off:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		boundaries = append(boundaries, off)
+
+		// A snapshot opened now must see exactly the whole chunks
+		// committed so far — never part of one.
+		sn := db.BeginSnapshot()
+		count := 0
+		if err := sn.Scan("bulk", func(_ RID, _ Tuple) bool { count++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		sn.Close()
+		if count != off {
+			t.Fatalf("mid-load snapshot sees %d rows, want whole-chunk prefix %d", count, off)
+		}
+	}
+	if len(boundaries) < 3 {
+		t.Fatalf("want >=3 chunks to make the atomicity check meaningful, got %d", len(boundaries))
+	}
+	if _, err := bl.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-load snapshot still sees an empty table.
+	count := 0
+	if err := before.Scan("bulk", func(_ RID, _ Tuple) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("pre-load snapshot sees %d bulk rows", count)
+	}
+}
+
+// TestBulkLoadBatchEquivalenceOracle is the bulk-vs-incremental
+// equivalence property: the same logical content loaded through the
+// batch path and through row-at-a-time transactions must produce equal
+// content hashes and byte-identical ORDER BY result streams across all
+// three sort paths (full stable sort, bounded top-k, index-order scan).
+func TestBulkLoadBatchEquivalenceOracle(t *testing.T) {
+	build := func(bulk bool) *DB {
+		db := newTestDB(t)
+		mustCreateBulk(t, db)
+		if err := db.CreateIndex("bulk", "id"); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.EnableContentHash("bulk", []string{"id", "grp", "val"}); err != nil {
+			t.Fatal(err)
+		}
+		rows := bulkRows(600)
+		// Duplicate ids so the index-order path has tie groups, and
+		// shuffle deterministically so the loads see unsorted input.
+		for i := range rows {
+			rows[i][0] = NewInt(int64(i % 53))
+		}
+		rand.New(rand.NewSource(42)).Shuffle(len(rows), func(i, j int) {
+			rows[i], rows[j] = rows[j], rows[i]
+		})
+		if bulk {
+			if _, err := db.BulkLoad(context.Background(), "bulk", rows); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			for _, row := range rows {
+				tx := db.Begin()
+				if _, err := tx.Insert("bulk", row); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return db
+	}
+	bulkDB, rowDB := build(true), build(false)
+
+	bh, ok1 := bulkDB.ContentHash("bulk")
+	rh, ok2 := rowDB.ContentHash("bulk")
+	if !ok1 || !ok2 || bh != rh {
+		t.Fatalf("content hashes diverge: bulk %x (ok=%v) vs row %x (ok=%v)", bh, ok1, rh, ok2)
+	}
+
+	queries := []struct {
+		sql      string
+		wantPlan string // sort path the query must take
+	}{
+		{"SELECT id, grp, val FROM bulk ORDER BY val, id", "seq scan"},                // full stable sort
+		{"SELECT id, grp, val FROM bulk ORDER BY val, id LIMIT 37 OFFSET 5", "top-k"}, // bounded heap
+		{"SELECT id, grp, val FROM bulk ORDER BY id LIMIT 80", "index"},               // index-order scan
+	}
+	for _, q := range queries {
+		brs := mustExec(t, bulkDB, q.sql)
+		rrs := mustExec(t, rowDB, q.sql)
+		if !strings.Contains(brs.Plan, q.wantPlan) {
+			t.Fatalf("%q took plan %q, want a %q path", q.sql, brs.Plan, q.wantPlan)
+		}
+		if brs.Plan != rrs.Plan {
+			t.Fatalf("%q: plan diverges bulk=%q row=%q", q.sql, brs.Plan, rrs.Plan)
+		}
+		if b, r := brs.String(), rrs.String(); b != r {
+			t.Fatalf("%q: result streams diverge\nbulk:\n%s\nrow:\n%s", q.sql, b, r)
+		}
+	}
+}
+
+// --- Batch crash suite -------------------------------------------------
+
+// bulkFaultRun records one bulk-load workload execution under fault
+// injection: which whole-chunk row counts were durably acknowledged, and
+// where a crash landed.
+type bulkFaultRun struct {
+	crashed    bool
+	crashOp    int64
+	stopErr    error
+	closed     bool
+	acked      int   // rows in durably acknowledged chunks
+	boundaries []int // cumulative row count after each chunk commit
+}
+
+// runBulkFaultWorkload creates the table, index, and hash spec, then
+// drives the bulk load chunk by chunk (so the oracle learns the durable
+// whole-chunk boundaries) and fences with Commit. A scheduled crash is
+// recovered and recorded.
+func runBulkFaultWorkload(pageDev, walDev Device, inj *FaultInjector, rows []Tuple) (res bulkFaultRun) {
+	defer func() {
+		if r := recover(); r != nil {
+			cs, ok := r.(CrashSignal)
+			if !ok {
+				panic(r)
+			}
+			res.crashed = true
+			res.crashOp = cs.Op
+		}
+	}()
+	pager, err := NewFaultPager(pageDev, inj)
+	if err != nil {
+		res.stopErr = err
+		return
+	}
+	wal, err := NewFaultWAL(walDev, inj)
+	if err != nil {
+		res.stopErr = err
+		return
+	}
+	db, err := Open(pager, wal, Options{BufferPages: 16})
+	if err != nil {
+		res.stopErr = err
+		return
+	}
+	if err := db.CreateTable(TableSchema{Name: "bulk", Columns: []ColumnDef{
+		{Name: "id", Type: TInt},
+		{Name: "grp", Type: TString},
+		{Name: "val", Type: TString},
+	}}); err != nil {
+		res.stopErr = err
+		return
+	}
+	if err := db.CreateIndex("bulk", "id"); err != nil {
+		res.stopErr = err
+		return
+	}
+	if err := db.EnableContentHash("bulk", []string{"id", "grp", "val"}); err != nil {
+		res.stopErr = err
+		return
+	}
+	bl, err := db.BeginBulkLoad("bulk")
+	if err != nil {
+		res.stopErr = err
+		return
+	}
+	work := append([]Tuple(nil), rows...)
+	for len(work) > 0 {
+		n, err := bl.loadChunk(work)
+		if err != nil {
+			res.stopErr = err
+			return
+		}
+		res.acked += n
+		res.boundaries = append(res.boundaries, res.acked)
+		work = work[n:]
+	}
+	if _, err := bl.Commit(context.Background()); err != nil {
+		res.stopErr = err
+		return
+	}
+	if err := db.Close(); err != nil {
+		res.stopErr = err
+		return
+	}
+	res.closed = true
+	return
+}
+
+// verifyBulkFaultRun reopens cleanly and asserts all-or-nothing batch
+// visibility: the recovered rows must be exactly the ids 0..n-1 for an n
+// that is a whole-chunk boundary, covering at least every acknowledged
+// chunk; derived state (index, content hash) must agree with the heap.
+func verifyBulkFaultRun(t *testing.T, res bulkFaultRun, wantBoundaries []int, pageDev, walDev Device) {
+	t.Helper()
+	db, pager := reopenClean(t, pageDev, walDev)
+	defer db.Close()
+	if err := pager.VerifyChecksums(); err != nil {
+		t.Fatalf("page checksums after recovery: %v", err)
+	}
+	tbl := db.Table("bulk")
+	if tbl == nil {
+		if res.acked != 0 {
+			t.Fatalf("table lost but %d rows were acknowledged", res.acked)
+		}
+		return
+	}
+	seen := map[int64]bool{}
+	tx := db.Begin()
+	if err := tx.Scan("bulk", func(_ RID, tup Tuple) bool {
+		if seen[tup[0].I] {
+			t.Fatalf("duplicate id %d after recovery", tup[0].I)
+		}
+		seen[tup[0].I] = true
+		return true
+	}); err != nil {
+		t.Fatalf("scan after recovery: %v", err)
+	}
+	tx.Commit()
+	n := len(seen)
+	for i := 0; i < n; i++ {
+		if !seen[int64(i)] {
+			t.Fatalf("recovered %d rows but id %d missing: not a load-order prefix", n, i)
+		}
+	}
+	if n < res.acked {
+		t.Fatalf("recovered %d rows < %d acknowledged (durability lost)", n, res.acked)
+	}
+	whole := n == 0
+	for _, b := range wantBoundaries {
+		if n == b {
+			whole = true
+			break
+		}
+	}
+	if !whole {
+		t.Fatalf("recovered %d rows, not a whole-chunk boundary %v: batch visibility was not all-or-nothing", n, wantBoundaries)
+	}
+
+	// Derived state: index (if its creation was durable) and hash agree
+	// with the heap.
+	if idx := tbl.Indexes["id"]; idx != nil {
+		if err := idx.CheckInvariants(); err != nil {
+			t.Fatalf("index invariants after recovery: %v", err)
+		}
+		if idx.Len() != n {
+			t.Fatalf("index has %d entries for %d heap rows", idx.Len(), n)
+		}
+		rows := 0
+		var wantHash uint64
+		if err := tbl.Heap.Scan(func(rid RID, tup Tuple) bool {
+			rows++
+			if tbl.hashCols != nil {
+				wantHash += contentHashCols(tup, tbl.hashCols)
+			}
+			got := idx.Lookup(tup[0])
+			found := false
+			for _, r := range got {
+				if r == rid {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("heap row id=%d at %v missing from index", tup[0].I, rid)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := db.ContentHash("bulk"); ok && got != wantHash {
+			t.Fatalf("content hash after recovery %x != recomputed %x", got, wantHash)
+		}
+	}
+}
+
+// TestBulkLoadBatchCrashSuite kills the bulk-load workload at every
+// mutating I/O — which lands kills inside the batch WAL record flush,
+// inside the durable index build the fence writes, and before/inside the
+// checkpoint fence — and asserts whole-chunk (all-or-nothing) visibility
+// on every reopen.
+func TestBulkLoadBatchCrashSuite(t *testing.T) {
+	rows := bulkRows(400)
+
+	// Fault-free dry run: learn the op count and chunk boundaries.
+	dryInj := NewFaultInjector()
+	dryPage, dryWAL := NewMemDevice(), NewMemDevice()
+	dry := runBulkFaultWorkload(dryPage, dryWAL, dryInj, rows)
+	if dry.crashed || dry.stopErr != nil || !dry.closed {
+		t.Fatalf("dry run did not complete: crashed=%v err=%v", dry.crashed, dry.stopErr)
+	}
+	if len(dry.boundaries) < 3 {
+		t.Fatalf("want >=3 chunks, got boundaries %v", dry.boundaries)
+	}
+	verifyBulkFaultRun(t, dry, dry.boundaries, dryPage, dryWAL)
+	total := dryInj.Ops()
+	if total < 20 {
+		t.Fatalf("suspiciously few injection points: %d", total)
+	}
+
+	step := int64(1)
+	if testing.Short() {
+		step = 5
+	}
+	kindRNG := rand.New(rand.NewSource(7919))
+	for op := int64(0); op < total; op += step {
+		kind := FaultCrash
+		if kindRNG.Intn(3) == 0 {
+			kind = FaultTornWrite
+		}
+		op := op
+		t.Run(fmt.Sprintf("op=%d", op), func(t *testing.T) {
+			inj := NewFaultInjector()
+			inj.Schedule(op, kind)
+			pageDev, walDev := NewMemDevice(), NewMemDevice()
+			res := runBulkFaultWorkload(pageDev, walDev, inj, rows)
+			if res.stopErr != nil {
+				t.Fatalf("op %d: unexpected workload error: %v", op, res.stopErr)
+			}
+			crashRNG := rand.New(rand.NewSource(op<<20 ^ 0x5bd1))
+			pageDev.Crash(crashRNG)
+			walDev.Crash(crashRNG)
+			verifyBulkFaultRun(t, res, dry.boundaries, pageDev, walDev)
+		})
+	}
+}

@@ -709,6 +709,13 @@ func (db *DB) recover() error {
 	if err != nil {
 		return err
 	}
+	// Normalize bulk-load batch records into the per-row records they
+	// stand for (stamped with the batch LSN) so the redo/undo/outcome
+	// walks below need no batch awareness.
+	records, err = expandBatchRecords(records)
+	if err != nil {
+		return err
+	}
 	// Per-table tail facts: whether any record touches the table, and the
 	// smallest record LSN (the defensive consistency check below).
 	touchedMin := map[string]LSN{}
@@ -799,6 +806,21 @@ func (db *DB) recover() error {
 	// incarnation of the name and is skipped everywhere (redo, undo,
 	// outcome deltas): replaying it would write ghost rows into — and
 	// adopt the old incarnation's pages into — the recreated table.
+	// Rows expanded from one batch record share its LSN, and the first
+	// row replayed onto a page stamps the page with it — so the page-LSN
+	// gate alone would skip every sibling row. The gate decision made for
+	// a page at a given LSN therefore carries to the consecutive records
+	// with the same (table, page, LSN): siblings of an applied first row
+	// are forced in, siblings of a skipped one are skipped (the flush
+	// that stamped the page held the whole batch, since batch pages stay
+	// pinned until every row is placed).
+	type redoPageKey struct {
+		table string
+		page  PageID
+		lsn   LSN
+	}
+	var lastKey redoPageKey
+	var lastApplied bool
 	for _, r := range records {
 		if r.Kind != LogInsert && r.Kind != LogDelete && r.Kind != LogUpdate {
 			continue
@@ -814,9 +836,20 @@ func (db *DB) recover() error {
 		if r.Kind != LogDelete {
 			sc = SlotContent{Live: true, Tup: r.After}
 		}
-		if _, err := t.Heap.RedoSlot(r.Row, sc, r.LSN); err != nil {
+		key := redoPageKey{table: r.Table, page: r.Row.Page, lsn: r.LSN}
+		if key == lastKey {
+			if lastApplied {
+				if err := t.Heap.ForceSlot(r.Row, sc, r.LSN); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		applied, err := t.Heap.RedoSlot(r.Row, sc, r.LSN)
+		if err != nil {
 			return err
 		}
+		lastKey, lastApplied = key, applied
 	}
 
 	// Undo: roll loser transactions back, newest record first. Undo

@@ -49,8 +49,25 @@ import (
 //
 // and a whole chain is dropped once it has no uncommitted writer and its
 // newest version is at or below the horizon (heap bytes equal that
-// version from then on). Sweeps run at publish, snapshot release, abort,
-// and checkpoint; DropTable discards the table's chains outright.
+// version from then on).
+//
+// Retention within a surviving chain is precise (PR8): a version is kept
+// only if some ACTIVE snapshot resolves to it, or a FUTURE snapshot
+// could — i.e. its validity window [from, nextFrom) contains an active
+// snapshot LSN or reaches past the future floor min(pending)-1 (else
+// maxCommit). The previous policy kept everything newer than the global
+// horizon, so one old open snapshot made a hot row's chain grow with
+// every commit; precise retention bounds it at O(active snapshots).
+//
+// Sweep scheduling: full passes run at snapshot release, abort, and
+// checkpoint (the moments the horizon can jump), and commit-time
+// publication prunes only the chains it touched. A size trigger backstops
+// hot write workloads between checkpoints: once the store holds
+// sweepTriggerVersions versions a full pass runs, and the trigger then
+// doubles off the surviving population so repeated sweeps that cannot
+// reclaim anything (e.g. a bulk load pinning its own snapshot) amortize
+// to O(final size) total work. DropTable discards the table's chains
+// outright.
 
 // version is one committed state of a row, valid from commit LSN `from`
 // until the next version's `from`. from == 0 is the base pre-image.
@@ -81,13 +98,23 @@ type VersionStore struct {
 	maxCommit LSN
 	// snaps refcounts active snapshot LSNs.
 	snaps map[LSN]int
+	// versions counts versions across all chains (the size trigger's
+	// input); hiWater is the population at which the next size-triggered
+	// full sweep fires.
+	versions int
+	hiWater  int
 }
+
+// sweepTriggerVersions is the version population that arms the
+// size-triggered full sweep (and its floor after each pass).
+const sweepTriggerVersions = 4096
 
 func newVersionStore() *VersionStore {
 	return &VersionStore{
 		tables:  make(map[string]map[RID]*versionChain),
 		pending: make(map[LSN]struct{}),
 		snaps:   make(map[LSN]int),
+		hiWater: sweepTriggerVersions,
 	}
 }
 
@@ -106,8 +133,41 @@ func (vs *VersionStore) noteWrite(table string, rid RID, before Tuple, live bool
 	if c == nil {
 		c = &versionChain{versions: []version{{from: 0, live: live, tup: before.Clone()}}}
 		byRID[rid] = c
+		vs.versions++
+	} else if n := len(c.versions); n > 0 {
+		// A heap-resident batch version (nil tup) means "the heap bytes,
+		// unchanged since the batch commit". This writer is about to change
+		// them, so materialize the version from its pre-image first.
+		if v := &c.versions[n-1]; v.live && v.tup == nil {
+			v.tup = before.Clone()
+		}
 	}
 	c.writers++
+}
+
+// noteBatch takes writer holds on a chunk of freshly appended rows in one
+// lock acquisition. Every row is new, so each chain's base version is "no
+// row" — the state any snapshot pinned before the batch commit must see.
+// The bulk loader calls it while the chunk's pages are still pinned and
+// unlinked, so the chains exist before any reader can reach the bytes
+// (the same ordering contract as noteWrite).
+func (vs *VersionStore) noteBatch(table string, rids []RID) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	byRID := vs.tables[table]
+	if byRID == nil {
+		byRID = make(map[RID]*versionChain, len(rids))
+		vs.tables[table] = byRID
+	}
+	for _, rid := range rids {
+		c := byRID[rid]
+		if c == nil {
+			c = &versionChain{versions: []version{{from: 0, live: false}}}
+			byRID[rid] = c
+			vs.versions++
+		}
+		c.writers++
+	}
 }
 
 // beginCommit registers lsn as an in-flight commit. The caller must
@@ -155,6 +215,7 @@ func (vs *VersionStore) publish(lsn LSN, finals []finalState, touched []chainRef
 			tup = f.tup.Clone()
 		}
 		c.versions = append(c.versions, version{from: lsn, live: f.live, tup: tup})
+		vs.versions++
 	}
 	for _, r := range touched {
 		if c := vs.chainLocked(r.table, r.rid); c != nil {
@@ -165,7 +226,46 @@ func (vs *VersionStore) publish(lsn LSN, finals []finalState, touched []chainRef
 	if lsn > vs.maxCommit {
 		vs.maxCommit = lsn
 	}
-	vs.sweepLocked()
+	// A commit can only change the collectability of its own chains (plus,
+	// via the advanced horizon, chains a full pass will catch later), so
+	// prune just those and let the size trigger backstop the rest — the
+	// full pass is O(all chains) and must not sit on the commit path.
+	sc := vs.sweepCtxLocked()
+	for _, r := range touched {
+		vs.sweepChainLocked(sc, r.table, r.rid)
+	}
+	vs.maybeSweepLocked()
+}
+
+// publishBatch appends the committed version of each freshly loaded row
+// at lsn, releases the writer holds, and marks lsn published. The
+// versions are heap-resident (nil tup): the heap bytes ARE the batch
+// content and stay that way until some later writer materializes the
+// version via noteWrite, so the store retains no copy of the loaded
+// rows — for a million-row load that is the difference between O(1) and
+// O(load) live memory. The batch's own chains are left unpruned: the
+// loader holds a snapshot pin below lsn for the life of the load
+// (readers resolve the not-yet-indexed rows through the chains), so they
+// are not collectable anyway, and the size-triggered sweep bounds the
+// interim population.
+func (vs *VersionStore) publishBatch(lsn LSN, table string, rids []RID) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	byRID := vs.tables[table]
+	for _, rid := range rids {
+		c := byRID[rid]
+		if c == nil {
+			continue // table dropped mid-load (excluded by the table lock; defensive)
+		}
+		c.versions = append(c.versions, version{from: lsn, live: true})
+		c.writers--
+		vs.versions++
+	}
+	delete(vs.pending, lsn)
+	if lsn > vs.maxCommit {
+		vs.maxCommit = lsn
+	}
+	vs.maybeSweepLocked()
 }
 
 // release drops the writer holds of an aborted (or flush-failed, then
@@ -236,31 +336,121 @@ func (vs *VersionStore) horizonLocked() LSN {
 	return h
 }
 
-// sweepLocked prunes versions no snapshot can pin and drops chains whose
-// newest version has become indistinguishable from the heap.
+// sweepCtx is one sweep pass's frozen view of the pins that decide
+// retention: h is the classic horizon (chain-drop bound), fut the floor
+// every FUTURE snapshot will pin at or above, snaps the active snapshot
+// LSNs in ascending order.
+type sweepCtx struct {
+	h     LSN
+	fut   LSN
+	snaps []LSN
+}
+
+func (vs *VersionStore) sweepCtxLocked() sweepCtx {
+	fut := vs.maxCommit
+	for lsn := range vs.pending {
+		if lsn-1 < fut {
+			fut = lsn - 1
+		}
+	}
+	sc := sweepCtx{fut: fut, h: fut}
+	if len(vs.snaps) > 0 {
+		sc.snaps = make([]LSN, 0, len(vs.snaps))
+		for s := range vs.snaps {
+			sc.snaps = append(sc.snaps, s)
+			if s < sc.h {
+				sc.h = s
+			}
+		}
+		sort.Slice(sc.snaps, func(i, j int) bool { return sc.snaps[i] < sc.snaps[j] })
+	}
+	return sc
+}
+
+// pruneChainLocked drops every version of c that no pin can resolve to.
+// Version i's validity window is [from[i], from[i+1]) (the last version's
+// is open-ended); it is needed iff the window contains an active snapshot
+// LSN or reaches past fut — the floor below which no future snapshot can
+// land. Both the versions and sc.snaps are ascending, so one merge pass
+// decides every version.
+func (vs *VersionStore) pruneChainLocked(sc sweepCtx, c *versionChain) {
+	vsn := c.versions
+	if len(vsn) <= 1 {
+		return
+	}
+	out := vsn[:0]
+	j := 0
+	for i := 0; i < len(vsn); i++ {
+		needed := i+1 == len(vsn) || vsn[i+1].from > sc.fut
+		if !needed {
+			for j < len(sc.snaps) && sc.snaps[j] < vsn[i].from {
+				j++
+			}
+			needed = j < len(sc.snaps) && sc.snaps[j] < vsn[i+1].from
+		}
+		if needed {
+			out = append(out, vsn[i])
+		} else {
+			vs.versions--
+		}
+	}
+	for i := len(out); i < len(vsn); i++ {
+		vsn[i] = version{} // release dropped tuples to the GC
+	}
+	c.versions = out
+}
+
+// sweepChainLocked prunes one chain and deletes it once it has no writer
+// and its single surviving version is at or below the horizon (the heap
+// bytes equal it from then on, so readers fall through to the heap).
+func (vs *VersionStore) sweepChainLocked(sc sweepCtx, table string, rid RID) {
+	byRID := vs.tables[table]
+	if byRID == nil {
+		return
+	}
+	c := byRID[rid]
+	if c == nil {
+		return
+	}
+	vs.pruneChainLocked(sc, c)
+	if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= sc.h {
+		delete(byRID, rid)
+		vs.versions--
+		if len(byRID) == 0 {
+			delete(vs.tables, table)
+		}
+	}
+}
+
+// sweepLocked runs a full pass over every chain and re-arms the size
+// trigger at double the surviving population (floored at
+// sweepTriggerVersions), so back-to-back triggered passes over a pinned
+// population do geometric, not quadratic, total work.
 func (vs *VersionStore) sweepLocked() {
-	h := vs.horizonLocked()
+	sc := vs.sweepCtxLocked()
 	for table, byRID := range vs.tables {
 		for rid, c := range byRID {
-			// Keep the newest version at or below the horizon plus
-			// everything newer.
-			keep := 0
-			for i := len(c.versions) - 1; i >= 0; i-- {
-				if c.versions[i].from <= h {
-					keep = i
-					break
-				}
-			}
-			if keep > 0 {
-				c.versions = append(c.versions[:0], c.versions[keep:]...)
-			}
-			if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= h {
+			vs.pruneChainLocked(sc, c)
+			if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= sc.h {
 				delete(byRID, rid)
+				vs.versions--
 			}
 		}
 		if len(byRID) == 0 {
 			delete(vs.tables, table)
 		}
+	}
+	vs.hiWater = vs.versions * 2
+	if vs.hiWater < sweepTriggerVersions {
+		vs.hiWater = sweepTriggerVersions
+	}
+}
+
+// maybeSweepLocked runs the full pass only once the version population
+// crosses the size trigger — the hot-write backstop between checkpoints.
+func (vs *VersionStore) maybeSweepLocked() {
+	if vs.versions >= vs.hiWater {
+		vs.sweepLocked()
 	}
 }
 
@@ -271,9 +461,22 @@ func (vs *VersionStore) Sweep() {
 	vs.mu.Unlock()
 }
 
+// VersionCount reports the total number of versions across all chains
+// (the size trigger's input; tests assert boundedness under hot writes).
+func (vs *VersionStore) VersionCount() int {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.versions
+}
+
 // dropTable discards all chains for a dropped table.
 func (vs *VersionStore) dropTable(table string) {
 	vs.mu.Lock()
+	if byRID := vs.tables[table]; byRID != nil {
+		for _, c := range byRID {
+			vs.versions -= len(c.versions)
+		}
+	}
 	delete(vs.tables, table)
 	vs.mu.Unlock()
 }
@@ -397,9 +600,32 @@ func (sn *Snap) Get(table string, rid RID) (Tuple, bool, error) {
 func (sn *Snap) fetchRow(t *Table, table string, rid RID) (Tuple, bool, error) {
 	tup, live, err := t.Heap.GetLatched(rid)
 	if v, ok := sn.db.vs.visible(table, rid, sn.lsn); ok {
+		if v.live && v.tup == nil {
+			// Heap-resident batch version: the heap bytes are the committed
+			// batch content, unchanged since its commit LSN.
+			return tup, live, err
+		}
 		return v.tup, v.live, nil
 	}
 	return tup, live, err
+}
+
+// visibleTup resolves a chained row's visible tuple at the snapshot,
+// reading through to the heap for heap-resident batch versions. ok=false
+// means the row is not live at the snapshot.
+func (sn *Snap) visibleTup(t *Table, table string, rid RID) (Tuple, bool) {
+	v, ok := sn.db.vs.visible(table, rid, sn.lsn)
+	if !ok || !v.live {
+		return nil, false
+	}
+	if v.tup == nil {
+		tup, live, err := t.Heap.GetLatched(rid)
+		if err != nil || !live {
+			return nil, false
+		}
+		return tup, true
+	}
+	return v.tup, true
 }
 
 // Scan visits every row live at the snapshot LSN. Rows present in the
@@ -431,7 +657,11 @@ func (sn *Snap) Scan(table string, fn func(rid RID, t Tuple) bool) error {
 			if !v.live {
 				return true
 			}
-			if !fn(rid, v.tup) {
+			vt := v.tup
+			if vt == nil {
+				vt = tup // heap-resident batch version
+			}
+			if !fn(rid, vt) {
 				stopped = true
 				return false
 			}
@@ -455,8 +685,8 @@ func (sn *Snap) Scan(table string, fn func(rid RID, t Tuple) bool) error {
 		if _, ok := seen[rid]; ok {
 			continue
 		}
-		if v, ok := vs.visible(table, rid, sn.lsn); ok && v.live {
-			if !fn(rid, v.tup) {
+		if vt, ok := sn.visibleTup(t, table, rid); ok {
+			if !fn(rid, vt) {
 				return nil
 			}
 		}
@@ -496,11 +726,11 @@ func (sn *Snap) IndexLookup(table, column string, key Value) ([]RID, error) {
 		if _, ok := have[rid]; ok {
 			continue
 		}
-		v, ok := sn.db.vs.visible(table, rid, sn.lsn)
-		if !ok || !v.live {
+		vt, ok := sn.visibleTup(t, table, rid)
+		if !ok {
 			continue
 		}
-		if c, ok := Compare(v.tup[ci], key); ok && c == 0 {
+		if c, ok := Compare(vt[ci], key); ok && c == 0 {
 			have[rid] = struct{}{}
 			out = append(out, rid)
 		}
@@ -567,12 +797,12 @@ func (sn *Snap) IndexRange(table, column string, lo, hi *Value, fn func(key Valu
 		if _, ok := have[rid]; ok {
 			continue
 		}
-		v, ok := sn.db.vs.visible(table, rid, sn.lsn)
-		if !ok || !v.live {
+		vt, ok := sn.visibleTup(t, table, rid)
+		if !ok {
 			continue
 		}
-		if inRange(v.tup[ci]) {
-			if !fn(v.tup[ci], rid) {
+		if inRange(vt[ci]) {
+			if !fn(vt[ci], rid) {
 				return nil
 			}
 		}

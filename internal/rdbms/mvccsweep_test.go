@@ -1,0 +1,140 @@
+package rdbms
+
+import (
+	"testing"
+)
+
+// Regression coverage for the size-triggered version-chain sweep
+// (ROADMAP #1 leftover): before it, version chains grew without bound
+// between checkpoints whenever an old snapshot was open, because the
+// retention horizon pinned at the snapshot kept every newer version
+// alive. The precise retention rule keeps, per chain, only the versions
+// some active snapshot (or the future) can still resolve to — for one
+// hot row under one old snapshot, that is O(1) versions, however many
+// updates commit.
+
+// TestMVCCSweepSizeTriggerBoundsHotChains hammers updates on single rows
+// while an old snapshot stays open and asserts the version population
+// stays bounded near the trigger floor instead of growing with the
+// update count.
+func TestMVCCSweepSizeTriggerBoundsHotChains(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateCities(t, db)
+	tx := db.Begin()
+	rid, err := tx.Insert("cities", Tuple{NewString("Madison"), NewString("WI"), NewInt(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	sn := db.BeginSnapshot() // old snapshot: the pre-update world
+	defer sn.Close()
+
+	const updates = 3 * sweepTriggerVersions
+	cur := rid
+	for i := 1; i <= updates; i++ {
+		tx := db.Begin()
+		nr, err := tx.Update("cities", cur, Tuple{NewString("Madison"), NewString("WI"), NewInt(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		cur = nr
+	}
+
+	// The sweep re-arms at twice the surviving population (floored at the
+	// trigger), so the live count can never exceed ~2x the trigger no
+	// matter how many updates ran.
+	if n := db.vs.VersionCount(); n > 2*sweepTriggerVersions {
+		t.Fatalf("version population %d after %d updates: size trigger did not bound growth", n, updates)
+	}
+
+	// The old snapshot still resolves to the pre-update value: the sweep
+	// kept what it needs.
+	tup, live, err := sn.Get("cities", rid)
+	if err != nil || !live {
+		t.Fatalf("snapshot lost the pinned row: live=%v err=%v", live, err)
+	}
+	if tup[2].I != 0 {
+		t.Fatalf("snapshot reads pop=%d, want the pre-update 0", tup[2].I)
+	}
+
+	// With the snapshot closed and a checkpoint fence, everything drains.
+	sn.Close()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.vs.Chains(); n != 0 {
+		t.Fatalf("%d chains left after snapshot close + checkpoint", n)
+	}
+	if n := db.vs.VersionCount(); n != 0 {
+		t.Fatalf("%d versions left after snapshot close + checkpoint", n)
+	}
+}
+
+// TestMVCCSweepPreservesEverySnapshotWindow opens snapshots at staggered
+// points of an update stream and verifies, after enough churn to force
+// multiple size-triggered sweeps, that each snapshot still reads exactly
+// the value current when it was opened.
+func TestMVCCSweepPreservesEverySnapshotWindow(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateCities(t, db)
+	tx := db.Begin()
+	rid, err := tx.Insert("cities", Tuple{NewString("Madison"), NewString("WI"), NewInt(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const updates = 2*sweepTriggerVersions + 500
+	type pinned struct {
+		sn   *Snap
+		want int64
+	}
+	var pins []pinned
+	cur := rid
+	for i := 1; i <= updates; i++ {
+		if i%(sweepTriggerVersions/4) == 0 {
+			pins = append(pins, pinned{sn: db.BeginSnapshot(), want: int64(i - 1)})
+		}
+		tx := db.Begin()
+		nr, err := tx.Update("cities", cur, Tuple{NewString("Madison"), NewString("WI"), NewInt(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		cur = nr
+	}
+	if len(pins) < 8 {
+		t.Fatalf("want >=8 staggered snapshots, got %d", len(pins))
+	}
+	// Bounded: at most O(snapshots) versions per chain survive, far below
+	// the update count.
+	if n := db.vs.VersionCount(); n > 2*sweepTriggerVersions+4*len(pins) {
+		t.Fatalf("version population %d after %d updates with %d snapshots", n, updates, len(pins))
+	}
+	for i, p := range pins {
+		rs, err := p.sn.Query("SELECT pop FROM cities WHERE name = 'Madison'")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs.Rows) != 1 || rs.Rows[0][0].I != p.want {
+			t.Fatalf("snapshot %d reads %v, want pop=%d", i, rs.Rows, p.want)
+		}
+		p.sn.Close()
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.vs.VersionCount(); n != 0 {
+		t.Fatalf("%d versions left after all snapshots closed + checkpoint", n)
+	}
+}

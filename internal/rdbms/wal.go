@@ -39,6 +39,17 @@ const (
 	// every step up to the catalog write completed.
 	LogCheckpointBegin
 	LogCheckpointEnd
+	// LogBatchInsert and LogBatchDelete are the COPY-style bulk-load
+	// records: one record covers a whole chunk of rows, carried in Data as
+	// a count-prefixed sequence of (RID, encoded tuple) pairs (see
+	// encodeBatchRows). BatchInsert rows are after-images, BatchDelete rows
+	// before-images (the compensation record a failed batch logs while
+	// rolling back). Recovery normalizes both into per-row Insert/Delete
+	// records stamped with the batch record's LSN (expandBatchRecords), so
+	// redo gating, undo, and the derived-state delta walk treat a batch
+	// exactly like the equivalent row-at-a-time sequence.
+	LogBatchInsert
+	LogBatchDelete
 )
 
 func (k LogKind) String() string {
@@ -59,6 +70,10 @@ func (k LogKind) String() string {
 		return "CKPT-BEGIN"
 	case LogCheckpointEnd:
 		return "CKPT-END"
+	case LogBatchInsert:
+		return "BATCH-INSERT"
+	case LogBatchDelete:
+		return "BATCH-DELETE"
 	}
 	return fmt.Sprintf("LogKind(%d)", uint8(k))
 }
