@@ -73,6 +73,13 @@ func runPerf(outPath, comparePath string, tolerance float64) error {
 		fmt.Printf("bulk ingest (%d rows, %d batches): %.0f rows/sec; row-at-a-time %.0f rows/sec (%.1fx)\n",
 			ig.Rows, ig.Batches, ig.BulkRowsPerSec, ig.BaselineRowsPerSec, ig.Speedup)
 	}
+	if sh := rep.ShardLoad; len(sh.Points) > 0 {
+		for _, p := range sh.Points {
+			fmt.Printf("sharded sweep (%d shards, %dS, %d rows): sharded %.0f ops/sec vs single %.0f ops/sec (%.2fx)\n",
+				sh.Shards, p.Sessions, sh.Rows, p.ShardedOpsPerSec, p.SingleOpsPerSec, p.Speedup)
+		}
+		fmt.Printf("shard read speedup (8S, %d cores): %.2fx\n", sh.Cores, rep.ShardReadSpeedup)
+	}
 	if outPath != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

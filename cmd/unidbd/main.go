@@ -15,6 +15,10 @@
 //   - Graceful drain: SIGTERM/SIGINT stops accepting, finishes in-flight
 //     requests under -drain-timeout, then closes the system — so the next
 //     open of the same -data directory is a zero-write warm start.
+//   - Sharding: -shards N partitions the extracted table by entity hash
+//     across N engines behind the same protocol; reads fan out and merge
+//     byte-identically to a single engine, and shard loss degrades to
+//     partial results carrying a "degraded" marker instead of failing.
 //
 // Usage:
 //
@@ -34,6 +38,7 @@ func main() {
 	fs := flag.NewFlagSet("unidbd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7407", "listen address (port 0 picks a free port)")
 	dataDir := fs.String("data", "", "back the system with the crash-safe on-disk engine under this directory")
+	shards := fs.Int("shards", 1, "partition the extracted table by entity hash across this many engines")
 	cities := fs.Int("cities", 50, "synthetic city articles")
 	people := fs.Int("people", 20, "synthetic people")
 	filler := fs.Int("filler", 30, "synthetic filler articles")
@@ -53,6 +58,7 @@ func main() {
 	err := server.RunDaemon(server.DaemonConfig{
 		Addr:    *addr,
 		DataDir: *dataDir,
+		Shards:  *shards,
 		Cities:  *cities, People: *people, Filler: *filler,
 		Seed: *seed, Workers: *workers, CorruptFrac: *corrupt,
 		Server: server.Options{

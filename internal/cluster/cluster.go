@@ -195,7 +195,7 @@ func (c *Cluster) runMapTask(idx int, item any, mapper MapFunc, parts []map[stri
 			return fmt.Errorf("cluster: map task %d: %w", idx, err)
 		}
 		for k, vs := range local {
-			p := int(keyHash(k) % uint64(partitions))
+			p := Partition(k, partitions)
 			parts[p][k] = append(parts[p][k], vs...)
 		}
 		c.statsMu.Lock()
@@ -278,6 +278,19 @@ func keyHash(k string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(k))
 	return h.Sum64()
+}
+
+// Partition maps a shuffle key to one of n partitions with the same
+// FNV-64a hash the map phase shuffles by. Exported so layers that place
+// data by key (the shard router) agree with the extraction shuffle: rows
+// reduced into partition p under n partitions land on shard p when the
+// shard count equals the shuffle width, and are entity-contiguous either
+// way. n <= 1 always yields partition 0.
+func Partition(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(keyHash(key) % uint64(n))
 }
 
 // MakespanModel parameterizes SimulateMakespan: per-task scheduling

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -20,6 +21,11 @@ import (
 // fresh table, per-batch content-hash folding, and a closing checkpoint
 // fence. This is the route a large corpus takes instead of the per-row
 // materialize path ExtractPending uses for incremental demand.
+//
+// PR9 splits the run into ExtractAll (cluster extraction producing the
+// global row stream) and BulkLoadRows (load one row slice into THIS
+// system), so a sharded deployment can extract once and route slices of
+// the same stream to the shards that own them.
 
 // BulkIngestReport summarizes one bulk ingest run.
 type BulkIngestReport struct {
@@ -40,23 +46,34 @@ func (r *BulkIngestReport) RowsPerSec() float64 {
 	return float64(r.Rows) / r.Elapsed.Seconds()
 }
 
-// BulkIngest extracts every corpus document with the named extractor's
-// full pipeline on the cluster and bulk-loads the results into the
-// extracted table. partitions <= 0 shards by the worker count. The load
-// is chunked into durable all-or-nothing batches and fenced with a
-// checkpoint; on error, chunks already durable stay (the report counts
-// them) and the catalog cache is invalidated either way.
-func (s *System) BulkIngest(ctx context.Context, extractor string, partitions int) (*BulkIngestReport, error) {
+// ExtractStats describes the cluster run behind one ExtractAll call.
+type ExtractStats struct {
+	Docs       int // documents mapped
+	Partitions int // reduce partitions (entity shards)
+	Workers    int // cluster workers that ran the extraction
+}
+
+// ExtractAll runs the named extractor's full pipeline over every corpus
+// document on the cluster and returns the extracted rows sorted by
+// (entity, attribute, qualifier, value, conf). The cluster only orders
+// its output by key — same-key value order depends on which worker
+// mapped which document — so the total sort here is what makes the
+// stream deterministic for a given corpus and extractor, independent of
+// scheduling and partition count. Entity-contiguous runs are preserved
+// for the loader, and the sharded equivalence oracle leans on the
+// cross-run determinism. partitions <= 0 shards by worker count.
+func (s *System) ExtractAll(ctx context.Context, extractor string, partitions int) ([]uql.Row, ExtractStats, error) {
+	var es ExtractStats
 	if err := s.beginOp(); err != nil {
-		return nil, err
+		return nil, es, err
 	}
 	defer s.endOp()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, es, err
 	}
 	reg, ok := s.Env.Extractors[extractor]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown extractor %q", extractor)
+		return nil, es, fmt.Errorf("core: unknown extractor %q", extractor)
 	}
 	cl := s.Env.Cluster
 	if cl == nil {
@@ -65,7 +82,6 @@ func (s *System) BulkIngest(ctx context.Context, extractor string, partitions in
 	if partitions <= 0 {
 		partitions = cl.Workers()
 	}
-	start := time.Now()
 
 	// Map: extract one document, keyed by entity. Reduce: identity — the
 	// shuffle has already grouped and sorted by entity, which is what
@@ -95,23 +111,55 @@ func (s *System) BulkIngest(ctx context.Context, extractor string, partitions in
 		},
 		partitions)
 	if err != nil {
+		return nil, es, err
+	}
+	rows := make([]uql.Row, 0, len(pairs))
+	for _, p := range pairs {
+		rows = append(rows, p.Value.(uql.Row))
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Entity != b.Entity {
+			return a.Entity < b.Entity
+		}
+		if a.Attribute != b.Attribute {
+			return a.Attribute < b.Attribute
+		}
+		if a.Qualifier != b.Qualifier {
+			return a.Qualifier < b.Qualifier
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Conf < b.Conf
+	})
+	es = ExtractStats{Docs: len(docs), Partitions: partitions, Workers: cl.Workers()}
+	s.Stats.Inc("core.bulkingest.docs", int64(es.Docs))
+	return rows, es, nil
+}
+
+// BulkLoadRows loads an already-extracted row slice into this system's
+// extracted table through the COPY-style batch path, observes each value
+// for debugging, invalidates the catalog cache, and evolves the schema.
+// The load is chunked into durable all-or-nothing batches and fenced
+// with a checkpoint; on error, chunks already durable stay (the report
+// counts them) and the catalog cache is invalidated either way.
+func (s *System) BulkLoadRows(ctx context.Context, rows []uql.Row) (*BulkIngestReport, error) {
+	if err := s.beginOp(); err != nil {
 		return nil, err
 	}
-
-	rows := make([]uql.Row, 0, len(pairs))
-	tups := make([]rdbms.Tuple, 0, len(pairs))
-	for _, p := range pairs {
-		r := p.Value.(uql.Row)
+	defer s.endOp()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tups := make([]rdbms.Tuple, 0, len(rows))
+	for _, r := range rows {
 		s.Debugger.Observe(r.Attribute, r.Value)
-		rows = append(rows, r)
 		tups = append(tups, uql.StoreRow(r))
 	}
 
-	report := &BulkIngestReport{
-		Docs:       len(docs),
-		Partitions: partitions,
-		Workers:    cl.Workers(),
-	}
+	report := &BulkIngestReport{}
 	stats, err := s.DB.BulkLoad(ctx, TableName, tups)
 	report.Rows = stats.Rows
 	report.Batches = stats.Batches
@@ -129,9 +177,30 @@ func (s *System) BulkIngest(ctx context.Context, extractor string, partitions in
 	}
 	report.Elapsed = time.Since(start)
 
-	s.Stats.Inc("core.bulkingest.docs", int64(report.Docs))
 	s.Stats.Inc("core.bulkingest.rows", int64(report.Rows))
 	s.Stats.Inc("core.bulkingest.batches", int64(report.Batches))
 	s.evolveSchema(rows)
 	return report, nil
+}
+
+// BulkIngest extracts every corpus document with the named extractor's
+// full pipeline on the cluster and bulk-loads the results into the
+// extracted table. partitions <= 0 shards by the worker count. It is
+// ExtractAll composed with BulkLoadRows; see both for the contract.
+func (s *System) BulkIngest(ctx context.Context, extractor string, partitions int) (*BulkIngestReport, error) {
+	start := time.Now()
+	rows, es, err := s.ExtractAll(ctx, extractor, partitions)
+	if err != nil {
+		return nil, err
+	}
+	report, err := s.BulkLoadRows(ctx, rows)
+	if report != nil {
+		report.Docs = es.Docs
+		report.Partitions = es.Partitions
+		report.Workers = es.Workers
+		if err == nil {
+			report.Elapsed = time.Since(start)
+		}
+	}
+	return report, err
 }

@@ -412,6 +412,28 @@ func (s *System) ExtractedRows() (int, error) {
 	return s.extractedRowCount()
 }
 
+// EngineStats bundles the storage-engine health counters the serving
+// layer reports (PR9: the server reads these through its Backend
+// interface instead of reaching into System.DB, so a sharded backend
+// can aggregate them across engines).
+type EngineStats struct {
+	Checkpoints    int64
+	WALSyncs       int64
+	IndexesLoaded  int
+	IndexesRebuilt int
+}
+
+// EngineStats returns the engine's current health counters.
+func (s *System) EngineStats() EngineStats {
+	os := s.DB.LastOpenStats()
+	return EngineStats{
+		Checkpoints:    s.DB.Checkpoints(),
+		WALSyncs:       s.DB.WALSyncs(),
+		IndexesLoaded:  os.IndexesLoaded,
+		IndexesRebuilt: os.IndexesRebuilt,
+	}
+}
+
 // WarmEpoch returns the catalog cache's current invalidation epoch
 // (diagnostics and tests).
 func (s *System) WarmEpoch() int64 {

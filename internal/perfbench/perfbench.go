@@ -663,6 +663,16 @@ type Report struct {
 	// BulkIngestSpeedup is Ingest.Speedup (bulk over row-at-a-time
 	// rows/sec; PR8's ≥10x acceptance bar).
 	BulkIngestSpeedup float64 `json:"bulk_ingest_speedup"`
+	// ShardLoad is the PR9 headline: mixed exploitation sessions
+	// (guided ask, entity-routed counts, a correction) against a 4-shard
+	// system versus one engine over the identical table. Both 8-session
+	// sides land in Results as Shard/MixedSweepSingle8S and
+	// Shard/MixedSweepSharded8S (ns per op) so the -compare gate tracks
+	// both serving paths.
+	ShardLoad ShardLoad `json:"shard_load"`
+	// ShardReadSpeedup is ShardLoad.Speedup8S (sharded over single
+	// ops/sec at 8 sessions; PR9's ≥2x acceptance bar).
+	ShardReadSpeedup float64 `json:"shard_read_speedup"`
 }
 
 // RunAll executes every micro-benchmark via testing.Benchmark and
@@ -687,7 +697,7 @@ func RunAll() Report {
 		{"Durability/DiskReopen", DiskReopen},
 		{"Durability/DiskReopenIndexed", DiskReopenIndexed},
 	}
-	rep := Report{PR: 8, Suite: "bulk-ingest"}
+	rep := Report{PR: 9, Suite: "sharded-dataspace"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, Result{
@@ -745,6 +755,26 @@ func RunAll() Report {
 				Result{Name: "Ingest/RowAtATime", NsPerOp: 1e9 / ingest.BaselineRowsPerSec})
 		}
 	}
+	shardLoad, err := MeasureShardedRead(4, time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: sharded read measurement failed:", err)
+	} else {
+		rep.ShardLoad = shardLoad
+		// Gate both sides of the 8-session point as ns per op; the
+		// speedup itself is recorded, not gated (a ratio of two gated
+		// numbers).
+		if n := len(shardLoad.Points); n > 0 {
+			last := shardLoad.Points[n-1]
+			if last.SingleOpsPerSec > 0 {
+				rep.Results = append(rep.Results,
+					Result{Name: "Shard/MixedSweepSingle8S", NsPerOp: 1e9 / last.SingleOpsPerSec})
+			}
+			if last.ShardedOpsPerSec > 0 {
+				rep.Results = append(rep.Results,
+					Result{Name: "Shard/MixedSweepSharded8S", NsPerOp: 1e9 / last.ShardedOpsPerSec})
+			}
+		}
+	}
 	rep.FillSpeedups()
 	return rep
 }
@@ -771,6 +801,7 @@ func (rep *Report) FillSpeedups() {
 	rep.IndexedReopenSpeedup = ratio("Durability/DiskReopen", "Durability/DiskReopenIndexed")
 	rep.CheckpointCommitOverhead = ratio("Durability/DiskCommitDuringCheckpoint", "Durability/DiskCommit")
 	rep.BulkIngestSpeedup = ratio("Ingest/RowAtATime", "Ingest/BulkLoad1M")
+	rep.ShardReadSpeedup = ratio("Shard/MixedSweepSingle8S", "Shard/MixedSweepSharded8S")
 }
 
 // Regression is one tracked bench that slowed past the gate tolerance.

@@ -1,0 +1,35 @@
+package perfbench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureShardedReadSmall exercises the sharded sweep harness at a
+// reduced duration (the committed trajectory point runs 4 shards for a
+// second per point via benchrunner): both sides of every point must
+// produce throughput, and the speedup fields must be populated from the
+// final point.
+func TestMeasureShardedReadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full system builds are slow in -short")
+	}
+	load, err := MeasureShardedRead(2, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Shards != 2 || load.Rows == 0 {
+		t.Fatalf("degenerate setup: %+v", load)
+	}
+	if len(load.Points) != 3 {
+		t.Fatalf("points: %+v", load.Points)
+	}
+	for _, p := range load.Points {
+		if p.SingleOpsPerSec <= 0 || p.ShardedOpsPerSec <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+	if load.Speedup8S <= 0 {
+		t.Fatalf("speedup not populated: %+v", load)
+	}
+}

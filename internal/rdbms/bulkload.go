@@ -17,11 +17,13 @@ import (
 // cannot be written back before the record exists — the WAL rule by
 // construction — and no reader can reach rows on pages outside the heap
 // chain), then the pages are stamped with the batch LSN, unpinned, and
-// linked. Each chunk commits as its own transaction: version chains for
-// its rows are registered in one lock acquisition (noteBatch) before the
-// link, the commit record is group-flushed, the content-hash delta folds
-// once per chunk, and publication (publishBatch) appends heap-resident
-// versions that retain no tuple copies. Crash anywhere before the chunk's
+// linked. Each chunk commits as its own transaction: one batch marker
+// covering the chunk's pages is registered in one lock acquisition
+// (beginBatch) before the link — O(pages) state standing in for what
+// used to be O(rows) per-row version chains — the commit record is
+// group-flushed, the content-hash delta folds once per chunk, and
+// publication (publishBatch) stamps the marker with the commit LSN in
+// O(1). Crash anywhere before the chunk's
 // commit record is durable and recovery rolls the WHOLE chunk back
 // (all-or-nothing batch semantics); after, redo replays it whole —
 // recovery normalizes batch records into per-row records stamped with
@@ -275,8 +277,9 @@ type BulkLoader struct {
 	// and, being registered in db.active, holds the WAL-truncation
 	// horizon at the load's start for crash-time rollback of the newest
 	// chunk. Each chunk commits under its own transaction id.
-	tx  *Txn
-	pin LSN // snapshot pin: keeps batch chains alive for deferred index reads
+	tx     *Txn
+	pin    LSN    // snapshot pin: keeps batch chains alive for deferred index reads
+	pinSeq uint64 // the pin's snapshot sequence number
 
 	deferred bool
 	entries  map[string][]idxEntry // per indexed column, deferred mode
@@ -303,7 +306,8 @@ func (db *DB) BeginBulkLoad(table string) (*BulkLoader, error) {
 		tx.Abort()
 		return nil, err
 	}
-	bl := &BulkLoader{db: db, t: t, table: table, tx: tx, pin: db.vs.acquireSnapshot()}
+	bl := &BulkLoader{db: db, t: t, table: table, tx: tx}
+	bl.pin, bl.pinSeq = db.vs.acquireSnapshot()
 	bl.deferred = true
 	for _, idx := range t.Indexes {
 		if idx.Len() > 0 {
@@ -359,9 +363,10 @@ func (bl *BulkLoader) loadChunk(rows []Tuple) (int, error) {
 	chunk := db.Begin()
 	t.noteMutation()
 	var chunkRecs [][]byte
+	var marker *batchMarker
 	rids, consumed, lsn, err := t.Heap.AppendChunk(rows, maxPages, func(rids []RID, recs [][]byte) (LSN, error) {
 		chunkRecs = recs
-		db.vs.noteBatch(bl.table, rids)
+		marker = db.vs.beginBatch(bl.table, rids)
 		return db.wal.Append(&LogRecord{
 			Kind:  LogBatchInsert,
 			Txn:   chunk.id,
@@ -372,7 +377,7 @@ func (bl *BulkLoader) loadChunk(rows []Tuple) (int, error) {
 	if err != nil {
 		if lsn != 0 {
 			// Logged and placed, but the chain link failed: compensate.
-			bl.rollbackChunk(chunk, rids, chunkRecs)
+			bl.rollbackChunk(chunk, marker, rids, chunkRecs)
 			return 0, err
 		}
 		db.wal.Append(&LogRecord{Kind: LogAbort, Txn: chunk.id})
@@ -390,7 +395,7 @@ func (bl *BulkLoader) loadChunk(rows []Tuple) (int, error) {
 	chunk.commitLogged = true
 	if err := db.wal.FlushCommit(target); err != nil {
 		db.vs.cancelPending(target)
-		bl.rollbackChunk(chunk, rids, chunkRecs)
+		bl.rollbackChunk(chunk, marker, rids, chunkRecs)
 		return 0, err
 	}
 	// Durable: fold the chunk's content-hash delta, then index, then
@@ -417,7 +422,7 @@ func (bl *BulkLoader) loadChunk(rows []Tuple) (int, error) {
 			}
 		}
 	}
-	db.vs.publishBatch(target, bl.table, rids)
+	db.vs.publishBatch(target, marker)
 	chunk.finish()
 	bl.stats.Rows += consumed
 	bl.stats.Batches++
@@ -426,10 +431,10 @@ func (bl *BulkLoader) loadChunk(rows []Tuple) (int, error) {
 
 // rollbackChunk compensates a placed-but-uncommitted (or in-doubt) chunk
 // in-process: one LogBatchDelete carrying the before-images, tombstones
-// at each RID, writer holds released (chains revert to the "no row" base
-// every reader resolves to), then the abort verdict — flushed when a
-// commit record might already be durable, so the last verdict wins.
-func (bl *BulkLoader) rollbackChunk(chunk *Txn, rids []RID, recs [][]byte) {
+// at each RID, the chunk's marker fenced back to its pending ("no row")
+// state, then the abort verdict — flushed when a commit record might
+// already be durable, so the last verdict wins.
+func (bl *BulkLoader) rollbackChunk(chunk *Txn, marker *batchMarker, rids []RID, recs [][]byte) {
 	db := bl.db
 	lsn := db.wal.Append(&LogRecord{
 		Kind:  LogBatchDelete,
@@ -437,12 +442,10 @@ func (bl *BulkLoader) rollbackChunk(chunk *Txn, rids []RID, recs [][]byte) {
 		Table: bl.table,
 		Data:  encodeBatchRows(rids, recs),
 	})
-	refs := make([]chainRef, len(rids))
-	for i, rid := range rids {
-		refs[i] = chainRef{table: bl.table, rid: rid}
+	for _, rid := range rids {
 		bl.t.Heap.DeleteWith(rid, func() LSN { return lsn })
 	}
-	db.vs.release(refs)
+	db.vs.abortBatch(marker)
 	db.wal.Append(&LogRecord{Kind: LogAbort, Txn: chunk.id})
 	if chunk.commitLogged {
 		db.wal.Flush()
@@ -500,7 +503,7 @@ func (bl *BulkLoader) Commit(ctx context.Context) (BulkLoadStats, error) {
 		return bl.stats, ErrTxnDone
 	}
 	bl.finishIndexes()
-	bl.db.vs.releaseSnapshot(bl.pin)
+	bl.db.vs.releaseSnapshot(bl.pin, bl.pinSeq)
 	bl.done = true
 	if err := bl.tx.Commit(); err != nil {
 		return bl.stats, err
@@ -525,7 +528,7 @@ func (bl *BulkLoader) Abort() error {
 		return nil
 	}
 	bl.finishIndexes()
-	bl.db.vs.releaseSnapshot(bl.pin)
+	bl.db.vs.releaseSnapshot(bl.pin, bl.pinSeq)
 	bl.done = true
 	return bl.tx.Abort()
 }

@@ -275,6 +275,196 @@ func TestBulkLoadBatchEquivalenceOracle(t *testing.T) {
 	}
 }
 
+// TestBulkLoadMarkerPinStateIsPerPage pins the batch-marker contract: a
+// loaded-but-unfenced table holds O(pages) version-store state, not
+// O(rows); the empty-index snapshot compensation resolves loaded rows
+// through the markers; and a post-load writer materializes a real chain
+// from its marker so older snapshots keep the pre-update image.
+func TestBulkLoadMarkerPinStateIsPerPage(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateBulk(t, db)
+	if err := db.CreateIndex("bulk", "id"); err != nil {
+		t.Fatal(err)
+	}
+
+	pre := db.BeginSnapshot() // pins below every batch LSN
+	defer pre.Close()
+
+	bl, err := db.BeginBulkLoad("bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nrows = 2000
+	rows := bulkRows(nrows)
+	work := rows
+	for len(work) > 0 {
+		n, err := bl.loadChunk(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work = work[n:]
+	}
+
+	// Mid-load: no per-row chains, and the resident marker state is
+	// bounded by the page count (dozens), not the row count (thousands).
+	if n := db.vs.Chains(); n != 0 {
+		t.Fatalf("mid-load: %d per-row chains, want 0 (markers replace them)", n)
+	}
+	pages := db.vs.BatchPages()
+	if pages == 0 || pages >= nrows/10 {
+		t.Fatalf("mid-load: %d marker pages for %d rows, want O(pages)", pages, nrows)
+	}
+	if v := db.vs.VersionCount(); v > 2*pages {
+		t.Fatalf("mid-load: version population %d exceeds marker pages %d", v, pages)
+	}
+
+	// The deferred (still empty) index compensates through the markers:
+	// a snapshot point lookup must find a loaded row.
+	sn := db.BeginSnapshot()
+	hits, err := sn.IndexLookup("bulk", "id", NewInt(417))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, rid := range hits {
+		if tup, ok := sn.visibleTup(db.Table("bulk"), "bulk", rid); ok && tup[0].I == 417 {
+			found++
+		}
+	}
+	sn.Close()
+	if found != 1 {
+		t.Fatalf("empty-index compensation found id=417 %d times, want 1", found)
+	}
+
+	if _, err := bl.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-load snapshot still pins the markers (it must keep reading
+	// the rows as absent), so they survive the fence.
+	if db.vs.BatchPages() == 0 {
+		t.Fatalf("markers collected while a pre-load snapshot is open")
+	}
+	if n := 0; true {
+		if err := pre.Scan("bulk", func(RID, Tuple) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("pre-load snapshot sees %d loaded rows through markers", n)
+		}
+	}
+
+	// A writer updating a marker-covered row materializes its history
+	// into a real chain; a snapshot from before the update keeps the
+	// loaded image.
+	mid := db.BeginSnapshot()
+	defer mid.Close()
+	tx := db.Begin()
+	if _, err := tx.Exec("UPDATE bulk SET val = 'rewritten' WHERE id = 417"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := mid.Scan("bulk", func(_ RID, tup Tuple) bool {
+		if tup[0].I == 417 {
+			got = tup[2].S
+			return false
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := rows[417][2].S; got != want {
+		t.Fatalf("pre-update snapshot reads %q, want loaded image %q", got, want)
+	}
+
+	// Closing the pinning snapshots lets the sweep drain everything.
+	pre.Close()
+	mid.Close()
+	db.vs.Sweep()
+	if n := db.vs.BatchPages(); n != 0 {
+		t.Fatalf("%d marker pages left after pins closed", n)
+	}
+}
+
+// TestBulkLoadConcurrentTables runs two bulk-load sessions into two
+// different tables from two goroutines. The sessions hold per-table
+// exclusive locks, so they must proceed concurrently and independently;
+// a reader polling both tables must only ever observe whole-chunk
+// prefixes growing monotonically.
+func TestBulkLoadConcurrentTables(t *testing.T) {
+	db := newTestDB(t)
+	for _, name := range []string{"alpha", "beta"} {
+		if err := db.CreateTable(TableSchema{Name: name, Columns: []ColumnDef{
+			{Name: "id", Type: TInt},
+			{Name: "grp", Type: TString},
+			{Name: "val", Type: TString},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateIndex(name, "id"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const nrows = 1200
+	load := func(table string) error {
+		_, err := db.BulkLoad(context.Background(), table, bulkRows(nrows))
+		return err
+	}
+	errs := make(chan error, 2)
+	done := make(chan struct{})
+	go func() { errs <- load("alpha") }()
+	go func() { errs <- load("beta") }()
+
+	// Concurrent reader: per-table counts only grow and never pass nrows.
+	go func() {
+		defer close(done)
+		last := map[string]int{}
+		for i := 0; i < 200; i++ {
+			sn := db.BeginSnapshot()
+			for _, name := range []string{"alpha", "beta"} {
+				n := 0
+				if err := sn.Scan(name, func(RID, Tuple) bool { n++; return true }); err != nil {
+					t.Error(err)
+				}
+				if n < last[name] || n > nrows {
+					t.Errorf("reader saw %s shrink or overflow: %d after %d", name, n, last[name])
+				}
+				last[name] = n
+			}
+			sn.Close()
+		}
+	}()
+
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+
+	for _, name := range []string{"alpha", "beta"} {
+		rs := mustExec(t, db, "SELECT COUNT(*) FROM "+name)
+		if len(rs.Rows) != 1 || rs.Rows[0][0].I != nrows {
+			t.Fatalf("%s has %v rows, want %d", name, rs.Rows, nrows)
+		}
+		idx := db.Table(name).Indexes["id"]
+		if err := idx.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if idx.Len() != nrows {
+			t.Fatalf("%s index has %d entries, want %d", name, idx.Len(), nrows)
+		}
+	}
+	db.vs.Sweep()
+	if n, b := db.vs.Chains(), db.vs.BatchPages(); n != 0 || b != 0 {
+		t.Fatalf("version store not drained after both loads: %d chains, %d marker pages", n, b)
+	}
+}
+
 // --- Batch crash suite -------------------------------------------------
 
 // bulkFaultRun records one bulk-load workload execution under fault

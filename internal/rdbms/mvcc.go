@@ -82,6 +82,50 @@ type version struct {
 type versionChain struct {
 	writers  int
 	versions []version // ascending by from; versions[0] always visible
+	// fence is the abort fence: the snapshot sequence number current when
+	// an aborting writer released this chain. A scanning reader latches
+	// and copies heap pages, then resolves rows through the chain, so a
+	// copy taken before the abort's undo restored the heap can hold the
+	// aborted bytes; only the chain's base pre-image corrects it. Commits
+	// never need this (a chain with a version above an active snapshot is
+	// retained by the pruner), but an aborted chain's base is at from=0
+	// and would be dropped immediately. The chain therefore stays until
+	// every snapshot with seq < fence has closed — no surviving reader can
+	// hold a pre-undo page copy after that.
+	fence uint64
+	// moved marks the rare abort-undo that could not restore the row in
+	// place (page full even after compaction) and reinserted it at a new
+	// RID. Chain state cannot represent that transition (aborts mint no
+	// LSN), so these chains keep the pre-fix behavior: prompt deletion,
+	// no fence. A reader racing exactly such an abort can still observe
+	// a transient anomaly; see Txn.Abort.
+	moved bool
+}
+
+// batchMarker is the O(1)-per-chunk replacement for per-row bulk-load
+// version chains: one marker describes the visibility of every row a
+// chunk placed. Rows covered by a marker behave as if each had the chain
+// [{from: 0, dead}, {from: marker LSN, live, heap-resident}] — invisible
+// to snapshots below the batch commit, read through to the heap at or
+// above it — without the store holding any per-row state. A real chain
+// for a covered RID (a later writer's noteWrite materializes one) takes
+// precedence over the marker.
+type batchMarker struct {
+	from    LSN
+	pending bool // registered but not yet published: dead for every snapshot
+	// fence carries the abort fence when a chunk rolls back (see
+	// versionChain.fence): tombstoned rows must keep reading as dead for
+	// readers whose page copies predate the tombstones.
+	fence uint64
+}
+
+// batchPage maps one freshly loaded page to its covering marker. Chunk
+// pages are newly allocated, so slots 0..nslots-1 all belong to the
+// batch; later ordinary inserts on the page extend the slot array past
+// nslots and are not covered.
+type batchPage struct {
+	marker *batchMarker
+	nslots uint16
 }
 
 // VersionStore holds row version chains and snapshot bookkeeping for one
@@ -91,6 +135,8 @@ type versionChain struct {
 type VersionStore struct {
 	mu     sync.Mutex
 	tables map[string]map[RID]*versionChain
+	// batches maps loaded pages to their batch markers, per table.
+	batches map[string]map[PageID]batchPage
 	// pending holds commit LSNs appended to the WAL but not yet
 	// published (group commit in flight).
 	pending map[LSN]struct{}
@@ -98,6 +144,11 @@ type VersionStore struct {
 	maxCommit LSN
 	// snaps refcounts active snapshot LSNs.
 	snaps map[LSN]int
+	// snapSeq is the sequence number the next snapshot will receive;
+	// activeSeqs holds the seqs of open snapshots. Seqs order snapshot
+	// births against abort fences (LSNs cannot: aborts mint no LSN).
+	snapSeq    uint64
+	activeSeqs map[uint64]struct{}
 	// versions counts versions across all chains (the size trigger's
 	// input); hiWater is the population at which the next size-triggered
 	// full sweep fires.
@@ -111,10 +162,13 @@ const sweepTriggerVersions = 4096
 
 func newVersionStore() *VersionStore {
 	return &VersionStore{
-		tables:  make(map[string]map[RID]*versionChain),
-		pending: make(map[LSN]struct{}),
-		snaps:   make(map[LSN]int),
-		hiWater: sweepTriggerVersions,
+		tables:     make(map[string]map[RID]*versionChain),
+		batches:    make(map[string]map[PageID]batchPage),
+		pending:    make(map[LSN]struct{}),
+		snaps:      make(map[LSN]int),
+		activeSeqs: make(map[uint64]struct{}),
+		snapSeq:    1,
+		hiWater:    sweepTriggerVersions,
 	}
 }
 
@@ -131,9 +185,22 @@ func (vs *VersionStore) noteWrite(table string, rid RID, before Tuple, live bool
 	}
 	c := byRID[rid]
 	if c == nil {
-		c = &versionChain{versions: []version{{from: 0, live: live, tup: before.Clone()}}}
+		if bp, ok := vs.batches[table][rid.Page]; ok && rid.Slot < bp.nslots && !bp.marker.pending && live {
+			// The row is covered by a published batch marker: its real
+			// history is "absent before the batch commit, live since".
+			// Materialize that into the chain — chains take precedence
+			// over markers, so the marker's answer for this row is
+			// superseded from here on.
+			c = &versionChain{versions: []version{
+				{from: 0, live: false},
+				{from: bp.marker.from, live: true, tup: before.Clone()},
+			}}
+			vs.versions += 2
+		} else {
+			c = &versionChain{versions: []version{{from: 0, live: live, tup: before.Clone()}}}
+			vs.versions++
+		}
 		byRID[rid] = c
-		vs.versions++
 	} else if n := len(c.versions); n > 0 {
 		// A heap-resident batch version (nil tup) means "the heap bytes,
 		// unchanged since the batch commit". This writer is about to change
@@ -145,29 +212,35 @@ func (vs *VersionStore) noteWrite(table string, rid RID, before Tuple, live bool
 	c.writers++
 }
 
-// noteBatch takes writer holds on a chunk of freshly appended rows in one
-// lock acquisition. Every row is new, so each chain's base version is "no
-// row" — the state any snapshot pinned before the batch commit must see.
-// The bulk loader calls it while the chunk's pages are still pinned and
-// unlinked, so the chains exist before any reader can reach the bytes
-// (the same ordering contract as noteWrite).
-func (vs *VersionStore) noteBatch(table string, rids []RID) {
+// beginBatch registers one pending batch marker covering a chunk of
+// freshly appended rows, in one lock acquisition and O(pages) state —
+// the per-row version structs the marker replaces made a 1M-row load
+// hold O(rows) live memory until the fence. Every covered row is new, so
+// the marker's pending state is "no row" for every snapshot. The bulk
+// loader calls it while the chunk's pages are still pinned and unlinked,
+// so the marker exists before any reader can reach the bytes (the same
+// ordering contract as noteWrite).
+func (vs *VersionStore) beginBatch(table string, rids []RID) *batchMarker {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
-	byRID := vs.tables[table]
-	if byRID == nil {
-		byRID = make(map[RID]*versionChain, len(rids))
-		vs.tables[table] = byRID
+	byPage := vs.batches[table]
+	if byPage == nil {
+		byPage = make(map[PageID]batchPage)
+		vs.batches[table] = byPage
 	}
+	m := &batchMarker{pending: true}
 	for _, rid := range rids {
-		c := byRID[rid]
-		if c == nil {
-			c = &versionChain{versions: []version{{from: 0, live: false}}}
-			byRID[rid] = c
-			vs.versions++
+		bp := byPage[rid.Page]
+		if bp.marker == nil {
+			bp.marker = m
+			vs.versions++ // one unit per page keeps the sweep trigger honest
 		}
-		c.writers++
+		if rid.Slot >= bp.nslots {
+			bp.nslots = rid.Slot + 1
+		}
+		byPage[rid.Page] = bp
 	}
+	return m
 }
 
 // beginCommit registers lsn as an in-flight commit. The caller must
@@ -237,30 +310,18 @@ func (vs *VersionStore) publish(lsn LSN, finals []finalState, touched []chainRef
 	vs.maybeSweepLocked()
 }
 
-// publishBatch appends the committed version of each freshly loaded row
-// at lsn, releases the writer holds, and marks lsn published. The
-// versions are heap-resident (nil tup): the heap bytes ARE the batch
-// content and stay that way until some later writer materializes the
-// version via noteWrite, so the store retains no copy of the loaded
-// rows — for a million-row load that is the difference between O(1) and
-// O(load) live memory. The batch's own chains are left unpruned: the
-// loader holds a snapshot pin below lsn for the life of the load
-// (readers resolve the not-yet-indexed rows through the chains), so they
-// are not collectable anyway, and the size-triggered sweep bounds the
-// interim population.
-func (vs *VersionStore) publishBatch(lsn LSN, table string, rids []RID) {
+// publishBatch stamps a chunk's marker with its commit LSN and marks lsn
+// published — O(1) regardless of chunk size. The marker's rows are
+// heap-resident: the heap bytes ARE the batch content and stay that way
+// until some later writer materializes a real chain via noteWrite, so
+// the store retains no copy of the loaded rows. The marker itself is not
+// collectable while the loader's snapshot pin sits below lsn (readers
+// resolve the not-yet-indexed rows through it).
+func (vs *VersionStore) publishBatch(lsn LSN, m *batchMarker) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
-	byRID := vs.tables[table]
-	for _, rid := range rids {
-		c := byRID[rid]
-		if c == nil {
-			continue // table dropped mid-load (excluded by the table lock; defensive)
-		}
-		c.versions = append(c.versions, version{from: lsn, live: true})
-		c.writers--
-		vs.versions++
-	}
+	m.from = lsn
+	m.pending = false
 	delete(vs.pending, lsn)
 	if lsn > vs.maxCommit {
 		vs.maxCommit = lsn
@@ -268,18 +329,51 @@ func (vs *VersionStore) publishBatch(lsn LSN, table string, rids []RID) {
 	vs.maybeSweepLocked()
 }
 
+// abortBatch rolls a chunk's marker back: the rows were tombstoned by
+// the caller, and the marker stays registered in its pending ("no row")
+// state behind an abort fence — a reader whose page copies predate the
+// tombstones must keep resolving the rows as dead (see
+// versionChain.fence for the fence rationale). The fenced marker is
+// swept once every snapshot open now has closed.
+func (vs *VersionStore) abortBatch(m *batchMarker) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	m.pending = true
+	if m.fence < vs.snapSeq {
+		m.fence = vs.snapSeq
+	}
+	vs.sweepLocked()
+}
+
 // release drops the writer holds of an aborted (or flush-failed, then
 // aborted) transaction. The heap has been restored to the pre-images by
-// undo, which is exactly each chain's base state.
+// undo, which is exactly each chain's base state — but a reader that
+// latched a page copy before the undo may still hold the aborted bytes,
+// so each chain is fenced: it survives until every snapshot open right
+// now has closed, and such readers keep resolving through its base
+// pre-image instead of trusting their stale copy.
 func (vs *VersionStore) release(touched []chainRef) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	for _, r := range touched {
 		if c := vs.chainLocked(r.table, r.rid); c != nil {
 			c.writers--
+			if !c.moved && c.fence < vs.snapSeq {
+				c.fence = vs.snapSeq
+			}
 		}
 	}
 	vs.sweepLocked()
+}
+
+// noteAbortMoved marks a chain whose abort-undo restored the row at a
+// different RID; it opts out of the abort fence (see versionChain.moved).
+func (vs *VersionStore) noteAbortMoved(table string, rid RID) {
+	vs.mu.Lock()
+	if c := vs.chainLocked(table, rid); c != nil {
+		c.moved = true
+	}
+	vs.mu.Unlock()
 }
 
 type chainRef struct {
@@ -294,8 +388,9 @@ func (vs *VersionStore) chainLocked(table string, rid RID) *versionChain {
 	return nil
 }
 
-// acquireSnapshot pins and refcounts a snapshot LSN.
-func (vs *VersionStore) acquireSnapshot() LSN {
+// acquireSnapshot pins and refcounts a snapshot LSN, and issues the
+// snapshot's sequence number (which orders it against abort fences).
+func (vs *VersionStore) acquireSnapshot() (LSN, uint64) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	s := vs.maxCommit
@@ -305,10 +400,13 @@ func (vs *VersionStore) acquireSnapshot() LSN {
 		}
 	}
 	vs.snaps[s]++
-	return s
+	seq := vs.snapSeq
+	vs.snapSeq++
+	vs.activeSeqs[seq] = struct{}{}
+	return s, seq
 }
 
-func (vs *VersionStore) releaseSnapshot(s LSN) {
+func (vs *VersionStore) releaseSnapshot(s LSN, seq uint64) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	if n := vs.snaps[s]; n <= 1 {
@@ -316,6 +414,7 @@ func (vs *VersionStore) releaseSnapshot(s LSN) {
 	} else {
 		vs.snaps[s] = n - 1
 	}
+	delete(vs.activeSeqs, seq)
 	vs.sweepLocked()
 }
 
@@ -344,6 +443,10 @@ type sweepCtx struct {
 	h     LSN
 	fut   LSN
 	snaps []LSN
+	// minSeq is the lowest active snapshot sequence number (MaxUint64
+	// when none): an abort-fenced chain is deletable once minSeq has
+	// passed its fence, i.e. every snapshot open at abort time closed.
+	minSeq uint64
 }
 
 func (vs *VersionStore) sweepCtxLocked() sweepCtx {
@@ -353,7 +456,12 @@ func (vs *VersionStore) sweepCtxLocked() sweepCtx {
 			fut = lsn - 1
 		}
 	}
-	sc := sweepCtx{fut: fut, h: fut}
+	sc := sweepCtx{fut: fut, h: fut, minSeq: ^uint64(0)}
+	for seq := range vs.activeSeqs {
+		if seq < sc.minSeq {
+			sc.minSeq = seq
+		}
+	}
 	if len(vs.snaps) > 0 {
 		sc.snaps = make([]LSN, 0, len(vs.snaps))
 		for s := range vs.snaps {
@@ -413,7 +521,7 @@ func (vs *VersionStore) sweepChainLocked(sc sweepCtx, table string, rid RID) {
 		return
 	}
 	vs.pruneChainLocked(sc, c)
-	if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= sc.h {
+	if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= sc.h && c.fence <= sc.minSeq {
 		delete(byRID, rid)
 		vs.versions--
 		if len(byRID) == 0 {
@@ -431,13 +539,37 @@ func (vs *VersionStore) sweepLocked() {
 	for table, byRID := range vs.tables {
 		for rid, c := range byRID {
 			vs.pruneChainLocked(sc, c)
-			if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= sc.h {
+			if c.writers == 0 && len(c.versions) == 1 && c.versions[0].from <= sc.h && c.fence <= sc.minSeq {
 				delete(byRID, rid)
 				vs.versions--
 			}
 		}
 		if len(byRID) == 0 {
 			delete(vs.tables, table)
+		}
+	}
+	// Batch markers: a published marker is droppable once every current
+	// and future snapshot sits at or past its commit (the heap bytes are
+	// then the stable truth — the loader's own pin keeps it alive for the
+	// deferred-index window); an aborted marker once every snapshot open
+	// at abort time has closed (same fence rule as chains). An in-flight
+	// marker (pending, no fence) is never collected.
+	for table, byPage := range vs.batches {
+		for pid, bp := range byPage {
+			m := bp.marker
+			drop := false
+			if m.pending {
+				drop = m.fence > 0 && m.fence <= sc.minSeq
+			} else {
+				drop = m.from <= sc.h
+			}
+			if drop {
+				delete(byPage, pid)
+				vs.versions--
+			}
+		}
+		if len(byPage) == 0 {
+			delete(vs.batches, table)
 		}
 	}
 	vs.hiWater = vs.versions * 2
@@ -469,7 +601,7 @@ func (vs *VersionStore) VersionCount() int {
 	return vs.versions
 }
 
-// dropTable discards all chains for a dropped table.
+// dropTable discards all chains and batch markers for a dropped table.
 func (vs *VersionStore) dropTable(table string) {
 	vs.mu.Lock()
 	if byRID := vs.tables[table]; byRID != nil {
@@ -478,6 +610,8 @@ func (vs *VersionStore) dropTable(table string) {
 		}
 	}
 	delete(vs.tables, table)
+	vs.versions -= len(vs.batches[table])
+	delete(vs.batches, table)
 	vs.mu.Unlock()
 }
 
@@ -494,13 +628,21 @@ func (vs *VersionStore) Chains() int {
 }
 
 // visible resolves (table, rid) at snapshot s: the newest version with
-// from <= s. ok=false means the row has no chain — its heap bytes are
-// committed and stable.
+// from <= s. ok=false means the row has neither a chain nor a batch
+// marker — its heap bytes are committed and stable. A chain takes
+// precedence over a marker covering the same row (noteWrite materializes
+// the full history into the chain).
 func (vs *VersionStore) visible(table string, rid RID, s LSN) (version, bool) {
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 	c := vs.chainLocked(table, rid)
 	if c == nil {
+		if bp, ok := vs.batches[table][rid.Page]; ok && rid.Slot < bp.nslots {
+			if bp.marker.pending || bp.marker.from > s {
+				return version{live: false}, true
+			}
+			return version{from: bp.marker.from, live: true}, true
+		}
 		return version{}, false
 	}
 	for i := len(c.versions) - 1; i >= 0; i-- {
@@ -514,7 +656,11 @@ func (vs *VersionStore) visible(table string, rid RID, s LSN) (version, bool) {
 }
 
 // chainRIDs returns the chained row ids of a table, sorted, so scans can
-// surface rows that are dead in the heap but live at the snapshot.
+// surface rows that are dead in the heap but live at the snapshot. Rows
+// covered only by a batch marker are enumerated too — during a deferred
+// bulk load the table's indexes are empty and the Snap index paths
+// compensate through this list. Enumeration is O(covered rows), but only
+// the markers themselves (O(pages)) are resident state.
 func (vs *VersionStore) chainRIDs(table string) []RID {
 	vs.mu.Lock()
 	byRID := vs.tables[table]
@@ -522,9 +668,31 @@ func (vs *VersionStore) chainRIDs(table string) []RID {
 	for rid := range byRID {
 		rids = append(rids, rid)
 	}
+	for pid, bp := range vs.batches[table] {
+		for s := uint16(0); s < bp.nslots; s++ {
+			rid := RID{Page: pid, Slot: s}
+			if _, ok := byRID[rid]; ok {
+				continue // a materialized chain supersedes the marker
+			}
+			rids = append(rids, rid)
+		}
+	}
 	vs.mu.Unlock()
 	sort.Slice(rids, func(i, j int) bool { return ridLess(rids[i], rids[j]) })
 	return rids
+}
+
+// BatchPages reports the number of live batch-marker page entries (tests
+// assert a bulk load's pin state is O(pages), not O(rows), and that
+// markers drain after the load's fence).
+func (vs *VersionStore) BatchPages() int {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	n := 0
+	for _, byPage := range vs.batches {
+		n += len(byPage)
+	}
+	return n
 }
 
 // Snap is a read-only snapshot transaction: it pins one LSN at creation
@@ -535,6 +703,7 @@ func (vs *VersionStore) chainRIDs(table string) []RID {
 type Snap struct {
 	db     *DB
 	lsn    LSN
+	seq    uint64
 	ctx    context.Context
 	closed bool
 }
@@ -542,7 +711,8 @@ type Snap struct {
 // BeginSnapshot starts a lock-free read-only snapshot transaction
 // pinned at the current committed LSN.
 func (db *DB) BeginSnapshot() *Snap {
-	return &Snap{db: db, lsn: db.vs.acquireSnapshot(), ctx: context.Background()}
+	lsn, seq := db.vs.acquireSnapshot()
+	return &Snap{db: db, lsn: lsn, seq: seq, ctx: context.Background()}
 }
 
 // WithContext attaches ctx; scan-shaped loops poll it like Txn's do.
@@ -560,7 +730,7 @@ func (sn *Snap) Close() {
 		return
 	}
 	sn.closed = true
-	sn.db.vs.releaseSnapshot(sn.lsn)
+	sn.db.vs.releaseSnapshot(sn.lsn, sn.seq)
 }
 
 func (sn *Snap) ctxErr() error {

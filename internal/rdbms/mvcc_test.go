@@ -258,6 +258,71 @@ func snapScanHash(sn *Snap) (hash uint64, total int64, rows int, err error) {
 // is constant at every snapshot), (b) repeatable read (two scans of the
 // same snapshot hash identically), and (c) zero lock-manager
 // acquisitions across all reader work.
+// TestMVCCAbortFenceRetainsChain pins the deterministic core of the
+// readers-vs-writers flake: a scanning reader latches a page copy, a
+// writer mutates the row and then ABORTS, and only afterwards does the
+// reader resolve the row through the version store. The undo restored
+// the heap, but the reader's copy still holds the aborted bytes — the
+// chain's base pre-image is the only thing that corrects it, so it must
+// survive the abort for as long as any snapshot from before the abort is
+// open (the abort fence), and be collected promptly afterwards.
+func TestMVCCAbortFenceRetainsChain(t *testing.T) {
+	db := newTestDB(t)
+	mustCreateCities(t, db)
+	tx := db.Begin()
+	rid, err := tx.Insert("cities", Tuple{NewString("Madison"), NewString("WI"), NewInt(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Checkpoint() // drain the insert's chain so only the abort's matters
+
+	sn := db.BeginSnapshot()
+	defer sn.Close()
+
+	w := db.Begin()
+	if _, err := w.Update("cities", rid, Tuple{NewString("Madison"), NewString("WI"), NewInt(999)}); err != nil {
+		t.Fatal(err)
+	}
+	// The reader's page copy happens here, conceptually: it would hold the
+	// uncommitted 999. The writer aborts, restoring the heap to 100.
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The chain must still exist so the stale copy resolves to the
+	// pre-image instead of falling through to the copied aborted bytes.
+	if v, ok := db.Versions().visible("cities", rid, sn.LSN()); !ok {
+		t.Fatalf("abort dropped the chain while a pre-abort snapshot was open")
+	} else if !v.live || v.tup == nil || v.tup[2].I != 100 {
+		t.Fatalf("chain resolves to %v live=%v, want pre-image 100", v.tup, v.live)
+	}
+	// And the snapshot's own read agrees.
+	got, live, err := sn.Get("cities", rid)
+	if err != nil || !live || got[2].I != 100 {
+		t.Fatalf("snapshot read after abort: %v live=%v err=%v", got, live, err)
+	}
+
+	// A snapshot opened after the abort reads the restored heap whether or
+	// not the chain is present.
+	sn2 := db.BeginSnapshot()
+	got, live, err = sn2.Get("cities", rid)
+	if err != nil || !live || got[2].I != 100 {
+		t.Fatalf("post-abort snapshot read: %v live=%v err=%v", got, live, err)
+	}
+	sn2.Close()
+
+	// The fence lifts when the pre-abort snapshot closes: the next sweep
+	// collects the chain.
+	sn.Close()
+	db.Versions().Sweep()
+	if got := db.Versions().Chains(); got != 0 {
+		t.Fatalf("chains not drained after fence lifted: %d", got)
+	}
+}
+
 func TestMVCCSnapshotRaceReadersVsWriters(t *testing.T) {
 	db := newTestDB(t)
 	if err := db.CreateTable(TableSchema{Name: "accounts", Columns: []ColumnDef{
@@ -311,13 +376,16 @@ func TestMVCCSnapshotRaceReadersVsWriters(t *testing.T) {
 				amt := int64(rng.Intn(50))
 				tx := db.Begin()
 				err := func() error {
+					// %w, not %v: a Get can be the deadlock victim too (its
+					// shared lock can close a cycle against an upgraded X
+					// lock), and the retry below matches with errors.Is.
 					a, liveA, err := tx.Get("accounts", rids[i])
 					if err != nil || !liveA {
-						return fmt.Errorf("get a: live=%v err=%v", liveA, err)
+						return fmt.Errorf("get a: live=%v err=%w", liveA, err)
 					}
 					b, liveB, err := tx.Get("accounts", rids[j])
 					if err != nil || !liveB {
-						return fmt.Errorf("get b: live=%v err=%v", liveB, err)
+						return fmt.Errorf("get b: live=%v err=%w", liveB, err)
 					}
 					if _, err := tx.Update("accounts", rids[i], Tuple{a[0], NewInt(a[1].I - amt)}); err != nil {
 						return err

@@ -1,0 +1,254 @@
+package rdbms
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DeparseSelect renders a SelectStmt back into SQL text that ParseSQL
+// accepts and that parses to a structurally identical statement. The
+// shard layer depends on this round-trip to rewrite queries per shard
+// (pushing ORDER BY keys into the projection, tightening LIMIT, adding
+// routing predicates) and ship them over the existing string-based
+// View.SQL path.
+//
+// Unlike exprString (a best-effort renderer for error messages), the
+// output here is escape-safe: string literals double embedded quotes,
+// floats render in fixed notation (the lexer has no exponent syntax)
+// with a forced decimal point so they re-parse as floats, and operands
+// are parenthesized by precedence so the reparsed tree matches.
+func DeparseSelect(s *SelectStmt) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, se := range s.Exprs {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if se.Star {
+			sb.WriteByte('*')
+			continue
+		}
+		sb.WriteString(deparseExpr(se.Expr, levelOr))
+		if se.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(se.Alias)
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From)
+	if s.FromAlias != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(s.FromAlias)
+	}
+	if j := s.Join; j != nil {
+		sb.WriteString(" JOIN ")
+		sb.WriteString(j.Table)
+		if j.Alias != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(j.Alias)
+		}
+		sb.WriteString(" ON ")
+		sb.WriteString(j.Left.String())
+		sb.WriteString(" = ")
+		sb.WriteString(j.Right.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(deparseExpr(s.Where, levelOr))
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, c := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(deparseExpr(s.Having, levelOr))
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(deparseExpr(k.Expr, levelOr))
+			if k.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(s.Limit))
+	}
+	if s.Offset > 0 {
+		sb.WriteString(" OFFSET ")
+		sb.WriteString(strconv.Itoa(s.Offset))
+	}
+	return sb.String()
+}
+
+// SelectColumnName returns the output column name the executor gives
+// one select-list expression (the alias, else the expression's display
+// rendering — exactly what expandSelect produces). The shard merge
+// layer labels recombined aggregate columns with it so merged result
+// sets carry single-engine column names.
+func SelectColumnName(se SelectExpr) string {
+	if se.Star {
+		return "*"
+	}
+	if se.Alias != "" {
+		return se.Alias
+	}
+	return exprString(se.Expr)
+}
+
+// HasAggregate reports whether an expression contains an aggregate
+// call (exported for the shard planner's path selection).
+func HasAggregate(e Expr) bool { return hasAgg(e) }
+
+// Precedence levels mirroring the parser's grammar. A subexpression is
+// parenthesized when its level is below what its position requires.
+const (
+	levelOr = iota + 1
+	levelAnd
+	levelNot
+	levelCmp // non-associative: = != < <= > >= LIKE, IS NULL, BETWEEN
+	levelAdd
+	levelMul
+	levelUnary
+	levelPrimary
+)
+
+func binaryLevel(op string) int {
+	switch op {
+	case "OR":
+		return levelOr
+	case "AND":
+		return levelAnd
+	case "=", "!=", "<", "<=", ">", ">=", "LIKE":
+		return levelCmp
+	case "+", "-":
+		return levelAdd
+	case "*", "/":
+		return levelMul
+	}
+	return levelPrimary
+}
+
+func exprLevel(e Expr) int {
+	switch x := e.(type) {
+	case Literal:
+		// Negative numeric values only arise in synthesized trees
+		// (parse builds them as unary minus); they render with a
+		// leading '-', so they bind like a unary expression.
+		if (x.Val.Type == TInt && x.Val.I < 0) || (x.Val.Type == TFloat && x.Val.F < 0) {
+			return levelUnary
+		}
+		return levelPrimary
+	case ColumnRef, AggExpr:
+		return levelPrimary
+	case UnaryExpr:
+		if x.Op == "NOT" {
+			return levelNot
+		}
+		return levelUnary
+	case BinaryExpr:
+		return binaryLevel(x.Op)
+	case IsNullExpr, BetweenExpr:
+		return levelCmp
+	}
+	return levelPrimary
+}
+
+// deparseExpr renders e for a position that requires at least level min,
+// wrapping in parentheses when e binds more loosely.
+func deparseExpr(e Expr, min int) string {
+	s := deparseExprBare(e)
+	if exprLevel(e) < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+func deparseExprBare(e Expr) string {
+	switch x := e.(type) {
+	case Literal:
+		return deparseValue(x.Val)
+	case ColumnRef:
+		return x.String()
+	case BinaryExpr:
+		lvl := binaryLevel(x.Op)
+		switch lvl {
+		case levelCmp:
+			// Comparisons do not chain: both operands are addExprs.
+			return deparseExpr(x.Left, levelAdd) + " " + x.Op + " " + deparseExpr(x.Right, levelAdd)
+		case levelAnd, levelOr:
+			// Left-associative keyword connectives: the left operand
+			// may sit at the same level, the right must bind tighter.
+			return deparseExpr(x.Left, lvl) + " " + x.Op + " " + deparseExpr(x.Right, lvl+1)
+		default:
+			// Left-associative arithmetic.
+			return deparseExpr(x.Left, lvl) + " " + x.Op + " " + deparseExpr(x.Right, lvl+1)
+		}
+	case UnaryExpr:
+		if x.Op == "NOT" {
+			return "NOT " + deparseExpr(x.X, levelNot)
+		}
+		return "-" + deparseExpr(x.X, levelUnary)
+	case IsNullExpr:
+		if x.Not {
+			return deparseExpr(x.X, levelAdd) + " IS NOT NULL"
+		}
+		return deparseExpr(x.X, levelAdd) + " IS NULL"
+	case BetweenExpr:
+		return deparseExpr(x.X, levelAdd) + " BETWEEN " + deparseExpr(x.Lo, levelAdd) +
+			" AND " + deparseExpr(x.Hi, levelAdd)
+	case AggExpr:
+		if x.Star {
+			return x.Func + "(*)"
+		}
+		return x.Func + "(" + deparseExpr(x.Arg, levelOr) + ")"
+	}
+	return fmt.Sprintf("/*unrenderable %T*/", e)
+}
+
+// deparseValue renders a literal so the lexer tokenizes it back to the
+// same Value. Strings double embedded quotes; floats use fixed notation
+// (no exponent — the lexer cannot read one) and always carry a decimal
+// point so they do not re-parse as integers.
+func deparseValue(v Value) string {
+	switch v.Type {
+	case TNull:
+		return "NULL"
+	case TBool:
+		if v.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		f := v.F
+		neg := ""
+		if f < 0 {
+			neg, f = "-", -f
+		}
+		s := strconv.FormatFloat(f, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return neg + s
+	case TString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return "NULL"
+}

@@ -569,6 +569,16 @@ func (tx *Txn) Abort() error {
 				if err != nil {
 					return fmt.Errorf("rdbms: abort undo update: %w", err)
 				}
+				if restoredRID != u.rid {
+					// The row came back at a new RID (original page full
+					// even after compaction). Chain state cannot describe a
+					// relocation without a commit LSN, so this chain opts
+					// out of the abort fence and keeps prompt deletion; a
+					// snapshot scanning across exactly this window may
+					// transiently misread the row — a pre-existing gap,
+					// unreachable for fixed-size tuples.
+					tx.db.vs.noteAbortMoved(u.table, u.rid)
+				}
 			}
 			for col, idx := range t.Indexes {
 				ci := t.Schema.ColIndex(col)

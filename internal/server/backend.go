@@ -1,0 +1,40 @@
+package server
+
+import (
+	"context"
+
+	"repro/internal/alert"
+	"repro/internal/browse"
+	"repro/internal/core"
+	"repro/internal/rdbms"
+	"repro/internal/search"
+)
+
+// Backend is the serving surface the front end multiplexes onto: the
+// DGE exploitation modes plus the lifecycle and vitals the health
+// endpoint reports. A single *core.System satisfies it, and so does a
+// *shard.ShardedSystem — the daemon picks one at startup and the wire
+// protocol is identical either way (sharded responses may additionally
+// carry a Degraded marker when shards are down).
+type Backend interface {
+	KeywordSearch(ctx context.Context, query string, k int) ([]search.Hit, error)
+	AskGuided(ctx context.Context, query string, k int) (*core.GuidedAnswer, error)
+	SQL(ctx context.Context, query string) (*rdbms.ResultSet, error)
+	Browse(ctx context.Context) (*browse.Browser, error)
+	Subscribe(sub alert.Subscription) (int, error)
+	CorrectValue(ctx context.Context, user, entity, attribute, qualifier, newValue string) error
+	ExplainFact(ctx context.Context, entity, attribute, qualifier string) (string, error)
+
+	InFlightOps() int
+	Closing() bool
+	ExtractedRows() (int, error)
+	EngineStats() core.EngineStats
+	Close() error
+}
+
+// shardedBackend is the optional topology surface a partitioned backend
+// exposes; health reports it when present.
+type shardedBackend interface {
+	Shards() int
+	DownShards() []int
+}

@@ -25,6 +25,10 @@ var (
 	ErrBadRequest = errors.New("server: bad request")
 	// ErrNotFound: no matching fact or provenance.
 	ErrNotFound = errors.New("server: not found")
+	// ErrDegraded: shards were down and no partial result could be
+	// served for this request (partial results arrive as OK responses
+	// with Response.Degraded set instead).
+	ErrDegraded = errors.New("server: degraded")
 )
 
 // codeErr maps a wire code to its typed sentinel (nil = untyped).
@@ -44,6 +48,8 @@ func codeErr(code string) error {
 		return ErrBadRequest
 	case CodeNotFound:
 		return ErrNotFound
+	case CodeDegraded:
+		return ErrDegraded
 	}
 	return nil
 }

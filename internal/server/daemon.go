@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/internal/synth"
 	"repro/internal/uql"
 )
@@ -27,6 +28,13 @@ type DaemonConfig struct {
 	// recovers, close checkpoints and snapshots warm state). Empty runs
 	// in-memory.
 	DataDir string
+
+	// Shards > 1 partitions the extracted table by entity hash across
+	// that many engines (shard.Open over per-shard subdirectories of
+	// DataDir, or in-memory shards when DataDir is empty). The wire
+	// protocol is unchanged; responses touching dead shards carry a
+	// Degraded marker. 0 or 1 serves a single engine.
+	Shards int
 
 	// Synthetic corpus shape (the daemon's data source, as in cmd/unidb).
 	Cities, People, Filler int
@@ -105,15 +113,37 @@ func RunDaemon(cfg DaemonConfig) error {
 		return err
 	}
 
-	var sys *core.System
-	if c.DataDir != "" {
+	var sys Backend
+	switch {
+	case c.Shards > 1:
+		ss, err := shard.Open(shard.Config{Shards: c.Shards, Dir: c.DataDir, System: sysCfg})
+		if err != nil {
+			return err
+		}
+		rows, err := ss.ExtractedRows()
+		if err != nil {
+			ss.Close()
+			return err
+		}
+		if rows == 0 {
+			// Fresh layout: extract once on the cluster and route each
+			// partition to its owning shard (the sharded analogue of the
+			// single-engine setup program).
+			if _, err := ss.BulkIngest(context.Background(), "city", 0); err != nil {
+				ss.Close()
+				return err
+			}
+		}
+		c.logf("sharded: %d shards, dir %q, warm=%v", c.Shards, c.DataDir, rows > 0)
+		sys = ss
+	case c.DataDir != "":
 		s, rep, err := core.OpenDir(c.DataDir, sysCfg, setup)
 		if err != nil {
 			return err
 		}
 		sys = s
 		c.logf("data dir %s: reopened=%v warm=%v", c.DataDir, rep.Reopened, rep.Warm)
-	} else {
+	default:
 		s, err := core.New(sysCfg)
 		if err != nil {
 			return err

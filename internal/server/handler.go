@@ -9,9 +9,22 @@ import (
 	"repro/internal/alert"
 	"repro/internal/core"
 	"repro/internal/rdbms"
+	"repro/internal/shard"
 )
 
-// handle dispatches one admitted request to the core System under ctx.
+// degradedInfo extracts the shard-loss marker from an error, if any.
+// A degraded error ALONGSIDE a non-nil result means the healthy shards
+// answered and the response ships partial data with the gap declared;
+// a degraded error with no result is a plain typed failure.
+func degradedInfo(err error) *Degraded {
+	var de *shard.DegradedError
+	if errors.As(err, &de) {
+		return &Degraded{Down: de.Down, Shards: de.Shards}
+	}
+	return nil
+}
+
+// handle dispatches one admitted request to the backend under ctx.
 func (s *Server) handle(ctx context.Context, req *Request) *Response {
 	switch req.Op {
 	case OpSearch:
@@ -35,8 +48,11 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 			k = 5
 		}
 		ans, err := s.sys.AskGuided(ctx, req.Query, k)
+		var deg *Degraded
 		if err != nil {
-			return errResponse(err)
+			if deg = degradedInfo(err); deg == nil || ans == nil {
+				return errResponse(err)
+			}
 		}
 		g := &Guided{Coverage: ans.Coverage, Answer: toWireResultSet(ans.Answer)}
 		for _, c := range ans.Candidates {
@@ -44,22 +60,28 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 				Form: c.Form(), SQL: c.SQL, Attribute: c.Attribute, Score: c.Score,
 			})
 		}
-		return &Response{OK: true, Guided: g}
+		return &Response{OK: true, Guided: g, Degraded: deg}
 
 	case OpSQL:
 		if strings.TrimSpace(req.SQL) == "" {
 			return badRequest("sql: empty statement")
 		}
 		rs, err := s.sys.SQL(ctx, req.SQL)
+		var deg *Degraded
 		if err != nil {
-			return errResponse(err)
+			if deg = degradedInfo(err); deg == nil || rs == nil {
+				return errResponse(err)
+			}
 		}
-		return &Response{OK: true, Result: toWireResultSet(rs)}
+		return &Response{OK: true, Result: toWireResultSet(rs), Degraded: deg}
 
 	case OpBrowse:
 		b, err := s.sys.Browse(ctx)
+		var deg *Degraded
 		if err != nil {
-			return errResponse(err)
+			if deg = degradedInfo(err); deg == nil || b == nil {
+				return errResponse(err)
+			}
 		}
 		for _, step := range req.Refine {
 			facet, value, ok := strings.Cut(step, "=")
@@ -78,7 +100,7 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 			}
 			out.Facets = append(out.Facets, wf)
 		}
-		return &Response{OK: true, Browse: out}
+		return &Response{OK: true, Browse: out, Degraded: deg}
 
 	case OpSubscribe:
 		id, err := s.sys.Subscribe(alert.Subscription{
@@ -117,7 +139,8 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 
 // handleHealth assembles the engine and server vitals. It runs outside
 // admission control and tolerates a closed system: health must answer
-// during overload and during drain.
+// during overload and during drain. A sharded backend additionally
+// reports its topology and which shards are down.
 func (s *Server) handleHealth() *Response {
 	h := &Health{
 		InFlightOps: s.sys.InFlightOps(),
@@ -129,10 +152,14 @@ func (s *Server) handleHealth() *Response {
 	if rows, err := s.sys.ExtractedRows(); err == nil {
 		h.ExtractedRows = rows
 	}
-	h.Checkpoints = s.sys.DB.Checkpoints()
-	h.WALSyncs = s.sys.DB.WALSyncs()
-	st := s.sys.DB.LastOpenStats()
-	h.IndexesLoaded, h.IndexesRebuilt = st.IndexesLoaded, st.IndexesRebuilt
+	es := s.sys.EngineStats()
+	h.Checkpoints = es.Checkpoints
+	h.WALSyncs = es.WALSyncs
+	h.IndexesLoaded, h.IndexesRebuilt = es.IndexesLoaded, es.IndexesRebuilt
+	if sb, ok := s.sys.(shardedBackend); ok {
+		h.Shards = sb.Shards()
+		h.ShardsDown = sb.DownShards()
+	}
 	return &Response{OK: true, Health: h}
 }
 
@@ -146,9 +173,17 @@ func badRequest(msg string) *Response {
 // marked retryable.
 func errResponse(err error) *Response {
 	code := CodeInternal
+	var de *shard.DegradedError
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		code = CodeOverloaded
+	case errors.As(err, &de):
+		// Result-less shard loss (e.g. an entity routed to a dead
+		// shard): typed so clients can distinguish "partition gone"
+		// from internal failure.
+		code = CodeDegraded
+	case errors.Is(err, shard.ErrReadOnly), errors.Is(err, shard.ErrUnsupported):
+		code = CodeBadRequest
 	case errors.Is(err, ErrDraining), errors.Is(err, core.ErrClosed):
 		code = CodeClosed
 	case errors.Is(err, context.DeadlineExceeded):

@@ -137,6 +137,7 @@ const (
 	CodeTooLarge   = "too_large"   // request frame exceeded the maximum size
 	CodeConflict   = "conflict"    // transient concurrency conflict (deadlock); retry
 	CodeNotFound   = "not_found"   // no matching fact/provenance
+	CodeDegraded   = "degraded"    // shards down and no partial result could be served
 	CodeInternal   = "internal"    // unexpected server-side failure
 )
 
@@ -230,8 +231,18 @@ type Health struct {
 	Served         int64 `json:"served"`   // responses written
 	Checkpoints    int64 `json:"checkpoints"`
 	WALSyncs       int64 `json:"wal_syncs"`
-	IndexesLoaded  int   `json:"indexes_loaded"`  // last open: persisted index checkpoints used
-	IndexesRebuilt int   `json:"indexes_rebuilt"` // last open: indexes rebuilt by scan
+	IndexesLoaded  int   `json:"indexes_loaded"`        // last open: persisted index checkpoints used
+	IndexesRebuilt int   `json:"indexes_rebuilt"`       // last open: indexes rebuilt by scan
+	Shards         int   `json:"shards,omitempty"`      // sharded backend: shard count
+	ShardsDown     []int `json:"shards_down,omitempty"` // sharded backend: dead shard indexes
+}
+
+// Degraded marks a response produced without some shards: the data is
+// the healthy shards' complete answer, with the dead partitions' rows
+// missing (provenance of the gap, not silent truncation).
+type Degraded struct {
+	Down   []int `json:"down"`   // dead shard indexes, ascending
+	Shards int   `json:"shards"` // total shard count
 }
 
 // Response is one framed reply. Exactly one result field is set on
@@ -249,4 +260,8 @@ type Response struct {
 	Text    string     `json:"text,omitempty"`
 	Health  *Health    `json:"health,omitempty"`
 	Elapsed int64      `json:"elapsed_us,omitempty"` // server-side execution time
+
+	// Degraded, when set on an OK response, marks a partial result:
+	// the named shards were down and their rows are absent.
+	Degraded *Degraded `json:"degraded,omitempty"`
 }

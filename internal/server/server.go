@@ -11,8 +11,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/core"
 )
 
 // ErrOverloaded is the typed shed signal: admission control refused the
@@ -89,7 +87,7 @@ func (o *Options) withDefaults() Options {
 // Server serves the user layer over TCP. Create with New, start with
 // Serve, stop with Shutdown.
 type Server struct {
-	sys  *core.System
+	sys  Backend
 	opts Options
 
 	sem chan struct{} // admission semaphore: one token per executing request
@@ -106,10 +104,10 @@ type Server struct {
 	served   atomic.Int64
 }
 
-// New builds a server over an opened System. The server does not own the
-// System: closing it after Shutdown is the caller's job (RunDaemon wires
-// the full lifecycle).
-func New(sys *core.System, opts Options) *Server {
+// New builds a server over an opened backend (a single System or a
+// sharded one). The server does not own the backend: closing it after
+// Shutdown is the caller's job (RunDaemon wires the full lifecycle).
+func New(sys Backend, opts Options) *Server {
 	opts = opts.withDefaults()
 	return &Server{
 		sys:   sys,

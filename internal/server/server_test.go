@@ -32,8 +32,8 @@ func newTestSystem(t testing.TB, cities int) *core.System {
 }
 
 // startServer serves sys on a fresh port and tears everything down with
-// the test.
-func startServer(t testing.TB, sys *core.System, opts Options) (*Server, string) {
+// the test. It accepts any Backend, so the sharded suite reuses it.
+func startServer(t testing.TB, sys Backend, opts Options) (*Server, string) {
 	t.Helper()
 	srv := New(sys, opts)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,0 +1,230 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/browse"
+	"repro/internal/core"
+	"repro/internal/rdbms"
+	"repro/internal/search"
+)
+
+// ShardedView is the cross-shard snapshot handle: one pinned MVCC view
+// per healthy shard (a vector of LSNs), nil where a shard is down.
+// Every read on the view serves all shards at their pinned LSNs, so a
+// multi-statement exploration sees each shard frozen at one point in
+// time. Shards that were down at open time are gaps: reads that need
+// them return partial results with a *DegradedError.
+type ShardedView struct {
+	ss    *ShardedSystem
+	views []*core.View // index = shard; nil = gap
+	down  []int        // shards with no view, ascending
+	once  sync.Once
+}
+
+// View opens the vector snapshot. At least one shard must be healthy;
+// with none, core.ErrClosed is returned (the sharded system is
+// effectively closed).
+func (ss *ShardedSystem) View(ctx context.Context) (*ShardedView, error) {
+	sv := &ShardedView{ss: ss, views: make([]*core.View, len(ss.shards))}
+	healthy := map[int]bool{}
+	for _, i := range ss.healthy() {
+		healthy[i] = true
+	}
+	opened := 0
+	for i := range ss.shards {
+		if !healthy[i] {
+			sv.down = append(sv.down, i)
+			continue
+		}
+		v, err := ss.shards[i].View(ctx)
+		if err != nil {
+			if isGap(err) {
+				ss.markDown(i)
+				sv.down = append(sv.down, i)
+				continue
+			}
+			sv.Close()
+			return nil, err
+		}
+		sv.views[i] = v
+		opened++
+	}
+	if opened == 0 {
+		return nil, core.ErrClosed
+	}
+	return sv, nil
+}
+
+// Close releases every pinned per-shard view. Idempotent.
+func (sv *ShardedView) Close() {
+	sv.once.Do(func() {
+		for _, v := range sv.views {
+			if v != nil {
+				v.Close()
+			}
+		}
+	})
+}
+
+// LSNs returns the snapshot vector: one LSN per shard, zero where the
+// shard is a gap.
+func (sv *ShardedView) LSNs() []rdbms.LSN {
+	out := make([]rdbms.LSN, len(sv.views))
+	for i, v := range sv.views {
+		if v != nil {
+			out[i] = v.LSN()
+		}
+	}
+	return out
+}
+
+// gapError returns the degraded marker for this view's missing shards
+// (nil when every shard answered).
+func (sv *ShardedView) gapError(extra []int) *DegradedError {
+	down := append(append([]int{}, sv.down...), extra...)
+	return sv.ss.degraded(down)
+}
+
+// degradedOrNil converts the *DegradedError to a plain error interface
+// without the classic non-nil-interface-around-nil-pointer trap.
+func degradedOrNil(de *DegradedError) error {
+	if de == nil {
+		return nil
+	}
+	return de
+}
+
+// KeywordSearch serves from the lowest-index live view: the document
+// index is replicated, so one shard's answer is the complete answer.
+func (sv *ShardedView) KeywordSearch(query string, k int) ([]search.Hit, error) {
+	for i, v := range sv.views {
+		if v == nil {
+			continue
+		}
+		hits, err := v.KeywordSearch(query, k)
+		if err != nil {
+			if isGap(err) {
+				sv.ss.markDown(i)
+				continue
+			}
+			return nil, err
+		}
+		return hits, nil
+	}
+	return nil, core.ErrClosed
+}
+
+// AskGuided reformulates against the merged catalog and executes the
+// top candidate's SQL across the shard snapshots, averaging coverage
+// over the shards that answered. Candidates are identical to a single
+// engine's over the same rows (ranking is insertion-order independent).
+func (sv *ShardedView) AskGuided(query string, k int) (*core.GuidedAnswer, error) {
+	_, reform, catDown, err := sv.ss.shardedCatalog(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	cands := reform.Candidates(query, k)
+	out := &core.GuidedAnswer{Candidates: cands}
+	if len(cands) == 0 {
+		return out, degradedOrNil(sv.gapError(catDown))
+	}
+	top := cands[0]
+	rs, err := sv.SQL(top.SQL)
+	var de *DegradedError
+	if err != nil && !errors.As(err, &de) {
+		return nil, err
+	}
+	out.Answer = rs
+	cov, n := 0.0, 0
+	for i, v := range sv.views {
+		if v == nil {
+			continue
+		}
+		cov += sv.ss.shards[i].Coverage(top.Attribute)
+		n++
+	}
+	if n > 0 {
+		out.Coverage = cov / float64(n)
+	}
+	return out, degradedOrNil(sv.gapError(catDown))
+}
+
+// SQL executes a read statement across the shard snapshots; see the
+// package doc for the routing and merge contract.
+func (sv *ShardedView) SQL(query string) (*rdbms.ResultSet, error) {
+	return execSharded(sv.ss, query, len(sv.views), func(i int, q string) (*rdbms.ResultSet, error) {
+		if sv.views[i] == nil {
+			return nil, core.ErrClosed
+		}
+		return sv.views[i].SQL(q)
+	})
+}
+
+// Browse merges every live shard's snapshot scan on ascending entity —
+// reconstructing the single-engine scan order, since the ingest stream
+// is entity-sorted and entities never span shards — and builds one
+// faceted browser over the union.
+func (sv *ShardedView) Browse() (*browse.Browser, error) {
+	var streams [][]browse.Row
+	var extra []int
+	for i, v := range sv.views {
+		if v == nil {
+			continue
+		}
+		b, err := v.Browse()
+		if err != nil {
+			if isGap(err) {
+				sv.ss.markDown(i)
+				extra = append(extra, i)
+				continue
+			}
+			return nil, err
+		}
+		streams = append(streams, b.Rows())
+	}
+	if len(streams) == 0 {
+		return nil, core.ErrClosed
+	}
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	all := make([]browse.Row, 0, total)
+	cursors := make([]int, len(streams))
+	for {
+		best := -1
+		for i, s := range streams {
+			if cursors[i] >= len(s) {
+				continue
+			}
+			if best < 0 || s[cursors[i]].Entity < streams[best][cursors[best]].Entity {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		all = append(all, streams[best][cursors[best]])
+		cursors[best]++
+	}
+	return browse.New(all), degradedOrNil(sv.gapError(extra))
+}
+
+// ExplainFact routes to the owning shard's view; a gap there is a
+// degraded miss.
+func (sv *ShardedView) ExplainFact(entity, attribute, qualifier string) (string, error) {
+	owner := sv.ss.Owner(entity)
+	v := sv.views[owner]
+	if v == nil {
+		return "", sv.ss.degraded([]int{owner})
+	}
+	out, err := v.ExplainFact(entity, attribute, qualifier)
+	if err != nil && isGap(err) {
+		sv.ss.markDown(owner)
+		return "", sv.ss.degraded([]int{owner})
+	}
+	return out, err
+}
