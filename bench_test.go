@@ -131,6 +131,16 @@ func BenchmarkDurability(b *testing.B) {
 	b.Run("DiskReopenIndexed", perfbench.DiskReopenIndexed)
 }
 
+// BenchmarkBufferPool measures larger-than-RAM serving: a full heap
+// sweep through a pool ~10x smaller than the table, and hot point reads
+// interleaved with such sweeps (the scan-resistance headline — the
+// hot-read ns/op should stay near the in-cache cost, not the pager
+// cost, and the reported hit-rate should stay high).
+func BenchmarkBufferPool(b *testing.B) {
+	b.Run("ScanUnderPressure", perfbench.ScanUnderPressure)
+	b.Run("HotPointReadUnderScan", perfbench.HotPointReadUnderScan)
+}
+
 // BenchmarkE2IncrementalVsOneShot measures time-to-first-answer.
 func BenchmarkE2IncrementalVsOneShot(b *testing.B) {
 	cfg := synth.Config{Seed: benchSeed, Cities: 120, People: 40, Filler: 100, MentionsPerPerson: 2}

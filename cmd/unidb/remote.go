@@ -124,6 +124,14 @@ func runRemote(ctx context.Context, addr, cmd string, args []string, out io.Writ
 		fmt.Fprintf(out, "checkpoints:      %d\n", h.Checkpoints)
 		fmt.Fprintf(out, "wal syncs:        %d\n", h.WALSyncs)
 		fmt.Fprintf(out, "indexes loaded:   %d (rebuilt %d)\n", h.IndexesLoaded, h.IndexesRebuilt)
+		if h.BufferCapacity > 0 {
+			fmt.Fprintf(out, "buffer pool:      %d/%d resident, %.1f%% hit rate (%d hits, %d misses, %d evictions, %d scan-bypass)\n",
+				h.BufferResident, h.BufferCapacity, 100*h.BufferHitRate,
+				h.BufferHits, h.BufferMisses, h.BufferEvictions, h.BufferScanBypass)
+		}
+		if h.Shards > 0 {
+			fmt.Fprintf(out, "shards:           %d (down: %v)\n", h.Shards, h.ShardsDown)
+		}
 		fmt.Fprintf(out, "draining/closing: %v/%v\n", h.Draining, h.Closing)
 		return nil
 	}

@@ -591,4 +591,56 @@
 // scales with engines (target >= 2x at 4 shards even on a single-core
 // runner, where per-shard LIMIT pushdown shrinks each engine's scan and
 // merge work is O(k)).
+//
+// # Larger-than-RAM serving: scan-resistant buffer pool + segmented WAL (PR10)
+//
+// Before PR10 the engine's frame cap was advisory in practice — steady
+// workloads fit in the pool — and the WAL was one flat device whose
+// truncation copied the live tail down. PR10 makes "table much bigger
+// than memory" a served configuration with proofs.
+//
+// Scan-resistant replacement (internal/rdbms/buffer.go). The pool's
+// single LRU became a segmented LRU: frames enter a probation queue and
+// earn the protected queue (3/4 of capacity) only on resident
+// re-reference. Scan paths (heap Scan, recovery, SQL table scans)
+// declare themselves via PinScan: scan misses are admitted at probation's
+// eviction end and never promote, so a full-table sweep recycles a
+// handful of frames instead of flushing the working set. A 2Q-style
+// ghost list remembers recently evicted non-scan pages; a miss on a
+// remembered page is proven reuse the frame cap hid, and is admitted
+// straight to protected — without it, a hot set wider than probation
+// cycles forever while stale early promotions squat in protected.
+// ErrPoolExhausted (every frame pinned) is a typed capacity refusal the
+// server maps to the overloaded wire code, not a 500. BufferStats
+// (hits, misses, evictions, scan-bypass, ghost hits, residency) threads
+// through core.EngineStats — summed across shards — to unidbd health.
+//
+// Segmented WAL (internal/rdbms/wal.go, walstore.go). The log is now a
+// sequence of fixed-size segments under a manifest (temp + fsync +
+// rename + directory fsync). Rotation happens in the group-commit flush
+// leader; TruncateTo drops whole prefix segments O(1) — no copy-down,
+// no stop-the-world — and recovery walks the manifest's segments in
+// order. The checkpoint horizon math is unchanged: a long-running
+// transaction pins the horizon, and the space-bound test proves garbage
+// below the horizon stays within two segments of slack while prefix
+// segments free as commits advance.
+//
+// The proof harness (largerthanram_test.go, segrotate_test.go): an
+// oracle run with the heap ~15x the pool must render byte-identical
+// results to an uncapped run across point reads, scans, and ORDER BY,
+// with residency never exceeding capacity and post-GC heap growth flat
+// across repeated sweeps; the scan-resistance A/B pits the SLRU against
+// a flat-LRU build of the same pool (Options.FlatLRU) and requires the
+// hot set to survive sweeps only under SLRU; the rotation crash suite
+// kills the segment/manifest protocol at every mutating I/O (crash and
+// torn-write) and requires every acked commit after reopen; a
+// concurrent pin/evict storm hammers a capacity-2 pool with 8 goroutines
+// under -race and write faults. CI adds a GOMEMLIMIT=128MiB job — the
+// runtime itself enforces the memory bound the oracle claims.
+//
+// The headline measurement (perfbench/bufferload.go, BENCH_PR10.json):
+// a full heap sweep through a pool ~10x smaller than the table, and hot
+// point reads interleaved with such sweeps — the hot reads stay at
+// in-cache cost with a 1.0 hit rate because the sweeps cannot evict the
+// protected set.
 package repro

@@ -421,16 +421,32 @@ type EngineStats struct {
 	WALSyncs       int64
 	IndexesLoaded  int
 	IndexesRebuilt int
+
+	// Buffer-pool vitals (PR10): raw counters so a sharded backend can
+	// sum them; hit rate is derived at the reporting edge.
+	BufferHits       int64
+	BufferMisses     int64
+	BufferEvictions  int64
+	BufferScanBypass int64
+	BufferCapacity   int // frames (summed across shards when aggregated)
+	BufferResident   int
 }
 
 // EngineStats returns the engine's current health counters.
 func (s *System) EngineStats() EngineStats {
 	os := s.DB.LastOpenStats()
+	bs := s.DB.BufferStats()
 	return EngineStats{
-		Checkpoints:    s.DB.Checkpoints(),
-		WALSyncs:       s.DB.WALSyncs(),
-		IndexesLoaded:  os.IndexesLoaded,
-		IndexesRebuilt: os.IndexesRebuilt,
+		Checkpoints:      s.DB.Checkpoints(),
+		WALSyncs:         s.DB.WALSyncs(),
+		IndexesLoaded:    os.IndexesLoaded,
+		IndexesRebuilt:   os.IndexesRebuilt,
+		BufferHits:       bs.Hits,
+		BufferMisses:     bs.Misses,
+		BufferEvictions:  bs.Evictions,
+		BufferScanBypass: bs.ScanBypass,
+		BufferCapacity:   bs.Capacity,
+		BufferResident:   bs.Resident,
 	}
 }
 

@@ -1,0 +1,131 @@
+// Buffer-pool micro-benchmarks (PR10): the larger-than-RAM serving
+// costs. ScanUnderPressure prices a full heap sweep through a pool an
+// order of magnitude smaller than the table (every page faults through
+// the scan-hinted admission path); HotPointReadUnderScan prices the
+// latency a hot point read pays while such sweeps keep running — the
+// number the scan-resistant replacement exists to protect. Compare the
+// two ns/op against BENCH_PR9.json's unpressured point-read costs; the
+// reported hit-rate metric shows the protected working set surviving.
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/rdbms"
+)
+
+const (
+	bufRows   = 4000 // ~235 heap pages at ~17 rows/page
+	bufFrames = 24   // pool an order of magnitude smaller than the heap
+)
+
+// openPressuredDB builds an in-memory DB whose heap is ~10x the buffer
+// pool, bulk-loaded with bufRows distinct rows.
+func openPressuredDB(b *testing.B) *rdbms.DB {
+	b.Helper()
+	pager, err := rdbms.NewDevicePager(rdbms.NewMemDevice())
+	if err != nil {
+		b.Fatal(err)
+	}
+	wal, err := rdbms.NewWALOn(rdbms.NewMemWALStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := rdbms.Open(pager, wal, rdbms.Options{BufferPages: bufFrames})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(rdbms.TableSchema{Name: "kv", Columns: []rdbms.ColumnDef{
+		{Name: "k", Type: rdbms.TInt}, {Name: "v", Type: rdbms.TString},
+	}}); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]rdbms.Tuple, bufRows)
+	pad := make([]byte, 180)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	for i := range rows {
+		rows[i] = rdbms.Tuple{rdbms.NewInt(int64(i)), rdbms.NewString(fmt.Sprintf("v%06d-%s", i, pad))}
+	}
+	if _, err := db.BulkLoad(context.Background(), "kv", rows); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// ScanUnderPressure measures one full heap sweep with the pool 10x
+// smaller than the table: every page reads through the pager and is
+// admitted evict-first, so this is the steady-state cost of analytics
+// over a larger-than-RAM table.
+func ScanUnderPressure(b *testing.B) {
+	db := openPressuredDB(b)
+	defer db.Close()
+	h := db.Table("kv").Heap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := h.Scan(func(rdbms.RID, rdbms.Tuple) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n != bufRows {
+			b.Fatalf("scan saw %d rows, want %d", n, bufRows)
+		}
+	}
+}
+
+// HotPointReadUnderScan measures a hot-set point read while full-table
+// sweeps keep evicting (one sweep per 256 reads, excluded from the
+// timer): the scan-resistant pool keeps the hot pages resident, so the
+// measured read is a cache hit, not a pager fault. The achieved hit
+// rate over the measured window is reported alongside ns/op.
+func HotPointReadUnderScan(b *testing.B) {
+	db := openPressuredDB(b)
+	defer db.Close()
+	h := db.Table("kv").Heap
+	var rids []rdbms.RID
+	if err := h.Scan(func(rid rdbms.RID, _ rdbms.Tuple) bool { rids = append(rids, rid); return true }); err != nil {
+		b.Fatal(err)
+	}
+	hot := make([]rdbms.RID, 8)
+	for i := range hot {
+		hot[i] = rids[i*len(rids)/len(hot)]
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, rid := range hot {
+			if _, ok, err := h.Get(rid); err != nil || !ok {
+				b.Fatalf("warm get %v: ok=%v err=%v", rid, ok, err)
+			}
+		}
+	}
+	start := db.BufferStats()
+	var scanHits, scanMisses int64 // pool traffic owed to the sweeps, not the hot reads
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%256 == 0 {
+			b.StopTimer()
+			s0 := db.BufferStats()
+			if err := h.Scan(func(rdbms.RID, rdbms.Tuple) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+			s1 := db.BufferStats()
+			scanHits += s1.Hits - s0.Hits
+			scanMisses += s1.Misses - s0.Misses
+			b.StartTimer()
+		}
+		if _, ok, err := h.Get(hot[i%len(hot)]); err != nil || !ok {
+			b.Fatalf("hot get: ok=%v err=%v", ok, err)
+		}
+	}
+	b.StopTimer()
+	end := db.BufferStats()
+	hits := end.Hits - start.Hits - scanHits
+	misses := end.Misses - start.Misses - scanMisses
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hit-rate")
+	}
+}

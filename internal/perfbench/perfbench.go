@@ -696,8 +696,10 @@ func RunAll() Report {
 		{"Durability/DiskCommitDuringCheckpoint", DiskCommitDuringCheckpoint},
 		{"Durability/DiskReopen", DiskReopen},
 		{"Durability/DiskReopenIndexed", DiskReopenIndexed},
+		{"BufferPool/ScanUnderPressure", ScanUnderPressure},
+		{"BufferPool/HotPointReadUnderScan", HotPointReadUnderScan},
 	}
-	rep := Report{PR: 9, Suite: "sharded-dataspace"}
+	rep := Report{PR: 10, Suite: "larger-than-ram"}
 	for _, bm := range benches {
 		r := testing.Benchmark(bm.fn)
 		rep.Results = append(rep.Results, Result{

@@ -483,7 +483,7 @@ type bulkFaultRun struct {
 // drives the bulk load chunk by chunk (so the oracle learns the durable
 // whole-chunk boundaries) and fences with Commit. A scheduled crash is
 // recovered and recorded.
-func runBulkFaultWorkload(pageDev, walDev Device, inj *FaultInjector, rows []Tuple) (res bulkFaultRun) {
+func runBulkFaultWorkload(pageDev Device, walDev WALStore, inj *FaultInjector, rows []Tuple) (res bulkFaultRun) {
 	defer func() {
 		if r := recover(); r != nil {
 			cs, ok := r.(CrashSignal)
@@ -557,7 +557,7 @@ func runBulkFaultWorkload(pageDev, walDev Device, inj *FaultInjector, rows []Tup
 // visibility: the recovered rows must be exactly the ids 0..n-1 for an n
 // that is a whole-chunk boundary, covering at least every acknowledged
 // chunk; derived state (index, content hash) must agree with the heap.
-func verifyBulkFaultRun(t *testing.T, res bulkFaultRun, wantBoundaries []int, pageDev, walDev Device) {
+func verifyBulkFaultRun(t *testing.T, res bulkFaultRun, wantBoundaries []int, pageDev Device, walDev WALStore) {
 	t.Helper()
 	db, pager := reopenClean(t, pageDev, walDev)
 	defer db.Close()
@@ -649,7 +649,7 @@ func TestBulkLoadBatchCrashSuite(t *testing.T) {
 
 	// Fault-free dry run: learn the op count and chunk boundaries.
 	dryInj := NewFaultInjector()
-	dryPage, dryWAL := NewMemDevice(), NewMemDevice()
+	dryPage, dryWAL := NewMemDevice(), NewMemWALStore()
 	dry := runBulkFaultWorkload(dryPage, dryWAL, dryInj, rows)
 	if dry.crashed || dry.stopErr != nil || !dry.closed {
 		t.Fatalf("dry run did not complete: crashed=%v err=%v", dry.crashed, dry.stopErr)
@@ -677,7 +677,7 @@ func TestBulkLoadBatchCrashSuite(t *testing.T) {
 		t.Run(fmt.Sprintf("op=%d", op), func(t *testing.T) {
 			inj := NewFaultInjector()
 			inj.Schedule(op, kind)
-			pageDev, walDev := NewMemDevice(), NewMemDevice()
+			pageDev, walDev := NewMemDevice(), NewMemWALStore()
 			res := runBulkFaultWorkload(pageDev, walDev, inj, rows)
 			if res.stopErr != nil {
 				t.Fatalf("op %d: unexpected workload error: %v", op, res.stopErr)

@@ -57,7 +57,7 @@ func ckptFaultTxn(seed int64, g, t int) (keys [2]int64, vals [2]string, update, 
 // injected devices, returning the recorded outcomes. Scheduled crashes
 // panic in whichever goroutine draws the fated I/O; each recovers its
 // own CrashSignal and stops, modelling the process dying mid-flight.
-func runCkptFaultWorkload(t *testing.T, seed int64, pageDev, walDev Device, inj *FaultInjector) []*ckptFaultOutcome {
+func runCkptFaultWorkload(t *testing.T, seed int64, pageDev Device, walDev WALStore, inj *FaultInjector) []*ckptFaultOutcome {
 	t.Helper()
 	const (
 		workers       = 3
@@ -199,7 +199,7 @@ func runCkptFaultWorkload(t *testing.T, seed int64, pageDev, walDev Device, inj 
 }
 
 // verifyCkptFaultRun reopens cleanly and checks the oracle.
-func verifyCkptFaultRun(t *testing.T, tag string, outcomes []*ckptFaultOutcome, pageDev, walDev Device) {
+func verifyCkptFaultRun(t *testing.T, tag string, outcomes []*ckptFaultOutcome, pageDev Device, walDev WALStore) {
 	t.Helper()
 	db, pager := reopenClean(t, pageDev, walDev)
 	if err := pager.VerifyChecksums(); err != nil {
@@ -278,7 +278,7 @@ func TestFuzzyCheckpointCrashSuite(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			dryInj := NewFaultInjector()
-			dryPage, dryWAL := NewMemDevice(), NewMemDevice()
+			dryPage, dryWAL := NewMemDevice(), NewMemWALStore()
 			outcomes := runCkptFaultWorkload(t, seed, dryPage, dryWAL, dryInj)
 			if _, dead := dryInj.Crashed(); dead {
 				t.Fatal("dry run crashed with no fault scheduled")
@@ -296,7 +296,7 @@ func TestFuzzyCheckpointCrashSuite(t *testing.T) {
 				}
 				inj := NewFaultInjector()
 				inj.Schedule(op, kind)
-				pageDev, walDev := NewMemDevice(), NewMemDevice()
+				pageDev, walDev := NewMemDevice(), NewMemWALStore()
 				outcomes := runCkptFaultWorkload(t, seed, pageDev, walDev, inj)
 				crashRNG := rand.New(rand.NewSource(seed<<22 ^ op))
 				pageDev.Crash(crashRNG)

@@ -193,7 +193,7 @@ func TestContentHashSurvivesReopen(t *testing.T) {
 // the catalog's checkpoint-time digest by the tail's deltas (and ignore
 // the in-flight loser).
 func TestContentHashCrashRecoveryAdjustment(t *testing.T) {
-	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pageDev, walDev := NewMemDevice(), NewMemWALStore()
 	pager, _ := NewDevicePager(pageDev)
 	wal, _ := NewWALOn(walDev)
 	db, err := Open(pager, wal, Options{BufferPages: 256})

@@ -85,6 +85,17 @@ type Options struct {
 	// entirely, degenerating to solo-commit flushing — each leader
 	// captures only the records already buffered when it takes over.
 	GroupCommitWindow *int
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (default DefaultWALSegmentBytes). Smaller segments reclaim log
+	// space at finer granularity under long-running transactions, at the
+	// cost of more frequent rotations (one manifest swap + directory
+	// sync each).
+	WALSegmentBytes int64
+	// FlatLRU disables the buffer pool's scan-resistant segmented LRU,
+	// reverting to a single recency queue that ignores scan hints. It
+	// exists so the larger-than-RAM oracle can demonstrate the policy
+	// difference; production opens leave it false.
+	FlatLRU bool
 }
 
 // OpenStats reports how recovery reconstructed secondary structures.
@@ -109,19 +120,20 @@ func (db *DB) Checkpoints() int64 {
 	return db.checkpoints
 }
 
-// DataFileName and WALFileName are the files OpenDir manages inside its
-// directory.
+// DataFileName and WALDirName are the entries OpenDir manages inside its
+// directory: the checksummed page file and the WAL segment directory
+// (numbered segment files plus their manifest).
 const (
 	DataFileName = "data.udb"
-	WALFileName  = "wal.udb"
+	WALDirName   = "wal"
 )
 
 // OpenDir opens (creating if needed) an on-disk database rooted at dir:
-// checksummed pages in dir/data.udb, the write-ahead log in dir/wal.udb.
-// An existing directory is recovered — torn WAL tail truncated, committed
-// work redone, losers undone — and Close checkpoints and releases both
-// files, so OpenDir → work → Close → OpenDir is the full crash-safe
-// lifecycle.
+// checksummed pages in dir/data.udb, the segmented write-ahead log under
+// dir/wal/. An existing directory is recovered — orphan WAL segments
+// collected, torn WAL tail truncated, committed work redone, losers
+// undone — and Close checkpoints and releases both, so OpenDir → work →
+// Close → OpenDir is the full crash-safe lifecycle.
 func OpenDir(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -135,7 +147,7 @@ func OpenDir(dir string, opts Options) (*DB, error) {
 		lock.Close()
 		return nil, err
 	}
-	wal, err := OpenFileWAL(filepath.Join(dir, WALFileName))
+	wal, err := OpenFileWAL(filepath.Join(dir, WALDirName))
 	if err != nil {
 		pager.Close()
 		lock.Close()
@@ -164,6 +176,9 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 	if opts.GroupCommitWindow != nil {
 		wal.window = *opts.GroupCommitWindow
 	}
+	if opts.WALSegmentBytes > 0 {
+		wal.SetSegmentTarget(opts.WALSegmentBytes)
+	}
 	db := &DB{
 		pager:          pager,
 		wal:            wal,
@@ -173,7 +188,11 @@ func Open(pager Pager, wal *WAL, opts Options) (*DB, error) {
 		active:         make(map[TxnID]*Txn),
 		rebuildIndexes: opts.RebuildIndexes,
 	}
-	db.bp = NewBufferPool(pager, wal, opts.BufferPages)
+	if opts.FlatLRU {
+		db.bp = NewFlatLRUBufferPool(pager, wal, opts.BufferPages)
+	} else {
+		db.bp = NewBufferPool(pager, wal, opts.BufferPages)
+	}
 	if pager.NumPages() == 0 {
 		// Fresh database: allocate and write the catalog page.
 		id, err := pager.Allocate()
@@ -333,11 +352,14 @@ func (db *DB) checkpointLocked() error {
 }
 
 // checkpointIsNoopLocked reports whether a checkpoint would change
-// nothing: the log is empty, no page write is pending or unsynced, no
-// transaction is active, and every table's persisted derived state is
-// still a consistent capture of its current contents.
+// nothing: the log holds no record past the last checkpoint's horizon
+// (segment-granular truncation keeps already-checkpointed bytes of the
+// active segment on disk, so "physically empty" is the wrong test), no
+// page write is pending or unsynced, no transaction is active, and
+// every table's persisted derived state is still a consistent capture
+// of its current contents.
 func (db *DB) checkpointIsNoopLocked() bool {
-	if !db.wal.Empty() || db.bp.HasPendingWrites() {
+	if !db.wal.EmptySince(db.checkpointLSN) || db.bp.HasPendingWrites() {
 		return false
 	}
 	db.txnMu.Lock()
@@ -618,8 +640,10 @@ func (db *DB) LockManager() *LockManager { return db.lm }
 // Versions exposes the MVCC version store (for tests and diagnostics).
 func (db *DB) Versions() *VersionStore { return db.vs }
 
-// BufferStats returns buffer pool hit/miss counters.
-func (db *DB) BufferStats() (hits, misses int64) { return db.bp.Stats() }
+// BufferStats returns a snapshot of the buffer pool's counters and
+// occupancy (hit/miss/eviction/scan-bypass; threaded up to unidbd
+// health).
+func (db *DB) BufferStats() BufferStats { return db.bp.Stats() }
 
 // WALSyncs returns the number of WAL device syncs performed so far: the
 // group-commit amortization diagnostic (commits per sync).

@@ -128,8 +128,8 @@ func TestOpenDirKilledWithoutClose(t *testing.T) {
 }
 
 func TestWALTornTailTruncatedOnOpen(t *testing.T) {
-	dev := NewMemDevice()
-	w, err := NewWALOn(dev)
+	store := NewMemWALStore()
+	w, err := NewWALOn(store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,12 +138,18 @@ func TestWALTornTailTruncatedOnOpen(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	// Tear the active segment directly (OpenSegment returns the same
+	// device the WAL appends to).
+	dev, err := store.OpenSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	valid, _ := dev.Size()
 	// A torn flush: half a frame of garbage beyond the valid records.
 	dev.WriteAt([]byte{9, 9, 9, 9, 9, 9, 9, 9, 1, 2, 3}, valid)
 	dev.Sync()
 
-	w2, err := NewWALOn(dev)
+	w2, err := NewWALOn(store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +235,9 @@ func TestPageChecksumDetectsMisdirectedWrite(t *testing.T) {
 
 func TestCheckpointTruncatesWAL(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "db")
-	db, err := OpenDir(dir, Options{BufferPages: 16})
+	// Small segments so the workload spans several and the checkpoint has
+	// whole prefix segments to delete.
+	db, err := OpenDir(dir, Options{BufferPages: 16, WALSegmentBytes: 4096})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,22 +247,31 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 		tx.Insert("t", Tuple{NewInt(int64(i))})
 	}
 	tx.Commit()
-	st, err := os.Stat(filepath.Join(dir, WALFileName))
+	before, err := db.wal.DiskBytes()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Size() == 0 {
+	if before == 0 {
 		t.Fatal("expected a non-empty WAL before checkpoint")
+	}
+	if db.wal.SegmentCount() < 2 {
+		t.Fatalf("workload should span segments, got %d", db.wal.SegmentCount())
 	}
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	// A quiescent checkpoint's horizon is the end of the log, so the file
-	// shrinks to just the WAL header (the base-LSN bookkeeping that keeps
-	// LSNs monotonic across truncations).
-	st, _ = os.Stat(filepath.Join(dir, WALFileName))
-	if st.Size() != walHeaderSize {
-		t.Fatalf("WAL not truncated at checkpoint: %d bytes, want %d (header only)", st.Size(), walHeaderSize)
+	// A quiescent checkpoint's horizon is the end of the log, so every
+	// sealed prefix segment is deleted — only the active segment remains
+	// (LSNs stay monotonic: the manifest records its start offset).
+	if got := db.wal.SegmentCount(); got != 1 {
+		t.Fatalf("WAL not truncated at checkpoint: %d segments, want 1", got)
+	}
+	after, err := db.wal.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("checkpoint reclaimed no WAL space: %d -> %d bytes", before, after)
 	}
 	// Post-checkpoint work still recovers after a kill (drop the flock by
 	// hand, as the OS would for a dead process).

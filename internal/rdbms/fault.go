@@ -18,7 +18,7 @@ import (
 //	inj := NewFaultInjector()
 //	inj.Schedule(17, FaultCrash) // kill the process at the 17th I/O
 //	pager, _ := NewFaultPager(pageDev, inj)
-//	wal, _ := NewFaultWAL(walDev, inj)
+//	wal, _ := NewFaultWAL(walStore, inj)
 //	db, _ := Open(pager, wal, Options{})
 //
 // Mutating device operations (write, sync, truncate) share one global
@@ -193,10 +193,12 @@ func NewFaultPager(dev Device, inj *FaultInjector) (*DevicePager, error) {
 	return NewDevicePager(NewFaultDevice(dev, inj))
 }
 
-// NewFaultWAL returns a WAL over dev whose I/O passes through the
-// injector — the WAL the engine opens when a test wants log-side faults.
-// The WAL device is tearable: torn writes leave real half-frames for the
-// open-time tail truncation to clean up.
-func NewFaultWAL(dev Device, inj *FaultInjector) (*WAL, error) {
-	return NewWALOn(&FaultDevice{inner: dev, inj: inj, tearable: true})
+// NewFaultWAL returns a WAL over store whose I/O — segment writes and
+// syncs as well as the directory-level operations (segment removal,
+// manifest swap, directory sync) — passes through the injector: the WAL
+// the engine opens when a test wants log-side faults. Segment devices
+// are tearable: torn writes leave real half-frames for the open-time
+// tail truncation to clean up.
+func NewFaultWAL(store WALStore, inj *FaultInjector) (*WAL, error) {
+	return NewWALOn(NewFaultWALStore(store, inj))
 }

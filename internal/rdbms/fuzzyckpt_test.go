@@ -38,7 +38,7 @@ func TestCommitProceedsDuringCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wal, err := NewWALOn(NewMemDevice())
+	wal, err := NewWALOn(NewMemWALStore())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,27 +122,31 @@ func TestCheckpointRecordPairCarriesDPT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Earlier checkpoints (the DDL fences) also left record pairs in the
+	// log — segment-granular truncation keeps them until a whole prefix
+	// segment seals — so only the LAST pair is the one taken with the held
+	// transaction active.
 	beginIdx, endIdx := -1, -1
 	for i, r := range recs {
 		switch r.Kind {
 		case LogCheckpointBegin:
 			beginIdx = i
-			dpt, active, err := decodeCheckpointInfo(r.Data)
-			if err != nil {
-				t.Fatalf("begin-checkpoint payload: %v", err)
-			}
-			if _, ok := active[held.ID()]; !ok {
-				t.Fatalf("active txn %d missing from checkpoint record (got %v)", held.ID(), active)
-			}
-			if len(dpt) == 0 {
-				t.Fatal("expected a non-empty dirty-page table (held txn dirtied a page)")
-			}
 		case LogCheckpointEnd:
 			endIdx = i
 		}
 	}
 	if beginIdx < 0 || endIdx < 0 || endIdx < beginIdx {
 		t.Fatalf("checkpoint records not bracketed: begin=%d end=%d", beginIdx, endIdx)
+	}
+	dpt, active, err := decodeCheckpointInfo(recs[beginIdx].Data)
+	if err != nil {
+		t.Fatalf("begin-checkpoint payload: %v", err)
+	}
+	if _, ok := active[held.ID()]; !ok {
+		t.Fatalf("active txn %d missing from checkpoint record (got %v)", held.ID(), active)
+	}
+	if len(dpt) == 0 {
+		t.Fatal("expected a non-empty dirty-page table (held txn dirtied a page)")
 	}
 	if err := held.Commit(); err != nil {
 		t.Fatal(err)
@@ -151,13 +155,16 @@ func TestCheckpointRecordPairCarriesDPT(t *testing.T) {
 
 // TestCheckpointHorizonBoundedByActiveTxn: the WAL keeps every record an
 // active transaction might need for rollback; once the transaction
-// resolves, the next checkpoint reclaims the log down to the header.
+// resolves, the next checkpoint reclaims every sealed prefix segment.
 func TestCheckpointHorizonBoundedByActiveTxn(t *testing.T) {
-	walDev := NewMemDevice()
+	walDev := NewMemWALStore()
 	wal, err := NewWALOn(walDev)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Tiny segments so the workload seals many and truncation has
+	// segment boundaries to work with.
+	wal.SetSegmentTarget(256)
 	db, err := Open(NewMemPager(), wal, Options{BufferPages: 64})
 	if err != nil {
 		t.Fatal(err)
@@ -204,8 +211,8 @@ func TestCheckpointHorizonBoundedByActiveTxn(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if size, _ := walDev.Size(); size != walHeaderSize {
-		t.Fatalf("idle checkpoint left %d WAL bytes, want %d (header only)", size, walHeaderSize)
+	if n := wal.SegmentCount(); n != 1 {
+		t.Fatalf("idle checkpoint left %d segments, want 1 (every sealed prefix segment reclaimed)", n)
 	}
 	// LSNs stay monotonic across the truncation: the next record's LSN
 	// continues past everything ever logged.
@@ -217,33 +224,42 @@ func TestCheckpointHorizonBoundedByActiveTxn(t *testing.T) {
 	tx.Commit()
 }
 
-// TestWALPrefixTruncationCrashSafety exercises TruncateTo's copy-down
-// protocol directly at every interruption point: schedule a crash at
-// each mutating I/O of a truncation with a live tail, then reopen and
-// assert the surviving records are intact with their original LSNs —
-// whether the open recovers under the old base, redoes the announced
-// copy, or finds the finished log.
-func TestWALPrefixTruncationCrashSafety(t *testing.T) {
-	build := func() (*MemDevice, []LSN, LSN) {
-		dev := NewMemDevice()
-		w, err := NewWALOn(dev)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var lsns []LSN
-		for i := 0; i < 40; i++ {
-			lsns = append(lsns, w.Append(&LogRecord{Kind: LogInsert, Txn: TxnID(i), Table: "t",
-				Row: RID{Page: 1, Slot: uint16(i)}, After: Tuple{NewInt(int64(i))}}))
-		}
+// buildSegmentedWAL appends n records with a flush (and therefore a
+// possible rotation) after each, so the log spans many small segments.
+func buildSegmentedWAL(t *testing.T, target int64, n int) (*MemWALStore, *WAL, []LSN) {
+	t.Helper()
+	store := NewMemWALStore()
+	w, err := NewWALOn(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetSegmentTarget(target)
+	var lsns []LSN
+	for i := 0; i < n; i++ {
+		lsns = append(lsns, w.Append(&LogRecord{Kind: LogInsert, Txn: TxnID(i), Table: "t",
+			Row: RID{Page: 1, Slot: uint16(i)}, After: Tuple{NewInt(int64(i))}}))
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)
 		}
-		return dev, lsns, lsns[30] // horizon: keep the last 10 records
 	}
-	// Count the truncation's I/O ops.
-	dev, _, horizon := build()
+	return store, w, lsns
+}
+
+// TestWALSegmentTruncationCrashSafety exercises TruncateTo's
+// manifest-swap protocol directly at every interruption point: schedule
+// a crash at each I/O of a truncation over a many-segment log, then
+// crash-rewind the store adversarially (every unsynced directory op
+// lost) and assert the surviving records are intact with their original
+// LSNs — whether the reopen finds the old manifest over intact files,
+// the new manifest over not-yet-removed orphans, or the finished log.
+func TestWALSegmentTruncationCrashSafety(t *testing.T) {
+	const records = 40
+	const keepFrom = 30
+	// Count the truncation's I/O ops with a fault-free injector pass.
+	store, _, lsns := buildSegmentedWAL(t, 128, records)
+	horizon := lsns[keepFrom]
 	inj := NewFaultInjector()
-	fw, err := NewWALOn(&FaultDevice{inner: dev, inj: inj, tearable: true})
+	fw, err := NewWALOn(NewFaultWALStore(store, inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +268,11 @@ func TestWALPrefixTruncationCrashSafety(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := inj.Ops() - opsBefore
-	if total < 3 {
+	if total < 4 {
 		t.Fatalf("truncation used only %d ops; protocol missing steps?", total)
 	}
-	verify := func(dev *MemDevice, lsns []LSN, horizon LSN, tag string) {
-		w, err := NewWALOn(dev)
+	verify := func(store *MemWALStore, lsns []LSN, horizon LSN, tag string) {
+		w, err := NewWALOn(store)
 		if err != nil {
 			t.Fatalf("%s: reopen: %v", tag, err)
 		}
@@ -264,28 +280,29 @@ func TestWALPrefixTruncationCrashSafety(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: records: %v", tag, err)
 		}
-		if len(recs) != 10 {
-			t.Fatalf("%s: %d surviving records, want 10", tag, len(recs))
+		if len(recs) != records-keepFrom {
+			t.Fatalf("%s: %d surviving records, want %d", tag, len(recs), records-keepFrom)
 		}
 		for i, r := range recs {
-			if r.LSN != lsns[30+i] || r.Txn != TxnID(30+i) {
+			if r.LSN != lsns[keepFrom+i] || r.Txn != TxnID(keepFrom+i) {
 				t.Fatalf("%s: record %d has LSN %d txn %d, want LSN %d txn %d",
-					tag, i, r.LSN, r.Txn, lsns[30+i], 30+i)
+					tag, i, r.LSN, r.Txn, lsns[keepFrom+i], keepFrom+i)
 			}
 		}
 		// The log must keep working: append + flush + read back.
 		newLSN := w.Append(&LogRecord{Kind: LogCommit, Txn: 999})
-		if newLSN < lsns[39] {
-			t.Fatalf("%s: post-truncation LSN %d rewound below %d", tag, newLSN, lsns[39])
+		if newLSN < lsns[records-1] {
+			t.Fatalf("%s: post-truncation LSN %d rewound below %d", tag, newLSN, lsns[records-1])
 		}
 		if err := w.Flush(); err != nil {
 			t.Fatalf("%s: flush after reopen: %v", tag, err)
 		}
 	}
 	for op := int64(0); op < total; op++ {
-		dev, lsns, horizon := build()
+		store, w, lsns := buildSegmentedWAL(t, 128, records)
+		_ = w
 		inj := NewFaultInjector()
-		fw, err := NewWALOn(&FaultDevice{inner: dev, inj: inj, tearable: true})
+		fw, err := NewWALOn(NewFaultWALStore(store, inj))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -299,21 +316,20 @@ func TestWALPrefixTruncationCrashSafety(t *testing.T) {
 					}
 				}
 			}()
-			fw.TruncateTo(horizon)
+			fw.TruncateTo(lsns[keepFrom])
 		}()
-		dev.Crash(nil) // drop every unsynced write: the adversarial case
-		verify(dev, lsns, horizon, fmt.Sprintf("crash@%d", op))
+		store.Crash(nil) // drop every unsynced dir op and byte: the adversarial case
+		verify(store, lsns, lsns[keepFrom], fmt.Sprintf("crash@%d", op))
 	}
 }
 
-// TestWALTruncationOverlapGuard: a truncation whose tail (plus the
-// 8-byte terminator) does not fit strictly inside the discarded prefix
-// must be skipped entirely — at the exact boundary the terminator would
-// overwrite the source tail's first frame, and a crash mid-protocol
-// would discard every surviving record.
-func TestWALTruncationOverlapGuard(t *testing.T) {
-	dev := NewMemDevice()
-	w, err := NewWALOn(dev)
+// TestWALSegmentGranularTruncation: deletion is whole-segment only. A
+// horizon inside the only segment reclaims nothing (and must be a clean
+// no-op); once the log spans segments, truncation advances the base to
+// the greatest segment boundary at or below the horizon — never past it.
+func TestWALSegmentGranularTruncation(t *testing.T) {
+	store := NewMemWALStore()
+	w, err := NewWALOn(store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,86 +341,92 @@ func TestWALTruncationOverlapGuard(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	sizeBefore, _ := dev.Size()
-	// Horizon at the midpoint: tail length == prefix length, which the
-	// slack guard (tail + terminator < prefix) must reject.
+	sizeBefore := store.DiskBytes()
+	// Mid-segment horizon with one segment: nothing to delete.
 	if err := w.TruncateTo(lsns[4]); err != nil {
 		t.Fatal(err)
 	}
 	if base := w.Base(); base != 0 {
-		t.Fatalf("overlapping truncation moved the base to %d; must skip", base)
+		t.Fatalf("mid-segment truncation moved the base to %d; must be a no-op", base)
 	}
-	if size, _ := dev.Size(); size != sizeBefore {
-		t.Fatalf("overlapping truncation touched the device (%d -> %d bytes)", sizeBefore, size)
+	if size := store.DiskBytes(); size != sizeBefore {
+		t.Fatalf("mid-segment truncation touched the store (%d -> %d bytes)", sizeBefore, size)
 	}
 	recs, err := w.Records(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 8 {
-		t.Fatalf("%d records after skipped truncation, want 8", len(recs))
+		t.Fatalf("%d records after no-op truncation, want 8", len(recs))
 	}
-	// Grow the prefix past the tail; now the truncation qualifies.
+	// Rotate into many small segments; now truncation has boundaries.
+	w.SetSegmentTarget(128)
 	for i := 8; i < 30; i++ {
 		lsns = append(lsns, w.Append(&LogRecord{Kind: LogCommit, Txn: TxnID(i)}))
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
+	if w.SegmentCount() < 3 {
+		t.Fatalf("rotation did not happen: %d segments", w.SegmentCount())
 	}
 	if err := w.TruncateTo(lsns[28]); err != nil {
 		t.Fatal(err)
 	}
-	if base := w.Base(); base != lsns[28] {
-		t.Fatalf("qualifying truncation did not advance the base: %d, want %d", base, lsns[28])
+	base := w.Base()
+	if base == 0 || base > lsns[28] {
+		t.Fatalf("truncation base %d not in (0, horizon %d]", base, lsns[28])
 	}
-	recs, err = w.Records(0)
+	recs, err = w.Records(lsns[28])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(recs) != 2 {
-		t.Fatalf("%d records after truncation, want 2", len(recs))
+		t.Fatalf("%d records at or past the horizon, want 2", len(recs))
+	}
+	if recs[0].LSN != lsns[28] || recs[1].LSN != lsns[29] {
+		t.Fatalf("surviving records carry LSNs %d,%d; want %d,%d", recs[0].LSN, recs[1].LSN, lsns[28], lsns[29])
 	}
 }
 
-// TestWALTruncationErrorPoisons: a clean device error once the
-// truncation protocol has started mutating the header leaves the
-// base/physical mapping unreliable — the WAL must refuse all further
-// work (like a crash mid-flush) and a reopen must recover every record
-// at or past the horizon.
-func TestWALTruncationErrorPoisons(t *testing.T) {
-	dev := NewMemDevice()
+// TestWALTruncationErrorIsRecoverable: unlike the retired copy-down
+// protocol (where a mid-protocol error left the base/physical mapping
+// unreliable and poisoned the WAL), a clean error during the manifest
+// swap leaves both the old and new manifest describing a consistent log
+// — the WAL keeps serving, and a later truncation succeeds.
+func TestWALTruncationErrorIsRecoverable(t *testing.T) {
+	store, _, lsns := buildSegmentedWAL(t, 128, 40)
 	inj := NewFaultInjector()
-	w, err := NewWALOn(&FaultDevice{inner: dev, inj: inj, tearable: true})
+	w, err := NewWALOn(NewFaultWALStore(store, inj))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var lsns []LSN
-	for i := 0; i < 40; i++ {
-		lsns = append(lsns, w.Append(&LogRecord{Kind: LogInsert, Txn: TxnID(i), Table: "t",
-			Row: RID{Page: 1, Slot: uint16(i)}, After: Tuple{NewInt(int64(i))}}))
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	// Fail the first truncation I/O (the COPYING header write) cleanly.
+	// Fail the first truncation I/O (the manifest swap) cleanly.
 	inj.Schedule(inj.Ops(), FaultError)
 	if err := w.TruncateTo(lsns[30]); err == nil {
 		t.Fatal("truncation with injected error must fail")
 	}
-	if err := w.Flush(); err != ErrWALPoisoned {
-		t.Fatalf("WAL not poisoned after mid-truncation error: %v", err)
+	if base := w.Base(); base != 0 {
+		t.Fatalf("failed truncation advanced the base to %d", base)
 	}
-	// A reopen (the only way out of poisoning) recovers the tail intact.
-	w2, err := NewWALOn(dev)
+	// Not poisoned: appends, flushes, and reads keep working.
+	w.Append(&LogRecord{Kind: LogCommit, Txn: 999})
+	if err := w.Flush(); err != nil {
+		t.Fatalf("WAL unusable after clean truncation error: %v", err)
+	}
+	recs, err := w.Records(lsns[30])
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs, err := w2.Records(lsns[30])
-	if err != nil {
+	if len(recs) != 11 {
+		t.Fatalf("%d records past the horizon after failed truncation, want 11", len(recs))
+	}
+	// The retry (no fault armed) reclaims the prefix.
+	if err := w.TruncateTo(lsns[30]); err != nil {
 		t.Fatal(err)
 	}
-	if len(recs) != 10 || recs[0].LSN != lsns[30] {
-		t.Fatalf("surviving tail after poisoned truncation: %d records, first LSN %v", len(recs), recs[0].LSN)
+	if base := w.Base(); base == 0 || base > lsns[30] {
+		t.Fatalf("retried truncation base %d not in (0, horizon %d]", base, lsns[30])
 	}
 }
 
@@ -416,7 +438,7 @@ func TestWALTruncationErrorPoisons(t *testing.T) {
 // rows into (and adopt the dropped incarnation's pages into) the new
 // table.
 func TestDroppedTableRecordsDoNotReplayIntoNewIncarnation(t *testing.T) {
-	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pageDev, walDev := NewMemDevice(), NewMemWALStore()
 	pager, err := NewDevicePager(pageDev)
 	if err != nil {
 		t.Fatal(err)
@@ -493,7 +515,7 @@ func TestCheckpointConcurrentWithCommitters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wal, err := NewWALOn(NewMemDevice())
+	wal, err := NewWALOn(NewMemWALStore())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,22 @@ func (d *slowSyncDevice) Sync() error {
 	return d.Device.Sync()
 }
 
-func openGroupCommitDB(t *testing.T, walDev Device) *DB {
+// slowSyncWALStore slows every segment device's Sync — the contended-disk
+// model group commit amortizes against.
+type slowSyncWALStore struct {
+	WALStore
+	delay time.Duration
+}
+
+func (s *slowSyncWALStore) OpenSegment(seq uint64) (Device, error) {
+	dev, err := s.WALStore.OpenSegment(seq)
+	if err != nil {
+		return nil, err
+	}
+	return &slowSyncDevice{Device: dev, delay: s.delay}, nil
+}
+
+func openGroupCommitDB(t *testing.T, walDev WALStore) *DB {
 	t.Helper()
 	pager, err := NewDevicePager(NewMemDevice())
 	if err != nil {
@@ -54,7 +69,7 @@ func openGroupCommitDB(t *testing.T, walDev Device) *DB {
 // one fsync per commit — group commit must not add latency (extra syncs)
 // to the uncontended path.
 func TestGroupCommitSingletonOneSync(t *testing.T) {
-	walDev := NewMemDevice()
+	walDev := NewMemWALStore()
 	db := openGroupCommitDB(t, walDev)
 	before := db.wal.Syncs()
 	const commits = 20
@@ -77,8 +92,8 @@ func TestGroupCommitSingletonOneSync(t *testing.T) {
 // every acknowledged commit must be durable and visible after a crash
 // that discards all unsynced state.
 func TestGroupCommitAmortizesSyncs(t *testing.T) {
-	walMem := NewMemDevice()
-	walDev := &slowSyncDevice{Device: walMem, delay: 500 * time.Microsecond}
+	walMem := NewMemWALStore()
+	walDev := &slowSyncWALStore{WALStore: walMem, delay: 500 * time.Microsecond}
 	db := openGroupCommitDB(t, walDev)
 	before := db.wal.Syncs()
 
@@ -164,7 +179,7 @@ func TestGroupCommitCrashAtEveryWALIO(t *testing.T) {
 		inj := NewFaultInjector()
 		inj.Schedule(op, kind)
 		pageDev := NewMemDevice()
-		walDev := NewMemDevice()
+		walDev := NewMemWALStore()
 		// Setup may itself draw the fated I/O (the CreateTable checkpoint
 		// flushes the WAL): a crash there is a valid — if boring — kill
 		// point, verified like any other.

@@ -43,7 +43,9 @@ func OpenHeapFile(bp *BufferPool, first PageID) (*HeapFile, error) {
 	h := &HeapFile{bp: bp, first: first}
 	id := first
 	for id != InvalidPage && (id != 0 || len(h.pages) == 0) && id < bp.NumPages() {
-		data, err := bp.Pin(id)
+		// One-touch chain walk: scan-hinted so opening a large heap does
+		// not displace the hot working set.
+		data, err := bp.PinScan(id)
 		if err != nil {
 			return nil, err
 		}
@@ -366,7 +368,9 @@ type heapRow struct {
 func (h *HeapFile) readPageLatched(id PageID) ([]heapRow, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	data, err := h.bp.Pin(id)
+	// Scan-hinted: readPageLatched only serves ScanLatched's sequential
+	// sweep; point reads go through Get/GetLatched.
+	data, err := h.bp.PinScan(id)
 	if err != nil {
 		return nil, err
 	}
@@ -465,7 +469,9 @@ func (h *HeapFile) Scan(fn func(rid RID, t Tuple) bool) error {
 	pages := append([]PageID(nil), h.pages...)
 	h.mu.Unlock()
 	for _, id := range pages {
-		data, err := h.bp.Pin(id)
+		// Scan-hinted pin: a full sweep recycles one probationary frame
+		// per page instead of flushing the protected working set.
+		data, err := h.bp.PinScan(id)
 		if err != nil {
 			return err
 		}

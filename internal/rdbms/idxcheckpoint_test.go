@@ -137,7 +137,7 @@ func TestReopenMatrixRebuildOption(t *testing.T) {
 // from its chain and the tail's deltas are applied on top — no rebuild —
 // and the result matches the committed state.
 func TestReopenMatrixFreshTail(t *testing.T) {
-	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pageDev, walDev := NewMemDevice(), NewMemWALStore()
 	pager, err := NewDevicePager(pageDev)
 	if err != nil {
 		t.Fatal(err)

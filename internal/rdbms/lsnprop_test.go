@@ -13,9 +13,9 @@ import (
 
 // lsnWorkload drives a seeded mix of committed and aborted transactions
 // and returns the db plus its storage.
-func lsnWorkload(t *testing.T, seed int64) (*DB, *DevicePager, *MemDevice, *MemDevice) {
+func lsnWorkload(t *testing.T, seed int64) (*DB, *DevicePager, *MemDevice, *MemWALStore) {
 	t.Helper()
-	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pageDev, walDev := NewMemDevice(), NewMemWALStore()
 	pager, err := NewDevicePager(pageDev)
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestGroupCommitZeroWindowSoloCommit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	walMem := NewMemDevice()
+	walMem := NewMemWALStore()
 	wal, err := NewWALOn(walMem)
 	if err != nil {
 		t.Fatal(err)

@@ -31,7 +31,7 @@ func TestSoakCheckpointerReopen(t *testing.T) {
 }
 
 func runSoak(t *testing.T, seed int64) {
-	pageDev, walDev := NewMemDevice(), NewMemDevice()
+	pageDev, walDev := NewMemDevice(), NewMemWALStore()
 	shadow := map[int64]string{}
 	rids := map[int64]RID{}
 	rng := rand.New(rand.NewSource(seed))

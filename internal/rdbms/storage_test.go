@@ -176,11 +176,13 @@ func TestBufferPoolEviction(t *testing.T) {
 		}
 		bp.Unpin(id, false)
 	}
-	hits, misses := bp.Stats()
-	if misses == 0 {
+	st := bp.Stats()
+	if st.Misses == 0 {
 		t.Fatal("expected misses from eviction")
 	}
-	_ = hits
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions from a pool smaller than the page set")
+	}
 }
 
 func TestBufferPoolAllPinned(t *testing.T) {

@@ -12,9 +12,9 @@ import (
 
 // LSN is a log sequence number: the logical byte offset of a record in
 // the log. LSNs are monotonic across the whole life of a database — the
-// WAL header records the logical offset of the file's first physical
-// byte (its base), and truncating the log's prefix at a checkpoint
-// advances the base instead of restarting LSNs at zero. Page LSNs stay
+// WAL manifest records the logical offset at which each segment file
+// starts, and truncating the log's prefix at a checkpoint deletes whole
+// segments instead of restarting LSNs at zero. Page LSNs stay
 // comparable with log records forever, which is what makes recovery's
 // redo gating (pageLSN < rec.LSN) sound.
 type LSN uint64
@@ -206,68 +206,45 @@ func readBytes(buf []byte) ([]byte, int, error) {
 // flight when a simulated crash (CrashSignal panic) interrupted the
 // group-commit leader: the log's durable boundary is unknowable from
 // inside the dying process, so the WAL refuses all further work. Only
-// reopening the device (a fresh WAL) resolves the in-doubt commits.
+// reopening the store (a fresh WAL) resolves the in-doubt commits.
 var ErrWALPoisoned = errors.New("rdbms: wal unusable after crash during flush")
-
-// WAL header. The first walHeaderSize bytes of the device hold two
-// 32-byte header slots; the valid slot with the higher sequence number is
-// authoritative. A slot records the log's base (the logical LSN of
-// physical offset walHeaderSize), the previous base (needed to finish an
-// interrupted prefix truncation), a monotonic sequence number, and a
-// state (clean, or mid-copy during TruncateTo). Slot updates always
-// target the inactive slot, so a torn header write can never destroy the
-// authoritative one (a 32-byte aligned write is covered by the same
-// sector-atomicity assumption page frames already rely on).
-const (
-	walSlotSize   = 32
-	walHeaderSize = 2 * walSlotSize
-
-	walStateClean   = 0
-	walStateCopying = 1
-)
-
-var walMagic = [4]byte{'U', 'W', 'L', '1'}
-
-type walHeaderSlot struct {
-	base     LSN
-	prevBase LSN
-	seq      uint32
-	state    uint32
-}
-
-func encodeWALSlot(s walHeaderSlot) []byte {
-	buf := make([]byte, walSlotSize)
-	copy(buf[0:4], walMagic[:])
-	binary.LittleEndian.PutUint64(buf[4:12], uint64(s.base))
-	binary.LittleEndian.PutUint64(buf[12:20], uint64(s.prevBase))
-	binary.LittleEndian.PutUint32(buf[20:24], s.seq)
-	binary.LittleEndian.PutUint32(buf[24:28], s.state)
-	binary.LittleEndian.PutUint32(buf[28:32], crc32.ChecksumIEEE(buf[:28]))
-	return buf
-}
-
-func decodeWALSlot(buf []byte) (walHeaderSlot, bool) {
-	if len(buf) < walSlotSize || [4]byte(buf[0:4]) != walMagic {
-		return walHeaderSlot{}, false
-	}
-	if crc32.ChecksumIEEE(buf[:28]) != binary.LittleEndian.Uint32(buf[28:32]) {
-		return walHeaderSlot{}, false
-	}
-	return walHeaderSlot{
-		base:     LSN(binary.LittleEndian.Uint64(buf[4:12])),
-		prevBase: LSN(binary.LittleEndian.Uint64(buf[12:20])),
-		seq:      binary.LittleEndian.Uint32(buf[20:24]),
-		state:    binary.LittleEndian.Uint32(buf[24:28]),
-	}, true
-}
 
 // DefaultGroupCommitWindow is the group-commit leader's straggler-wait
 // budget in scheduler-yield iterations when Options does not override it.
 const DefaultGroupCommitWindow = 512
 
-// WAL is an append-only write-ahead log over a Device. Append buffers the
-// record; Flush forces buffered records to stable storage (device write +
-// sync). Commit durability is achieved by flushing before acknowledging.
+// DefaultWALSegmentBytes is the rotation threshold for WAL segment
+// files when Options does not override it: once the active segment's
+// flushed size reaches this, the next flush seals it and opens a fresh
+// segment. Small enough that a checkpoint usually finds whole prefix
+// segments to delete, large enough that rotation (one manifest swap +
+// directory sync) is rare next to commit fsyncs.
+const DefaultWALSegmentBytes = 1 << 20
+
+// walSegment is one log segment: a device whose byte 0 carries LSN
+// start. Segments are append-only and immutable once sealed (a newer
+// segment exists); the last segment is the active append target.
+type walSegment struct {
+	seq   uint64
+	start LSN
+	dev   Device
+}
+
+// WAL is an append-only write-ahead log over a WALStore — a chain of
+// fixed-target-size segment files described by a manifest. Append
+// buffers the record; Flush forces buffered records to stable storage
+// (device write + sync). Commit durability is achieved by flushing
+// before acknowledging.
+//
+// Segmentation (PR10) is what makes log-space reclamation O(1) and
+// long-transaction-proof: TruncateTo deletes whole prefix segments and
+// swaps the manifest, never copying surviving records, so a pinned live
+// tail — a long-running transaction, an old open View — delays
+// reclamation of at most the segments it actually occupies. The old
+// single-file copy-down protocol (double-slot header, COPYING state,
+// terminator frames) is retired; crash safety now rests on the
+// manifest swap being atomic and directory metadata committing in
+// order (see WALStore).
 //
 // Flushing uses a group-commit sequencer (leader/follower): the first
 // committer to need durability becomes the leader, takes ownership of
@@ -281,24 +258,33 @@ const DefaultGroupCommitWindow = 512
 // (the in-flight one plus one batch), amortizing the dominant cost of
 // durable commit.
 //
-// Opening a WAL reads the header for the log's base LSN (finishing an
-// interrupted prefix truncation if the header says one was in flight),
-// then scans the durable log for a torn tail — a frame whose length
-// prefix overruns the device or whose checksum fails, left by a crash
-// mid-flush — and truncates the device back to the last whole record, so
-// post-crash appends never land after garbage bytes that a recovery scan
-// would refuse to read past.
+// A whole flush batch always lands in one segment: rotation happens
+// between flushes (after a successful sync, while the leader still
+// holds the flush role), so a segment may overshoot its target by the
+// final batch's size but the logical-to-physical mapping stays a single
+// subtraction.
+//
+// Opening a WAL reads the manifest for the segment chain, removes
+// orphan segments a crash left unnamed, then scans the active (last)
+// segment for a torn tail — a frame whose length prefix overruns the
+// device or whose checksum fails, left by a crash mid-flush — and
+// truncates it back to the last whole record, so post-crash appends
+// never land after garbage bytes that a recovery scan would refuse to
+// read past. Sealed segments need no scan: they were synced to their
+// full extent before the rotation that sealed them became durable.
 type WAL struct {
 	mu      sync.Mutex
 	cond    *sync.Cond    // signals flush completion to waiting committers
 	buf     []byte        // unflushed tail, starts at LSN `flushed`
-	base    LSN           // logical LSN of physical offset walHeaderSize
-	seq     uint32        // header sequence of the authoritative slot
-	slot    int           // which header slot (0/1) is authoritative
+	base    LSN           // logical LSN of the oldest byte still on the store
 	flushed LSN           // bytes durably stored (logical)
 	next    LSN           // next LSN to assign (= flushed + len(inflight) + len(buf))
 	nextA   atomic.Uint64 // lock-free mirror of next (buffer-pool recLSN capture)
-	dev     Device
+
+	store     WALStore
+	segs      []walSegment // ascending by start; last is the active append target
+	nextSeq   uint64       // sequence number the next rotation will use
+	segTarget int64        // active-segment size that triggers rotation
 
 	flushing   bool   // a leader's write+sync is in flight (outside mu)
 	poisoned   bool   // a crash panic escaped mid-flush; see ErrWALPoisoned
@@ -308,170 +294,162 @@ type WAL struct {
 
 	window      int   // straggler-wait budget (yields); 0 = solo-commit
 	windowOpens int64 // times a leader opened the group window (tests)
+	rotations   int64 // completed segment rotations (tests and diagnostics)
 }
 
-// phys maps a logical LSN to its physical device offset.
-func (w *WAL) phys(lsn LSN) int64 { return int64(lsn-w.base) + walHeaderSize }
-
-// writeHeaderSlot writes the next header state into the inactive slot and
-// syncs, making it authoritative.
-func (w *WAL) writeHeaderSlot(s walHeaderSlot) error {
-	s.seq = w.seq + 1
-	target := 1 - w.slot
-	if _, err := w.dev.WriteAt(encodeWALSlot(s), int64(target*walSlotSize)); err != nil {
-		return err
-	}
-	if err := w.dev.Sync(); err != nil {
-		return err
-	}
-	w.seq = s.seq
-	w.slot = target
-	w.base = s.base
-	return nil
-}
-
-// NewMemWAL returns a WAL over an in-memory device; Flush makes records
-// durable against the simulated crash model (MemDevice.Crash keeps only
-// synced bytes).
+// NewMemWAL returns a WAL over an in-memory store; Flush makes records
+// durable against the simulated crash model (MemWALStore.Crash keeps
+// only synced bytes and a prefix of unsynced directory metadata).
 func NewMemWAL() *WAL {
-	w, err := NewWALOn(NewMemDevice())
+	w, err := NewWALOn(NewMemWALStore())
 	if err != nil {
-		// A fresh MemDevice cannot fail to open.
+		// A fresh MemWALStore cannot fail to open.
 		panic(err)
 	}
 	return w
 }
 
-// OpenFileWAL opens or creates a file-backed WAL.
-func OpenFileWAL(path string) (*WAL, error) {
-	dev, err := OpenFileDevice(path)
+// OpenFileWAL opens or creates a directory-backed WAL at dir.
+func OpenFileWAL(dir string) (*WAL, error) {
+	store, err := OpenFileWALStore(dir)
 	if err != nil {
 		return nil, err
 	}
-	w, err := NewWALOn(dev)
+	w, err := NewWALOn(store)
 	if err != nil {
-		dev.Close()
+		store.Close()
 		return nil, err
 	}
 	return w, nil
 }
 
-// NewWALOn opens a WAL over dev: reads (or initializes) the header,
-// finishes an interrupted prefix truncation, and truncates any torn tail
-// left by a crash.
-func NewWALOn(dev Device) (*WAL, error) {
-	w := &WAL{dev: dev, window: DefaultGroupCommitWindow}
+// NewWALOn opens a WAL over store: reads (or initializes) the manifest,
+// garbage-collects orphan segments, and truncates any torn tail in the
+// active segment left by a crash.
+func NewWALOn(store WALStore) (*WAL, error) {
+	w := &WAL{store: store, window: DefaultGroupCommitWindow, segTarget: DefaultWALSegmentBytes}
 	w.cond = sync.NewCond(&w.mu)
-	size, err := dev.Size()
+	raw, err := store.ReadManifest()
 	if err != nil {
 		return nil, err
 	}
-	if size < walHeaderSize {
-		// Fresh log (or one whose header init never became durable, in
-		// which case no record was ever written either): write both slots
-		// in one aligned write, slot 0 authoritative.
-		hdr := make([]byte, walHeaderSize)
-		copy(hdr, encodeWALSlot(walHeaderSlot{base: 0, seq: 1, state: walStateClean}))
-		if _, err := dev.WriteAt(hdr, 0); err != nil {
-			return nil, err
-		}
-		if err := dev.Sync(); err != nil {
-			return nil, err
-		}
-		w.seq, w.slot = 1, 0
-		return w, nil
+	if raw == nil {
+		return w, w.initFresh()
 	}
-	hdr := make([]byte, walHeaderSize)
-	if _, err := dev.ReadAt(hdr, 0); err != nil {
+	entries, err := decodeWALManifest(raw)
+	if err != nil {
 		return nil, err
 	}
-	s0, ok0 := decodeWALSlot(hdr[:walSlotSize])
-	s1, ok1 := decodeWALSlot(hdr[walSlotSize:])
-	var active walHeaderSlot
-	switch {
-	case ok0 && (!ok1 || s0.seq >= s1.seq):
-		active, w.slot = s0, 0
-	case ok1:
-		active, w.slot = s1, 1
-	default:
-		return nil, fmt.Errorf("rdbms: wal header corrupt (both slots invalid)")
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("rdbms: wal manifest names no segments")
 	}
-	w.seq, w.base = active.seq, active.base
-	if active.state == walStateCopying {
-		if err := w.finishTruncation(active, size); err != nil {
-			return nil, err
+	present, err := store.Segments()
+	if err != nil {
+		return nil, err
+	}
+	presentSet := make(map[uint64]bool, len(present))
+	for _, seq := range present {
+		presentSet[seq] = true
+	}
+	named := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		if !presentSet[e.seq] {
+			return nil, fmt.Errorf("rdbms: wal manifest names missing segment %d", e.seq)
 		}
-		size, err = dev.Size()
+		named[e.seq] = true
+	}
+	// Orphans — segments on the store the manifest does not name — are
+	// either a rotation whose manifest swap never became durable (they
+	// hold no acknowledged record) or a truncation's dropped prefix whose
+	// file removal was interrupted (their records are below the durable
+	// catalog's replay origin). Both are garbage; collect them.
+	gc := false
+	for _, seq := range present {
+		if !named[seq] {
+			if err := store.RemoveSegment(seq); err != nil {
+				return nil, err
+			}
+			gc = true
+		}
+	}
+	for i, e := range entries {
+		dev, err := store.OpenSegment(e.seq)
 		if err != nil {
 			return nil, err
 		}
+		w.segs = append(w.segs, walSegment{seq: e.seq, start: e.start, dev: dev})
+		if i+1 < len(entries) {
+			// Sealed segment: rotation became durable only after the
+			// segment was synced to its full extent, so it must span
+			// exactly up to its successor's start.
+			want := int64(entries[i+1].start - e.start)
+			size, err := dev.Size()
+			if err != nil {
+				return nil, err
+			}
+			if size < want {
+				return nil, fmt.Errorf("rdbms: wal segment %d holds %d bytes, want %d", e.seq, size, want)
+			}
+		}
 	}
-	data := make([]byte, size)
-	if _, err := dev.ReadAt(data, 0); err != nil {
+	w.base = entries[0].start
+	w.nextSeq = entries[len(entries)-1].seq + 1
+	// Torn-tail scan of the active segment only.
+	active := w.segs[len(w.segs)-1]
+	size, err := active.dev.Size()
+	if err != nil {
 		return nil, err
 	}
-	end := int64(walkLogFrames(data, walHeaderSize, nil))
-	if end < size {
-		if err := dev.Truncate(end); err != nil {
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := active.dev.ReadAt(data, 0); err != nil {
 			return nil, err
 		}
 	}
-	w.flushed = w.base + LSN(end-walHeaderSize)
+	end := int64(walkLogFrames(data, 0, nil))
+	if end < size {
+		if err := active.dev.Truncate(end); err != nil {
+			return nil, err
+		}
+	}
+	if gc {
+		if err := store.SyncDir(); err != nil {
+			return nil, err
+		}
+	}
+	w.flushed = active.start + LSN(end)
 	w.next = w.flushed
 	w.nextA.Store(uint64(w.next))
 	return w, nil
 }
 
-// finishTruncation completes a prefix truncation that a crash interrupted
-// mid-copy: the authoritative slot says the log's base is moving from
-// prevBase to base, and the tail (records >= base) is intact at its
-// pre-copy position because TruncateTo only copies when source and
-// destination cannot overlap. Redoing the copy is therefore idempotent.
-func (w *WAL) finishTruncation(s walHeaderSlot, size int64) error {
-	srcOff := walHeaderSize + int64(s.base-s.prevBase)
-	if srcOff > size {
-		return fmt.Errorf("rdbms: wal truncation source %d beyond device size %d", srcOff, size)
-	}
-	data := make([]byte, size)
-	if _, err := w.dev.ReadAt(data, 0); err != nil {
+// initFresh sets up a brand-new log: one empty segment starting at LSN 0
+// and a manifest naming it. Stray segment files (a previous fresh init
+// that crashed before its manifest became durable — so nothing was ever
+// acknowledged) are removed first.
+func (w *WAL) initFresh() error {
+	present, err := w.store.Segments()
+	if err != nil {
 		return err
 	}
-	validEnd := int64(walkLogFrames(data, int(srcOff), nil))
-	tailLen := validEnd - srcOff
-	if tailLen > 0 {
-		if _, err := w.dev.WriteAt(data[srcOff:validEnd], walHeaderSize); err != nil {
+	for _, seq := range present {
+		if err := w.store.RemoveSegment(seq); err != nil {
 			return err
 		}
 	}
-	// The terminator may only be written where it cannot touch the source
-	// region (TruncateTo's slack guard ensures this on the first attempt;
-	// keep the invariant on re-runs too, where it protects against this
-	// very copy being interrupted again).
-	if walHeaderSize+tailLen+8 <= srcOff {
-		if err := w.writeTerminator(walHeaderSize+tailLen, size); err != nil {
-			return err
-		}
-	}
-	if err := w.dev.Sync(); err != nil {
+	dev, err := w.store.OpenSegment(1)
+	if err != nil {
 		return err
 	}
-	if err := w.writeHeaderSlot(walHeaderSlot{base: s.base, prevBase: s.base, state: walStateClean}); err != nil {
+	if err := w.store.WriteManifest(encodeWALManifest([]walManifestEntry{{seq: 1, start: 0}})); err != nil {
 		return err
 	}
-	return w.dev.Truncate(walHeaderSize + tailLen)
-}
-
-// writeTerminator stamps an impossible frame header (length 0xFFFFFFFF)
-// right after a copied tail, so stale frames from the pre-copy log that
-// happen to sit at a frame boundary can never be parsed as fresh records
-// in the crash window before the file is physically truncated.
-func (w *WAL) writeTerminator(at, size int64) error {
-	if at+8 > size {
-		return nil // nothing beyond the tail to mis-parse
+	if err := w.store.SyncDir(); err != nil {
+		return err
 	}
-	term := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
-	_, err := w.dev.WriteAt(term, at)
-	return err
+	w.segs = []walSegment{{seq: 1, start: 0, dev: dev}}
+	w.nextSeq = 2
+	return nil
 }
 
 // walkLogFrames iterates the whole, checksum-clean frames in data
@@ -606,12 +584,17 @@ func (w *WAL) flushToLocked(target LSN, window bool) error {
 	w.mu.Lock()
 	chunk := w.buf
 	base := w.flushed
+	// The active segment is stable for the whole leader I/O: only a
+	// leader rotates, and TruncateTo quiesces leaders and never touches
+	// the last segment.
+	active := w.segs[len(w.segs)-1]
 	w.buf = nil
 	w.mu.Unlock()
 
 	var err error
 	completed := false
 	synced := false
+	poisonRotate := false
 	defer func() {
 		w.mu.Lock()
 		w.flushing = false
@@ -621,38 +604,92 @@ func (w *WAL) flushToLocked(target LSN, window bool) error {
 		switch {
 		case !completed:
 			// A panic (the fault harness's simulated crash) interrupted the
-			// I/O: the durable boundary is unknown, so poison the WAL; every
+			// I/O: the durable boundary is unknowable, so poison the WAL; every
 			// waiter and future committer gets ErrWALPoisoned and the
 			// in-doubt records are resolved by post-crash recovery.
 			w.poisoned = true
-		case err != nil:
-			// The device reported the failure cleanly: restore the batch at
-			// the front of the buffer so a later flush (or a follower
-			// retrying as leader) rewrites the same bytes at the same
-			// offsets. flushed is unchanged — nothing was acknowledged.
+		case err != nil && !synced:
+			// The device reported the failure cleanly before the batch was
+			// durable: restore the batch at the front of the buffer so a
+			// later flush (or a follower retrying as leader) rewrites the
+			// same bytes at the same offsets. flushed is unchanged —
+			// nothing was acknowledged.
 			w.buf = append(chunk, w.buf...)
 		default:
 			w.flushed = base + LSN(len(chunk))
 			if w.spare == nil || cap(chunk) > cap(w.spare) {
 				w.spare = chunk[:0] // recycle the batch buffer
 			}
+			if poisonRotate {
+				// The rotation's manifest swap failed after it may have been
+				// announced: where future durable bytes belong is ambiguous,
+				// so no further append may be acknowledged (see rotate).
+				w.poisoned = true
+			}
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
 	}()
 	if len(chunk) > 0 {
-		if _, werr := w.dev.WriteAt(chunk, w.phys(base)); werr != nil {
+		if _, werr := active.dev.WriteAt(chunk, int64(base-active.start)); werr != nil {
 			err = werr
-		} else if serr := w.dev.Sync(); serr != nil {
+		} else if serr := active.dev.Sync(); serr != nil {
 			err = serr
 		} else {
 			synced = true
 		}
 	}
+	if err == nil && int64(base+LSN(len(chunk))-active.start) >= w.segTarget {
+		// Seal the active segment and open the next one. The batch is
+		// already durable, so a rotation error must not claw it back:
+		// rotate reports whether the failure leaves the manifest state
+		// ambiguous (poison) or the rotation simply didn't happen (the
+		// active segment keeps growing past its target — retried after
+		// the next flush).
+		poisonRotate, err = w.rotate(base + LSN(len(chunk)))
+	}
 	completed = true
 	// On success the batch covered target (the chunk held everything
 	// buffered at leader election, and target predates it).
 	return err
+}
+
+// rotate seals the active segment at end and installs a fresh one: open
+// the next segment device, swap in a manifest naming it with start LSN
+// end, sync the directory, then adopt it as the append target. Called
+// only by a flush leader (w.flushing held), so w.segs is stable.
+//
+// Error contract: a failure before the manifest swap leaves the old
+// manifest authoritative — the rotation is simply skipped (no poison, the
+// oversized active segment keeps working). A failure at or after the
+// swap is poisonous: the new manifest declares that no acknowledged byte
+// may land in the old segment past end, but whether that declaration is
+// (or will become) durable is unknowable, so continuing to append
+// anywhere risks either losing acked records (they landed in a segment a
+// durable manifest never names) or truncating them (they landed past a
+// sealed segment's recorded end).
+func (w *WAL) rotate(end LSN) (poison bool, err error) {
+	dev, err := w.store.OpenSegment(w.nextSeq)
+	if err != nil {
+		return false, err
+	}
+	entries := make([]walManifestEntry, 0, len(w.segs)+1)
+	for _, s := range w.segs {
+		entries = append(entries, walManifestEntry{seq: s.seq, start: s.start})
+	}
+	entries = append(entries, walManifestEntry{seq: w.nextSeq, start: end})
+	if err := w.store.WriteManifest(encodeWALManifest(entries)); err != nil {
+		return true, err
+	}
+	if err := w.store.SyncDir(); err != nil {
+		return true, err
+	}
+	w.mu.Lock()
+	w.segs = append(w.segs, walSegment{seq: w.nextSeq, start: end, dev: dev})
+	w.nextSeq++
+	w.rotations++
+	w.mu.Unlock()
+	return false, nil
 }
 
 // awaitStragglers is the group-commit window: a bounded busy-yield that
@@ -697,42 +734,81 @@ func (w *WAL) Syncs() int64 {
 	return w.syncs
 }
 
+// Rotations returns the number of completed segment rotations.
+func (w *WAL) Rotations() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotations
+}
+
+// SegmentCount returns how many segments the log currently spans.
+func (w *WAL) SegmentCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.segs)
+}
+
+// SetSegmentTarget overrides the rotation threshold (tests use small
+// targets to force rotation; Options.WALSegmentBytes is the public
+// knob).
+func (w *WAL) SetSegmentTarget(bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if bytes > 0 {
+		w.segTarget = bytes
+	}
+}
+
+// DiskBytes sums the current sizes of every segment on the store — the
+// log's on-disk footprint (the space-bound the long-transaction suite
+// asserts on).
+func (w *WAL) DiskBytes() (int64, error) {
+	w.mu.Lock()
+	segs := append([]walSegment(nil), w.segs...)
+	w.mu.Unlock()
+	var total int64
+	for _, s := range segs {
+		n, err := s.dev.Size()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
 // quiesceLocked waits until no flush is in flight. Callers that mutate
-// flushed/next/buf wholesale (Reset, DropUnflushed) must not interleave
-// with a leader's I/O.
+// flushed/next/buf/segs wholesale (TruncateTo, DropUnflushed) must not
+// interleave with a leader's I/O.
 func (w *WAL) quiesceLocked() {
 	for w.flushing {
 		w.cond.Wait()
 	}
 }
 
-// TruncateTo discards the durable log before horizon, advancing the
-// header's base so LSNs stay monotonic. A checkpoint calls it with the
-// min(recLSN, first LSN of any active transaction) horizon: everything
-// before it is redundant (durably in the data pages and owned by
-// resolved transactions), everything at or after it must survive for
-// redo and undo.
+// TruncateTo discards the durable log before horizon by deleting whole
+// prefix segments — O(1) per segment, no record ever moves. A
+// checkpoint calls it with the min(recLSN, first LSN of any active
+// transaction) horizon: everything before it is redundant (durably in
+// the data pages and owned by resolved transactions), everything at or
+// after it must survive for redo and undo.
 //
-// Two modes, both crash-safe against the caller's catalog (which must
-// already record horizon as the replay origin BEFORE TruncateTo runs):
+// Only segments that end at or before the horizon are deleted, so the
+// log's base advances in segment-sized steps; a long-running
+// transaction pinning an old horizon delays reclamation of exactly the
+// segments its records occupy — never of the unbounded whole log, which
+// is what the old copy-down protocol degenerated to (it skipped
+// truncation entirely whenever the live tail outweighed the prefix).
 //
-//   - Empty tail (horizon == durable end): truncate the device to the
-//     header, then flip the header slot to the new base. A crash between
-//     the two leaves an empty log under the old base — recovery reads
-//     from the catalog's horizon, past the old base, and finds nothing,
-//     which is exactly right.
-//
-//   - Live tail: copy the surviving records down to the header boundary,
-//     but only when the copy's destination cannot overlap its source
-//     (tail length <= discarded prefix length) — otherwise skip this
-//     round; the log simply keeps its prefix until a later checkpoint
-//     qualifies. The copy is announced in the header (state COPYING, with
-//     the previous base) and synced before any byte moves, so a crash at
-//     any point either replays under the old base (copy bytes land only
-//     in the discarded region) or finds the COPYING slot and redoes the
-//     idempotent copy at open. A terminator frame after the copied tail
-//     keeps stale frames from parsing as fresh records before the final
-//     physical truncation.
+// Protocol, crash-safe against the caller's catalog (which must already
+// record horizon as the replay origin BEFORE TruncateTo runs): swap in
+// a manifest naming only the surviving segments, sync the directory,
+// then remove the dropped segment files and sync again. A crash after
+// the swap leaves orphan files that open-time GC removes; a crash
+// before it leaves the old manifest over intact files — recovery reads
+// from the catalog's horizon either way. Clean errors are non-poisoning:
+// the in-memory chain only adopts the new shape after the swap is
+// durable, and until then both manifests describe a consistent log.
 func (w *WAL) TruncateTo(horizon LSN) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -743,77 +819,44 @@ func (w *WAL) TruncateTo(horizon LSN) error {
 	if horizon > w.flushed {
 		horizon = w.flushed
 	}
-	if horizon <= w.base {
-		return nil // nothing durable before the horizon
+	drop := 0
+	for drop < len(w.segs)-1 && w.segs[drop+1].start <= horizon {
+		drop++
 	}
-	tailLen := int64(w.flushed - horizon)
-	if tailLen+8 > int64(horizon-w.base) {
-		// The copied tail PLUS its 8-byte terminator must fit strictly
-		// inside the discarded prefix: at tailLen == horizon-base the
-		// terminator would land exactly on the source tail's first frame,
-		// and a crash before the CLEAN slot became durable would make the
-		// redo-copy read the terminator as the tail start and discard the
-		// surviving records. Skip this round; reclaim when the prefix has
-		// grown past the tail again.
+	if drop == 0 {
 		return nil
 	}
-	tail := make([]byte, tailLen)
-	if tailLen > 0 {
-		if _, err := w.dev.ReadAt(tail, w.phys(horizon)); err != nil {
-			return err
-		}
+	survivors := w.segs[drop:]
+	entries := make([]walManifestEntry, 0, len(survivors))
+	for _, s := range survivors {
+		entries = append(entries, walManifestEntry{seq: s.seq, start: s.start})
 	}
-	// Announce the move first: from here on, a crash at any point either
-	// recovers under the COPYING slot (redoing the idempotent copy at
-	// open — the source region is never overwritten) or under a CLEAN
-	// slot describing a fully consistent log. LSNs never rewind: every
-	// header state derives the durable end from the NEW base, so a
-	// post-crash append can never reuse an LSN some page was stamped with.
-	//
-	// Once the header mutation begins, any failure — a clean device error
-	// as much as a crash panic — leaves the in-memory base/physical
-	// mapping unreliable relative to the device (the announced copy may
-	// not have happened), so the WAL is poisoned: continuing to append
-	// and flush could overwrite the source tail the reopen-time redo
-	// still needs. Only reopening the device resolves it, exactly as for
-	// a crash mid-flush.
-	if err := w.truncateProtocol(horizon, tail, tailLen); err != nil {
-		w.poisoned = true
+	if err := w.store.WriteManifest(encodeWALManifest(entries)); err != nil {
 		return err
 	}
+	if err := w.store.SyncDir(); err != nil {
+		return err
+	}
+	dropped := append([]walSegment(nil), w.segs[:drop]...)
+	w.segs = append([]walSegment(nil), survivors...)
+	w.base = w.segs[0].start
+	for _, s := range dropped {
+		s.dev.Close()
+		if err := w.store.RemoveSegment(s.seq); err != nil {
+			// The manifest no longer names the segment, so a lingering
+			// file is an orphan the next open collects; space reclaim is
+			// merely delayed.
+			return nil
+		}
+	}
+	// Removal durability is best-effort for the same reason: orphans are
+	// collected at open.
+	w.store.SyncDir()
 	return nil
 }
 
-// truncateProtocol runs TruncateTo's device protocol; the caller holds
-// w.mu and poisons the WAL if it fails partway.
-func (w *WAL) truncateProtocol(horizon LSN, tail []byte, tailLen int64) error {
-	size, err := w.dev.Size()
-	if err != nil {
-		return err
-	}
-	if err := w.writeHeaderSlot(walHeaderSlot{base: horizon, prevBase: w.base, state: walStateCopying}); err != nil {
-		return err
-	}
-	// writeHeaderSlot updated w.base; physical offsets below are absolute.
-	if tailLen > 0 {
-		if _, err := w.dev.WriteAt(tail, walHeaderSize); err != nil {
-			return err
-		}
-	}
-	if err := w.writeTerminator(walHeaderSize+tailLen, size); err != nil {
-		return err
-	}
-	if err := w.dev.Sync(); err != nil {
-		return err
-	}
-	if err := w.writeHeaderSlot(walHeaderSlot{base: horizon, prevBase: horizon, state: walStateClean}); err != nil {
-		return err
-	}
-	return w.dev.Truncate(walHeaderSize + tailLen)
-}
-
-// Base returns the logical LSN of the log's first physical byte — the
-// oldest record still on the device (diagnostics and tests).
+// Base returns the logical LSN of the log's oldest byte still on the
+// store — the start of the first segment (diagnostics and tests).
 func (w *WAL) Base() LSN {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -821,12 +864,24 @@ func (w *WAL) Base() LSN {
 }
 
 // Empty reports whether the log holds nothing at all: no durable record
-// (flushed == base) and no buffered append. A checkpoint over an empty
-// log with nothing else to do is a no-op.
+// (flushed == base) and no buffered append.
 func (w *WAL) Empty() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.flushed == w.base && w.next == w.flushed
+}
+
+// EmptySince reports whether no record — durable or buffered — exists
+// at or after lsn. A checkpoint whose previous horizon satisfies this
+// has nothing new to make durable: segment-granular truncation keeps
+// already-checkpointed bytes of the active segment on disk (deleting
+// only whole sealed segments), so "the log's tail since the last
+// checkpoint is empty" is the no-op test, not "the log is physically
+// empty".
+func (w *WAL) EmptySince(lsn LSN) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushed <= lsn && w.next == w.flushed
 }
 
 // FlushedLSN returns the durable boundary.
@@ -848,41 +903,61 @@ func (w *WAL) DropUnflushed() {
 }
 
 // Records reads all durable records starting at from (clamped to the
-// log's base). Records with bad checksums or truncated frames terminate
-// the scan (torn tail).
+// log's base), walking the segment chain in order. Records with bad
+// checksums or truncated frames terminate the scan (torn tail).
 func (w *WAL) Records(from LSN) ([]*LogRecord, error) {
 	w.mu.Lock()
-	base := w.base
-	span := int64(w.flushed - base)
-	data := make([]byte, walHeaderSize+span)
-	if span > 0 {
-		if _, err := w.dev.ReadAt(data, 0); err != nil {
-			w.mu.Unlock()
-			return nil, err
-		}
-	}
+	segs := append([]walSegment(nil), w.segs...)
+	flushed := w.flushed
 	w.mu.Unlock()
 
-	if from < base {
-		from = base
+	if from < segs[0].start {
+		from = segs[0].start
 	}
 	var out []*LogRecord
 	var decodeErr error
-	walkLogFrames(data, int(int64(from-base)+walHeaderSize), func(off int, body []byte) bool {
-		r, err := decodeLogRecord(body)
-		if err != nil {
-			decodeErr = err
-			return false
+	for i, s := range segs {
+		end := flushed
+		if i+1 < len(segs) {
+			end = segs[i+1].start
 		}
-		r.LSN = base + LSN(off-walHeaderSize)
-		out = append(out, r)
-		return true
-	})
-	if decodeErr != nil {
-		return nil, decodeErr
+		if end <= from || end == s.start {
+			continue
+		}
+		// Bytes below `flushed` are stable: appends only land at or past
+		// it, so this read cannot race the flush leader's WriteAt.
+		data := make([]byte, end-s.start)
+		if _, err := s.dev.ReadAt(data, 0); err != nil {
+			return nil, err
+		}
+		off := 0
+		if from > s.start {
+			off = int(from - s.start)
+		}
+		walkLogFrames(data, off, func(off int, body []byte) bool {
+			r, err := decodeLogRecord(body)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			r.LSN = s.start + LSN(off)
+			out = append(out, r)
+			return true
+		})
+		if decodeErr != nil {
+			return nil, decodeErr
+		}
 	}
 	return out, nil
 }
 
-// Close releases the underlying device.
-func (w *WAL) Close() error { return w.dev.Close() }
+// Close releases the segment devices and the underlying store.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	segs := w.segs
+	w.mu.Unlock()
+	for _, s := range segs {
+		s.dev.Close()
+	}
+	return w.store.Close()
+}

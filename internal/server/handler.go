@@ -156,6 +156,12 @@ func (s *Server) handleHealth() *Response {
 	h.Checkpoints = es.Checkpoints
 	h.WALSyncs = es.WALSyncs
 	h.IndexesLoaded, h.IndexesRebuilt = es.IndexesLoaded, es.IndexesRebuilt
+	h.BufferHits, h.BufferMisses = es.BufferHits, es.BufferMisses
+	h.BufferEvictions, h.BufferScanBypass = es.BufferEvictions, es.BufferScanBypass
+	h.BufferCapacity, h.BufferResident = es.BufferCapacity, es.BufferResident
+	if total := es.BufferHits + es.BufferMisses; total > 0 {
+		h.BufferHitRate = float64(es.BufferHits) / float64(total)
+	}
 	if sb, ok := s.sys.(shardedBackend); ok {
 		h.Shards = sb.Shards()
 		h.ShardsDown = sb.DownShards()
@@ -176,6 +182,11 @@ func errResponse(err error) *Response {
 	var de *shard.DegradedError
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		code = CodeOverloaded
+	case errors.Is(err, rdbms.ErrPoolExhausted):
+		// Every buffer frame pinned is a capacity refusal, not an
+		// internal fault: typed like admission shedding so clients back
+		// off and retry instead of treating it as a server bug.
 		code = CodeOverloaded
 	case errors.As(err, &de):
 		// Result-less shard loss (e.g. an entity routed to a dead

@@ -231,10 +231,21 @@ type Health struct {
 	Served         int64 `json:"served"`   // responses written
 	Checkpoints    int64 `json:"checkpoints"`
 	WALSyncs       int64 `json:"wal_syncs"`
-	IndexesLoaded  int   `json:"indexes_loaded"`        // last open: persisted index checkpoints used
-	IndexesRebuilt int   `json:"indexes_rebuilt"`       // last open: indexes rebuilt by scan
-	Shards         int   `json:"shards,omitempty"`      // sharded backend: shard count
-	ShardsDown     []int `json:"shards_down,omitempty"` // sharded backend: dead shard indexes
+	IndexesLoaded  int   `json:"indexes_loaded"`  // last open: persisted index checkpoints used
+	IndexesRebuilt int   `json:"indexes_rebuilt"` // last open: indexes rebuilt by scan
+
+	// Buffer-pool vitals (PR10): how the larger-than-RAM cache is doing.
+	// Counters are summed across shards on a sharded backend; the hit
+	// rate is derived from the summed counters.
+	BufferHits       int64   `json:"buffer_hits"`
+	BufferMisses     int64   `json:"buffer_misses"`
+	BufferEvictions  int64   `json:"buffer_evictions"`
+	BufferScanBypass int64   `json:"buffer_scan_bypass"` // scan-hinted misses admitted evict-first
+	BufferHitRate    float64 `json:"buffer_hit_rate"`
+	BufferCapacity   int     `json:"buffer_capacity"` // total frames
+	BufferResident   int     `json:"buffer_resident"`
+	Shards           int     `json:"shards,omitempty"`      // sharded backend: shard count
+	ShardsDown       []int   `json:"shards_down,omitempty"` // sharded backend: dead shard indexes
 }
 
 // Degraded marks a response produced without some shards: the data is

@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rdbms"
 	"repro/internal/synth"
 	"repro/internal/uql"
 )
@@ -136,6 +138,13 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if h.ExtractedRows == 0 || h.Admitted == 0 {
 		t.Fatalf("health: %+v", h)
+	}
+	// PR10 buffer-pool vitals ride the same health surface.
+	if h.BufferCapacity == 0 || h.BufferResident == 0 || h.BufferHits+h.BufferMisses == 0 {
+		t.Fatalf("health missing buffer vitals: %+v", h)
+	}
+	if h.BufferHitRate <= 0 || h.BufferHitRate > 1 {
+		t.Fatalf("health buffer hit rate %v out of range", h.BufferHitRate)
 	}
 
 	// Typed not-found on a bogus fact.
@@ -432,5 +441,25 @@ func TestServerShutdownInProcess(t *testing.T) {
 	}
 	if err := <-serveDone; err != nil {
 		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestPoolExhaustedMapsToOverloaded: a buffer pool with every frame
+// pinned is a capacity refusal — the wire mapping must type it as
+// overloaded (clients back off and retry) and never as an internal
+// error. The check is errors.Is on the sentinel, so wrapped variants
+// map the same.
+func TestPoolExhaustedMapsToOverloaded(t *testing.T) {
+	wrapped := fmt.Errorf("select: pin page 12: %w", rdbms.ErrPoolExhausted)
+	resp := errResponse(wrapped)
+	if resp.OK || resp.Err == nil {
+		t.Fatalf("errResponse returned OK for a pool-exhausted error: %+v", resp)
+	}
+	if resp.Err.Code != CodeOverloaded {
+		t.Fatalf("pool exhaustion mapped to %q, want %q", resp.Err.Code, CodeOverloaded)
+	}
+	// An unrelated engine error still maps to internal.
+	if got := errResponse(errors.New("boom")).Err.Code; got != CodeInternal {
+		t.Fatalf("generic error mapped to %q, want %q", got, CodeInternal)
 	}
 }

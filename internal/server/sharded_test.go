@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"syscall"
@@ -324,6 +325,9 @@ func TestShardedDaemonLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if h.BufferCapacity == 0 || h.BufferHits+h.BufferMisses == 0 {
+			t.Fatalf("sharded health missing aggregated buffer vitals: %+v", h)
+		}
 		rs, err := cli.SQL(ctx, q)
 		if err != nil {
 			t.Fatal(err)
@@ -356,5 +360,33 @@ func TestShardedDaemonLifecycle(t *testing.T) {
 	}
 	if !reflect.DeepEqual(second, first) {
 		t.Fatalf("warm reopen diverged:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}
+
+// TestShardedDaemonManifestMismatchTyped: the daemon layer surfaces a
+// shard-count mismatch as the shard package's typed error — RunDaemon
+// refuses before listening, and the caller (cmd/unidbd's exit path, this
+// test) can errors.As it rather than pattern-match a message. Regression
+// for the PR9 manifest refusal now that PR10 types it.
+func TestShardedDaemonManifestMismatchTyped(t *testing.T) {
+	dataDir := t.TempDir()
+	// A layout pinned at 2 shards, without paying for a full daemon run.
+	if err := os.WriteFile(filepath.Join(dataDir, "shards.json"), []byte(`{"shards":2}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := RunDaemon(DaemonConfig{
+		Addr: "127.0.0.1:0", DataDir: dataDir, Shards: 3,
+		Cities: 4, People: 2, Filler: 2, Seed: 7, Workers: 1,
+		Ready: func(net.Addr) { t.Error("daemon became ready under a mismatched layout") },
+	})
+	if err == nil {
+		t.Fatal("RunDaemon accepted a layout pinned to a different shard count")
+	}
+	var mm *shard.ShardCountMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("daemon error %v is not a ShardCountMismatchError", err)
+	}
+	if mm.Pinned != 2 || mm.Asked != 3 {
+		t.Fatalf("mismatch carries pinned=%d asked=%d, want 2/3", mm.Pinned, mm.Asked)
 	}
 }

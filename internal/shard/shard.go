@@ -117,6 +117,24 @@ type manifest struct {
 	Shards int `json:"shards"`
 }
 
+// ShardCountMismatchError is the typed refusal for reopening a durable
+// layout with a different shard count than its manifest pins: rows were
+// placed by entity hash mod the pinned count, so serving under another
+// count would silently route reads to the wrong shards. Callers (the
+// daemon's startup path, operators' tooling) detect it with errors.As
+// and report "reshard requires re-ingest" instead of a generic open
+// failure.
+type ShardCountMismatchError struct {
+	Dir    string // layout root holding the manifest
+	Pinned int    // shard count the layout was ingested with
+	Asked  int    // shard count this open requested
+}
+
+func (e *ShardCountMismatchError) Error() string {
+	return fmt.Sprintf("shard: layout %s has %d shards, asked for %d (reshard requires re-ingest)",
+		e.Dir, e.Pinned, e.Asked)
+}
+
 // ShardedSystem is N core.Systems behind the single-system serving
 // surface (it satisfies the server's Backend interface).
 type ShardedSystem struct {
@@ -155,7 +173,7 @@ func Open(cfg Config) (*ShardedSystem, error) {
 				return nil, fmt.Errorf("shard: bad manifest %s: %w", mpath, err)
 			}
 			if m.Shards != n {
-				return nil, fmt.Errorf("shard: layout %s has %d shards, asked for %d (reshard requires re-ingest)", cfg.Dir, m.Shards, n)
+				return nil, &ShardCountMismatchError{Dir: cfg.Dir, Pinned: m.Shards, Asked: n}
 			}
 		} else {
 			raw, _ := json.Marshal(manifest{Shards: n})
@@ -342,6 +360,12 @@ func (ss *ShardedSystem) EngineStats() core.EngineStats {
 		agg.WALSyncs += es.WALSyncs
 		agg.IndexesLoaded += es.IndexesLoaded
 		agg.IndexesRebuilt += es.IndexesRebuilt
+		agg.BufferHits += es.BufferHits
+		agg.BufferMisses += es.BufferMisses
+		agg.BufferEvictions += es.BufferEvictions
+		agg.BufferScanBypass += es.BufferScanBypass
+		agg.BufferCapacity += es.BufferCapacity
+		agg.BufferResident += es.BufferResident
 	}
 	return agg
 }

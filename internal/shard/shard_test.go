@@ -473,8 +473,15 @@ func TestShardedDurableReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The refusal is typed: callers distinguish "layout pinned to a
+	// different count" from any other open failure.
+	var mm *ShardCountMismatchError
 	if _, err := Open(Config{Shards: 3, Dir: dir, System: cfg}); err == nil {
 		t.Fatal("mismatched shard count must refuse to open")
+	} else if !errors.As(err, &mm) {
+		t.Fatalf("mismatch error %v is not a ShardCountMismatchError", err)
+	} else if mm.Pinned != 2 || mm.Asked != 3 || mm.Dir != dir {
+		t.Fatalf("mismatch error carries pinned=%d asked=%d dir=%q, want 2/3/%q", mm.Pinned, mm.Asked, mm.Dir, dir)
 	}
 
 	ss2, err := Open(Config{Shards: 2, Dir: dir, System: cfg})
